@@ -1,0 +1,422 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md section 2 for the experiment index E1..E12).
+
+   Environment knobs:
+     TPDF_BENCH_SIZE   image side for the Fig. 6 table (default 1024)
+     TPDF_BENCH_QUOTA  seconds of measurement per Bechamel test (default 2) *)
+
+open Bechamel
+open Toolkit
+open Tpdf_core
+open Tpdf_param
+open Tpdf_apps
+module Csdf = Tpdf_csdf
+module Image = Tpdf_image.Image
+module Edge = Tpdf_image.Edge
+module Synthetic = Tpdf_image.Synthetic
+module Platform = Tpdf_platform.Platform
+module Sched = Tpdf_sched
+
+let env_int name default =
+  match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with Some v -> float_of_string v | None -> default
+
+let bench_size = env_int "TPDF_BENCH_SIZE" 1024
+let bench_quota = env_float "TPDF_BENCH_QUOTA" 2.0
+
+let section id title =
+  Printf.printf "\n==[ %s ]=== %s ==========================================\n" id title
+
+(* One Bechamel measurement: estimated wall-clock per run, in ms. *)
+let measure_ms name f =
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second bench_quota) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  match Hashtbl.fold (fun _ v _ -> Some v) results None with
+  | None -> nan
+  | Some est -> (
+      match Analyze.OLS.estimates est with
+      | Some (ns :: _) -> ns /. 1.0e6
+      | _ -> nan)
+
+(* ------------------------------------------------------------------ *)
+(* E1: Fig. 1 — CSDF example                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e1_fig1 () =
+  section "E1" "Fig. 1: CSDF repetition vector and schedule";
+  let g = Csdf.Examples.fig1 () in
+  let rep = Csdf.Repetition.solve g in
+  Format.printf "%a@." Csdf.Repetition.pp rep;
+  let conc = Csdf.Concrete.make g Valuation.empty in
+  (match Csdf.Schedule.run ~policy:Csdf.Schedule.Late_first conc with
+  | Csdf.Schedule.Complete t ->
+      Format.printf "schedule: %a  (paper: (a3)^2 (a1)^3 (a2)^2)@."
+        Csdf.Schedule.pp_compressed
+        (Csdf.Schedule.compress t.Csdf.Schedule.firings);
+      Format.printf "returns to initial state: %b@." t.Csdf.Schedule.returned_to_initial
+  | Csdf.Schedule.Deadlock _ -> print_endline "UNEXPECTED DEADLOCK")
+
+(* ------------------------------------------------------------------ *)
+(* E2/E3/E4: Fig. 2 — symbolic analyses                                *)
+(* ------------------------------------------------------------------ *)
+
+let e2_fig2 () =
+  section "E2-E4" "Fig. 2: parametric repetition vector, areas, rate safety";
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  let rep = Analysis.repetition g in
+  Format.printf "%a@." Csdf.Repetition.pp rep;
+  Format.printf "(paper Eq. 5: r = [2, 2p, p, p, 2p, p], q = [2, 2p, p, p, 2p, 2p])@.";
+  List.iter
+    (fun area -> Format.printf "%a@." Analysis.pp_area area)
+    (Analysis.areas g);
+  let area = Analysis.control_area g "C" in
+  let qg = Analysis.local_scaling g rep area.Analysis.members in
+  Format.printf "qG(Area(C)) = %a@." Poly.pp qg;
+  List.iter
+    (fun (a, f) -> Format.printf "  q^L(%s) = %a@." a Frac.pp f)
+    (Analysis.local_solution g rep area.Analysis.members);
+  Format.printf "rate safe: %b   (Definition 5)@." (Analysis.rate_safe g);
+  let b = Analysis.check_boundedness g ~samples:(Liveness.default_samples g) in
+  Format.printf
+    "boundedness (Thm 2): consistent=%b rate_safe=%b live=%b => bounded=%b@."
+    b.Analysis.consistent b.Analysis.rate_safe b.Analysis.live b.Analysis.bounded
+
+(* ------------------------------------------------------------------ *)
+(* E5: Fig. 4 — liveness by clustering and late schedules              *)
+(* ------------------------------------------------------------------ *)
+
+let e5_liveness () =
+  section "E5" "Fig. 4: liveness, clustering, late schedules";
+  let v = Valuation.of_list [ ("p", 3) ] in
+  List.iter
+    (fun (name, g) ->
+      let r = Liveness.check g v in
+      Format.printf "%s: %a@." name Liveness.pp_report r)
+    [ ("fig4a", Examples.fig4a ()); ("fig4b", Examples.fig4b ()) ];
+  let g = Examples.fig4a () in
+  let rep = Analysis.repetition g in
+  match Liveness.cluster_cycle g rep [ "B"; "C" ] with
+  | Ok clustered ->
+      Format.printf "clustered graph (Fig. 4c):@.%a@." Csdf.Graph.pp clustered;
+      let rep' = Csdf.Repetition.solve clustered in
+      Format.printf "clustered %a  (paper: schedule A^2 Omega^p)@."
+        Csdf.Repetition.pp rep'
+  | Error msg -> Printf.printf "clustering failed: %s\n" msg
+
+(* ------------------------------------------------------------------ *)
+(* E6: Fig. 5 — canonical period and multi-PE schedule                 *)
+(* ------------------------------------------------------------------ *)
+
+let e6_fig5 () =
+  section "E6" "Fig. 5: canonical period of Fig. 2 at p=1, scheduled";
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  let conc = Csdf.Concrete.make (Graph.skeleton g) (Valuation.of_list [ ("p", 1) ]) in
+  let period = Sched.Canonical_period.build conc in
+  Format.printf "%a@." Sched.Canonical_period.pp period;
+  let platform = Platform.uniform 4 in
+  let s = Sched.List_scheduler.run ~graph:g period platform in
+  print_string (Sched.Gantt.render platform s);
+  Printf.printf "(C1 runs on the reserved control PE, as in the paper's Fig. 5)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E7: Fig. 6 table — edge detector execution times                    *)
+(* ------------------------------------------------------------------ *)
+
+let e7_fig6_table () =
+  section "E7"
+    (Printf.sprintf "Fig. 6 table: edge-detector times on %dx%d (Bechamel)"
+       bench_size bench_size);
+  let img = Synthetic.scene ~seed:42 ~width:bench_size ~height:bench_size () in
+  Printf.printf "%-12s %12s %18s\n" "detector" "measured ms"
+    "paper ms (1024^2, i3)";
+  let paper = function
+    | Edge.Quick_mask -> "200"
+    | Edge.Sobel -> "473"
+    | Edge.Prewitt -> "522"
+    | Edge.Kirsch -> "-"
+    | Edge.Canny -> "1040"
+  in
+  let rows =
+    List.map
+      (fun d ->
+        let ms = measure_ms (Edge.name d) (fun () -> ignore (Edge.run d img)) in
+        Printf.printf "%-12s %12.1f %18s\n%!" (Edge.name d) ms (paper d);
+        (d, ms))
+      Edge.all
+  in
+  let find d = List.assoc d rows in
+  Printf.printf
+    "ordering check: quick < sobel <= prewitt < canny : %b (paper's shape)\n"
+    (find Edge.Quick_mask < find Edge.Sobel
+    && find Edge.Sobel <= find Edge.Prewitt +. 1e-9
+    && find Edge.Prewitt < find Edge.Canny)
+
+(* ------------------------------------------------------------------ *)
+(* E8: Fig. 6 application — deadline-driven selection                  *)
+(* ------------------------------------------------------------------ *)
+
+let e8_fig6_deadline () =
+  section "E8" "Fig. 6 app: Transaction selection vs. clock deadline";
+  Printf.printf "deadline sweep at 1024x1024 (model timing):\n";
+  List.iter
+    (fun deadline ->
+      let w = Edge_app.winner_at_deadline ~deadline_ms:deadline ~size:1024 () in
+      Printf.printf "  %6.0f ms -> %s\n" deadline (Edge.name w))
+    [ 100.0; 250.0; 500.0; 600.0; 1200.0; 2000.0 ];
+  Printf.printf "(paper: at 500 ms the best result available is chosen,\n";
+  Printf.printf " priority Canny > Prewitt > Sobel > Quick Mask)\n";
+  let r = Edge_app.run ~size:256 ~frames:3 ~deadline_ms:75.0 () in
+  Printf.printf "simulated run (256x256, 75 ms deadline, 3 frames):\n";
+  List.iter
+    (fun (f : Edge_app.frame_result) ->
+      Printf.printf "  t=%7.1f ms  winner=%-10s edge pixels=%d\n"
+        f.Edge_app.at_ms (Edge.name f.Edge_app.winner) f.Edge_app.edge_pixels)
+    r.Edge_app.frames
+
+(* ------------------------------------------------------------------ *)
+(* E9: Fig. 7 — OFDM demodulator functional run                        *)
+(* ------------------------------------------------------------------ *)
+
+let e9_fig7 () =
+  section "E9" "Fig. 7: OFDM demodulator (TPDF) end-to-end";
+  let show m snr =
+    let r = Ofdm_app.run_link ~snr_db:snr ~beta:4 ~n:512 ~l:16 ~m ~iterations:2 () in
+    Printf.printf
+      "  M=%d (%s)%s: %d bits, BER=%.5f, QPSK fired %d, QAM fired %d\n" m
+      (if m = 2 then "QPSK" else "16-QAM")
+      (match snr with None -> " noiseless" | Some s -> Printf.sprintf " @%.0fdB" s)
+      r.Ofdm_app.sent_bits r.Ofdm_app.ber
+      (List.assoc "QPSK" r.Ofdm_app.firings)
+      (List.assoc "QAM" r.Ofdm_app.firings)
+  in
+  show 2 None;
+  show 4 None;
+  show 2 (Some 20.0);
+  show 4 (Some 20.0);
+  Printf.printf "(only the branch selected by the control actor CON fires)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E10: Fig. 8 — minimum buffer size vs vectorization degree           *)
+(* ------------------------------------------------------------------ *)
+
+let e10_fig8 () =
+  section "E10" "Fig. 8: minimum buffer size vs beta (TPDF vs CSDF)";
+  Printf.printf "%5s %14s %14s %14s %14s\n" "beta" "N=512 TPDF" "N=512 CSDF"
+    "N=1024 TPDF" "N=1024 CSDF";
+  let betas = [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ] in
+  List.iter
+    (fun beta ->
+      let t512 = (Ofdm_app.tpdf_buffers ~beta ~n:512 ~l:1).Csdf.Buffers.total in
+      let c512 = (Ofdm_app.csdf_buffers ~beta ~n:512 ~l:1).Csdf.Buffers.total in
+      let t1024 = (Ofdm_app.tpdf_buffers ~beta ~n:1024 ~l:1).Csdf.Buffers.total in
+      let c1024 = (Ofdm_app.csdf_buffers ~beta ~n:1024 ~l:1).Csdf.Buffers.total in
+      Printf.printf "%5d %14d %14d %14d %14d\n" beta t512 c512 t1024 c1024)
+    betas;
+  let t = (Ofdm_app.tpdf_buffers ~beta:100 ~n:1024 ~l:1).Csdf.Buffers.total in
+  let c = (Ofdm_app.csdf_buffers ~beta:100 ~n:1024 ~l:1).Csdf.Buffers.total in
+  Printf.printf
+    "formulas: TPDF = 3 + beta*(12N+L), CSDF = beta*(17N+L) — both match the paper\n";
+  Printf.printf "improvement at beta=100, N=1024: %.1f%%  (paper: 29%%)\n"
+    (100.0 *. float_of_int (c - t) /. float_of_int c)
+
+(* ------------------------------------------------------------------ *)
+(* E11: performance improvement vs CSDF (schedule makespan)            *)
+(* ------------------------------------------------------------------ *)
+
+let ofdm_costs ~beta ~n (node : Sched.Canonical_period.node) =
+  (* per-firing cost model, microseconds scaled to ms: linear in the block
+     size handled by the actor *)
+  let bn = float_of_int (beta * n) /. 1000.0 in
+  match node.Sched.Canonical_period.actor with
+  | "SRC" | "SNK" -> 0.05 *. bn
+  | "RCP" -> 0.1 *. bn
+  | "FFT" -> 0.6 *. bn
+  | "DUP" -> 0.05 *. bn
+  | "QPSK" -> 0.4 *. bn
+  | "QAM" -> 0.8 *. bn
+  | "TRAN" -> 0.1 *. bn
+  | "CON" -> 0.01
+  | _ -> 0.1
+
+let e11_speedup () =
+  section "E11" "Schedule makespan: TPDF vs CSDF OFDM on the platform model";
+  Printf.printf "%5s %6s %12s %12s %9s\n" "beta" "PEs" "TPDF ms" "CSDF ms" "gain";
+  List.iter
+    (fun (beta, pes) ->
+      let n = 512 in
+      let v = Ofdm_app.valuation ~beta ~n ~l:1 in
+      let tg, _ = Ofdm_app.tpdf_graph () in
+      let cg, _ = Ofdm_app.csdf_graph () in
+      let platform = Platform.uniform pes in
+      let makespan g ~include_actor =
+        let conc = Csdf.Concrete.make (Graph.skeleton g) v in
+        (* four iterations in flight so the pipeline can spread over PEs *)
+        let period =
+          Sched.Canonical_period.build ~include_actor ~iterations:4 conc
+        in
+        (* no reserved control PE: on 2-4 PE platforms reserving one for
+           the single CON firing would serialize every kernel *)
+        (Sched.List_scheduler.run ~durations:(ofdm_costs ~beta ~n)
+           ~reserve_control_pe:false ~graph:g period platform)
+          .Sched.List_scheduler.makespan_ms
+      in
+      (* TPDF: the control decision (QPSK here) suppresses the QAM branch *)
+      let t = makespan tg ~include_actor:(fun a -> a <> "QAM") in
+      let c = makespan cg ~include_actor:(fun _ -> true) in
+      Printf.printf "%5d %6d %12.2f %12.2f %8.1f%%\n" beta pes t c
+        (100.0 *. (c -. t) /. c))
+    [ (10, 2); (10, 4); (50, 2); (50, 4); (100, 2); (100, 4); (100, 8) ]
+
+(* ------------------------------------------------------------------ *)
+(* E12: FM radio — redundant work avoided by dynamic topology          *)
+(* ------------------------------------------------------------------ *)
+
+let e12_fmradio () =
+  section "E12" "FM radio (StreamIt-style): TPDF avoids redundant band work";
+  List.iter
+    (fun profile ->
+      let c = Fm_radio.compare_profiles ~bands:8 ~pes:2 profile in
+      Printf.printf
+        "%-7s bands: TPDF fires %d / CSDF fires %d; makespan %.2f vs %.2f ms; \
+         buffers %d vs %d\n"
+        (Fm_radio.profile_mode profile)
+        c.Fm_radio.tpdf_band_firings c.Fm_radio.csdf_band_firings
+        c.Fm_radio.tpdf_makespan_ms c.Fm_radio.csdf_makespan_ms
+        c.Fm_radio.tpdf_buffers c.Fm_radio.csdf_buffers)
+    [ Fm_radio.Speech; Fm_radio.Music ];
+  let r = Fm_radio.run_audio Fm_radio.Speech ~iterations:4 in
+  Printf.printf "functional audio run (speech): %d samples, output power %.4f\n"
+    r.Fm_radio.samples r.Fm_radio.output_power
+
+(* ------------------------------------------------------------------ *)
+(* E14: video encoder — quality threshold under real-time constraints  *)
+(* ------------------------------------------------------------------ *)
+
+let e14_video () =
+  section "E14" "AVC-style front end: motion-estimation quality vs deadline";
+  Printf.printf "per-estimator residual on a synthetic pan (128x128):\n";
+  List.iter
+    (fun (e, r) ->
+      Printf.printf "  %-12s residual %8.2f  (model cost %6.1f ms)\n"
+        (Video_app.estimator_name e) r
+        (Video_app.model_duration_ms e ~size:128 ~block:16 ~range:7))
+    (Video_app.residual_by_estimator ~size:128 ());
+  Printf.printf "deadline sweep (Transaction picks best available field):\n";
+  List.iter
+    (fun deadline ->
+      let r = Video_app.run ~frames:1 ~deadline_ms:deadline () in
+      match r.Video_app.frames with
+      | [ f ] ->
+          Printf.printf "  %6.0f ms -> %-12s residual %8.2f\n" deadline
+            (Video_app.estimator_name f.Video_app.chosen)
+            f.Video_app.residual
+      | _ -> Printf.printf "  %6.0f ms -> (no frame)\n" deadline)
+    [ 8.0; 20.0; 60.0; 150.0 ];
+  Printf.printf
+    "(the §V claim: highest quality available within real-time constraints)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E15: ablations — scheduling policies and steady-state throughput    *)
+(* ------------------------------------------------------------------ *)
+
+let e15_ablation () =
+  section "E15" "Ablations: buffer policies and pipelined throughput";
+  (* sequential-schedule policy vs buffer total on a multirate graph *)
+  let { Examples.graph = fig2b; _ } = Examples.fig2 () in
+  let v = Valuation.of_list [ ("p", 8) ] in
+  Printf.printf "buffer totals by scheduling policy (fig2, p=8):\n";
+  List.iter
+    (fun (name, policy) ->
+      let r = Buffers.analyze ~policy fig2b v ~scenario:[ ("F", "take_e6") ] in
+      Printf.printf "  %-10s %8d tokens\n" name r.Csdf.Buffers.total)
+    [
+      ("eager", Csdf.Schedule.Eager);
+      ("late", Csdf.Schedule.Late_first);
+      ("min-buffer", Csdf.Schedule.Min_buffer);
+    ];
+  (* exact back-pressure minimum vs the occupancy heuristic *)
+  Printf.printf "minimum buffers, occupancy heuristic vs back-pressure search:\n";
+  List.iter
+    (fun (name, conc) ->
+      let occ = (Csdf.Buffers.analyze conc).Csdf.Buffers.total in
+      let bp = (Csdf.Bounded.minimize conc).Csdf.Bounded.total in
+      Printf.printf "  %-18s occupancy %5d   back-pressure %5d\n" name occ bp)
+    [
+      ("fig1", Csdf.Concrete.make (Csdf.Examples.fig1 ()) Valuation.empty);
+      ( "fig2 (p=8)",
+        Csdf.Concrete.make
+          (Graph.skeleton (Examples.fig2 ()).Examples.graph)
+          (Valuation.of_list [ ("p", 8) ]) );
+    ];
+  (* steady-state iteration period of fig2 vs PE count *)
+  let { Examples.graph = fig2; _ } = Examples.fig2 () in
+  let conc =
+    Csdf.Concrete.make (Graph.skeleton fig2) (Valuation.of_list [ ("p", 4) ])
+  in
+  Printf.printf "fig2 steady-state iteration period (p=4):\n";
+  List.iter
+    (fun pes ->
+      let period =
+        Sched.Throughput.iteration_period_ms ~graph:fig2 conc
+          (Platform.uniform pes)
+      in
+      Printf.printf "  %2d PEs: %6.2f ms/iteration\n" pes period)
+    [ 1; 2; 4; 8 ];
+  Printf.printf "  intrinsic bound (max cycle ratio): %.2f ms/iteration\n"
+    (Sched.Mcr.iteration_period_ms (Sched.Mcr.build conc))
+
+(* ------------------------------------------------------------------ *)
+(* Analysis-cost microbenchmarks (ablation)                            *)
+(* ------------------------------------------------------------------ *)
+
+let e13_analysis_cost () =
+  section "E13" "Analysis cost: the static checks are cheap (Bechamel)";
+  let { Examples.graph = fig2; _ } = Examples.fig2 () in
+  let og, _ = Ofdm_app.tpdf_graph () in
+  let rows =
+    [
+      ("fig2 repetition", fun () -> ignore (Analysis.repetition fig2));
+      ("fig2 rate-safety", fun () -> ignore (Analysis.rate_safe fig2));
+      ( "fig2 liveness p=5",
+        fun () ->
+          ignore (Liveness.is_live fig2 (Valuation.of_list [ ("p", 5) ])) );
+      ("ofdm repetition", fun () -> ignore (Analysis.repetition og));
+      ("ofdm rate-safety", fun () -> ignore (Analysis.rate_safe og));
+      ( "ofdm buffers b=100",
+        fun () -> ignore (Ofdm_app.tpdf_buffers ~beta:100 ~n:1024 ~l:1) );
+    ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let ms = measure_ms name f in
+      Printf.printf "%-22s %10.4f ms\n%!" name ms)
+    rows
+
+let () =
+  Printf.printf
+    "TPDF reproduction benchmark harness (paper: Do, Louise, Cohen — DATE 2016)\n";
+  Printf.printf "image size for E7: %dx%d; Bechamel quota: %.1fs\n" bench_size
+    bench_size bench_quota;
+  e1_fig1 ();
+  e2_fig2 ();
+  e5_liveness ();
+  e6_fig5 ();
+  e7_fig6_table ();
+  e8_fig6_deadline ();
+  e9_fig7 ();
+  e10_fig8 ();
+  e11_speedup ();
+  e12_fmradio ();
+  e13_analysis_cost ();
+  e14_video ();
+  e15_ablation ();
+  print_newline ()

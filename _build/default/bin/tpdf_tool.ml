@@ -1,0 +1,318 @@
+(* tpdf_tool — command-line front end for the TPDF analyses.
+
+   Examples:
+     tpdf_tool list
+     tpdf_tool analyze fig2 -p p=4
+     tpdf_tool liveness fig4b -p p=3
+     tpdf_tool schedule fig2 -p p=2 --pes 4
+     tpdf_tool buffers ofdm-tpdf -p beta=10 -p N=512 -p L=1 -s DUP=qpsk -s TRAN=qpsk
+     tpdf_tool export fig2 my_graph.tpdf   # then: tpdf_tool analyze my_graph.tpdf
+     tpdf_tool dot fig2 *)
+
+open Cmdliner
+open Tpdf_core
+open Tpdf_param
+module Csdf = Tpdf_csdf
+module Sched = Tpdf_sched
+module Platform = Tpdf_platform.Platform
+module Apps = Tpdf_apps
+
+let graphs : (string * (string * (unit -> Graph.t))) list =
+  [
+    ("fig1", ("CSDF example of Fig. 1", fun () -> Graph.of_csdf (Csdf.Examples.fig1 ())));
+    ("fig2", ("TPDF running example of Fig. 2 (parameter p)", fun () -> (Examples.fig2 ()).Examples.graph));
+    ("fig3", ("Select-duplicate example of Fig. 3", Examples.fig3));
+    ("fig4a", ("live cycle of Fig. 4(a) (parameter p)", Examples.fig4a));
+    ("fig4b", ("late-schedule cycle of Fig. 4(b) (parameter p)", Examples.fig4b));
+    ("unsafe", ("rate-safety violation example", Examples.unsafe_control));
+    ("spdf", ("SPDF-style two-parameter pipeline (p, q)", Examples.spdf_sample_rate));
+    ("edge", ("edge-detection application of Fig. 6", fun () -> fst (Apps.Edge_app.graph ())));
+    ("ofdm-tpdf", ("OFDM demodulator of Fig. 7 (beta, N, L)", fun () -> fst (Apps.Ofdm_app.tpdf_graph ())));
+    ("ofdm-csdf", ("CSDF baseline of the OFDM demodulator", fun () -> fst (Apps.Ofdm_app.csdf_graph ())));
+    ("fm", ("FM-radio equalizer (8 bands)", fun () -> Apps.Fm_radio.graph ()));
+  ]
+
+let lookup_graph name =
+  match List.assoc_opt name graphs with
+  | Some (_, mk) -> Ok (mk ())
+  | None ->
+      if Sys.file_exists name then Serial.load name
+      else
+        Error
+          (Printf.sprintf "unknown graph %S; try a .tpdf file or one of: %s"
+             name
+             (String.concat ", " (List.map fst graphs)))
+
+let graph_arg =
+  let doc = "Built-in graph name (see the $(b,list) command)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAPH" ~doc)
+
+let param_arg =
+  let parse s =
+    match String.split_on_char '=' s with
+    | [ k; v ] -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> Ok (k, n)
+        | _ -> Error (`Msg "parameter values are positive integers"))
+    | _ -> Error (`Msg "expected name=value")
+  in
+  let print ppf (k, v) = Format.fprintf ppf "%s=%d" k v in
+  let kv_conv = Arg.conv (parse, print) in
+  let doc = "Bind integer parameter $(docv) (repeatable)." in
+  Arg.(value & opt_all kv_conv [] & info [ "p"; "param" ] ~docv:"NAME=VALUE" ~doc)
+
+let scenario_arg =
+  let parse s =
+    match String.split_on_char '=' s with
+    | [ k; m ] -> Ok (k, m)
+    | _ -> Error (`Msg "expected kernel=mode")
+  in
+  let print ppf (k, m) = Format.fprintf ppf "%s=%s" k m in
+  let km_conv = Arg.conv (parse, print) in
+  let doc = "Pin kernel $(docv) to a mode for the buffer analysis (repeatable)." in
+  Arg.(value & opt_all km_conv [] & info [ "s"; "scenario" ] ~docv:"KERNEL=MODE" ~doc)
+
+let pes_arg =
+  let doc = "Number of processing elements." in
+  Arg.(value & opt int 4 & info [ "pes" ] ~docv:"N" ~doc)
+
+let iterations_arg =
+  let doc = "Number of graph iterations." in
+  Arg.(value & opt int 1 & info [ "iterations"; "i" ] ~docv:"N" ~doc)
+
+let valuation_of params =
+  try Ok (Valuation.of_list params) with Invalid_argument m -> Error m
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("tpdf_tool: " ^ msg);
+      exit 1
+
+let need_valuation g params =
+  let v = or_die (valuation_of params) in
+  let missing =
+    List.filter (fun p -> not (Valuation.mem v p)) (Graph.parameters g)
+  in
+  if missing <> [] then
+    or_die
+      (Error
+         (Printf.sprintf "missing parameter(s): %s (bind with -p name=value)"
+            (String.concat ", " missing)))
+  else v
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_list () =
+  List.iter
+    (fun (name, (doc, _)) -> Printf.printf "%-10s %s\n" name doc)
+    graphs
+
+let cmd_analyze name params =
+  let g = or_die (lookup_graph name) in
+  Format.printf "%a@." Graph.pp g;
+  (match Graph.validate g with
+  | Ok () -> Format.printf "structure: ok@."
+  | Error msgs ->
+      List.iter (fun m -> Format.printf "structure: %s@." m) msgs);
+  (match Analysis.repetition g with
+  | rep ->
+      Format.printf "%a@." Csdf.Repetition.pp rep;
+      (match params with
+      | [] -> ()
+      | _ ->
+          let v = or_die (valuation_of params) in
+          Format.printf "under %a: %s@." Valuation.pp v
+            (String.concat ", "
+               (List.map
+                  (fun (a, n) -> Printf.sprintf "%s:%d" a n)
+                  (Csdf.Repetition.q_int rep v))));
+      List.iter
+        (fun a -> Format.printf "%a@." Analysis.pp_area a)
+        (Analysis.areas g);
+      (match Analysis.rate_safety g with
+      | Ok () -> Format.printf "rate safety: ok@."
+      | Error vs ->
+          List.iter
+            (fun (viol : Analysis.violation) ->
+              Format.printf "rate safety: [%s, e%d] %s@." viol.Analysis.control
+                viol.Analysis.channel viol.Analysis.reason)
+            vs);
+      let b =
+        Analysis.check_boundedness g ~samples:(Liveness.default_samples g)
+      in
+      Format.printf
+        "boundedness: consistent=%b rate_safe=%b live=%b => bounded=%b@."
+        b.Analysis.consistent b.Analysis.rate_safe b.Analysis.live
+        b.Analysis.bounded
+  | exception Csdf.Repetition.Inconsistent msg ->
+      Format.printf "INCONSISTENT: %s@." msg
+  | exception Csdf.Repetition.Disconnected ->
+      Format.printf "DISCONNECTED graph@.")
+
+let cmd_liveness name params =
+  let g = or_die (lookup_graph name) in
+  let samples =
+    match params with
+    | [] -> Liveness.default_samples g
+    | _ -> [ need_valuation g params ]
+  in
+  List.iter
+    (fun v -> Format.printf "%a@." Liveness.pp_report (Liveness.check g v))
+    samples
+
+let cmd_schedule name params pes =
+  let g = or_die (lookup_graph name) in
+  let v = need_valuation g params in
+  let conc = Csdf.Concrete.make (Graph.skeleton g) v in
+  let period = Sched.Canonical_period.build conc in
+  Format.printf "canonical period: %d firings, %d dependencies@."
+    (Sched.Canonical_period.node_count period)
+    (List.length (Sched.Canonical_period.deps period));
+  let platform = Platform.uniform pes in
+  let s = Sched.List_scheduler.run ~graph:g period platform in
+  print_string (Sched.Gantt.render platform s)
+
+let cmd_buffers name params scenario minimize =
+  let g = or_die (lookup_graph name) in
+  let v = need_valuation g params in
+  (match Buffers.analyze g v ~scenario with
+  | report -> Format.printf "%a@." Csdf.Buffers.pp report
+  | exception Invalid_argument m -> or_die (Error m)
+  | exception Failure m -> or_die (Error m));
+  if minimize then begin
+    let conc = Csdf.Concrete.make (Graph.skeleton g) v in
+    match Csdf.Bounded.minimize conc with
+    | r ->
+        Format.printf "back-pressure minimum (all channels active):@.";
+        List.iter
+          (fun (id, cap) -> Format.printf "  e%d: %d@." id cap)
+          r.Csdf.Bounded.capacities;
+        Format.printf "  total: %d (%d relaxation(s))@." r.Csdf.Bounded.total
+          r.Csdf.Bounded.relaxations
+    | exception Failure m -> or_die (Error m)
+  end
+
+let cmd_simulate name params iterations trace =
+  let g = or_die (lookup_graph name) in
+  let v = need_valuation g params in
+  let eng = Tpdf_sim.Engine.create ~graph:g ~valuation:v ~default:0 () in
+  match Tpdf_sim.Engine.run ~iterations eng with
+  | stats ->
+      if trace then print_string (Tpdf_sim.Trace.gantt stats);
+      Format.printf "completed at %.3f ms@." stats.Tpdf_sim.Engine.end_ms;
+      List.iter
+        (fun (a, n) -> Format.printf "  %-12s fired %4d time(s)@." a n)
+        stats.Tpdf_sim.Engine.firings;
+      List.iter
+        (fun (ch, n) ->
+          if n > 0 then Format.printf "  e%-3d dropped %d rejected token(s)@." ch n)
+        stats.Tpdf_sim.Engine.dropped
+  | exception Failure m -> or_die (Error m)
+
+let cmd_throughput name params pes =
+  let g = or_die (lookup_graph name) in
+  let v = need_valuation g params in
+  let conc = Csdf.Concrete.make (Graph.skeleton g) v in
+  let mcr = Sched.Mcr.iteration_period_ms (Sched.Mcr.build conc) in
+  Format.printf "intrinsic bound (max cycle ratio): %.3f ms/iteration@." mcr;
+  let platform = Platform.uniform pes in
+  let period = Sched.Throughput.iteration_period_ms ~graph:g conc platform in
+  Format.printf "list-scheduled on %d PE(s):          %.3f ms/iteration (%.1f it/s)@."
+    pes period (1000.0 /. period);
+  match Csdf.Sas.find conc with
+  | Some s -> Format.printf "single-appearance schedule: %a@." Csdf.Sas.pp s
+  | None -> Format.printf "no single-appearance schedule (interleaving required)@."
+
+let cmd_dot name =
+  let g = or_die (lookup_graph name) in
+  Format.printf "%a@." Graph.pp_dot g
+
+let cmd_export name path =
+  let g = or_die (lookup_graph name) in
+  match path with
+  | None -> print_string (Serial.to_string g)
+  | Some p ->
+      Serial.save p g;
+      Printf.printf "wrote %s\n" p
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner wiring                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in graphs")
+    Term.(const cmd_list $ const ())
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the static analyses on a graph")
+    Term.(const cmd_analyze $ graph_arg $ param_arg)
+
+let liveness_cmd =
+  Cmd.v
+    (Cmd.info "liveness" ~doc:"Check liveness (cycles, late schedules)")
+    Term.(const cmd_liveness $ graph_arg $ param_arg)
+
+let schedule_cmd =
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Expand the canonical period and list-schedule it")
+    Term.(const cmd_schedule $ graph_arg $ param_arg $ pes_arg)
+
+let buffers_cmd =
+  let minimize_arg =
+    let doc = "Also search for minimal back-pressure capacities." in
+    Arg.(value & flag & info [ "minimize" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "buffers" ~doc:"Minimum buffer sizes under a mode scenario")
+    Term.(const cmd_buffers $ graph_arg $ param_arg $ scenario_arg $ minimize_arg)
+
+let simulate_cmd =
+  let trace_arg =
+    let doc = "Print a Gantt chart of the execution trace." in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Execute the graph with default behaviours")
+    Term.(const cmd_simulate $ graph_arg $ param_arg $ iterations_arg $ trace_arg)
+
+let throughput_cmd =
+  Cmd.v
+    (Cmd.info "throughput"
+       ~doc:"Iteration-period bounds: max cycle ratio vs list scheduling")
+    Term.(const cmd_throughput $ graph_arg $ param_arg $ pes_arg)
+
+let dot_cmd =
+  Cmd.v (Cmd.info "dot" ~doc:"Emit Graphviz") Term.(const cmd_dot $ graph_arg)
+
+let export_cmd =
+  let file_arg =
+    let doc = "Destination file (stdout when omitted)." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Serialize a graph to the textual .tpdf format")
+    Term.(const cmd_export $ graph_arg $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "tpdf_tool" ~version:"1.0.0"
+      ~doc:"Transaction Parameterized Dataflow analyses (DATE 2016 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            analyze_cmd;
+            liveness_cmd;
+            schedule_cmd;
+            buffers_cmd;
+            simulate_cmd;
+            throughput_cmd;
+            dot_cmd;
+            export_cmd;
+          ]))

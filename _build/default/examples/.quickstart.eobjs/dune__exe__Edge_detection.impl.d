@@ -1,0 +1,1 @@
+examples/edge_detection.ml: Array Edge Edge_app List Printf String Sys Tpdf_apps Tpdf_image Tpdf_sim

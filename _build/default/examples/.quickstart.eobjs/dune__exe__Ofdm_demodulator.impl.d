@@ -1,0 +1,1 @@
+examples/ofdm_demodulator.ml: Array List Ofdm_app Printf Sys Tpdf_apps Tpdf_csdf

@@ -1,0 +1,1 @@
+examples/ofdm_demodulator.mli:

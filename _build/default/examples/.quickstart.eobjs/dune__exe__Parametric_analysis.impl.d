@@ -1,0 +1,1 @@
+examples/parametric_analysis.ml: Analysis Examples Format Frac List Liveness Poly Printf String Tpdf_core Tpdf_csdf Tpdf_param Valuation

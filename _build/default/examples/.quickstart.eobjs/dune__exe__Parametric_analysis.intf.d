@@ -1,0 +1,1 @@
+examples/parametric_analysis.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Behavior Engine Format Graph List Liveness Mode Tpdf_core Tpdf_csdf Tpdf_param Tpdf_sim Valuation

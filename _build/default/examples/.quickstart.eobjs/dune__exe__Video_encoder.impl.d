@@ -1,0 +1,1 @@
+examples/video_encoder.ml: Array List Printf Sys Tpdf_apps Video_app

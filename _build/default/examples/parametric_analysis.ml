@@ -1,0 +1,73 @@
+(* A walkthrough of the static analyses on the paper's running examples:
+   the Fig. 2 graph (symbolic repetition vectors, control areas, rate
+   safety) and the Fig. 4 cycles (liveness by clustering and late
+   schedules).
+
+   Run with:  dune exec examples/parametric_analysis.exe *)
+
+open Tpdf_core
+open Tpdf_param
+module Csdf = Tpdf_csdf
+
+let header s = Format.printf "@.=== %s ===@." s
+
+let () =
+  header "Fig. 2: symbolic balance equations";
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  let rep = Analysis.repetition g in
+  Format.printf "%a@." Csdf.Repetition.pp rep;
+  Format.printf "at p=4: %s@."
+    (String.concat ", "
+       (List.map
+          (fun (a, n) -> Printf.sprintf "%s:%d" a n)
+          (Csdf.Repetition.q_int rep (Valuation.of_list [ ("p", 4) ]))));
+
+  header "Fig. 2: control area and local solution (Definitions 3-4)";
+  let area = Analysis.control_area g "C" in
+  Format.printf "%a@." Analysis.pp_area area;
+  let qg = Analysis.local_scaling g rep area.Analysis.members in
+  Format.printf "qG = %a; local iteration:" Poly.pp qg;
+  List.iter
+    (fun (a, f) -> Format.printf " %s^%a" a Frac.pp f)
+    (Analysis.local_solution g rep area.Analysis.members);
+  Format.printf "@.(the paper's B^2 C D E^2 F^2)@.";
+
+  header "Definition 5: rate safety, and a violating graph";
+  Format.printf "fig2 rate safe: %b@." (Analysis.rate_safe g);
+  let bad = Examples.unsafe_control () in
+  (match Analysis.rate_safety bad with
+  | Ok () -> Format.printf "unexpected: unsafe graph accepted@."
+  | Error vs ->
+      Format.printf "unsafe_control violations:@.";
+      List.iter
+        (fun (v : Analysis.violation) ->
+          Format.printf "  [%s, e%d] %s@." v.Analysis.control v.Analysis.channel
+            v.Analysis.reason)
+        vs);
+
+  header "Fig. 4: liveness through clustering and late schedules";
+  List.iter
+    (fun (name, g) ->
+      let r = Liveness.check g (Valuation.of_list [ ("p", 2) ]) in
+      Format.printf "%s -> %a@." name Liveness.pp_report r)
+    [ ("fig4a", Examples.fig4a ()); ("fig4b", Examples.fig4b ()) ];
+  let g4 = Examples.fig4a () in
+  let rep4 = Analysis.repetition g4 in
+  (match Liveness.cluster_cycle g4 rep4 [ "B"; "C" ] with
+  | Ok clustered ->
+      Format.printf "fig4a clustered into Omega:@.%a@." Csdf.Graph.pp clustered
+  | Error e -> Format.printf "clustering failed: %s@." e);
+
+  header "Theorem 2: boundedness verdicts";
+  List.iter
+    (fun (name, g) ->
+      let b = Analysis.check_boundedness g ~samples:(Liveness.default_samples g) in
+      Format.printf "%-15s bounded=%b%s@." name b.Analysis.bounded
+        (if b.Analysis.notes = [] then ""
+         else " (" ^ String.concat "; " b.Analysis.notes ^ ")"))
+    [
+      ("fig2", (Examples.fig2 ()).Examples.graph);
+      ("fig3", Examples.fig3 ());
+      ("fig4a", Examples.fig4a ());
+      ("unsafe_control", Examples.unsafe_control ());
+    ]

@@ -1,0 +1,42 @@
+(* The AVC-encoder pattern of §V: a quality-threshold Transaction chooses
+   the best motion-estimation result available within the real-time
+   budget.
+
+   Run with:  dune exec examples/video_encoder.exe -- [deadline_ms]
+   e.g.       dune exec examples/video_encoder.exe -- 20 *)
+
+open Tpdf_apps
+
+let () =
+  let deadline_ms =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 40.0
+  in
+  Printf.printf "Video encoder front end, %.0f ms deadline per frame\n\n" deadline_ms;
+
+  Printf.printf "estimator quality/cost profile (128x128, block 16, range 7):\n";
+  List.iter
+    (fun (e, residual) ->
+      Printf.printf "  %-12s residual %8.2f   model cost %6.1f ms\n"
+        (Video_app.estimator_name e) residual
+        (Video_app.model_duration_ms e ~size:128 ~block:16 ~range:7))
+    (Video_app.residual_by_estimator ());
+
+  let report = Video_app.run ~frames:4 ~deadline_ms () in
+  Printf.printf "\nsimulated run (4 frames):\n";
+  List.iter
+    (fun (f : Video_app.frame_result) ->
+      Printf.printf "  t=%7.1f ms  %-12s residual %8.2f\n" f.Video_app.at_ms
+        (Video_app.estimator_name f.Video_app.chosen)
+        f.Video_app.residual)
+    report.Video_app.frames;
+
+  Printf.printf "\ndeadline sweep:\n";
+  List.iter
+    (fun d ->
+      match (Video_app.run ~frames:1 ~deadline_ms:d ()).Video_app.frames with
+      | [ f ] ->
+          Printf.printf "  %6.0f ms -> %-12s (residual %8.2f)\n" d
+            (Video_app.estimator_name f.Video_app.chosen)
+            f.Video_app.residual
+      | _ -> ())
+    [ 8.0; 20.0; 60.0; 150.0 ]

@@ -1,0 +1,1 @@
+lib/apps/edge_app.ml: Behavior Edge Engine Graph Hashtbl Image List Mode Synthetic Sys Token Tpdf_core Tpdf_csdf Tpdf_image Tpdf_param Tpdf_sim Valuation

@@ -1,0 +1,1 @@
+lib/apps/edge_app.mli: Edge Image Tpdf_core Tpdf_image Tpdf_sim

@@ -1,0 +1,1 @@
+lib/apps/fm_radio.mli: Tpdf_core Tpdf_param Valuation

@@ -1,0 +1,1 @@
+lib/apps/ofdm_app.ml: Array Behavior Buffers Channel Complex Engine Fft Graph List Mode Modulation Ofdm Prng Token Tpdf_core Tpdf_csdf Tpdf_dsp Tpdf_param Tpdf_sim Tpdf_util Valuation

@@ -1,0 +1,1 @@
+lib/apps/ofdm_app.mli: Complex Tpdf_core Tpdf_csdf Tpdf_param Valuation

@@ -1,0 +1,1 @@
+lib/apps/video_app.ml: Behavior Engine Graph Image List Mode Motion Patterns Synthetic Token Tpdf_core Tpdf_csdf Tpdf_image Tpdf_param Tpdf_sim Valuation

@@ -1,0 +1,1 @@
+lib/apps/video_app.mli: Tpdf_core Tpdf_sim

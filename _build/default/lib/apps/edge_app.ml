@@ -1,0 +1,182 @@
+open Tpdf_core
+open Tpdf_sim
+open Tpdf_image
+open Tpdf_param
+module Csdf = Tpdf_csdf
+
+type token = Frame of Image.t | Edges of Edge.detector * Image.t | Sig
+
+type ids = {
+  read_dup : int;
+  dup_det : (Edge.detector * int) list;
+  det_tran : (Edge.detector * int) list;
+  tran_write : int;
+  clk_tran : int;
+}
+
+let default_detectors = [ Edge.Quick_mask; Edge.Sobel; Edge.Prewitt; Edge.Canny ]
+
+let one = Csdf.Graph.const_rates [ 1 ]
+
+let graph ?(detectors = default_detectors) ?(deadline_ms = 500.0) () =
+  if detectors = [] then invalid_arg "Edge_app.graph: need at least one detector";
+  let g = Graph.create () in
+  Graph.add_kernel g "IRead";
+  Graph.add_kernel g ~kind:Graph.Select_duplicate "IDuplicate";
+  List.iter (fun d -> Graph.add_kernel g (Edge.name d)) detectors;
+  Graph.add_kernel g ~kind:Graph.Transaction "Trans";
+  Graph.add_kernel g "IWrite";
+  Graph.add_control g ~clock_period_ms:deadline_ms "Clock";
+  let read_dup =
+    Graph.add_channel g ~src:"IRead" ~dst:"IDuplicate" ~prod:one ~cons:one ()
+  in
+  let dup_det =
+    List.map
+      (fun d ->
+        (d, Graph.add_channel g ~src:"IDuplicate" ~dst:(Edge.name d) ~prod:one ~cons:one ()))
+      detectors
+  in
+  let det_tran =
+    List.map
+      (fun d ->
+        ( d,
+          Graph.add_channel g ~src:(Edge.name d) ~dst:"Trans" ~prod:one
+            ~cons:one ~priority:(Edge.quality d) () ))
+      detectors
+  in
+  let tran_write =
+    Graph.add_channel g ~src:"Trans" ~dst:"IWrite" ~prod:one ~cons:one ()
+  in
+  let clk_tran =
+    Graph.add_control_channel g ~src:"Clock" ~dst:"Trans" ~prod:one ~cons:one ()
+  in
+  Graph.set_modes g "Trans"
+    [ Mode.make ~inputs:Mode.Highest_priority_available "deadline" ];
+  (g, { read_dup; dup_det; det_tran; tran_write; clk_tran })
+
+type frame_result = {
+  winner : Edge.detector;
+  at_ms : float;
+  edge_pixels : int;
+}
+
+type report = { frames : frame_result list; stats : Engine.stats }
+
+let read_overhead_ms = 10.0
+let duplicate_overhead_ms = 1.0
+
+let run ?(detectors = default_detectors) ?(deadline_ms = 500.0) ?(size = 512)
+    ?(frames = 3) ?(timing = `Model) ?(seed = 7) () =
+  let g, ids = graph ~detectors ~deadline_ms () in
+  let results = ref [] in
+  (* Measured detector durations, keyed by (detector, firing index). *)
+  let measured : (string * int, float) Hashtbl.t = Hashtbl.create 16 in
+  let detector_behavior d =
+    let work ctx =
+      let img =
+        match ctx.Behavior.inputs with
+        | [ (_, [ Token.Data (Frame img) ]) ] -> img
+        | _ -> failwith "detector expects one frame"
+      in
+      let t0 = Sys.time () in
+      let edges = Edge.run d img in
+      let elapsed = (Sys.time () -. t0) *. 1000.0 in
+      Hashtbl.replace measured (Edge.name d, ctx.Behavior.index) elapsed;
+      List.map
+        (fun (ch, rate) ->
+          (ch, List.init rate (fun _ -> Token.Data (Edges (d, edges)))))
+        ctx.Behavior.out_rates
+    in
+    let duration_ms ctx =
+      match timing with
+      | `Model ->
+          Edge.model_duration_ms d ~width:size ~height:size
+      | `Measured -> (
+          match Hashtbl.find_opt measured (Edge.name d, ctx.Behavior.index) with
+          | Some ms -> ms
+          | None -> Edge.model_duration_ms d ~width:size ~height:size)
+    in
+    Behavior.make ~duration_ms work
+  in
+  let behaviors =
+    [
+      ( "IRead",
+        Behavior.make
+          ~duration_ms:(Behavior.const_duration read_overhead_ms)
+          (fun ctx ->
+            let img =
+              Synthetic.scene ~seed:(seed + ctx.Behavior.index) ~width:size
+                ~height:size ()
+            in
+            List.map
+              (fun (ch, rate) ->
+                (ch, List.init rate (fun _ -> Token.Data (Frame img))))
+              ctx.Behavior.out_rates) );
+      ( "IDuplicate",
+        Behavior.make
+          ~duration_ms:(Behavior.const_duration duplicate_overhead_ms)
+          (fun ctx ->
+            let img =
+              match ctx.Behavior.inputs with
+              | [ (_, [ Token.Data (Frame img) ]) ] -> img
+              | _ -> failwith "IDuplicate expects one frame"
+            in
+            List.map
+              (fun (ch, rate) ->
+                (ch, List.init rate (fun _ -> Token.Data (Frame img))))
+              ctx.Behavior.out_rates) );
+      ( "Trans",
+        Behavior.make
+          ~duration_ms:(Behavior.const_duration 0.1)
+          (fun ctx ->
+            match ctx.Behavior.inputs with
+            | [ (_, [ (Token.Data (Edges _) as tok) ]) ] ->
+                List.map
+                  (fun (ch, rate) -> (ch, List.init rate (fun _ -> tok)))
+                  ctx.Behavior.out_rates
+            | _ -> failwith "Trans expects exactly one selected result") );
+      ( "IWrite",
+        Behavior.sink
+          ~duration_ms:(Behavior.const_duration 0.1)
+          (fun ctx ->
+            match ctx.Behavior.inputs with
+            | [ (_, [ Token.Data (Edges (d, img)) ]) ] ->
+                results :=
+                  {
+                    winner = d;
+                    at_ms = ctx.Behavior.now_ms;
+                    edge_pixels = Image.nonzero_count img;
+                  }
+                  :: !results
+            | _ -> failwith "IWrite expects one edge map") );
+      ("Clock", Behavior.emit_mode (fun _ -> "deadline"));
+    ]
+    @ List.map (fun d -> (Edge.name d, detector_behavior d)) detectors
+  in
+  ignore ids;
+  let eng =
+    Engine.create ~graph:g ~valuation:Valuation.empty ~behaviors ~default:Sig ()
+  in
+  let stats = Engine.run ~iterations:frames eng in
+  { frames = List.rev !results; stats }
+
+let winner_at_deadline ?(detectors = default_detectors) ~deadline_ms ~size () =
+  let overhead = read_overhead_ms +. duplicate_overhead_ms in
+  let fits d =
+    overhead +. Edge.model_duration_ms d ~width:size ~height:size <= deadline_ms
+  in
+  let fitting = List.filter fits detectors in
+  match fitting with
+  | [] ->
+      List.fold_left
+        (fun best d ->
+          if
+            Edge.model_duration_ms d ~width:size ~height:size
+            < Edge.model_duration_ms best ~width:size ~height:size
+          then d
+          else best)
+        (List.hd detectors) (List.tl detectors)
+  | _ ->
+      List.fold_left
+        (fun best d -> if Edge.quality d > Edge.quality best then d else best)
+        (List.hd fitting) (List.tl fitting)

@@ -1,0 +1,61 @@
+(** The edge-detection application of §IV-A (Fig. 6).
+
+    [IRead] reads frames and [IDuplicate] copies each frame to several edge
+    detectors running in parallel; a {e Transaction} box, fired by a clock
+    control actor every [deadline_ms], selects the best result available at
+    the deadline (priority order Canny > Kirsch > Prewitt > Sobel > Quick
+    Mask) and forwards it to [IWrite].  An average-quality result at the
+    right time beats an excellent one that arrives late — the
+    time-dependent decision CSDF cannot express. *)
+
+open Tpdf_image
+
+type token = Frame of Image.t | Edges of Edge.detector * Image.t | Sig
+
+type ids = {
+  read_dup : int;
+  dup_det : (Edge.detector * int) list;  (** IDuplicate → detector *)
+  det_tran : (Edge.detector * int) list;  (** detector → Transaction *)
+  tran_write : int;
+  clk_tran : int;  (** control channel *)
+}
+
+val graph :
+  ?detectors:Edge.detector list -> ?deadline_ms:float -> unit -> Tpdf_core.Graph.t * ids
+(** Default detectors: Quick Mask, Sobel, Prewitt, Canny (the four of
+    Fig. 6); default deadline 500 ms. *)
+
+type frame_result = {
+  winner : Edge.detector;
+  at_ms : float;  (** deadline tick at which it was selected *)
+  edge_pixels : int;  (** non-zero pixels of the selected map *)
+}
+
+type report = {
+  frames : frame_result list;
+  stats : Tpdf_sim.Engine.stats;
+}
+
+(* Timing model for detector firings:
+   - [`Model] uses {!Tpdf_image.Edge.model_duration_ms} (deterministic, the
+     paper-calibrated costs);
+   - [`Measured] runs the detector and uses its real wall-clock time. *)
+val run :
+  ?detectors:Edge.detector list ->
+  ?deadline_ms:float ->
+  ?size:int ->
+  ?frames:int ->
+  ?timing:[ `Model | `Measured ] ->
+  ?seed:int ->
+  unit ->
+  report
+(** Defaults: 512×512 synthetic frames, 3 frames, [`Model] timing,
+    deadline 500 ms.  Detectors compute real edge maps in both timing
+    modes. *)
+
+val winner_at_deadline :
+  ?detectors:Edge.detector list -> deadline_ms:float -> size:int -> unit -> Edge.detector
+(** Analytic shortcut: the highest-quality detector whose modelled duration
+    (plus read/duplicate overhead) fits within the deadline; falls back to
+    the fastest when none fits.  Used to cross-check {!run} and to print
+    the deadline sweep of the benchmark harness. *)

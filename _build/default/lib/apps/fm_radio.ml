@@ -1,0 +1,273 @@
+open Tpdf_core
+open Tpdf_sim
+open Tpdf_param
+open Tpdf_dsp
+module Csdf = Tpdf_csdf
+module Platform = Tpdf_platform.Platform
+module Sched = Tpdf_sched
+
+type profile = Speech | Music
+
+let profile_mode = function Speech -> "speech" | Music -> "music"
+
+let bands_for profile ~total =
+  match profile with
+  | Music -> List.init total (fun i -> i)
+  | Speech -> List.init (max 1 (total / 2)) (fun i -> i)
+
+let band_name i = Printf.sprintf "band%d" i
+
+let one = Csdf.Graph.const_rates [ 1 ]
+
+let build ~with_control ~bands =
+  if bands < 2 then invalid_arg "Fm_radio.graph: need at least two bands";
+  let g = Graph.create () in
+  Graph.add_kernel g "SRC";
+  Graph.add_kernel g "LPF";
+  Graph.add_kernel g "DEMOD";
+  Graph.add_kernel g ~kind:Graph.Select_duplicate "SPLIT";
+  for i = 0 to bands - 1 do
+    Graph.add_kernel g (band_name i)
+  done;
+  Graph.add_kernel g ~kind:Graph.Transaction "COMB";
+  Graph.add_kernel g "SNK";
+  ignore (Graph.add_channel g ~src:"SRC" ~dst:"LPF" ~prod:one ~cons:one ());
+  ignore (Graph.add_channel g ~src:"LPF" ~dst:"DEMOD" ~prod:one ~cons:one ());
+  ignore (Graph.add_channel g ~src:"DEMOD" ~dst:"SPLIT" ~prod:one ~cons:one ());
+  let split_band =
+    List.init bands (fun i ->
+        Graph.add_channel g ~src:"SPLIT" ~dst:(band_name i) ~prod:one ~cons:one ())
+  in
+  let band_comb =
+    List.init bands (fun i ->
+        Graph.add_channel g ~src:(band_name i) ~dst:"COMB" ~prod:one ~cons:one ())
+  in
+  ignore (Graph.add_channel g ~src:"COMB" ~dst:"SNK" ~prod:one ~cons:one ());
+  if with_control then begin
+    Graph.add_control g "CTL";
+    ignore (Graph.add_channel g ~src:"SRC" ~dst:"CTL" ~prod:one ~cons:one ());
+    ignore (Graph.add_control_channel g ~src:"CTL" ~dst:"SPLIT" ~prod:one ~cons:one ());
+    ignore (Graph.add_control_channel g ~src:"CTL" ~dst:"COMB" ~prod:one ~cons:one ());
+    let low = bands_for Speech ~total:bands in
+    Graph.set_modes g "SPLIT"
+      [
+        Mode.make
+          ~outputs:(Mode.Output_subset (List.map (List.nth split_band) low))
+          "speech";
+        Mode.make ~outputs:Mode.All_outputs "music";
+      ];
+    Graph.set_modes g "COMB"
+      [
+        Mode.make
+          ~inputs:(Mode.Input_subset (List.map (List.nth band_comb) low))
+          "speech";
+        Mode.make ~inputs:Mode.All_inputs "music";
+      ]
+  end;
+  g
+
+let graph ?(bands = 8) () = build ~with_control:true ~bands
+
+let csdf_graph ?(bands = 8) () = build ~with_control:false ~bands
+
+let valuation = Valuation.empty
+
+type comparison = {
+  profile : profile;
+  bands : int;
+  tpdf_band_firings : int;
+  csdf_band_firings : int;
+  tpdf_makespan_ms : float;
+  csdf_makespan_ms : float;
+  tpdf_buffers : int;
+  csdf_buffers : int;
+}
+
+let is_band a =
+  String.length a > 4 && String.sub a 0 4 = "band"
+
+let firing_cost (n : Sched.Canonical_period.node) =
+  match n.Sched.Canonical_period.actor with
+  | "SRC" -> 0.5
+  | "LPF" -> 1.5
+  | "DEMOD" -> 1.0
+  | "SPLIT" -> 0.2
+  | "COMB" -> 0.3
+  | "SNK" -> 0.1
+  | "CTL" -> 0.05
+  | a when is_band a -> 2.0
+  | _ -> 1.0
+
+let compare_profiles ?(bands = 8) ?(pes = 4) profile =
+  let active = bands_for profile ~total:bands in
+  let active_names = List.map band_name active in
+  let tg = graph ~bands () in
+  let cg = csdf_graph ~bands () in
+  let platform = Platform.uniform pes in
+  let mk_sched g ~include_actor =
+    let conc = Csdf.Concrete.make (Graph.skeleton g) Valuation.empty in
+    let period = Sched.Canonical_period.build ~include_actor conc in
+    let s =
+      Sched.List_scheduler.run ~durations:firing_cost ~reserve_control_pe:false
+        ~graph:g period platform
+    in
+    let band_firings =
+      List.length
+        (List.filter
+           (fun n -> is_band n.Sched.Canonical_period.actor)
+           (Sched.Canonical_period.nodes period))
+    in
+    (band_firings, s.Sched.List_scheduler.makespan_ms)
+  in
+  let tpdf_band_firings, tpdf_makespan_ms =
+    mk_sched tg ~include_actor:(fun a ->
+        (not (is_band a)) || List.mem a active_names)
+  in
+  let csdf_band_firings, csdf_makespan_ms =
+    mk_sched cg ~include_actor:(fun _ -> true)
+  in
+  let mode = profile_mode profile in
+  let scenario = [ ("SPLIT", mode); ("COMB", mode) ] in
+  let tpdf_buffers =
+    (Buffers.analyze tg Valuation.empty ~scenario).Csdf.Buffers.total
+  in
+  let csdf_buffers =
+    (Buffers.csdf_equivalent cg Valuation.empty).Csdf.Buffers.total
+  in
+  {
+    profile;
+    bands;
+    tpdf_band_firings;
+    csdf_band_firings;
+    tpdf_makespan_ms;
+    csdf_makespan_ms;
+    tpdf_buffers;
+    csdf_buffers;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Functional audio run                                                *)
+(* ------------------------------------------------------------------ *)
+
+type audio_report = {
+  samples : int;
+  output_power : float;
+  firings : (string * int) list;
+}
+
+type tok = Block of float array | Sig
+
+let run_audio ?(seed = 5) ?(block = 256) profile ~iterations =
+  let bands = 8 in
+  let g = graph ~bands () in
+  let active = bands_for profile ~total:bands in
+  let rng = Tpdf_util.Prng.create seed in
+  (* FM-modulate a two-tone audio signal with a little noise. *)
+  let total = iterations * block in
+  let audio t =
+    sin (2.0 *. Float.pi *. 0.010 *. float_of_int t)
+    +. (0.5 *. sin (2.0 *. Float.pi *. 0.027 *. float_of_int t))
+  in
+  let phase = ref 0.0 in
+  let signal =
+    Array.init total (fun t ->
+        phase := !phase +. (2.0 *. Float.pi *. (0.2 +. (0.05 *. audio t)));
+        cos !phase +. (0.01 *. Tpdf_util.Prng.gaussian rng))
+  in
+  let lp_taps = Fir.lowpass ~cutoff:0.24 ~taps:31 in
+  let band_taps =
+    Array.init bands (fun i ->
+        let lo = 0.01 +. (0.48 *. float_of_int i /. float_of_int bands) in
+        let hi = 0.01 +. (0.48 *. float_of_int (i + 1) /. float_of_int bands) in
+        Fir.bandpass ~low:lo ~high:(Float.min hi 0.49) ~taps:31)
+  in
+  let power = ref 0.0 and count = ref 0 in
+  let block_of ctx =
+    match ctx.Behavior.inputs with
+    | [ (_, [ Token.Data (Block b) ]) ] -> b
+    | _ -> failwith "fm: expected one block"
+  in
+  let emit ctx b =
+    List.filter_map
+      (fun (ch, rate) ->
+        if rate = 0 then None
+        else begin
+          assert (rate = 1);
+          Some (ch, [ Token.Data (Block b) ])
+        end)
+      ctx.Behavior.out_rates
+  in
+  let behaviors =
+    [
+      ( "SRC",
+        Behavior.make (fun ctx ->
+            let i = ctx.Behavior.index in
+            let b = Array.sub signal (i * block) block in
+            List.map
+              (fun (ch, rate) ->
+                assert (rate = 1);
+                (* the CTL notification channel carries a Sig, the audio
+                   path the sample block *)
+                let e = Csdf.Graph.channel (Graph.skeleton g) ch in
+                if e.Tpdf_graph.Digraph.dst = "CTL" then (ch, [ Token.Data Sig ])
+                else (ch, [ Token.Data (Block b) ]))
+              ctx.Behavior.out_rates) );
+      ("CTL", Behavior.emit_mode (fun _ -> profile_mode profile));
+      ("LPF", Behavior.make (fun ctx -> emit ctx (Fir.apply lp_taps (block_of ctx))));
+      ( "DEMOD",
+        Behavior.make (fun ctx ->
+            let d = Fir.fm_demodulate (block_of ctx) in
+            (* keep the block length stable *)
+            let out =
+              if Array.length d = block then d
+              else
+                Array.init block (fun i ->
+                    if i < Array.length d then d.(i) else 0.0)
+            in
+            emit ctx out) );
+      ( "SPLIT",
+        Behavior.make (fun ctx ->
+            let b = block_of ctx in
+            emit ctx b) );
+      ( "COMB",
+        Behavior.make (fun ctx ->
+            let sum = Array.make block 0.0 in
+            List.iter
+              (fun (_, toks) ->
+                List.iter
+                  (fun t ->
+                    match t with
+                    | Token.Data (Block b) ->
+                        Array.iteri (fun i v -> sum.(i) <- sum.(i) +. v) b
+                    | _ -> failwith "COMB: bad token")
+                  toks)
+              ctx.Behavior.inputs;
+            emit ctx sum) );
+      ( "SNK",
+        Behavior.sink (fun ctx ->
+            match block_of ctx with
+            | b ->
+                Array.iter
+                  (fun v ->
+                    power := !power +. (v *. v);
+                    incr count)
+                  b) );
+    ]
+    @ List.init bands (fun i ->
+          ( band_name i,
+            Behavior.make (fun ctx ->
+                emit ctx (Fir.apply band_taps.(i) (block_of ctx))) ))
+  in
+  let suppressed =
+    List.filter (fun i -> not (List.mem i active)) (List.init bands (fun i -> i))
+  in
+  let targets = List.map (fun i -> (band_name i, 0)) suppressed in
+  let eng =
+    Engine.create ~graph:g ~valuation:Valuation.empty ~behaviors ~default:Sig ()
+  in
+  let stats = Engine.run ~iterations ~targets eng in
+  {
+    samples = !count;
+    output_power = (if !count = 0 then 0.0 else !power /. float_of_int !count);
+    firings = stats.Engine.firings;
+  }

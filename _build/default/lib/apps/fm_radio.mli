@@ -1,0 +1,56 @@
+(** StreamIt-style FM radio with a reconfigurable equalizer (§V).
+
+    The paper argues that StreamIt benchmarks such as FM Radio perform
+    redundant calculations that dynamic-topology models avoid: the
+    equalizer is a bank of band-pass branches, and depending on the
+    listening profile only a subset contributes to the output.  A CSDF
+    implementation must compute every band each iteration; the TPDF version
+    steers a Select-duplicate / Transaction pair with a control actor and
+    only the selected bands fire.
+
+    Pipeline: SRC → LPF → DEMOD → SPLIT → band{_0} … band{_n-1} → COMB →
+    SNK, with control actor CTL driving SPLIT and COMB. *)
+
+open Tpdf_param
+
+type profile = Speech | Music
+(** Speech uses the lower half of the bands, Music all of them. *)
+
+val profile_mode : profile -> string
+val bands_for : profile -> total:int -> int list
+(** Indices of the active bands. *)
+
+val graph : ?bands:int -> unit -> Tpdf_core.Graph.t
+(** TPDF graph with the given number of equalizer bands (default 8). *)
+
+val csdf_graph : ?bands:int -> unit -> Tpdf_core.Graph.t
+(** Static baseline: no control actor, all bands always computed. *)
+
+type comparison = {
+  profile : profile;
+  bands : int;
+  tpdf_band_firings : int;  (** equalizer-band firings per iteration *)
+  csdf_band_firings : int;
+  tpdf_makespan_ms : float;  (** list-scheduled on the same platform *)
+  csdf_makespan_ms : float;
+  tpdf_buffers : int;
+  csdf_buffers : int;
+}
+
+val compare_profiles :
+  ?bands:int -> ?pes:int -> profile -> comparison
+(** Schedules one iteration of both variants on a [pes]-PE platform
+    (default 4) with a band-firing cost model, and compares the work, the
+    makespan and the buffer totals.  In Speech profile TPDF skips half the
+    bands; in Music profile the two coincide. *)
+
+type audio_report = { samples : int; output_power : float; firings : (string * int) list }
+
+val run_audio :
+  ?seed:int -> ?block:int -> profile -> iterations:int -> audio_report
+(** Functional run: synthesize an FM-modulated multi-tone signal, push it
+    through the TPDF graph and report the demodulated, equalized output
+    power (must be positive — the pipeline really processes audio). *)
+
+val valuation : Valuation.t
+(** The (empty) valuation — the FM graph has constant rates. *)

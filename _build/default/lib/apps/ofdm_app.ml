@@ -1,0 +1,326 @@
+open Tpdf_core
+open Tpdf_sim
+open Tpdf_param
+open Tpdf_dsp
+open Tpdf_util
+module Csdf = Tpdf_csdf
+
+type token =
+  | Samp of Complex.t
+  | Freq of Complex.t
+  | Bit of int
+  | Sym of int array
+  | M_signal of int
+
+type ids = {
+  src_con : int;
+  src_rcp : int;
+  rcp_fft : int;
+  fft_dup : int;
+  dup_qpsk : int;
+  dup_qam : int;
+  qpsk_tran : int;
+  qam_tran : int;
+  tran_snk : int;
+  con_dup : int;
+  con_tran : int;
+}
+
+let r1 = Csdf.Graph.const_rates [ 1 ]
+let rs s = Csdf.Graph.rates [ s ]
+
+let chain_actors g =
+  Graph.add_kernel g "SRC";
+  Graph.add_kernel g "RCP";
+  Graph.add_kernel g "FFT";
+  Graph.add_kernel g ~kind:Graph.Select_duplicate "DUP";
+  Graph.add_kernel g "QPSK";
+  Graph.add_kernel g "QAM";
+  Graph.add_kernel g ~kind:Graph.Transaction "TRAN";
+  Graph.add_kernel g "SNK"
+
+let chain_channels g =
+  let src_rcp =
+    Graph.add_channel g ~src:"SRC" ~dst:"RCP" ~prod:(rs "beta*(N+L)")
+      ~cons:(rs "beta*(N+L)") ()
+  in
+  let rcp_fft =
+    Graph.add_channel g ~src:"RCP" ~dst:"FFT" ~prod:(rs "beta*N")
+      ~cons:(rs "beta*N") ()
+  in
+  let fft_dup =
+    Graph.add_channel g ~src:"FFT" ~dst:"DUP" ~prod:(rs "beta*N")
+      ~cons:(rs "beta*N") ()
+  in
+  let dup_qpsk =
+    Graph.add_channel g ~src:"DUP" ~dst:"QPSK" ~prod:(rs "beta*N")
+      ~cons:(rs "beta*N") ()
+  in
+  let dup_qam =
+    Graph.add_channel g ~src:"DUP" ~dst:"QAM" ~prod:(rs "beta*N")
+      ~cons:(rs "beta*N") ()
+  in
+  let qpsk_tran =
+    Graph.add_channel g ~src:"QPSK" ~dst:"TRAN" ~prod:(rs "2*beta*N")
+      ~cons:(rs "2*beta*N") ()
+  in
+  let qam_tran =
+    Graph.add_channel g ~src:"QAM" ~dst:"TRAN" ~prod:(rs "4*beta*N")
+      ~cons:(rs "4*beta*N") ()
+  in
+  (src_rcp, rcp_fft, fft_dup, dup_qpsk, dup_qam, qpsk_tran, qam_tran)
+
+let tpdf_graph () =
+  let g = Graph.create () in
+  chain_actors g;
+  Graph.add_control g "CON";
+  let src_con = Graph.add_channel g ~src:"SRC" ~dst:"CON" ~prod:r1 ~cons:r1 () in
+  let src_rcp, rcp_fft, fft_dup, dup_qpsk, dup_qam, qpsk_tran, qam_tran =
+    chain_channels g
+  in
+  let tran_snk =
+    Graph.add_channel g ~src:"TRAN" ~dst:"SNK" ~prod:(rs "beta*N")
+      ~cons:(rs "beta*N") ()
+  in
+  let con_dup =
+    Graph.add_control_channel g ~src:"CON" ~dst:"DUP" ~prod:r1 ~cons:r1 ()
+  in
+  let con_tran =
+    Graph.add_control_channel g ~src:"CON" ~dst:"TRAN" ~prod:r1 ~cons:r1 ()
+  in
+  Graph.set_modes g "DUP"
+    [
+      Mode.make ~outputs:(Mode.Output_subset [ dup_qpsk ]) "qpsk";
+      Mode.make ~outputs:(Mode.Output_subset [ dup_qam ]) "qam";
+    ];
+  Graph.set_modes g "TRAN"
+    [
+      Mode.make ~inputs:(Mode.Input_subset [ qpsk_tran ]) "qpsk";
+      Mode.make ~inputs:(Mode.Input_subset [ qam_tran ]) "qam";
+    ];
+  ( g,
+    {
+      src_con;
+      src_rcp;
+      rcp_fft;
+      fft_dup;
+      dup_qpsk;
+      dup_qam;
+      qpsk_tran;
+      qam_tran;
+      tran_snk;
+      con_dup;
+      con_tran;
+    } )
+
+let csdf_graph () =
+  let g = Graph.create () in
+  chain_actors g;
+  let src_rcp, rcp_fft, fft_dup, dup_qpsk, dup_qam, qpsk_tran, qam_tran =
+    chain_channels g
+  in
+  (* No control: the selection stage must carry both demapped streams. *)
+  let tran_snk =
+    Graph.add_channel g ~src:"TRAN" ~dst:"SNK" ~prod:(rs "6*beta*N")
+      ~cons:(rs "6*beta*N") ()
+  in
+  ( g,
+    {
+      src_con = -1;
+      src_rcp;
+      rcp_fft;
+      fft_dup;
+      dup_qpsk;
+      dup_qam;
+      qpsk_tran;
+      qam_tran;
+      tran_snk;
+      con_dup = -1;
+      con_tran = -1;
+    } )
+
+let valuation ~beta ~n ~l =
+  Valuation.of_list [ ("beta", beta); ("N", n); ("L", l) ]
+
+let scenario_qpsk = [ ("DUP", "qpsk"); ("TRAN", "qpsk") ]
+let scenario_qam = [ ("DUP", "qam"); ("TRAN", "qam") ]
+
+let tpdf_buffers ~beta ~n ~l =
+  let g, _ = tpdf_graph () in
+  Buffers.worst_case g (valuation ~beta ~n ~l)
+    ~scenarios:[ scenario_qpsk; scenario_qam ]
+
+let csdf_buffers ~beta ~n ~l =
+  let g, _ = csdf_graph () in
+  Buffers.csdf_equivalent g (valuation ~beta ~n ~l)
+
+let tpdf_buffer_formula ~beta ~n ~l = 3 + (beta * ((12 * n) + l))
+
+let csdf_buffer_formula ~beta ~n ~l = beta * ((17 * n) + l)
+
+(* ------------------------------------------------------------------ *)
+(* Functional link simulation                                          *)
+(* ------------------------------------------------------------------ *)
+
+type link_report = {
+  sent_bits : int;
+  ber : float;
+  firings : (string * int) list;
+  max_occupancy_total : int;
+}
+
+let chunk arr size =
+  let n = Array.length arr in
+  assert (n mod size = 0);
+  List.init (n / size) (fun i -> Array.sub arr (i * size) size)
+
+let data_tokens mk arr = List.map (fun v -> Token.Data (mk v)) (Array.to_list arr)
+
+let run_link ?(seed = 1234) ?(snr_db = None) ~beta ~n ~l ~m ~iterations () =
+  let scheme = Modulation.scheme_of_m m in
+  let k = Modulation.bits_per_symbol scheme in
+  let cfg = Ofdm.config ~n ~l in
+  let rng = Prng.create seed in
+  let total_syms = iterations * beta in
+  let bits = Array.init (total_syms * n * k) (fun _ -> Prng.int rng 2) in
+  let stream, sent = Ofdm.transmit_bits cfg scheme bits in
+  let stream =
+    match snr_db with
+    | None -> stream
+    | Some snr -> Channel.awgn (Prng.create (seed + 1)) ~snr_db:snr stream
+  in
+  let g, ids = tpdf_graph () in
+  let sps = n + l in
+  let per_firing = beta * sps in
+  let received = ref [] in
+  let input_data ctx =
+    Array.of_list
+      (List.concat_map
+         (fun (_, toks) -> List.map Token.data toks)
+         ctx.Behavior.inputs)
+  in
+  let behaviors =
+    [
+      ( "SRC",
+        Behavior.make (fun ctx ->
+            let i = ctx.Behavior.index in
+            let slice = Array.sub stream (i * per_firing) per_firing in
+            List.map
+              (fun (ch, rate) ->
+                if ch = ids.src_con then
+                  (ch, List.init rate (fun _ -> Token.Data (M_signal m)))
+                else begin
+                  assert (rate = per_firing);
+                  (ch, data_tokens (fun c -> Samp c) slice)
+                end)
+              ctx.Behavior.out_rates) );
+      ( "CON",
+        Behavior.emit_mode (fun ctx ->
+            match input_data ctx with
+            | [| M_signal 2 |] -> "qpsk"
+            | [| M_signal 4 |] -> "qam"
+            | _ -> failwith "CON expects one M_signal token") );
+      ( "RCP",
+        Behavior.make (fun ctx ->
+            let samples =
+              Array.map (function Samp c -> c | _ -> failwith "RCP: bad token")
+                (input_data ctx)
+            in
+            let out =
+              Array.concat
+                (List.map (Ofdm.remove_cyclic_prefix cfg) (chunk samples sps))
+            in
+            List.map
+              (fun (ch, rate) ->
+                assert (rate = Array.length out);
+                (ch, data_tokens (fun c -> Samp c) out))
+              ctx.Behavior.out_rates) );
+      ( "FFT",
+        Behavior.make (fun ctx ->
+            let samples =
+              Array.map (function Samp c -> c | _ -> failwith "FFT: bad token")
+                (input_data ctx)
+            in
+            let out = Array.concat (List.map Fft.fft (chunk samples n)) in
+            List.map
+              (fun (ch, rate) ->
+                assert (rate = Array.length out);
+                (ch, data_tokens (fun c -> Freq c) out))
+              ctx.Behavior.out_rates) );
+      ( "DUP",
+        Behavior.make (fun ctx ->
+            let toks =
+              List.concat_map (fun (_, l) -> l) ctx.Behavior.inputs
+            in
+            List.filter_map
+              (fun (ch, rate) ->
+                if rate = 0 then None
+                else begin
+                  assert (rate = List.length toks);
+                  Some (ch, toks)
+                end)
+              ctx.Behavior.out_rates) );
+      ( "QPSK",
+        Behavior.make (fun ctx ->
+            let freq =
+              Array.map (function Freq c -> c | _ -> failwith "QPSK: bad token")
+                (input_data ctx)
+            in
+            let out = Modulation.demodulate Modulation.Qpsk freq in
+            List.map
+              (fun (ch, rate) ->
+                assert (rate = Array.length out);
+                (ch, data_tokens (fun b -> Bit b) out))
+              ctx.Behavior.out_rates) );
+      ( "QAM",
+        Behavior.make (fun ctx ->
+            let freq =
+              Array.map (function Freq c -> c | _ -> failwith "QAM: bad token")
+                (input_data ctx)
+            in
+            let out = Modulation.demodulate Modulation.Qam16 freq in
+            List.map
+              (fun (ch, rate) ->
+                assert (rate = Array.length out);
+                (ch, data_tokens (fun b -> Bit b) out))
+              ctx.Behavior.out_rates) );
+      ( "TRAN",
+        Behavior.make (fun ctx ->
+            let bits =
+              Array.map (function Bit b -> b | _ -> failwith "TRAN: bad token")
+                (input_data ctx)
+            in
+            let groups = chunk bits k in
+            List.map
+              (fun (ch, rate) ->
+                assert (rate = List.length groups);
+                (ch, List.map (fun grp -> Token.Data (Sym grp)) groups))
+              ctx.Behavior.out_rates) );
+      ( "SNK",
+        Behavior.sink (fun ctx ->
+            List.iter
+              (fun (_, toks) ->
+                List.iter
+                  (fun t ->
+                    match Token.data t with
+                    | Sym grp -> received := grp :: !received
+                    | _ -> failwith "SNK: bad token")
+                  toks)
+              ctx.Behavior.inputs) );
+    ]
+  in
+  let eng =
+    Engine.create ~graph:g ~valuation:(valuation ~beta ~n ~l) ~behaviors
+      ~default:(Bit 0) ()
+  in
+  let targets = [ ((if m = 2 then "QAM" else "QPSK"), 0) ] in
+  let stats = Engine.run ~iterations ~targets eng in
+  let recovered = Array.concat (List.rev !received) in
+  let ber = Modulation.bit_error_rate ~sent ~received:recovered in
+  {
+    sent_bits = Array.length sent;
+    ber;
+    firings = stats.Engine.firings;
+    max_occupancy_total =
+      List.fold_left (fun acc (_, occ) -> acc + occ) 0 stats.Engine.max_occupancy;
+  }

@@ -1,0 +1,87 @@
+(** The runtime-reconfigurable OFDM demodulator of §IV-B (Fig. 7, Fig. 8).
+
+    The TPDF graph is SRC → RCP → FFT → DUP → {QPSK | QAM} → TRAN → SNK
+    with a control actor CON: when SRC fires it also sends CON a data token
+    carrying the current value of M; CON steers the Select-duplicate DUP
+    and the Transaction TRAN so that only the selected demapper's branch is
+    computed.  Parameters (symbolic in the graph): β — vectorization degree
+    (OFDM symbols per activation, 1…100), N — symbol length (512 or 1024),
+    L — cyclic-prefix length, M — bits per symbol (2 = QPSK, 4 = 16-QAM,
+    resolved by the control actor at run time, not a rate parameter).
+
+    The CSDF baseline cannot reconfigure: both demappers always run and the
+    selection stage must accept both streams (2βN + 4βN tokens), which is
+    precisely where the extra β·5N buffer space of Fig. 8 comes from:
+    TPDF needs 3 + β(12N+L) buffer slots, CSDF β(17N+L) — a ≈29%
+    saving. *)
+
+open Tpdf_param
+
+type token =
+  | Samp of Complex.t  (** one time-domain sample *)
+  | Freq of Complex.t  (** one frequency-domain value *)
+  | Bit of int
+  | Sym of int array  (** the demapped bits of one subcarrier *)
+  | M_signal of int  (** SRC → CON: the requested modulation order *)
+
+type ids = {
+  src_con : int;
+  src_rcp : int;
+  rcp_fft : int;
+  fft_dup : int;
+  dup_qpsk : int;
+  dup_qam : int;
+  qpsk_tran : int;
+  qam_tran : int;
+  tran_snk : int;
+  con_dup : int;  (** control *)
+  con_tran : int;  (** control *)
+}
+
+val tpdf_graph : unit -> Tpdf_core.Graph.t * ids
+(** Symbolic rates over parameters ["beta"], ["N"], ["L"]. *)
+
+val csdf_graph : unit -> Tpdf_core.Graph.t * ids
+(** Static baseline: same chain, no control actor or channels ([src_con],
+    [con_dup], [con_tran] are [-1]), TRAN consumes {e both} demapped
+    streams and forwards 6βN tokens to SNK. *)
+
+val valuation : beta:int -> n:int -> l:int -> Valuation.t
+
+val scenario_qpsk : Tpdf_core.Buffers.scenario
+val scenario_qam : Tpdf_core.Buffers.scenario
+
+val tpdf_buffers : beta:int -> n:int -> l:int -> Tpdf_csdf.Buffers.report
+(** Worst-case provisioning over the QPSK and QAM scenarios (Fig. 8's TPDF
+    series). *)
+
+val csdf_buffers : beta:int -> n:int -> l:int -> Tpdf_csdf.Buffers.report
+
+val tpdf_buffer_formula : beta:int -> n:int -> l:int -> int
+(** The paper's closed form 3 + β(12N+L). *)
+
+val csdf_buffer_formula : beta:int -> n:int -> l:int -> int
+(** The paper's closed form β(17N+L). *)
+
+type link_report = {
+  sent_bits : int;
+  ber : float;
+  firings : (string * int) list;
+  max_occupancy_total : int;
+}
+
+val run_link :
+  ?seed:int ->
+  ?snr_db:float option ->
+  beta:int ->
+  n:int ->
+  l:int ->
+  m:int ->
+  iterations:int ->
+  unit ->
+  link_report
+(** End-to-end functional simulation of the TPDF graph: a matching OFDM
+    transmitter generates the sample stream (plus optional AWGN), the graph
+    demodulates it, and the recovered bits are compared with the
+    transmitted ones.  Noiseless runs must achieve BER = 0.
+    @raise Invalid_argument on m ∉ {2,4}. *)

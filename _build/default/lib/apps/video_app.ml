@@ -1,0 +1,168 @@
+open Tpdf_core
+open Tpdf_sim
+open Tpdf_param
+open Tpdf_image
+module Csdf = Tpdf_csdf
+
+type estimator = Zero_mv | Tss | Full_search
+
+let estimator_name = function
+  | Zero_mv -> "zero_mv"
+  | Tss -> "tss"
+  | Full_search -> "full_search"
+
+let quality_rank = function Zero_mv -> 1 | Tss -> 2 | Full_search -> 3
+
+let all_estimators = [ Zero_mv; Tss; Full_search ]
+
+let kind_of = function Zero_mv -> `Zero | Tss -> `Tss | Full_search -> `Full
+
+(* ~25 ns per SAD pixel operation, in milliseconds. *)
+let model_duration_ms est ~size ~block ~range =
+  let blocks = size / block * (size / block) in
+  let ops = Motion.estimate_cost_ops (kind_of est) ~block ~range * blocks in
+  float_of_int ops *. 25.0e-6
+
+let estimate est ~block ~range ~reference current =
+  match est with
+  | Zero_mv -> Motion.zero_motion ~block ~reference current
+  | Tss -> Motion.three_step_search ~block ~range ~reference current
+  | Full_search -> Motion.full_search ~block ~range ~reference current
+
+type token =
+  | Pair of Image.t * Image.t  (** reference, current *)
+  | Field of estimator * Motion.field * Image.t * Image.t
+  | Encoded of estimator * float
+  | Sig
+
+let one = Csdf.Graph.const_rates [ 1 ]
+
+let graph ?(deadline_ms = 40.0) () =
+  let g = Graph.create () in
+  Graph.add_kernel g "VRead";
+  Graph.add_kernel g ~kind:Graph.Select_duplicate "MDup";
+  List.iter (fun e -> Graph.add_kernel g (estimator_name e)) all_estimators;
+  Graph.add_kernel g ~kind:Graph.Transaction "MTrans";
+  Graph.add_kernel g "Encode";
+  Graph.add_kernel g "VWrite";
+  Graph.add_control g ~clock_period_ms:deadline_ms "QClock";
+  ignore (Graph.add_channel g ~src:"VRead" ~dst:"MDup" ~prod:one ~cons:one ());
+  List.iter
+    (fun e ->
+      ignore
+        (Graph.add_channel g ~src:"MDup" ~dst:(estimator_name e) ~prod:one
+           ~cons:one ()))
+    all_estimators;
+  List.iter
+    (fun e ->
+      ignore
+        (Graph.add_channel g ~src:(estimator_name e) ~dst:"MTrans" ~prod:one
+           ~cons:one ~priority:(quality_rank e) ()))
+    all_estimators;
+  ignore (Graph.add_channel g ~src:"MTrans" ~dst:"Encode" ~prod:one ~cons:one ());
+  ignore (Graph.add_channel g ~src:"Encode" ~dst:"VWrite" ~prod:one ~cons:one ());
+  ignore
+    (Graph.add_control_channel g ~src:"QClock" ~dst:"MTrans" ~prod:one ~cons:one ());
+  Graph.set_modes g "MTrans"
+    [ Mode.make ~inputs:Mode.Highest_priority_available "deadline" ];
+  g
+
+type frame_result = { chosen : estimator; at_ms : float; residual : float }
+
+type report = { frames : frame_result list; stats : Engine.stats }
+
+let synthetic_pair ~seed ~size index =
+  let base = Synthetic.scene ~seed ~noise:0.0 ~width:size ~height:size () in
+  (* the scene translates a few pixels per frame *)
+  let shift_x = 2 + (index mod 3) and shift_y = 1 + (index mod 2) in
+  let current =
+    Image.init ~width:size ~height:size (fun x y ->
+        Image.get base (x - shift_x) (y - shift_y))
+  in
+  (base, current)
+
+let run ?(size = 128) ?(block = 16) ?(range = 7) ?(frames = 3)
+    ?(deadline_ms = 40.0) ?(seed = 3) () =
+  let g = graph ~deadline_ms () in
+  let results = ref [] in
+  let detector_behavior est =
+    Behavior.make
+      ~duration_ms:(fun _ -> model_duration_ms est ~size ~block ~range)
+      (fun ctx ->
+        match ctx.Behavior.inputs with
+        | [ (_, [ Token.Data (Pair (reference, current)) ]) ] ->
+            let field = estimate est ~block ~range ~reference current in
+            List.map
+              (fun (ch, rate) ->
+                ( ch,
+                  List.init rate (fun _ ->
+                      Token.Data (Field (est, field, reference, current))) ))
+              ctx.Behavior.out_rates
+        | _ -> failwith "estimator expects one frame pair")
+  in
+  let behaviors =
+    [
+      ( "VRead",
+        Behavior.make
+          ~duration_ms:(Behavior.const_duration 2.0)
+          (fun ctx ->
+            let reference, current =
+              synthetic_pair ~seed ~size ctx.Behavior.index
+            in
+            List.map
+              (fun (ch, rate) ->
+                (ch, List.init rate (fun _ -> Token.Data (Pair (reference, current)))))
+              ctx.Behavior.out_rates) );
+      ( "MDup",
+        Behavior.make
+          ~duration_ms:(Behavior.const_duration 0.2)
+          (fun ctx ->
+            match ctx.Behavior.inputs with
+            | [ (_, [ tok ]) ] ->
+                List.map
+                  (fun (ch, rate) -> (ch, List.init rate (fun _ -> tok)))
+                  ctx.Behavior.out_rates
+            | _ -> failwith "MDup expects one token") );
+      ( "MTrans",
+        Patterns.forward_selected ~duration_ms:(Behavior.const_duration 0.1) () );
+      ( "Encode",
+        Behavior.make
+          ~duration_ms:(Behavior.const_duration 1.5)
+          (fun ctx ->
+            match ctx.Behavior.inputs with
+            | [ (_, [ Token.Data (Field (est, field, reference, current)) ]) ]
+              ->
+                let prediction = Motion.compensate ~reference field in
+                let residual = Motion.residual_energy ~current ~prediction in
+                List.map
+                  (fun (ch, rate) ->
+                    (ch, List.init rate (fun _ -> Token.Data (Encoded (est, residual)))))
+                  ctx.Behavior.out_rates
+            | _ -> failwith "Encode expects one motion field") );
+      ( "VWrite",
+        Behavior.sink (fun ctx ->
+            match ctx.Behavior.inputs with
+            | [ (_, [ Token.Data (Encoded (est, residual)) ]) ] ->
+                results :=
+                  { chosen = est; at_ms = ctx.Behavior.now_ms; residual }
+                  :: !results
+            | _ -> failwith "VWrite expects one encoded frame") );
+      ("QClock", Behavior.emit_mode (fun _ -> "deadline"));
+    ]
+    @ List.map (fun e -> (estimator_name e, detector_behavior e)) all_estimators
+  in
+  let eng =
+    Engine.create ~graph:g ~valuation:Valuation.empty ~behaviors ~default:Sig ()
+  in
+  let stats = Engine.run ~iterations:frames eng in
+  { frames = List.rev !results; stats }
+
+let residual_by_estimator ?(size = 128) ?(block = 16) ?(range = 7) ?(seed = 3)
+    () =
+  let reference, current = synthetic_pair ~seed ~size 0 in
+  List.map
+    (fun est ->
+      let field = estimate est ~block ~range ~reference current in
+      let prediction = Motion.compensate ~reference field in
+      (est, Motion.residual_energy ~current ~prediction))
+    all_estimators

@@ -1,0 +1,54 @@
+(** A video-encoder front end with a quality-threshold Transaction (§V).
+
+    The paper reports improving an AVC encoder by letting a Transaction
+    kernel “choose dynamically the highest quality video available within
+    real-time constraints”.  This application reproduces that pattern on
+    the motion-estimation stage: three estimators of increasing cost and
+    quality (zero-motion, three-step search, full search) race on every
+    frame, and a clock-driven Transaction selects the best field available
+    at the deadline; the encoder stage then computes the residual of the
+    chosen prediction. *)
+
+type estimator = Zero_mv | Tss | Full_search
+
+val estimator_name : estimator -> string
+val quality_rank : estimator -> int
+(** Full > TSS > Zero. *)
+
+val model_duration_ms :
+  estimator -> size:int -> block:int -> range:int -> float
+(** Cost model proportional to SAD operations. *)
+
+type frame_result = {
+  chosen : estimator;
+  at_ms : float;
+  residual : float;  (** mean-squared prediction error of the chosen field *)
+}
+
+type report = {
+  frames : frame_result list;
+  stats : Tpdf_sim.Engine.stats;
+}
+
+val graph : ?deadline_ms:float -> unit -> Tpdf_core.Graph.t
+(** VRead → MDup → {zero_mv, tss, full_search} → MTrans (clock-fired) →
+    Encode → VWrite. *)
+
+val run :
+  ?size:int ->
+  ?block:int ->
+  ?range:int ->
+  ?frames:int ->
+  ?deadline_ms:float ->
+  ?seed:int ->
+  unit ->
+  report
+(** Synthetic video (a scene translating a few pixels per frame plus
+    noise); defaults: 128×128, block 16, range 7, 3 frames, 40 ms
+    deadline, model timing. *)
+
+val residual_by_estimator :
+  ?size:int -> ?block:int -> ?range:int -> ?seed:int -> unit ->
+  (estimator * float) list
+(** Run each estimator directly on one synthetic frame pair and report its
+    residual — the quality ordering Full ≤ TSS ≤ Zero must hold. *)

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Format Frac Graph List Liveness Printf String Symbolic Tpdf_csdf Tpdf_graph Tpdf_param Valuation

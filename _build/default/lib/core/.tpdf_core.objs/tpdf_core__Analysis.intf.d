@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Format Frac Graph Poly Tpdf_csdf Tpdf_param Valuation

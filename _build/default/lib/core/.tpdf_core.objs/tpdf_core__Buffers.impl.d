@@ -1,0 +1,1 @@
+lib/core/buffers.ml: Graph Hashtbl List Mode Printf String Tpdf_csdf Tpdf_graph

@@ -1,0 +1,1 @@
+lib/core/buffers.mli: Graph Tpdf_csdf Tpdf_param Valuation

@@ -1,0 +1,1 @@
+lib/core/examples.ml: Graph Mode Tpdf_csdf

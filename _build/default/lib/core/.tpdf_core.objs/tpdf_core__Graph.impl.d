@@ -1,0 +1,1 @@
+lib/core/graph.ml: Array Format Hashtbl List Mode Poly Printf String Tpdf_csdf Tpdf_graph Tpdf_param Tpdf_util

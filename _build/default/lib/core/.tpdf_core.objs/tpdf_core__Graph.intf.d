@@ -1,0 +1,1 @@
+lib/core/graph.mli: Format Mode Poly Tpdf_csdf Tpdf_param

@@ -1,0 +1,1 @@
+lib/core/liveness.ml: Format Frac Graph Intmath List Printf String Symbolic Tpdf_csdf Tpdf_graph Tpdf_param Tpdf_util Valuation

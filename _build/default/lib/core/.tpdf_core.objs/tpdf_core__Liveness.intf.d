@@ -1,0 +1,1 @@
+lib/core/liveness.mli: Format Graph Tpdf_csdf Tpdf_param Valuation

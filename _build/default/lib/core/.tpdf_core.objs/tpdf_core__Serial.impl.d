@@ -1,0 +1,1 @@
+lib/core/serial.ml: Array Buffer Expr Format Fun Graph Hashtbl In_channel List Mode Poly Printf String Tpdf_csdf Tpdf_graph Tpdf_param

@@ -1,0 +1,1 @@
+lib/core/symbolic.ml: Array Frac List Poly Q Tpdf_csdf Tpdf_param Tpdf_util

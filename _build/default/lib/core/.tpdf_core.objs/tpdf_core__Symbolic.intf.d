@@ -1,0 +1,1 @@
+lib/core/symbolic.mli: Frac Poly Tpdf_csdf Tpdf_param

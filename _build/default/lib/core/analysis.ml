@@ -1,0 +1,189 @@
+open Tpdf_param
+module Csdf = Tpdf_csdf
+module Digraph = Tpdf_graph.Digraph
+
+let repetition g = Csdf.Repetition.solve (Graph.skeleton g)
+
+let consistent g = Csdf.Repetition.is_consistent (Graph.skeleton g)
+
+type area = {
+  control : string;
+  predecessors : string list;
+  successors : string list;
+  influenced : string list;
+  members : string list;
+}
+
+let control_area g ctrl =
+  if not (Graph.is_control g ctrl) then
+    invalid_arg
+      (Printf.sprintf "Analysis.control_area: %s is not a control actor" ctrl);
+  let dg = Csdf.Graph.digraph (Graph.skeleton g) in
+  let prec = Digraph.pred dg ctrl and succ = Digraph.succ dg ctrl in
+  let union_map f l =
+    List.sort_uniq compare (List.concat_map f l)
+  in
+  let succ_of_prec = union_map (Digraph.succ dg) prec in
+  let prec_of_succ = union_map (Digraph.pred dg) succ in
+  let influenced =
+    List.filter
+      (fun a -> a <> ctrl && List.mem a prec_of_succ)
+      succ_of_prec
+  in
+  let members =
+    List.sort_uniq compare (prec @ succ @ influenced)
+  in
+  {
+    control = ctrl;
+    predecessors = List.sort compare prec;
+    successors = List.sort compare succ;
+    influenced = List.sort compare influenced;
+    members;
+  }
+
+let areas g = List.map (control_area g) (Graph.control_actors g)
+
+let local_scaling _g rep members = Symbolic.local_scaling rep members
+
+let local_solution _g (rep : Csdf.Repetition.t) members =
+  let q_g = Symbolic.local_scaling rep members in
+  List.map
+    (fun a ->
+      ( a,
+        Frac.div
+          (Frac.of_poly (List.assoc a rep.Csdf.Repetition.q))
+          (Frac.of_poly q_g) ))
+    members
+
+let cumulative_symbolic = Symbolic.cumulative_symbolic
+
+type violation = { control : string; channel : int; reason : string }
+
+let check_control g rep ctrl =
+  let skel = Graph.skeleton g in
+  let area = control_area g ctrl in
+  let q_g = Symbolic.local_scaling rep area.members in
+  let local a =
+    Frac.div
+      (Frac.of_poly (List.assoc a rep.Csdf.Repetition.q))
+      (Frac.of_poly q_g)
+  in
+  let violations = ref [] in
+  let fail channel fmt =
+    Format.kasprintf
+      (fun reason -> violations := { control = ctrl; channel; reason } :: !violations)
+      fmt
+  in
+  (* The control actor must fire exactly once per local iteration. *)
+  let q_ctrl = List.assoc ctrl rep.Csdf.Repetition.q in
+  let tau_ctrl = Csdf.Graph.phases skel ctrl in
+  let fires_per_local =
+    Frac.div
+      (Frac.of_poly q_ctrl)
+      (Frac.mul (Frac.of_int tau_ctrl) (Frac.of_poly q_g))
+  in
+  if not (Frac.equal fires_per_local Frac.one) then
+    fail (-1) "control actor fires %a times per local iteration, expected 1"
+      Frac.pp fires_per_local;
+  (* Equation (9) on every channel between the control actor and its area. *)
+  let check_channel (e : (string, Csdf.Graph.channel) Digraph.edge) =
+    if e.src = ctrl && List.mem e.dst area.members then begin
+      (* g produces: X_g(1) = Y_i(qL_i) *)
+      let lhs = Frac.of_poly e.label.prod.(0) in
+      match Symbolic.cumulative_symbolic e.label.cons (local e.dst) with
+      | None ->
+          fail e.id
+            "cannot evaluate consumption of %s over %a firings symbolically"
+            e.dst Frac.pp (local e.dst)
+      | Some rhs ->
+          if not (Frac.equal lhs rhs) then
+            fail e.id "X_%s(1) = %a but Y_%s(q^L) = %a" ctrl Frac.pp lhs e.dst
+              Frac.pp rhs
+    end
+    else if e.dst = ctrl && List.mem e.src area.members then begin
+      (* g consumes: Y_g(1) = X_i(qL_i) *)
+      let lhs = Frac.of_poly e.label.cons.(0) in
+      match Symbolic.cumulative_symbolic e.label.prod (local e.src) with
+      | None ->
+          fail e.id
+            "cannot evaluate production of %s over %a firings symbolically"
+            e.src Frac.pp (local e.src)
+      | Some rhs ->
+          if not (Frac.equal lhs rhs) then
+            fail e.id "Y_%s(1) = %a but X_%s(q^L) = %a" ctrl Frac.pp lhs e.src
+              Frac.pp rhs
+    end
+  in
+  List.iter check_channel (Csdf.Graph.channels skel);
+  List.rev !violations
+
+let rate_safety g =
+  match repetition g with
+  | exception Csdf.Repetition.Inconsistent msg ->
+      Error [ { control = "-"; channel = -1; reason = "inconsistent: " ^ msg } ]
+  | exception Csdf.Repetition.Disconnected ->
+      Error [ { control = "-"; channel = -1; reason = "graph is disconnected" } ]
+  | rep -> (
+      match List.concat_map (check_control g rep) (Graph.control_actors g) with
+      | [] -> Ok ()
+      | l -> Error l)
+
+let rate_safe g = match rate_safety g with Ok () -> true | Error _ -> false
+
+type boundedness = {
+  consistent : bool;
+  rate_safe : bool;
+  live : bool;
+  bounded : bool;
+  notes : string list;
+}
+
+let check_boundedness g ~samples =
+  let notes = ref [] in
+  let note fmt = Format.kasprintf (fun s -> notes := s :: !notes) fmt in
+  let consistent =
+    match repetition g with
+    | _ -> true
+    | exception Csdf.Repetition.Inconsistent msg ->
+        note "inconsistent: %s" msg;
+        false
+    | exception Csdf.Repetition.Disconnected ->
+        note "disconnected";
+        false
+  in
+  let safe =
+    if not consistent then false
+    else
+      match rate_safety g with
+      | Ok () -> true
+      | Error vs ->
+          List.iter
+            (fun v -> note "rate safety (%s, e%d): %s" v.control v.channel v.reason)
+            vs;
+          false
+  in
+  let live =
+    consistent
+    && List.for_all
+         (fun v ->
+           let r = Liveness.check g v in
+           if not r.Liveness.live then
+             note "deadlock under %a (stuck: %s)" Valuation.pp v
+               (String.concat ", " r.Liveness.stuck);
+           r.Liveness.live)
+         samples
+  in
+  {
+    consistent;
+    rate_safe = safe;
+    live;
+    bounded = consistent && safe && live;
+    notes = List.rev !notes;
+  }
+
+let pp_area ppf (a : area) =
+  Format.fprintf ppf "Area(%s) = {%s} (prec: %s; succ: %s; infl: %s)" a.control
+    (String.concat ", " a.members)
+    (String.concat ", " a.predecessors)
+    (String.concat ", " a.successors)
+    (String.concat ", " a.influenced)

@@ -1,0 +1,76 @@
+(** Static analyses of TPDF graphs (§III of the paper).
+
+    - {b Rate consistency} (§III-A): the balance equations of the full
+      skeleton (all channels present, parametric rates) must admit a
+      non-trivial solution; removing channels only removes equations, so
+      consistency of the skeleton implies consistency of every runtime
+      configuration.
+    - {b Control areas} (Definition 3) and {b local solutions}
+      (Definition 4) delimit the region a control actor reconfigures and
+      how many firings of each member make up one local iteration.
+    - {b Rate safety} (Definition 5): each control actor fires exactly once
+      per local iteration of its area, which makes reconfiguration safe and
+      (with consistency and liveness) yields boundedness (Theorem 2). *)
+
+open Tpdf_param
+
+val repetition : Graph.t -> Tpdf_csdf.Repetition.t
+(** Symbolic repetition vector of the skeleton.
+    @raise Tpdf_csdf.Repetition.Inconsistent / Disconnected. *)
+
+val consistent : Graph.t -> bool
+
+type area = {
+  control : string;
+  predecessors : string list;  (** prec(g) *)
+  successors : string list;  (** succ(g) *)
+  influenced : string list;  (** infl(g) = succ(prec g) ∩ prec(succ g) \ g *)
+  members : string list;  (** the union, sorted — Area(g) *)
+}
+
+val control_area : Graph.t -> string -> area
+(** @raise Invalid_argument if the actor is not a control actor. *)
+
+val areas : Graph.t -> area list
+(** One per control actor. *)
+
+val local_scaling : Graph.t -> Tpdf_csdf.Repetition.t -> string list -> Poly.t
+(** q{_G}(Z) of Definition 4: the greatest common divisor of the cycle
+    counts q{_ai}/τ{_i} over the subset.  Symbolic GCD is computed on
+    numeric content and parameter powers (exact for monomial entries, a
+    valid common divisor otherwise). *)
+
+val local_solution :
+  Graph.t -> Tpdf_csdf.Repetition.t -> string list -> (string * Frac.t) list
+(** q{^L}{_ai} = q{_ai} / q{_G}(Z) for each member of the subset
+    (Definition 4). *)
+
+val cumulative_symbolic : Poly.t array -> Frac.t -> Frac.t option
+(** [cumulative_symbolic rates n]: total tokens over the first [n] firings
+    of a cyclic rate sequence, when it can be expressed symbolically —
+    either [n] is a multiple of the sequence length, all phase rates are
+    equal, or [n] is a concrete integer.  [None] otherwise. *)
+
+type violation = { control : string; channel : int; reason : string }
+
+val rate_safety : Graph.t -> (unit, violation list) result
+(** Definition 5, checked for every control actor over every channel that
+    connects it to its area. *)
+
+val rate_safe : Graph.t -> bool
+
+type boundedness = {
+  consistent : bool;
+  rate_safe : bool;
+  live : bool;
+  bounded : bool;  (** the conjunction — Theorem 2 *)
+  notes : string list;
+}
+
+val check_boundedness : Graph.t -> samples:Valuation.t list -> boundedness
+(** Theorem 2: a rate consistent, safe and live TPDF graph returns to its
+    initial state at the end of each iteration and can run in bounded
+    memory.  Liveness is validated on the sample valuations (the paper's
+    inductive argument over parameter values). *)
+
+val pp_area : Format.formatter -> area -> unit

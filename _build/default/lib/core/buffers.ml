@@ -1,0 +1,85 @@
+module Csdf = Tpdf_csdf
+
+type scenario = (string * string) list
+
+let active_channels g scenario =
+  let mode_of kernel =
+    match List.assoc_opt kernel scenario with
+    | None -> None
+    | Some name -> (
+        match Graph.find_mode g kernel name with
+        | m -> Some m
+        | exception Not_found ->
+            invalid_arg
+              (Printf.sprintf "Buffers.active_channels: kernel %s has no mode %s"
+                 kernel name))
+  in
+  (* Resolve once per scenario, not per query. *)
+  let cache = Hashtbl.create 16 in
+  List.iter
+    (fun (k, _) ->
+      if not (Csdf.Graph.mem_actor (Graph.skeleton g) k) then
+        invalid_arg
+          (Printf.sprintf "Buffers.active_channels: unknown kernel %s" k);
+      Hashtbl.replace cache k (mode_of k))
+    scenario;
+  fun id ->
+    Graph.is_control_channel g id
+    ||
+    let e = Csdf.Graph.channel (Graph.skeleton g) id in
+    let src_ok =
+      match Hashtbl.find_opt cache e.src with
+      | Some (Some m) -> Mode.output_may_be_active m id
+      | _ -> true
+    in
+    let dst_ok =
+      match Hashtbl.find_opt cache e.dst with
+      | Some (Some m) -> Mode.input_statically_active m id
+      | _ -> true
+    in
+    src_ok && dst_ok
+
+let analyze ?(policy = Csdf.Schedule.Min_buffer) g valuation ~scenario =
+  let skel = Graph.skeleton g in
+  let conc = Csdf.Concrete.make skel valuation in
+  let act = active_channels g scenario in
+  match Csdf.Schedule.run ~policy ~active_channel:act conc with
+  | Csdf.Schedule.Deadlock { stuck; _ } ->
+      failwith
+        (Printf.sprintf "Tpdf.Buffers.analyze: deadlock (stuck: %s)"
+           (String.concat ", " stuck))
+  | Csdf.Schedule.Complete t ->
+      {
+        Csdf.Buffers.per_channel = t.max_occupancy;
+        total = List.fold_left (fun acc (_, n) -> acc + n) 0 t.max_occupancy;
+      }
+
+let worst_case ?policy g valuation ~scenarios =
+  if scenarios = [] then invalid_arg "Buffers.worst_case: no scenarios";
+  let reports = List.map (fun s -> analyze ?policy g valuation ~scenario:s) scenarios in
+  let all_channels =
+    List.map
+      (fun (e : (string, Csdf.Graph.channel) Tpdf_graph.Digraph.edge) -> e.id)
+      (Csdf.Graph.channels (Graph.skeleton g))
+  in
+  let per_channel =
+    List.map
+      (fun id ->
+        let cap =
+          List.fold_left
+            (fun acc (r : Csdf.Buffers.report) ->
+              match List.assoc_opt id r.Csdf.Buffers.per_channel with
+              | Some n -> max acc n
+              | None -> acc)
+            0 reports
+        in
+        (id, cap))
+      all_channels
+  in
+  {
+    Csdf.Buffers.per_channel;
+    total = List.fold_left (fun acc (_, n) -> acc + n) 0 per_channel;
+  }
+
+let csdf_equivalent ?(policy = Csdf.Schedule.Min_buffer) g valuation =
+  analyze ~policy g valuation ~scenario:[]

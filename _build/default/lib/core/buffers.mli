@@ -1,0 +1,52 @@
+(** Scenario-based buffer-size analysis for TPDF graphs.
+
+    The dynamic topology of TPDF lets a control decision remove channels
+    from an iteration: tokens are simply never produced on (or are rejected
+    from) the branches a mode does not select.  The minimum buffer sizes of
+    one iteration are therefore computed on the {e reduced} topology while
+    keeping the {e unique iteration vector} of the full skeleton (§III-A).
+    This is the analysis behind Fig. 8, where the TPDF OFDM demodulator
+    needs ~29% less buffer space than its CSDF counterpart (which must keep
+    every branch alive). *)
+
+open Tpdf_param
+
+type scenario = (string * string) list
+(** One (kernel, mode name) choice per moded kernel.  Kernels absent from
+    the scenario keep all their channels active. *)
+
+val active_channels : Graph.t -> scenario -> int -> bool
+(** A channel is inactive when the chosen mode of its source kernel does
+    not produce on it, or the chosen mode of its destination kernel does
+    not read it.  Control channels are always active. *)
+
+val analyze :
+  ?policy:Tpdf_csdf.Schedule.policy ->
+  Graph.t ->
+  Valuation.t ->
+  scenario:scenario ->
+  Tpdf_csdf.Buffers.report
+(** Minimum per-channel capacities (max occupancy over one iteration) under
+    the reduced topology; default policy [Min_buffer].
+    @raise Failure on deadlock
+    @raise Invalid_argument on unknown kernels/modes in the scenario. *)
+
+val worst_case :
+  ?policy:Tpdf_csdf.Schedule.policy ->
+  Graph.t ->
+  Valuation.t ->
+  scenarios:scenario list ->
+  Tpdf_csdf.Buffers.report
+(** Buffer {e provisioning}: per-channel maximum over the given scenarios
+    (a channel must be sized for whichever mode uses it most).  Channels
+    inactive in every scenario are reported with capacity 0.  This is the
+    quantity plotted for TPDF in Fig. 8.
+    @raise Invalid_argument on an empty scenario list. *)
+
+val csdf_equivalent :
+  ?policy:Tpdf_csdf.Schedule.policy ->
+  Graph.t ->
+  Valuation.t ->
+  Tpdf_csdf.Buffers.report
+(** The CSDF baseline: every channel of the skeleton stays active (a static
+    dataflow implementation must compute every branch). *)

@@ -1,0 +1,121 @@
+module Csdf = Tpdf_csdf
+
+let r = Csdf.Graph.rates
+let c = Csdf.Graph.const_rates
+
+type fig2 = { graph : Graph.t; e : int array }
+
+let fig2 () =
+  let g = Graph.create () in
+  Graph.add_kernel g "A";
+  Graph.add_kernel g "B";
+  Graph.add_control g "C";
+  Graph.add_kernel g "D";
+  Graph.add_kernel g "E";
+  Graph.add_kernel g ~phases:2 ~kind:Graph.Transaction "F";
+  let e1 = Graph.add_channel g ~src:"A" ~dst:"B" ~prod:(r [ "p" ]) ~cons:(c [ 1 ]) () in
+  let e2 = Graph.add_channel g ~src:"B" ~dst:"C" ~prod:(c [ 1 ]) ~cons:(c [ 2 ]) () in
+  let e3 = Graph.add_channel g ~src:"B" ~dst:"D" ~prod:(c [ 1 ]) ~cons:(c [ 2 ]) () in
+  let e4 = Graph.add_channel g ~src:"B" ~dst:"E" ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) () in
+  let e5 =
+    Graph.add_control_channel g ~src:"C" ~dst:"F" ~prod:(c [ 2 ]) ~cons:(c [ 1; 1 ]) ()
+  in
+  let e6 =
+    Graph.add_channel g ~src:"D" ~dst:"F" ~prod:(c [ 2 ]) ~cons:(c [ 1; 1 ])
+      ~priority:1 ()
+  in
+  let e7 =
+    Graph.add_channel g ~src:"E" ~dst:"F" ~prod:(c [ 1 ]) ~cons:(c [ 0; 2 ])
+      ~priority:2 ()
+  in
+  Graph.set_modes g "F"
+    [
+      Mode.make ~inputs:(Mode.Input_subset [ e6 ]) "take_e6";
+      Mode.make ~inputs:(Mode.Input_subset [ e7 ]) "take_e7";
+    ];
+  { graph = g; e = [| e1; e2; e3; e4; e5; e6; e7 |] }
+
+let fig3 () =
+  let g = Graph.create () in
+  Graph.add_kernel g "A";
+  Graph.add_kernel g ~kind:Graph.Select_duplicate "B";
+  Graph.add_control g "C";
+  Graph.add_kernel g "D";
+  Graph.add_kernel g "E";
+  Graph.add_kernel g ~kind:Graph.Transaction "F";
+  let one = c [ 1 ] in
+  let _ab = Graph.add_channel g ~src:"A" ~dst:"B" ~prod:one ~cons:one () in
+  (* The data-dependent branch decision reaches the control actor C, which
+     steers both ends of the reconfigured region: the Select-duplicate B
+     (which data path receives the token) and the virtual merge F (which
+     data path to read) — keeping boundedness checkable, the point of
+     Fig. 3. *)
+  let _ac = Graph.add_channel g ~src:"A" ~dst:"C" ~prod:one ~cons:one () in
+  let bd = Graph.add_channel g ~src:"B" ~dst:"D" ~prod:one ~cons:one () in
+  let be = Graph.add_channel g ~src:"B" ~dst:"E" ~prod:one ~cons:one () in
+  let df = Graph.add_channel g ~src:"D" ~dst:"F" ~prod:one ~cons:one () in
+  let ef = Graph.add_channel g ~src:"E" ~dst:"F" ~prod:one ~cons:one () in
+  let _cb =
+    Graph.add_control_channel g ~src:"C" ~dst:"B" ~prod:one ~cons:one ()
+  in
+  let _cf =
+    Graph.add_control_channel g ~src:"C" ~dst:"F" ~prod:one ~cons:one ()
+  in
+  Graph.set_modes g "B"
+    [
+      Mode.make ~outputs:(Mode.Output_subset [ bd ]) "to_d";
+      Mode.make ~outputs:(Mode.Output_subset [ be ]) "to_e";
+    ];
+  Graph.set_modes g "F"
+    [
+      Mode.make ~inputs:(Mode.Input_subset [ df ]) "from_d";
+      Mode.make ~inputs:(Mode.Input_subset [ ef ]) "from_e";
+    ];
+  g
+
+let cycle_graph ~bc_prod ~cb_init =
+  let g = Graph.create () in
+  Graph.add_kernel g ~phases:2 "A";
+  Graph.add_kernel g ~phases:2 "B";
+  Graph.add_kernel g "C";
+  ignore
+    (Graph.add_channel g ~src:"A" ~dst:"B" ~prod:(r [ "p"; "p" ])
+       ~cons:(c [ 1; 1 ]) ());
+  ignore
+    (Graph.add_channel g ~src:"B" ~dst:"C" ~prod:(c bc_prod) ~cons:(c [ 1 ]) ());
+  ignore
+    (Graph.add_channel g ~src:"C" ~dst:"B" ~prod:(c [ 1 ]) ~cons:(c [ 1; 1 ])
+       ~init:cb_init ());
+  g
+
+let fig4a () = cycle_graph ~bc_prod:[ 0; 2 ] ~cb_init:2
+
+let fig4b () = cycle_graph ~bc_prod:[ 2; 0 ] ~cb_init:1
+
+let spdf_sample_rate () =
+  let g = Graph.create () in
+  Graph.add_kernel g "src";
+  Graph.add_kernel g "up";
+  Graph.add_kernel g "down";
+  Graph.add_kernel g "snk";
+  ignore
+    (Graph.add_channel g ~src:"src" ~dst:"up" ~prod:(r [ "1" ]) ~cons:(r [ "1" ]) ());
+  ignore
+    (Graph.add_channel g ~src:"up" ~dst:"down" ~prod:(r [ "p" ]) ~cons:(r [ "q" ]) ());
+  ignore
+    (Graph.add_channel g ~src:"down" ~dst:"snk" ~prod:(r [ "1" ]) ~cons:(r [ "1" ]) ());
+  g
+
+let unsafe_control () =
+  let g = Graph.create () in
+  Graph.add_kernel g "A";
+  Graph.add_control g ~phases:2 "C";
+  Graph.add_kernel g "F";
+  ignore
+    (Graph.add_channel g ~src:"A" ~dst:"C" ~prod:(c [ 2 ]) ~cons:(c [ 1; 1 ]) ());
+  ignore
+    (Graph.add_control_channel g ~src:"C" ~dst:"F" ~prod:(c [ 1; 1 ])
+       ~cons:(c [ 1 ]) ());
+  ignore
+    (Graph.add_channel g ~src:"A" ~dst:"F" ~prod:(c [ 2 ]) ~cons:(c [ 1 ]) ());
+  g

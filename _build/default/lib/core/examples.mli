@@ -1,0 +1,40 @@
+(** The TPDF graphs used as running examples in the paper. *)
+
+type fig2 = {
+  graph : Graph.t;
+  e : int array;
+      (** channel ids of e1…e7 (0-indexed: [e.(0)] is e1, …).  e5 is the
+          control channel C → F. *)
+}
+
+val fig2 : unit -> fig2
+(** Fig. 2: kernels A, B, D, E, F (a Transaction box) and control actor C
+    with integer parameter [p].  Repetition vector
+    [q = \[2, 2p, p, p, 2p, 2p\]]; [Area(C) = {B, D, E, F}]; F has two
+    modes: take two tokens from e6, or one token from e7 (rejecting the
+    other input). *)
+
+val fig3 : unit -> Graph.t
+(** Fig. 3: B is a Select-duplicate choosing between branches D and E.  To
+    keep boundedness checkable the paper pairs it with a (virtual) control
+    actor and merge kernel; here the control actor C reads the branch
+    decision from A and steers both B (output selection) and the merge
+    Transaction F (input selection). *)
+
+val fig4a : unit -> Graph.t
+(** Fig. 4(a): A →\[p,p\]→ B with cycle B ⇄ C, two initial tokens — live
+    with local schedule (B²C²). *)
+
+val fig4b : unit -> Graph.t
+(** Fig. 4(b): same cycle with production \[2,0\] and a single initial
+    token — live only through the late schedule (B C C B). *)
+
+val spdf_sample_rate : unit -> Graph.t
+(** An SPDF-style two-parameter pipeline (§V claims SPDF/BPDF case studies
+    replicate in TPDF without parameter-communication actors): a
+    sample-rate converter [src →(p) up →(1,q) down →(1) snk] whose stage
+    rates depend on two independent parameters. *)
+
+val unsafe_control : unit -> Graph.t
+(** A deliberately rate-unsafe graph: the control actor fires twice per
+    local iteration of its area, violating Definition 5. *)

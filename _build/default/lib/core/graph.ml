@@ -1,0 +1,231 @@
+open Tpdf_param
+module Csdf = Tpdf_csdf
+module Digraph = Tpdf_graph.Digraph
+
+type kernel_kind = Plain_kernel | Select_duplicate | Transaction
+
+type actor_kind =
+  | Kernel of kernel_kind
+  | Control of { clock_period_ms : float option }
+
+type t = {
+  skel : Csdf.Graph.t;
+  kinds : (string, actor_kind) Hashtbl.t;
+  ctrl_channels : (int, unit) Hashtbl.t;
+  ctrl_port : (string, int) Hashtbl.t; (* kernel -> its control channel *)
+  priorities : (int, int) Hashtbl.t;
+  mode_tbl : (string, Mode.t list) Hashtbl.t;
+}
+
+let create () =
+  {
+    skel = Csdf.Graph.create ();
+    kinds = Hashtbl.create 16;
+    ctrl_channels = Hashtbl.create 16;
+    ctrl_port = Hashtbl.create 16;
+    priorities = Hashtbl.create 16;
+    mode_tbl = Hashtbl.create 16;
+  }
+
+let of_csdf csdf =
+  let t = create () in
+  List.iter
+    (fun a ->
+      Csdf.Graph.add_actor t.skel a ~phases:(Csdf.Graph.phases csdf a);
+      Hashtbl.replace t.kinds a (Kernel Plain_kernel))
+    (Csdf.Graph.actors csdf);
+  List.iter
+    (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+      ignore
+        (Csdf.Graph.add_channel t.skel ~src:e.src ~dst:e.dst ~prod:e.label.prod
+           ~cons:e.label.cons ~init:e.label.init ()))
+    (Csdf.Graph.channels csdf);
+  t
+
+let add_kernel t ?(phases = 1) ?(kind = Plain_kernel) name =
+  Csdf.Graph.add_actor t.skel name ~phases;
+  Hashtbl.replace t.kinds name (Kernel kind)
+
+let add_control t ?(phases = 1) ?clock_period_ms name =
+  (match clock_period_ms with
+  | Some p when p <= 0.0 ->
+      invalid_arg "Tpdf.add_control: clock period must be positive"
+  | _ -> ());
+  Csdf.Graph.add_actor t.skel name ~phases;
+  Hashtbl.replace t.kinds name (Control { clock_period_ms })
+
+let kind t name =
+  match Hashtbl.find_opt t.kinds name with
+  | Some k -> k
+  | None -> raise Not_found
+
+let is_control t name =
+  match Hashtbl.find_opt t.kinds name with
+  | Some (Control _) -> true
+  | _ -> false
+
+let clock_period_ms t name =
+  match Hashtbl.find_opt t.kinds name with
+  | Some (Control { clock_period_ms }) -> clock_period_ms
+  | _ -> None
+
+let add_channel t ~src ~dst ~prod ~cons ?init ?(priority = 0) () =
+  let id = Csdf.Graph.add_channel t.skel ~src ~dst ~prod ~cons ?init () in
+  if priority <> 0 then Hashtbl.replace t.priorities id priority;
+  id
+
+let is_const_01 p =
+  match Poly.to_const p with
+  | Some c -> Tpdf_util.Q.equal c Tpdf_util.Q.zero || Tpdf_util.Q.equal c Tpdf_util.Q.one
+  | None -> false
+
+let add_control_channel t ~src ~dst ~prod ~cons ?init () =
+  if not (is_control t src) then
+    invalid_arg
+      (Printf.sprintf
+         "Tpdf.add_control_channel: %s is not a control actor (control \
+          channels can start only from a control actor)"
+         src);
+  if not (Array.for_all is_const_01 cons) then
+    invalid_arg
+      "Tpdf.add_control_channel: control-port consumption rates must be 0 \
+       or 1";
+  if (not (is_control t dst)) && Hashtbl.mem t.ctrl_port dst then
+    invalid_arg
+      (Printf.sprintf
+         "Tpdf.add_control_channel: kernel %s already has a control port" dst);
+  let id = Csdf.Graph.add_channel t.skel ~src ~dst ~prod ~cons ?init () in
+  Hashtbl.replace t.ctrl_channels id ();
+  if not (is_control t dst) then Hashtbl.replace t.ctrl_port dst id;
+  id
+
+let skeleton t = t.skel
+
+let actors t = Csdf.Graph.actors t.skel
+
+let kernels t =
+  List.filter (fun a -> not (is_control t a)) (actors t)
+
+let control_actors t = List.filter (is_control t) (actors t)
+
+let adjacent_channel_ids t name =
+  List.map
+    (fun (e : (string, Csdf.Graph.channel) Digraph.edge) -> e.id)
+    (Csdf.Graph.in_channels t.skel name @ Csdf.Graph.out_channels t.skel name)
+
+let set_modes t name modes =
+  if is_control t name then
+    invalid_arg
+      (Printf.sprintf "Tpdf.set_modes: %s is a control actor, not a kernel"
+         name);
+  if not (Csdf.Graph.mem_actor t.skel name) then
+    invalid_arg (Printf.sprintf "Tpdf.set_modes: unknown kernel %s" name);
+  let names = List.map (fun (m : Mode.t) -> m.Mode.name) modes in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Tpdf.set_modes: duplicate mode names";
+  let adjacent = adjacent_channel_ids t name in
+  let check_ids l =
+    List.iter
+      (fun id ->
+        if not (List.mem id adjacent) then
+          invalid_arg
+            (Printf.sprintf
+               "Tpdf.set_modes: channel e%d is not adjacent to kernel %s" id
+               name))
+      l
+  in
+  List.iter
+    (fun (m : Mode.t) ->
+      (match m.Mode.inputs with
+      | Mode.Input_subset l -> check_ids l
+      | Mode.All_inputs | Mode.Highest_priority_available -> ());
+      match m.Mode.outputs with
+      | Mode.Output_subset l -> check_ids l
+      | Mode.All_outputs -> ())
+    modes;
+  Hashtbl.replace t.mode_tbl name modes
+
+let modes t name =
+  match Hashtbl.find_opt t.mode_tbl name with
+  | Some l -> l
+  | None -> [ Mode.default ]
+
+let find_mode t kernel name =
+  List.find (fun (m : Mode.t) -> m.Mode.name = name) (modes t kernel)
+
+let control_channel_ids t =
+  List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) t.ctrl_channels [])
+
+let is_control_channel t id = Hashtbl.mem t.ctrl_channels id
+
+let data_channel_ids t =
+  List.filter_map
+    (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+      if is_control_channel t e.id then None else Some e.id)
+    (Csdf.Graph.channels t.skel)
+
+let control_port t name = Hashtbl.find_opt t.ctrl_port name
+
+let priority t id =
+  match Hashtbl.find_opt t.priorities id with Some p -> p | None -> 0
+
+let parameters t = Csdf.Graph.parameters t.skel
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  (* Kernels with declared modes need a control port to select them. *)
+  Hashtbl.iter
+    (fun kernel ms ->
+      if List.length ms > 1 && control_port t kernel = None then
+        err "kernel %s declares %d modes but has no control port" kernel
+          (List.length ms))
+    t.mode_tbl;
+  (* Clock actors are time-triggered: they must not wait for data. *)
+  List.iter
+    (fun a ->
+      match clock_period_ms t a with
+      | Some _ when Csdf.Graph.in_channels t.skel a <> [] ->
+          err "clock actor %s must not have input channels" a
+      | _ -> ())
+    (control_actors t);
+  match !errors with [] -> Ok () | l -> Error (List.rev l)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun a ->
+      let k =
+        match kind t a with
+        | Kernel Plain_kernel -> "kernel"
+        | Kernel Select_duplicate -> "select-duplicate"
+        | Kernel Transaction -> "transaction"
+        | Control { clock_period_ms = Some p } ->
+            Printf.sprintf "clock(%gms)" p
+        | Control { clock_period_ms = None } -> "control"
+      in
+      Format.fprintf ppf "%s %s (tau=%d)@," k a (Csdf.Graph.phases t.skel a))
+    (actors t);
+  List.iter
+    (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+      Format.fprintf ppf "%s e%d: %s -> %s (init=%d, alpha=%d)@,"
+        (if is_control_channel t e.id then "ctrl" else "data")
+        e.id e.src e.dst e.label.init (priority t e.id))
+    (Csdf.Graph.channels t.skel);
+  Format.fprintf ppf "@]"
+
+let pp_dot ppf t =
+  Digraph.pp_dot
+    ~vertex_name:(fun v -> v)
+    ~vertex_attrs:(fun v ->
+      match kind t v with
+      | Kernel Plain_kernel -> [ ("shape", "box") ]
+      | Kernel Select_duplicate -> [ ("shape", "box"); ("style", "rounded") ]
+      | Kernel Transaction -> [ ("shape", "box3d") ]
+      | Control _ -> [ ("shape", "ellipse") ])
+    ~edge_attrs:(fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+      let style =
+        if is_control_channel t e.id then [ ("style", "dashed") ] else []
+      in
+      ("label", Printf.sprintf "e%d" e.id) :: style)
+    ~graph_name:"tpdf" ppf (Csdf.Graph.digraph t.skel)

@@ -1,0 +1,122 @@
+(** Transaction Parameterized Dataflow graphs (Definition 2 of the paper).
+
+    A TPDF graph is the tuple (K, G, E, P, R{_k}, R{_g}, α, φ{^*}):
+    kernels [K], control actors [G], channels [E] (data and control),
+    integer parameters [P] (implicit in the symbolic rates), per-port rates
+    [R], port priorities [α] and initial channel states [φ{^*}].
+
+    Structurally it embeds a CSDF {e skeleton} — every actor with its
+    cyclic, possibly parametric, rate sequences and every channel with its
+    initial tokens — plus the TPDF-specific metadata: which actors are
+    control actors (optionally time-triggered {e clocks}), which channels
+    are control channels, channel priorities, and the mode table of each
+    kernel.  The consistency analysis of §III-A runs on the skeleton with
+    all channels present; boundedness and liveness use the metadata. *)
+
+open Tpdf_param
+
+type kernel_kind =
+  | Plain_kernel
+  | Select_duplicate
+      (** one input, n outputs; each input token is copied onto the subset
+          of outputs enabled by the current mode (§II-B.a) *)
+  | Transaction
+      (** n inputs, one output; atomically selects a predefined number of
+          tokens from one or several inputs — supports speculation,
+          redundancy with vote, highest-priority-at-deadline (§II-B.b) *)
+
+type actor_kind =
+  | Kernel of kernel_kind
+  | Control of { clock_period_ms : float option }
+      (** [Some t]: a {e clock} control actor emitting a control token
+          every [t] milliseconds (§II-B.c); [None]: data-driven control *)
+
+type t
+
+val create : unit -> t
+
+val of_csdf : Tpdf_csdf.Graph.t -> t
+(** Embed a plain CSDF graph: every actor becomes a plain kernel, every
+    channel a data channel.  (CSDF is the degenerate TPDF without control
+    actors, so all analyses apply unchanged.) *)
+
+val add_kernel : t -> ?phases:int -> ?kind:kernel_kind -> string -> unit
+(** Default one phase, [Plain_kernel].  @raise Invalid_argument on
+    duplicates or [phases < 1]. *)
+
+val add_control : t -> ?phases:int -> ?clock_period_ms:float -> string -> unit
+(** A control actor; with [clock_period_ms] it is a watchdog clock. *)
+
+val add_channel :
+  t ->
+  src:string ->
+  dst:string ->
+  prod:Poly.t array ->
+  cons:Poly.t array ->
+  ?init:int ->
+  ?priority:int ->
+  unit ->
+  int
+(** Data channel; [priority] is the α of the consumer port (higher wins,
+    default 0).  Same validation as {!Tpdf_csdf.Graph.add_channel}. *)
+
+val add_control_channel :
+  t ->
+  src:string ->
+  dst:string ->
+  prod:Poly.t array ->
+  cons:Poly.t array ->
+  ?init:int ->
+  unit ->
+  int
+(** Control channel.  [src] must be a control actor, and every consumption
+    rate must be the constant 0 or 1 (the paper requires
+    [R{_k}(m, c, n) ∈ {0,1}]).  A kernel may have at most one control
+    channel in (its unique control port).  @raise Invalid_argument. *)
+
+val set_modes : t -> string -> Mode.t list -> unit
+(** Declare the mode set M{_k} of a kernel.  Channel ids referenced by the
+    modes must be adjacent to the kernel.  @raise Invalid_argument on
+    control actors, unknown channels, or duplicate mode names. *)
+
+val skeleton : t -> Tpdf_csdf.Graph.t
+(** The underlying CSDF skeleton (all channels present). *)
+
+val actors : t -> string list
+val kernels : t -> string list
+val control_actors : t -> string list
+
+val kind : t -> string -> actor_kind
+(** @raise Not_found. *)
+
+val is_control : t -> string -> bool
+val clock_period_ms : t -> string -> float option
+
+val modes : t -> string -> Mode.t list
+(** The declared mode set; [\[Mode.default\]] for kernels without one. *)
+
+val find_mode : t -> string -> string -> Mode.t
+(** [find_mode g kernel name].  @raise Not_found. *)
+
+val control_channel_ids : t -> int list
+val data_channel_ids : t -> int list
+val is_control_channel : t -> int -> bool
+
+val control_port : t -> string -> int option
+(** The id of the kernel's unique incoming control channel, if any. *)
+
+val priority : t -> int -> int
+(** α of the consumer port of a channel (0 when unset). *)
+
+val parameters : t -> string list
+
+val validate : t -> (unit, string list) result
+(** Structural well-formedness: control channels originate from control
+    actors (enforced at construction), at most one control port per kernel
+    (enforced), mode subsets reference adjacent channels (enforced), and —
+    checked here — every kernel with declared modes has a control port,
+    and clock actors have no data inputs. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_dot : Format.formatter -> t -> unit
+(** Control actors are drawn as ellipses, control channels dashed. *)

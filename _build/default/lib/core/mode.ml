@@ -1,0 +1,43 @@
+type input_policy =
+  | All_inputs
+  | Input_subset of int list
+  | Highest_priority_available
+
+type output_policy = All_outputs | Output_subset of int list
+
+type t = { name : string; inputs : input_policy; outputs : output_policy }
+
+let make ?(inputs = All_inputs) ?(outputs = All_outputs) name =
+  { name; inputs; outputs }
+
+let default = make "default"
+
+let input_may_be_active t id =
+  match t.inputs with
+  | All_inputs | Highest_priority_available -> true
+  | Input_subset l -> List.mem id l
+
+let output_may_be_active t id =
+  match t.outputs with
+  | All_outputs -> true
+  | Output_subset l -> List.mem id l
+
+let input_statically_active = input_may_be_active
+
+let pp ppf t =
+  let pp_ids ppf l =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+      (fun ppf id -> Format.fprintf ppf "e%d" id)
+      ppf l
+  in
+  Format.fprintf ppf "%s(in=%a, out=%a)" t.name
+    (fun ppf -> function
+      | All_inputs -> Format.pp_print_string ppf "all"
+      | Highest_priority_available -> Format.pp_print_string ppf "highest-priority"
+      | Input_subset l -> pp_ids ppf l)
+    t.inputs
+    (fun ppf -> function
+      | All_outputs -> Format.pp_print_string ppf "all"
+      | Output_subset l -> pp_ids ppf l)
+    t.outputs

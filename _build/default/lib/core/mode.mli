@@ -1,0 +1,55 @@
+(** Kernel modes (§II-B of the paper).
+
+    A control token received on a kernel's control port selects the mode in
+    which the kernel fires.  The paper lists four families of behaviours,
+    all expressible here:
+
+    - {e select one of the data inputs (outputs)} — [Input_subset] /
+      [Output_subset] with a single channel;
+    - {e select more than one data input (output)} — subsets;
+    - {e select available data input with the highest priority} —
+      [Highest_priority_available] (resolved at run time against the port
+      priorities α);
+    - {e wait until all data inputs are available} — [All_inputs].
+
+    Channels not selected by the active mode are {e rejected}: their tokens
+    are discarded rather than consumed as data, which is what lets TPDF
+    drop whole branches of the topology within an iteration. *)
+
+type input_policy =
+  | All_inputs  (** dataflow behaviour: wait for every input channel *)
+  | Input_subset of int list
+      (** wait for (and read) exactly these channel ids; reject the rest *)
+  | Highest_priority_available
+      (** at firing time take the available input channel of highest
+          priority; reject the rest (the Transaction box's deadline mode) *)
+
+type output_policy =
+  | All_outputs
+  | Output_subset of int list  (** produce only on these channel ids *)
+
+type t = private {
+  name : string;
+  inputs : input_policy;
+  outputs : output_policy;
+}
+
+val make : ?inputs:input_policy -> ?outputs:output_policy -> string -> t
+(** Defaults: [All_inputs], [All_outputs]. *)
+
+val default : t
+(** The implicit mode of kernels without a control port: plain dataflow. *)
+
+val input_may_be_active : t -> int -> bool
+(** Static over-approximation: can this input channel carry live data in
+    this mode?  [Highest_priority_available] answers [true] for every
+    channel (the choice is dynamic). *)
+
+val output_may_be_active : t -> int -> bool
+
+val input_statically_active : t -> int -> bool
+(** Static under/exact approximation used by the scenario-based buffer
+    analysis: for [Highest_priority_available] this also answers [true];
+    pin the choice with an explicit [Input_subset] scenario mode instead. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,495 @@
+open Tpdf_param
+module Csdf = Tpdf_csdf
+module Digraph = Tpdf_graph.Digraph
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_rates ppf seq =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Poly.pp)
+    (Array.to_list seq)
+
+let kind_keyword = function
+  | Graph.Plain_kernel -> None
+  | Graph.Select_duplicate -> Some "select_duplicate"
+  | Graph.Transaction -> Some "transaction"
+
+let chan_name id = Printf.sprintf "e%d" id
+
+let pp_mode g ppf (m : Mode.t) =
+  let pp_ids ppf ids =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+      (fun ppf id -> Format.pp_print_string ppf (chan_name id))
+      ppf ids
+  in
+  ignore g;
+  Format.fprintf ppf "%s" m.Mode.name;
+  (match m.Mode.inputs with
+  | Mode.All_inputs -> ()
+  | Mode.Highest_priority_available -> Format.fprintf ppf " inputs(priority)"
+  | Mode.Input_subset ids -> Format.fprintf ppf " inputs(%a)" pp_ids ids);
+  (match m.Mode.outputs with
+  | Mode.All_outputs -> ()
+  | Mode.Output_subset ids -> Format.fprintf ppf " outputs(%a)" pp_ids ids);
+  Format.fprintf ppf ";"
+
+let to_string g =
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "@[<v>tpdf graph {@,";
+  let skel = Graph.skeleton g in
+  List.iter
+    (fun a ->
+      let phases = Csdf.Graph.phases skel a in
+      let phases_attr = if phases > 1 then Printf.sprintf " phases=%d" phases else "" in
+      match Graph.kind g a with
+      | Graph.Kernel k ->
+          let kind_attr =
+            match kind_keyword k with
+            | None -> ""
+            | Some kw -> Printf.sprintf " kind=%s" kw
+          in
+          Format.fprintf ppf "  kernel %s%s%s;@," a phases_attr kind_attr
+      | Graph.Control { clock_period_ms = None } ->
+          Format.fprintf ppf "  control %s%s;@," a phases_attr
+      | Graph.Control { clock_period_ms = Some p } ->
+          Format.fprintf ppf "  control %s%s clock=%g;@," a phases_attr p)
+    (Graph.actors g);
+  List.iter
+    (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+      let kw = if Graph.is_control_channel g e.id then "ctrl   " else "channel" in
+      Format.fprintf ppf "  %s %s = %s %a -> %a %s" kw (chan_name e.id) e.src
+        pp_rates e.label.prod pp_rates e.label.cons e.dst;
+      if e.label.init > 0 then Format.fprintf ppf " init=%d" e.label.init;
+      let pr = Graph.priority g e.id in
+      if pr <> 0 then Format.fprintf ppf " priority=%d" pr;
+      Format.fprintf ppf ";@,")
+    (Csdf.Graph.channels skel);
+  List.iter
+    (fun a ->
+      match Graph.modes g a with
+      | [ m ] when m == Mode.default -> ()
+      | [] -> ()
+      | ms ->
+          Format.fprintf ppf "  modes %s {" a;
+          List.iter (fun m -> Format.fprintf ppf " %a" (pp_mode g) m) ms;
+          Format.fprintf ppf " }@,")
+    (Graph.kernels g);
+  Format.fprintf ppf "}@]@.";
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Number of string
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Eq
+  | Arrow
+  | Star
+  | Op of char
+
+exception Err of int * string
+
+let tokenize src =
+  let tokens = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let i = ref 0 in
+  let push t = tokens := (!line, t) :: !tokens in
+  let ident_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+    | _ -> false
+  in
+  while !i < n do
+    (match src.[!i] with
+    | '\n' ->
+        incr line;
+        incr i
+    | ' ' | '\t' | '\r' -> incr i
+    | '#' ->
+        while !i < n && src.[!i] <> '\n' do
+          incr i
+        done
+    | '{' -> push Lbrace; incr i
+    | '}' -> push Rbrace; incr i
+    | '(' -> push Lparen; incr i
+    | ')' -> push Rparen; incr i
+    | '[' -> push Lbracket; incr i
+    | ']' -> push Rbracket; incr i
+    | ';' -> push Semi; incr i
+    | ',' -> push Comma; incr i
+    | '=' -> push Eq; incr i
+    | '*' -> push Star; incr i
+    | '-' ->
+        if !i + 1 < n && src.[!i + 1] = '>' then begin
+          push Arrow;
+          i := !i + 2
+        end
+        else begin
+          push (Op '-');
+          incr i
+        end
+    | ('+' | '/' | '^') as c ->
+        push (Op c);
+        incr i
+    | '0' .. '9' | '.' ->
+        let j = ref !i in
+        while
+          !j < n
+          && (match src.[!j] with '0' .. '9' | '.' -> true | _ -> false)
+        do
+          incr j
+        done;
+        push (Number (String.sub src !i (!j - !i)));
+        i := !j
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let j = ref !i in
+        while !j < n && ident_char src.[!j] do
+          incr j
+        done;
+        push (Ident (String.sub src !i (!j - !i)));
+        i := !j
+    | c -> raise (Err (!line, Printf.sprintf "unexpected character %C" c)));
+  done;
+  List.rev !tokens
+
+type parser_state = { mutable toks : (int * token) list }
+
+let peek st = match st.toks with [] -> None | (_, t) :: _ -> Some t
+
+let line st = match st.toks with [] -> 0 | (l, _) :: _ -> l
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t what =
+  match st.toks with
+  | (_, t') :: rest when t' = t ->
+      st.toks <- rest
+  | _ -> raise (Err (line st, "expected " ^ what))
+
+let ident st what =
+  match st.toks with
+  | (_, Ident s) :: rest ->
+      st.toks <- rest;
+      s
+  | _ -> raise (Err (line st, "expected " ^ what))
+
+(* Rate sequence: '[' expr (',' expr)* ']' where expr is collected
+   token-by-token until ',' or ']' and handed to the Expr parser. *)
+let rates st =
+  expect st Lbracket "'['";
+  let entries = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_entry () =
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    if String.trim s = "" then raise (Err (line st, "empty rate expression"));
+    match Expr.parse_poly s with
+    | p -> entries := p :: !entries
+    | exception Expr.Parse_error m ->
+        raise (Err (line st, "bad rate expression: " ^ m))
+  in
+  let depth = ref 0 in
+  let rec go () =
+    match st.toks with
+    | [] -> raise (Err (0, "unterminated rate sequence"))
+    | (_, Rbracket) :: rest when !depth = 0 ->
+        st.toks <- rest;
+        flush_entry ()
+    | (_, Comma) :: rest when !depth = 0 ->
+        st.toks <- rest;
+        flush_entry ();
+        go ()
+    | (_, t) :: rest ->
+        (match t with
+        | Lparen ->
+            incr depth;
+            Buffer.add_char buf '('
+        | Rparen ->
+            decr depth;
+            Buffer.add_char buf ')'
+        | Ident s -> Buffer.add_string buf s
+        | Number s -> Buffer.add_string buf s
+        | Star -> Buffer.add_char buf '*'
+        | Op c -> Buffer.add_char buf c
+        | Arrow -> raise (Err (line st, "'->' inside rates"))
+        | _ -> raise (Err (line st, "unexpected token in rates")));
+        st.toks <- rest;
+        Buffer.add_char buf ' ';
+        go ()
+  in
+  go ();
+  Array.of_list (List.rev !entries)
+
+let int_attr st what =
+  match st.toks with
+  | (_, Number s) :: rest -> (
+      st.toks <- rest;
+      match int_of_string_opt s with
+      | Some v -> v
+      | None -> raise (Err (line st, "bad integer for " ^ what)))
+  | _ -> raise (Err (line st, "expected integer for " ^ what))
+
+let float_attr st what =
+  match st.toks with
+  | (_, Number s) :: rest -> (
+      st.toks <- rest;
+      match float_of_string_opt s with
+      | Some v -> v
+      | None -> raise (Err (line st, "bad number for " ^ what)))
+  | _ -> raise (Err (line st, "expected number for " ^ what))
+
+type pending_mode = {
+  kernel : string;
+  mode_name : string;
+  inputs : [ `All | `Priority | `Subset of string list ];
+  outputs : [ `All | `Subset of string list ];
+}
+
+let of_string src =
+  try
+    let st = { toks = tokenize src } in
+    expect st (Ident "tpdf") "'tpdf'";
+    (match peek st with Some (Ident _) -> advance st | _ -> ());
+    expect st Lbrace "'{'";
+    let g = Graph.create () in
+    let chan_ids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    let pending_modes = ref [] in
+    let parse_actor_attrs () =
+      let phases = ref 1 and kind = ref Graph.Plain_kernel in
+      let clock = ref None in
+      let rec go () =
+        match peek st with
+        | Some (Ident "phases") ->
+            advance st;
+            expect st Eq "'='";
+            phases := int_attr st "phases";
+            go ()
+        | Some (Ident "kind") ->
+            advance st;
+            expect st Eq "'='";
+            (match ident st "kernel kind" with
+            | "plain" -> kind := Graph.Plain_kernel
+            | "select_duplicate" -> kind := Graph.Select_duplicate
+            | "transaction" -> kind := Graph.Transaction
+            | k -> raise (Err (line st, "unknown kernel kind " ^ k)));
+            go ()
+        | Some (Ident "clock") ->
+            advance st;
+            expect st Eq "'='";
+            clock := Some (float_attr st "clock");
+            go ()
+        | _ -> ()
+      in
+      go ();
+      (!phases, !kind, !clock)
+    in
+    let parse_channel ~ctrl =
+      let name = ident st "channel name" in
+      if Hashtbl.mem chan_ids name then
+        raise (Err (line st, "duplicate channel " ^ name));
+      expect st Eq "'='";
+      let src_actor = ident st "source actor" in
+      let prod = rates st in
+      expect st Arrow "'->'";
+      let cons = rates st in
+      let dst_actor = ident st "destination actor" in
+      let init = ref 0 and priority = ref 0 in
+      let rec attrs () =
+        match peek st with
+        | Some (Ident "init") ->
+            advance st;
+            expect st Eq "'='";
+            init := int_attr st "init";
+            attrs ()
+        | Some (Ident "priority") ->
+            advance st;
+            expect st Eq "'='";
+            priority := int_attr st "priority";
+            attrs ()
+        | _ -> ()
+      in
+      attrs ();
+      expect st Semi "';'";
+      let id =
+        try
+          if ctrl then
+            Graph.add_control_channel g ~src:src_actor ~dst:dst_actor ~prod
+              ~cons ~init:!init ()
+          else
+            Graph.add_channel g ~src:src_actor ~dst:dst_actor ~prod ~cons
+              ~init:!init ~priority:!priority ()
+        with Invalid_argument m -> raise (Err (line st, m))
+      in
+      Hashtbl.replace chan_ids name id
+    in
+    let parse_port_set () =
+      expect st Lparen "'('";
+      match peek st with
+      | Some Star ->
+          advance st;
+          expect st Rparen "')'";
+          `All
+      | Some (Ident "priority") ->
+          advance st;
+          expect st Rparen "')'";
+          `Priority
+      | _ ->
+          let rec names acc =
+            let n = ident st "channel name" in
+            match peek st with
+            | Some Comma ->
+                advance st;
+                names (n :: acc)
+            | _ ->
+                expect st Rparen "')'";
+                List.rev (n :: acc)
+          in
+          `Subset (names [])
+    in
+    let parse_modes () =
+      let kernel = ident st "kernel name" in
+      expect st Lbrace "'{'";
+      let rec go () =
+        match peek st with
+        | Some Rbrace -> advance st
+        | _ ->
+            let mode_name = ident st "mode name" in
+            let inputs = ref `All and outputs = ref `All in
+            let rec clauses () =
+              match peek st with
+              | Some (Ident "inputs") ->
+                  advance st;
+                  inputs := parse_port_set ();
+                  clauses ()
+              | Some (Ident "outputs") ->
+                  advance st;
+                  (match parse_port_set () with
+                  | `Priority ->
+                      raise (Err (line st, "outputs(priority) is not a policy"))
+                  | (`All | `Subset _) as o -> outputs := o);
+                  clauses ()
+              | _ -> ()
+            in
+            clauses ();
+            expect st Semi "';'";
+            pending_modes :=
+              { kernel; mode_name; inputs = !inputs; outputs = !outputs }
+              :: !pending_modes;
+            go ()
+      in
+      go ()
+    in
+    let rec body () =
+      match peek st with
+      | Some Rbrace -> advance st
+      | Some (Ident "kernel") ->
+          advance st;
+          let name = ident st "kernel name" in
+          let phases, kind, clock = parse_actor_attrs () in
+          if clock <> None then
+            raise (Err (line st, "kernels cannot have a clock"));
+          expect st Semi "';'";
+          (try Graph.add_kernel g ~phases ~kind name
+           with Invalid_argument m -> raise (Err (line st, m)));
+          body ()
+      | Some (Ident "control") ->
+          advance st;
+          let name = ident st "control name" in
+          let phases, kind, clock = parse_actor_attrs () in
+          if kind <> Graph.Plain_kernel then
+            raise (Err (line st, "control actors have no kernel kind"));
+          expect st Semi "';'";
+          (try Graph.add_control g ~phases ?clock_period_ms:clock name
+           with Invalid_argument m -> raise (Err (line st, m)));
+          body ()
+      | Some (Ident "channel") ->
+          advance st;
+          parse_channel ~ctrl:false;
+          body ()
+      | Some (Ident "ctrl") ->
+          advance st;
+          parse_channel ~ctrl:true;
+          body ()
+      | Some (Ident "modes") ->
+          advance st;
+          parse_modes ();
+          body ()
+      | Some _ -> raise (Err (line st, "expected a declaration"))
+      | None -> raise (Err (0, "unterminated graph (missing '}')"))
+    in
+    body ();
+    (match st.toks with
+    | [] -> ()
+    | (l, _) :: _ -> raise (Err (l, "trailing input after '}'")));
+    (* Resolve mode channel names and install mode tables. *)
+    let resolve names =
+      List.map
+        (fun n ->
+          match Hashtbl.find_opt chan_ids n with
+          | Some id -> id
+          | None -> raise (Err (0, "mode references unknown channel " ^ n)))
+        names
+    in
+    let by_kernel = Hashtbl.create 8 in
+    List.iter
+      (fun pm ->
+        let prev =
+          match Hashtbl.find_opt by_kernel pm.kernel with
+          | Some l -> l
+          | None -> []
+        in
+        Hashtbl.replace by_kernel pm.kernel (pm :: prev))
+      !pending_modes;
+    Hashtbl.iter
+      (fun kernel pms ->
+        let modes =
+          List.map
+            (fun pm ->
+              let inputs =
+                match pm.inputs with
+                | `All -> Mode.All_inputs
+                | `Priority -> Mode.Highest_priority_available
+                | `Subset names -> Mode.Input_subset (resolve names)
+              in
+              let outputs =
+                match pm.outputs with
+                | `All -> Mode.All_outputs
+                | `Subset names -> Mode.Output_subset (resolve names)
+              in
+              Mode.make ~inputs ~outputs pm.mode_name)
+            pms
+        in
+        try Graph.set_modes g kernel modes
+        with Invalid_argument m -> raise (Err (0, m)))
+      by_kernel;
+    Ok g
+  with Err (l, msg) -> Error (Printf.sprintf "line %d: %s" l msg)
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> of_string src
+  | exception Sys_error m -> Error m

@@ -1,0 +1,47 @@
+(** Textual serialization of TPDF graphs.
+
+    A small, line-oriented concrete syntax so graphs can live in files and
+    be fed to the CLI.  Example:
+
+    {v
+    # The running example of Fig. 2.
+    tpdf fig2 {
+      kernel A;
+      kernel B;
+      control C;
+      kernel D;
+      kernel E;
+      kernel F phases=2 kind=transaction;
+      channel e1 = A [p] -> [1] B;
+      channel e2 = B [1] -> [2] C;
+      channel e3 = B [1] -> [2] D;
+      channel e4 = B [1] -> [1] E;
+      ctrl    e5 = C [2] -> [1,1] F;
+      channel e6 = D [2] -> [1,1] F priority=1;
+      channel e7 = E [1] -> [0,2] F priority=2;
+      modes F { take_e6 inputs(e6); take_e7 inputs(e7); }
+    }
+    v}
+
+    Grammar notes:
+    - rates are bracketed, comma-separated rate expressions (the syntax of
+      {!Tpdf_param.Expr}); one entry per phase;
+    - [channel NAME = SRC [prod] -> [cons] DST] with optional [init=N] and
+      [priority=N] attributes; [ctrl] introduces a control channel;
+    - [control NAME clock=MS] declares a clock actor;
+    - kernel kinds: [plain] (default), [select_duplicate], [transaction];
+    - mode input/output subsets name channels; [inputs( * )] (an asterisk) means all inputs,
+      [inputs(priority)] is the highest-priority-available policy;
+    - [#] starts a comment. *)
+
+val to_string : Graph.t -> string
+(** Canonical rendering (channels named [e<id>]). *)
+
+val of_string : string -> (Graph.t, string) result
+(** Parse; the error carries a line number and description. *)
+
+val save : string -> Graph.t -> unit
+(** Write to a file.  @raise Sys_error. *)
+
+val load : string -> (Graph.t, string) result
+(** Read from a file; I/O errors are reported in the [Error] case. *)

@@ -1,0 +1,62 @@
+open Tpdf_param
+open Tpdf_util
+
+let poly_gcd polys =
+  match List.filter (fun p -> not (Poly.is_zero p)) polys with
+  | [] -> Poly.one
+  | first :: rest ->
+      (* ℤ[params]-style gcd: numeric contents and primitive parts are
+         combined separately (gcd(2p, 4p) = 2p, gcd(βN+βL, β) = β). *)
+      let content =
+        List.fold_left
+          (fun acc p -> Q.gcd acc (Poly.content p))
+          (Poly.content first) rest
+      in
+      let primitive =
+        List.fold_left Poly.gcd Poly.zero (first :: rest)
+      in
+      Poly.scale content primitive
+
+let local_scaling (rep : Tpdf_csdf.Repetition.t) members =
+  poly_gcd (List.map (fun a -> List.assoc a rep.Tpdf_csdf.Repetition.r) members)
+
+let cumulative_symbolic rates n =
+  let tau = Array.length rates in
+  if tau = 0 then invalid_arg "Symbolic.cumulative_symbolic: empty sequence";
+  let total = Array.fold_left Poly.add Poly.zero rates in
+  let as_const =
+    match Frac.to_poly n with
+    | Some p -> (
+        match Poly.to_const p with
+        | Some c when Q.is_integer c && Q.to_int c >= 0 -> Some (Q.to_int c)
+        | _ -> None)
+    | None -> None
+  in
+  (* A firing count must be integer-valued: polynomial with integer
+     coefficients (sufficient criterion). *)
+  let integer_poly f =
+    match Frac.to_poly f with
+    | Some p when
+        List.for_all (fun (_, c) -> Q.is_integer c) (Poly.terms p) ->
+        Some p
+    | _ -> None
+  in
+  match as_const with
+  | Some k ->
+      (* Concrete firing count: exact cyclic prefix sum. *)
+      let acc = ref Poly.zero in
+      for l = 0 to k - 1 do
+        acc := Poly.add !acc rates.(l mod tau)
+      done;
+      Some (Frac.of_poly !acc)
+  | None -> (
+      (* n an integer-polynomial multiple of tau: (n/tau) full cycles. *)
+      let cycles = Frac.div n (Frac.of_int tau) in
+      match integer_poly cycles with
+      | Some _ -> Some (Frac.mul cycles (Frac.of_poly total))
+      | None ->
+          (* Uniform rates: n * rate regardless of phase alignment. *)
+          let uniform =
+            Array.for_all (fun r -> Poly.equal r rates.(0)) rates
+          in
+          if uniform then Some (Frac.mul n (Frac.of_poly rates.(0))) else None)

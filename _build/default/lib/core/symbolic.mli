@@ -1,0 +1,21 @@
+(** Shared symbolic helpers for the TPDF analyses. *)
+
+open Tpdf_param
+
+val poly_gcd : Poly.t list -> Poly.t
+(** The exact ℤ\[params\]-style GCD of the given polynomials: the
+    rational GCD of their numeric contents times the primitive multivariate
+    GCD ({!Tpdf_param.Poly.gcd}) of the polynomials, so e.g.
+    [gcd \[2p; 4p\] = 2p] and [gcd \[βN + βL; βN\] = β].
+    Returns 1 for the empty list. *)
+
+val local_scaling :
+  Tpdf_csdf.Repetition.t -> string list -> Poly.t
+(** q{_G}(Z) of Definition 4: gcd over the subset of q{_a}/τ{_a}, i.e. of
+    the cycle counts r{_a}.  @raise Not_found on unknown actors. *)
+
+val cumulative_symbolic : Poly.t array -> Frac.t -> Frac.t option
+(** [cumulative_symbolic rates n]: tokens moved by the first [n] firings of
+    a cyclic rate sequence, when expressible in closed form: [n] constant,
+    [n] a polynomial multiple of the sequence length, or a uniform rate
+    sequence.  [None] otherwise. *)

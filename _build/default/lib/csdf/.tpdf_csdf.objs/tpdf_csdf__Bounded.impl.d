@@ -1,0 +1,1 @@
+lib/csdf/bounded.ml: Array Concrete Graph Hashtbl List Printf Schedule String Tpdf_graph

@@ -1,0 +1,1 @@
+lib/csdf/bounded.mli: Concrete

@@ -1,0 +1,1 @@
+lib/csdf/buffers.ml: Format List Printf Schedule String

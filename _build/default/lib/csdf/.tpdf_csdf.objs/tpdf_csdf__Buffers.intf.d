@@ -1,0 +1,1 @@
+lib/csdf/buffers.mli: Concrete Format Schedule

@@ -1,0 +1,1 @@
+lib/csdf/concrete.ml: Array Graph Hashtbl List Poly Printf Repetition Tpdf_graph Tpdf_param Valuation

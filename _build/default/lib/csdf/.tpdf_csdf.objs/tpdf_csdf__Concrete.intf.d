@@ -1,0 +1,1 @@
+lib/csdf/concrete.mli: Graph Tpdf_param Valuation

@@ -1,0 +1,1 @@
+lib/csdf/examples.ml: Graph List Poly Printf Tpdf_param

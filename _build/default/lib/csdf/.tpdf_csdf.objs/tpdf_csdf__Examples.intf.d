@@ -1,0 +1,1 @@
+lib/csdf/examples.mli: Graph

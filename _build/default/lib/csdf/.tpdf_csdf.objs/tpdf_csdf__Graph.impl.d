@@ -1,0 +1,1 @@
+lib/csdf/graph.ml: Array Expr Format Hashtbl List Poly Printf String Tpdf_graph Tpdf_param

@@ -1,0 +1,1 @@
+lib/csdf/graph.mli: Format Poly Tpdf_graph Tpdf_param

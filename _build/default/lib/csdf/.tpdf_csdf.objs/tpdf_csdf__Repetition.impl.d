@@ -1,0 +1,1 @@
+lib/csdf/repetition.ml: Format Frac Graph Hashtbl List Poly Printf Q Queue Tpdf_graph Tpdf_param Tpdf_util Valuation

@@ -1,0 +1,1 @@
+lib/csdf/repetition.mli: Format Graph Poly Tpdf_param Valuation

@@ -1,0 +1,1 @@
+lib/csdf/sas.ml: Array Concrete Graph Hashtbl List Schedule Tpdf_graph

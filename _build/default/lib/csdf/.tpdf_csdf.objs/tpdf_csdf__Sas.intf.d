@@ -1,0 +1,1 @@
+lib/csdf/sas.mli: Concrete Format

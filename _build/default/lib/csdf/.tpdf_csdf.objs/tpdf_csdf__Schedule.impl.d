@@ -1,0 +1,1 @@
+lib/csdf/schedule.ml: Array Concrete Format Graph Hashtbl List Tpdf_graph

@@ -1,0 +1,1 @@
+lib/csdf/schedule.mli: Concrete Format

@@ -1,0 +1,40 @@
+(** Execution with bounded channels, and minimal deadlock-free capacities.
+
+    {!Schedule} measures the occupancy of an unbounded execution; this
+    module answers the converse question: {e given} per-channel capacities,
+    can one iteration still complete (production blocks while a channel is
+    full), and what is a minimal capacity assignment that stays
+    deadlock-free?  The search starts from the per-channel lower bound
+    (the largest single production/consumption step and the initial
+    tokens) and relaxes exactly the channels whose fullness blocks
+    progress — a standard buffer-minimization scheme for (C)SDF. *)
+
+type outcome =
+  | Fits of { max_occupancy : (int * int) list }
+      (** executes to completion within the given capacities *)
+  | Blocked of { full_channels : int list; stuck : string list }
+      (** deadlocked: channels whose fullness blocks an otherwise enabled
+          actor, and the actors with remaining firings *)
+
+val run : Concrete.t -> capacities:(int -> int) -> outcome
+(** Execute one iteration with blocking writes.  A firing is enabled only
+    when every input has enough tokens {e and} every output has room for
+    the tokens it will produce.  @raise Invalid_argument if some capacity
+    is smaller than that channel's initial tokens. *)
+
+type report = {
+  capacities : (int * int) list;  (** minimal found, per channel id *)
+  total : int;
+  relaxations : int;  (** how many capacity increases the search needed *)
+}
+
+val minimize : ?max_steps:int -> Concrete.t -> report
+(** Greedy relaxation search for a minimal deadlock-free assignment.
+    [max_steps] (default 10_000) bounds the search.
+    @raise Failure if the graph deadlocks even with unbounded channels or
+    the step budget is exhausted. *)
+
+val lower_bound : Concrete.t -> int -> int
+(** The structural lower bound used as the search's starting point for a
+    channel: max(initial tokens, largest production step, largest
+    consumption step). *)

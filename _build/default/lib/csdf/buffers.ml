@@ -1,0 +1,20 @@
+type report = { per_channel : (int * int) list; total : int }
+
+let analyze ?(policy = Schedule.Min_buffer) c =
+  match Schedule.run ~policy c with
+  | Schedule.Deadlock { stuck; _ } ->
+      failwith
+        (Printf.sprintf "Buffers.analyze: graph deadlocks (stuck: %s)"
+           (String.concat ", " stuck))
+  | Schedule.Complete t ->
+      {
+        per_channel = t.max_occupancy;
+        total = List.fold_left (fun acc (_, n) -> acc + n) 0 t.max_occupancy;
+      }
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (id, n) -> Format.fprintf ppf "e%d: %d@," id n)
+    r.per_channel;
+  Format.fprintf ppf "total: %d@]" r.total

@@ -1,0 +1,19 @@
+(** Buffer-size analysis for CSDF graphs.
+
+    The minimum buffer capacity of a channel under a given sequential
+    schedule is the maximum token occupancy it reaches during one iteration
+    (including initial tokens).  The [Min_buffer] policy gives a good
+    single-processor approximation of the minimum memory schedule; Fig. 8 of
+    the paper compares these totals between the CSDF and TPDF versions of
+    the OFDM application. *)
+
+type report = {
+  per_channel : (int * int) list;  (** channel id, capacity *)
+  total : int;  (** sum over channels *)
+}
+
+val analyze : ?policy:Schedule.policy -> Concrete.t -> report
+(** Default policy [Min_buffer].
+    @raise Failure if the graph deadlocks (no schedule exists). *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,79 @@
+open Tpdf_param
+
+type chan = { prod : int array; cons : int array; init : int }
+
+type t = {
+  graph : Graph.t;
+  valuation : Valuation.t;
+  q_tbl : (string, int) Hashtbl.t;
+  chans : (int, chan) Hashtbl.t;
+}
+
+let eval_rates v what seq =
+  Array.map
+    (fun p ->
+      let n = Poly.eval_int (Valuation.env v) p in
+      if n < 0 then
+        invalid_arg
+          (Printf.sprintf "Concrete.make: negative %s rate under valuation"
+             what);
+      n)
+    seq
+
+let make graph valuation =
+  let rep = Repetition.solve graph in
+  let q_tbl = Hashtbl.create 16 in
+  List.iter (fun (a, n) -> Hashtbl.replace q_tbl a n) (Repetition.q_int rep valuation);
+  let chans = Hashtbl.create 16 in
+  List.iter
+    (fun (e : (string, Graph.channel) Tpdf_graph.Digraph.edge) ->
+      Hashtbl.replace chans e.id
+        {
+          prod = eval_rates valuation "production" e.label.prod;
+          cons = eval_rates valuation "consumption" e.label.cons;
+          init = e.label.init;
+        })
+    (Graph.channels graph);
+  { graph; valuation; q_tbl; chans }
+
+let graph t = t.graph
+let valuation t = t.valuation
+
+let q t a =
+  match Hashtbl.find_opt t.q_tbl a with
+  | Some n -> n
+  | None -> raise Not_found
+
+let q_vector t = List.map (fun a -> (a, q t a)) (Graph.actors t.graph)
+
+let chan t id =
+  match Hashtbl.find_opt t.chans id with
+  | Some c -> c
+  | None -> raise Not_found
+
+let cumulative rates n =
+  let len = Array.length rates in
+  let total = Array.fold_left ( + ) 0 rates in
+  let full = n / len and rem = n mod len in
+  let prefix = ref 0 in
+  for i = 0 to rem - 1 do
+    prefix := !prefix + rates.(i)
+  done;
+  (full * total) + !prefix
+
+let firings_needed rates k =
+  if k <= 0 then 0
+  else begin
+    let total = Array.fold_left ( + ) 0 rates in
+    if total = 0 then
+      invalid_arg "Concrete.firings_needed: all-zero rate sequence";
+    let len = Array.length rates in
+    (* Skip whole cycles, then walk the remainder. *)
+    let full = (k - 1) / total in
+    let n = ref (full * len) and acc = ref (full * total) in
+    while !acc < k do
+      acc := !acc + rates.(!n mod len);
+      incr n
+    done;
+    !n
+  end

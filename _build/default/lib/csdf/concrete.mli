@@ -1,0 +1,36 @@
+(** CSDF graphs with all rates evaluated under a parameter valuation.
+
+    Simulation-based analyses (liveness, schedule construction, buffer
+    bounds) work on concrete integer rates.  A plain CSDF graph concretizes
+    under the empty valuation. *)
+
+open Tpdf_param
+
+type chan = { prod : int array; cons : int array; init : int }
+
+type t
+
+val make : Graph.t -> Valuation.t -> t
+(** Evaluates every rate and the repetition vector.
+    @raise Invalid_argument on fractional or negative rates
+    @raise Repetition.Inconsistent / Repetition.Disconnected accordingly. *)
+
+val graph : t -> Graph.t
+val valuation : t -> Valuation.t
+
+val q : t -> string -> int
+(** Firings of the actor in one iteration.  @raise Not_found. *)
+
+val q_vector : t -> (string * int) list
+
+val chan : t -> int -> chan
+(** Concrete rates of a channel id.  @raise Not_found. *)
+
+val cumulative : int array -> int -> int
+(** [cumulative rates n] is the total number of tokens over the first [n]
+    firings of a cyclic rate sequence (the X/Y functions of §II-A). *)
+
+val firings_needed : int array -> int -> int
+(** [firings_needed rates k] is the least [n] with [cumulative rates n >= k].
+    Used by the Actor Dependence Function.  @raise Invalid_argument when the
+    sequence is all-zero and [k > 0]. *)

@@ -1,0 +1,97 @@
+open Tpdf_param
+
+let fig1 () =
+  let g = Graph.create () in
+  Graph.add_actor g "a1" ~phases:3;
+  Graph.add_actor g "a2" ~phases:2;
+  Graph.add_actor g "a3" ~phases:1;
+  let (_ : int) =
+    Graph.add_channel g ~src:"a1" ~dst:"a2"
+      ~prod:(Graph.const_rates [ 1; 0; 1 ])
+      ~cons:(Graph.const_rates [ 1; 1 ])
+      ()
+  in
+  let (_ : int) =
+    Graph.add_channel g ~src:"a2" ~dst:"a3"
+      ~prod:(Graph.const_rates [ 0; 2 ])
+      ~cons:(Graph.const_rates [ 1 ])
+      ~init:2 ()
+  in
+  let (_ : int) =
+    Graph.add_channel g ~src:"a3" ~dst:"a1"
+      ~prod:(Graph.const_rates [ 2 ])
+      ~cons:(Graph.const_rates [ 1; 1; 2 ])
+      ()
+  in
+  g
+
+let chain ?(rates = []) n =
+  if n < 2 then invalid_arg "Examples.chain: need at least two actors";
+  let g = Graph.create () in
+  for i = 0 to n - 1 do
+    Graph.add_actor g (Printf.sprintf "s%d" i) ~phases:1
+  done;
+  for i = 0 to n - 2 do
+    let p, c = match List.nth_opt rates i with Some pc -> pc | None -> (1, 1) in
+    let (_ : int) =
+      Graph.add_channel g
+        ~src:(Printf.sprintf "s%d" i)
+        ~dst:(Printf.sprintf "s%d" (i + 1))
+        ~prod:(Graph.const_rates [ p ])
+        ~cons:(Graph.const_rates [ c ])
+        ()
+    in
+    ()
+  done;
+  g
+
+let producer_consumer ~prod ~cons =
+  let g = Graph.create () in
+  Graph.add_actor g "P" ~phases:1;
+  Graph.add_actor g "C" ~phases:1;
+  let (_ : int) =
+    Graph.add_channel g ~src:"P" ~dst:"C"
+      ~prod:(Graph.const_rates [ prod ])
+      ~cons:(Graph.const_rates [ cons ])
+      ()
+  in
+  g
+
+let parametric_chain params =
+  let n = List.length params + 1 in
+  if n < 2 then invalid_arg "Examples.parametric_chain: need parameters";
+  let g = Graph.create () in
+  for i = 0 to n - 1 do
+    Graph.add_actor g (Printf.sprintf "s%d" i) ~phases:1
+  done;
+  List.iteri
+    (fun i p ->
+      let (_ : int) =
+        Graph.add_channel g
+          ~src:(Printf.sprintf "s%d" i)
+          ~dst:(Printf.sprintf "s%d" (i + 1))
+          ~prod:[| Poly.var p |]
+          ~cons:(Graph.const_rates [ 1 ])
+          ()
+      in
+      ())
+    params;
+  g
+
+let deadlocked_cycle () =
+  let g = Graph.create () in
+  Graph.add_actor g "X" ~phases:1;
+  Graph.add_actor g "Y" ~phases:1;
+  let (_ : int) =
+    Graph.add_channel g ~src:"X" ~dst:"Y"
+      ~prod:(Graph.const_rates [ 1 ])
+      ~cons:(Graph.const_rates [ 1 ])
+      ()
+  in
+  let (_ : int) =
+    Graph.add_channel g ~src:"Y" ~dst:"X"
+      ~prod:(Graph.const_rates [ 1 ])
+      ~cons:(Graph.const_rates [ 1 ])
+      ()
+  in
+  g

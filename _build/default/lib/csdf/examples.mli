@@ -1,0 +1,25 @@
+(** Ready-made CSDF graphs used in tests, examples and benchmarks. *)
+
+val fig1 : unit -> Graph.t
+(** The CSDF graph of Fig. 1 of the paper: three actors
+    [a1 (τ=3), a2 (τ=2), a3 (τ=1)], channels
+    [e1: a1 \[1,0,1\] → \[1,1\] a2],
+    [e2: a2 \[0,2\] → \[1\] a3] with two initial tokens,
+    [e3: a3 \[2\] → \[1,1,2\] a1].
+    Repetition vector [\[3, 2, 2\]]; one valid schedule is
+    [(a3)^2 (a1)^3 (a2)^2]. *)
+
+val chain : ?rates:(int * int) list -> int -> Graph.t
+(** [chain n] builds a linear SDF pipeline [s0 → s1 → … → s(n-1)].
+    [rates] gives (production, consumption) per link, defaulting to (1,1);
+    missing entries default to (1,1).  Useful for scheduling stress tests. *)
+
+val producer_consumer : prod:int -> cons:int -> Graph.t
+(** Two-actor SDF graph [P →(prod,cons)→ C]. *)
+
+val parametric_chain : string list -> Graph.t
+(** [parametric_chain \["p"; "q"\]] builds a chain where link [i] produces
+    the i-th parameter per firing and consumes 1. *)
+
+val deadlocked_cycle : unit -> Graph.t
+(** A consistent but non-live two-actor cycle (no initial tokens). *)

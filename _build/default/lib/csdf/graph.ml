@@ -1,0 +1,106 @@
+open Tpdf_param
+module Digraph = Tpdf_graph.Digraph
+
+type channel = { prod : Poly.t array; cons : Poly.t array; init : int }
+
+type t = {
+  dg : (string, channel) Digraph.t;
+  phases_tbl : (string, int) Hashtbl.t;
+}
+
+let create () = { dg = Digraph.create (); phases_tbl = Hashtbl.create 16 }
+
+let mem_actor t name = Hashtbl.mem t.phases_tbl name
+
+let add_actor t name ~phases =
+  if phases < 1 then
+    invalid_arg (Printf.sprintf "Csdf.add_actor %s: phases must be >= 1" name);
+  if mem_actor t name then
+    invalid_arg (Printf.sprintf "Csdf.add_actor: duplicate actor %s" name);
+  Hashtbl.replace t.phases_tbl name phases;
+  Digraph.add_vertex t.dg name
+
+let phases t name =
+  match Hashtbl.find_opt t.phases_tbl name with
+  | Some p -> p
+  | None -> raise Not_found
+
+let check_rate_seq what actor expected seq =
+  if Array.length seq <> expected then
+    invalid_arg
+      (Printf.sprintf
+         "Csdf.add_channel: %s rate sequence of %s has length %d, expected \
+          %d (one per phase)"
+         what actor (Array.length seq) expected)
+
+let add_channel t ~src ~dst ~prod ~cons ?(init = 0) () =
+  if not (mem_actor t src) then
+    invalid_arg (Printf.sprintf "Csdf.add_channel: unknown actor %s" src);
+  if not (mem_actor t dst) then
+    invalid_arg (Printf.sprintf "Csdf.add_channel: unknown actor %s" dst);
+  if init < 0 then invalid_arg "Csdf.add_channel: negative initial tokens";
+  check_rate_seq "production" src (phases t src) prod;
+  check_rate_seq "consumption" dst (phases t dst) cons;
+  Digraph.add_edge t.dg src dst { prod; cons; init }
+
+let actors t = Digraph.vertices t.dg
+
+let channels t = Digraph.edges t.dg
+
+let channel t id = Digraph.find_edge t.dg id
+
+let digraph t = t.dg
+
+let in_channels t a = Digraph.in_edges t.dg a
+
+let out_channels t a = Digraph.out_edges t.dg a
+
+let sum_rates seq = Array.fold_left Poly.add Poly.zero seq
+
+let prod_total c = sum_rates c.prod
+
+let cons_total c = sum_rates c.cons
+
+let parameters t =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun (e : (string, channel) Digraph.edge) ->
+         List.concat_map Poly.vars
+           (Array.to_list e.label.prod @ Array.to_list e.label.cons))
+       (channels t))
+
+let rates l = Array.of_list (List.map Expr.parse_poly l)
+
+let const_rates l = Array.of_list (List.map Poly.of_int l)
+
+let pp_rate_seq ppf seq =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Poly.pp)
+    (Array.to_list seq)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun a -> Format.fprintf ppf "actor %s (tau=%d)@," a (phases t a))
+    (actors t);
+  List.iter
+    (fun (e : (string, channel) Digraph.edge) ->
+      Format.fprintf ppf "channel e%d: %s %a -> %a %s (init=%d)@," e.id e.src
+        pp_rate_seq e.label.prod pp_rate_seq e.label.cons e.dst e.label.init)
+    (channels t);
+  Format.fprintf ppf "@]"
+
+let pp_dot ppf t =
+  Digraph.pp_dot
+    ~vertex_name:(fun v -> v)
+    ~vertex_attrs:(fun _ -> [ ("shape", "box") ])
+    ~edge_attrs:(fun (e : (string, channel) Digraph.edge) ->
+      let label =
+        Format.asprintf "e%d: %a -> %a%s" e.id pp_rate_seq e.label.prod
+          pp_rate_seq e.label.cons
+          (if e.label.init > 0 then Printf.sprintf " (%d)" e.label.init else "")
+      in
+      [ ("label", label) ])
+    ~graph_name:"csdf" ppf t.dg

@@ -1,0 +1,71 @@
+(** Cyclo-Static Dataflow graphs (Bilsen et al., 1995 — §II-A of the paper).
+
+    An actor has a cyclic execution sequence of length τ (its phase count);
+    a channel carries a production-rate sequence (one entry per phase of the
+    producer) and a consumption-rate sequence (one entry per phase of the
+    consumer), plus an initial token count.  Rates are symbolic polynomials
+    so that the same structure serves as the skeleton of parameterized TPDF
+    graphs; a plain CSDF graph simply uses constant polynomials. *)
+
+open Tpdf_param
+
+type channel = {
+  prod : Poly.t array;  (** per-phase production rates (length τ of src) *)
+  cons : Poly.t array;  (** per-phase consumption rates (length τ of dst) *)
+  init : int;  (** initial tokens *)
+}
+
+type t
+
+val create : unit -> t
+
+val add_actor : t -> string -> phases:int -> unit
+(** @raise Invalid_argument on duplicate name or [phases < 1]. *)
+
+val add_channel :
+  t ->
+  src:string ->
+  dst:string ->
+  prod:Poly.t array ->
+  cons:Poly.t array ->
+  ?init:int ->
+  unit ->
+  int
+(** Returns the channel id.  Rate-sequence lengths must match the phase
+    counts of the endpoints and initial tokens must be non-negative.
+    @raise Invalid_argument otherwise, or on unknown actors. *)
+
+val mem_actor : t -> string -> bool
+val actors : t -> string list
+val phases : t -> string -> int
+(** @raise Not_found on unknown actor. *)
+
+val channels : t -> (string, channel) Tpdf_graph.Digraph.edge list
+val channel : t -> int -> (string, channel) Tpdf_graph.Digraph.edge
+val digraph : t -> (string, channel) Tpdf_graph.Digraph.t
+(** The underlying directed multigraph (view, do not mutate). *)
+
+val in_channels : t -> string -> (string, channel) Tpdf_graph.Digraph.edge list
+val out_channels : t -> string -> (string, channel) Tpdf_graph.Digraph.edge list
+
+val prod_total : channel -> Poly.t
+(** X(τ): tokens produced by one full cycle of the producer. *)
+
+val cons_total : channel -> Poly.t
+(** Y(τ): tokens consumed by one full cycle of the consumer. *)
+
+val parameters : t -> string list
+(** All parameters occurring in any rate, sorted. *)
+
+val rates : string list -> Poly.t array
+(** Parse a rate sequence from strings, e.g. [rates \["1"; "0"; "p"\]].
+    @raise Tpdf_param.Expr.Parse_error on bad syntax. *)
+
+val const_rates : int list -> Poly.t array
+(** Constant rate sequence, e.g. [const_rates \[1; 0; 1\]]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable listing of actors and channels. *)
+
+val pp_dot : Format.formatter -> t -> unit
+(** Graphviz export with rate annotations. *)

@@ -1,0 +1,187 @@
+open Tpdf_param
+open Tpdf_util
+module Digraph = Tpdf_graph.Digraph
+
+type t = { r : (string * Poly.t) list; q : (string * Poly.t) list }
+
+exception Inconsistent of string
+exception Disconnected
+
+let ratio_exn what e p =
+  if Poly.is_zero p then
+    invalid_arg
+      (Printf.sprintf "Repetition.solve: zero total %s rate on channel e%d"
+         what e)
+
+let topology_matrix g =
+  List.map
+    (fun (e : (string, Graph.channel) Digraph.edge) ->
+      let x = Graph.prod_total e.label and y = Graph.cons_total e.label in
+      let entries =
+        if e.src = e.dst then [ (e.src, Poly.sub x y) ]
+        else [ (e.src, x); (e.dst, Poly.neg y) ]
+      in
+      (e.id, List.filter (fun (_, p) -> not (Poly.is_zero p)) entries))
+    (Graph.channels g)
+
+let verify_against_matrix g t =
+  List.for_all
+    (fun (_, row) ->
+      let dot =
+        List.fold_left
+          (fun acc (a, coeff) ->
+            Poly.add acc (Poly.mul coeff (List.assoc a t.r)))
+          Poly.zero row
+      in
+      Poly.is_zero dot)
+    (topology_matrix g)
+
+(* Propagate r along a spanning tree of the undirected skeleton. *)
+let propagate g =
+  let dg = Graph.digraph g in
+  match Digraph.vertices dg with
+  | [] -> invalid_arg "Repetition.solve: empty graph"
+  | root :: _ ->
+      let r = Hashtbl.create 16 in
+      Hashtbl.replace r root Frac.one;
+      let queue = Queue.create () in
+      Queue.add root queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        let rv = Hashtbl.find r v in
+        List.iter
+          (fun (e : (string, Graph.channel) Digraph.edge) ->
+            let x = Graph.prod_total e.label and y = Graph.cons_total e.label in
+            ratio_exn "production" e.id x;
+            ratio_exn "consumption" e.id y;
+            let other, rother =
+              if e.src = v then
+                (e.dst, Frac.mul rv (Frac.make x y))
+              else (e.src, Frac.mul rv (Frac.make y x))
+            in
+            if not (Hashtbl.mem r other) then begin
+              Hashtbl.replace r other rother;
+              Queue.add other queue
+            end)
+          (Digraph.incident dg v)
+      done;
+      if not (List.for_all (Hashtbl.mem r) (Digraph.vertices dg)) then
+        raise Disconnected;
+      r
+
+let verify g r =
+  List.iter
+    (fun (e : (string, Graph.channel) Digraph.edge) ->
+      let x = Graph.prod_total e.label and y = Graph.cons_total e.label in
+      let lhs = Frac.mul (Hashtbl.find r e.src) (Frac.of_poly x)
+      and rhs = Frac.mul (Hashtbl.find r e.dst) (Frac.of_poly y) in
+      if not (Frac.equal lhs rhs) then
+        raise
+          (Inconsistent
+             (Format.asprintf
+                "channel e%d (%s -> %s) is unbalanced: %a * %a <> %a * %a" e.id
+                e.src e.dst Frac.pp (Hashtbl.find r e.src) Poly.pp x Frac.pp
+                (Hashtbl.find r e.dst) Poly.pp y)))
+    (Graph.channels g)
+
+(* Normalize a vector of rational functions to the least positive vector of
+   integer-coefficient polynomials: clear polynomial denominators, then
+   cancel common numeric content and common parameter powers. *)
+let normalize entries =
+  let entries = ref entries in
+  let fractional () =
+    List.find_opt
+      (fun (_, f) -> not (Poly.equal (Frac.den f) Poly.one))
+      !entries
+  in
+  let rec clear () =
+    match fractional () with
+    | None -> ()
+    | Some (_, f) ->
+        let d = Frac.of_poly (Frac.den f) in
+        entries := List.map (fun (a, x) -> (a, Frac.mul x d)) !entries;
+        clear ()
+  in
+  clear ();
+  let polys =
+    List.map
+      (fun (a, f) ->
+        match Frac.to_poly f with
+        | Some p -> (a, p)
+        | None -> assert false)
+      !entries
+  in
+  (* Common numeric content. *)
+  let content =
+    List.fold_left (fun acc (_, p) -> Q.gcd acc (Poly.content p)) Q.zero polys
+  in
+  let polys =
+    if Q.is_zero content then polys
+    else List.map (fun (a, p) -> (a, Poly.scale (Q.inv content) p)) polys
+  in
+  (* Common polynomial factor (parameter powers and beyond): the primitive
+     multivariate GCD of all entries. *)
+  let common =
+    List.fold_left (fun acc (_, p) -> Poly.gcd acc p) Poly.zero polys
+  in
+  let polys =
+    if Poly.is_zero common || Poly.equal common Poly.one then polys
+    else
+      List.map
+        (fun (a, p) ->
+          match Poly.divide p common with
+          | Some q -> (a, q)
+          (* gcd (exact or fallback) always divides every fold argument *)
+          | None -> assert false)
+        polys
+  in
+  (* Fix the sign using the first entry. *)
+  match polys with
+  | (_, p) :: _ when not (Poly.is_zero p) && Q.sign (snd (Poly.leading p)) < 0
+    ->
+      List.map (fun (a, p) -> (a, Poly.neg p)) polys
+  | _ -> polys
+
+let solve g =
+  let raw = propagate g in
+  verify g raw;
+  let actor_order = Graph.actors g in
+  let entries = List.map (fun a -> (a, Hashtbl.find raw a)) actor_order in
+  let r = normalize entries in
+  let q =
+    List.map (fun (a, p) -> (a, Poly.mul (Poly.of_int (Graph.phases g a)) p)) r
+  in
+  { r; q }
+
+let is_consistent g =
+  match solve g with
+  | _ -> true
+  | exception (Inconsistent _ | Disconnected) -> false
+
+let r_of t a = List.assoc a t.r
+
+let q_of t a = List.assoc a t.q
+
+let q_int t v =
+  List.map
+    (fun (a, p) ->
+      let n = Poly.eval_int (Valuation.env v) p in
+      if n <= 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Repetition.q_int: repetition count of %s is %d under the given \
+              valuation"
+             a n);
+      (a, n))
+    t.q
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>r = [%a]@,q = [%a]@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (a, p) -> Format.fprintf ppf "%s:%a" a Poly.pp p))
+    t.r
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (a, p) -> Format.fprintf ppf "%s:%a" a Poly.pp p))
+    t.q

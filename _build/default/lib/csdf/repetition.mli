@@ -1,0 +1,57 @@
+(** Rate consistency and repetition vectors (Theorem 1 of the paper).
+
+    For a connected (C)SDF graph the balance equations [Γ·r = 0] have a
+    one-dimensional solution space; we compute the unique least positive
+    solution by propagating production/consumption ratios along a spanning
+    tree and verifying every remaining channel.  With parametric rates the
+    raw solution lives in the field of rational functions ({!Tpdf_param.Frac});
+    it is then normalized to the least vector of integer-coefficient
+    polynomials, mirroring Example 2 of the paper
+    ([r = \[1, p, p/2, p/2, p, p/2\]] → [\[2, 2p, p, p, 2p, p\]]). *)
+
+open Tpdf_param
+
+type t = {
+  r : (string * Poly.t) list;
+      (** normalized least positive solution of the balance equations,
+          in actor order: number of {e cycles} per iteration *)
+  q : (string * Poly.t) list;
+      (** repetition vector: q_j = τ_j · r_j (number of {e firings}) *)
+}
+
+exception Inconsistent of string
+(** The balance equations only admit the trivial solution; the payload
+    explains which channel is unbalanced. *)
+
+exception Disconnected
+(** The graph is not weakly connected (no unique repetition vector). *)
+
+val topology_matrix : Graph.t -> (int * (string * Poly.t) list) list
+(** The matrix Γ of Theorem 1 / Equation (3), one row per channel: entry
+    (e{_u}, a{_j}) is X{_j}{^u}(τ{_j}) when a{_j} produces on e{_u},
+    −Y{_j}{^u}(τ{_j}) when it consumes, both when it does both (self-loop:
+    the net total), and 0 (omitted) otherwise.  [Γ · r = 0] characterizes
+    consistency. *)
+
+val verify_against_matrix : Graph.t -> t -> bool
+(** Check [Γ · r = 0] explicitly for a computed solution (used in tests to
+    tie {!solve} back to Theorem 1). *)
+
+val solve : Graph.t -> t
+(** @raise Inconsistent / @raise Disconnected as above.
+    @raise Invalid_argument on an empty graph or a zero total rate. *)
+
+val is_consistent : Graph.t -> bool
+(** [true] iff {!solve} succeeds. *)
+
+val r_of : t -> string -> Poly.t
+(** @raise Not_found on unknown actor. *)
+
+val q_of : t -> string -> Poly.t
+(** @raise Not_found on unknown actor. *)
+
+val q_int : t -> Valuation.t -> (string * int) list
+(** Evaluate the repetition vector under a valuation.
+    @raise Invalid_argument if some entry is not a positive integer there. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+module Digraph = Tpdf_graph.Digraph
+
+type t = (string * int) list
+
+(* Replay bursts over the token state; None on underflow. *)
+let replay conc bursts =
+  let g = Concrete.graph conc in
+  let tokens = Hashtbl.create 16 in
+  List.iter
+    (fun (e : (string, Graph.channel) Digraph.edge) ->
+      Hashtbl.replace tokens e.id e.label.init)
+    (Graph.channels g);
+  let count = Hashtbl.create 16 in
+  List.iter (fun a -> Hashtbl.replace count a 0) (Graph.actors g);
+  let fire_once a =
+    let n = Hashtbl.find count a in
+    let phase = n mod Graph.phases g a in
+    let ok =
+      List.for_all
+        (fun (e : (string, Graph.channel) Digraph.edge) ->
+          Hashtbl.find tokens e.id
+          >= (Concrete.chan conc e.id).Concrete.cons.(phase))
+        (Graph.in_channels g a)
+    in
+    if not ok then false
+    else begin
+      List.iter
+        (fun (e : (string, Graph.channel) Digraph.edge) ->
+          Hashtbl.replace tokens e.id
+            (Hashtbl.find tokens e.id - (Concrete.chan conc e.id).Concrete.cons.(phase)))
+        (Graph.in_channels g a);
+      List.iter
+        (fun (e : (string, Graph.channel) Digraph.edge) ->
+          Hashtbl.replace tokens e.id
+            (Hashtbl.find tokens e.id + (Concrete.chan conc e.id).Concrete.prod.(phase)))
+        (Graph.out_channels g a);
+      Hashtbl.replace count a (n + 1);
+      true
+    end
+  in
+  let rec bursts_ok = function
+    | [] -> Some count
+    | (a, n) :: rest ->
+        let rec go i = i >= n || (fire_once a && go (i + 1)) in
+        if go 0 then bursts_ok rest else None
+  in
+  bursts_ok bursts
+
+let is_valid conc bursts =
+  (* every actor exactly once, with its full repetition count *)
+  let actors = Graph.actors (Concrete.graph conc) in
+  let names = List.map fst bursts in
+  List.sort compare names = List.sort compare actors
+  && List.for_all (fun (a, n) -> n = Concrete.q conc a) bursts
+  && replay conc bursts <> None
+
+(* Greedy search: repeatedly pick an actor whose whole burst can fire now.
+   Complete-burst firing is monotone in the same way single firings are,
+   so greedy choice with backtracking-free commitment is safe for
+   existence... except it is not in general; we add one level of
+   backtracking over the first blocked prefix to stay exact on small
+   graphs. *)
+let find conc =
+  let g = Concrete.graph conc in
+  let actors = Graph.actors g in
+  let rec search done_ acc =
+    if List.length done_ = List.length actors then Some (List.rev acc)
+    else
+      let candidates =
+        List.filter (fun a -> not (List.mem a done_)) actors
+      in
+      let try_actor a =
+        let bursts = List.rev ((a, Concrete.q conc a) :: acc) in
+        if replay conc bursts <> None then
+          search (a :: done_) ((a, Concrete.q conc a) :: acc)
+        else None
+      in
+      List.fold_left
+        (fun found a -> match found with Some _ -> found | None -> try_actor a)
+        None candidates
+  in
+  search [] []
+
+let pp ppf t = Schedule.pp_compressed ppf t

@@ -1,0 +1,23 @@
+(** Single-appearance schedules (SAS).
+
+    A single-appearance schedule fires each actor in one contiguous burst —
+    the looped schedule (a{_1}){^q1} (a{_2}){^q2} … — which minimizes code
+    size on embedded targets (each actor's code appears once).  For acyclic
+    graphs a topological order always yields a valid SAS; for cyclic graphs
+    one may not exist (Fig. 1's graph needs (a3)²(a1)³(a2)², which {e is}
+    single-appearance, but e.g. Fig. 4(b) needs interleaving and has
+    none). *)
+
+type t = (string * int) list
+(** Actor bursts in order, e.g. [\[("a3",2); ("a1",3); ("a2",2)\]]. *)
+
+val find : Concrete.t -> t option
+(** A valid SAS if one exists with these heuristics: try every topological
+    order refinement by greedily firing whole bursts; [None] when no
+    ordering of complete bursts executes (interleaving required). *)
+
+val is_valid : Concrete.t -> t -> bool
+(** Replay the bursts and check the iteration completes without a channel
+    going negative and all counts match the repetition vector. *)
+
+val pp : Format.formatter -> t -> unit

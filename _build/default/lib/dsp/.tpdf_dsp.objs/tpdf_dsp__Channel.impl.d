@@ -1,0 +1,1 @@
+lib/dsp/channel.ml: Array Complex Prng Tpdf_util

@@ -1,0 +1,1 @@
+lib/dsp/channel.mli: Complex Tpdf_util

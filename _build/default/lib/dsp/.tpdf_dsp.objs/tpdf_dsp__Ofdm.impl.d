@@ -1,0 +1,1 @@
+lib/dsp/ofdm.ml: Array Fft List Modulation

@@ -1,0 +1,1 @@
+lib/dsp/ofdm.mli: Complex Modulation

@@ -1,0 +1,20 @@
+open Tpdf_util
+
+let signal_power x =
+  let n = Array.length x in
+  if n = 0 then 0.0
+  else
+    Array.fold_left (fun acc c -> acc +. Complex.norm2 c) 0.0 x /. float_of_int n
+
+let awgn rng ~snr_db x =
+  let p = signal_power x in
+  let noise_power = p /. (10.0 ** (snr_db /. 10.0)) in
+  (* Noise is complex: half the power on each axis. *)
+  let sigma = sqrt (noise_power /. 2.0) in
+  Array.map
+    (fun c ->
+      {
+        Complex.re = c.Complex.re +. (sigma *. Prng.gaussian rng);
+        im = c.Complex.im +. (sigma *. Prng.gaussian rng);
+      })
+    x

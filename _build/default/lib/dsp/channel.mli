@@ -1,0 +1,9 @@
+(** Channel impairments for end-to-end link simulation. *)
+
+val awgn :
+  Tpdf_util.Prng.t -> snr_db:float -> Complex.t array -> Complex.t array
+(** Add white Gaussian noise at the given signal-to-noise ratio (measured
+    against the empirical signal power). *)
+
+val signal_power : Complex.t array -> float
+(** Mean squared magnitude; 0 for the empty array. *)

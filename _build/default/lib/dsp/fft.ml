@@ -1,0 +1,66 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(* In-place iterative radix-2 with bit-reversal permutation. *)
+let transform ~inverse x =
+  let n = Array.length x in
+  if not (is_power_of_two n) then
+    invalid_arg "Fft: length must be a positive power of two";
+  let a = Array.copy x in
+  (* Bit reversal. *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let t = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- t
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  (* Butterflies. *)
+  let sign = if inverse then 1.0 else -1.0 in
+  let len = ref 2 in
+  while !len <= n do
+    let ang = sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wlen = { Complex.re = cos ang; im = sin ang } in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Complex.one in
+      for k = 0 to (!len / 2) - 1 do
+        let u = a.(!i + k) in
+        let v = Complex.mul a.(!i + k + (!len / 2)) !w in
+        a.(!i + k) <- Complex.add u v;
+        a.(!i + k + (!len / 2)) <- Complex.sub u v;
+        w := Complex.mul !w wlen
+      done;
+      i := !i + !len
+    done;
+    len := !len lsl 1
+  done;
+  if inverse then
+    Array.map
+      (fun c -> { Complex.re = c.Complex.re /. float_of_int n; im = c.Complex.im /. float_of_int n })
+      a
+  else a
+
+let fft x = transform ~inverse:false x
+
+let ifft x = transform ~inverse:true x
+
+let dft_naive x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let acc = ref Complex.zero in
+      for t = 0 to n - 1 do
+        let ang = -2.0 *. Float.pi *. float_of_int k *. float_of_int t /. float_of_int n in
+        acc :=
+          Complex.add !acc
+            (Complex.mul x.(t) { Complex.re = cos ang; im = sin ang })
+      done;
+      !acc)
+
+let magnitude_spectrum x = Array.map Complex.norm x

@@ -1,0 +1,19 @@
+(** Fast Fourier transform on complex vectors.
+
+    Iterative radix-2 Cooley-Tukey, used by the OFDM demodulator case study
+    (the FFT actor of Fig. 7) and its matching transmitter.  Lengths must
+    be powers of two (OFDM symbol lengths are 512 or 1024 in the paper). *)
+
+val is_power_of_two : int -> bool
+
+val fft : Complex.t array -> Complex.t array
+(** Forward DFT.  @raise Invalid_argument unless the length is a positive
+    power of two. *)
+
+val ifft : Complex.t array -> Complex.t array
+(** Inverse DFT, normalized by 1/n ([ifft (fft x) = x]). *)
+
+val dft_naive : Complex.t array -> Complex.t array
+(** O(n²) reference implementation (any length), for testing. *)
+
+val magnitude_spectrum : Complex.t array -> float array

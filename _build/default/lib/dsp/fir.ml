@@ -1,0 +1,46 @@
+let apply taps signal =
+  let k = Array.length taps in
+  if k = 0 then invalid_arg "Fir.apply: empty taps";
+  let n = Array.length signal in
+  Array.init n (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to k - 1 do
+        if i - j >= 0 then acc := !acc +. (taps.(j) *. signal.(i - j))
+      done;
+      !acc)
+
+let lowpass ~cutoff ~taps =
+  if cutoff <= 0.0 || cutoff >= 0.5 then
+    invalid_arg "Fir.lowpass: cutoff must be in (0, 0.5)";
+  if taps < 1 then invalid_arg "Fir.lowpass: need at least one tap";
+  let m = float_of_int (taps - 1) in
+  let h =
+    Array.init taps (fun i ->
+        let x = float_of_int i -. (m /. 2.0) in
+        let sinc =
+          if abs_float x < 1e-12 then 2.0 *. cutoff
+          else sin (2.0 *. Float.pi *. cutoff *. x) /. (Float.pi *. x)
+        in
+        let hamming = 0.54 -. (0.46 *. cos (2.0 *. Float.pi *. float_of_int i /. m)) in
+        sinc *. (if taps = 1 then 1.0 else hamming))
+  in
+  (* Normalize to unit DC gain. *)
+  let sum = Array.fold_left ( +. ) 0.0 h in
+  if abs_float sum > 1e-12 then Array.map (fun v -> v /. sum) h else h
+
+let bandpass ~low ~high ~taps =
+  if not (0.0 < low && low < high && high < 0.5) then
+    invalid_arg "Fir.bandpass: need 0 < low < high < 0.5";
+  let hi = lowpass ~cutoff:high ~taps in
+  let lo = lowpass ~cutoff:low ~taps in
+  Array.init taps (fun i -> hi.(i) -. lo.(i))
+
+let fm_demodulate signal =
+  let n = Array.length signal in
+  if n < 2 then [||]
+  else
+    Array.init (n - 1) (fun i ->
+        (* Approximate instantaneous frequency from sample-to-sample phase
+           progression of the analytic pair (x[i], x[i+1]). *)
+        let a = signal.(i) and b = signal.(i + 1) in
+        atan2 (b -. a) (1.0 +. (a *. b)))

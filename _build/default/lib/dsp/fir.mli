@@ -1,0 +1,19 @@
+(** Finite-impulse-response filtering (the FM-radio benchmark of §V and
+    StreamIt \[11\] is a bank of FIR stages). *)
+
+val apply : float array -> float array -> float array
+(** [apply taps signal] convolves with zero-padded history; output length
+    equals input length.  @raise Invalid_argument on empty taps. *)
+
+val lowpass : cutoff:float -> taps:int -> float array
+(** Windowed-sinc (Hamming) low-pass design; [cutoff] is the normalized
+    frequency in (0, 0.5).  @raise Invalid_argument on bad arguments. *)
+
+val bandpass : low:float -> high:float -> taps:int -> float array
+(** Band-pass as a difference of two low-pass designs;
+    [0 < low < high < 0.5]. *)
+
+val fm_demodulate : float array -> float array
+(** Discrete FM discriminator: the scaled angle difference of consecutive
+    samples of the analytic signal approximation.  Output length is
+    [length - 1] (0 for inputs shorter than 2). *)

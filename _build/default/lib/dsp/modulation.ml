@@ -1,0 +1,81 @@
+type scheme = Qpsk | Qam16
+
+let bits_per_symbol = function Qpsk -> 2 | Qam16 -> 4
+
+let scheme_of_m = function
+  | 2 -> Qpsk
+  | 4 -> Qam16
+  | m -> invalid_arg (Printf.sprintf "Modulation.scheme_of_m: M=%d (expected 2 or 4)" m)
+
+(* Gray-coded PAM levels for one I/Q axis. *)
+let pam2 = [| -1.0; 1.0 |] (* bit 0 -> -1, bit 1 -> +1 *)
+
+let pam4 = [| -3.0; -1.0; 3.0; 1.0 |] (* Gray: 00 01 10 11 -> -3 -1 +3 +1 *)
+
+let check_bit b = if b <> 0 && b <> 1 then invalid_arg "Modulation: bit out of range"
+
+let modulate scheme bits =
+  let k = bits_per_symbol scheme in
+  let n = Array.length bits in
+  if n mod k <> 0 then
+    invalid_arg "Modulation.modulate: bit count not a multiple of bits/symbol";
+  Array.iter check_bit bits;
+  let nsym = n / k in
+  match scheme with
+  | Qpsk ->
+      (* one bit per axis, normalized to unit average power *)
+      let s = 1.0 /. sqrt 2.0 in
+      Array.init nsym (fun i ->
+          {
+            Complex.re = s *. pam2.(bits.((2 * i) + 0));
+            im = s *. pam2.(bits.((2 * i) + 1));
+          })
+  | Qam16 ->
+      (* two Gray bits per axis; E[|x|^2] = 10 for the raw grid *)
+      let s = 1.0 /. sqrt 10.0 in
+      Array.init nsym (fun i ->
+          let idx_i = (2 * bits.((4 * i) + 0)) + bits.((4 * i) + 1) in
+          let idx_q = (2 * bits.((4 * i) + 2)) + bits.((4 * i) + 3) in
+          { Complex.re = s *. pam4.(idx_i); im = s *. pam4.(idx_q) })
+
+let slice_pam2 v = if v >= 0.0 then 1 else 0
+
+(* Inverse of the Gray map used in [pam4]. *)
+let slice_pam4 v =
+  if v < -2.0 then (0, 0)
+  else if v < 0.0 then (0, 1)
+  else if v < 2.0 then (1, 1)
+  else (1, 0)
+
+let demodulate scheme symbols =
+  match scheme with
+  | Qpsk ->
+      let s = sqrt 2.0 in
+      Array.concat
+        (Array.to_list
+           (Array.map
+              (fun c ->
+                [|
+                  slice_pam2 (c.Complex.re *. s); slice_pam2 (c.Complex.im *. s);
+                |])
+              symbols))
+  | Qam16 ->
+      let s = sqrt 10.0 in
+      Array.concat
+        (Array.to_list
+           (Array.map
+              (fun c ->
+                let b0, b1 = slice_pam4 (c.Complex.re *. s) in
+                let b2, b3 = slice_pam4 (c.Complex.im *. s) in
+                [| b0; b1; b2; b3 |])
+              symbols))
+
+let bit_error_rate ~sent ~received =
+  let n = Array.length sent in
+  if n = 0 || n <> Array.length received then
+    invalid_arg "Modulation.bit_error_rate: length mismatch or empty";
+  let errors = ref 0 in
+  for i = 0 to n - 1 do
+    if sent.(i) <> received.(i) then incr errors
+  done;
+  float_of_int !errors /. float_of_int n

@@ -1,0 +1,27 @@
+(** Digital (de)modulation for the OFDM case study.
+
+    The demodulator of Fig. 7 runs in a {e QPSK} (M = 2 bits/symbol) or
+    {e 16-QAM} (M = 4 bits/symbol) configuration, selected at run time by
+    the control actor.  Both use Gray-coded square constellations with
+    hard-decision demapping. *)
+
+type scheme = Qpsk | Qam16
+
+val bits_per_symbol : scheme -> int
+(** 2 for QPSK, 4 for 16-QAM — the paper's parameter M. *)
+
+val scheme_of_m : int -> scheme
+(** [scheme_of_m 2 = Qpsk], [scheme_of_m 4 = Qam16].
+    @raise Invalid_argument otherwise. *)
+
+val modulate : scheme -> int array -> Complex.t array
+(** Map a bit array (values 0/1) to unit-average-power symbols.
+    @raise Invalid_argument if the length is not a multiple of
+    [bits_per_symbol] or bits are out of range. *)
+
+val demodulate : scheme -> Complex.t array -> int array
+(** Hard-decision demapping back to bits. *)
+
+val bit_error_rate : sent:int array -> received:int array -> float
+(** Fraction of differing positions.  @raise Invalid_argument on length
+    mismatch or empty input. *)

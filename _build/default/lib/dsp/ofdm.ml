@@ -1,0 +1,52 @@
+type config = { n : int; l : int }
+
+let config ~n ~l =
+  if not (Fft.is_power_of_two n) then
+    invalid_arg "Ofdm.config: N must be a power of two";
+  if l < 0 || l > n then invalid_arg "Ofdm.config: need 0 <= L <= N";
+  { n; l }
+
+let samples_per_symbol cfg = cfg.n + cfg.l
+
+let transmit_symbol cfg freq =
+  if Array.length freq <> cfg.n then
+    invalid_arg "Ofdm.transmit_symbol: expected N frequency values";
+  let time = Fft.ifft freq in
+  (* Cyclic prefix: the last L samples, prepended. *)
+  Array.append (Array.sub time (cfg.n - cfg.l) cfg.l) time
+
+let remove_cyclic_prefix cfg samples =
+  if Array.length samples <> cfg.n + cfg.l then
+    invalid_arg "Ofdm.remove_cyclic_prefix: expected N+L samples";
+  Array.sub samples cfg.l cfg.n
+
+let receive_symbol cfg samples = Fft.fft (remove_cyclic_prefix cfg samples)
+
+let transmit_bits cfg scheme bits =
+  let k = Modulation.bits_per_symbol scheme in
+  let per_sym = cfg.n * k in
+  let total =
+    let n = Array.length bits in
+    if n mod per_sym = 0 && n > 0 then n else ((n / per_sym) + 1) * per_sym
+  in
+  let padded = Array.make total 0 in
+  Array.blit bits 0 padded 0 (Array.length bits);
+  let nsym = total / per_sym in
+  let stream =
+    Array.concat
+      (List.init nsym (fun s ->
+           let chunk = Array.sub padded (s * per_sym) per_sym in
+           transmit_symbol cfg (Modulation.modulate scheme chunk)))
+  in
+  (stream, padded)
+
+let receive_bits cfg scheme stream =
+  let sps = samples_per_symbol cfg in
+  let len = Array.length stream in
+  if len mod sps <> 0 then
+    invalid_arg "Ofdm.receive_bits: stream is not a whole number of symbols";
+  let nsym = len / sps in
+  Array.concat
+    (List.init nsym (fun s ->
+         let chunk = Array.sub stream (s * sps) sps in
+         Modulation.demodulate scheme (receive_symbol cfg chunk)))

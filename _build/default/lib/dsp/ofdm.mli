@@ -1,0 +1,36 @@
+(** OFDM symbol processing (§IV-B).
+
+    A wideband OFDM symbol stream is a sequence of vectors of length N
+    (the subcarrier count), each padded with a cyclic prefix of length L to
+    reduce inter-symbol interference.  The transmitter here generates the
+    sample stream the paper's SRC actor models with random values; the
+    receiver-side helpers implement the RCP (remove cyclic prefix) and FFT
+    actors of Fig. 7. *)
+
+type config = { n : int;  (** symbol length, power of two *) l : int  (** cyclic prefix length, 0 ≤ l ≤ n *) }
+
+val config : n:int -> l:int -> config
+(** @raise Invalid_argument on invalid dimensions. *)
+
+val samples_per_symbol : config -> int
+(** N + L. *)
+
+val transmit_symbol : config -> Complex.t array -> Complex.t array
+(** Frequency-domain vector of length N → time-domain samples of length
+    N+L (IFFT plus cyclic prefix).  @raise Invalid_argument on length. *)
+
+val remove_cyclic_prefix : config -> Complex.t array -> Complex.t array
+(** The RCP actor: N+L samples → N samples. *)
+
+val receive_symbol : config -> Complex.t array -> Complex.t array
+(** RCP then FFT: N+L time-domain samples → N frequency-domain values. *)
+
+val transmit_bits :
+  config -> Modulation.scheme -> int array -> Complex.t array * int array
+(** [transmit_bits cfg scheme bits] pads [bits] to fill a whole number of
+    OFDM symbols, returning the serialized time-domain stream and the
+    (padded) bit vector actually sent. *)
+
+val receive_bits :
+  config -> Modulation.scheme -> Complex.t array -> int array
+(** Demodulate a serialized stream produced by {!transmit_bits}. *)

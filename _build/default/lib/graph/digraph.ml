@@ -1,0 +1,225 @@
+type ('v, 'e) edge = { id : int; src : 'v; dst : 'v; label : 'e }
+
+type ('v, 'e) t = {
+  mutable order : 'v list; (* reverse insertion order *)
+  present : ('v, unit) Hashtbl.t;
+  mutable edge_list : ('v, 'e) edge list; (* reverse insertion order *)
+  by_id : (int, ('v, 'e) edge) Hashtbl.t;
+  out_tbl : ('v, ('v, 'e) edge list) Hashtbl.t; (* reverse order *)
+  in_tbl : ('v, ('v, 'e) edge list) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create () =
+  {
+    order = [];
+    present = Hashtbl.create 16;
+    edge_list = [];
+    by_id = Hashtbl.create 16;
+    out_tbl = Hashtbl.create 16;
+    in_tbl = Hashtbl.create 16;
+    next_id = 0;
+  }
+
+let mem_vertex g v = Hashtbl.mem g.present v
+
+let add_vertex g v =
+  if not (mem_vertex g v) then begin
+    Hashtbl.replace g.present v ();
+    g.order <- v :: g.order
+  end
+
+let push tbl key e =
+  let old = match Hashtbl.find_opt tbl key with Some l -> l | None -> [] in
+  Hashtbl.replace tbl key (e :: old)
+
+let add_edge g src dst label =
+  add_vertex g src;
+  add_vertex g dst;
+  let id = g.next_id in
+  g.next_id <- id + 1;
+  let e = { id; src; dst; label } in
+  g.edge_list <- e :: g.edge_list;
+  Hashtbl.replace g.by_id id e;
+  push g.out_tbl src e;
+  push g.in_tbl dst e;
+  id
+
+let vertices g = List.rev g.order
+
+let edges g = List.rev g.edge_list
+
+let find_edge g id = Hashtbl.find g.by_id id
+
+let nb_vertices g = List.length g.order
+
+let nb_edges g = g.next_id
+
+let out_edges g v =
+  match Hashtbl.find_opt g.out_tbl v with Some l -> List.rev l | None -> []
+
+let in_edges g v =
+  match Hashtbl.find_opt g.in_tbl v with Some l -> List.rev l | None -> []
+
+let dedup l =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.replace seen v ();
+        true
+      end)
+    l
+
+let succ g v = dedup (List.map (fun e -> e.dst) (out_edges g v))
+
+let pred g v = dedup (List.map (fun e -> e.src) (in_edges g v))
+
+let incident g v =
+  out_edges g v @ List.filter (fun e -> not (e.src = v && e.dst = v)) (in_edges g v)
+
+let is_weakly_connected g =
+  match vertices g with
+  | [] -> true
+  | root :: _ as vs ->
+      let visited = Hashtbl.create 16 in
+      let rec dfs v =
+        if not (Hashtbl.mem visited v) then begin
+          Hashtbl.replace visited v ();
+          List.iter
+            (fun e ->
+              dfs e.src;
+              dfs e.dst)
+            (incident g v)
+        end
+      in
+      dfs root;
+      List.for_all (Hashtbl.mem visited) vs
+
+(* Tarjan's strongly-connected-components algorithm, iterative-friendly
+   recursion (graphs here are small). *)
+let sccs g =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succ g v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  List.iter
+    (fun v -> if not (Hashtbl.mem index v) then strongconnect v)
+    (vertices g);
+  List.rev !components
+
+let has_self_loop g v = List.exists (fun e -> e.dst = v) (out_edges g v)
+
+let nontrivial_sccs g =
+  List.filter
+    (fun comp ->
+      match comp with [ v ] -> has_self_loop g v | _ :: _ :: _ -> true | [] -> false)
+    (sccs g)
+
+let has_cycle g = nontrivial_sccs g <> []
+
+let topological_sort g =
+  if has_cycle g then None
+  else begin
+    let indeg = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.replace indeg v (List.length (in_edges g v))) (vertices g);
+    let ready = Queue.create () in
+    List.iter
+      (fun v -> if Hashtbl.find indeg v = 0 then Queue.add v ready)
+      (vertices g);
+    let out = ref [] in
+    while not (Queue.is_empty ready) do
+      let v = Queue.pop ready in
+      out := v :: !out;
+      List.iter
+        (fun e ->
+          let d = Hashtbl.find indeg e.dst - 1 in
+          Hashtbl.replace indeg e.dst d;
+          if d = 0 then Queue.add e.dst ready)
+        (out_edges g v)
+    done;
+    Some (List.rev !out)
+  end
+
+let map_edges g fv fe =
+  let g' = create () in
+  List.iter (fun v -> add_vertex g' (fv v)) (vertices g);
+  List.iter
+    (fun e -> ignore (add_edge g' (fv e.src) (fv e.dst) (fe e)))
+    (edges g);
+  g'
+
+let subgraph g keep =
+  let g' = create () in
+  List.iter (fun v -> if keep v then add_vertex g' v) (vertices g);
+  List.iter
+    (fun e ->
+      if keep e.src && keep e.dst then begin
+        (* Preserve ids so callers can correlate with the parent graph. *)
+        let id = e.id in
+        g'.next_id <- max g'.next_id (id + 1);
+        let e' = { e with id } in
+        g'.edge_list <- e' :: g'.edge_list;
+        Hashtbl.replace g'.by_id id e';
+        push g'.out_tbl e'.src e';
+        push g'.in_tbl e'.dst e'
+      end)
+    (edges g);
+  g'
+
+let pp_dot ~vertex_name ?(vertex_attrs = fun _ -> []) ?(edge_attrs = fun _ -> [])
+    ?(graph_name = "g") ppf g =
+  let quote s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\"" in
+  let attrs ppf l =
+    match l with
+    | [] -> ()
+    | _ ->
+        Format.fprintf ppf " [%s]"
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (quote v)) l))
+  in
+  Format.fprintf ppf "digraph %s {@\n" graph_name;
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "  %s%a;@\n" (quote (vertex_name v)) attrs (vertex_attrs v))
+    (vertices g);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %s -> %s%a;@\n"
+        (quote (vertex_name e.src))
+        (quote (vertex_name e.dst))
+        attrs (edge_attrs e))
+    (edges g);
+  Format.fprintf ppf "}@\n"

@@ -1,0 +1,82 @@
+(** Generic directed multigraphs.
+
+    Dataflow graphs are directed multigraphs (two actors may be linked by
+    several channels), so edges carry a unique integer id next to their
+    label.  Vertices can be any hashable type; dataflow layers use actor
+    names (strings).
+
+    The structure is mutable and grows monotonically; analyses treat it as
+    immutable input. *)
+
+type ('v, 'e) t
+
+type ('v, 'e) edge = { id : int; src : 'v; dst : 'v; label : 'e }
+
+val create : unit -> ('v, 'e) t
+
+val add_vertex : ('v, 'e) t -> 'v -> unit
+(** Idempotent. *)
+
+val add_edge : ('v, 'e) t -> 'v -> 'v -> 'e -> int
+(** Adds both endpoints if absent; returns the fresh edge id. *)
+
+val mem_vertex : ('v, 'e) t -> 'v -> bool
+
+val vertices : ('v, 'e) t -> 'v list
+(** In insertion order. *)
+
+val edges : ('v, 'e) t -> ('v, 'e) edge list
+(** In insertion (id) order. *)
+
+val find_edge : ('v, 'e) t -> int -> ('v, 'e) edge
+(** @raise Not_found on an unknown id. *)
+
+val nb_vertices : ('v, 'e) t -> int
+val nb_edges : ('v, 'e) t -> int
+
+val out_edges : ('v, 'e) t -> 'v -> ('v, 'e) edge list
+val in_edges : ('v, 'e) t -> 'v -> ('v, 'e) edge list
+
+val succ : ('v, 'e) t -> 'v -> 'v list
+(** Successor vertices, deduplicated. *)
+
+val pred : ('v, 'e) t -> 'v -> 'v list
+(** Predecessor vertices, deduplicated. *)
+
+val incident : ('v, 'e) t -> 'v -> ('v, 'e) edge list
+(** All edges touching the vertex (out then in, self-loops once). *)
+
+val is_weakly_connected : ('v, 'e) t -> bool
+(** True for the empty graph. *)
+
+val sccs : ('v, 'e) t -> 'v list list
+(** Strongly connected components (Tarjan), in reverse topological order of
+    the condensation. *)
+
+val nontrivial_sccs : ('v, 'e) t -> 'v list list
+(** SCCs that contain a cycle: more than one vertex, or one vertex with a
+    self-loop. *)
+
+val has_cycle : ('v, 'e) t -> bool
+
+val topological_sort : ('v, 'e) t -> 'v list option
+(** [None] when the graph has a cycle. *)
+
+val map_edges : ('v, 'e) t -> ('v -> 'v) -> (('v, 'e) edge -> 'e) -> ('v, 'e) t
+(** [map_edges g fv fe] rebuilds the graph applying [fv] to endpoints and
+    [fe] to labels; vertices mapping to the same value are merged.  Edges
+    whose mapped endpoints coincide are kept as self-loops. *)
+
+val subgraph : ('v, 'e) t -> ('v -> bool) -> ('v, 'e) t
+(** Induced subgraph on the vertices satisfying the predicate; edge ids are
+    preserved. *)
+
+val pp_dot :
+  vertex_name:('v -> string) ->
+  ?vertex_attrs:('v -> (string * string) list) ->
+  ?edge_attrs:(('v, 'e) edge -> (string * string) list) ->
+  ?graph_name:string ->
+  Format.formatter ->
+  ('v, 'e) t ->
+  unit
+(** Graphviz export. *)

@@ -1,0 +1,1 @@
+lib/image/motion.ml: Array Image

@@ -1,0 +1,1 @@
+lib/image/motion.mli: Image

@@ -1,0 +1,1 @@
+lib/image/synthetic.ml: Float Image Prng Tpdf_util

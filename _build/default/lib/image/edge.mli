@@ -1,0 +1,46 @@
+(** The edge detectors of the §IV-A case study.
+
+    Relative costs follow their structure, matching the ordering the paper
+    measured (Fig. 6's table): Quick Mask applies one 3×3 mask, Sobel two,
+    Prewitt and Kirsch eight compass masks each, and Canny adds Gaussian
+    smoothing, non-maximum suppression and hysteresis — with an execution
+    time that depends on the image {e content}, which is exactly why the
+    application needs a deadline-driven Transaction box.
+
+    All detectors return a binary edge map (0 / 255). *)
+
+type detector = Quick_mask | Sobel | Prewitt | Kirsch | Canny
+
+val all : detector list
+(** In increasing quality order: Quick Mask, Sobel, Prewitt, Kirsch,
+    Canny. *)
+
+val name : detector -> string
+
+val quality : detector -> int
+(** Priority rank used by the Transaction box: Canny > Kirsch > Prewitt >
+    Sobel > Quick Mask (the paper's order, with Kirsch inserted). *)
+
+val quick_mask : ?threshold:float -> Image.t -> Image.t
+val sobel : ?threshold:float -> Image.t -> Image.t
+val prewitt : ?threshold:float -> Image.t -> Image.t
+val kirsch : ?threshold:float -> Image.t -> Image.t
+
+val canny : ?low:float -> ?high:float -> Image.t -> Image.t
+(** Gaussian blur → Sobel gradients → non-maximum suppression → double
+    threshold with hysteresis (weak edges kept only when connected to a
+    strong edge). *)
+
+val run : detector -> Image.t -> Image.t
+(** Dispatch with default thresholds. *)
+
+val gradient_magnitude : Image.t -> Image.t
+(** Sobel gradient magnitude (shared by {!sobel} and {!canny}); exposed for
+    tests. *)
+
+val model_duration_ms : detector -> width:int -> height:int -> float
+(** Calibrated cost model reproducing the shape of the paper's Fig. 6 table
+    (200 / 473 / 522 / 1040 ms at 1024×1024 on their Core i3): milliseconds
+    proportional to pixel count, with the per-detector constants fitted to
+    the paper's measurements.  Used when deterministic durations are needed
+    (tests, schedulers); benchmarks measure real wall-clock instead. *)

@@ -1,0 +1,60 @@
+type t = { w : int; h : int; data : float array }
+
+let create ~width ~height =
+  if width < 1 || height < 1 then
+    invalid_arg "Image.create: dimensions must be positive";
+  { w = width; h = height; data = Array.make (width * height) 0.0 }
+
+let width t = t.w
+let height t = t.h
+
+let clamp v lo hi = if v < lo then lo else if v > hi then hi else v
+
+let get t x y =
+  let x = clamp x 0 (t.w - 1) and y = clamp y 0 (t.h - 1) in
+  Array.unsafe_get t.data ((y * t.w) + x)
+
+let check t x y =
+  if x < 0 || x >= t.w || y < 0 || y >= t.h then
+    invalid_arg (Printf.sprintf "Image: (%d,%d) out of %dx%d" x y t.w t.h)
+
+let get_exn t x y =
+  check t x y;
+  t.data.((y * t.w) + x)
+
+let set t x y v =
+  check t x y;
+  t.data.((y * t.w) + x) <- v
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+let copy t = { t with data = Array.copy t.data }
+
+let map f t = { t with data = Array.map f t.data }
+
+let init ~width ~height f =
+  let t = create ~width ~height in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      t.data.((y * width) + x) <- f x y
+    done
+  done;
+  t
+
+let fold f acc t = Array.fold_left f acc t.data
+
+let mean t = fold ( +. ) 0.0 t /. float_of_int (t.w * t.h)
+
+let max_value t = fold max neg_infinity t
+
+let min_value t = fold min infinity t
+
+let threshold t thr = map (fun v -> if v > thr then 255.0 else 0.0) t
+
+let equal a b = a.w = b.w && a.h = b.h && a.data = b.data
+
+let nonzero_count t = fold (fun acc v -> if v <> 0.0 then acc + 1 else acc) 0 t
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%dx%d [%.1f, %.1f] mean %.2f" t.w t.h (min_value t)
+    (max_value t) (mean t)

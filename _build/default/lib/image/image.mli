@@ -1,0 +1,44 @@
+(** Grayscale images for the edge-detection case study (§IV-A).
+
+    Pixels are floats (conventionally 0.0-255.0) stored row-major.
+    Out-of-bounds reads clamp to the nearest edge pixel, the usual
+    convolution boundary handling. *)
+
+type t
+
+val create : width:int -> height:int -> t
+(** Zero-filled.  @raise Invalid_argument on non-positive sizes. *)
+
+val width : t -> int
+val height : t -> int
+
+val get : t -> int -> int -> float
+(** [get img x y] with clamped coordinates. *)
+
+val get_exn : t -> int -> int -> float
+(** @raise Invalid_argument when out of bounds. *)
+
+val set : t -> int -> int -> float -> unit
+(** @raise Invalid_argument when out of bounds. *)
+
+val fill : t -> float -> unit
+val copy : t -> t
+val map : (float -> float) -> t -> t
+val init : width:int -> height:int -> (int -> int -> float) -> t
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val mean : t -> float
+val max_value : t -> float
+val min_value : t -> float
+
+val threshold : t -> float -> t
+(** Binary image: 255 where strictly above the threshold, else 0. *)
+
+val equal : t -> t -> bool
+(** Same dimensions and exactly equal pixels. *)
+
+val nonzero_count : t -> int
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line dimension / range / mean summary. *)

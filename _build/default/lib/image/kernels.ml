@@ -1,0 +1,57 @@
+let convolve img ~size kernel =
+  if size mod 2 = 0 || size < 1 then
+    invalid_arg "Kernels.convolve: size must be odd and positive";
+  if Array.length kernel <> size * size then
+    invalid_arg "Kernels.convolve: kernel length mismatch";
+  let half = size / 2 in
+  let w = Image.width img and h = Image.height img in
+  Image.init ~width:w ~height:h (fun x y ->
+      let acc = ref 0.0 in
+      for ky = 0 to size - 1 do
+        for kx = 0 to size - 1 do
+          acc :=
+            !acc
+            +. (kernel.((ky * size) + kx) *. Image.get img (x + kx - half) (y + ky - half))
+        done
+      done;
+      !acc)
+
+let convolve3 img kernel = convolve img ~size:3 kernel
+
+let gaussian5 =
+  let raw =
+    [|
+      2.; 4.; 5.; 4.; 2.;
+      4.; 9.; 12.; 9.; 4.;
+      5.; 12.; 15.; 12.; 5.;
+      4.; 9.; 12.; 9.; 4.;
+      2.; 4.; 5.; 4.; 2.;
+    |]
+  in
+  let sum = Array.fold_left ( +. ) 0.0 raw in
+  Array.map (fun v -> v /. sum) raw
+
+let quick_mask = [| -1.; 0.; -1.; 0.; 4.; 0.; -1.; 0.; -1. |]
+
+let sobel_x = [| -1.; 0.; 1.; -2.; 0.; 2.; -1.; 0.; 1. |]
+
+let sobel_y = [| -1.; -2.; -1.; 0.; 0.; 0.; 1.; 2.; 1. |]
+
+(* The eight 45-degree rotations of the base compass template. *)
+let rotations base =
+  (* ring positions clockwise starting top-left; center stays put *)
+  let ring = [| 0; 1; 2; 5; 8; 7; 6; 3 |] in
+  Array.init 8 (fun r ->
+      let k = Array.make 9 base.(4) in
+      Array.iteri
+        (fun i pos ->
+          let src = ring.((i + (8 - r)) mod 8) in
+          k.(pos) <- base.(src))
+        ring;
+      k)
+
+let prewitt_compass =
+  rotations [| 1.; 1.; 1.; 1.; -2.; 1.; -1.; -1.; -1. |]
+
+let kirsch_compass =
+  rotations [| 5.; 5.; 5.; -3.; 0.; -3.; -3.; -3.; -3. |]

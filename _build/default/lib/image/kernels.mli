@@ -1,0 +1,24 @@
+(** Convolution and the classic 3×3 edge masks. *)
+
+val convolve3 : Image.t -> float array -> Image.t
+(** 3×3 convolution (row-major 9-element kernel), clamped borders. *)
+
+val convolve : Image.t -> size:int -> float array -> Image.t
+(** Square odd-sized convolution.  @raise Invalid_argument on even size or
+    kernel length mismatch. *)
+
+val gaussian5 : float array
+(** 5×5 Gaussian blur kernel (σ ≈ 1.4), normalized, as used by Canny. *)
+
+val quick_mask : float array
+(** The single “quick mask” of Phillips' classic implementation:
+    {v -1  0 -1 / 0 4 0 / -1 0 -1 v} *)
+
+val sobel_x : float array
+val sobel_y : float array
+
+val prewitt_compass : float array array
+(** The 8 compass orientations of the Prewitt operator. *)
+
+val kirsch_compass : float array array
+(** The 8 compass orientations of the Kirsch operator. *)

@@ -1,0 +1,121 @@
+type vector = { dx : int; dy : int }
+
+type field = {
+  block : int;
+  blocks_x : int;
+  blocks_y : int;
+  vectors : vector array;
+}
+
+let estimate_cost_ops kind ~block ~range =
+  let per_block =
+    match kind with
+    | `Zero -> 1
+    | `Tss -> 25 (* three rounds of 8 neighbours + centre *)
+    | `Full ->
+        let side = (2 * range) + 1 in
+        side * side
+  in
+  per_block * block * block
+
+let check_frames ~block reference current =
+  let w = Image.width current and h = Image.height current in
+  if Image.width reference <> w || Image.height reference <> h then
+    invalid_arg "Motion: frame dimensions differ";
+  if block < 1 || w mod block <> 0 || h mod block <> 0 then
+    invalid_arg "Motion: dimensions must be divisible by the block size";
+  (w / block, h / block)
+
+(* Sum of absolute differences between the current block and the reference
+   block displaced by (dx, dy); clamped reads keep borders cheap. *)
+let sad ~block reference current ~bx ~by ~dx ~dy =
+  let x0 = bx * block and y0 = by * block in
+  let acc = ref 0.0 in
+  for y = 0 to block - 1 do
+    for x = 0 to block - 1 do
+      acc :=
+        !acc
+        +. abs_float
+             (Image.get current (x0 + x) (y0 + y)
+             -. Image.get reference (x0 + x - dx) (y0 + y - dy))
+    done
+  done;
+  !acc
+
+let make_field ~block ~blocks_x ~blocks_y f =
+  {
+    block;
+    blocks_x;
+    blocks_y;
+    vectors =
+      Array.init (blocks_x * blocks_y) (fun i ->
+          f (i mod blocks_x) (i / blocks_x));
+  }
+
+let zero_motion ?(block = 16) ~reference current =
+  let blocks_x, blocks_y = check_frames ~block reference current in
+  make_field ~block ~blocks_x ~blocks_y (fun _ _ -> { dx = 0; dy = 0 })
+
+let full_search ?(block = 16) ?(range = 7) ~reference current =
+  let blocks_x, blocks_y = check_frames ~block reference current in
+  make_field ~block ~blocks_x ~blocks_y (fun bx by ->
+      let best = ref { dx = 0; dy = 0 } in
+      let best_sad = ref infinity in
+      for dy = -range to range do
+        for dx = -range to range do
+          let s = sad ~block reference current ~bx ~by ~dx ~dy in
+          if s < !best_sad then begin
+            best_sad := s;
+            best := { dx; dy }
+          end
+        done
+      done;
+      !best)
+
+let three_step_search ?(block = 16) ?(range = 7) ~reference current =
+  let blocks_x, blocks_y = check_frames ~block reference current in
+  make_field ~block ~blocks_x ~blocks_y (fun bx by ->
+      let centre = ref { dx = 0; dy = 0 } in
+      let best_sad =
+        ref (sad ~block reference current ~bx ~by ~dx:0 ~dy:0)
+      in
+      let step = ref (max 1 ((range + 1) / 2)) in
+      while !step >= 1 do
+        let c = !centre in
+        for sy = -1 to 1 do
+          for sx = -1 to 1 do
+            if sx <> 0 || sy <> 0 then begin
+              let dx = c.dx + (sx * !step) and dy = c.dy + (sy * !step) in
+              if abs dx <= range && abs dy <= range then begin
+                let s = sad ~block reference current ~bx ~by ~dx ~dy in
+                if s < !best_sad then begin
+                  best_sad := s;
+                  centre := { dx; dy }
+                end
+              end
+            end
+          done
+        done;
+        step := !step / 2
+      done;
+      !centre)
+
+let compensate ~reference field =
+  let w = field.blocks_x * field.block and h = field.blocks_y * field.block in
+  Image.init ~width:w ~height:h (fun x y ->
+      let bx = x / field.block and by = y / field.block in
+      let v = field.vectors.((by * field.blocks_x) + bx) in
+      Image.get reference (x - v.dx) (y - v.dy))
+
+let residual_energy ~current ~prediction =
+  let w = Image.width current and h = Image.height current in
+  if Image.width prediction <> w || Image.height prediction <> h then
+    invalid_arg "Motion.residual_energy: dimension mismatch";
+  let acc = ref 0.0 in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let d = Image.get current x y -. Image.get prediction x y in
+      acc := !acc +. (d *. d)
+    done
+  done;
+  !acc /. float_of_int (w * h)

@@ -1,0 +1,41 @@
+(** Block-matching motion estimation.
+
+    Substrate for the AVC-encoder discussion of §V: the paper improves a
+    video encoder by using a Transaction kernel with a quality threshold to
+    “choose dynamically the highest quality video available within
+    real-time constraints”.  Motion estimation is the part whose cost/
+    quality trade-off drives that choice; three standard algorithms with
+    very different costs are provided:
+
+    - {!zero_motion} — free, worst prediction;
+    - {!three_step_search} — logarithmic cost, good prediction;
+    - {!full_search} — exhaustive, best prediction, costly. *)
+
+type vector = { dx : int; dy : int }
+
+type field = {
+  block : int;  (** block size in pixels *)
+  blocks_x : int;
+  blocks_y : int;
+  vectors : vector array;  (** row-major, [blocks_x * blocks_y] entries *)
+}
+
+val estimate_cost_ops : [ `Zero | `Tss | `Full ] -> block:int -> range:int -> int
+(** Approximate SAD evaluations per block (1, 25-ish, (2r+1)²). *)
+
+val zero_motion : ?block:int -> reference:Image.t -> Image.t -> field
+(** All-zero vectors.  @raise Invalid_argument on dimension mismatch or
+    dimensions not divisible by the block size. *)
+
+val full_search : ?block:int -> ?range:int -> reference:Image.t -> Image.t -> field
+(** Exhaustive search in [\[-range, range\]²] (default block 16, range 7). *)
+
+val three_step_search : ?block:int -> ?range:int -> reference:Image.t -> Image.t -> field
+(** Classic TSS: halving step sizes around the best candidate. *)
+
+val compensate : reference:Image.t -> field -> Image.t
+(** Motion-compensated prediction built from the reference frame. *)
+
+val residual_energy : current:Image.t -> prediction:Image.t -> float
+(** Mean squared error of the prediction — the quality metric (lower is
+    better).  @raise Invalid_argument on dimension mismatch. *)

@@ -1,0 +1,56 @@
+open Tpdf_util
+
+let scene ?(seed = 42) ?(noise = 4.0) ~width ~height () =
+  let rng = Prng.create seed in
+  let img =
+    Image.init ~width ~height (fun x y ->
+        (* smooth diagonal gradient background *)
+        60.0
+        +. (80.0 *. (float_of_int (x + y) /. float_of_int (width + height))))
+  in
+  let w = width and h = height in
+  let rect x0 y0 x1 y1 v =
+    for y = max 0 y0 to min (h - 1) y1 do
+      for x = max 0 x0 to min (w - 1) x1 do
+        Image.set img x y v
+      done
+    done
+  in
+  let circle cx cy r v =
+    for y = max 0 (cy - r) to min (h - 1) (cy + r) do
+      for x = max 0 (cx - r) to min (w - 1) (cx + r) do
+        let dx = x - cx and dy = y - cy in
+        if (dx * dx) + (dy * dy) <= r * r then Image.set img x y v
+      done
+    done
+  in
+  (* A deterministic arrangement of shapes scaled to the image. *)
+  let u = w / 8 and v = h / 8 in
+  rect u v (3 * u) (3 * v) 220.0;
+  rect (5 * u) v (7 * u) (2 * v) 30.0;
+  circle (2 * u) (6 * v) (min u v) 200.0;
+  circle (6 * u) (6 * v) (min u v * 3 / 2) 90.0;
+  (* diagonal bar *)
+  for i = 0 to min w h - 1 do
+    for t = -2 to 2 do
+      let x = i + t and y = h - 1 - i in
+      if x >= 0 && x < w && y >= 0 && y < h then Image.set img x y 250.0
+    done
+  done;
+  (* pixel noise *)
+  if noise > 0.0 then
+    for y = 0 to h - 1 do
+      for x = 0 to w - 1 do
+        let p = Image.get img x y +. (noise *. Prng.gaussian rng) in
+        Image.set img x y (Float.max 0.0 (Float.min 255.0 p))
+      done
+    done;
+  img
+
+let checkerboard ?(square = 32) ~width ~height () =
+  if square < 1 then invalid_arg "Synthetic.checkerboard: square must be positive";
+  Image.init ~width ~height (fun x y ->
+      if (x / square + (y / square)) mod 2 = 0 then 230.0 else 25.0)
+
+let constant ?(value = 128.0) ~width ~height () =
+  Image.init ~width ~height (fun _ _ -> value)

@@ -1,0 +1,18 @@
+(** Deterministic synthetic test scenes.
+
+    The paper measures edge detectors on 1024×1024 camera images; this
+    repository substitutes seeded synthetic scenes with comparable edge
+    structure — geometric shapes over a smooth gradient, plus optional
+    Gaussian pixel noise (edge detectors' noise sensitivity is part of what
+    §IV-A discusses). *)
+
+val scene : ?seed:int -> ?noise:float -> width:int -> height:int -> unit -> Image.t
+(** Gradient background, a grid of rectangles, circles and diagonal bars,
+    then additive Gaussian noise with the given standard deviation
+    (default 4.0 gray levels).  Equal seeds give equal images. *)
+
+val checkerboard : ?square:int -> width:int -> height:int -> unit -> Image.t
+(** High-contrast calibration pattern (default 32-pixel squares). *)
+
+val constant : ?value:float -> width:int -> height:int -> unit -> Image.t
+(** Featureless image — edge detectors must return (almost) nothing. *)

@@ -1,0 +1,1 @@
+lib/param/expr.ml: Frac List Poly Printf String

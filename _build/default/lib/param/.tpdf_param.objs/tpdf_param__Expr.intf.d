@@ -1,0 +1,1 @@
+lib/param/expr.mli: Frac Poly

@@ -1,0 +1,1 @@
+lib/param/frac.ml: Format Monomial Poly Q Tpdf_util

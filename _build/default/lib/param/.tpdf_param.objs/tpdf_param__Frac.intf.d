@@ -1,0 +1,1 @@
+lib/param/frac.mli: Format Poly Q Tpdf_util

@@ -1,0 +1,1 @@
+lib/param/monomial.ml: Format Int List String Tpdf_util

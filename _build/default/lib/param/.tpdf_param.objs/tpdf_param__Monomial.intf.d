@@ -1,0 +1,1 @@
+lib/param/monomial.mli: Format

@@ -1,0 +1,1 @@
+lib/param/poly.ml: Array Format Intmath List Monomial Q Stdlib String Tpdf_util

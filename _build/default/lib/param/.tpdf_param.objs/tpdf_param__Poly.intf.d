@@ -1,0 +1,1 @@
+lib/param/poly.mli: Format Monomial Q Tpdf_util

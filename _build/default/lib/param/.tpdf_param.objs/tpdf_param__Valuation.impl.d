@@ -1,0 +1,1 @@
+lib/param/valuation.ml: Format List Map Printf String

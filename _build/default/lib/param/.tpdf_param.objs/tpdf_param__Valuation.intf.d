@@ -1,0 +1,1 @@
+lib/param/valuation.mli: Format

@@ -1,0 +1,150 @@
+exception Parse_error of string
+
+type token =
+  | Int of int
+  | Ident of string
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Caret
+  | Lparen
+  | Rparen
+
+let fail pos msg =
+  raise (Parse_error (Printf.sprintf "at position %d: %s" pos msg))
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '+' -> go (i + 1) ((i, Plus) :: acc)
+      | '-' -> go (i + 1) ((i, Minus) :: acc)
+      | '*' -> go (i + 1) ((i, Star) :: acc)
+      | '/' -> go (i + 1) ((i, Slash) :: acc)
+      | '^' -> go (i + 1) ((i, Caret) :: acc)
+      | '(' -> go (i + 1) ((i, Lparen) :: acc)
+      | ')' -> go (i + 1) ((i, Rparen) :: acc)
+      | '0' .. '9' ->
+          let j = ref i in
+          while !j < n && (match s.[!j] with '0' .. '9' -> true | _ -> false) do
+            incr j
+          done;
+          let v =
+            try int_of_string (String.sub s i (!j - i))
+            with Failure _ -> fail i "integer literal too large"
+          in
+          go !j ((i, Int v) :: acc)
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+          let j = ref i in
+          let ident_char = function
+            | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+            | _ -> false
+          in
+          while !j < n && ident_char s.[!j] do
+            incr j
+          done;
+          go !j ((i, Ident (String.sub s i (!j - i))) :: acc)
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []
+
+(* Recursive-descent parser over the token list. *)
+let parse s =
+  let tokens = ref (tokenize s) in
+  let peek () = match !tokens with [] -> None | (_, t) :: _ -> Some t in
+  let advance () =
+    match !tokens with [] -> () | _ :: rest -> tokens := rest
+  in
+  let pos () = match !tokens with [] -> String.length s | (p, _) :: _ -> p in
+  let rec expr () =
+    let t = ref (term ()) in
+    let rec loop () =
+      match peek () with
+      | Some Plus ->
+          advance ();
+          t := Frac.add !t (term ());
+          loop ()
+      | Some Minus ->
+          advance ();
+          t := Frac.sub !t (term ());
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !t
+  and term () =
+    let t = ref (factor ()) in
+    let rec loop () =
+      match peek () with
+      | Some Star ->
+          advance ();
+          t := Frac.mul !t (factor ());
+          loop ()
+      | Some Slash ->
+          advance ();
+          let p = pos () in
+          let d = factor () in
+          if Frac.is_zero d then fail p "division by zero";
+          t := Frac.div !t d;
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !t
+  and factor () =
+    match peek () with
+    | Some Minus ->
+        advance ();
+        Frac.neg (factor ())
+    | _ -> (
+        let a = atom () in
+        match peek () with
+        | Some Caret -> (
+            advance ();
+            match peek () with
+            | Some (Int e) -> (
+                advance ();
+                match Frac.to_poly a with
+                | Some p -> Frac.of_poly (Poly.pow p e)
+                | None ->
+                    Frac.div
+                      (Frac.of_poly (Poly.pow (Frac.num a) e))
+                      (Frac.of_poly (Poly.pow (Frac.den a) e)))
+            | _ -> fail (pos ()) "expected integer exponent after '^'")
+        | _ -> a)
+  and atom () =
+    match peek () with
+    | Some (Int v) ->
+        advance ();
+        Frac.of_int v
+    | Some (Ident v) ->
+        advance ();
+        Frac.var v
+    | Some Lparen ->
+        advance ();
+        let e = expr () in
+        (match peek () with
+        | Some Rparen -> advance ()
+        | _ -> fail (pos ()) "expected ')'");
+        e
+    | _ -> fail (pos ()) "expected integer, parameter or '('"
+  in
+  let e = expr () in
+  (match !tokens with
+  | [] -> ()
+  | (p, _) :: _ -> fail p "trailing input");
+  e
+
+let parse_poly s =
+  match Frac.to_poly (parse s) with
+  | Some p -> p
+  | None ->
+      raise
+        (Parse_error
+           (Printf.sprintf "%S does not denote a polynomial rate" s))
+
+let poly_of_int = Poly.of_int

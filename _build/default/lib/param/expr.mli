@@ -1,0 +1,28 @@
+(** Concrete syntax for symbolic rates.
+
+    Rates in graph-builder code and in the CLI are written as strings, e.g.
+    ["2"], ["p"], ["2*beta*N"], ["beta*(N+L)"], ["p^2 - 1"].  The grammar is:
+
+    {v
+      expr   ::= term (('+' | '-') term)*
+      term   ::= factor (('*' | '/') factor)*
+      factor ::= '-' factor | atom ('^' nat)?
+      atom   ::= nat | ident | '(' expr ')'
+    v}
+
+    Identifiers are parameter names ([A-Za-z_] followed by alphanumerics).
+    Division must cancel exactly when a polynomial is requested. *)
+
+exception Parse_error of string
+(** Carries a human-readable description with position information. *)
+
+val parse : string -> Frac.t
+(** Parse into a rational function.  @raise Parse_error on bad syntax. *)
+
+val parse_poly : string -> Poly.t
+(** Parse and require a polynomial (denominator 1 after normalization).
+    @raise Parse_error on bad syntax or a genuinely fractional result. *)
+
+val poly_of_int : int -> Poly.t
+(** Convenience alias for {!Poly.of_int}, for builder code mixing literal
+    and symbolic rates. *)

@@ -1,0 +1,102 @@
+open Tpdf_util
+
+type t = { num : Poly.t; den : Poly.t }
+
+(* Normalization: cancel what can be cancelled cheaply and exactly.
+   1. zero numerator short-circuits;
+   2. full exact division one way or the other;
+   3. common monomial factor;
+   4. scale so the denominator has coprime integer coefficients and a
+      positive leading coefficient. *)
+let make num den =
+  if Poly.is_zero den then raise Division_by_zero;
+  if Poly.is_zero num then { num = Poly.zero; den = Poly.one }
+  else
+    let num, den =
+      match Poly.divide num den with
+      | Some q -> (q, Poly.one)
+      | None -> (
+          match Poly.divide den num with
+          | Some q ->
+              (* num/den = 1/q *)
+              (Poly.one, q)
+          | None -> (num, den))
+    in
+    let num, den =
+      let mg = Monomial.gcd (Poly.monomial_gcd num) (Poly.monomial_gcd den) in
+      if Monomial.is_one mg then (num, den)
+      else
+        let strip p =
+          match Poly.divide p (Poly.monomial Q.one mg) with
+          | Some q -> q
+          | None -> assert false
+        in
+        (strip num, strip den)
+    in
+    let c = Poly.content den in
+    let c = if Q.sign (snd (Poly.leading den)) < 0 then Q.neg c else c in
+    let inv_c = Q.inv c in
+    { num = Poly.scale inv_c num; den = Poly.scale inv_c den }
+
+let of_poly p = make p Poly.one
+let of_int n = of_poly (Poly.of_int n)
+let of_q q = of_poly (Poly.const q)
+let var v = of_poly (Poly.var v)
+
+let zero = of_int 0
+let one = of_int 1
+
+let num t = t.num
+let den t = t.den
+
+let is_zero t = Poly.is_zero t.num
+
+let to_poly t = if Poly.equal t.den Poly.one then Some t.num else None
+
+let add a b =
+  make
+    (Poly.add (Poly.mul a.num b.den) (Poly.mul b.num a.den))
+    (Poly.mul a.den b.den)
+
+let neg a = { a with num = Poly.neg a.num }
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  (* Cross-cancel before multiplying to keep degrees low. *)
+  let x = make a.num b.den and y = make b.num a.den in
+  make (Poly.mul x.num y.num) (Poly.mul x.den y.den)
+
+let inv a =
+  if is_zero a then raise Division_by_zero;
+  make a.den a.num
+
+let div a b = mul a (inv b)
+
+let equal a b =
+  Poly.equal (Poly.mul a.num b.den) (Poly.mul b.num a.den)
+
+let subst x q t = make (Poly.subst x q t.num) (Poly.subst x q t.den)
+
+let eval env t =
+  let d = Poly.eval env t.den in
+  if Q.is_zero d then raise Division_by_zero;
+  Q.div (Poly.eval env t.num) d
+
+let pp ppf t =
+  if Poly.equal t.den Poly.one then Poly.pp ppf t.num
+  else
+    let wrap ppf p =
+      if Poly.is_monomial p then Poly.pp ppf p
+      else Format.fprintf ppf "(%a)" Poly.pp p
+    in
+    Format.fprintf ppf "%a/%a" wrap t.num wrap t.den
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+end

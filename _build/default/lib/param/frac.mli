@@ -1,0 +1,65 @@
+(** Rational functions of the integer parameters.
+
+    Solutions of the symbolic balance equations (§III-A of the paper) live in
+    the field of fractions of the polynomial ring: the raw solution for the
+    Fig. 2 graph is [r = \[1, p, p/2, p/2, p, p/2\]].  A value of this type is
+    a quotient [num/den] of two polynomials with [den <> 0], normalized by
+    exact cancellation (monomial content, numeric content, and full exact
+    division when it applies).  Equality is decided by cross-multiplication
+    and is therefore exact even when a common polynomial factor survived
+    normalization. *)
+
+open Tpdf_util
+
+type t
+
+val make : Poly.t -> Poly.t -> t
+(** [make num den].  @raise Division_by_zero when [den] is zero. *)
+
+val of_poly : Poly.t -> t
+val of_int : int -> t
+val of_q : Q.t -> t
+val var : string -> t
+
+val zero : t
+val one : t
+
+val num : t -> Poly.t
+val den : t -> Poly.t
+
+val is_zero : t -> bool
+
+val to_poly : t -> Poly.t option
+(** [Some p] when the denominator normalized to 1. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero when dividing by {!zero}. *)
+
+val inv : t -> t
+(** @raise Division_by_zero on {!zero}. *)
+
+val equal : t -> t -> bool
+(** Exact mathematical equality (cross-multiplication). *)
+
+val subst : string -> Poly.t -> t -> t
+(** Substitute a parameter by a polynomial in both numerator and
+    denominator.  @raise Division_by_zero if the denominator collapses to
+    zero. *)
+
+val eval : (string -> int) -> t -> Q.t
+(** Evaluate under a parameter assignment.
+    @raise Division_by_zero if the denominator vanishes at that point. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+end

@@ -1,0 +1,110 @@
+(* Sorted association list from parameter name to exponent; exponents are
+   strictly positive, names strictly increasing. *)
+type t = (string * int) list
+
+let one = []
+
+let var v = [ (v, 1) ]
+
+let of_list l =
+  let l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+  let rec check = function
+    | [] -> ()
+    | (_, e) :: _ when e <= 0 ->
+        invalid_arg "Monomial.of_list: non-positive exponent"
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg "Monomial.of_list: duplicate parameter"
+        else check rest
+    | [ _ ] -> ()
+  in
+  check l;
+  l
+
+let to_list t = t
+
+let is_one t = t = []
+
+let degree t = List.fold_left (fun acc (_, e) -> acc + e) 0 t
+
+let exponent t v = match List.assoc_opt v t with Some e -> e | None -> 0
+
+let rec merge f a b =
+  match (a, b) with
+  | [], rest | rest, [] ->
+      List.filter_map (fun (v, e) -> match f e 0 with 0 -> None | e -> Some (v, e)) rest
+  | (va, ea) :: ra, (vb, eb) :: rb -> (
+      let c = String.compare va vb in
+      if c < 0 then
+        match f ea 0 with
+        | 0 -> merge f ra b
+        | e -> (va, e) :: merge f ra b
+      else if c > 0 then
+        match f eb 0 with
+        | 0 -> merge f a rb
+        | e -> (vb, e) :: merge f a rb
+      else
+        match f ea eb with
+        | 0 -> merge f ra rb
+        | e -> (va, e) :: merge f ra rb)
+
+let mul a b = merge ( + ) a b
+
+let divides a b = List.for_all (fun (v, e) -> exponent b v >= e) a
+
+let div b a =
+  if not (divides a b) then invalid_arg "Monomial.div: not divisible";
+  merge ( - ) b a
+
+let gcd a b =
+  List.filter_map
+    (fun (v, e) ->
+      let e' = min e (exponent b v) in
+      if e' > 0 then Some (v, e') else None)
+    a
+
+let lcm a b = merge max a b
+
+let pow t n =
+  if n < 0 then invalid_arg "Monomial.pow: negative exponent";
+  if n = 0 then one else List.map (fun (v, e) -> (v, e * n)) t
+
+let compare a b =
+  let c = Int.compare (degree a) (degree b) in
+  if c <> 0 then c
+  else
+    (* Lexicographic on the sorted variable/exponent sequence: a variable
+       earlier in the alphabet with a higher exponent compares greater. *)
+    let rec lex a b =
+      match (a, b) with
+      | [], [] -> 0
+      | [], _ -> -1
+      | _, [] -> 1
+      | (va, ea) :: ra, (vb, eb) :: rb ->
+          let c = String.compare vb va in
+          if c <> 0 then c
+          else
+            let c = Int.compare ea eb in
+            if c <> 0 then c else lex ra rb
+    in
+    lex a b
+
+let equal a b = compare a b = 0
+
+let vars t = List.map fst t
+
+let eval env t =
+  List.fold_left
+    (fun acc (v, e) -> Tpdf_util.Intmath.mul_exn acc (Tpdf_util.Intmath.pow (env v) e))
+    1 t
+
+let pp ppf t =
+  match t with
+  | [] -> Format.pp_print_string ppf "1"
+  | _ ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "*")
+        (fun ppf (v, e) ->
+          if e = 1 then Format.pp_print_string ppf v
+          else Format.fprintf ppf "%s^%d" v e)
+        ppf t

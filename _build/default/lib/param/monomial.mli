@@ -1,0 +1,57 @@
+(** Power products of integer parameters, e.g. [p], [beta*N], [p^2*q].
+
+    A monomial maps parameter names to strictly positive exponents.  The
+    empty monomial is the constant [1].  Monomials are ordered by graded
+    lexicographic order, the order used by the polynomial layer for division
+    and canonical printing. *)
+
+type t
+
+val one : t
+(** The empty power product (constant 1). *)
+
+val var : string -> t
+(** [var "p"] is the monomial [p]. *)
+
+val of_list : (string * int) list -> t
+(** Build from (parameter, exponent) pairs; exponents must be positive and
+    parameters distinct.  @raise Invalid_argument otherwise. *)
+
+val to_list : t -> (string * int) list
+(** Sorted (parameter, exponent) pairs. *)
+
+val is_one : t -> bool
+
+val degree : t -> int
+(** Total degree (sum of exponents). *)
+
+val exponent : t -> string -> int
+(** Exponent of a parameter, 0 when absent. *)
+
+val mul : t -> t -> t
+
+val divides : t -> t -> bool
+(** [divides a b] iff [a] divides [b] componentwise. *)
+
+val div : t -> t -> t
+(** Exact quotient.  @raise Invalid_argument when [divides] is false. *)
+
+val gcd : t -> t -> t
+val lcm : t -> t -> t
+
+val pow : t -> int -> t
+(** @raise Invalid_argument on negative exponent. *)
+
+val compare : t -> t -> int
+(** Graded lexicographic order; [one] is the smallest monomial. *)
+
+val equal : t -> t -> bool
+
+val vars : t -> string list
+(** Parameters occurring in the monomial, sorted. *)
+
+val eval : (string -> int) -> t -> int
+(** Evaluate under a parameter assignment (overflow-checked). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. ["p^2*q"]; the constant monomial prints as ["1"]. *)

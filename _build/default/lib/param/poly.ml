@@ -1,0 +1,289 @@
+open Tpdf_util
+
+(* Terms sorted by strictly decreasing monomial order; no zero coefficient. *)
+type t = (Monomial.t * Q.t) list
+
+let zero = []
+
+let const c = if Q.is_zero c then [] else [ (Monomial.one, c) ]
+
+let one = const Q.one
+
+let of_int n = const (Q.of_int n)
+
+let monomial c m = if Q.is_zero c then [] else [ (m, c) ]
+
+let var v = monomial Q.one (Monomial.var v)
+
+let is_zero t = t = []
+
+let is_const t =
+  match t with [] -> true | [ (m, _) ] -> Monomial.is_one m | _ -> false
+
+let to_const t =
+  match t with
+  | [] -> Some Q.zero
+  | [ (m, c) ] when Monomial.is_one m -> Some c
+  | _ -> None
+
+let terms t = t
+
+let leading t =
+  match t with
+  | [] -> invalid_arg "Poly.leading: zero polynomial"
+  | hd :: _ -> hd
+
+let rec add a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | (ma, ca) :: ra, (mb, cb) :: rb ->
+      let cmp = Monomial.compare ma mb in
+      if cmp > 0 then (ma, ca) :: add ra b
+      else if cmp < 0 then (mb, cb) :: add a rb
+      else
+        let c = Q.add ca cb in
+        if Q.is_zero c then add ra rb else (ma, c) :: add ra rb
+
+let neg t = List.map (fun (m, c) -> (m, Q.neg c)) t
+
+let sub a b = add a (neg b)
+
+let scale k t =
+  if Q.is_zero k then [] else List.map (fun (m, c) -> (m, Q.mul k c)) t
+
+let mul_term (m, c) t =
+  List.map (fun (m', c') -> (Monomial.mul m m', Q.mul c c')) t
+
+let mul a b = List.fold_left (fun acc term -> add acc (mul_term term b)) zero a
+
+let pow t n =
+  if n < 0 then invalid_arg "Poly.pow: negative exponent";
+  let rec go acc t n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (mul acc t) (mul t t) (n asr 1)
+    else go acc (mul t t) (n asr 1)
+  in
+  go one t n
+
+(* Division by a single divisor with respect to the monomial order: the
+   quotient exists exactly when the remainder vanishes. *)
+let divide a b =
+  if is_zero b then raise Division_by_zero;
+  let mb, cb = leading b in
+  let rec go quo rem =
+    match rem with
+    | [] -> Some (List.rev quo)
+    | (mr, cr) :: _ ->
+        if not (Monomial.divides mb mr) then None
+        else
+          let qm = Monomial.div mr mb and qc = Q.div cr cb in
+          let rem = sub rem (mul_term (qm, qc) b) in
+          go ((qm, qc) :: quo) rem
+  in
+  (* Quotient terms are produced in decreasing order already, but we collect
+     then reverse to keep the recursion tail-friendly; re-sort via add to be
+     safe about canonical form. *)
+  match go [] a with
+  | None -> None
+  | Some q -> Some (List.fold_left (fun acc term -> add acc [ term ]) zero q)
+
+let equal a b = sub a b = []
+
+let compare a b = Stdlib.compare (a : t) b
+
+let degree t =
+  List.fold_left (fun acc (m, _) -> max acc (Monomial.degree m)) (-1) t
+
+let vars t =
+  List.sort_uniq String.compare
+    (List.concat_map (fun (m, _) -> Monomial.vars m) t)
+
+let content t =
+  List.fold_left (fun acc (_, c) -> Q.gcd acc c) Q.zero t
+
+let monomial_gcd t =
+  match t with
+  | [] -> Monomial.one
+  | (m, _) :: rest ->
+      List.fold_left (fun acc (m', _) -> Monomial.gcd acc m') m rest
+
+let is_monomial t = match t with [] | [ _ ] -> true | _ -> false
+
+(* --- exact multivariate GCD ----------------------------------------- *)
+
+(* Normalize to coprime integer coefficients with a positive leading one. *)
+let normalize_sign_content t =
+  match t with
+  | [] -> []
+  | (_, lead) :: _ ->
+      let c =
+        List.fold_left (fun acc (_, coeff) -> Q.gcd acc coeff) Q.zero t
+      in
+      let c = if Q.sign lead < 0 then Q.neg c else c in
+      scale (Q.inv c) t
+
+(* View [t] as a univariate polynomial in [x]: an array of coefficient
+   polynomials (not containing x), index = power of x. *)
+let to_univar t x =
+  let deg_x =
+    List.fold_left (fun acc (m, _) -> max acc (Monomial.exponent m x)) 0 t
+  in
+  let coeffs = Array.make (deg_x + 1) zero in
+  List.iter
+    (fun (m, c) ->
+      let e = Monomial.exponent m x in
+      let rest =
+        Monomial.of_list
+          (List.filter (fun (v, _) -> v <> x) (Monomial.to_list m))
+      in
+      coeffs.(e) <- add coeffs.(e) (monomial c rest))
+    t;
+  coeffs
+
+let of_univar coeffs x =
+  let acc = ref zero in
+  Array.iteri
+    (fun e coeff ->
+      acc :=
+        add !acc
+          (mul coeff (monomial Q.one (Monomial.pow (Monomial.var x) e))))
+    coeffs;
+  !acc
+
+let univar_degree coeffs =
+  let d = ref (-1) in
+  Array.iteri (fun e c -> if not (is_zero c) then d := e) coeffs;
+  !d
+
+let rec gcd_exn a b =
+  if is_zero a then normalize_sign_content b
+  else if is_zero b then normalize_sign_content a
+  else
+    match (to_const a, to_const b) with
+    | Some _, Some _ -> one (* primitive gcd of nonzero constants *)
+    | _ ->
+        let all_vars = List.sort_uniq String.compare (vars a @ vars b) in
+        let x = List.hd all_vars in
+        let ua = to_univar a x and ub = to_univar b x in
+        let content_of u = Array.fold_left gcd_exn zero u in
+        let ca = content_of ua and cb = content_of ub in
+        let divide_exn p d =
+          match divide p d with Some q -> q | None -> assert false
+        in
+        let primitive u c = Array.map (fun coeff -> divide_exn coeff c) u in
+        let pa = primitive ua ca and pb = primitive ub cb in
+        (* primitive pseudo-remainder sequence in x *)
+        let rec euclid u v =
+          let dv = univar_degree v in
+          if dv < 0 then u
+          else if dv = 0 then [| one |]
+          else begin
+            (* pseudo-remainder: lc(v)^(du-dv+1) * u mod v *)
+            let du = univar_degree u in
+            if du < dv then euclid v u
+            else begin
+              let r = Array.map (fun c -> c) u in
+              let lv = v.(dv) in
+              for k = du downto dv do
+                let lead = r.(k) in
+                if not (is_zero lead) then begin
+                  (* r := lv * r - lead * x^(k-dv) * v *)
+                  for i = 0 to Array.length r - 1 do
+                    r.(i) <- mul lv r.(i)
+                  done;
+                  for i = 0 to dv do
+                    r.(i + k - dv) <- sub r.(i + k - dv) (mul lead v.(i))
+                  done
+                end
+              done;
+              for i = dv to Array.length r - 1 do
+                r.(i) <- zero
+              done;
+              (* Primitive PRS: strip the polynomial content, then the
+                 numeric content the primitive gcd ignores, keeping the
+                 coefficients small between steps. *)
+              let rc = Array.fold_left gcd_exn zero r in
+              let r =
+                if is_zero rc then r else Array.map (fun c -> divide_exn c rc) r
+              in
+              let rn =
+                Array.fold_left (fun acc p -> Q.gcd acc (content p)) Q.zero r
+              in
+              let r =
+                if Q.is_zero rn || Q.equal rn Q.one then r
+                else Array.map (fun p -> scale (Q.inv rn) p) r
+              in
+              euclid v r
+            end
+          end
+        in
+        let prim_gcd =
+          let g = euclid pa pb in
+          let gc = Array.fold_left gcd_exn zero g in
+          let g = if is_zero gc then g else Array.map (fun c -> divide_exn c gc) g in
+          of_univar g x
+        in
+        normalize_sign_content (mul (gcd_exn ca cb) prim_gcd)
+
+(* Native-int coefficient growth in the remainder sequence can overflow on
+   adversarial inputs; fall back to the always-valid monomial common
+   divisor in that case. *)
+let gcd a b =
+  match gcd_exn a b with
+  | g -> g
+  | exception Intmath.Overflow ->
+      if is_zero a && is_zero b then zero
+      else
+        let mg =
+          if is_zero a then monomial_gcd b
+          else if is_zero b then monomial_gcd a
+          else Monomial.gcd (monomial_gcd a) (monomial_gcd b)
+        in
+        monomial Q.one mg
+
+
+let subst x q t =
+  List.fold_left
+    (fun acc (m, c) ->
+      let e = Monomial.exponent m x in
+      if e = 0 then add acc [ (m, c) ]
+      else
+        let rest =
+          Monomial.of_list
+            (List.filter (fun (v, _) -> v <> x) (Monomial.to_list m))
+        in
+        add acc (mul (monomial c rest) (pow q e)))
+    zero t
+
+let eval env t =
+  List.fold_left
+    (fun acc (m, c) ->
+      Q.add acc (Q.mul c (Q.of_int (Monomial.eval env m))))
+    Q.zero t
+
+let eval_int env t =
+  let v = eval env t in
+  if not (Q.is_integer v) then
+    invalid_arg "Poly.eval_int: fractional value";
+  Q.to_int v
+
+let pp ppf t =
+  match t with
+  | [] -> Format.pp_print_string ppf "0"
+  | _ ->
+      List.iteri
+        (fun i (m, c) ->
+          let c =
+            if i = 0 then (
+              if Q.sign c < 0 then Format.pp_print_string ppf "-";
+              Q.abs c)
+            else (
+              Format.pp_print_string ppf (if Q.sign c < 0 then " - " else " + ");
+              Q.abs c)
+          in
+          if Monomial.is_one m then Format.fprintf ppf "%a" Q.pp c
+          else if Q.equal c Q.one then Monomial.pp ppf m
+          else Format.fprintf ppf "%a*%a" Q.pp c Monomial.pp m)
+        t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,85 @@
+(** Multivariate polynomials over the rationals.
+
+    Rates in a TPDF graph are polynomial expressions in the integer
+    parameters (e.g. [2*beta*N], [beta*(N+L)]).  Balance-equation solving
+    manipulates them exactly.  Polynomials are kept in canonical form (terms
+    sorted by decreasing monomial order, no zero coefficients), so
+    {!equal} is structural. *)
+
+open Tpdf_util
+
+type t
+
+val zero : t
+val one : t
+val const : Q.t -> t
+val of_int : int -> t
+val var : string -> t
+val monomial : Q.t -> Monomial.t -> t
+
+val is_zero : t -> bool
+val is_const : t -> bool
+
+val to_const : t -> Q.t option
+(** [Some c] when the polynomial is the constant [c]. *)
+
+val terms : t -> (Monomial.t * Q.t) list
+(** Terms in decreasing monomial order. *)
+
+val leading : t -> Monomial.t * Q.t
+(** Leading term.  @raise Invalid_argument on {!zero}. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val scale : Q.t -> t -> t
+val pow : t -> int -> t
+
+val gcd : t -> t -> t
+(** Exact multivariate {e primitive} GCD (primitive-PRS Euclid over a
+    recursive univariate view): the result has coprime integer
+    coefficients and a positive leading one, so the GCD of two nonzero
+    constants is 1 and [gcd p zero] is [p] made primitive.  Combine with
+    {!content} for a ℤ\[params\]-style GCD that keeps numeric factors
+    (see [Tpdf_core.Symbolic]).  Exact whenever native-int coefficient
+    arithmetic suffices (always, for the polynomial sizes of dataflow
+    rates); on overflow it falls back to the common monomial divisor,
+    which is still a valid common divisor. *)
+
+val divide : t -> t -> t option
+(** [divide a b] is [Some q] when [a = q*b] exactly, [None] otherwise.
+    @raise Division_by_zero when [b] is {!zero}. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val degree : t -> int
+(** Total degree; [-1] for {!zero} by convention. *)
+
+val vars : t -> string list
+(** Parameters occurring in the polynomial, sorted, without duplicates. *)
+
+val content : t -> Q.t
+(** Rational content: the positive rational [c] such that [t/c] has coprime
+    integer coefficients.  {!Q.zero} for the zero polynomial. *)
+
+val monomial_gcd : t -> Monomial.t
+(** GCD of all monomials of the polynomial ({!Monomial.one} for {!zero}). *)
+
+val is_monomial : t -> bool
+(** True when the polynomial has at most one term. *)
+
+val subst : string -> t -> t -> t
+(** [subst x q p] replaces every occurrence of parameter [x] in [p] by the
+    polynomial [q] (partial evaluation keeps the rest symbolic). *)
+
+val eval : (string -> int) -> t -> Q.t
+(** Evaluate under a parameter assignment. *)
+
+val eval_int : (string -> int) -> t -> int
+(** Evaluate and require an integer result.
+    @raise Invalid_argument if the value is fractional. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

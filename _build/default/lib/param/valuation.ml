@@ -1,0 +1,39 @@
+module M = Map.Make (String)
+
+type t = int M.t
+
+let empty = M.empty
+
+let add name v t = M.add name v t
+
+let of_list l =
+  List.fold_left
+    (fun acc (name, v) ->
+      if v <= 0 then
+        invalid_arg
+          (Printf.sprintf "Valuation.of_list: parameter %s must be positive" name);
+      if M.mem name acc then
+        invalid_arg (Printf.sprintf "Valuation.of_list: duplicate parameter %s" name);
+      M.add name v acc)
+    M.empty l
+
+let find t name = M.find name t
+
+let find_opt t name = M.find_opt name t
+
+let mem t name = M.mem name t
+
+let bindings t = M.bindings t
+
+let env t name =
+  match M.find_opt name t with
+  | Some v -> v
+  | None ->
+      invalid_arg (Printf.sprintf "Valuation: unbound parameter %s" name)
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (k, v) -> Format.fprintf ppf "%s=%d" k v))
+    (bindings t)

@@ -1,0 +1,33 @@
+(** Parameter assignments.
+
+    TPDF parameters are strictly positive integers set at runtime; analyses
+    that need concrete numbers (simulation, canonical-period expansion,
+    sample-based liveness validation) evaluate symbolic rates under a
+    valuation. *)
+
+type t
+
+val empty : t
+
+val of_list : (string * int) list -> t
+(** @raise Invalid_argument on duplicate names or non-positive values
+    (TPDF parameters range over positive integers). *)
+
+val add : string -> int -> t -> t
+(** Replaces any previous binding. *)
+
+val find : t -> string -> int
+(** @raise Not_found when the parameter is unbound. *)
+
+val find_opt : t -> string -> int option
+
+val mem : t -> string -> bool
+
+val bindings : t -> (string * int) list
+
+val env : t -> string -> int
+(** The lookup function expected by {!Poly.eval} and friends.
+    Unbound parameters raise [Not_found] with a helpful message via
+    [Invalid_argument]. *)
+
+val pp : Format.formatter -> t -> unit

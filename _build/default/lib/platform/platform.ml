@@ -1,0 +1,46 @@
+type comm_model = {
+  local_latency_ms : float;
+  remote_latency_ms : float;
+  control_latency_ms : float;
+}
+
+type t = { clusters : int; pes_per_cluster : int; comm : comm_model }
+
+let default_comm =
+  { local_latency_ms = 0.001; remote_latency_ms = 0.01; control_latency_ms = 0.0005 }
+
+let make ?(comm = default_comm) ~clusters ~pes_per_cluster () =
+  if clusters < 1 || pes_per_cluster < 1 then
+    invalid_arg "Platform.make: sizes must be positive";
+  if
+    comm.local_latency_ms < 0.0 || comm.remote_latency_ms < 0.0
+    || comm.control_latency_ms < 0.0
+  then invalid_arg "Platform.make: latencies must be non-negative";
+  { clusters; pes_per_cluster; comm }
+
+let mppa256 () = make ~clusters:16 ~pes_per_cluster:16 ()
+
+let uniform ?comm n = make ?comm ~clusters:1 ~pes_per_cluster:n ()
+
+let pe_count t = t.clusters * t.pes_per_cluster
+
+let clusters t = t.clusters
+
+let cluster_of t pe =
+  if pe < 0 || pe >= pe_count t then
+    invalid_arg (Printf.sprintf "Platform.cluster_of: bad PE id %d" pe);
+  pe / t.pes_per_cluster
+
+let comm t = t.comm
+
+let latency_ms t ~src ~dst =
+  if src = dst then 0.0
+  else if cluster_of t src = cluster_of t dst then t.comm.local_latency_ms
+  else t.comm.remote_latency_ms
+
+let control_latency_ms t = t.comm.control_latency_ms
+
+let pp ppf t =
+  Format.fprintf ppf "%d cluster(s) x %d PE(s) (local %gms, remote %gms, ctrl %gms)"
+    t.clusters t.pes_per_cluster t.comm.local_latency_ms t.comm.remote_latency_ms
+    t.comm.control_latency_ms

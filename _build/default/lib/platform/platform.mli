@@ -1,0 +1,44 @@
+(** Abstract many-core execution platform.
+
+    The paper targets the Kalray MPPA-256 (16 compute clusters of 16
+    processing elements connected by a NoC).  Scheduling and simulation in
+    this repository run against this abstraction: a set of processing
+    elements grouped into clusters, with a two-level communication cost
+    (cheap inside a cluster, more expensive across).  Absolute numbers are
+    configurable; the defaults approximate the MPPA's published figures
+    closely enough for shape-level comparisons. *)
+
+type comm_model = {
+  local_latency_ms : float;  (** producer and consumer on the same cluster *)
+  remote_latency_ms : float;  (** across clusters, over the NoC *)
+  control_latency_ms : float;
+      (** control-token delivery; the scheduler accounts for it so the
+          system behaves “as if it was instantaneous” (§III-D) *)
+}
+
+type t
+
+val make : ?comm:comm_model -> clusters:int -> pes_per_cluster:int -> unit -> t
+(** @raise Invalid_argument on non-positive sizes. *)
+
+val mppa256 : unit -> t
+(** 16 clusters × 16 PEs, MPPA-256-like latencies. *)
+
+val uniform : ?comm:comm_model -> int -> t
+(** [uniform n]: a single cluster of [n] PEs. *)
+
+val default_comm : comm_model
+
+val pe_count : t -> int
+val clusters : t -> int
+val cluster_of : t -> int -> int
+(** Cluster of a PE id.  @raise Invalid_argument on bad ids. *)
+
+val comm : t -> comm_model
+
+val latency_ms : t -> src:int -> dst:int -> float
+(** Data-token latency between two PEs; 0 on the same PE. *)
+
+val control_latency_ms : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sched/adf.ml: List Tpdf_csdf

@@ -1,0 +1,1 @@
+lib/sched/adf.mli: Tpdf_csdf

@@ -1,0 +1,1 @@
+lib/sched/canonical_period.ml: Adf Format Hashtbl List Queue Tpdf_csdf Tpdf_graph

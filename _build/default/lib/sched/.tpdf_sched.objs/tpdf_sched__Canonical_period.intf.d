@@ -1,0 +1,1 @@
+lib/sched/canonical_period.mli: Format Tpdf_csdf

@@ -1,0 +1,1 @@
+lib/sched/gantt.ml: Buffer Bytes Canonical_period List List_scheduler Printf String Tpdf_platform

@@ -1,0 +1,1 @@
+lib/sched/gantt.mli: List_scheduler Tpdf_platform

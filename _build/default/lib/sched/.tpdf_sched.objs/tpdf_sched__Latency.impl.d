@@ -1,0 +1,1 @@
+lib/sched/latency.ml: Canonical_period List List_scheduler Printf

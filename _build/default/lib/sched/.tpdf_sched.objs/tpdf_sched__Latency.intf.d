@@ -1,0 +1,1 @@
+lib/sched/latency.mli: List_scheduler

@@ -1,0 +1,1 @@
+lib/sched/list_scheduler.ml: Array Canonical_period Format Hashtbl List Tpdf_core Tpdf_platform

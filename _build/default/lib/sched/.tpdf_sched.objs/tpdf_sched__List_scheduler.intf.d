@@ -1,0 +1,1 @@
+lib/sched/list_scheduler.mli: Canonical_period Format Tpdf_core Tpdf_platform

@@ -1,0 +1,1 @@
+lib/sched/mcr.ml: Array Float Hashtbl List Printf String Tpdf_csdf Tpdf_graph

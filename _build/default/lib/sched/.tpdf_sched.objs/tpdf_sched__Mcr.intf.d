@@ -1,0 +1,1 @@
+lib/sched/mcr.mli: Tpdf_csdf

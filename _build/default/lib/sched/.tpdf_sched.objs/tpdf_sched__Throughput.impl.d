@@ -1,0 +1,1 @@
+lib/sched/throughput.ml: Canonical_period List_scheduler

@@ -1,0 +1,1 @@
+lib/sched/throughput.mli: Canonical_period Tpdf_core Tpdf_csdf Tpdf_platform

@@ -1,0 +1,20 @@
+module Csdf = Tpdf_csdf
+
+let producer_firing conc ~channel ~consumer_index =
+  let ch = Csdf.Concrete.chan conc channel in
+  let needed =
+    Csdf.Concrete.cumulative ch.Csdf.Concrete.cons (consumer_index + 1)
+    - ch.Csdf.Concrete.init
+  in
+  if needed <= 0 then None
+  else Some (Csdf.Concrete.firings_needed ch.Csdf.Concrete.prod needed - 1)
+
+let consumer_deps conc ~channel ~consumer_count =
+  let rec go n acc =
+    if n >= consumer_count then List.rev acc
+    else
+      match producer_firing conc ~channel ~consumer_index:n with
+      | None -> go (n + 1) acc
+      | Some m -> go (n + 1) ((n, m) :: acc)
+  in
+  go 0 []

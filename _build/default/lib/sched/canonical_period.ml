@@ -1,0 +1,119 @@
+module Csdf = Tpdf_csdf
+module Digraph = Tpdf_graph.Digraph
+
+type node = { actor : string; index : int }
+
+type t = {
+  node_list : node list;
+  edge_list : (node * node) list;
+  pred_tbl : (node, node list) Hashtbl.t;
+  succ_tbl : (node, node list) Hashtbl.t;
+}
+
+let build ?(active_channel = fun _ -> true) ?(include_actor = fun _ -> true)
+    ?(iterations = 1) conc =
+  if iterations < 1 then
+    invalid_arg "Canonical_period.build: iterations must be >= 1";
+  let g = Csdf.Concrete.graph conc in
+  let actors = List.filter include_actor (Csdf.Graph.actors g) in
+  let count a = iterations * Csdf.Concrete.q conc a in
+  let node_list =
+    List.concat_map
+      (fun a -> List.init (count a) (fun index -> { actor = a; index }))
+      actors
+  in
+  let edges = ref [] in
+  (* Sequential self-order: an actor is one iterated process. *)
+  List.iter
+    (fun a ->
+      for n = 1 to count a - 1 do
+        edges := ({ actor = a; index = n - 1 }, { actor = a; index = n }) :: !edges
+      done)
+    actors;
+  (* Data dependencies via the ADF. *)
+  List.iter
+    (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+      if active_channel e.id && include_actor e.src && include_actor e.dst
+      then
+        List.iter
+          (fun (n, m) ->
+            (* Dependencies beyond the expanded window (possible only for
+               inconsistent windows) are clamped out. *)
+            if m < count e.src then
+              edges :=
+                ({ actor = e.src; index = m }, { actor = e.dst; index = n })
+                :: !edges)
+          (Adf.consumer_deps conc ~channel:e.id ~consumer_count:(count e.dst)))
+    (Csdf.Graph.channels g);
+  let pred_tbl = Hashtbl.create 64 and succ_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      Hashtbl.replace pred_tbl n [];
+      Hashtbl.replace succ_tbl n [])
+    node_list;
+  let dedup_edges =
+    List.sort_uniq compare !edges
+  in
+  List.iter
+    (fun (p, s) ->
+      Hashtbl.replace pred_tbl s (p :: Hashtbl.find pred_tbl s);
+      Hashtbl.replace succ_tbl p (s :: Hashtbl.find succ_tbl p))
+    dedup_edges;
+  { node_list; edge_list = dedup_edges; pred_tbl; succ_tbl }
+
+let nodes t = t.node_list
+
+let node_count t = List.length t.node_list
+
+let deps t = t.edge_list
+
+let preds t n = try Hashtbl.find t.pred_tbl n with Not_found -> []
+
+let succs t n = try Hashtbl.find t.succ_tbl n with Not_found -> []
+
+let topological t =
+  let indeg = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace indeg n (List.length (preds t n))) t.node_list;
+  let ready = Queue.create () in
+  List.iter
+    (fun n -> if Hashtbl.find indeg n = 0 then Queue.add n ready)
+    t.node_list;
+  let out = ref [] and seen = ref 0 in
+  while not (Queue.is_empty ready) do
+    let n = Queue.pop ready in
+    out := n :: !out;
+    incr seen;
+    List.iter
+      (fun s ->
+        let d = Hashtbl.find indeg s - 1 in
+        Hashtbl.replace indeg s d;
+        if d = 0 then Queue.add s ready)
+      (succs t n)
+  done;
+  if !seen <> List.length t.node_list then
+    failwith "Canonical_period.topological: dependency cycle (graph not live)";
+  List.rev !out
+
+let critical_path_length t ~durations =
+  let order = topological t in
+  let finish = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      let start =
+        List.fold_left (fun acc p -> max acc (Hashtbl.find finish p)) 0.0 (preds t n)
+      in
+      Hashtbl.replace finish n (start +. durations n))
+    order;
+  Hashtbl.fold (fun _ f acc -> max acc f) finish 0.0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun n -> Format.fprintf ppf "%s%d@," n.actor (n.index + 1))
+    t.node_list;
+  List.iter
+    (fun (p, s) ->
+      Format.fprintf ppf "%s%d -> %s%d@," p.actor (p.index + 1) s.actor
+        (s.index + 1))
+    t.edge_list;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,48 @@
+(** Canonical-period expansion (§III-D, following ΣC \[9\]).
+
+    The canonical period is the partial order of one iteration: a DAG whose
+    vertices are, for each actor a, its q{_a} first firings, and whose edges
+    are the data dependencies between those firings (computed with the
+    {!Adf}).  Fig. 5 of the paper shows the canonical period of the Fig. 2
+    graph for p = 1. *)
+
+type node = { actor : string; index : int (** 0-based firing number *) }
+
+type t
+
+val build :
+  ?active_channel:(int -> bool) ->
+  ?include_actor:(string -> bool) ->
+  ?iterations:int ->
+  Tpdf_csdf.Concrete.t ->
+  t
+(** Expand [iterations] (default 1) iterations.  [active_channel] drops the
+    dependencies of masked channels; [include_actor] drops the firings of
+    deselected actors entirely (the ADF-based suppression of unnecessary
+    firings when a control token rejects a branch). *)
+
+val nodes : t -> node list
+(** In deterministic (actor declaration, then index) order. *)
+
+val node_count : t -> int
+
+val deps : t -> (node * node) list
+(** Edges (predecessor, successor): the successor may start only after the
+    predecessor completes.  Includes the sequential self-order of each
+    actor (firing n follows firing n-1). *)
+
+val preds : t -> node -> node list
+val succs : t -> node -> node list
+
+val topological : t -> node list
+(** A topological order (the DAG is acyclic by construction for live
+    graphs).  @raise Failure if a cycle is detected, which indicates a
+    non-live graph. *)
+
+val critical_path_length : t -> durations:(node -> float) -> float
+(** Length of the longest path under the given per-firing durations; the
+    lower bound of any schedule's makespan. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints nodes as [A1 A2 B1 …] with their dependencies (1-based ordinal,
+    matching Fig. 5's labelling). *)

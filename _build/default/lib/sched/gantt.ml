@@ -1,0 +1,36 @@
+module Platform = Tpdf_platform.Platform
+
+let render ?(width = 72) platform (s : List_scheduler.schedule) =
+  let buf = Buffer.create 256 in
+  let span = max s.List_scheduler.makespan_ms 1e-9 in
+  let col t = int_of_float (float_of_int (width - 1) *. t /. span) in
+  let used_pes =
+    List.sort_uniq compare
+      (List.map (fun a -> a.List_scheduler.pe) s.List_scheduler.assignments)
+  in
+  ignore (Platform.pe_count platform);
+  List.iter
+    (fun pe ->
+      let row = Bytes.make width '.' in
+      List.iter
+        (fun (a : List_scheduler.assignment) ->
+          if a.pe = pe then begin
+            let c0 = col a.start_ms and c1 = max (col a.start_ms) (col a.finish_ms - 1) in
+            let label =
+              Printf.sprintf "%s%d" a.node.Canonical_period.actor
+                (a.node.Canonical_period.index + 1)
+            in
+            for i = c0 to min c1 (width - 1) do
+              Bytes.set row i '#'
+            done;
+            String.iteri
+              (fun i ch -> if c0 + i < width && c0 + i <= c1 then Bytes.set row (c0 + i) ch)
+              label
+          end)
+        s.List_scheduler.assignments;
+      Buffer.add_string buf (Printf.sprintf "PE%-3d |%s|\n" pe (Bytes.to_string row)))
+    used_pes;
+  Buffer.add_string buf
+    (Printf.sprintf "makespan: %.3f ms over %d PE(s)\n"
+       s.List_scheduler.makespan_ms (List.length used_pes));
+  Buffer.contents buf

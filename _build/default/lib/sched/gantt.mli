@@ -1,0 +1,6 @@
+(** Text rendering of schedules, one row per processing element. *)
+
+val render :
+  ?width:int -> Tpdf_platform.Platform.t -> List_scheduler.schedule -> string
+(** ASCII Gantt chart, [width] columns for the time axis (default 72).
+    Only PEs that received work are shown. *)

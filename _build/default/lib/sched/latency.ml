@@ -1,0 +1,39 @@
+let assignments_of s actor =
+  List.filter
+    (fun (a : List_scheduler.assignment) ->
+      a.node.Canonical_period.actor = actor)
+    s.List_scheduler.assignments
+
+let actor_span_ms s actor =
+  match assignments_of s actor with
+  | [] -> None
+  | l ->
+      Some
+        ( List.fold_left (fun acc a -> min acc a.List_scheduler.start_ms) infinity l,
+          List.fold_left (fun acc a -> max acc a.List_scheduler.finish_ms) 0.0 l )
+
+let end_to_end_ms s ~source ~sink =
+  match (actor_span_ms s source, actor_span_ms s sink) with
+  | Some (start, _), Some (_, finish) -> Some (finish -. start)
+  | _ -> None
+
+let find_firing s actor index =
+  match
+    List.find_opt
+      (fun (a : List_scheduler.assignment) ->
+        a.node.Canonical_period.actor = actor
+        && a.node.Canonical_period.index = index)
+      s.List_scheduler.assignments
+  with
+  | Some a -> a
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Latency: firing %s[%d] not in the schedule" actor index)
+
+let per_iteration_ms s ~source ~sink ~iterations ~q_source ~q_sink =
+  if iterations < 1 || q_source < 1 || q_sink < 1 then
+    invalid_arg "Latency.per_iteration_ms: non-positive arguments";
+  List.init iterations (fun k ->
+      let first = find_firing s source (k * q_source) in
+      let last = find_firing s sink ((k * q_sink) + q_sink - 1) in
+      last.List_scheduler.finish_ms -. first.List_scheduler.start_ms)

@@ -1,0 +1,32 @@
+(** End-to-end latency extraction from schedules.
+
+    Ref. \[8\] of the paper (by the same authors) manages the latency of
+    data-dependent tasks; here we expose the corresponding measurements on
+    the list-scheduler output: when did a source's iteration start, when
+    did the sink finish it, and what is the worst case over a window of
+    iterations. *)
+
+val actor_span_ms :
+  List_scheduler.schedule -> string -> (float * float) option
+(** [actor_span_ms s a] is [(first start, last finish)] over all of [a]'s
+    firings, [None] if it never fired. *)
+
+val end_to_end_ms :
+  List_scheduler.schedule -> source:string -> sink:string -> float option
+(** Last finish of [sink] minus first start of [source]; [None] when either
+    never fires.  With a single-iteration canonical period this is the
+    iteration latency. *)
+
+val per_iteration_ms :
+  List_scheduler.schedule ->
+  source:string ->
+  sink:string ->
+  iterations:int ->
+  q_source:int ->
+  q_sink:int ->
+  float list
+(** Latency of each of the [iterations] expanded iterations: finish of the
+    sink's last firing of iteration k minus start of the source's first
+    firing of iteration k.  [q_source]/[q_sink] are per-iteration firing
+    counts.  @raise Invalid_argument on non-positive arguments or missing
+    firings. *)

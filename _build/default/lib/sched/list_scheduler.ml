@@ -1,0 +1,150 @@
+module Platform = Tpdf_platform.Platform
+module Tpdf = Tpdf_core
+
+type assignment = {
+  node : Canonical_period.node;
+  pe : int;
+  start_ms : float;
+  finish_ms : float;
+}
+
+type schedule = { assignments : assignment list; makespan_ms : float }
+
+(* Bottom level: longest path from the node to any exit, inclusive. *)
+let bottom_levels period durations =
+  let levels = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      let below =
+        List.fold_left
+          (fun acc s -> max acc (Hashtbl.find levels s))
+          0.0
+          (Canonical_period.succs period n)
+      in
+      Hashtbl.replace levels n (below +. durations n))
+    (List.rev (Canonical_period.topological period));
+  levels
+
+let run ?(durations = fun _ -> 1.0) ?reserve_control_pe ~graph period platform =
+  let has_control = Tpdf.Graph.control_actors graph <> [] in
+  let reserve =
+    match reserve_control_pe with
+    | Some b -> b
+    | None -> has_control && Platform.pe_count platform > 1
+  in
+  let is_control n = Tpdf.Graph.is_control graph n.Canonical_period.actor in
+  let is_ctrl_consumer n =
+    Tpdf.Graph.control_port graph n.Canonical_period.actor <> None
+  in
+  let levels = bottom_levels period durations in
+  (* Priority: control > control-consumers > bottom level. *)
+  let better a b =
+    let class_of n =
+      if is_control n then 0 else if is_ctrl_consumer n then 1 else 2
+    in
+    let ca = class_of a and cb = class_of b in
+    if ca <> cb then ca < cb
+    else
+      let la = Hashtbl.find levels a and lb = Hashtbl.find levels b in
+      if la <> lb then la > lb else compare a b < 0
+  in
+  let pe_count = Platform.pe_count platform in
+  let pe_avail = Array.make pe_count 0.0 in
+  let finished = Hashtbl.create 64 in
+  (* node -> (finish, pe) *)
+  let unsched_preds = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      Hashtbl.replace unsched_preds n
+        (List.length (Canonical_period.preds period n)))
+    (Canonical_period.nodes period);
+  let ready = ref [] in
+  List.iter
+    (fun n -> if Hashtbl.find unsched_preds n = 0 then ready := n :: !ready)
+    (Canonical_period.nodes period);
+  let assignments = ref [] in
+  let total = Canonical_period.node_count period in
+  let scheduled = ref 0 in
+  while !scheduled < total do
+    match !ready with
+    | [] -> failwith "List_scheduler.run: no ready node (cyclic dependencies?)"
+    | first :: rest ->
+        let node = List.fold_left (fun b n -> if better n b then n else b) first rest in
+        ready := List.filter (fun n -> n <> node) !ready;
+        (* Candidate PEs: control actors use the reserved PE 0 when
+           reservation is on; kernels use the others. *)
+        let candidates =
+          if not reserve then List.init pe_count (fun i -> i)
+          else if is_control node then [ 0 ]
+          else if pe_count > 1 then List.init (pe_count - 1) (fun i -> i + 1)
+          else [ 0 ]
+        in
+        let est pe =
+          List.fold_left
+            (fun acc p ->
+              let pf, ppe = Hashtbl.find finished p in
+              let lat =
+                if ppe = pe then 0.0
+                else if is_control p then Platform.control_latency_ms platform
+                else Platform.latency_ms platform ~src:ppe ~dst:pe
+              in
+              max acc (pf +. lat))
+            pe_avail.(pe)
+            (Canonical_period.preds period node)
+        in
+        let pe =
+          List.fold_left
+            (fun best pe -> if est pe < est best then pe else best)
+            (List.hd candidates) (List.tl candidates)
+        in
+        let start_ms = est pe in
+        let finish_ms = start_ms +. durations node in
+        pe_avail.(pe) <- finish_ms;
+        Hashtbl.replace finished node (finish_ms, pe);
+        assignments := { node; pe; start_ms; finish_ms } :: !assignments;
+        incr scheduled;
+        List.iter
+          (fun s ->
+            let d = Hashtbl.find unsched_preds s - 1 in
+            Hashtbl.replace unsched_preds s d;
+            if d = 0 then ready := s :: !ready)
+          (Canonical_period.succs period node)
+  done;
+  let assignments =
+    List.sort
+      (fun a b ->
+        let c = compare a.start_ms b.start_ms in
+        if c <> 0 then c else compare a.node b.node)
+      !assignments
+  in
+  let makespan_ms =
+    List.fold_left (fun acc a -> max acc a.finish_ms) 0.0 assignments
+  in
+  { assignments; makespan_ms }
+
+let utilization s =
+  if s.makespan_ms <= 0.0 then []
+  else begin
+    let busy = Hashtbl.create 8 in
+    List.iter
+      (fun a ->
+        let prev = try Hashtbl.find busy a.pe with Not_found -> 0.0 in
+        Hashtbl.replace busy a.pe (prev +. (a.finish_ms -. a.start_ms)))
+      s.assignments;
+    List.sort compare
+      (Hashtbl.fold (fun pe b acc -> (pe, b /. s.makespan_ms) :: acc) busy [])
+  end
+
+let assignment_of s n = List.find (fun a -> a.node = n) s.assignments
+
+let pe_of s n = (assignment_of s n).pe
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "%8.3f - %8.3f  PE%-3d %s%d@," a.start_ms a.finish_ms
+        a.pe a.node.Canonical_period.actor
+        (a.node.Canonical_period.index + 1))
+    s.assignments;
+  Format.fprintf ppf "makespan: %.3f ms@]" s.makespan_ms

@@ -1,0 +1,49 @@
+(** Priority list scheduling of a canonical period onto the platform
+    (§III-D).
+
+    The heuristic follows the paper:
+
+    - {e control actors have the highest priority}: whenever a control
+      firing is ready it is placed before any kernel, and (by default, when
+      the platform has more than one PE) control actors run on a reserved
+      processing element, as in Fig. 5;
+    - kernels that receive a control token are fired as soon as possible
+      after it (second priority class);
+    - remaining ties are broken by critical-path (bottom-level) rank;
+    - message-passing time is accounted for, with the cheap control-token
+      latency making the system behave “as if it was instantaneous”. *)
+
+type assignment = {
+  node : Canonical_period.node;
+  pe : int;
+  start_ms : float;
+  finish_ms : float;
+}
+
+type schedule = {
+  assignments : assignment list;  (** in start-time order *)
+  makespan_ms : float;
+}
+
+val run :
+  ?durations:(Canonical_period.node -> float) ->
+  ?reserve_control_pe:bool ->
+  graph:Tpdf_core.Graph.t ->
+  Canonical_period.t ->
+  Tpdf_platform.Platform.t ->
+  schedule
+(** Default duration 1.0 ms per firing; [reserve_control_pe] defaults to
+    true when the graph has control actors and the platform more than one
+    PE. *)
+
+val assignment_of : schedule -> Canonical_period.node -> assignment
+(** @raise Not_found. *)
+
+val pe_of : schedule -> Canonical_period.node -> int
+(** @raise Not_found. *)
+
+val utilization : schedule -> (int * float) list
+(** Per-PE busy fraction of the makespan, for the PEs that received work;
+    empty for an empty schedule. *)
+
+val pp : Format.formatter -> schedule -> unit

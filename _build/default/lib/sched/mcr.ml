@@ -1,0 +1,126 @@
+module Csdf = Tpdf_csdf
+module Digraph = Tpdf_graph.Digraph
+
+type node = { actor : string; index : int }
+
+type edge = { src : node; dst : node; delay : int }
+
+type t = { node_list : node list; edge_list : edge list }
+
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let build conc =
+  let g = Csdf.Concrete.graph conc in
+  (match Csdf.Schedule.run conc with
+  | Csdf.Schedule.Complete _ -> ()
+  | Csdf.Schedule.Deadlock { stuck; _ } ->
+      failwith
+        (Printf.sprintf "Mcr.build: graph is not live (stuck: %s)"
+           (String.concat ", " stuck)));
+  let q = Csdf.Concrete.q conc in
+  let node_list =
+    List.concat_map
+      (fun a -> List.init (q a) (fun index -> { actor = a; index }))
+      (Csdf.Graph.actors g)
+  in
+  let edges = ref [] in
+  (* Sequential self-order with an iteration wrap-around. *)
+  List.iter
+    (fun a ->
+      let n = q a in
+      for i = 1 to n - 1 do
+        edges :=
+          { src = { actor = a; index = i - 1 }; dst = { actor = a; index = i }; delay = 0 }
+          :: !edges
+      done;
+      edges :=
+        { src = { actor = a; index = n - 1 }; dst = { actor = a; index = 0 }; delay = 1 }
+        :: !edges)
+    (Csdf.Graph.actors g);
+  (* Data dependencies, with iteration delays. *)
+  List.iter
+    (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+      let ch = Csdf.Concrete.chan conc e.id in
+      let q_prod = q e.src and q_cons = q e.dst in
+      let per_iter = Csdf.Concrete.cumulative ch.Csdf.Concrete.prod q_prod in
+      if per_iter > 0 then
+        for j = 0 to q_cons - 1 do
+          let base =
+            Csdf.Concrete.cumulative ch.Csdf.Concrete.cons (j + 1)
+            - ch.Csdf.Concrete.init
+          in
+          (* Smallest iteration k0 >= 0 at which this firing's needs are not
+             covered by initial tokens alone. *)
+          let k0 =
+            if base > 0 then 0
+            else 1 + (fdiv (-base) per_iter)
+          in
+          let needed = base + (k0 * per_iter) in
+          if needed > 0 then begin
+            let n0 = Csdf.Concrete.firings_needed ch.Csdf.Concrete.prod needed in
+            (* absolute producer firing index relative to the consumer's
+               iteration: P(k) = k*q_prod + c *)
+            let c = n0 - 1 - (k0 * q_prod) in
+            let m = c - (fdiv c q_prod * q_prod) in
+            let delay = -fdiv c q_prod in
+            if delay >= 0 then
+              edges :=
+                {
+                  src = { actor = e.src; index = m };
+                  dst = { actor = e.dst; index = j };
+                  delay;
+                }
+                :: !edges
+          end
+        done)
+    (Csdf.Graph.channels g);
+  { node_list; edge_list = List.sort_uniq compare !edges }
+
+let nodes t = t.node_list
+
+let edges t = t.edge_list
+
+(* Positive-cycle oracle: is there a cycle with
+   sum (dur(src) - lambda * delay) > 0 ?  Bellman-Ford longest-path
+   relaxation from an all-zero potential. *)
+let has_positive_cycle t weight =
+  let idx = Hashtbl.create 64 in
+  List.iteri (fun i n -> Hashtbl.replace idx n i) t.node_list;
+  let n = List.length t.node_list in
+  let dist = Array.make n 0.0 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun e ->
+        let u = Hashtbl.find idx e.src and v = Hashtbl.find idx e.dst in
+        let cand = dist.(u) +. weight e in
+        if cand > dist.(v) +. 1e-12 then begin
+          dist.(v) <- cand;
+          changed := true
+        end)
+      t.edge_list
+  done;
+  !rounds > n
+
+let iteration_period_ms ?(durations = fun _ -> 1.0) t =
+  let weight lambda e = durations e.src -. (lambda *. float_of_int e.delay) in
+  let hi0 =
+    List.fold_left (fun acc n -> acc +. Float.max 0.0 (durations n)) 1.0 t.node_list
+  in
+  if not (has_positive_cycle t (weight 0.0)) then 0.0
+  else begin
+    let lo = ref 0.0 and hi = ref hi0 in
+    (* Widen until infeasible (cannot happen beyond total duration, but be
+       safe about degenerate duration functions). *)
+    while has_positive_cycle t (weight !hi) do
+      hi := !hi *. 2.0
+    done;
+    for _ = 1 to 60 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if has_positive_cycle t (weight mid) then lo := mid else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end

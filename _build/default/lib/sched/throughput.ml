@@ -1,0 +1,23 @@
+let makespan ?durations ?include_actor ~graph conc platform ~iterations =
+  let period = Canonical_period.build ?include_actor ~iterations conc in
+  (List_scheduler.run ?durations ~graph period platform)
+    .List_scheduler.makespan_ms
+
+let iteration_period_ms ?(warmup = 2) ?(window = 4) ?durations ?include_actor
+    ~graph conc platform =
+  if window < 1 then invalid_arg "Throughput: window must be positive";
+  if warmup < 1 then invalid_arg "Throughput: warmup must be positive";
+  let m_short =
+    makespan ?durations ?include_actor ~graph conc platform ~iterations:warmup
+  in
+  let m_long =
+    makespan ?durations ?include_actor ~graph conc platform
+      ~iterations:(warmup + window)
+  in
+  (m_long -. m_short) /. float_of_int window
+
+let throughput_per_s ?warmup ?window ?durations ?include_actor ~graph conc
+    platform =
+  1000.0
+  /. iteration_period_ms ?warmup ?window ?durations ?include_actor ~graph conc
+       platform

@@ -1,0 +1,31 @@
+(** Steady-state throughput estimation.
+
+    Streaming applications run their iteration graph repeatedly; what
+    matters is not the latency of one iteration but the {e iteration
+    period} once the pipeline is full.  This module estimates it by
+    scheduling a window of consecutive iterations and measuring the
+    marginal cost of one more. *)
+
+val iteration_period_ms :
+  ?warmup:int ->
+  ?window:int ->
+  ?durations:(Canonical_period.node -> float) ->
+  ?include_actor:(string -> bool) ->
+  graph:Tpdf_core.Graph.t ->
+  Tpdf_csdf.Concrete.t ->
+  Tpdf_platform.Platform.t ->
+  float
+(** [(makespan(warmup+window) - makespan(warmup)) / window] under the
+    priority list scheduler.  Defaults: warmup 2, window 4, unit
+    durations.  @raise Invalid_argument on non-positive window. *)
+
+val throughput_per_s :
+  ?warmup:int ->
+  ?window:int ->
+  ?durations:(Canonical_period.node -> float) ->
+  ?include_actor:(string -> bool) ->
+  graph:Tpdf_core.Graph.t ->
+  Tpdf_csdf.Concrete.t ->
+  Tpdf_platform.Platform.t ->
+  float
+(** Iterations per second: [1000 / iteration_period_ms]. *)

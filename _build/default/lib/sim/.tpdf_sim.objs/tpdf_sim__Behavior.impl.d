@@ -1,0 +1,1 @@
+lib/sim/behavior.ml: List Printf Token

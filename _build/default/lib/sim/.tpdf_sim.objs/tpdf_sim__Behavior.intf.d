@@ -1,0 +1,1 @@
+lib/sim/behavior.mli: Token

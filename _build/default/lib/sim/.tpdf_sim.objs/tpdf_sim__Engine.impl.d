@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Behavior Hashtbl List Printf Queue String Token Tpdf_core Tpdf_csdf Tpdf_graph

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Behavior Token Tpdf_core Tpdf_param

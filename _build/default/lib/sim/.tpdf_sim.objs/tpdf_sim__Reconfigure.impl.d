@@ -1,0 +1,1 @@
+lib/sim/reconfigure.ml: Engine List Tpdf_param

@@ -1,0 +1,1 @@
+lib/sim/reconfigure.mli: Behavior Engine Tpdf_core Tpdf_param

@@ -1,0 +1,47 @@
+(** Functional behaviour of actors in the discrete-event runtime.
+
+    The static model fixes {e how many} tokens move; a behaviour says
+    {e what} they contain and {e how long} a firing takes.  The engine
+    calls [work] once per firing with the consumed tokens and expects the
+    produced tokens back, exactly matching the declared rates of the
+    active output channels. *)
+
+type 'a ctx = {
+  actor : string;
+  mode : string;  (** mode selected by the control token ("default" else) *)
+  phase : int;  (** cyclo-static phase of this firing *)
+  index : int;  (** 0-based firing number *)
+  now_ms : float;  (** simulation time at firing start *)
+  inputs : (int * 'a Token.t list) list;
+      (** consumed tokens, per active input channel id *)
+  out_rates : (int * int) list;
+      (** tokens expected on each output channel for this firing (0 for
+          outputs the mode rejects) *)
+}
+
+type 'a t = {
+  work : 'a ctx -> (int * 'a Token.t list) list;
+  duration_ms : 'a ctx -> float;
+}
+
+val make : ?duration_ms:('a ctx -> float) -> ('a ctx -> (int * 'a Token.t list) list) -> 'a t
+(** Default duration: 1.0 ms per firing. *)
+
+val fill : ?duration_ms:('a ctx -> float) -> 'a -> 'a t
+(** Produce copies of the given value at the expected rates on every active
+    output channel — sources and placeholder kernels. *)
+
+val forward : ?duration_ms:('a ctx -> float) -> unit -> 'a t
+(** Concatenate all consumed data tokens and redistribute them over the
+    active output channels at the expected rates.
+    @raise Failure at run time if the token counts cannot match. *)
+
+val sink : ?duration_ms:('a ctx -> float) -> ('a ctx -> unit) -> 'a t
+(** Consume tokens, call the callback for its side effect, produce
+    nothing. *)
+
+val emit_mode : ?duration_ms:('a ctx -> float) -> ('a ctx -> string) -> 'a t
+(** Control-actor behaviour: emit the computed mode name as control tokens
+    at the expected rates on every output channel. *)
+
+val const_duration : float -> 'a ctx -> float

@@ -1,0 +1,504 @@
+module Csdf = Tpdf_csdf
+module Tpdf = Tpdf_core
+module Digraph = Tpdf_graph.Digraph
+
+type firing_record = {
+  actor : string;
+  index : int;
+  phase : int;
+  mode : string;
+  start_ms : float;
+  finish_ms : float;
+}
+
+type stats = {
+  end_ms : float;
+  firings : (string * int) list;
+  max_occupancy : (int * int) list;
+  dropped : (int * int) list;
+  trace : firing_record list;
+}
+
+type 'a event_kind =
+  | Complete of string * (int * 'a Token.t list) list * firing_record
+  | Tick of string
+
+module Eq = struct
+  type 'a t = { mutable seq : int; mutable set : (float * int * 'a) list }
+  (* Sorted association list; event volumes here are modest and insertion
+     keeps it simple and allocation-light enough. *)
+
+  let create () = { seq = 0; set = [] }
+
+  let add t time v =
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    let rec insert = function
+      | [] -> [ (time, seq, v) ]
+      | ((t', s', _) as hd) :: rest ->
+          if time < t' || (time = t' && seq < s') then (time, seq, v) :: hd :: rest
+          else hd :: insert rest
+    in
+    t.set <- insert t.set
+
+  let pop t =
+    match t.set with
+    | [] -> None
+    | (time, _, v) :: rest ->
+        t.set <- rest;
+        Some (time, v)
+
+  let is_empty t = t.set = []
+end
+
+type 'a t = {
+  graph : Tpdf.Graph.t;
+  conc : Csdf.Concrete.t;
+  behaviors : (string, 'a Behavior.t) Hashtbl.t;
+  queues : (int, 'a Token.t Queue.t) Hashtbl.t;
+  debt : (int, int) Hashtbl.t;
+  dropped : (int, int) Hashtbl.t;
+  max_occ : (int, int) Hashtbl.t;
+  count : (string, int) Hashtbl.t; (* firings started *)
+  completed : (string, int) Hashtbl.t; (* firings finished *)
+  busy : (string, bool) Hashtbl.t;
+  last_mode : (string, string) Hashtbl.t;
+  events : 'a event_kind Eq.t;
+  mutable now : float;
+  mutable trace : firing_record list;
+}
+
+let first_mode graph kernel =
+  match Tpdf.Graph.modes graph kernel with
+  | m :: _ -> m.Tpdf.Mode.name
+  | [] -> "default"
+
+let default_behavior graph actor default =
+  if Tpdf.Graph.is_control graph actor then
+    (* Emit the first declared mode of each target kernel; when several
+       targets disagree the first channel's target wins — explicit
+       behaviours should be given in that case. *)
+    let skel = Tpdf.Graph.skeleton graph in
+    let target_mode =
+      match Csdf.Graph.out_channels skel actor with
+      | (e : (string, Csdf.Graph.channel) Digraph.edge) :: _ ->
+          first_mode graph e.dst
+      | [] -> "default"
+    in
+    Behavior.emit_mode (fun _ -> target_mode)
+  else Behavior.fill default
+
+let create ~graph ~valuation ?init_token ?(behaviors = []) ~default () =
+  (match Tpdf.Graph.validate graph with
+  | Ok () -> ()
+  | Error msgs ->
+      invalid_arg ("Engine.create: invalid graph: " ^ String.concat "; " msgs));
+  let conc = Csdf.Concrete.make (Tpdf.Graph.skeleton graph) valuation in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      if not (Csdf.Graph.mem_actor (Tpdf.Graph.skeleton graph) a) then
+        invalid_arg (Printf.sprintf "Engine.create: unknown actor %s" a);
+      Hashtbl.replace tbl a b)
+    behaviors;
+  List.iter
+    (fun a ->
+      if not (Hashtbl.mem tbl a) then
+        Hashtbl.replace tbl a (default_behavior graph a default))
+    (Tpdf.Graph.actors graph);
+  let queues = Hashtbl.create 16 in
+  let max_occ = Hashtbl.create 16 in
+  List.iter
+    (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+      let q = Queue.create () in
+      let mk =
+        match init_token with
+        | Some f -> f e.id
+        | None ->
+            fun _ ->
+              if Tpdf.Graph.is_control_channel graph e.id then
+                Token.Ctrl (first_mode graph e.dst)
+              else Token.Data default
+      in
+      for i = 0 to e.label.init - 1 do
+        Queue.add (mk i) q
+      done;
+      Hashtbl.replace queues e.id q;
+      Hashtbl.replace max_occ e.id e.label.init)
+    (Csdf.Graph.channels (Tpdf.Graph.skeleton graph));
+  let count = Hashtbl.create 16 and busy = Hashtbl.create 16 in
+  let last_mode = Hashtbl.create 16 in
+  let completed = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      Hashtbl.replace count a 0;
+      Hashtbl.replace completed a 0;
+      Hashtbl.replace busy a false;
+      Hashtbl.replace last_mode a (first_mode graph a))
+    (Tpdf.Graph.actors graph);
+  {
+    graph;
+    conc;
+    behaviors = tbl;
+    queues;
+    debt = Hashtbl.create 16;
+    dropped = Hashtbl.create 16;
+    max_occ;
+    count;
+    completed;
+    busy;
+    last_mode;
+    events = Eq.create ();
+    now = 0.0;
+    trace = [];
+  }
+
+let queue t ch = Hashtbl.find t.queues ch
+
+let get tbl key = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0
+
+(* Discharge rejection debt against the tokens currently in the channel. *)
+let purge t ch =
+  let d = get t.debt ch in
+  if d > 0 then begin
+    let q = queue t ch in
+    let dropped = ref 0 in
+    while !dropped < d && not (Queue.is_empty q) do
+      ignore (Queue.pop q);
+      incr dropped
+    done;
+    Hashtbl.replace t.debt ch (d - !dropped);
+    Hashtbl.replace t.dropped ch (get t.dropped ch + !dropped)
+  end
+
+let push_tokens t ch toks =
+  let q = queue t ch in
+  List.iter (fun tok -> Queue.add tok q) toks;
+  purge t ch;
+  let occ = Queue.length q in
+  if occ > get t.max_occ ch then Hashtbl.replace t.max_occ ch occ
+
+let skel t = Tpdf.Graph.skeleton t.graph
+
+let data_in_channels t a =
+  List.filter
+    (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+      not (Tpdf.Graph.is_control_channel t.graph e.id))
+    (Csdf.Graph.in_channels (skel t) a)
+
+let cons_rate t ch phase =
+  (Csdf.Concrete.chan t.conc ch).Csdf.Concrete.cons.(phase)
+
+let prod_rate t ch phase =
+  (Csdf.Concrete.chan t.conc ch).Csdf.Concrete.prod.(phase)
+
+let mode_of_token t a =
+  match Tpdf.Graph.control_port t.graph a with
+  | None -> List.hd (Tpdf.Graph.modes t.graph a)
+  | Some cid -> (
+      let phase = get t.count a mod Csdf.Graph.phases (skel t) a in
+      let rate = cons_rate t cid phase in
+      if rate = 0 then
+        (* No control token this phase: the previous mode persists. *)
+        Tpdf.Graph.find_mode t.graph a (Hashtbl.find t.last_mode a)
+      else
+        let q = queue t cid in
+        if Queue.is_empty q then raise Exit
+        else
+          match Queue.peek q with
+          | Token.Ctrl name -> (
+              match Tpdf.Graph.find_mode t.graph a name with
+              | m -> m
+              | exception Not_found ->
+                  failwith
+                    (Printf.sprintf
+                       "Engine: control token %S does not name a mode of %s"
+                       name a))
+          | Token.Data _ ->
+              failwith
+                (Printf.sprintf "Engine: data token on control port of %s" a))
+
+(* Decide whether actor [a] can fire now; if so return the mode and the
+   selected active input channels. *)
+let fireable t a =
+  match mode_of_token t a with
+  | exception Exit -> None (* waiting for a control token *)
+  | mode -> (
+      let phase = get t.count a mod Csdf.Graph.phases (skel t) a in
+      let ins = data_in_channels t a in
+      let has_enough (e : (string, Csdf.Graph.channel) Digraph.edge) =
+        Queue.length (queue t e.id) >= cons_rate t e.id phase
+      in
+      match mode.Tpdf.Mode.inputs with
+      | Tpdf.Mode.All_inputs ->
+          if List.for_all has_enough ins then
+            Some (mode, List.map (fun (e : (_, _) Digraph.edge) -> e.id) ins)
+          else None
+      | Tpdf.Mode.Input_subset l ->
+          let selected = List.filter (fun e -> List.mem e.Digraph.id l) ins in
+          if List.for_all has_enough selected then
+            Some (mode, List.map (fun (e : (_, _) Digraph.edge) -> e.id) selected)
+          else None
+      | Tpdf.Mode.Highest_priority_available -> (
+          let ready = List.filter has_enough ins in
+          match ready with
+          | [] -> None (* wait for the first input to become available *)
+          | _ ->
+              let best =
+                List.fold_left
+                  (fun best e ->
+                    if
+                      Tpdf.Graph.priority t.graph e.Digraph.id
+                      > Tpdf.Graph.priority t.graph best.Digraph.id
+                    then e
+                    else best)
+                  (List.hd ready) (List.tl ready)
+              in
+              Some (mode, [ best.Digraph.id ])))
+
+let consume t a mode active phase =
+  (* Control token first. *)
+  (match Tpdf.Graph.control_port t.graph a with
+  | Some cid when cons_rate t cid phase > 0 ->
+      ignore (Queue.pop (queue t cid));
+      Hashtbl.replace t.last_mode a mode.Tpdf.Mode.name
+  | _ -> ());
+  let inputs =
+    List.filter_map
+      (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+        let rate = cons_rate t e.id phase in
+        if List.mem e.id active then begin
+          let toks = List.init rate (fun _ -> Queue.pop (queue t e.id)) in
+          if rate = 0 then None else Some (e.id, toks)
+        end
+        else begin
+          (* Rejected input: its tokens are discarded as they arrive. *)
+          if rate > 0 then begin
+            Hashtbl.replace t.debt e.id (get t.debt e.id + rate);
+            purge t e.id
+          end;
+          None
+        end)
+      (data_in_channels t a)
+  in
+  inputs
+
+let out_rates t a mode phase =
+  List.map
+    (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+      let rate = prod_rate t e.id phase in
+      let rate =
+        if
+          Tpdf.Graph.is_control_channel t.graph e.id
+          || Tpdf.Mode.output_may_be_active mode e.id
+        then rate
+        else 0
+      in
+      (e.id, rate))
+    (Csdf.Graph.out_channels (skel t) a)
+
+let validate_outputs t a expected outputs =
+  List.iter
+    (fun (ch, rate) ->
+      let produced =
+        match List.assoc_opt ch outputs with Some l -> List.length l | None -> 0
+      in
+      if produced <> rate then
+        failwith
+          (Printf.sprintf
+             "Engine: behaviour of %s produced %d token(s) on e%d, expected %d"
+             a produced ch rate))
+    expected;
+  List.iter
+    (fun (ch, toks) ->
+      if not (List.mem_assoc ch expected) then
+        failwith
+          (Printf.sprintf "Engine: behaviour of %s wrote to foreign channel e%d"
+             a ch);
+      let is_ctrl_chan = Tpdf.Graph.is_control_channel t.graph ch in
+      List.iter
+        (fun tok ->
+          if Token.is_ctrl tok <> is_ctrl_chan then
+            failwith
+              (Printf.sprintf
+                 "Engine: behaviour of %s produced a %s token on %s channel e%d"
+                 a
+                 (if Token.is_ctrl tok then "control" else "data")
+                 (if is_ctrl_chan then "control" else "data")
+                 ch))
+        toks)
+    outputs
+
+let start_firing t a (mode : Tpdf.Mode.t) active =
+  let index = get t.count a in
+  let phase = index mod Csdf.Graph.phases (skel t) a in
+  let inputs = consume t a mode active phase in
+  let rates = out_rates t a mode phase in
+  let ctx =
+    {
+      Behavior.actor = a;
+      mode = mode.Tpdf.Mode.name;
+      phase;
+      index;
+      now_ms = t.now;
+      inputs;
+      out_rates = rates;
+    }
+  in
+  let b = Hashtbl.find t.behaviors a in
+  let outputs = b.Behavior.work ctx in
+  validate_outputs t a rates outputs;
+  let d = b.Behavior.duration_ms ctx in
+  if d < 0.0 then failwith (Printf.sprintf "Engine: negative duration for %s" a);
+  let record =
+    {
+      actor = a;
+      index;
+      phase;
+      mode = mode.Tpdf.Mode.name;
+      start_ms = t.now;
+      finish_ms = t.now +. d;
+    }
+  in
+  Hashtbl.replace t.count a (index + 1);
+  Hashtbl.replace t.busy a true;
+  Eq.add t.events (t.now +. d) (Complete (a, outputs, record))
+
+let run ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000) t =
+  if iterations < 1 then invalid_arg "Engine.run: iterations must be >= 1";
+  let base a =
+    match targets with
+    | None -> Csdf.Concrete.q t.conc a
+    | Some l -> (
+        match List.assoc_opt a l with
+        | Some n -> n
+        | None -> Csdf.Concrete.q t.conc a)
+  in
+  let limit a =
+    if Tpdf.Graph.clock_period_ms t.graph a <> None then max_int
+    else iterations * base a
+  in
+  (* An iteration is done when every firing has also *completed*: in-flight
+     firings still deliver their tokens (e.g. a slow speculative path whose
+     result must be rejected). *)
+  let finished () =
+    List.for_all
+      (fun a -> limit a = max_int || get t.completed a >= limit a)
+      (Tpdf.Graph.actors t.graph)
+  in
+  (* Arm the clocks. *)
+  List.iter
+    (fun a ->
+      match Tpdf.Graph.clock_period_ms t.graph a with
+      | Some p -> Eq.add t.events p (Tick a)
+      | None -> ())
+    (Tpdf.Graph.control_actors t.graph);
+  let try_start_all () =
+    List.iter
+      (fun a ->
+        if
+          (not (Hashtbl.find t.busy a))
+          && Tpdf.Graph.clock_period_ms t.graph a = None
+          && get t.count a < limit a
+        then
+          match fireable t a with
+          | Some (mode, active) -> start_firing t a mode active
+          | None -> ())
+      (Tpdf.Graph.actors t.graph)
+  in
+  try_start_all ();
+  let steps = ref 0 in
+  let stop = ref false in
+  while (not !stop) && not (Eq.is_empty t.events) do
+    incr steps;
+    if !steps > max_events then
+      failwith "Engine.run: event budget exceeded (runaway simulation?)";
+    if finished () then stop := true
+    else
+      match Eq.pop t.events with
+      | None -> stop := true
+      | Some (time, ev) -> (
+          (match until_ms with
+          | Some cap when time > cap -> stop := true
+          | _ -> ());
+          if not !stop then begin
+            t.now <- time;
+            (match ev with
+            | Complete (a, outputs, record) ->
+                Hashtbl.replace t.busy a false;
+                Hashtbl.replace t.completed a (get t.completed a + 1);
+                List.iter (fun (ch, toks) -> push_tokens t ch toks) outputs;
+                t.trace <- record :: t.trace
+            | Tick a ->
+                (* A clock firing: no inputs, emits control tokens now. *)
+                let index = get t.count a in
+                let phase = index mod Csdf.Graph.phases (skel t) a in
+                let mode = List.hd (Tpdf.Graph.modes t.graph a) in
+                ignore mode;
+                let rates = out_rates t a (Tpdf.Mode.default) phase in
+                let ctx =
+                  {
+                    Behavior.actor = a;
+                    mode = "tick";
+                    phase;
+                    index;
+                    now_ms = t.now;
+                    inputs = [];
+                    out_rates = rates;
+                  }
+                in
+                let b = Hashtbl.find t.behaviors a in
+                let outputs = b.Behavior.work ctx in
+                validate_outputs t a rates outputs;
+                Hashtbl.replace t.count a (index + 1);
+                List.iter (fun (ch, toks) -> push_tokens t ch toks) outputs;
+                t.trace <-
+                  {
+                    actor = a;
+                    index;
+                    phase;
+                    mode = "tick";
+                    start_ms = t.now;
+                    finish_ms = t.now;
+                  }
+                  :: t.trace;
+                (match Tpdf.Graph.clock_period_ms t.graph a with
+                | Some p -> Eq.add t.events (t.now +. p) (Tick a)
+                | None -> ()));
+            try_start_all ()
+          end)
+  done;
+  if not (finished ()) then begin
+    let stuck =
+      List.filter
+        (fun a -> limit a <> max_int && get t.completed a < limit a)
+        (Tpdf.Graph.actors t.graph)
+    in
+    failwith
+      (Printf.sprintf "Engine.run: stalled at %.3f ms (stuck: %s)" t.now
+         (String.concat ", " stuck))
+  end;
+  let end_ms =
+    List.fold_left (fun acc r -> max acc r.finish_ms) 0.0 t.trace
+  in
+  {
+    end_ms;
+    firings =
+      List.map (fun a -> (a, get t.count a)) (Tpdf.Graph.actors t.graph);
+    max_occupancy =
+      List.map
+        (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+          (e.id, get t.max_occ e.id))
+        (Csdf.Graph.channels (skel t));
+    dropped =
+      List.map
+        (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+          (e.id, get t.dropped e.id))
+        (Csdf.Graph.channels (skel t));
+    trace =
+      List.stable_sort
+        (fun a b -> compare (a.start_ms, a.finish_ms) (b.start_ms, b.finish_ms))
+        (List.rev t.trace);
+  }
+
+let channel_tokens t ch = List.of_seq (Queue.to_seq (queue t ch))

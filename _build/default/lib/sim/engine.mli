@@ -1,0 +1,69 @@
+(** Discrete-event execution of TPDF graphs.
+
+    The engine implements the runtime semantics of §II-B and §III-D on an
+    unbounded-parallelism platform (every actor is its own sequential
+    process; firings take the durations given by the behaviours):
+
+    - a kernel with a control port first reads one control token (when the
+      current phase's control rate is 1), which selects its mode;
+    - depending on the mode it waits for all inputs, a subset, or — for the
+      Transaction box's deadline behaviour — the {e highest-priority input
+      available} at that moment (falling back to the first input to become
+      available when none is ready);
+    - tokens on rejected inputs are {e discarded}, keeping every buffer
+      bounded exactly as Theorem 2 promises;
+    - {e clock} control actors fire on their period, independently of data;
+    - everything is deterministic given the behaviours. *)
+
+type firing_record = {
+  actor : string;
+  index : int;
+  phase : int;
+  mode : string;
+  start_ms : float;
+  finish_ms : float;
+}
+
+type stats = {
+  end_ms : float;  (** completion time of the last firing *)
+  firings : (string * int) list;  (** per actor *)
+  max_occupancy : (int * int) list;  (** per channel id, incl. initial *)
+  dropped : (int * int) list;  (** rejected tokens per channel id *)
+  trace : firing_record list;  (** in start order *)
+}
+
+type 'a t
+
+val create :
+  graph:Tpdf_core.Graph.t ->
+  valuation:Tpdf_param.Valuation.t ->
+  ?init_token:(int -> int -> 'a Token.t) ->
+  ?behaviors:(string * 'a Behavior.t) list ->
+  default:'a ->
+  unit ->
+  'a t
+(** Builds a runnable instance.  [init_token ch i] gives the i-th initial
+    token of channel [ch] (default: [Data default] on data channels and the
+    first mode name on control channels).  Actors without an explicit
+    behaviour source [default] values ({!Behavior.fill}); control actors
+    default to emitting their destination's first mode name.
+    @raise Invalid_argument on unknown behaviour actors, or if the graph
+    fails {!Tpdf_core.Graph.validate}. *)
+
+val run :
+  ?iterations:int ->
+  ?targets:(string * int) list ->
+  ?until_ms:float ->
+  ?max_events:int ->
+  'a t ->
+  stats
+(** Execute [iterations] (default 1) graph iterations: every non-clock
+    actor fires [iterations × q] times; clocks tick until the rest of the
+    graph finishes.  [targets] overrides the per-iteration count of listed
+    actors — pass 0 for actors on a branch the scenario never activates.  [until_ms] caps simulated time, [max_events] (default
+    1_000_000) caps engine steps as a runaway guard.
+    @raise Failure if the graph stalls before completing the iterations
+    (deadlock at run time) or a behaviour produces wrong token counts. *)
+
+val channel_tokens : 'a t -> int -> 'a Token.t list
+(** Current contents of a channel (after {!run}: leftovers). *)

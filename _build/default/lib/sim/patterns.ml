@@ -1,0 +1,70 @@
+let forward_selected ?duration_ms () =
+  Behavior.make ?duration_ms (fun ctx ->
+      match ctx.Behavior.inputs with
+      | [ (_, toks) ] ->
+          let toks = ref toks in
+          List.filter_map
+            (fun (ch, rate) ->
+              if rate = 0 then None
+              else begin
+                (* replicate the last token if the output rate exceeds the
+                   input count *)
+                let take () =
+                  match !toks with
+                  | [ last ] -> last
+                  | t :: rest ->
+                      toks := rest;
+                      t
+                  | [] ->
+                      failwith
+                        (ctx.Behavior.actor
+                       ^ ": no input tokens to forward")
+                in
+                Some (ch, List.init rate (fun _ -> take ()))
+              end)
+            ctx.Behavior.out_rates
+      | inputs ->
+          failwith
+            (Printf.sprintf
+               "Patterns.forward_selected (%s): expected one selected input, \
+                got %d"
+               ctx.Behavior.actor (List.length inputs)))
+
+let vote_outcome ~equal values =
+  if values = [] then invalid_arg "Patterns.vote_outcome: no votes";
+  let tally = ref [] in
+  List.iter
+    (fun v ->
+      let rec bump acc = function
+        | [] -> List.rev ((v, 1) :: acc)
+        | (w, n) :: rest when equal w v -> List.rev_append acc ((w, n + 1) :: rest)
+        | entry :: rest -> bump (entry :: acc) rest
+      in
+      tally := bump [] !tally)
+    values;
+  List.fold_left
+    (fun (bv, bn) (v, n) -> if n > bn then (v, n) else (bv, bn))
+    (List.hd !tally) (List.tl !tally)
+
+let majority_vote ?duration_ms ~equal () =
+  Behavior.make ?duration_ms (fun ctx ->
+      let votes =
+        List.concat_map
+          (fun (_, toks) ->
+            List.map
+              (fun t ->
+                match t with
+                | Token.Data v -> v
+                | Token.Ctrl _ ->
+                    failwith
+                      (ctx.Behavior.actor ^ ": control token in a vote"))
+              toks)
+          ctx.Behavior.inputs
+      in
+      if votes = [] then failwith (ctx.Behavior.actor ^ ": empty vote");
+      let winner, _ = vote_outcome ~equal votes in
+      List.filter_map
+        (fun (ch, rate) ->
+          if rate = 0 then None
+          else Some (ch, List.init rate (fun _ -> Token.Data winner)))
+        ctx.Behavior.out_rates)

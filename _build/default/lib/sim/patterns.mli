@@ -1,0 +1,39 @@
+(** The Transaction-box action patterns of §II-B.b (after ref. \[4\]).
+
+    Combining a Transaction kernel's mode with the right behaviour yields
+    the four actions the paper highlights as “not available in usual
+    dataflow MoC”:
+
+    - {b Speculation} — several candidate paths compute the same value;
+      the first to complete wins and the others are discarded.  Mode:
+      {!Tpdf_core.Mode.Highest_priority_available} with equal priorities;
+      behaviour: {!forward_selected}.
+    - {b Redundancy with vote} — n replicas compute the value; the
+      Transaction waits for all of them and outputs the majority.  Mode:
+      {!Tpdf_core.Mode.All_inputs}; behaviour: {!majority_vote}.
+    - {b Highest priority at a given deadline} — a clock control actor
+      fires the Transaction, which picks the best input available at that
+      instant.  Mode: [Highest_priority_available] with quality-ranked
+      priorities plus a clock; behaviour: {!forward_selected}.
+    - {b Selection of an active data-path} — a control actor names the
+      path through [Input_subset] modes; behaviour: {!forward_selected}. *)
+
+val forward_selected : ?duration_ms:('a Behavior.ctx -> float) -> unit -> 'a Behavior.t
+(** Forward the tokens of the (single) selected input channel to every
+    active output, replicating to match the output rates.
+    @raise Failure at run time if more than one input channel was
+    selected. *)
+
+val majority_vote :
+  ?duration_ms:('a Behavior.ctx -> float) ->
+  equal:('a -> 'a -> bool) ->
+  unit ->
+  'a Behavior.t
+(** Consume one token from every input replica and emit the value backed
+    by the largest number of replicas (ties broken by first arrival order
+    of the channels).  @raise Failure at run time if some input carried no
+    data token. *)
+
+val vote_outcome : equal:('a -> 'a -> bool) -> 'a list -> 'a * int
+(** The pure voting rule behind {!majority_vote}: winning value and its
+    vote count.  Exposed for testing.  @raise Invalid_argument on []. *)

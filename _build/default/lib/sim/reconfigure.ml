@@ -1,0 +1,44 @@
+type iteration_stats = {
+  valuation : Tpdf_param.Valuation.t;
+  stats : Engine.stats;
+}
+
+type report = {
+  iterations : iteration_stats list;
+  total_end_ms : float;
+  max_occupancy : (int * int) list;
+}
+
+let run_sequence ~graph ?(behaviors = []) ?targets ~default valuations =
+  if valuations = [] then
+    invalid_arg "Reconfigure.run_sequence: empty valuation sequence";
+  let iterations =
+    List.map
+      (fun valuation ->
+        let eng = Engine.create ~graph ~valuation ~behaviors ~default () in
+        let targets =
+          match targets with None -> None | Some f -> Some (f valuation)
+        in
+        { valuation; stats = Engine.run ?targets eng })
+      valuations
+  in
+  let max_occupancy =
+    match iterations with
+    | [] -> []
+    | first :: rest ->
+        List.fold_left
+          (fun acc it ->
+            List.map
+              (fun (ch, occ) ->
+                match List.assoc_opt ch it.stats.Engine.max_occupancy with
+                | Some occ' -> (ch, max occ occ')
+                | None -> (ch, occ))
+              acc)
+          first.stats.Engine.max_occupancy rest
+  in
+  {
+    iterations;
+    total_end_ms =
+      List.fold_left (fun acc it -> acc +. it.stats.Engine.end_ms) 0.0 iterations;
+    max_occupancy;
+  }

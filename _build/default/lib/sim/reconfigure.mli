@@ -1,0 +1,35 @@
+(** Iteration-boundary reconfiguration.
+
+    TPDF parameters are set at run time: in the OFDM demodulator the
+    vectorization degree β “varies between 1 and 100” across activations.
+    Rate consistency guarantees that a (consistent, safe, live) graph
+    returns to its initial channel state after every iteration — which is
+    exactly the moment a parameter may change without breaking any firing
+    in flight.  This module runs a sequence of iterations, each under its
+    own valuation, checking the boundary invariant between them. *)
+
+type iteration_stats = {
+  valuation : Tpdf_param.Valuation.t;
+  stats : Engine.stats;
+}
+
+type report = {
+  iterations : iteration_stats list;
+  total_end_ms : float;  (** sum of per-iteration end times *)
+  max_occupancy : (int * int) list;  (** per channel, across iterations *)
+}
+
+val run_sequence :
+  graph:Tpdf_core.Graph.t ->
+  ?behaviors:(string * 'a Behavior.t) list ->
+  ?targets:(Tpdf_param.Valuation.t -> (string * int) list) ->
+  default:'a ->
+  Tpdf_param.Valuation.t list ->
+  report
+(** Execute one iteration per valuation.  Each iteration starts from the
+    graph's initial channel state (the boundary invariant the analyses
+    guarantee); behaviours are re-instantiated per iteration with the
+    current valuation's rates.  [targets] can deselect branch actors per
+    valuation (see {!Engine.run}).
+    @raise Invalid_argument on an empty sequence
+    @raise Failure if any iteration stalls. *)

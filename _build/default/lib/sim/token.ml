@@ -1,0 +1,15 @@
+type 'a t = Data of 'a | Ctrl of string
+
+let data = function
+  | Data v -> v
+  | Ctrl m -> invalid_arg ("Token.data: control token " ^ m)
+
+let ctrl = function
+  | Ctrl m -> m
+  | Data _ -> invalid_arg "Token.ctrl: data token"
+
+let is_ctrl = function Ctrl _ -> true | Data _ -> false
+
+let pp pp_data ppf = function
+  | Data v -> Format.fprintf ppf "data(%a)" pp_data v
+  | Ctrl m -> Format.fprintf ppf "ctrl(%s)" m

@@ -1,0 +1,17 @@
+(** Tokens carried by channels at run time.
+
+    Data channels carry application payloads of type ['a]; control channels
+    carry mode names (the control tokens of §II-B that select the mode in
+    which the receiving kernel fires). *)
+
+type 'a t = Data of 'a | Ctrl of string
+
+val data : 'a t -> 'a
+(** @raise Invalid_argument on a control token. *)
+
+val ctrl : 'a t -> string
+(** @raise Invalid_argument on a data token. *)
+
+val is_ctrl : 'a t -> bool
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

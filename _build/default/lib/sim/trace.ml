@@ -1,0 +1,46 @@
+let actors_in_order (stats : Engine.stats) =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (r : Engine.firing_record) ->
+      if Hashtbl.mem seen r.Engine.actor then None
+      else begin
+        Hashtbl.replace seen r.Engine.actor ();
+        Some r.Engine.actor
+      end)
+    stats.Engine.trace
+
+let gantt ?(width = 72) (stats : Engine.stats) =
+  let buf = Buffer.create 256 in
+  let span = Float.max stats.Engine.end_ms 1e-9 in
+  let col t =
+    min (width - 1) (int_of_float (float_of_int (width - 1) *. t /. span))
+  in
+  List.iter
+    (fun actor ->
+      let row = Bytes.make width '.' in
+      List.iter
+        (fun (r : Engine.firing_record) ->
+          if r.Engine.actor = actor then
+            if r.Engine.finish_ms <= r.Engine.start_ms then
+              Bytes.set row (col r.Engine.start_ms) '|'
+            else
+              for i = col r.Engine.start_ms to max (col r.Engine.start_ms)
+                                                  (col r.Engine.finish_ms - 1) do
+                Bytes.set row i '#'
+              done)
+        stats.Engine.trace;
+      Buffer.add_string buf (Printf.sprintf "%-12s |%s|\n" actor (Bytes.to_string row)))
+    (actors_in_order stats);
+  Buffer.add_string buf (Printf.sprintf "%-12s  0 ms %*s %.3f ms\n" "" (width - 12) "" stats.Engine.end_ms);
+  Buffer.contents buf
+
+let to_csv (stats : Engine.stats) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "actor,index,phase,mode,start_ms,finish_ms\n";
+  List.iter
+    (fun (r : Engine.firing_record) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d,%s,%.6f,%.6f\n" r.Engine.actor r.Engine.index
+           r.Engine.phase r.Engine.mode r.Engine.start_ms r.Engine.finish_ms))
+    stats.Engine.trace;
+  Buffer.contents buf

@@ -1,0 +1,10 @@
+(** Rendering and exporting execution traces of the runtime engine. *)
+
+val gantt : ?width:int -> Engine.stats -> string
+(** ASCII Gantt chart of the firing records, one row per actor (actors in
+    first-firing order); instantaneous firings (clock ticks) are marked
+    with ['|'].  [width] is the time-axis width (default 72). *)
+
+val to_csv : Engine.stats -> string
+(** One line per firing: [actor,index,phase,mode,start_ms,finish_ms],
+    with a header row. *)

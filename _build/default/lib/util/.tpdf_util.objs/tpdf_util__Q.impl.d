@@ -1,0 +1,1 @@
+lib/util/q.ml: Format Intmath Stdlib

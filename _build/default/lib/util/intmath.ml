@@ -1,0 +1,38 @@
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+exception Overflow
+
+let mul_exn a b =
+  if a = 0 || b = 0 then 0
+  else
+    let r = a * b in
+    if r / b <> a then raise Overflow else r
+
+let add_exn a b =
+  let r = a + b in
+  (* Overflow iff operands share a sign and the result flipped it. *)
+  if (a >= 0 && b >= 0 && r < 0) || (a < 0 && b < 0 && r >= 0) then
+    raise Overflow
+  else r
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (mul_exn (a / gcd a b) b)
+
+let gcd_list l = List.fold_left gcd 0 l
+
+let lcm_list l = List.fold_left lcm 1 l
+
+let pow b e =
+  if e < 0 then invalid_arg "Intmath.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e = 1 then mul_exn acc b
+    else if e land 1 = 1 then go (mul_exn acc b) (mul_exn b b) (e asr 1)
+    else go acc (mul_exn b b) (e asr 1)
+  in
+  go 1 b e
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Intmath.ceil_div: divisor must be positive";
+  if a >= 0 then (a + b - 1) / b else -((-a) / b)
+
+let divides a b = a <> 0 && b mod a = 0

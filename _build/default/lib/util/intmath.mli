@@ -1,0 +1,37 @@
+(** Exact integer helpers used by the symbolic rate algebra.
+
+    All operations work on OCaml's native 63-bit [int].  Balance-equation
+    solving multiplies rates along graph paths; for the graph sizes handled
+    here (tens of actors, rates up to a few million) 63 bits are ample, but
+    the checked variants below make overflow loud rather than silent. *)
+
+val gcd : int -> int -> int
+(** Greatest common divisor; always non-negative; [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+(** Least common multiple; always non-negative. *)
+
+val gcd_list : int list -> int
+(** GCD of a list, 0 for the empty list. *)
+
+val lcm_list : int list -> int
+(** LCM of a list, 1 for the empty list. *)
+
+exception Overflow
+(** Raised by the checked arithmetic below. *)
+
+val mul_exn : int -> int -> int
+(** Overflow-checked multiplication.  @raise Overflow on wrap-around. *)
+
+val add_exn : int -> int -> int
+(** Overflow-checked addition.  @raise Overflow on wrap-around. *)
+
+val pow : int -> int -> int
+(** [pow b e] with [e >= 0], overflow-checked.
+    @raise Invalid_argument if [e < 0]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] = ⌈a / b⌉ for [b > 0], exact for negative [a] too. *)
+
+val divides : int -> int -> bool
+(** [divides a b] iff [a] divides [b] ([a <> 0]). *)

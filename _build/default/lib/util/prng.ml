@@ -1,0 +1,55 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's native positive int range. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* 53 uniformly random mantissa bits scaled into [0,1). *)
+let unit_float t =
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound = unit_float t *. bound
+
+let gaussian t =
+  let rec draw () =
+    let u = unit_float t in
+    if u = 0.0 then draw () else u
+  in
+  let u1 = draw () and u2 = unit_float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generation.
+
+    All synthetic workloads in this repository (images, OFDM bit streams,
+    noise) draw from this generator so that tests and benchmarks are exactly
+    reproducible across runs and machines.  The implementation is
+    splitmix64, a small, well-distributed, splittable generator. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the rest of [t]'s stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val bool : t -> bool
+(** Uniform boolean. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box-Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

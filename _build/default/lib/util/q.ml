@@ -1,0 +1,84 @@
+type t = { num : int; den : int }
+
+let make num den =
+  if den = 0 then raise Division_by_zero;
+  let sign = if den < 0 then -1 else 1 in
+  let num = sign * num and den = sign * den in
+  let g = Intmath.gcd num den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let add a b =
+  (* Reduce before multiplying to keep intermediates small. *)
+  let g = Intmath.gcd a.den b.den in
+  let da = a.den / g and db = b.den / g in
+  make
+    (Intmath.add_exn (Intmath.mul_exn a.num db) (Intmath.mul_exn b.num da))
+    (Intmath.mul_exn a.den db)
+
+let neg a = { a with num = -a.num }
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  let g1 = Intmath.gcd a.num b.den and g2 = Intmath.gcd b.num a.den in
+  let g1 = max g1 1 and g2 = max g2 1 in
+  make
+    (Intmath.mul_exn (a.num / g1) (b.num / g2))
+    (Intmath.mul_exn (a.den / g2) (b.den / g1))
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero;
+  make a.den a.num
+
+let div a b = mul a (inv b)
+
+let abs a = { a with num = Stdlib.abs a.num }
+
+let equal a b = a.num = b.num && a.den = b.den
+
+let compare a b =
+  Stdlib.compare (Intmath.mul_exn a.num b.den) (Intmath.mul_exn b.num a.den)
+
+let sign a = Stdlib.compare a.num 0
+
+let is_zero a = a.num = 0
+
+let is_integer a = a.den = 1
+
+let to_int a =
+  if a.den <> 1 then invalid_arg "Q.to_int: not an integer";
+  a.num
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let gcd a b =
+  if is_zero a then abs b
+  else if is_zero b then abs a
+  else make (Intmath.gcd a.num b.num) (Intmath.lcm a.den b.den)
+
+let lcm a b =
+  if is_zero a || is_zero b then zero
+  else make (Intmath.lcm a.num b.num) (Intmath.gcd a.den b.den)
+
+let pp ppf a =
+  if a.den = 1 then Format.fprintf ppf "%d" a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+end

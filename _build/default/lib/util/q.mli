@@ -1,0 +1,62 @@
+(** Exact rational numbers on native integers.
+
+    Values are kept in canonical form: the denominator is positive and
+    numerator/denominator are coprime, so structural equality coincides with
+    mathematical equality. *)
+
+type t = private { num : int; den : int }
+(** Canonical fraction [num/den], [den > 0], [gcd num den = 1]. *)
+
+val make : int -> int -> t
+(** [make num den] normalizes the fraction.  @raise Division_by_zero if
+    [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero when dividing by {!zero}. *)
+
+val neg : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on {!zero}. *)
+
+val abs : t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val to_int : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val to_float : t -> float
+
+val gcd : t -> t -> t
+(** Rational GCD: [gcd (a/b) (c/d) = gcd(a,c) / lcm(b,d)].  The largest
+    rational dividing both arguments to integers. *)
+
+val lcm : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(* Infix aliases, intended for local [let open Q.Infix in]. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+end

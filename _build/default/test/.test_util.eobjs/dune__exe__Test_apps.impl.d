@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Analysis Edge Edge_app Fm_radio Graph List Ofdm_app Printf String Tpdf_apps Tpdf_core Tpdf_csdf Tpdf_image Tpdf_param Tpdf_sim Valuation

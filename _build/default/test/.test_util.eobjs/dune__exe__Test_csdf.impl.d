@@ -1,0 +1,1 @@
+test/test_csdf.ml: Alcotest Array Bounded Buffers Concrete Examples Expr Format Gen Graph List Poly QCheck QCheck_alcotest Repetition Sas Schedule Tpdf_csdf Tpdf_param Valuation

@@ -1,0 +1,1 @@
+test/test_dsp.ml: Alcotest Array Channel Complex Fft Fir Float Gen List Modulation Ofdm Printf Prng QCheck QCheck_alcotest Tpdf_dsp Tpdf_util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Buffer Digraph Format List Printf String Tpdf_graph

@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Array Edge Image Kernels Lazy List Printf Synthetic Sys Tpdf_image

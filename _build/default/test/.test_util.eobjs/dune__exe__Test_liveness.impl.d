@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Analysis Array Examples Expr Graph List Liveness Poly Tpdf_core Tpdf_csdf Tpdf_graph Tpdf_param Valuation

@@ -1,0 +1,1 @@
+test/test_motion.ml: Alcotest Array Float Image List Motion Printf String Synthetic Tpdf_apps Tpdf_core Tpdf_image Video_app

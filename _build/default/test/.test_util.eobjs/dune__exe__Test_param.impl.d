@@ -1,0 +1,1 @@
+test/test_param.ml: Alcotest Expr Frac List Monomial Poly Printf Q QCheck QCheck_alcotest Tpdf_core Tpdf_param Tpdf_util Valuation

@@ -1,0 +1,1 @@
+test/test_patterns.ml: Alcotest Behavior Engine Gen Graph Int List Patterns QCheck QCheck_alcotest Token Tpdf_core Tpdf_csdf Tpdf_param Tpdf_sim Valuation

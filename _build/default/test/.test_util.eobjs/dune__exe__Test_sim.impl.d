@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Behavior Engine Examples Graph List Mode String Token Tpdf_core Tpdf_csdf Tpdf_graph Tpdf_param Tpdf_sim Trace Valuation

@@ -1,0 +1,1 @@
+test/test_tpdf.ml: Alcotest Analysis Array Buffers Examples Expr Frac Graph List Liveness Mode Poly Printf String Tpdf_core Tpdf_csdf Tpdf_param Valuation

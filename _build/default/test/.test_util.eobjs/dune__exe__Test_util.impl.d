@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Intmath List Prng Q QCheck QCheck_alcotest Tpdf_util

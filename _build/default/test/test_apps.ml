@@ -1,0 +1,287 @@
+open Tpdf_apps
+open Tpdf_core
+open Tpdf_param
+open Tpdf_image
+module Csdf = Tpdf_csdf
+
+(* ------------------------------------------------------------------ *)
+(* Edge-detection application (Fig. 6)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_edge_graph_static () =
+  let g, _ = Edge_app.graph () in
+  Alcotest.(check bool) "consistent" true (Analysis.consistent g);
+  Alcotest.(check bool) "rate safe" true (Analysis.rate_safe g);
+  (match Graph.validate g with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail (String.concat "; " m));
+  let b = Analysis.check_boundedness g ~samples:[ Valuation.empty ] in
+  Alcotest.(check bool) "bounded" true b.Analysis.bounded;
+  (* clock control actor present with the right period *)
+  Alcotest.(check (option (float 0.0))) "clock period" (Some 500.0)
+    (Graph.clock_period_ms g "Clock")
+
+let test_edge_run_tight_deadline () =
+  (* 128x128 frames, model timing: quick ~3.1ms, sobel ~7.4, prewitt ~8.2,
+     canny ~16.3, after an 11 ms read+duplicate overhead.  At a 19 ms
+     deadline sobel (18.4) fits but prewitt (19.2) does not. *)
+  let r = Edge_app.run ~size:128 ~frames:1 ~deadline_ms:19.0 () in
+  match r.Edge_app.frames with
+  | [ f ] ->
+      Alcotest.(check string) "sobel wins" "sobel" (Edge.name f.Edge_app.winner);
+      Alcotest.(check bool) "found edges" true (f.Edge_app.edge_pixels > 0)
+  | _ -> Alcotest.fail "expected one frame"
+
+let test_edge_run_pipelined_frames () =
+  (* With several frames in flight, later deadline ticks can pick up
+     results of slower detectors computed for queued frames — quality per
+     tick never decreases. *)
+  let r = Edge_app.run ~size:128 ~frames:3 ~deadline_ms:19.0 () in
+  Alcotest.(check int) "three selections" 3 (List.length r.Edge_app.frames);
+  let qualities =
+    List.map (fun f -> Edge.quality f.Edge_app.winner) r.Edge_app.frames
+  in
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "quality non-decreasing over ticks" true
+    (non_decreasing qualities)
+
+let test_edge_run_loose_deadline () =
+  (* A deadline beyond Canny's cost selects the best detector. *)
+  let r = Edge_app.run ~size:128 ~frames:1 ~deadline_ms:80.0 () in
+  match r.Edge_app.frames with
+  | [ f ] -> Alcotest.(check string) "canny wins" "canny" (Edge.name f.Edge_app.winner)
+  | _ -> Alcotest.fail "expected one frame"
+
+let test_edge_winner_model_matches_run () =
+  List.iter
+    (fun deadline ->
+      let predicted = Edge_app.winner_at_deadline ~deadline_ms:deadline ~size:128 () in
+      let r = Edge_app.run ~size:128 ~frames:1 ~deadline_ms:deadline () in
+      match r.Edge_app.frames with
+      | [ f ] ->
+          Alcotest.(check string)
+            (Printf.sprintf "deadline %.0fms" deadline)
+            (Edge.name predicted)
+            (Edge.name f.Edge_app.winner)
+      | _ -> Alcotest.fail "expected one frame")
+    [ 16.0; 20.0; 22.0; 40.0 ]
+
+let test_edge_winner_quality_monotone () =
+  (* Longer deadlines never pick a worse detector. *)
+  let q d = Edge.quality (Edge_app.winner_at_deadline ~deadline_ms:d ~size:1024 ()) in
+  let rec check = function
+    | a :: (b :: _ as rest) -> q a <= q b && check rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone quality" true
+    (check [ 100.0; 250.0; 500.0; 600.0; 1200.0; 2000.0 ])
+
+let test_edge_paper_deadline () =
+  (* At the paper's 500 ms / 1024x1024 setting the winner is Sobel
+     (473 ms fits, Prewitt's 522 ms does not). *)
+  Alcotest.(check string) "500ms -> sobel" "sobel"
+    (Edge.name (Edge_app.winner_at_deadline ~deadline_ms:500.0 ~size:1024 ()))
+
+(* ------------------------------------------------------------------ *)
+(* OFDM application (Fig. 7 / Fig. 8)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_ofdm_graph_static () =
+  let g, _ = Ofdm_app.tpdf_graph () in
+  Alcotest.(check bool) "consistent" true (Analysis.consistent g);
+  Alcotest.(check bool) "rate safe" true (Analysis.rate_safe g);
+  let rep = Analysis.repetition g in
+  (* every actor fires once per iteration *)
+  List.iter
+    (fun (a, q) ->
+      Alcotest.(check bool) (a ^ " fires once") true
+        (Tpdf_param.Poly.equal q (Tpdf_param.Poly.one)))
+    rep.Csdf.Repetition.q;
+  let area = Analysis.control_area g "CON" in
+  Alcotest.(check (list string)) "Area(CON)" [ "DUP"; "SRC"; "TRAN" ]
+    area.Analysis.members
+
+let test_ofdm_csdf_graph_static () =
+  let g, _ = Ofdm_app.csdf_graph () in
+  Alcotest.(check bool) "baseline consistent" true (Analysis.consistent g);
+  Alcotest.(check int) "no control actors" 0
+    (List.length (Graph.control_actors g))
+
+let test_fig8_formulas () =
+  (* measured buffer totals must equal the paper's closed forms *)
+  List.iter
+    (fun (beta, n, l) ->
+      let t = Ofdm_app.tpdf_buffers ~beta ~n ~l in
+      let c = Ofdm_app.csdf_buffers ~beta ~n ~l in
+      Alcotest.(check int)
+        (Printf.sprintf "TPDF beta=%d N=%d" beta n)
+        (Ofdm_app.tpdf_buffer_formula ~beta ~n ~l)
+        t.Csdf.Buffers.total;
+      Alcotest.(check int)
+        (Printf.sprintf "CSDF beta=%d N=%d" beta n)
+        (Ofdm_app.csdf_buffer_formula ~beta ~n ~l)
+        c.Csdf.Buffers.total)
+    [ (1, 512, 1); (10, 512, 1); (10, 1024, 1); (100, 1024, 1); (7, 64, 3) ]
+
+let test_fig8_improvement () =
+  (* the paper reports a 29% improvement over CSDF *)
+  let t = (Ofdm_app.tpdf_buffers ~beta:50 ~n:1024 ~l:1).Csdf.Buffers.total in
+  let c = (Ofdm_app.csdf_buffers ~beta:50 ~n:1024 ~l:1).Csdf.Buffers.total in
+  let improvement = 100.0 *. float_of_int (c - t) /. float_of_int c in
+  Alcotest.(check bool)
+    (Printf.sprintf "improvement %.1f%% in [28, 31]" improvement)
+    true
+    (improvement > 28.0 && improvement < 31.0)
+
+let test_fig8_linear_in_beta () =
+  let total beta = (Ofdm_app.tpdf_buffers ~beta ~n:512 ~l:1).Csdf.Buffers.total in
+  let d1 = total 20 - total 10 and d2 = total 30 - total 20 in
+  Alcotest.(check int) "equal increments" d1 d2
+
+let test_ofdm_link_qpsk () =
+  let r = Ofdm_app.run_link ~beta:2 ~n:64 ~l:4 ~m:2 ~iterations:2 () in
+  Alcotest.(check (float 0.0)) "noiseless BER" 0.0 r.Ofdm_app.ber;
+  Alcotest.(check int) "bits" (2 * 2 * 64 * 2) r.Ofdm_app.sent_bits;
+  (* QAM never fires in QPSK mode *)
+  Alcotest.(check int) "QAM idle" 0 (List.assoc "QAM" r.Ofdm_app.firings);
+  Alcotest.(check int) "QPSK fires" 2 (List.assoc "QPSK" r.Ofdm_app.firings)
+
+let test_ofdm_link_qam () =
+  let r = Ofdm_app.run_link ~beta:3 ~n:32 ~l:2 ~m:4 ~iterations:1 () in
+  Alcotest.(check (float 0.0)) "noiseless BER" 0.0 r.Ofdm_app.ber;
+  Alcotest.(check int) "QPSK idle" 0 (List.assoc "QPSK" r.Ofdm_app.firings)
+
+let test_ofdm_link_noisy () =
+  let r =
+    Ofdm_app.run_link ~snr_db:(Some 25.0) ~beta:2 ~n:64 ~l:4 ~m:2 ~iterations:1 ()
+  in
+  Alcotest.(check bool) "low BER at 25 dB" true (r.Ofdm_app.ber < 0.01)
+
+let test_ofdm_bad_m () =
+  match Ofdm_app.run_link ~beta:1 ~n:32 ~l:1 ~m:3 ~iterations:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "M=3 accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Runtime reconfiguration (β varies between activations, §IV-B)        *)
+(* ------------------------------------------------------------------ *)
+
+let test_ofdm_reconfiguration_over_beta () =
+  (* Run the OFDM graph with the vectorization degree changing every
+     iteration; the worst per-channel occupancy across the run must equal
+     the Fig. 8 provisioning at the largest beta. *)
+  let g, _ = Ofdm_app.tpdf_graph () in
+  let betas = [ 2; 5; 3 ] in
+  let vals = List.map (fun beta -> Ofdm_app.valuation ~beta ~n:16 ~l:2) betas in
+  let report =
+    Tpdf_sim.Reconfigure.run_sequence ~graph:g
+      ~targets:(fun _ -> [ ("QAM", 0) ])
+      ~default:0 vals
+  in
+  Alcotest.(check int) "three iterations" 3
+    (List.length report.Tpdf_sim.Reconfigure.iterations);
+  let total =
+    List.fold_left (fun acc (_, occ) -> acc + occ) 0
+      report.Tpdf_sim.Reconfigure.max_occupancy
+  in
+  (* worst-case = beta 5, QPSK scenario: full formula minus the QAM
+     branch's channels (beta*N dup_qam + 4*beta*N qam_tran = 5*beta*N) *)
+  let expected =
+    Ofdm_app.tpdf_buffer_formula ~beta:5 ~n:16 ~l:2 - (5 * 5 * 16)
+  in
+  Alcotest.(check int) "matches Fig. 8 provisioning at max beta" expected total
+
+let test_reconfigure_empty_rejected () =
+  let g, _ = Ofdm_app.tpdf_graph () in
+  match Tpdf_sim.Reconfigure.run_sequence ~graph:g ~default:0 [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty sequence accepted"
+
+(* ------------------------------------------------------------------ *)
+(* FM radio (§V)                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_fm_graph_static () =
+  let g = Fm_radio.graph () in
+  Alcotest.(check bool) "consistent" true (Analysis.consistent g);
+  Alcotest.(check bool) "rate safe" true (Analysis.rate_safe g);
+  match Graph.validate g with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail (String.concat "; " m)
+
+let test_fm_speech_halves_work () =
+  let c = Fm_radio.compare_profiles ~bands:8 Fm_radio.Speech in
+  Alcotest.(check int) "csdf computes all bands" 8 c.Fm_radio.csdf_band_firings;
+  Alcotest.(check int) "tpdf computes half" 4 c.Fm_radio.tpdf_band_firings;
+  Alcotest.(check bool) "tpdf not slower" true
+    (c.Fm_radio.tpdf_makespan_ms <= c.Fm_radio.csdf_makespan_ms);
+  Alcotest.(check bool) "tpdf buffers smaller" true
+    (c.Fm_radio.tpdf_buffers < c.Fm_radio.csdf_buffers)
+
+let test_fm_music_matches_csdf_work () =
+  let c = Fm_radio.compare_profiles ~bands:8 Fm_radio.Music in
+  Alcotest.(check int) "same band work" c.Fm_radio.csdf_band_firings
+    c.Fm_radio.tpdf_band_firings
+
+let test_fm_audio_runs () =
+  let r = Fm_radio.run_audio Fm_radio.Speech ~iterations:3 in
+  Alcotest.(check bool) "produced samples" true (r.Fm_radio.samples > 0);
+  Alcotest.(check bool) "non-trivial output power" true
+    (r.Fm_radio.output_power > 0.0);
+  (* suppressed bands never fired *)
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "band%d idle" i)
+        0
+        (List.assoc (Printf.sprintf "band%d" i) r.Fm_radio.firings))
+    [ 4; 5; 6; 7 ]
+
+let test_fm_profiles () =
+  Alcotest.(check (list int)) "speech bands" [ 0; 1; 2; 3 ]
+    (Fm_radio.bands_for Fm_radio.Speech ~total:8);
+  Alcotest.(check (list int)) "music bands" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (Fm_radio.bands_for Fm_radio.Music ~total:8)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "edge",
+        [
+          Alcotest.test_case "static analyses" `Quick test_edge_graph_static;
+          Alcotest.test_case "tight deadline" `Quick test_edge_run_tight_deadline;
+          Alcotest.test_case "pipelined frames" `Quick test_edge_run_pipelined_frames;
+          Alcotest.test_case "loose deadline" `Quick test_edge_run_loose_deadline;
+          Alcotest.test_case "model matches run" `Quick test_edge_winner_model_matches_run;
+          Alcotest.test_case "quality monotone" `Quick test_edge_winner_quality_monotone;
+          Alcotest.test_case "paper's 500ms" `Quick test_edge_paper_deadline;
+        ] );
+      ( "ofdm",
+        [
+          Alcotest.test_case "tpdf static" `Quick test_ofdm_graph_static;
+          Alcotest.test_case "csdf static" `Quick test_ofdm_csdf_graph_static;
+          Alcotest.test_case "fig8 formulas" `Quick test_fig8_formulas;
+          Alcotest.test_case "fig8 improvement" `Quick test_fig8_improvement;
+          Alcotest.test_case "fig8 linearity" `Quick test_fig8_linear_in_beta;
+          Alcotest.test_case "link qpsk" `Quick test_ofdm_link_qpsk;
+          Alcotest.test_case "link qam" `Quick test_ofdm_link_qam;
+          Alcotest.test_case "link noisy" `Quick test_ofdm_link_noisy;
+          Alcotest.test_case "bad M" `Quick test_ofdm_bad_m;
+        ] );
+      ( "reconfigure",
+        [
+          Alcotest.test_case "beta sweep" `Quick test_ofdm_reconfiguration_over_beta;
+          Alcotest.test_case "empty rejected" `Quick test_reconfigure_empty_rejected;
+        ] );
+      ( "fm-radio",
+        [
+          Alcotest.test_case "static" `Quick test_fm_graph_static;
+          Alcotest.test_case "speech halves work" `Quick test_fm_speech_halves_work;
+          Alcotest.test_case "music equals csdf" `Quick test_fm_music_matches_csdf_work;
+          Alcotest.test_case "audio runs" `Quick test_fm_audio_runs;
+          Alcotest.test_case "profiles" `Quick test_fm_profiles;
+        ] );
+    ]

@@ -1,0 +1,336 @@
+open Tpdf_dsp
+open Tpdf_util
+
+let approx_complex eps a b =
+  abs_float (a.Complex.re -. b.Complex.re) < eps
+  && abs_float (a.Complex.im -. b.Complex.im) < eps
+
+let carray_approx eps a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> approx_complex eps x y) a b
+
+(* ------------------------------------------------------------------ *)
+(* FFT                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let random_signal rng n =
+  Array.init n (fun _ ->
+      { Complex.re = Prng.float rng 2.0 -. 1.0; im = Prng.float rng 2.0 -. 1.0 })
+
+let test_fft_roundtrip () =
+  let rng = Prng.create 1 in
+  List.iter
+    (fun n ->
+      let x = random_signal rng n in
+      Alcotest.(check bool)
+        (Printf.sprintf "ifft(fft(x)) = x at n=%d" n)
+        true
+        (carray_approx 1e-9 x (Fft.ifft (Fft.fft x))))
+    [ 1; 2; 4; 8; 64; 512; 1024 ]
+
+let test_fft_matches_naive () =
+  let rng = Prng.create 2 in
+  let x = random_signal rng 16 in
+  Alcotest.(check bool) "fft = naive dft" true
+    (carray_approx 1e-9 (Fft.fft x) (Fft.dft_naive x))
+
+let test_fft_impulse () =
+  (* FFT of a unit impulse is all ones. *)
+  let n = 8 in
+  let x = Array.make n Complex.zero in
+  x.(0) <- Complex.one;
+  let y = Fft.fft x in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "flat spectrum" true (approx_complex 1e-12 c Complex.one))
+    y
+
+let test_fft_linearity () =
+  let rng = Prng.create 3 in
+  let a = random_signal rng 32 and b = random_signal rng 32 in
+  let sum = Array.map2 Complex.add a b in
+  let lhs = Fft.fft sum in
+  let rhs = Array.map2 Complex.add (Fft.fft a) (Fft.fft b) in
+  Alcotest.(check bool) "fft linear" true (carray_approx 1e-9 lhs rhs)
+
+let test_fft_bad_length () =
+  Alcotest.(check bool) "is_power_of_two" true (Fft.is_power_of_two 1024);
+  Alcotest.(check bool) "12 not" false (Fft.is_power_of_two 12);
+  Alcotest.(check bool) "0 not" false (Fft.is_power_of_two 0);
+  match Fft.fft (Array.make 12 Complex.zero) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length 12 accepted"
+
+let test_parseval () =
+  let rng = Prng.create 4 in
+  let x = random_signal rng 128 in
+  let energy_time = Array.fold_left (fun acc c -> acc +. Complex.norm2 c) 0.0 x in
+  let energy_freq =
+    Array.fold_left (fun acc c -> acc +. Complex.norm2 c) 0.0 (Fft.fft x)
+    /. 128.0
+  in
+  Alcotest.(check (float 1e-6)) "Parseval" energy_time energy_freq
+
+(* ------------------------------------------------------------------ *)
+(* Modulation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let random_bits rng n = Array.init n (fun _ -> Prng.int rng 2)
+
+let test_modulation_roundtrip () =
+  let rng = Prng.create 5 in
+  List.iter
+    (fun scheme ->
+      let k = Modulation.bits_per_symbol scheme in
+      let bits = random_bits rng (k * 100) in
+      let rx = Modulation.demodulate scheme (Modulation.modulate scheme bits) in
+      Alcotest.(check (float 0.0)) "noiseless roundtrip" 0.0
+        (Modulation.bit_error_rate ~sent:bits ~received:rx))
+    [ Modulation.Qpsk; Modulation.Qam16 ]
+
+let test_modulation_power () =
+  let rng = Prng.create 6 in
+  List.iter
+    (fun scheme ->
+      let k = Modulation.bits_per_symbol scheme in
+      let bits = random_bits rng (k * 4096) in
+      let syms = Modulation.modulate scheme bits in
+      let p =
+        Array.fold_left (fun acc c -> acc +. Complex.norm2 c) 0.0 syms
+        /. float_of_int (Array.length syms)
+      in
+      Alcotest.(check bool) "unit average power" true (abs_float (p -. 1.0) < 0.05))
+    [ Modulation.Qpsk; Modulation.Qam16 ]
+
+let test_scheme_of_m () =
+  Alcotest.(check int) "qpsk bits" 2 (Modulation.bits_per_symbol (Modulation.scheme_of_m 2));
+  Alcotest.(check int) "qam bits" 4 (Modulation.bits_per_symbol (Modulation.scheme_of_m 4));
+  match Modulation.scheme_of_m 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "M=3 accepted"
+
+let test_modulate_validation () =
+  (match Modulation.modulate Modulation.Qpsk [| 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "odd bit count accepted");
+  match Modulation.modulate Modulation.Qpsk [| 2; 0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-bit accepted"
+
+let test_ber_counts () =
+  Alcotest.(check (float 1e-12)) "25% errors" 0.25
+    (Modulation.bit_error_rate ~sent:[| 0; 0; 0; 0 |] ~received:[| 1; 0; 0; 0 |]);
+  match Modulation.bit_error_rate ~sent:[| 0 |] ~received:[| 0; 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted"
+
+(* ------------------------------------------------------------------ *)
+(* OFDM                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cyclic_prefix () =
+  let cfg = Ofdm.config ~n:8 ~l:2 in
+  Alcotest.(check int) "samples per symbol" 10 (Ofdm.samples_per_symbol cfg);
+  let rng = Prng.create 7 in
+  let freq = random_signal rng 8 in
+  let tx = Ofdm.transmit_symbol cfg freq in
+  Alcotest.(check int) "tx length" 10 (Array.length tx);
+  (* prefix = last L samples *)
+  Alcotest.(check bool) "prefix copies tail" true
+    (approx_complex 1e-12 tx.(0) tx.(8) && approx_complex 1e-12 tx.(1) tx.(9));
+  let rx = Ofdm.receive_symbol cfg tx in
+  Alcotest.(check bool) "recovered" true (carray_approx 1e-9 freq rx)
+
+let test_ofdm_bits_roundtrip () =
+  let rng = Prng.create 8 in
+  List.iter
+    (fun (n, l, scheme) ->
+      let cfg = Ofdm.config ~n ~l in
+      let k = Modulation.bits_per_symbol scheme in
+      let bits = random_bits rng (3 * n * k) in
+      let stream, sent = Ofdm.transmit_bits cfg scheme bits in
+      let rx = Ofdm.receive_bits cfg scheme stream in
+      Alcotest.(check (float 0.0)) "noiseless BER 0" 0.0
+        (Modulation.bit_error_rate ~sent ~received:rx))
+    [ (64, 4, Modulation.Qpsk); (128, 8, Modulation.Qam16); (512, 1, Modulation.Qpsk) ]
+
+let test_ofdm_padding () =
+  let cfg = Ofdm.config ~n:8 ~l:1 in
+  let stream, sent = Ofdm.transmit_bits cfg Modulation.Qpsk [| 1; 0; 1 |] in
+  (* padded to one full symbol: 16 bits, 9 samples *)
+  Alcotest.(check int) "padded bits" 16 (Array.length sent);
+  Alcotest.(check int) "one symbol" 9 (Array.length stream);
+  Alcotest.(check (list int)) "payload preserved" [ 1; 0; 1 ]
+    (Array.to_list (Array.sub sent 0 3))
+
+let test_ofdm_config_validation () =
+  (match Ofdm.config ~n:12 ~l:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non power of two accepted");
+  match Ofdm.config ~n:8 ~l:9 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "L > N accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Channel                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_awgn_snr () =
+  let rng = Prng.create 9 in
+  let x = random_signal (Prng.create 10) 8192 in
+  let noisy = Channel.awgn rng ~snr_db:10.0 x in
+  let noise = Array.map2 Complex.sub noisy x in
+  let snr = Channel.signal_power x /. Channel.signal_power noise in
+  let snr_db = 10.0 *. log10 snr in
+  Alcotest.(check bool) "empirical SNR near 10 dB" true (abs_float (snr_db -. 10.0) < 1.0)
+
+let test_qpsk_resilient_at_high_snr () =
+  let rng = Prng.create 11 in
+  let cfg = Ofdm.config ~n:64 ~l:4 in
+  let bits = random_bits rng (64 * 2 * 8) in
+  let stream, sent = Ofdm.transmit_bits cfg Modulation.Qpsk bits in
+  let noisy = Channel.awgn (Prng.create 12) ~snr_db:25.0 stream in
+  let rx = Ofdm.receive_bits cfg Modulation.Qpsk noisy in
+  Alcotest.(check (float 0.001)) "BER ~ 0 at 25 dB" 0.0
+    (Modulation.bit_error_rate ~sent ~received:rx)
+
+let test_qam_degrades_below_qpsk () =
+  (* At a harsh SNR, 16-QAM must show a higher BER than QPSK: the
+     quality/robustness trade-off the control actor arbitrates. *)
+  let mk scheme seed =
+    let rng = Prng.create seed in
+    let cfg = Ofdm.config ~n:64 ~l:4 in
+    let k = Modulation.bits_per_symbol scheme in
+    let bits = random_bits rng (64 * k * 16) in
+    let stream, sent = Ofdm.transmit_bits cfg scheme bits in
+    let noisy = Channel.awgn (Prng.create (seed + 100)) ~snr_db:12.0 stream in
+    let rx = Ofdm.receive_bits cfg scheme noisy in
+    Modulation.bit_error_rate ~sent ~received:rx
+  in
+  let ber_qpsk = mk Modulation.Qpsk 13 and ber_qam = mk Modulation.Qam16 14 in
+  Alcotest.(check bool)
+    (Printf.sprintf "qam (%.4f) worse than qpsk (%.4f)" ber_qam ber_qpsk)
+    true (ber_qam > ber_qpsk)
+
+(* ------------------------------------------------------------------ *)
+(* FIR                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fir_identity () =
+  let x = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (array (float 1e-12))) "delta passes through" x
+    (Fir.apply [| 1.0 |] x)
+
+let test_fir_moving_average () =
+  let y = Fir.apply [| 0.5; 0.5 |] [| 2.0; 4.0; 6.0 |] in
+  Alcotest.(check (array (float 1e-12))) "moving average" [| 1.0; 3.0; 5.0 |] y
+
+let test_lowpass_dc_gain () =
+  let taps = Fir.lowpass ~cutoff:0.2 ~taps:31 in
+  let dc = Array.fold_left ( +. ) 0.0 taps in
+  Alcotest.(check (float 1e-9)) "unit DC gain" 1.0 dc
+
+let test_lowpass_attenuates_high_freq () =
+  let taps = Fir.lowpass ~cutoff:0.1 ~taps:63 in
+  let n = 512 in
+  let lo = Array.init n (fun t -> sin (2.0 *. Float.pi *. 0.02 *. float_of_int t)) in
+  let hi = Array.init n (fun t -> sin (2.0 *. Float.pi *. 0.4 *. float_of_int t)) in
+  let power x = Array.fold_left (fun a v -> a +. (v *. v)) 0.0 x /. float_of_int n in
+  let plo = power (Fir.apply taps lo) and phi = power (Fir.apply taps hi) in
+  Alcotest.(check bool) "passband kept" true (plo > 0.3);
+  Alcotest.(check bool) "stopband crushed" true (phi < 0.01)
+
+let test_bandpass_selects () =
+  let taps = Fir.bandpass ~low:0.15 ~high:0.25 ~taps:63 in
+  let n = 512 in
+  let tone f = Array.init n (fun t -> sin (2.0 *. Float.pi *. f *. float_of_int t)) in
+  let power x = Array.fold_left (fun a v -> a +. (v *. v)) 0.0 x /. float_of_int n in
+  let inband = power (Fir.apply taps (tone 0.2)) in
+  let below = power (Fir.apply taps (tone 0.05)) in
+  let above = power (Fir.apply taps (tone 0.45)) in
+  Alcotest.(check bool) "in-band passes" true (inband > 0.2);
+  Alcotest.(check bool) "below rejected" true (below < 0.02);
+  Alcotest.(check bool) "above rejected" true (above < 0.02)
+
+let test_fir_validation () =
+  (match Fir.apply [||] [| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty taps accepted");
+  (match Fir.lowpass ~cutoff:0.6 ~taps:8 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cutoff 0.6 accepted");
+  match Fir.bandpass ~low:0.3 ~high:0.2 ~taps:8 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "inverted band accepted"
+
+let test_fm_demodulate () =
+  Alcotest.(check (array (float 1e-12))) "short input" [||] (Fir.fm_demodulate [| 1.0 |]);
+  let d = Fir.fm_demodulate [| 0.0; 0.5; 1.0 |] in
+  Alcotest.(check int) "length n-1" 2 (Array.length d)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_fft_roundtrip =
+  QCheck.Test.make ~name:"ifft . fft = id" ~count:50
+    QCheck.(list_of_size (Gen.return 64) (pair (float_bound_exclusive 1.0) (float_bound_exclusive 1.0)))
+    (fun pts ->
+      QCheck.assume (List.length pts = 64);
+      let x = Array.of_list (List.map (fun (re, im) -> { Complex.re; im }) pts) in
+      carray_approx 1e-8 x (Fft.ifft (Fft.fft x)))
+
+let prop_modulation_roundtrip =
+  QCheck.Test.make ~name:"demodulate . modulate = id (qam16)" ~count:100
+    QCheck.(list_of_size (Gen.return 64) (int_bound 1))
+    (fun bits ->
+      let bits = Array.of_list bits in
+      let rx = Modulation.demodulate Modulation.Qam16 (Modulation.modulate Modulation.Qam16 bits) in
+      rx = bits)
+
+let () =
+  Alcotest.run "dsp"
+    [
+      ( "fft",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+          Alcotest.test_case "matches naive" `Quick test_fft_matches_naive;
+          Alcotest.test_case "impulse" `Quick test_fft_impulse;
+          Alcotest.test_case "linearity" `Quick test_fft_linearity;
+          Alcotest.test_case "bad length" `Quick test_fft_bad_length;
+          Alcotest.test_case "parseval" `Quick test_parseval;
+        ] );
+      ( "modulation",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_modulation_roundtrip;
+          Alcotest.test_case "unit power" `Quick test_modulation_power;
+          Alcotest.test_case "scheme_of_m" `Quick test_scheme_of_m;
+          Alcotest.test_case "validation" `Quick test_modulate_validation;
+          Alcotest.test_case "ber" `Quick test_ber_counts;
+        ] );
+      ( "ofdm",
+        [
+          Alcotest.test_case "cyclic prefix" `Quick test_cyclic_prefix;
+          Alcotest.test_case "bits roundtrip" `Quick test_ofdm_bits_roundtrip;
+          Alcotest.test_case "padding" `Quick test_ofdm_padding;
+          Alcotest.test_case "config validation" `Quick test_ofdm_config_validation;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "awgn snr" `Quick test_awgn_snr;
+          Alcotest.test_case "qpsk at 25dB" `Quick test_qpsk_resilient_at_high_snr;
+          Alcotest.test_case "qam vs qpsk" `Slow test_qam_degrades_below_qpsk;
+        ] );
+      ( "fir",
+        [
+          Alcotest.test_case "identity" `Quick test_fir_identity;
+          Alcotest.test_case "moving average" `Quick test_fir_moving_average;
+          Alcotest.test_case "dc gain" `Quick test_lowpass_dc_gain;
+          Alcotest.test_case "lowpass response" `Quick test_lowpass_attenuates_high_freq;
+          Alcotest.test_case "bandpass response" `Quick test_bandpass_selects;
+          Alcotest.test_case "validation" `Quick test_fir_validation;
+          Alcotest.test_case "fm demodulate" `Quick test_fm_demodulate;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_fft_roundtrip; prop_modulation_roundtrip ] );
+    ]

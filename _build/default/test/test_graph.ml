@@ -1,0 +1,190 @@
+open Tpdf_graph
+
+let mk_graph edges =
+  let g = Digraph.create () in
+  List.iter (fun (a, b) -> ignore (Digraph.add_edge g a b ())) edges;
+  g
+
+let sorted l = List.sort compare l
+
+let test_basics () =
+  let g = Digraph.create () in
+  Digraph.add_vertex g "a";
+  Digraph.add_vertex g "a";
+  let e1 = Digraph.add_edge g "a" "b" "x" in
+  let e2 = Digraph.add_edge g "a" "b" "y" in
+  Alcotest.(check int) "two parallel edges" 2 (Digraph.nb_edges g);
+  Alcotest.(check int) "vertices" 2 (Digraph.nb_vertices g);
+  Alcotest.(check bool) "distinct ids" true (e1 <> e2);
+  Alcotest.(check string) "find_edge label" "y" (Digraph.find_edge g e2).label;
+  Alcotest.(check (list string)) "succ dedup" [ "b" ] (Digraph.succ g "a");
+  Alcotest.(check (list string)) "pred" [ "a" ] (Digraph.pred g "b");
+  Alcotest.(check int) "out degree" 2 (List.length (Digraph.out_edges g "a"));
+  Alcotest.(check int) "in degree" 2 (List.length (Digraph.in_edges g "b"))
+
+let test_insertion_order () =
+  let g = mk_graph [ ("c", "a"); ("a", "b") ] in
+  Alcotest.(check (list string)) "vertex order" [ "c"; "a"; "b" ]
+    (Digraph.vertices g)
+
+let test_connected () =
+  Alcotest.(check bool) "empty connected" true
+    (Digraph.is_weakly_connected (Digraph.create () : (string, unit) Digraph.t));
+  let g = mk_graph [ ("a", "b"); ("b", "c") ] in
+  Alcotest.(check bool) "chain connected" true (Digraph.is_weakly_connected g);
+  Digraph.add_vertex g "lonely";
+  Alcotest.(check bool) "isolated vertex" false (Digraph.is_weakly_connected g);
+  let h = mk_graph [ ("a", "b"); ("c", "b") ] in
+  Alcotest.(check bool) "weakly connected despite direction" true
+    (Digraph.is_weakly_connected h)
+
+let test_sccs () =
+  let g = mk_graph [ ("a", "b"); ("b", "c"); ("c", "a"); ("c", "d"); ("d", "e"); ("e", "d") ] in
+  let comps = List.map sorted (Digraph.sccs g) in
+  Alcotest.(check bool) "abc component" true (List.mem [ "a"; "b"; "c" ] comps);
+  Alcotest.(check bool) "de component" true (List.mem [ "d"; "e" ] comps);
+  Alcotest.(check int) "component count" 2 (List.length comps)
+
+let test_nontrivial_sccs () =
+  let g = mk_graph [ ("a", "b"); ("b", "c") ] in
+  Alcotest.(check int) "dag has none" 0 (List.length (Digraph.nontrivial_sccs g));
+  ignore (Digraph.add_edge g "c" "c" ());
+  Alcotest.(check int) "self loop counts" 1
+    (List.length (Digraph.nontrivial_sccs g))
+
+let test_cycle_detection () =
+  let dag = mk_graph [ ("a", "b"); ("a", "c"); ("b", "d"); ("c", "d") ] in
+  Alcotest.(check bool) "dag" false (Digraph.has_cycle dag);
+  let cyc = mk_graph [ ("a", "b"); ("b", "a") ] in
+  Alcotest.(check bool) "cycle" true (Digraph.has_cycle cyc)
+
+let test_topo_sort () =
+  let g = mk_graph [ ("a", "b"); ("a", "c"); ("b", "d"); ("c", "d") ] in
+  (match Digraph.topological_sort g with
+  | None -> Alcotest.fail "dag must sort"
+  | Some order ->
+      let pos v =
+        let rec idx i = function
+          | [] -> Alcotest.fail "missing vertex"
+          | x :: _ when x = v -> i
+          | _ :: rest -> idx (i + 1) rest
+        in
+        idx 0 order
+      in
+      List.iter
+        (fun (e : (string, unit) Digraph.edge) ->
+          Alcotest.(check bool) "edge respects order" true (pos e.src < pos e.dst))
+        (Digraph.edges g));
+  let cyc = mk_graph [ ("a", "b"); ("b", "a") ] in
+  Alcotest.(check bool) "cycle has no topo sort" true
+    (Digraph.topological_sort cyc = None)
+
+let test_map_edges () =
+  let g = mk_graph [ ("a", "b"); ("b", "c") ] in
+  (* merge b and c into a single vertex "bc" *)
+  let g' =
+    Digraph.map_edges g
+      (fun v -> if v = "b" || v = "c" then "bc" else v)
+      (fun _ -> ())
+  in
+  Alcotest.(check int) "merged vertices" 2 (Digraph.nb_vertices g');
+  Alcotest.(check int) "edges kept" 2 (Digraph.nb_edges g');
+  let self =
+    List.filter (fun (e : (string, unit) Digraph.edge) -> e.src = e.dst)
+      (Digraph.edges g')
+  in
+  Alcotest.(check int) "self loop from merge" 1 (List.length self)
+
+let test_subgraph () =
+  let g = mk_graph [ ("a", "b"); ("b", "c"); ("a", "c") ] in
+  let s = Digraph.subgraph g (fun v -> v <> "c") in
+  Alcotest.(check int) "vertices" 2 (Digraph.nb_vertices s);
+  Alcotest.(check int) "edges" 1 (List.length (Digraph.edges s));
+  (* ids preserved *)
+  let e = List.hd (Digraph.edges s) in
+  let orig = Digraph.find_edge g e.id in
+  Alcotest.(check string) "same src" orig.src e.src
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_dot_output () =
+  let g = mk_graph [ ("a", "b") ] in
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  Digraph.pp_dot ~vertex_name:(fun v -> v) ppf g;
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "mentions edge" true (contains s "\"a\" -> \"b\"");
+  Alcotest.(check bool) "digraph header" true (contains s "digraph g {")
+
+let test_find_edge_unknown () =
+  let g = mk_graph [ ("a", "b") ] in
+  match Digraph.find_edge g 99 with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown edge id accepted"
+
+let test_self_loop_handling () =
+  let g = Digraph.create () in
+  let e = Digraph.add_edge g "a" "a" "loop" in
+  ignore (Digraph.add_edge g "a" "b" "out");
+  (* incident lists a self-loop once *)
+  Alcotest.(check int) "incident: loop once + out once + nothing in" 2
+    (List.length (Digraph.incident g "a"));
+  Alcotest.(check (list string)) "succ includes self" [ "a"; "b" ]
+    (List.sort compare (Digraph.succ g "a"));
+  Alcotest.(check bool) "self loop is a cycle" true (Digraph.has_cycle g);
+  Alcotest.(check string) "label kept" "loop" (Digraph.find_edge g e).label
+
+let test_map_edges_labels () =
+  (* the label transformer sees the original endpoints *)
+  let g = Digraph.create () in
+  ignore (Digraph.add_edge g "a" "b" "?");
+  let g' =
+    Digraph.map_edges g
+      (fun v -> v)
+      (fun (e : (string, string) Digraph.edge) ->
+        Printf.sprintf "%s->%s" e.src e.dst)
+  in
+  Alcotest.(check string) "label transformed" "a->b"
+    (List.hd (Digraph.edges g')).label
+
+let test_sccs_reverse_topological () =
+  (* condensation order: a component appears before its successors *)
+  let g = mk_graph [ ("a", "b"); ("b", "a"); ("b", "c"); ("c", "d"); ("d", "c") ] in
+  let comps = List.map sorted (Digraph.sccs g) in
+  let pos c =
+    let rec idx i = function
+      | [] -> Alcotest.fail "missing component"
+      | x :: _ when x = c -> i
+      | _ :: rest -> idx (i + 1) rest
+    in
+    idx 0 comps
+  in
+  (* reverse topological: the sink component {c,d} is completed (and thus
+     listed) before its predecessor {a,b} *)
+  Alcotest.(check bool) "cd before ab" true (pos [ "c"; "d" ] < pos [ "a"; "b" ])
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "insertion order" `Quick test_insertion_order;
+          Alcotest.test_case "connectivity" `Quick test_connected;
+          Alcotest.test_case "sccs" `Quick test_sccs;
+          Alcotest.test_case "nontrivial sccs" `Quick test_nontrivial_sccs;
+          Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+          Alcotest.test_case "topological sort" `Quick test_topo_sort;
+          Alcotest.test_case "map_edges" `Quick test_map_edges;
+          Alcotest.test_case "subgraph" `Quick test_subgraph;
+          Alcotest.test_case "dot output" `Quick test_dot_output;
+          Alcotest.test_case "find_edge unknown" `Quick test_find_edge_unknown;
+          Alcotest.test_case "self loops" `Quick test_self_loop_handling;
+          Alcotest.test_case "map_edges labels" `Quick test_map_edges_labels;
+          Alcotest.test_case "scc order" `Quick test_sccs_reverse_topological;
+        ] );
+    ]

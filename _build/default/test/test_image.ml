@@ -1,0 +1,250 @@
+open Tpdf_image
+
+(* ------------------------------------------------------------------ *)
+(* Image basics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_image_basics () =
+  let img = Image.create ~width:4 ~height:3 in
+  Alcotest.(check int) "width" 4 (Image.width img);
+  Alcotest.(check int) "height" 3 (Image.height img);
+  Image.set img 2 1 42.0;
+  Alcotest.(check (float 0.0)) "get back" 42.0 (Image.get_exn img 2 1);
+  (* clamped access *)
+  Image.set img 0 0 7.0;
+  Alcotest.(check (float 0.0)) "clamp negative" 7.0 (Image.get img (-5) (-5));
+  Image.set img 3 2 9.0;
+  Alcotest.(check (float 0.0)) "clamp overflow" 9.0 (Image.get img 100 100);
+  Alcotest.check_raises "oob set" (Invalid_argument "Image: (4,0) out of 4x3")
+    (fun () -> Image.set img 4 0 1.0);
+  match Image.create ~width:0 ~height:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero width accepted"
+
+let test_image_ops () =
+  let img = Image.init ~width:3 ~height:3 (fun x y -> float_of_int (x + y)) in
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Image.mean img);
+  Alcotest.(check (float 0.0)) "max" 4.0 (Image.max_value img);
+  Alcotest.(check (float 0.0)) "min" 0.0 (Image.min_value img);
+  let t = Image.threshold img 2.0 in
+  Alcotest.(check int) "3 above threshold" 3 (Image.nonzero_count t);
+  let c = Image.copy img in
+  Image.set c 0 0 99.0;
+  Alcotest.(check (float 0.0)) "copy is deep" 0.0 (Image.get img 0 0);
+  Alcotest.(check bool) "equal self" true (Image.equal img img);
+  Alcotest.(check bool) "not equal after edit" false (Image.equal img c)
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic scenes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_synthetic_determinism () =
+  let a = Synthetic.scene ~seed:3 ~width:64 ~height:64 () in
+  let b = Synthetic.scene ~seed:3 ~width:64 ~height:64 () in
+  Alcotest.(check bool) "same seed same image" true (Image.equal a b);
+  let c = Synthetic.scene ~seed:4 ~width:64 ~height:64 () in
+  Alcotest.(check bool) "different seed differs" false (Image.equal a c)
+
+let test_synthetic_range () =
+  let img = Synthetic.scene ~seed:1 ~width:128 ~height:128 () in
+  Alcotest.(check bool) "within 0..255" true
+    (Image.min_value img >= 0.0 && Image.max_value img <= 255.0)
+
+let test_checkerboard () =
+  let img = Synthetic.checkerboard ~square:8 ~width:32 ~height:32 () in
+  Alcotest.(check (float 0.0)) "first square" 230.0 (Image.get img 0 0);
+  Alcotest.(check (float 0.0)) "second square" 25.0 (Image.get img 8 0);
+  Alcotest.(check (float 0.0)) "diagonal back" 230.0 (Image.get img 8 8)
+
+(* ------------------------------------------------------------------ *)
+(* Convolution                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_convolve_identity () =
+  let img = Synthetic.scene ~seed:2 ~width:32 ~height:32 () in
+  let id = [| 0.; 0.; 0.; 0.; 1.; 0.; 0.; 0.; 0. |] in
+  Alcotest.(check bool) "identity kernel" true (Image.equal img (Kernels.convolve3 img id))
+
+let test_convolve_validation () =
+  let img = Image.create ~width:4 ~height:4 in
+  (match Kernels.convolve img ~size:2 [| 1.; 1.; 1.; 1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "even kernel accepted");
+  match Kernels.convolve img ~size:3 [| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong kernel length accepted"
+
+let test_gaussian_normalized () =
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0
+    (Array.fold_left ( +. ) 0.0 Kernels.gaussian5)
+
+let test_compass_masks () =
+  Alcotest.(check int) "8 prewitt masks" 8 (Array.length Kernels.prewitt_compass);
+  Alcotest.(check int) "8 kirsch masks" 8 (Array.length Kernels.kirsch_compass);
+  (* every rotation keeps the multiset of coefficients *)
+  let sorted a = List.sort compare (Array.to_list a) in
+  let base = sorted Kernels.prewitt_compass.(0) in
+  Array.iter
+    (fun m -> Alcotest.(check (list (float 0.0))) "same coefficients" base (sorted m))
+    Kernels.prewitt_compass;
+  (* rotations are pairwise distinct *)
+  for i = 0 to 7 do
+    for j = i + 1 to 7 do
+      Alcotest.(check bool) "distinct rotations" false
+        (Kernels.prewitt_compass.(i) = Kernels.prewitt_compass.(j))
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Edge detectors                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let scene64 = lazy (Synthetic.scene ~seed:11 ~width:64 ~height:64 ())
+
+let test_detectors_find_edges () =
+  let img = Lazy.force scene64 in
+  List.iter
+    (fun d ->
+      let edges = Edge.run d img in
+      let found = Image.nonzero_count edges in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s finds edges (%d px)" (Edge.name d) found)
+        true (found > 20))
+    Edge.all
+
+let test_detectors_silent_on_constant () =
+  let img = Synthetic.constant ~value:100.0 ~width:64 ~height:64 () in
+  List.iter
+    (fun d ->
+      let edges = Edge.run d img in
+      Alcotest.(check int)
+        (Printf.sprintf "%s silent on flat image" (Edge.name d))
+        0 (Image.nonzero_count edges))
+    Edge.all
+
+let test_detectors_binary_output () =
+  let img = Lazy.force scene64 in
+  List.iter
+    (fun d ->
+      let edges = Edge.run d img in
+      let ok =
+        Image.fold (fun acc v -> acc && (v = 0.0 || v = 255.0)) true edges
+      in
+      Alcotest.(check bool) (Edge.name d ^ " binary") true ok)
+    Edge.all
+
+let test_checkerboard_edges_located () =
+  (* On a checkerboard, Sobel edges must lie near the square boundaries. *)
+  let img = Synthetic.checkerboard ~square:16 ~width:64 ~height:64 () in
+  let edges = Edge.sobel img in
+  let misplaced = ref 0 in
+  for y = 2 to 61 do
+    for x = 2 to 61 do
+      if Image.get edges x y > 0.0 then
+        let near_boundary =
+          let m v = v mod 16 in
+          m x >= 14 || m x <= 1 || m y >= 14 || m y <= 1
+        in
+        if not near_boundary then incr misplaced
+    done
+  done;
+  Alcotest.(check int) "no stray edges" 0 !misplaced
+
+let test_canny_thinner_than_sobel () =
+  (* Non-maximum suppression must give Canny thinner contours. *)
+  let img = Synthetic.checkerboard ~square:16 ~width:64 ~height:64 () in
+  let canny = Image.nonzero_count (Edge.canny img) in
+  let sobel = Image.nonzero_count (Edge.sobel ~threshold:60.0 img) in
+  Alcotest.(check bool)
+    (Printf.sprintf "canny (%d) <= sobel (%d)" canny sobel)
+    true
+    (canny <= sobel && canny > 0)
+
+let test_canny_hysteresis_connectivity () =
+  (* A weak-but-connected ramp should be kept by hysteresis, an isolated
+     weak blob dropped. *)
+  let img = Image.create ~width:32 ~height:32 in
+  (* strong vertical edge at x=10..11, weak continuation below *)
+  for y = 0 to 31 do
+    for x = 0 to 31 do
+      Image.set img x y (if x <= 10 then 50.0 else 180.0)
+    done
+  done;
+  let edges = Edge.canny img in
+  Alcotest.(check bool) "the edge survives" true (Image.nonzero_count edges > 10)
+
+let test_quality_ordering () =
+  let qualities = List.map Edge.quality Edge.all in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "qualities strictly increase" true (increasing qualities)
+
+let test_model_durations_ordering () =
+  (* The model must reproduce the paper's cost ordering
+     quick < sobel < prewitt < canny (Fig. 6 table). *)
+  let ms d = Edge.model_duration_ms d ~width:1024 ~height:1024 in
+  Alcotest.(check bool) "quick < sobel" true (ms Edge.Quick_mask < ms Edge.Sobel);
+  Alcotest.(check bool) "sobel < prewitt" true (ms Edge.Sobel < ms Edge.Prewitt);
+  Alcotest.(check bool) "prewitt < canny" true (ms Edge.Prewitt < ms Edge.Canny);
+  (* absolute calibration: close to the paper's 200/473/522/1040 ms *)
+  Alcotest.(check bool) "quick ~200ms" true (abs_float (ms Edge.Quick_mask -. 200.0) < 20.0);
+  Alcotest.(check bool) "canny ~1040ms" true (abs_float (ms Edge.Canny -. 1040.0) < 60.0)
+
+let test_real_costs_ordered () =
+  (* Wall-clock ordering on a real (small) image: the cheap single-mask
+     detector must beat the 8-mask compass ones, and Canny must be the
+     slowest.  Repeated to stabilize timings. *)
+  let img = Synthetic.scene ~seed:20 ~width:96 ~height:96 () in
+  let time d =
+    let t0 = Sys.time () in
+    for _ = 1 to 3 do
+      ignore (Edge.run d img)
+    done;
+    Sys.time () -. t0
+  in
+  let tq = time Edge.Quick_mask in
+  let tp = time Edge.Prewitt in
+  let tc = time Edge.Canny in
+  Alcotest.(check bool)
+    (Printf.sprintf "quick (%.4f) < prewitt (%.4f)" tq tp)
+    true (tq < tp);
+  Alcotest.(check bool)
+    (Printf.sprintf "prewitt (%.4f) < canny (%.4f)" tp tc)
+    true (tp < tc)
+
+let () =
+  Alcotest.run "image"
+    [
+      ( "image",
+        [
+          Alcotest.test_case "basics" `Quick test_image_basics;
+          Alcotest.test_case "ops" `Quick test_image_ops;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "determinism" `Quick test_synthetic_determinism;
+          Alcotest.test_case "range" `Quick test_synthetic_range;
+          Alcotest.test_case "checkerboard" `Quick test_checkerboard;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "identity" `Quick test_convolve_identity;
+          Alcotest.test_case "validation" `Quick test_convolve_validation;
+          Alcotest.test_case "gaussian" `Quick test_gaussian_normalized;
+          Alcotest.test_case "compass masks" `Quick test_compass_masks;
+        ] );
+      ( "edge",
+        [
+          Alcotest.test_case "find edges" `Quick test_detectors_find_edges;
+          Alcotest.test_case "silent on flat" `Quick test_detectors_silent_on_constant;
+          Alcotest.test_case "binary output" `Quick test_detectors_binary_output;
+          Alcotest.test_case "edges located" `Quick test_checkerboard_edges_located;
+          Alcotest.test_case "canny thin" `Quick test_canny_thinner_than_sobel;
+          Alcotest.test_case "hysteresis" `Quick test_canny_hysteresis_connectivity;
+          Alcotest.test_case "quality order" `Quick test_quality_ordering;
+          Alcotest.test_case "model durations" `Quick test_model_durations_ordering;
+          Alcotest.test_case "real cost order" `Slow test_real_costs_ordered;
+        ] );
+    ]

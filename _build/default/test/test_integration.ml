@@ -1,0 +1,496 @@
+(* Cross-module properties on randomly generated dataflow graphs.
+
+   Tree-shaped multirate CSDF graphs are consistent by construction, which
+   makes them a good random workload: every analysis in the stack must
+   agree with every other on them. *)
+
+open Tpdf_core
+open Tpdf_param
+open Tpdf_util
+module Csdf = Tpdf_csdf
+module Sched = Tpdf_sched
+module Platform = Tpdf_platform.Platform
+
+(* ------------------------------------------------------------------ *)
+(* Random tree-shaped CSDF graphs                                      *)
+(* ------------------------------------------------------------------ *)
+
+type spec = {
+  seed : int;
+  n_actors : int; (* 2..6 *)
+}
+
+let arb_spec =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "seed=%d n=%d" s.seed s.n_actors)
+    QCheck.Gen.(
+      let* seed = int_bound 100000 in
+      let* n_actors = int_range 2 6 in
+      return { seed; n_actors })
+
+let build_tree spec =
+  let rng = Prng.create spec.seed in
+  let g = Csdf.Graph.create () in
+  let phases = Array.init spec.n_actors (fun _ -> Prng.int_in rng 1 3) in
+  for i = 0 to spec.n_actors - 1 do
+    Csdf.Graph.add_actor g (Printf.sprintf "a%d" i) ~phases:phases.(i)
+  done;
+  for i = 1 to spec.n_actors - 1 do
+    let parent = Prng.int rng i in
+    let rates k =
+      (* at least one strictly positive entry per sequence *)
+      let seq = Array.init phases.(k) (fun _ -> Prng.int_in rng 0 3) in
+      if Array.for_all (( = ) 0) seq then seq.(0) <- 1 + Prng.int rng 3;
+      Array.map Poly.of_int seq
+    in
+    let init = Prng.int rng 3 in
+    let src, dst = if Prng.bool rng then (parent, i) else (i, parent) in
+    ignore
+      (Csdf.Graph.add_channel g
+         ~src:(Printf.sprintf "a%d" src)
+         ~dst:(Printf.sprintf "a%d" dst)
+         ~prod:(rates src) ~cons:(rates dst) ~init ())
+  done;
+  g
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_balance =
+  QCheck.Test.make ~name:"repetition vector solves the balance equations"
+    ~count:200 arb_spec (fun spec ->
+      let g = build_tree spec in
+      let rep = Csdf.Repetition.solve g in
+      let conc = Csdf.Concrete.make g Valuation.empty in
+      List.for_all
+        (fun (e : (string, Csdf.Graph.channel) Tpdf_graph.Digraph.edge) ->
+          let ch = Csdf.Concrete.chan conc e.id in
+          let produced =
+            Csdf.Concrete.cumulative ch.Csdf.Concrete.prod
+              (Csdf.Concrete.q conc e.src)
+          in
+          let consumed =
+            Csdf.Concrete.cumulative ch.Csdf.Concrete.cons
+              (Csdf.Concrete.q conc e.dst)
+          in
+          ignore rep;
+          produced = consumed)
+        (Csdf.Graph.channels g))
+
+let prop_schedule_returns_to_initial =
+  QCheck.Test.make ~name:"every policy completes trees and restores state"
+    ~count:150 arb_spec (fun spec ->
+      let g = build_tree spec in
+      let conc = Csdf.Concrete.make g Valuation.empty in
+      List.for_all
+        (fun policy ->
+          match Csdf.Schedule.run ~policy conc with
+          | Csdf.Schedule.Complete t -> t.Csdf.Schedule.returned_to_initial
+          | Csdf.Schedule.Deadlock _ -> false)
+        [ Csdf.Schedule.Eager; Csdf.Schedule.Late_first; Csdf.Schedule.Min_buffer ])
+
+(* Min_buffer is a greedy heuristic, so no policy dominates another in
+   general; but every policy's capacity is bounded by the total traffic of
+   one iteration (tokens produced plus initial tokens, per channel). *)
+let prop_buffers_bounded_by_traffic =
+  QCheck.Test.make ~name:"capacities never exceed one iteration's traffic"
+    ~count:150 arb_spec (fun spec ->
+      let g = build_tree spec in
+      let conc = Csdf.Concrete.make g Valuation.empty in
+      List.for_all
+        (fun policy ->
+          let report = Csdf.Buffers.analyze ~policy conc in
+          List.for_all
+            (fun (e : (string, Csdf.Graph.channel) Tpdf_graph.Digraph.edge) ->
+              let ch = Csdf.Concrete.chan conc e.id in
+              let traffic =
+                e.label.init
+                + Csdf.Concrete.cumulative ch.Csdf.Concrete.prod
+                    (Csdf.Concrete.q conc e.src)
+              in
+              match List.assoc_opt e.id report.Csdf.Buffers.per_channel with
+              | Some cap -> cap <= traffic
+              | None -> false)
+            (Csdf.Graph.channels g))
+        [ Csdf.Schedule.Eager; Csdf.Schedule.Late_first; Csdf.Schedule.Min_buffer ])
+
+let prop_buffers_cover_initial_tokens =
+  QCheck.Test.make ~name:"per-channel capacity covers initial tokens"
+    ~count:150 arb_spec (fun spec ->
+      let g = build_tree spec in
+      let conc = Csdf.Concrete.make g Valuation.empty in
+      let report = Csdf.Buffers.analyze conc in
+      List.for_all
+        (fun (e : (string, Csdf.Graph.channel) Tpdf_graph.Digraph.edge) ->
+          match List.assoc_opt e.id report.Csdf.Buffers.per_channel with
+          | Some cap -> cap >= e.label.init
+          | None -> false)
+        (Csdf.Graph.channels g))
+
+let prop_canonical_period_sound =
+  QCheck.Test.make ~name:"canonical period has Σq nodes and sorts"
+    ~count:150 arb_spec (fun spec ->
+      let g = build_tree spec in
+      let conc = Csdf.Concrete.make g Valuation.empty in
+      let period = Sched.Canonical_period.build conc in
+      let total_q =
+        List.fold_left
+          (fun acc (_, n) -> acc + n)
+          0
+          (Csdf.Concrete.q_vector conc)
+      in
+      Sched.Canonical_period.node_count period = total_q
+      && List.length (Sched.Canonical_period.topological period) = total_q)
+
+let prop_schedule_consistent_with_period =
+  QCheck.Test.make ~name:"list schedule respects all dependencies" ~count:100
+    arb_spec (fun spec ->
+      let g = build_tree spec in
+      let tg = Graph.of_csdf g in
+      let conc = Csdf.Concrete.make g Valuation.empty in
+      let period = Sched.Canonical_period.build conc in
+      let s =
+        Sched.List_scheduler.run ~graph:tg period (Platform.uniform 3)
+      in
+      List.for_all
+        (fun (p, succ) ->
+          let ap = Sched.List_scheduler.assignment_of s p in
+          let as_ = Sched.List_scheduler.assignment_of s succ in
+          ap.Sched.List_scheduler.finish_ms
+          <= as_.Sched.List_scheduler.start_ms +. 1e-9)
+        (Sched.Canonical_period.deps period))
+
+let prop_engine_matches_q =
+  QCheck.Test.make ~name:"discrete-event engine fires exactly q per iteration"
+    ~count:100 arb_spec (fun spec ->
+      let g = build_tree spec in
+      let tg = Graph.of_csdf g in
+      let conc = Csdf.Concrete.make g Valuation.empty in
+      let eng =
+        Tpdf_sim.Engine.create ~graph:tg ~valuation:Valuation.empty ~default:0 ()
+      in
+      let stats = Tpdf_sim.Engine.run ~iterations:2 eng in
+      List.for_all
+        (fun (a, n) -> n = 2 * Csdf.Concrete.q conc a)
+        stats.Tpdf_sim.Engine.firings)
+
+let prop_mcr_bounds_schedule =
+  QCheck.Test.make
+    ~name:"MCR lower-bounds the list-scheduled iteration period" ~count:15
+    arb_spec (fun spec ->
+      let spec = { spec with n_actors = min spec.n_actors 4 } in
+      let g = build_tree spec in
+      let tg = Graph.of_csdf g in
+      let conc = Csdf.Concrete.make g Valuation.empty in
+      let mcr = Sched.Mcr.iteration_period_ms (Sched.Mcr.build conc) in
+      let sched =
+        Sched.Throughput.iteration_period_ms ~warmup:1 ~window:2 ~graph:tg conc
+          (Platform.uniform 4)
+      in
+      (* The MCR ignores communication costs, and the finite-window
+         marginal estimate amortizes the warmup's cross-PE latencies over
+         the window — allow that latency-scale slack. *)
+      sched >= mcr -. 0.05)
+
+let prop_trees_live =
+  QCheck.Test.make ~name:"tree graphs are always live" ~count:150 arb_spec
+    (fun spec ->
+      let g = build_tree spec in
+      Liveness.is_live (Graph.of_csdf g) Valuation.empty)
+
+let prop_serial_preserves_analysis =
+  QCheck.Test.make ~name:"serialization preserves the repetition vector"
+    ~count:100 arb_spec (fun spec ->
+      let g = Graph.of_csdf (build_tree spec) in
+      match Serial.of_string (Serial.to_string g) with
+      | Error _ -> false
+      | Ok g' ->
+          let q gr =
+            List.map
+              (fun (a, p) -> (a, Poly.to_string p))
+              (Analysis.repetition gr).Csdf.Repetition.q
+          in
+          q g = q g')
+
+let prop_cumulative_symbolic_agrees =
+  QCheck.Test.make
+    ~name:"cumulative_symbolic agrees with the concrete cumulative" ~count:300
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 4) (int_range 0 3))
+        (int_range 0 20))
+    (fun (rates, n) ->
+      let seq = Array.of_list (List.map Poly.of_int rates) in
+      match Analysis.cumulative_symbolic seq (Frac.of_int n) with
+      | None -> false (* constant counts are always expressible *)
+      | Some f ->
+          Frac.equal f
+            (Frac.of_int
+               (Csdf.Concrete.cumulative (Array.of_list rates) n)))
+
+(* Scenario buffers never exceed the full-topology buffers, for the
+   fig2 graph over a range of parameter values. *)
+let prop_scenario_buffers_smaller =
+  QCheck.Test.make ~name:"mode scenarios never need more buffers" ~count:50
+    QCheck.(int_range 1 12)
+    (fun p ->
+      let { Examples.graph = g; _ } = Examples.fig2 () in
+      let v = Valuation.of_list [ ("p", p) ] in
+      let full = (Buffers.csdf_equivalent g v).Csdf.Buffers.total in
+      List.for_all
+        (fun scenario ->
+          (Buffers.analyze g v ~scenario).Csdf.Buffers.total <= full)
+        [ [ ("F", "take_e6") ]; [ ("F", "take_e7") ] ])
+
+(* Theorem 1 tie-back: the computed repetition vector annihilates the
+   topology matrix. *)
+let prop_gamma_r_zero =
+  QCheck.Test.make ~name:"Gamma . r = 0 (Theorem 1)" ~count:150 arb_spec
+    (fun spec ->
+      let g = build_tree spec in
+      let rep = Csdf.Repetition.solve g in
+      Csdf.Repetition.verify_against_matrix g rep)
+
+(* Random *cyclic* consistent graphs: add a balanced chord to a tree.  The
+   chord a -> b with prod q_b / cons q_a is balanced for any pair. *)
+let build_cyclic spec =
+  let g = build_tree spec in
+  let rep = Csdf.Repetition.solve g in
+  let actors = Csdf.Graph.actors g in
+  let rng = Prng.create (spec.seed + 77) in
+  let a = List.nth actors (Prng.int rng (List.length actors)) in
+  let b = List.nth actors (Prng.int rng (List.length actors)) in
+  let q actor =
+    Tpdf_param.Poly.eval_int (fun _ -> 1) (Csdf.Repetition.q_of rep actor)
+  in
+  if a <> b then begin
+    (* enough initial tokens to avoid changing liveness half the time,
+       fewer the other half to exercise deadlock detection *)
+    let need = q a * q b in
+    let init = if Prng.bool rng then need else Prng.int rng (max 1 need) in
+    ignore
+      (Csdf.Graph.add_channel g ~src:a ~dst:b
+         ~prod:(Array.make (Csdf.Graph.phases g a) (Tpdf_param.Poly.of_int (q b)))
+         ~cons:(Array.make (Csdf.Graph.phases g b) (Tpdf_param.Poly.of_int (q a)))
+         ~init ())
+  end;
+  g
+
+let prop_cyclic_still_consistent =
+  QCheck.Test.make ~name:"balanced chords preserve consistency" ~count:100
+    arb_spec (fun spec ->
+      Csdf.Repetition.is_consistent (build_cyclic spec))
+
+(* §III-C clustering theorem: the whole graph is live iff every nontrivial
+   SCC has a local schedule (given consistency and a DAG condensation). *)
+let prop_local_liveness_matches_global =
+  QCheck.Test.make ~name:"per-cycle local liveness = global liveness"
+    ~count:100 arb_spec (fun spec ->
+      let g = build_cyclic spec in
+      let tg = Graph.of_csdf g in
+      let report = Liveness.check tg Valuation.empty in
+      let locally_live =
+        List.for_all
+          (fun c -> c.Liveness.local_schedule <> None)
+          report.Liveness.cycles
+      in
+      locally_live = report.Liveness.live)
+
+(* The .tpdf parser must never raise on arbitrary input. *)
+let prop_parser_total =
+  QCheck.Test.make ~name:"Serial.of_string is total" ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 60) Gen.printable)
+    (fun s ->
+      match Serial.of_string s with Ok _ | Error _ -> true)
+
+let prop_parser_total_structured =
+  QCheck.Test.make ~name:"Serial.of_string is total on near-miss inputs"
+    ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 0 25)
+           (oneofl
+              [ "tpdf"; "{"; "}"; "kernel"; "control"; "channel"; "ctrl";
+                "modes"; "A"; "B"; "="; "["; "]"; "("; ")"; "->"; ";"; ",";
+                "1"; "p"; "init"; "priority"; "clock"; "phases"; "kind";
+                "inputs"; "*" ])))
+    (fun toks ->
+      match Serial.of_string (String.concat " " toks) with
+      | Ok _ | Error _ -> true)
+
+(* The OFDM buffer formulas hold across the whole parameter lattice. *)
+let prop_fig8_formula_everywhere =
+  QCheck.Test.make ~name:"Fig. 8 closed forms hold on the parameter lattice"
+    ~count:60
+    QCheck.(triple (int_range 1 64) (int_range 1 6) (int_range 1 8))
+    (fun (beta, n_exp, l) ->
+      let n = 64 * n_exp in
+      let t = (Tpdf_apps.Ofdm_app.tpdf_buffers ~beta ~n ~l).Csdf.Buffers.total in
+      let c = (Tpdf_apps.Ofdm_app.csdf_buffers ~beta ~n ~l).Csdf.Buffers.total in
+      t = Tpdf_apps.Ofdm_app.tpdf_buffer_formula ~beta ~n ~l
+      && c = Tpdf_apps.Ofdm_app.csdf_buffer_formula ~beta ~n ~l)
+
+(* ------------------------------------------------------------------ *)
+(* Random moded TPDF graphs (generalized Fig. 2 / Fig. 7 pattern)       *)
+(* ------------------------------------------------------------------ *)
+
+(* SRC -> DUP -> {branch_i} -> TRAN -> SNK with a control actor steering
+   DUP's outputs and TRAN's inputs; branch i runs c_i times per iteration. *)
+let build_moded ~seed ~branches =
+  let rng = Prng.create seed in
+  let g = Graph.create () in
+  Graph.add_kernel g "SRC";
+  Graph.add_kernel g ~kind:Graph.Select_duplicate "DUP";
+  Graph.add_kernel g ~kind:Graph.Transaction "TRAN";
+  Graph.add_kernel g "SNK";
+  Graph.add_control g "CTL";
+  ignore
+    (Graph.add_channel g ~src:"SRC" ~dst:"DUP"
+       ~prod:(Csdf.Graph.const_rates [ 1 ])
+       ~cons:(Csdf.Graph.const_rates [ 1 ])
+       ());
+  ignore
+    (Graph.add_channel g ~src:"SRC" ~dst:"CTL"
+       ~prod:(Csdf.Graph.const_rates [ 1 ])
+       ~cons:(Csdf.Graph.const_rates [ 1 ])
+       ());
+  let branch_edges =
+    List.init branches (fun i ->
+        let name = Printf.sprintf "b%d" i in
+        Graph.add_kernel g name;
+        let c = Prng.int_in rng 1 3 in
+        let din =
+          Graph.add_channel g ~src:"DUP" ~dst:name
+            ~prod:(Csdf.Graph.const_rates [ c ])
+            ~cons:(Csdf.Graph.const_rates [ 1 ])
+            ()
+        in
+        let dout =
+          Graph.add_channel g ~src:name ~dst:"TRAN"
+            ~prod:(Csdf.Graph.const_rates [ 1 ])
+            ~cons:(Csdf.Graph.const_rates [ c ])
+            ()
+        in
+        (i, name, din, dout))
+  in
+  ignore
+    (Graph.add_channel g ~src:"TRAN" ~dst:"SNK"
+       ~prod:(Csdf.Graph.const_rates [ 1 ])
+       ~cons:(Csdf.Graph.const_rates [ 1 ])
+       ());
+  ignore
+    (Graph.add_control_channel g ~src:"CTL" ~dst:"DUP"
+       ~prod:(Csdf.Graph.const_rates [ 1 ])
+       ~cons:(Csdf.Graph.const_rates [ 1 ])
+       ());
+  ignore
+    (Graph.add_control_channel g ~src:"CTL" ~dst:"TRAN"
+       ~prod:(Csdf.Graph.const_rates [ 1 ])
+       ~cons:(Csdf.Graph.const_rates [ 1 ])
+       ());
+  Graph.set_modes g "DUP"
+    (List.map
+       (fun (i, _, din, _) ->
+         Mode.make
+           ~outputs:(Mode.Output_subset [ din ])
+           (Printf.sprintf "m%d" i))
+       branch_edges);
+  Graph.set_modes g "TRAN"
+    (List.map
+       (fun (i, _, _, dout) ->
+         Mode.make
+           ~inputs:(Mode.Input_subset [ dout ])
+           (Printf.sprintf "m%d" i))
+       branch_edges);
+  (g, branch_edges)
+
+let arb_moded =
+  QCheck.make
+    ~print:(fun (seed, branches) -> Printf.sprintf "seed=%d branches=%d" seed branches)
+    QCheck.Gen.(pair (int_bound 10000) (int_range 2 4))
+
+let prop_moded_analyses =
+  QCheck.Test.make ~name:"random moded graphs pass all static analyses"
+    ~count:60 arb_moded (fun (seed, branches) ->
+      let g, _ = build_moded ~seed ~branches in
+      let b = Analysis.check_boundedness g ~samples:[ Valuation.empty ] in
+      b.Analysis.bounded)
+
+let prop_moded_scenarios =
+  QCheck.Test.make
+    ~name:"every branch scenario fits inside the full-topology buffers"
+    ~count:60 arb_moded (fun (seed, branches) ->
+      let g, edges = build_moded ~seed ~branches in
+      let full = (Buffers.csdf_equivalent g Valuation.empty).Csdf.Buffers.total in
+      List.for_all
+        (fun (i, _, _, _) ->
+          let mode = Printf.sprintf "m%d" i in
+          let s = [ ("DUP", mode); ("TRAN", mode) ] in
+          (Buffers.analyze g Valuation.empty ~scenario:s).Csdf.Buffers.total
+          <= full)
+        edges)
+
+let prop_moded_runtime =
+  QCheck.Test.make
+    ~name:"random moded graphs execute each scenario to completion" ~count:40
+    arb_moded (fun (seed, branches) ->
+      let g, edges = build_moded ~seed ~branches in
+      List.for_all
+        (fun (i, name, _, _) ->
+          let mode = Printf.sprintf "m%d" i in
+          let behaviors =
+            [ ("CTL", Tpdf_sim.Behavior.emit_mode (fun _ -> mode)) ]
+          in
+          let eng =
+            Tpdf_sim.Engine.create ~graph:g ~valuation:Valuation.empty
+              ~behaviors ~default:0 ()
+          in
+          let targets =
+            List.filter_map
+              (fun (_, other, _, _) ->
+                if other = name then None else Some (other, 0))
+              edges
+          in
+          let stats = Tpdf_sim.Engine.run ~iterations:2 ~targets eng in
+          List.assoc name stats.Tpdf_sim.Engine.firings > 0
+          && List.assoc "SNK" stats.Tpdf_sim.Engine.firings = 2)
+        edges)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "random-graphs",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_balance;
+            prop_schedule_returns_to_initial;
+            prop_buffers_bounded_by_traffic;
+            prop_buffers_cover_initial_tokens;
+            prop_canonical_period_sound;
+            prop_schedule_consistent_with_period;
+            prop_engine_matches_q;
+            prop_trees_live;
+            prop_serial_preserves_analysis;
+            prop_mcr_bounds_schedule;
+          ] );
+      ( "analyses",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_cumulative_symbolic_agrees;
+            prop_scenario_buffers_smaller;
+            prop_fig8_formula_everywhere;
+          ] );
+      ( "theorems",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_gamma_r_zero;
+            prop_cyclic_still_consistent;
+            prop_local_liveness_matches_global;
+            prop_parser_total;
+            prop_parser_total_structured;
+          ] );
+      ( "moded-graphs",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_moded_analyses; prop_moded_scenarios; prop_moded_runtime ] );
+    ]

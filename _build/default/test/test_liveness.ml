@@ -1,0 +1,197 @@
+open Tpdf_core
+open Tpdf_param
+module Csdf = Tpdf_csdf
+
+let poly = Alcotest.testable Poly.pp Poly.equal
+let p_of s = Expr.parse_poly s
+
+let v1 = Valuation.of_list [ ("p", 1) ]
+let v3 = Valuation.of_list [ ("p", 3) ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4(a): live cycle, local schedule B^2 C^2                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig4a_live () =
+  let g = Examples.fig4a () in
+  let r = Liveness.check g v3 in
+  Alcotest.(check bool) "live" true r.live;
+  Alcotest.(check int) "one cycle" 1 (List.length r.cycles);
+  let c = List.hd r.cycles in
+  Alcotest.(check (list string)) "members" [ "B"; "C" ] c.members;
+  Alcotest.(check (list (pair string int))) "local counts (qL)"
+    [ ("B", 2); ("C", 2) ]
+    c.local_counts;
+  match c.local_schedule with
+  | None -> Alcotest.fail "locally live"
+  | Some s ->
+      (* paper: (B^2 C^2) *)
+      Alcotest.(check (list (pair string int))) "local schedule"
+        [ ("B", 2); ("C", 2) ]
+        s
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4(b): live only through the late schedule (B C C B)            *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig4b_late_schedule () =
+  let g = Examples.fig4b () in
+  let r = Liveness.check g v3 in
+  Alcotest.(check bool) "live" true r.live;
+  let c = List.hd r.cycles in
+  match c.local_schedule with
+  | None -> Alcotest.fail "locally live"
+  | Some s ->
+      (* paper: the late schedule (B C C B) *)
+      Alcotest.(check (list (pair string int))) "late schedule"
+        [ ("B", 1); ("C", 2); ("B", 1) ]
+        s
+
+let test_fig4_samples () =
+  List.iter
+    (fun g ->
+      List.iter
+        (fun v -> Alcotest.(check bool) "live at sample" true (Liveness.is_live g v))
+        (Liveness.default_samples g))
+    [ Examples.fig4a (); Examples.fig4b () ]
+
+(* ------------------------------------------------------------------ *)
+(* Deadlocked cycle                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_token_starved_cycle () =
+  (* Fig 4(b) variant with no initial tokens: structurally identical but
+     dead. *)
+  let g = Graph.create () in
+  Graph.add_kernel g ~phases:2 "A";
+  Graph.add_kernel g ~phases:2 "B";
+  Graph.add_kernel g "C";
+  ignore
+    (Graph.add_channel g ~src:"A" ~dst:"B"
+       ~prod:(Csdf.Graph.rates [ "p"; "p" ])
+       ~cons:(Csdf.Graph.const_rates [ 1; 1 ])
+       ());
+  ignore
+    (Graph.add_channel g ~src:"B" ~dst:"C"
+       ~prod:(Csdf.Graph.const_rates [ 2; 0 ])
+       ~cons:(Csdf.Graph.const_rates [ 1 ])
+       ());
+  ignore
+    (Graph.add_channel g ~src:"C" ~dst:"B"
+       ~prod:(Csdf.Graph.const_rates [ 1 ])
+       ~cons:(Csdf.Graph.const_rates [ 1; 1 ])
+       ());
+  let r = Liveness.check g v1 in
+  Alcotest.(check bool) "dead" false r.live;
+  Alcotest.(check bool) "B stuck" true (List.mem "B" r.stuck);
+  let c = List.hd r.cycles in
+  Alcotest.(check bool) "cycle locally dead" true (c.local_schedule = None)
+
+(* ------------------------------------------------------------------ *)
+(* Clustering (Fig. 4(c))                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_cluster_fig4a () =
+  let g = Examples.fig4a () in
+  let rep = Analysis.repetition g in
+  match Liveness.cluster_cycle g rep [ "B"; "C" ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok clustered ->
+      Alcotest.(check (list string)) "actors" [ "A"; "Omega" ]
+        (Csdf.Graph.actors clustered);
+      (* Fig 4(c): A ->[p,p] [2]-> Omega *)
+      let e = List.hd (Csdf.Graph.channels clustered) in
+      Alcotest.(check string) "src" "A" e.src;
+      Alcotest.(check string) "dst" "Omega" e.dst;
+      Alcotest.check poly "cons [2]" (p_of "2") e.label.cons.(0);
+      Alcotest.(check int) "prod phases" 2 (Array.length e.label.prod);
+      (* the clustered graph solves to A^2 Omega^p *)
+      let rep' = Csdf.Repetition.solve clustered in
+      Alcotest.check poly "q(A)" (p_of "2") (Csdf.Repetition.q_of rep' "A");
+      Alcotest.check poly "q(Omega)" (p_of "p") (Csdf.Repetition.q_of rep' "Omega")
+
+let test_cluster_keeps_outside_channels () =
+  (* add an extra actor downstream of the cycle and check its channel
+     survives clustering with adjusted rates *)
+  let g = Examples.fig4a () in
+  Graph.add_kernel g "Z";
+  ignore
+    (Graph.add_channel g ~src:"C" ~dst:"Z"
+       ~prod:(Csdf.Graph.const_rates [ 1 ])
+       ~cons:(Csdf.Graph.const_rates [ 1 ])
+       ());
+  let rep = Analysis.repetition g in
+  match Liveness.cluster_cycle g rep [ "B"; "C" ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok clustered ->
+      Alcotest.(check bool) "Z kept" true (Csdf.Graph.mem_actor clustered "Z");
+      let to_z =
+        List.find
+          (fun (e : (string, Csdf.Graph.channel) Tpdf_graph.Digraph.edge) ->
+            e.dst = "Z")
+          (Csdf.Graph.channels clustered)
+      in
+      Alcotest.(check string) "from Omega" "Omega" to_z.src;
+      (* C fires twice per local iteration, producing 2 tokens *)
+      Alcotest.check poly "adjusted prod" (p_of "2") to_z.label.prod.(0)
+
+let test_cluster_name_collision () =
+  let g = Examples.fig4a () in
+  Graph.add_kernel g "Omega";
+  ignore
+    (Graph.add_channel g ~src:"C" ~dst:"Omega"
+       ~prod:(Csdf.Graph.const_rates [ 1 ])
+       ~cons:(Csdf.Graph.const_rates [ 1 ])
+       ());
+  let rep = Analysis.repetition g in
+  match Liveness.cluster_cycle g rep [ "B"; "C" ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok clustered ->
+      Alcotest.(check bool) "fresh name used" true
+        (Csdf.Graph.mem_actor clustered "Omega_1")
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2 liveness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig2_live () =
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  List.iter
+    (fun v -> Alcotest.(check bool) "fig2 live" true (Liveness.is_live g v))
+    (Liveness.default_samples g)
+
+let test_default_samples () =
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  let samples = Liveness.default_samples g in
+  Alcotest.(check int) "four samples" 4 (List.length samples);
+  List.iter
+    (fun v -> Alcotest.(check bool) "binds p" true (Valuation.mem v "p"))
+    samples;
+  (* concrete graph: single empty sample *)
+  let g0 = Graph.create () in
+  Graph.add_kernel g0 "K";
+  Alcotest.(check int) "no params -> 1 sample" 1
+    (List.length (Liveness.default_samples g0))
+
+let () =
+  Alcotest.run "liveness"
+    [
+      ( "fig4",
+        [
+          Alcotest.test_case "fig4a live (B^2 C^2)" `Quick test_fig4a_live;
+          Alcotest.test_case "fig4b late schedule (BCCB)" `Quick test_fig4b_late_schedule;
+          Alcotest.test_case "all samples" `Quick test_fig4_samples;
+          Alcotest.test_case "starved cycle dead" `Quick test_token_starved_cycle;
+        ] );
+      ( "clustering",
+        [
+          Alcotest.test_case "fig4c" `Quick test_cluster_fig4a;
+          Alcotest.test_case "outside channels" `Quick test_cluster_keeps_outside_channels;
+          Alcotest.test_case "name collision" `Quick test_cluster_name_collision;
+        ] );
+      ( "fig2",
+        [
+          Alcotest.test_case "live" `Quick test_fig2_live;
+          Alcotest.test_case "default samples" `Quick test_default_samples;
+        ] );
+    ]

@@ -1,0 +1,141 @@
+open Tpdf_image
+open Tpdf_apps
+
+let shifted_pair ~size ~dx ~dy =
+  let base = Synthetic.scene ~seed:8 ~noise:0.0 ~width:size ~height:size () in
+  let current =
+    Image.init ~width:size ~height:size (fun x y -> Image.get base (x - dx) (y - dy))
+  in
+  (base, current)
+
+(* ------------------------------------------------------------------ *)
+(* Motion estimation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let count_vector field v =
+  Array.fold_left
+    (fun acc (u : Motion.vector) -> if u = v then acc + 1 else acc)
+    0 field.Motion.vectors
+
+let test_full_search_finds_global_shift () =
+  let reference, current = shifted_pair ~size:64 ~dx:3 ~dy:2 in
+  let field = Motion.full_search ~block:16 ~range:7 ~reference current in
+  (* interior blocks must all report (3, 2); border blocks may clamp *)
+  let majority = count_vector field { Motion.dx = 3; dy = 2 } in
+  Alcotest.(check bool)
+    (Printf.sprintf "most blocks find (3,2): %d/16" majority)
+    true (majority >= 12)
+
+let test_tss_close_to_full () =
+  let reference, current = shifted_pair ~size:64 ~dx:2 ~dy:1 in
+  let full = Motion.full_search ~block:16 ~range:7 ~reference current in
+  let tss = Motion.three_step_search ~block:16 ~range:7 ~reference current in
+  let r fld =
+    Motion.residual_energy ~current
+      ~prediction:(Motion.compensate ~reference fld)
+  in
+  Alcotest.(check bool) "tss within 2x of full" true (r tss <= (2.0 *. r full) +. 1.0);
+  Alcotest.(check bool) "full residual tiny" true (r full < 1.0)
+
+let test_quality_ordering () =
+  let pairs = Video_app.residual_by_estimator ~size:64 ~block:16 ~range:7 () in
+  let find e = List.assoc e pairs in
+  Alcotest.(check bool) "full <= tss" true
+    (find Video_app.Full_search <= find Video_app.Tss +. 1e-9);
+  Alcotest.(check bool) "tss <= zero" true
+    (find Video_app.Tss <= find Video_app.Zero_mv +. 1e-9);
+  Alcotest.(check bool) "zero is genuinely worse" true
+    (find Video_app.Zero_mv > 10.0 *. Float.max 1e-6 (find Video_app.Full_search))
+
+let test_zero_motion_identity () =
+  let reference, _ = shifted_pair ~size:32 ~dx:0 ~dy:0 in
+  let field = Motion.zero_motion ~block:16 ~reference reference in
+  let prediction = Motion.compensate ~reference field in
+  Alcotest.(check (float 1e-9)) "perfect prediction of itself" 0.0
+    (Motion.residual_energy ~current:reference ~prediction)
+
+let test_validation () =
+  let a = Image.create ~width:32 ~height:32 in
+  let b = Image.create ~width:16 ~height:32 in
+  (match Motion.zero_motion ~block:16 ~reference:a b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dimension mismatch accepted");
+  (match Motion.zero_motion ~block:10 ~reference:a a with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-divisible block accepted");
+  match Motion.residual_energy ~current:a ~prediction:b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "residual dimension mismatch accepted"
+
+let test_cost_model_ordering () =
+  let ops k = Motion.estimate_cost_ops k ~block:16 ~range:7 in
+  Alcotest.(check bool) "zero < tss" true (ops `Zero < ops `Tss);
+  Alcotest.(check bool) "tss < full" true (ops `Tss < ops `Full);
+  Alcotest.(check int) "full = (2r+1)^2 per pixel" (15 * 15 * 256) (ops `Full)
+
+(* ------------------------------------------------------------------ *)
+(* Video application                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_video_static () =
+  let g = Video_app.graph () in
+  Alcotest.(check bool) "consistent" true (Tpdf_core.Analysis.consistent g);
+  Alcotest.(check bool) "rate safe" true (Tpdf_core.Analysis.rate_safe g);
+  match Tpdf_core.Graph.validate g with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail (String.concat "; " m)
+
+let test_video_tight_deadline_picks_cheap () =
+  (* model costs at 128^2/block 16/range 7: zero ~0.4ms, tss ~10.5ms,
+     full ~92ms (before the 2.2ms read+dup overhead). *)
+  let r = Video_app.run ~frames:2 ~deadline_ms:8.0 () in
+  Alcotest.(check int) "two frames" 2 (List.length r.Video_app.frames);
+  List.iter
+    (fun (f : Video_app.frame_result) ->
+      Alcotest.(check string) "zero_mv chosen" "zero_mv"
+        (Video_app.estimator_name f.Video_app.chosen))
+    r.Video_app.frames
+
+let test_video_loose_deadline_picks_best () =
+  let r = Video_app.run ~frames:1 ~deadline_ms:150.0 () in
+  match r.Video_app.frames with
+  | [ f ] ->
+      Alcotest.(check string) "full_search chosen" "full_search"
+        (Video_app.estimator_name f.Video_app.chosen);
+      Alcotest.(check bool) "high quality (low residual)" true
+        (f.Video_app.residual < 5.0)
+  | _ -> Alcotest.fail "expected one frame"
+
+let test_video_quality_improves_with_deadline () =
+  let residual_at deadline =
+    match (Video_app.run ~frames:1 ~deadline_ms:deadline ()).Video_app.frames with
+    | [ f ] -> f.Video_app.residual
+    | _ -> Alcotest.fail "expected one frame"
+  in
+  let tight = residual_at 8.0 and medium = residual_at 20.0 in
+  let loose = residual_at 150.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "residual decreases: %.1f >= %.1f >= %.1f" tight medium loose)
+    true
+    (tight >= medium -. 1e-9 && medium >= loose -. 1e-9 && loose < tight)
+
+let () =
+  Alcotest.run "motion"
+    [
+      ( "estimation",
+        [
+          Alcotest.test_case "full search" `Quick test_full_search_finds_global_shift;
+          Alcotest.test_case "tss vs full" `Quick test_tss_close_to_full;
+          Alcotest.test_case "quality order" `Quick test_quality_ordering;
+          Alcotest.test_case "zero identity" `Quick test_zero_motion_identity;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "cost model" `Quick test_cost_model_ordering;
+        ] );
+      ( "video-app",
+        [
+          Alcotest.test_case "static" `Quick test_video_static;
+          Alcotest.test_case "tight deadline" `Quick test_video_tight_deadline_picks_cheap;
+          Alcotest.test_case "loose deadline" `Quick test_video_loose_deadline_picks_best;
+          Alcotest.test_case "quality vs deadline" `Quick test_video_quality_improves_with_deadline;
+        ] );
+    ]

@@ -1,0 +1,183 @@
+open Tpdf_core
+open Tpdf_sim
+open Tpdf_param
+module Csdf = Tpdf_csdf
+
+let c = Csdf.Graph.const_rates
+
+(* ------------------------------------------------------------------ *)
+(* Pure voting rule                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_vote_outcome () =
+  let eq = Int.equal in
+  Alcotest.(check (pair int int)) "clear majority" (7, 2)
+    (Patterns.vote_outcome ~equal:eq [ 7; 3; 7 ]);
+  Alcotest.(check (pair int int)) "unanimous" (1, 3)
+    (Patterns.vote_outcome ~equal:eq [ 1; 1; 1 ]);
+  (* ties go to the earliest value *)
+  Alcotest.(check (pair int int)) "tie -> first" (5, 1)
+    (Patterns.vote_outcome ~equal:eq [ 5; 9 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Patterns.vote_outcome: no votes")
+    (fun () -> ignore (Patterns.vote_outcome ~equal:eq []))
+
+let prop_vote_majority =
+  QCheck.Test.make ~name:"a strict majority always wins" ~count:200
+    QCheck.(pair (int_bound 5) (list_of_size (Gen.int_range 0 4) (int_bound 5)))
+    (fun (winner, noise) ->
+      (* build a ballot where [winner] has |noise| + 1 votes *)
+      let ballot = List.concat_map (fun v -> [ winner; v ]) noise @ [ winner ] in
+      let w, _ = Patterns.vote_outcome ~equal:Int.equal ballot in
+      w = winner)
+
+(* ------------------------------------------------------------------ *)
+(* Redundancy with vote: a triple-modular-redundancy stage             *)
+(* ------------------------------------------------------------------ *)
+
+(* SRC feeds three replicas; replica "bad" corrupts its value; the
+   Transaction votes and must still deliver the correct result. *)
+let tmr_graph () =
+  let g = Graph.create () in
+  Graph.add_kernel g "SRC";
+  List.iter (fun r -> Graph.add_kernel g r) [ "r1"; "r2"; "bad" ];
+  Graph.add_kernel g ~kind:Graph.Transaction "VOTE";
+  Graph.add_kernel g "SNK";
+  List.iter
+    (fun r ->
+      ignore (Graph.add_channel g ~src:"SRC" ~dst:r ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) ());
+      ignore (Graph.add_channel g ~src:r ~dst:"VOTE" ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) ()))
+    [ "r1"; "r2"; "bad" ];
+  ignore (Graph.add_channel g ~src:"VOTE" ~dst:"SNK" ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) ());
+  g
+
+let test_redundancy_with_vote () =
+  let g = tmr_graph () in
+  let delivered = ref [] in
+  let replica value_of =
+    Behavior.make (fun ctx ->
+        let v =
+          match ctx.Behavior.inputs with
+          | [ (_, [ Token.Data v ]) ] -> value_of v
+          | _ -> Alcotest.fail "replica expects one token"
+        in
+        List.map
+          (fun (ch, rate) -> (ch, List.init rate (fun _ -> Token.Data v)))
+          ctx.Behavior.out_rates)
+  in
+  let behaviors =
+    [
+      ("SRC", Behavior.make (fun ctx ->
+           List.map
+             (fun (ch, rate) ->
+               (ch, List.init rate (fun _ -> Token.Data (100 + ctx.Behavior.index))))
+             ctx.Behavior.out_rates));
+      ("r1", replica (fun v -> v * 2));
+      ("r2", replica (fun v -> v * 2));
+      ("bad", replica (fun v -> v * 2 + 13)); (* faulty replica *)
+      ("VOTE", Patterns.majority_vote ~equal:Int.equal ());
+      ("SNK", Behavior.sink (fun ctx ->
+           List.iter
+             (fun (_, toks) ->
+               List.iter (fun t -> delivered := Token.data t :: !delivered) toks)
+             ctx.Behavior.inputs));
+    ]
+  in
+  let eng = Engine.create ~graph:g ~valuation:Valuation.empty ~behaviors ~default:0 () in
+  let (_ : Engine.stats) = Engine.run ~iterations:3 eng in
+  (* the faulty replica never wins the vote *)
+  Alcotest.(check (list int)) "correct values despite the fault"
+    [ 200; 202; 204 ] (List.rev !delivered)
+
+(* ------------------------------------------------------------------ *)
+(* Speculation: first path to complete wins                            *)
+(* ------------------------------------------------------------------ *)
+
+let speculation_graph () =
+  let g = Graph.create () in
+  Graph.add_kernel g "SRC";
+  Graph.add_kernel g "fastpath";
+  Graph.add_kernel g "slowpath";
+  Graph.add_kernel g ~kind:Graph.Transaction "SPEC";
+  Graph.add_kernel g "SNK";
+  Graph.add_control g ~clock_period_ms:3.0 "CLK";
+  List.iter
+    (fun r ->
+      ignore (Graph.add_channel g ~src:"SRC" ~dst:r ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) ());
+      (* equal priorities: pure speculation, not quality ranking *)
+      ignore (Graph.add_channel g ~src:r ~dst:"SPEC" ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) ()))
+    [ "fastpath"; "slowpath" ];
+  ignore (Graph.add_channel g ~src:"SPEC" ~dst:"SNK" ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) ());
+  ignore
+    (Graph.add_control_channel g ~src:"CLK" ~dst:"SPEC" ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) ());
+  Graph.set_modes g "SPEC"
+    [ Tpdf_core.Mode.make ~inputs:Tpdf_core.Mode.Highest_priority_available "first" ];
+  g
+
+let test_speculation () =
+  let g = speculation_graph () in
+  let winner = ref None in
+  let behaviors =
+    [
+      ("SRC", Behavior.fill ~duration_ms:(Behavior.const_duration 0.1) 0);
+      ( "fastpath",
+        Behavior.make ~duration_ms:(Behavior.const_duration 1.0) (fun ctx ->
+            List.map
+              (fun (ch, rate) -> (ch, List.init rate (fun _ -> Token.Data 1)))
+              ctx.Behavior.out_rates) );
+      ( "slowpath",
+        Behavior.make ~duration_ms:(Behavior.const_duration 50.0) (fun ctx ->
+            List.map
+              (fun (ch, rate) -> (ch, List.init rate (fun _ -> Token.Data 2)))
+              ctx.Behavior.out_rates) );
+      ("SPEC", Patterns.forward_selected ());
+      ( "SNK",
+        Behavior.sink (fun ctx ->
+            match ctx.Behavior.inputs with
+            | [ (_, [ Token.Data v ]) ] -> winner := Some v
+            | _ -> Alcotest.fail "SNK expects one token") );
+      ("CLK", Behavior.emit_mode (fun _ -> "first"));
+    ]
+  in
+  let eng = Engine.create ~graph:g ~valuation:Valuation.empty ~behaviors ~default:0 () in
+  let stats = Engine.run eng in
+  Alcotest.(check (option int)) "fast path won" (Some 1) !winner;
+  (* the slow path's token is eventually produced and discarded *)
+  let dropped = List.fold_left (fun acc (_, n) -> acc + n) 0 stats.Engine.dropped in
+  Alcotest.(check int) "speculative token dropped" 1 dropped
+
+let test_forward_selected_replicates () =
+  (* output rate higher than input count: the last token is replicated *)
+  let g = Graph.create () in
+  Graph.add_kernel g "A";
+  Graph.add_kernel g "T";
+  Graph.add_kernel g "Z";
+  ignore (Graph.add_channel g ~src:"A" ~dst:"T" ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) ());
+  ignore (Graph.add_channel g ~src:"T" ~dst:"Z" ~prod:(c [ 3 ]) ~cons:(c [ 3 ]) ());
+  let seen = ref 0 in
+  let behaviors =
+    [
+      ("A", Behavior.fill 9);
+      ("T", Patterns.forward_selected ());
+      ("Z", Behavior.sink (fun ctx ->
+           List.iter (fun (_, toks) -> seen := !seen + List.length toks) ctx.Behavior.inputs));
+    ]
+  in
+  let eng = Engine.create ~graph:g ~valuation:Valuation.empty ~behaviors ~default:0 () in
+  let (_ : Engine.stats) = Engine.run eng in
+  Alcotest.(check int) "three replicated tokens" 3 !seen
+
+let () =
+  Alcotest.run "patterns"
+    [
+      ( "vote",
+        [
+          Alcotest.test_case "outcome" `Quick test_vote_outcome;
+          QCheck_alcotest.to_alcotest prop_vote_majority;
+          Alcotest.test_case "TMR end-to-end" `Quick test_redundancy_with_vote;
+        ] );
+      ( "speculation",
+        [
+          Alcotest.test_case "first wins" `Quick test_speculation;
+          Alcotest.test_case "replication" `Quick test_forward_selected_replicates;
+        ] );
+    ]

@@ -1,0 +1,511 @@
+open Tpdf_core
+open Tpdf_sched
+open Tpdf_param
+module Csdf = Tpdf_csdf
+module Platform = Tpdf_platform.Platform
+
+let node a i = { Canonical_period.actor = a; index = i }
+
+let fig2_concrete p =
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  (g, Csdf.Concrete.make (Graph.skeleton g) (Valuation.of_list [ ("p", p) ]))
+
+(* ------------------------------------------------------------------ *)
+(* ADF                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_adf_simple () =
+  let g = Csdf.Examples.producer_consumer ~prod:2 ~cons:1 in
+  let conc = Csdf.Concrete.make g Valuation.empty in
+  let ch = (List.hd (Csdf.Graph.channels g)).Tpdf_graph.Digraph.id in
+  (* consumer firings 0 and 1 both depend on producer firing 0 *)
+  Alcotest.(check (option int)) "n=0" (Some 0)
+    (Adf.producer_firing conc ~channel:ch ~consumer_index:0);
+  Alcotest.(check (option int)) "n=1" (Some 0)
+    (Adf.producer_firing conc ~channel:ch ~consumer_index:1)
+
+let test_adf_initial_tokens () =
+  let g = Csdf.Graph.create () in
+  Csdf.Graph.add_actor g "P" ~phases:1;
+  Csdf.Graph.add_actor g "C" ~phases:1;
+  let ch =
+    Csdf.Graph.add_channel g ~src:"P" ~dst:"C"
+      ~prod:(Csdf.Graph.const_rates [ 1 ])
+      ~cons:(Csdf.Graph.const_rates [ 1 ])
+      ~init:2 ()
+  in
+  let conc = Csdf.Concrete.make g Valuation.empty in
+  Alcotest.(check (option int)) "covered by initials" None
+    (Adf.producer_firing conc ~channel:ch ~consumer_index:0);
+  Alcotest.(check (option int)) "still covered" None
+    (Adf.producer_firing conc ~channel:ch ~consumer_index:1);
+  Alcotest.(check (option int)) "first real dep" (Some 0)
+    (Adf.producer_firing conc ~channel:ch ~consumer_index:2)
+
+let test_adf_cyclostatic () =
+  (* producer [1,0,2], consumer [2] *)
+  let g = Csdf.Graph.create () in
+  Csdf.Graph.add_actor g "P" ~phases:3;
+  Csdf.Graph.add_actor g "C" ~phases:1;
+  let ch =
+    Csdf.Graph.add_channel g ~src:"P" ~dst:"C"
+      ~prod:(Csdf.Graph.const_rates [ 1; 0; 2 ])
+      ~cons:(Csdf.Graph.const_rates [ 2 ])
+      ()
+  in
+  let conc = Csdf.Concrete.make g Valuation.empty in
+  (* C0 needs 2 tokens: P must fire 3 times (1+0+2 >= 2) -> index 2 *)
+  Alcotest.(check (option int)) "C0 <- P2" (Some 2)
+    (Adf.producer_firing conc ~channel:ch ~consumer_index:0)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical period (Fig. 5)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig5_nodes () =
+  let _, conc = fig2_concrete 1 in
+  let period = Canonical_period.build conc in
+  (* Fig 5: A1 A2 B1 B2 C1 D1 E1 E2 F1 F2 (q at p=1 = [2,2,1,1,2,2]) *)
+  Alcotest.(check int) "10 firings" 10 (Canonical_period.node_count period);
+  let names =
+    List.map
+      (fun n -> Printf.sprintf "%s%d" n.Canonical_period.actor (n.Canonical_period.index + 1))
+      (Canonical_period.nodes period)
+  in
+  Alcotest.(check (list string)) "node names"
+    [ "A1"; "A2"; "B1"; "B2"; "C1"; "D1"; "E1"; "E2"; "F1"; "F2" ]
+    names
+
+let test_fig5_dependencies () =
+  let _, conc = fig2_concrete 1 in
+  let period = Canonical_period.build conc in
+  let deps = Canonical_period.deps period in
+  let has p s = List.mem (p, s) deps in
+  (* B1 needs A1 (A produces p=1 token, B consumes 1) *)
+  Alcotest.(check bool) "A1 -> B1" true (has (node "A" 0) (node "B" 0));
+  Alcotest.(check bool) "A2 -> B2" true (has (node "A" 1) (node "B" 1));
+  (* C1 needs both B firings (consumes 2) *)
+  Alcotest.(check bool) "B2 -> C1" true (has (node "B" 1) (node "C" 0));
+  (* F1 needs C1 (control token) and D1 *)
+  Alcotest.(check bool) "C1 -> F1" true (has (node "C" 0) (node "F" 0));
+  Alcotest.(check bool) "D1 -> F1" true (has (node "D" 0) (node "F" 0));
+  (* E1 only needs B1 *)
+  Alcotest.(check bool) "B1 -> E1" true (has (node "B" 0) (node "E" 0));
+  (* sequential self-order *)
+  Alcotest.(check bool) "A1 -> A2" true (has (node "A" 0) (node "A" 1))
+
+let test_topological_valid () =
+  let _, conc = fig2_concrete 3 in
+  let period = Canonical_period.build conc in
+  let order = Canonical_period.topological period in
+  Alcotest.(check int) "complete order" (Canonical_period.node_count period)
+    (List.length order);
+  let pos = Hashtbl.create 64 in
+  List.iteri (fun i n -> Hashtbl.replace pos n i) order;
+  List.iter
+    (fun (p, s) ->
+      Alcotest.(check bool) "edge respected" true
+        (Hashtbl.find pos p < Hashtbl.find pos s))
+    (Canonical_period.deps period)
+
+let test_critical_path () =
+  let _, conc = fig2_concrete 1 in
+  let period = Canonical_period.build conc in
+  let cp = Canonical_period.critical_path_length period ~durations:(fun _ -> 1.0) in
+  (* A1 -> B1 -> B2 -> C1 -> F1 -> F2 is 6 unit-length firings
+     (B2 needs A2? no: A1 gives 1 token, B1 consumes it; B2 needs A2) *)
+  Alcotest.(check bool) "critical path at least 5" true (cp >= 5.0);
+  Alcotest.(check bool) "bounded by node count" true (cp <= 10.0)
+
+let test_include_actor_filter () =
+  let _, conc = fig2_concrete 1 in
+  let period =
+    Canonical_period.build ~include_actor:(fun a -> a <> "E") conc
+  in
+  Alcotest.(check int) "E's firings dropped" 8 (Canonical_period.node_count period);
+  Alcotest.(check bool) "no E nodes" true
+    (List.for_all
+       (fun n -> n.Canonical_period.actor <> "E")
+       (Canonical_period.nodes period))
+
+let test_multi_iteration_expansion () =
+  let _, conc = fig2_concrete 1 in
+  let period = Canonical_period.build ~iterations:2 conc in
+  Alcotest.(check int) "double nodes" 20 (Canonical_period.node_count period)
+
+(* ------------------------------------------------------------------ *)
+(* List scheduler                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_schedule_respects_deps () =
+  let g, conc = fig2_concrete 2 in
+  let period = Canonical_period.build conc in
+  let platform = Platform.uniform 4 in
+  let s = List_scheduler.run ~graph:g period platform in
+  List.iter
+    (fun (p, succ) ->
+      let ap = List_scheduler.assignment_of s p in
+      let as_ = List_scheduler.assignment_of s succ in
+      Alcotest.(check bool) "dep ordering in time" true
+        (ap.List_scheduler.finish_ms <= as_.List_scheduler.start_ms +. 1e-9))
+    (Canonical_period.deps period)
+
+let test_schedule_no_pe_overlap () =
+  let g, conc = fig2_concrete 2 in
+  let period = Canonical_period.build conc in
+  let platform = Platform.uniform 3 in
+  let s = List_scheduler.run ~graph:g period platform in
+  let by_pe = Hashtbl.create 8 in
+  List.iter
+    (fun (a : List_scheduler.assignment) ->
+      let l = try Hashtbl.find by_pe a.pe with Not_found -> [] in
+      Hashtbl.replace by_pe a.pe (a :: l))
+    s.List_scheduler.assignments;
+  Hashtbl.iter
+    (fun _ l ->
+      let l =
+        List.sort (fun a b -> compare a.List_scheduler.start_ms b.List_scheduler.start_ms) l
+      in
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+            Alcotest.(check bool) "no overlap" true
+              (a.List_scheduler.finish_ms <= b.List_scheduler.start_ms +. 1e-9);
+            check rest
+        | _ -> ()
+      in
+      check l)
+    by_pe
+
+let test_control_on_reserved_pe () =
+  let g, conc = fig2_concrete 1 in
+  let period = Canonical_period.build conc in
+  let platform = Platform.uniform 4 in
+  let s = List_scheduler.run ~graph:g period platform in
+  (* Fig 5: C1 is mapped onto a separate processing element (PE 0). *)
+  Alcotest.(check int) "C on PE0" 0 (List_scheduler.pe_of s (node "C" 0));
+  List.iter
+    (fun (a : List_scheduler.assignment) ->
+      if a.node.Canonical_period.actor <> "C" then
+        Alcotest.(check bool) "kernels off PE0" true (a.pe <> 0))
+    s.List_scheduler.assignments
+
+let test_more_pes_not_slower () =
+  let g, conc = fig2_concrete 4 in
+  let period = Canonical_period.build conc in
+  let m n =
+    (List_scheduler.run ~graph:g period (Platform.uniform n)).List_scheduler.makespan_ms
+  in
+  Alcotest.(check bool) "2 -> 8 PEs helps or equal" true (m 8 <= m 2)
+
+let test_makespan_lower_bound () =
+  let g, conc = fig2_concrete 2 in
+  let period = Canonical_period.build conc in
+  let cp = Canonical_period.critical_path_length period ~durations:(fun _ -> 1.0) in
+  let s = List_scheduler.run ~graph:g period (Platform.uniform 16) in
+  Alcotest.(check bool) "makespan >= critical path" true
+    (s.List_scheduler.makespan_ms >= cp -. 1e-9)
+
+let test_gantt_renders () =
+  let g, conc = fig2_concrete 1 in
+  let period = Canonical_period.build conc in
+  let platform = Platform.uniform 4 in
+  let s = List_scheduler.run ~graph:g period platform in
+  let out = Gantt.render platform s in
+  Alcotest.(check bool) "mentions makespan" true
+    (String.length out > 0
+    &&
+    let rec contains i =
+      i + 8 <= String.length out
+      && (String.sub out i 8 = "makespan" || contains (i + 1))
+    in
+    contains 0)
+
+(* ------------------------------------------------------------------ *)
+(* Throughput                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_throughput_chain_single_pe () =
+  (* On one PE, the steady-state period of a unit-rate chain is the sum of
+     its firing durations. *)
+  let g = Csdf.Examples.chain 4 in
+  let tg = Graph.of_csdf g in
+  let conc = Csdf.Concrete.make g Valuation.empty in
+  let period =
+    Throughput.iteration_period_ms ~graph:tg conc (Platform.uniform 1)
+  in
+  Alcotest.(check (float 1e-6)) "4 unit firings" 4.0 period
+
+let test_throughput_pipelining_helps () =
+  let g = Csdf.Examples.chain 6 in
+  let tg = Graph.of_csdf g in
+  let conc = Csdf.Concrete.make g Valuation.empty in
+  let p n = Throughput.iteration_period_ms ~graph:tg conc (Platform.uniform n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "p(6)=%.2f < p(1)=%.2f" (p 6) (p 1))
+    true (p 6 < p 1);
+  Alcotest.(check bool) "period at least the bottleneck" true (p 6 >= 1.0 -. 1e-9)
+
+let test_throughput_monotone_in_pes () =
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  let conc = Csdf.Concrete.make (Graph.skeleton g) (Valuation.of_list [ ("p", 2) ]) in
+  let p n = Throughput.iteration_period_ms ~graph:g conc (Platform.uniform n) in
+  Alcotest.(check bool) "8 PEs <= 2 PEs" true (p 8 <= p 2 +. 1e-9);
+  Alcotest.(check bool) "positive" true (p 8 > 0.0)
+
+let test_throughput_per_s () =
+  let g = Csdf.Examples.chain 2 in
+  let tg = Graph.of_csdf g in
+  let conc = Csdf.Concrete.make g Valuation.empty in
+  let thr = Throughput.throughput_per_s ~graph:tg conc (Platform.uniform 1) in
+  Alcotest.(check (float 1e-6)) "1000/2" 500.0 thr
+
+let test_utilization () =
+  let g, conc = fig2_concrete 2 in
+  let period = Canonical_period.build conc in
+  let s = List_scheduler.run ~graph:g period (Platform.uniform 4) in
+  let u = List_scheduler.utilization s in
+  Alcotest.(check bool) "some PEs used" true (List.length u >= 2);
+  List.iter
+    (fun (_, frac) ->
+      Alcotest.(check bool) "fraction in (0,1]" true (frac > 0.0 && frac <= 1.0 +. 1e-9))
+    u;
+  (* total busy time equals the total work (10 unit firings... p=2: 18) *)
+  let busy = List.fold_left (fun acc (_, f) -> acc +. (f *. s.List_scheduler.makespan_ms)) 0.0 u in
+  Alcotest.(check (float 1e-6)) "work conserved" 18.0 busy
+
+(* ------------------------------------------------------------------ *)
+(* Maximum cycle ratio                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mcr_chain () =
+  (* A unit-rate chain: each actor's self-loop gives a cycle of ratio 1;
+     the unlimited-processor period is 1 firing duration. *)
+  let g = Csdf.Examples.chain 5 in
+  let conc = Csdf.Concrete.make g Valuation.empty in
+  let h = Mcr.build conc in
+  Alcotest.(check (float 1e-6)) "period 1" 1.0 (Mcr.iteration_period_ms h)
+
+let test_mcr_multirate_chain () =
+  (* s0 -(3,1)-> s1: q = [1, 3]; s1's three sequential firings form the
+     bottleneck cycle of ratio 3. *)
+  let g = Csdf.Examples.chain ~rates:[ (3, 1) ] 2 in
+  let conc = Csdf.Concrete.make g Valuation.empty in
+  let h = Mcr.build conc in
+  Alcotest.(check (float 1e-6)) "period 3" 3.0 (Mcr.iteration_period_ms h)
+
+let test_mcr_weighted () =
+  let g = Csdf.Examples.chain 3 in
+  let conc = Csdf.Concrete.make g Valuation.empty in
+  let h = Mcr.build conc in
+  let durations (n : Mcr.node) = if n.Mcr.actor = "s1" then 7.0 else 1.0 in
+  Alcotest.(check (float 1e-6)) "slowest actor dominates" 7.0
+    (Mcr.iteration_period_ms ~durations h)
+
+let test_mcr_cycle_with_tokens () =
+  (* X <-> Y with one initial token: the cycle X Y X Y ... has 2 units of
+     work per token round-trip -> period 2. *)
+  let g = Csdf.Graph.create () in
+  Csdf.Graph.add_actor g "X" ~phases:1;
+  Csdf.Graph.add_actor g "Y" ~phases:1;
+  ignore
+    (Csdf.Graph.add_channel g ~src:"X" ~dst:"Y"
+       ~prod:(Csdf.Graph.const_rates [ 1 ])
+       ~cons:(Csdf.Graph.const_rates [ 1 ])
+       ());
+  ignore
+    (Csdf.Graph.add_channel g ~src:"Y" ~dst:"X"
+       ~prod:(Csdf.Graph.const_rates [ 1 ])
+       ~cons:(Csdf.Graph.const_rates [ 1 ])
+       ~init:1 ());
+  let conc = Csdf.Concrete.make g Valuation.empty in
+  Alcotest.(check (float 1e-6)) "round trip of 2" 2.0
+    (Mcr.iteration_period_ms (Mcr.build conc))
+
+let test_mcr_more_tokens_faster () =
+  (* doubling the tokens in the cycle halves the period *)
+  let mk init =
+    let g = Csdf.Graph.create () in
+    Csdf.Graph.add_actor g "X" ~phases:1;
+    Csdf.Graph.add_actor g "Y" ~phases:1;
+    ignore
+      (Csdf.Graph.add_channel g ~src:"X" ~dst:"Y"
+         ~prod:(Csdf.Graph.const_rates [ 1 ])
+         ~cons:(Csdf.Graph.const_rates [ 1 ])
+         ());
+    ignore
+      (Csdf.Graph.add_channel g ~src:"Y" ~dst:"X"
+         ~prod:(Csdf.Graph.const_rates [ 1 ])
+         ~cons:(Csdf.Graph.const_rates [ 1 ])
+         ~init ());
+    Mcr.iteration_period_ms (Mcr.build (Csdf.Concrete.make g Valuation.empty))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "p(2 tokens)=%.2f < p(1 token)=%.2f" (mk 2) (mk 1))
+    true
+    (mk 2 < mk 1)
+
+let test_mcr_lower_bounds_throughput () =
+  (* The list-scheduled steady-state period can never beat the MCR. *)
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  let conc = Csdf.Concrete.make (Graph.skeleton g) (Valuation.of_list [ ("p", 3) ]) in
+  let mcr = Mcr.iteration_period_ms (Mcr.build conc) in
+  let sched = Throughput.iteration_period_ms ~graph:g conc (Platform.uniform 16) in
+  Alcotest.(check bool)
+    (Printf.sprintf "sched %.3f >= mcr %.3f" sched mcr)
+    true
+    (sched >= mcr -. 1e-6)
+
+let test_mcr_dead_graph_rejected () =
+  let conc = Csdf.Concrete.make (Csdf.Examples.deadlocked_cycle ()) Valuation.empty in
+  match Mcr.build conc with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "dead graph expanded"
+
+(* ------------------------------------------------------------------ *)
+(* Latency                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_latency_basics () =
+  let g, conc = fig2_concrete 2 in
+  let period = Canonical_period.build conc in
+  let s = List_scheduler.run ~graph:g period (Platform.uniform 4) in
+  (match Latency.end_to_end_ms s ~source:"A" ~sink:"F" with
+  | Some l ->
+      Alcotest.(check bool) "positive latency" true (l > 0.0);
+      Alcotest.(check bool) "bounded by makespan" true
+        (l <= s.List_scheduler.makespan_ms +. 1e-9)
+  | None -> Alcotest.fail "A and F both fire");
+  Alcotest.(check (option (pair (float 1e-9) (float 1e-9)))) "unknown actor"
+    None
+    (Latency.actor_span_ms s "nope")
+
+let test_latency_per_iteration () =
+  let g, conc = fig2_concrete 1 in
+  let period = Canonical_period.build ~iterations:3 conc in
+  let s = List_scheduler.run ~graph:g period (Platform.uniform 4) in
+  let lats =
+    Latency.per_iteration_ms s ~source:"A" ~sink:"F" ~iterations:3 ~q_source:2
+      ~q_sink:2
+  in
+  Alcotest.(check int) "three latencies" 3 (List.length lats);
+  List.iter
+    (fun l -> Alcotest.(check bool) "positive" true (l > 0.0))
+    lats;
+  Alcotest.check_raises "missing firing"
+    (Invalid_argument "Latency: firing A[6] not in the schedule") (fun () ->
+      ignore
+        (Latency.per_iteration_ms s ~source:"A" ~sink:"F" ~iterations:50
+           ~q_source:2 ~q_sink:2))
+
+(* ------------------------------------------------------------------ *)
+(* Platform model                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_platform_custom_comm () =
+  let comm =
+    { Platform.local_latency_ms = 0.5; remote_latency_ms = 2.0;
+      control_latency_ms = 0.1 }
+  in
+  let p = Platform.make ~comm ~clusters:2 ~pes_per_cluster:2 () in
+  Alcotest.(check (float 1e-12)) "local" 0.5 (Platform.latency_ms p ~src:0 ~dst:1);
+  Alcotest.(check (float 1e-12)) "remote" 2.0 (Platform.latency_ms p ~src:0 ~dst:2);
+  Alcotest.(check (float 1e-12)) "control" 0.1 (Platform.control_latency_ms p);
+  match
+    Platform.make
+      ~comm:{ comm with Platform.local_latency_ms = -1.0 }
+      ~clusters:1 ~pes_per_cluster:1 ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative latency accepted"
+
+let test_remote_latency_keeps_chain_local () =
+  (* With an enormous cross-PE cost, the scheduler should keep a dependent
+     chain on a single PE. *)
+  let g = Csdf.Examples.chain 5 in
+  let tg = Graph.of_csdf g in
+  let conc = Csdf.Concrete.make g Valuation.empty in
+  let period = Canonical_period.build conc in
+  let comm =
+    { Platform.local_latency_ms = 1000.0; remote_latency_ms = 1000.0;
+      control_latency_ms = 0.0 }
+  in
+  let platform = Platform.make ~comm ~clusters:1 ~pes_per_cluster:4 () in
+  let s = List_scheduler.run ~graph:tg period platform in
+  let pes =
+    List.sort_uniq compare
+      (List.map (fun (a : List_scheduler.assignment) -> a.pe) s.List_scheduler.assignments)
+  in
+  Alcotest.(check int) "single PE used" 1 (List.length pes);
+  Alcotest.(check (float 1e-9)) "no latency paid" 5.0 s.List_scheduler.makespan_ms
+
+let test_platform_basics () =
+  let p = Platform.mppa256 () in
+  Alcotest.(check int) "256 PEs" 256 (Platform.pe_count p);
+  Alcotest.(check int) "16 clusters" 16 (Platform.clusters p);
+  Alcotest.(check int) "PE 17 in cluster 1" 1 (Platform.cluster_of p 17);
+  Alcotest.(check (float 1e-9)) "same PE free" 0.0 (Platform.latency_ms p ~src:3 ~dst:3);
+  Alcotest.(check bool) "remote costlier than local" true
+    (Platform.latency_ms p ~src:0 ~dst:255 > Platform.latency_ms p ~src:0 ~dst:1);
+  Alcotest.check_raises "bad pe" (Invalid_argument "Platform.cluster_of: bad PE id 256")
+    (fun () -> ignore (Platform.cluster_of p 256));
+  match Platform.make ~clusters:0 ~pes_per_cluster:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero clusters accepted"
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "adf",
+        [
+          Alcotest.test_case "simple" `Quick test_adf_simple;
+          Alcotest.test_case "initial tokens" `Quick test_adf_initial_tokens;
+          Alcotest.test_case "cyclo-static" `Quick test_adf_cyclostatic;
+        ] );
+      ( "canonical-period",
+        [
+          Alcotest.test_case "fig5 nodes" `Quick test_fig5_nodes;
+          Alcotest.test_case "fig5 dependencies" `Quick test_fig5_dependencies;
+          Alcotest.test_case "topological" `Quick test_topological_valid;
+          Alcotest.test_case "critical path" `Quick test_critical_path;
+          Alcotest.test_case "actor filter" `Quick test_include_actor_filter;
+          Alcotest.test_case "multi-iteration" `Quick test_multi_iteration_expansion;
+        ] );
+      ( "list-scheduler",
+        [
+          Alcotest.test_case "dependencies respected" `Quick test_schedule_respects_deps;
+          Alcotest.test_case "no PE overlap" `Quick test_schedule_no_pe_overlap;
+          Alcotest.test_case "control PE reserved" `Quick test_control_on_reserved_pe;
+          Alcotest.test_case "scaling" `Quick test_more_pes_not_slower;
+          Alcotest.test_case "critical-path bound" `Quick test_makespan_lower_bound;
+          Alcotest.test_case "gantt" `Quick test_gantt_renders;
+          Alcotest.test_case "utilization" `Quick test_utilization;
+        ] );
+      ( "mcr",
+        [
+          Alcotest.test_case "unit chain" `Quick test_mcr_chain;
+          Alcotest.test_case "multirate chain" `Quick test_mcr_multirate_chain;
+          Alcotest.test_case "weighted" `Quick test_mcr_weighted;
+          Alcotest.test_case "token cycle" `Quick test_mcr_cycle_with_tokens;
+          Alcotest.test_case "more tokens faster" `Quick test_mcr_more_tokens_faster;
+          Alcotest.test_case "bounds throughput" `Quick test_mcr_lower_bounds_throughput;
+          Alcotest.test_case "dead graph" `Quick test_mcr_dead_graph_rejected;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "end-to-end" `Quick test_latency_basics;
+          Alcotest.test_case "per iteration" `Quick test_latency_per_iteration;
+        ] );
+      ( "throughput",
+        [
+          Alcotest.test_case "single PE chain" `Quick test_throughput_chain_single_pe;
+          Alcotest.test_case "pipelining" `Quick test_throughput_pipelining_helps;
+          Alcotest.test_case "monotone in PEs" `Quick test_throughput_monotone_in_pes;
+          Alcotest.test_case "per second" `Quick test_throughput_per_s;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "basics" `Quick test_platform_basics;
+          Alcotest.test_case "custom comm" `Quick test_platform_custom_comm;
+          Alcotest.test_case "latency-aware placement" `Quick test_remote_latency_keeps_chain_local;
+        ] );
+    ]

@@ -1,0 +1,243 @@
+open Tpdf_core
+open Tpdf_param
+module Csdf = Tpdf_csdf
+
+(* Two graphs are "equivalent" for serialization purposes when actors,
+   kinds, phases, channels (endpoints, rates, init, priority, control
+   flag) and mode tables coincide. *)
+let check_equivalent name a b =
+  let sa = Graph.skeleton a and sb = Graph.skeleton b in
+  Alcotest.(check (list string)) (name ^ ": actors") (Graph.actors a) (Graph.actors b);
+  List.iter
+    (fun actor ->
+      Alcotest.(check int)
+        (name ^ ": phases " ^ actor)
+        (Csdf.Graph.phases sa actor) (Csdf.Graph.phases sb actor);
+      Alcotest.(check bool)
+        (name ^ ": kind " ^ actor)
+        true
+        (Graph.kind a actor = Graph.kind b actor))
+    (Graph.actors a);
+  let chans g skel =
+    List.map
+      (fun (e : (string, Csdf.Graph.channel) Tpdf_graph.Digraph.edge) ->
+        ( e.src,
+          e.dst,
+          Array.map Poly.to_string e.label.prod,
+          Array.map Poly.to_string e.label.cons,
+          e.label.init,
+          Graph.priority g e.id,
+          Graph.is_control_channel g e.id ))
+      (Csdf.Graph.channels skel)
+  in
+  Alcotest.(check bool) (name ^ ": channels") true (chans a sa = chans b sb);
+  List.iter
+    (fun kernel ->
+      let modes g = List.map (fun m -> Format.asprintf "%a" Mode.pp m) (Graph.modes g kernel) in
+      Alcotest.(check (list string)) (name ^ ": modes " ^ kernel) (modes a) (modes b))
+    (Graph.kernels a)
+
+let roundtrip name g =
+  let s = Serial.to_string g in
+  match Serial.of_string s with
+  | Error m -> Alcotest.fail (Printf.sprintf "%s failed to re-parse: %s\n%s" name m s)
+  | Ok g' ->
+      check_equivalent name g g';
+      (* printing must be a fixed point *)
+      Alcotest.(check string) (name ^ ": stable print") s (Serial.to_string g')
+
+let test_roundtrip_examples () =
+  roundtrip "fig2" (Examples.fig2 ()).Examples.graph;
+  roundtrip "fig3" (Examples.fig3 ());
+  roundtrip "fig4a" (Examples.fig4a ());
+  roundtrip "fig4b" (Examples.fig4b ());
+  roundtrip "unsafe" (Examples.unsafe_control ());
+  roundtrip "fig1(csdf)" (Graph.of_csdf (Csdf.Examples.fig1 ()))
+
+let test_roundtrip_apps () =
+  roundtrip "edge app" (fst (Tpdf_apps.Edge_app.graph ()));
+  roundtrip "ofdm tpdf" (fst (Tpdf_apps.Ofdm_app.tpdf_graph ()));
+  roundtrip "ofdm csdf" (fst (Tpdf_apps.Ofdm_app.csdf_graph ()));
+  roundtrip "fm radio" (Tpdf_apps.Fm_radio.graph ())
+
+let test_parse_handwritten () =
+  let src =
+    {|
+# the running example
+tpdf fig2 {
+  kernel A;
+  kernel B;
+  control C;
+  kernel D;
+  kernel E;
+  kernel F phases=2 kind=transaction;
+  channel e1 = A [p] -> [1] B;
+  channel e2 = B [1] -> [2] C;
+  channel e3 = B [1] -> [2] D;
+  channel e4 = B [1] -> [1] E;
+  ctrl    e5 = C [2] -> [1,1] F;
+  channel e6 = D [2] -> [1,1] F priority=1;
+  channel e7 = E [1] -> [0,2] F priority=2;
+  modes F { take_e6 inputs(e6); take_e7 inputs(e7); }
+}
+|}
+  in
+  match Serial.of_string src with
+  | Error m -> Alcotest.fail m
+  | Ok g ->
+      check_equivalent "handwritten fig2" (Examples.fig2 ()).Examples.graph g;
+      (* the parsed graph passes the full analysis chain *)
+      Alcotest.(check bool) "rate safe" true (Analysis.rate_safe g);
+      let b = Analysis.check_boundedness g ~samples:(Liveness.default_samples g) in
+      Alcotest.(check bool) "bounded" true b.Analysis.bounded
+
+let test_parse_attributes () =
+  let src =
+    {|tpdf t {
+        kernel A;
+        kernel B phases=3;
+        control W clock=125.5;
+        channel c1 = A [2*n+1] -> [1,0,n] B init=4 priority=7;
+        ctrl c2 = W [1] -> [1,1,0] B;
+        modes B { all inputs(*); hp inputs(priority); one outputs(c1); }
+      }|}
+  in
+  (* B has an output? c1 is A->B, so outputs(c1) must be rejected as
+     non-adjacent... c1 is adjacent to B (as input).  The mode table only
+     checks adjacency, so this parses. *)
+  match Serial.of_string src with
+  | Error m -> Alcotest.fail m
+  | Ok g ->
+      let skel = Graph.skeleton g in
+      Alcotest.(check int) "B phases" 3 (Csdf.Graph.phases skel "B");
+      Alcotest.(check (option (float 1e-9))) "clock" (Some 125.5)
+        (Graph.clock_period_ms g "W");
+      let e = Csdf.Graph.channel skel 0 in
+      Alcotest.(check int) "init" 4 e.label.init;
+      Alcotest.(check int) "priority" 7 (Graph.priority g 0);
+      Alcotest.(check string) "symbolic prod" "2*n + 1"
+        (Poly.to_string e.label.prod.(0));
+      Alcotest.(check int) "three modes" 3 (List.length (Graph.modes g "B"))
+
+let expect_error src fragment =
+  match Serial.of_string src with
+  | Ok _ -> Alcotest.fail ("accepted: " ^ src)
+  | Error m ->
+      let contains =
+        let nh = String.length m and nn = String.length fragment in
+        let rec go i = i + nn <= nh && (String.sub m i nn = fragment || go (i + 1)) in
+        nn = 0 || go 0
+      in
+      Alcotest.(check bool) (Printf.sprintf "error %S mentions %S" m fragment)
+        true contains
+
+let test_parse_errors () =
+  expect_error "nope" "expected 'tpdf'";
+  expect_error "tpdf t { kernel A }" "expected";
+  expect_error "tpdf t { kernel A; kernel A; }" "duplicate";
+  expect_error "tpdf t { kernel A; channel c = A [1] -> [1] Z; }" "unknown actor";
+  expect_error "tpdf t { kernel A; kernel B; ctrl c = A [1] -> [1] B; }"
+    "not a control actor";
+  expect_error
+    "tpdf t { kernel A; kernel B; channel c = A [1] -> [1] B; channel c = A [1] -> [1] B; }"
+    "duplicate channel";
+  expect_error "tpdf t { kernel A; kernel B; channel c = A [1+] -> [1] B; }"
+    "bad rate expression";
+  expect_error
+    "tpdf t { kernel A; kernel B; channel c = A [1] -> [1] B; modes A { m inputs(zz); } }"
+    "unknown channel";
+  expect_error "tpdf t { kernel A clock=5; }" "clock"
+
+let test_shipped_graph_files () =
+  (* every .tpdf file in graphs/ must load and be consistent *)
+  let dir = "../graphs" in
+  let dir = if Sys.file_exists dir then dir else "graphs" in
+  let files = Array.to_list (Sys.readdir dir) in
+  let tpdf = List.filter (fun f -> Filename.check_suffix f ".tpdf") files in
+  Alcotest.(check bool) "ships at least 8 graphs" true (List.length tpdf >= 8);
+  List.iter
+    (fun f ->
+      match Serial.load (Filename.concat dir f) with
+      | Error m -> Alcotest.fail (f ^ ": " ^ m)
+      | Ok g ->
+          Alcotest.(check bool) (f ^ " consistent") true (Analysis.consistent g))
+    tpdf
+
+let test_file_roundtrip () =
+  let g = (Examples.fig2 ()).Examples.graph in
+  let path = Filename.temp_file "tpdf" ".tpdf" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Serial.save path g;
+      match Serial.load path with
+      | Ok g' -> check_equivalent "file roundtrip" g g'
+      | Error m -> Alcotest.fail m);
+  match Serial.load "/nonexistent/definitely.tpdf" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loaded a missing file"
+
+(* Property: random small TPDF graphs round-trip. *)
+let gen_graph =
+  QCheck.Gen.(
+    let* n_kernels = int_range 2 5 in
+    let* with_control = bool in
+    let* rates = list_size (return (n_kernels - 1)) (int_range 1 4) in
+    let* inits = list_size (return (n_kernels - 1)) (int_range 0 3) in
+    return (n_kernels, with_control, rates, inits))
+
+let arb_graph =
+  QCheck.make
+    ~print:(fun (n, c, r, i) ->
+      Printf.sprintf "kernels=%d control=%b rates=%s inits=%s" n c
+        (String.concat "," (List.map string_of_int r))
+        (String.concat "," (List.map string_of_int i)))
+    gen_graph
+
+let prop_random_roundtrip =
+  QCheck.Test.make ~name:"random chains round-trip" ~count:100 arb_graph
+    (fun (n_kernels, with_control, rates, inits) ->
+      let g = Graph.create () in
+      for i = 0 to n_kernels - 1 do
+        Graph.add_kernel g (Printf.sprintf "k%d" i)
+      done;
+      List.iteri
+        (fun i (rate, init) ->
+          ignore
+            (Graph.add_channel g
+               ~src:(Printf.sprintf "k%d" i)
+               ~dst:(Printf.sprintf "k%d" (i + 1))
+               ~prod:(Csdf.Graph.const_rates [ rate ])
+               ~cons:(Csdf.Graph.const_rates [ 1 ])
+               ~init ()))
+        (List.combine rates inits);
+      if with_control then begin
+        Graph.add_control g "ctl";
+        ignore
+          (Graph.add_control_channel g ~src:"ctl" ~dst:"k0"
+             ~prod:(Csdf.Graph.const_rates [ 1 ])
+             ~cons:(Csdf.Graph.const_rates [ 1 ])
+             ())
+      end;
+      match Serial.of_string (Serial.to_string g) with
+      | Ok g' -> Serial.to_string g = Serial.to_string g'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "serial"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "paper examples" `Quick test_roundtrip_examples;
+          Alcotest.test_case "applications" `Quick test_roundtrip_apps;
+          Alcotest.test_case "file" `Quick test_file_roundtrip;
+          Alcotest.test_case "shipped graphs" `Quick test_shipped_graph_files;
+          QCheck_alcotest.to_alcotest prop_random_roundtrip;
+        ] );
+      ( "parsing",
+        [
+          Alcotest.test_case "handwritten fig2" `Quick test_parse_handwritten;
+          Alcotest.test_case "attributes" `Quick test_parse_attributes;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+    ]

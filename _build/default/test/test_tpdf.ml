@@ -1,0 +1,339 @@
+open Tpdf_core
+open Tpdf_param
+module Csdf = Tpdf_csdf
+
+let poly = Alcotest.testable Poly.pp Poly.equal
+let frac = Alcotest.testable Frac.pp Frac.equal
+let p = Expr.parse_poly
+
+(* ------------------------------------------------------------------ *)
+(* Graph construction and validation                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_control_channel_validation () =
+  let g = Graph.create () in
+  Graph.add_kernel g "K";
+  Graph.add_kernel g "L";
+  Graph.add_control g "C";
+  (* control channels must start from a control actor *)
+  (match
+     Graph.add_control_channel g ~src:"K" ~dst:"L"
+       ~prod:(Csdf.Graph.const_rates [ 1 ])
+       ~cons:(Csdf.Graph.const_rates [ 1 ])
+       ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kernel as control source accepted");
+  (* control consumption rate must be 0/1 *)
+  (match
+     Graph.add_control_channel g ~src:"C" ~dst:"K"
+       ~prod:(Csdf.Graph.const_rates [ 1 ])
+       ~cons:(Csdf.Graph.const_rates [ 2 ])
+       ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "control rate 2 accepted");
+  let id =
+    Graph.add_control_channel g ~src:"C" ~dst:"K"
+      ~prod:(Csdf.Graph.const_rates [ 1 ])
+      ~cons:(Csdf.Graph.const_rates [ 1 ])
+      ()
+  in
+  Alcotest.(check (option int)) "control port registered" (Some id)
+    (Graph.control_port g "K");
+  Alcotest.(check bool) "is control channel" true (Graph.is_control_channel g id);
+  (* a kernel has at most one control port *)
+  (match
+     Graph.add_control_channel g ~src:"C" ~dst:"K"
+       ~prod:(Csdf.Graph.const_rates [ 1 ])
+       ~cons:(Csdf.Graph.const_rates [ 1 ])
+       ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "second control port accepted")
+
+let test_mode_validation () =
+  let g = Graph.create () in
+  Graph.add_kernel g "K";
+  Graph.add_kernel g "L";
+  let e =
+    Graph.add_channel g ~src:"K" ~dst:"L"
+      ~prod:(Csdf.Graph.const_rates [ 1 ])
+      ~cons:(Csdf.Graph.const_rates [ 1 ])
+      ()
+  in
+  (* referencing a non-adjacent channel must fail *)
+  (match
+     Graph.set_modes g "K" [ Mode.make ~inputs:(Mode.Input_subset [ 99 ]) "m" ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad channel id accepted");
+  (* duplicate mode names must fail *)
+  (match Graph.set_modes g "K" [ Mode.make "m"; Mode.make "m" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate modes accepted");
+  Graph.set_modes g "K" [ Mode.make ~outputs:(Mode.Output_subset [ e ]) "m" ];
+  Alcotest.(check int) "modes stored" 1 (List.length (Graph.modes g "K"));
+  (* default mode for kernels without a declared set *)
+  Alcotest.(check int) "default mode" 1 (List.length (Graph.modes g "L"))
+
+let test_validate () =
+  let g = Graph.create () in
+  Graph.add_kernel g "K";
+  Graph.add_kernel g "L";
+  let e =
+    Graph.add_channel g ~src:"K" ~dst:"L"
+      ~prod:(Csdf.Graph.const_rates [ 1 ])
+      ~cons:(Csdf.Graph.const_rates [ 1 ])
+      ()
+  in
+  Graph.set_modes g "L"
+    [
+      Mode.make ~inputs:(Mode.Input_subset [ e ]) "a";
+      Mode.make ~inputs:Mode.All_inputs "b";
+    ];
+  (match Graph.validate g with
+  | Error msgs ->
+      Alcotest.(check bool) "flags missing control port" true
+        (List.exists (fun m -> String.length m > 0) msgs)
+  | Ok () -> Alcotest.fail "multi-mode kernel without control port accepted");
+  (* clocks must not have data inputs *)
+  let h = Graph.create () in
+  Graph.add_kernel h "K";
+  Graph.add_control h ~clock_period_ms:500.0 "W";
+  ignore
+    (Graph.add_channel h ~src:"K" ~dst:"W"
+       ~prod:(Csdf.Graph.const_rates [ 1 ])
+       ~cons:(Csdf.Graph.const_rates [ 1 ])
+       ());
+  (match Graph.validate h with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "clock with inputs accepted");
+  Alcotest.check_raises "non-positive clock"
+    (Invalid_argument "Tpdf.add_control: clock period must be positive")
+    (fun () -> Graph.add_control h ~clock_period_ms:0.0 "W2")
+
+let test_kinds () =
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  Alcotest.(check bool) "C control" true (Graph.is_control g "C");
+  Alcotest.(check bool) "F not control" false (Graph.is_control g "F");
+  (match Graph.kind g "F" with
+  | Graph.Kernel Graph.Transaction -> ()
+  | _ -> Alcotest.fail "F should be a transaction kernel");
+  Alcotest.(check (list string)) "control actors" [ "C" ] (Graph.control_actors g);
+  Alcotest.(check int) "kernels" 5 (List.length (Graph.kernels g));
+  Alcotest.(check (list string)) "parameters" [ "p" ] (Graph.parameters g)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2 / Examples 1-2: consistency and repetition vector            *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig2_repetition () =
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  let rep = Analysis.repetition g in
+  (* Equation (5): q = [2, 2p, p, p, 2p, 2p] *)
+  Alcotest.check poly "q(A)" (p "2") (Csdf.Repetition.q_of rep "A");
+  Alcotest.check poly "q(B)" (p "2*p") (Csdf.Repetition.q_of rep "B");
+  Alcotest.check poly "q(C)" (p "p") (Csdf.Repetition.q_of rep "C");
+  Alcotest.check poly "q(D)" (p "p") (Csdf.Repetition.q_of rep "D");
+  Alcotest.check poly "q(E)" (p "2*p") (Csdf.Repetition.q_of rep "E");
+  Alcotest.check poly "q(F)" (p "2*p") (Csdf.Repetition.q_of rep "F");
+  (* Equation (5): r = [2, 2p, p, p, 2p, p] (F has two phases) *)
+  Alcotest.check poly "r(F)" (p "p") (Csdf.Repetition.r_of rep "F");
+  Alcotest.(check bool) "consistent" true (Analysis.consistent g)
+
+let test_fig2_concrete_q () =
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  let rep = Analysis.repetition g in
+  let q = Csdf.Repetition.q_int rep (Valuation.of_list [ ("p", 3) ]) in
+  Alcotest.(check (list (pair string int)))
+    "q at p=3"
+    [ ("A", 2); ("B", 6); ("C", 3); ("D", 3); ("E", 6); ("F", 6) ]
+    q
+
+(* ------------------------------------------------------------------ *)
+(* Example 3 / Definition 3: control areas                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig2_control_area () =
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  let area = Analysis.control_area g "C" in
+  (* Example 3: Area(C) = {B, D, E, F} *)
+  Alcotest.(check (list string)) "members" [ "B"; "D"; "E"; "F" ] area.members;
+  Alcotest.(check (list string)) "prec" [ "B" ] area.predecessors;
+  Alcotest.(check (list string)) "succ" [ "F" ] area.successors;
+  Alcotest.(check (list string)) "infl" [ "D"; "E" ] area.influenced;
+  Alcotest.check_raises "non-control actor"
+    (Invalid_argument "Analysis.control_area: B is not a control actor")
+    (fun () -> ignore (Analysis.control_area g "B"))
+
+(* ------------------------------------------------------------------ *)
+(* Definition 4: local solutions                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig2_local_solution () =
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  let rep = Analysis.repetition g in
+  let area = Analysis.control_area g "C" in
+  (* qG(Area(C)) = gcd(2p, p, 2p, p) = p *)
+  Alcotest.check poly "qG" (p "p") (Analysis.local_scaling g rep area.members);
+  let local = Analysis.local_solution g rep area.members in
+  (* Example 3: local iteration B^2 C D E^2 F^2 *)
+  Alcotest.check frac "qL(B)" (Frac.of_int 2) (List.assoc "B" local);
+  Alcotest.check frac "qL(D)" (Frac.of_int 1) (List.assoc "D" local);
+  Alcotest.check frac "qL(E)" (Frac.of_int 2) (List.assoc "E" local);
+  Alcotest.check frac "qL(F)" (Frac.of_int 2) (List.assoc "F" local)
+
+let test_cumulative_symbolic () =
+  let rates = Csdf.Graph.const_rates [ 1; 0; 2 ] in
+  let cum n = Analysis.cumulative_symbolic rates (Frac.of_int n) in
+  Alcotest.(check (option frac)) "k=4" (Some (Frac.of_int 4)) (cum 4);
+  (* symbolic multiple of tau *)
+  let n = Frac.mul (Frac.of_int 3) (Expr.parse "p") in
+  Alcotest.(check (option frac)) "3p firings"
+    (Some (Frac.mul (Expr.parse "p") (Frac.of_int 3)))
+    (Analysis.cumulative_symbolic rates n);
+  (* uniform rates with arbitrary symbolic count *)
+  let uni = Csdf.Graph.const_rates [ 2; 2 ] in
+  Alcotest.(check (option frac)) "uniform"
+    (Some (Frac.mul (Expr.parse "p") (Frac.of_int 2)))
+    (Analysis.cumulative_symbolic uni (Expr.parse "p"));
+  (* non-uniform, non-multiple symbolic count is not expressible *)
+  Alcotest.(check (option frac)) "inexpressible" None
+    (Analysis.cumulative_symbolic rates (Expr.parse "p"))
+
+(* ------------------------------------------------------------------ *)
+(* Definition 5 / Theorem 2: rate safety and boundedness               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig2_rate_safe () =
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  (match Analysis.rate_safety g with
+  | Ok () -> ()
+  | Error vs ->
+      List.iter (fun (v : Analysis.violation) -> Printf.printf "violation: %s\n" v.reason) vs;
+      Alcotest.fail "fig2 must be rate safe");
+  Alcotest.(check bool) "rate_safe" true (Analysis.rate_safe g)
+
+let test_fig3_rate_safe () =
+  Alcotest.(check bool) "fig3 safe" true (Analysis.rate_safe (Examples.fig3 ()))
+
+let test_unsafe_control () =
+  let g = Examples.unsafe_control () in
+  Alcotest.(check bool) "still consistent" true (Analysis.consistent g);
+  match Analysis.rate_safety g with
+  | Ok () -> Alcotest.fail "unsafe graph accepted"
+  | Error vs -> Alcotest.(check bool) "violations reported" true (List.length vs >= 1)
+
+let test_fig2_boundedness () =
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  let b = Analysis.check_boundedness g ~samples:(Liveness.default_samples g) in
+  Alcotest.(check bool) "consistent" true b.consistent;
+  Alcotest.(check bool) "rate safe" true b.rate_safe;
+  Alcotest.(check bool) "live" true b.live;
+  Alcotest.(check bool) "bounded" true b.bounded
+
+let test_unsafe_not_bounded () =
+  let g = Examples.unsafe_control () in
+  let b = Analysis.check_boundedness g ~samples:(Liveness.default_samples g) in
+  Alcotest.(check bool) "not bounded" false b.bounded;
+  Alcotest.(check bool) "notes explain" true (b.notes <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Scenario-based buffer analysis                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig2_buffer_scenarios () =
+  let { Examples.graph = g; e } = Examples.fig2 () in
+  let v = Valuation.of_list [ ("p", 4) ] in
+  let full = Buffers.csdf_equivalent g v in
+  let take_e6 = Buffers.analyze g v ~scenario:[ ("F", "take_e6") ] in
+  let take_e7 = Buffers.analyze g v ~scenario:[ ("F", "take_e7") ] in
+  Alcotest.(check bool) "scenario never larger" true
+    (take_e6.Csdf.Buffers.total <= full.Csdf.Buffers.total
+    && take_e7.Csdf.Buffers.total <= full.Csdf.Buffers.total);
+  (* the rejected channel does not appear in the scenario report *)
+  Alcotest.(check bool) "e7 masked out in take_e6" true
+    (not (List.mem_assoc e.(6) take_e6.Csdf.Buffers.per_channel));
+  Alcotest.(check bool) "e6 masked out in take_e7" true
+    (not (List.mem_assoc e.(5) take_e7.Csdf.Buffers.per_channel))
+
+let test_buffer_scenario_validation () =
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  let v = Valuation.of_list [ ("p", 2) ] in
+  (match Buffers.analyze g v ~scenario:[ ("F", "nope") ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown mode accepted");
+  match Buffers.analyze g v ~scenario:[ ("ZZZ", "m") ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown kernel accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Mode semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_mode_activity () =
+  let m = Mode.make ~inputs:(Mode.Input_subset [ 1; 2 ]) "m" in
+  Alcotest.(check bool) "in subset" true (Mode.input_may_be_active m 1);
+  Alcotest.(check bool) "not in subset" false (Mode.input_may_be_active m 3);
+  Alcotest.(check bool) "outputs all" true (Mode.output_may_be_active m 7);
+  let hp = Mode.make ~inputs:Mode.Highest_priority_available "hp" in
+  Alcotest.(check bool) "hp conservative" true (Mode.input_may_be_active hp 42)
+
+(* ------------------------------------------------------------------ *)
+(* SPDF-style two-parameter pipeline (§V)                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_spdf_pipeline () =
+  let g = Examples.spdf_sample_rate () in
+  let rep = Analysis.repetition g in
+  Alcotest.check poly "q(src) = q" (p "q") (Csdf.Repetition.q_of rep "src");
+  Alcotest.check poly "q(up) = q" (p "q") (Csdf.Repetition.q_of rep "up");
+  Alcotest.check poly "q(down) = p" (p "p") (Csdf.Repetition.q_of rep "down");
+  Alcotest.check poly "q(snk) = p" (p "p") (Csdf.Repetition.q_of rep "snk");
+  (* live for several (p, q) pairs, including coprime ones *)
+  List.iter
+    (fun (pv, qv) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "live at p=%d q=%d" pv qv)
+        true
+        (Liveness.is_live g (Valuation.of_list [ ("p", pv); ("q", qv) ])))
+    [ (1, 1); (3, 2); (2, 3); (5, 7) ]
+
+let () =
+  Alcotest.run "tpdf"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "control channels" `Quick test_control_channel_validation;
+          Alcotest.test_case "mode validation" `Quick test_mode_validation;
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "kinds" `Quick test_kinds;
+        ] );
+      ( "fig2",
+        [
+          Alcotest.test_case "repetition (Eq 5)" `Quick test_fig2_repetition;
+          Alcotest.test_case "concrete q" `Quick test_fig2_concrete_q;
+          Alcotest.test_case "control area (Ex 3)" `Quick test_fig2_control_area;
+          Alcotest.test_case "local solution (Def 4)" `Quick test_fig2_local_solution;
+        ] );
+      ( "rate-safety",
+        [
+          Alcotest.test_case "cumulative symbolic" `Quick test_cumulative_symbolic;
+          Alcotest.test_case "fig2 safe (Def 5)" `Quick test_fig2_rate_safe;
+          Alcotest.test_case "fig3 safe" `Quick test_fig3_rate_safe;
+          Alcotest.test_case "unsafe detected" `Quick test_unsafe_control;
+        ] );
+      ( "boundedness",
+        [
+          Alcotest.test_case "fig2 bounded (Thm 2)" `Quick test_fig2_boundedness;
+          Alcotest.test_case "unsafe not bounded" `Quick test_unsafe_not_bounded;
+        ] );
+      ( "buffers",
+        [
+          Alcotest.test_case "fig2 scenarios" `Quick test_fig2_buffer_scenarios;
+          Alcotest.test_case "scenario validation" `Quick test_buffer_scenario_validation;
+        ] );
+      ("modes", [ Alcotest.test_case "activity" `Quick test_mode_activity ]);
+      ("spdf", [ Alcotest.test_case "two parameters" `Quick test_spdf_pipeline ]);
+    ]

@@ -1,0 +1,216 @@
+open Tpdf_util
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Intmath                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_gcd () =
+  check_int "gcd 12 18" 6 (Intmath.gcd 12 18);
+  check_int "gcd 0 5" 5 (Intmath.gcd 0 5);
+  check_int "gcd 5 0" 5 (Intmath.gcd 5 0);
+  check_int "gcd 0 0" 0 (Intmath.gcd 0 0);
+  check_int "gcd negative" 6 (Intmath.gcd (-12) 18);
+  check_int "gcd both negative" 6 (Intmath.gcd (-12) (-18))
+
+let test_lcm () =
+  check_int "lcm 4 6" 12 (Intmath.lcm 4 6);
+  check_int "lcm 0 5" 0 (Intmath.lcm 0 5);
+  check_int "lcm 7 13" 91 (Intmath.lcm 7 13);
+  check_int "lcm negative" 12 (Intmath.lcm (-4) 6)
+
+let test_gcd_lcm_lists () =
+  check_int "gcd_list" 4 (Intmath.gcd_list [ 8; 12; 20 ]);
+  check_int "gcd_list empty" 0 (Intmath.gcd_list []);
+  check_int "lcm_list" 24 (Intmath.lcm_list [ 8; 12; 6 ]);
+  check_int "lcm_list empty" 1 (Intmath.lcm_list [])
+
+let test_pow () =
+  check_int "2^10" 1024 (Intmath.pow 2 10);
+  check_int "x^0" 1 (Intmath.pow 7 0);
+  check_int "x^1" 7 (Intmath.pow 7 1);
+  check_int "0^0" 1 (Intmath.pow 0 0);
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Intmath.pow: negative exponent") (fun () ->
+      ignore (Intmath.pow 2 (-1)))
+
+let test_overflow () =
+  let big = max_int / 2 in
+  Alcotest.check_raises "mul overflow" Intmath.Overflow (fun () ->
+      ignore (Intmath.mul_exn big 3));
+  Alcotest.check_raises "add overflow" Intmath.Overflow (fun () ->
+      ignore (Intmath.add_exn max_int 1));
+  check_int "mul ok" (big * 2) (Intmath.mul_exn big 2)
+
+let test_ceil_div () =
+  check_int "7/2 up" 4 (Intmath.ceil_div 7 2);
+  check_int "6/2 up" 3 (Intmath.ceil_div 6 2);
+  check_int "0/5 up" 0 (Intmath.ceil_div 0 5);
+  check_int "-7/2 up" (-3) (Intmath.ceil_div (-7) 2)
+
+let test_divides () =
+  Alcotest.(check bool) "3 | 12" true (Intmath.divides 3 12);
+  Alcotest.(check bool) "5 | 12" false (Intmath.divides 5 12);
+  Alcotest.(check bool) "0 | 12" false (Intmath.divides 0 12)
+
+(* ------------------------------------------------------------------ *)
+(* Q                                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let q = Alcotest.testable Q.pp Q.equal
+
+let test_q_normalization () =
+  Alcotest.check q "6/4 = 3/2" (Q.make 3 2) (Q.make 6 4);
+  Alcotest.check q "neg den" (Q.make (-1) 2) (Q.make 1 (-2));
+  Alcotest.check q "zero" Q.zero (Q.make 0 17);
+  Alcotest.check_raises "zero den" Division_by_zero (fun () ->
+      ignore (Q.make 1 0))
+
+let test_q_arith () =
+  Alcotest.check q "1/2 + 1/3" (Q.make 5 6) (Q.add (Q.make 1 2) (Q.make 1 3));
+  Alcotest.check q "1/2 * 2/3" (Q.make 1 3) (Q.mul (Q.make 1 2) (Q.make 2 3));
+  Alcotest.check q "1/2 - 1/2" Q.zero (Q.sub (Q.make 1 2) (Q.make 1 2));
+  Alcotest.check q "div" (Q.make 3 4) (Q.div (Q.make 1 2) (Q.make 2 3));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero))
+
+let test_q_predicates () =
+  Alcotest.(check bool) "is_integer 4/2" true (Q.is_integer (Q.make 4 2));
+  Alcotest.(check bool) "is_integer 1/2" false (Q.is_integer (Q.make 1 2));
+  check_int "to_int" 2 (Q.to_int (Q.make 4 2));
+  check_int "sign neg" (-1) (Q.sign (Q.make (-1) 3));
+  Alcotest.(check bool) "compare" true (Q.compare (Q.make 1 3) (Q.make 1 2) < 0)
+
+let test_q_gcd () =
+  Alcotest.check q "gcd 1/2 1/3" (Q.make 1 6) (Q.gcd (Q.make 1 2) (Q.make 1 3));
+  Alcotest.check q "gcd 4 6" (Q.of_int 2) (Q.gcd (Q.of_int 4) (Q.of_int 6));
+  Alcotest.check q "gcd with zero" (Q.make 1 2) (Q.gcd Q.zero (Q.make 1 2));
+  Alcotest.check q "lcm 1/2 1/3" Q.one (Q.lcm (Q.make 1 2) (Q.make 1 3))
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_bounds () =
+  let t = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in t (-5) 5 in
+    Alcotest.(check bool) "in closed range" true (v >= -5 && v <= 5)
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int t 0))
+
+let test_prng_float () =
+  let t = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.float t 2.0 in
+    Alcotest.(check bool) "float range" true (v >= 0.0 && v < 2.0)
+  done
+
+let test_prng_gaussian_moments () =
+  let t = Prng.create 11 in
+  let n = 20000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Prng.gaussian t in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 0" true (abs_float mean < 0.05);
+  Alcotest.(check bool) "variance near 1" true (abs_float (var -. 1.0) < 0.1)
+
+let test_prng_split () =
+  let t = Prng.create 5 in
+  let u = Prng.split t in
+  let x = Prng.next_int64 t and y = Prng.next_int64 u in
+  Alcotest.(check bool) "split streams differ" true (x <> y)
+
+let test_prng_shuffle () =
+  let t = Prng.create 9 in
+  let a = Array.init 20 (fun i -> i) in
+  Prng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 (fun i -> i)) sorted
+
+(* QCheck properties *)
+
+let prop_q_add_assoc =
+  QCheck.Test.make ~name:"Q addition associative" ~count:500
+    QCheck.(triple (pair small_signed_int small_nat) (pair small_signed_int small_nat)
+              (pair small_signed_int small_nat))
+    (fun ((a, b), (c, d), (e, f)) ->
+      let mk n d = Q.make n (d + 1) in
+      let x = mk a b and y = mk c d and z = mk e f in
+      Q.equal (Q.add x (Q.add y z)) (Q.add (Q.add x y) z))
+
+let prop_q_mul_distributes =
+  QCheck.Test.make ~name:"Q multiplication distributes" ~count:500
+    QCheck.(triple (pair small_signed_int small_nat) (pair small_signed_int small_nat)
+              (pair small_signed_int small_nat))
+    (fun ((a, b), (c, d), (e, f)) ->
+      let mk n d = Q.make n (d + 1) in
+      let x = mk a b and y = mk c d and z = mk e f in
+      Q.equal (Q.mul x (Q.add y z)) (Q.add (Q.mul x y) (Q.mul x z)))
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both" ~count:500
+    QCheck.(pair (int_range 1 100000) (int_range 1 100000))
+    (fun (a, b) ->
+      let g = Intmath.gcd a b in
+      g > 0 && a mod g = 0 && b mod g = 0)
+
+let prop_lcm_multiple =
+  QCheck.Test.make ~name:"lcm is a common multiple" ~count:500
+    QCheck.(pair (int_range 1 10000) (int_range 1 10000))
+    (fun (a, b) ->
+      let m = Intmath.lcm a b in
+      m mod a = 0 && m mod b = 0 && m = a * b / Intmath.gcd a b)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "intmath",
+        [
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "lcm" `Quick test_lcm;
+          Alcotest.test_case "gcd/lcm lists" `Quick test_gcd_lcm_lists;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "overflow checks" `Quick test_overflow;
+          Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+          Alcotest.test_case "divides" `Quick test_divides;
+        ] );
+      ( "q",
+        [
+          Alcotest.test_case "normalization" `Quick test_q_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_q_arith;
+          Alcotest.test_case "predicates" `Quick test_q_predicates;
+          Alcotest.test_case "gcd/lcm" `Quick test_q_gcd;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "float" `Quick test_prng_float;
+          Alcotest.test_case "gaussian moments" `Slow test_prng_gaussian_moments;
+          Alcotest.test_case "split" `Quick test_prng_split;
+          Alcotest.test_case "shuffle" `Quick test_prng_shuffle;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_q_add_assoc; prop_q_mul_distributes; prop_gcd_divides; prop_lcm_multiple ] );
+    ]
