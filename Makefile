@@ -1,0 +1,18 @@
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+check:
+	sh ci/check.sh
+
+clean:
+	dune clean

@@ -3,7 +3,10 @@
 
    Environment knobs:
      TPDF_BENCH_SIZE   image side for the Fig. 6 table (default 1024)
-     TPDF_BENCH_QUOTA  seconds of measurement per Bechamel test (default 2) *)
+     TPDF_BENCH_QUOTA  seconds of measurement per Bechamel test (default 2)
+     TPDF_BENCH_TRACE  directory: write Chrome trace-event JSON (Perfetto)
+                       and metrics summaries for instrumented runs of the
+                       example graphs there *)
 
 open Bechamel
 open Toolkit
@@ -401,9 +404,46 @@ let e13_analysis_cost () =
       Printf.printf "%-22s %10.4f ms\n%!" name ms)
     rows
 
+(* ------------------------------------------------------------------ *)
+(* TPDF_BENCH_TRACE: observability artifacts for the example graphs    *)
+(* ------------------------------------------------------------------ *)
+
+let write_traces dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let module Obs = Tpdf_obs.Obs in
+  let runs =
+    [
+      ("fig2", (Examples.fig2 ()).Examples.graph, [ ("p", 4) ]);
+      ("fig3", Examples.fig3 (), []);
+      ( "ofdm-tpdf",
+        fst (Ofdm_app.tpdf_graph ()),
+        [ ("beta", 2); ("N", 8); ("L", 1) ] );
+    ]
+  in
+  List.iter
+    (fun (name, g, params) ->
+      let obs = Obs.create () in
+      let valuation = Valuation.of_list params in
+      ignore
+        (Tpdf_sim.Reconfigure.run_scenarios ~graph:g ~obs ~valuation ~default:0
+           (Tpdf_sim.Reconfigure.mode_scenarios g));
+      let trace = Filename.concat dir (name ^ ".trace.json") in
+      Tpdf_obs.Chrome.write_file trace (Obs.events obs);
+      let summary = Filename.concat dir (name ^ ".summary.txt") in
+      let oc = open_out summary in
+      output_string oc
+        (Tpdf_obs.Report.summary ~metrics:(Obs.metrics obs) (Obs.events obs));
+      close_out oc;
+      Printf.printf "trace: wrote %s (%d events) and %s\n" trace
+        (Obs.event_count obs) summary)
+    runs
+
 let () =
   Printf.printf
     "TPDF reproduction benchmark harness (paper: Do, Louise, Cohen — DATE 2016)\n";
+  (match Sys.getenv_opt "TPDF_BENCH_TRACE" with
+  | Some dir -> write_traces dir
+  | None -> ());
   Printf.printf "image size for E7: %dx%d; Bechamel quota: %.1fs\n" bench_size
     bench_size bench_quota;
   e1_fig1 ();

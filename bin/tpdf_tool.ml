@@ -16,6 +16,8 @@ module Csdf = Tpdf_csdf
 module Sched = Tpdf_sched
 module Platform = Tpdf_platform.Platform
 module Apps = Tpdf_apps
+module Obs = Tpdf_obs.Obs
+module Sim = Tpdf_sim
 
 let graphs : (string * (string * (unit -> Graph.t))) list =
   [
@@ -226,6 +228,68 @@ let cmd_throughput name params pes =
   | Some s -> Format.printf "single-appearance schedule: %a@." Csdf.Sas.pp s
   | None -> Format.printf "no single-appearance schedule (interleaving required)@."
 
+(* Run everything — analyses, scheduling and a mode-scenario simulation
+   sweep — under one collector. *)
+let instrumented_run name params pes iterations =
+  let g = or_die (lookup_graph name) in
+  let v = need_valuation g params in
+  let obs = Obs.create () in
+  (* Static analyses. *)
+  (try
+     ignore (Analysis.repetition ~obs g);
+     ignore (Analysis.rate_safety ~obs g);
+     ignore
+       (Analysis.check_boundedness ~obs g
+          ~samples:(Liveness.default_samples g))
+   with Csdf.Repetition.Inconsistent _ | Csdf.Repetition.Disconnected -> ());
+  (* Scheduling analyses. *)
+  let conc = Csdf.Concrete.make (Graph.skeleton g) v in
+  (try
+     ignore
+       (Sched.Mcr.iteration_period_ms ~obs (Sched.Mcr.build ~obs conc))
+   with Failure _ -> ());
+  let platform = Platform.uniform pes in
+  (try
+     let period = Sched.Canonical_period.build conc in
+     ignore (Sched.List_scheduler.run ~obs ~graph:g period platform);
+     ignore (Sched.Throughput.iteration_period_ms ~obs ~graph:g conc platform)
+   with Failure _ -> ());
+  (* Simulation: sweep every mode scenario so each kernel exercises each of
+     its modes (and `reconfig` instants mark the boundaries). *)
+  (match
+     Sim.Reconfigure.run_scenarios ~graph:g ~obs ~iterations ~valuation:v
+       ~default:0
+       (Sim.Reconfigure.mode_scenarios g)
+   with
+  | (_ : Sim.Reconfigure.report) -> ()
+  | exception Failure m -> or_die (Error m));
+  obs
+
+let cmd_profile name params pes iterations =
+  let obs = instrumented_run name params pes iterations in
+  print_string
+    (Tpdf_obs.Report.summary ~metrics:(Obs.metrics obs) (Obs.events obs))
+
+let cmd_trace name params pes iterations format output =
+  let obs = instrumented_run name params pes iterations in
+  let events = Obs.events obs in
+  let text =
+    match format with
+    | `Chrome -> Tpdf_obs.Chrome.json_of_events events
+    | `Csv -> Tpdf_obs.Report.csv_of_events events
+    | `Summary ->
+        Tpdf_obs.Report.summary ~metrics:(Obs.metrics obs) events
+  in
+  match output with
+  | None -> print_string text
+  | Some path -> (
+      match open_out path with
+      | oc ->
+          output_string oc text;
+          close_out oc;
+          Printf.printf "wrote %s (%d events)\n" path (Obs.event_count obs)
+      | exception Sys_error m -> or_die (Error m))
+
 let cmd_dot name =
   let g = or_die (lookup_graph name) in
   Format.printf "%a@." Graph.pp_dot g
@@ -285,6 +349,36 @@ let throughput_cmd =
        ~doc:"Iteration-period bounds: max cycle ratio vs list scheduling")
     Term.(const cmd_throughput $ graph_arg $ param_arg $ pes_arg)
 
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run analyses, scheduling and a mode-scenario simulation sweep \
+          under the observability collector and print the metrics summary")
+    Term.(const cmd_profile $ graph_arg $ param_arg $ pes_arg $ iterations_arg)
+
+let trace_cmd =
+  let format_arg =
+    let doc = "Output format: $(b,chrome) (trace-event JSON for Perfetto / \
+               chrome://tracing), $(b,csv) or $(b,summary)." in
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("csv", `Csv); ("summary", `Summary) ]) `Chrome
+      & info [ "format"; "f" ] ~docv:"FORMAT" ~doc)
+  in
+  let output_arg =
+    let doc = "Destination file (stdout when omitted)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record an instrumented run (analyses + mode-scenario simulation) \
+          and export the event stream")
+    Term.(
+      const cmd_trace $ graph_arg $ param_arg $ pes_arg $ iterations_arg
+      $ format_arg $ output_arg)
+
 let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Emit Graphviz") Term.(const cmd_dot $ graph_arg)
 
@@ -313,6 +407,8 @@ let () =
             buffers_cmd;
             simulate_cmd;
             throughput_cmd;
+            profile_cmd;
+            trace_cmd;
             dot_cmd;
             export_cmd;
           ]))

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Repository check: full build, test suites, and an observability smoke run.
+# Usage: ci/check.sh   (or: make check)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== smoke: tpdf_tool profile fig2 -p p=2 =="
+dune exec bin/tpdf_tool.exe -- profile fig2 -p p=2 > /dev/null
+
+echo "== smoke: tpdf_tool trace ofdm-tpdf (chrome) =="
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+dune exec bin/tpdf_tool.exe -- trace ofdm-tpdf -p beta=2 -p N=8 -p L=1 \
+  --format chrome -o "$out" > /dev/null
+# the export must be non-trivial and carry reconfiguration instants
+grep -q '"traceEvents"' "$out"
+grep -q '"reconfigure"' "$out"
+
+echo "check: OK"

@@ -1,8 +1,12 @@
 open Tpdf_param
 module Csdf = Tpdf_csdf
 module Digraph = Tpdf_graph.Digraph
+module Obs = Tpdf_obs.Obs
+module Metrics = Tpdf_obs.Metrics
 
-let repetition g = Csdf.Repetition.solve (Graph.skeleton g)
+let repetition ?(obs = Obs.disabled) g =
+  Obs.wall_span obs "analysis.repetition" (fun () ->
+      Csdf.Repetition.solve (Graph.skeleton g))
 
 let consistent g = Csdf.Repetition.is_consistent (Graph.skeleton g)
 
@@ -117,16 +121,32 @@ let check_control g rep ctrl =
   List.iter check_channel (Csdf.Graph.channels skel);
   List.rev !violations
 
-let rate_safety g =
-  match repetition g with
-  | exception Csdf.Repetition.Inconsistent msg ->
-      Error [ { control = "-"; channel = -1; reason = "inconsistent: " ^ msg } ]
-  | exception Csdf.Repetition.Disconnected ->
-      Error [ { control = "-"; channel = -1; reason = "graph is disconnected" } ]
-  | rep -> (
-      match List.concat_map (check_control g rep) (Graph.control_actors g) with
-      | [] -> Ok ()
-      | l -> Error l)
+let rate_safety ?(obs = Obs.disabled) g =
+  Obs.wall_span obs "analysis.rate_safety" (fun () ->
+      let result =
+        match repetition g with
+        | exception Csdf.Repetition.Inconsistent msg ->
+            Error
+              [ { control = "-"; channel = -1; reason = "inconsistent: " ^ msg } ]
+        | exception Csdf.Repetition.Disconnected ->
+            Error
+              [ { control = "-"; channel = -1; reason = "graph is disconnected" } ]
+        | rep -> (
+            match
+              List.concat_map (check_control g rep) (Graph.control_actors g)
+            with
+            | [] -> Ok ()
+            | l -> Error l)
+      in
+      if Obs.enabled obs then begin
+        let m = Obs.metrics obs in
+        Metrics.incr ~by:(List.length (Graph.control_actors g)) m
+          "analysis.areas_checked";
+        match result with
+        | Ok () -> ()
+        | Error l -> Metrics.incr ~by:(List.length l) m "analysis.rate_violations"
+      end;
+      result)
 
 let rate_safe g = match rate_safety g with Ok () -> true | Error _ -> false
 
@@ -138,23 +158,24 @@ type boundedness = {
   notes : string list;
 }
 
-let check_boundedness g ~samples =
+let check_boundedness ?(obs = Obs.disabled) g ~samples =
   let notes = ref [] in
   let note fmt = Format.kasprintf (fun s -> notes := s :: !notes) fmt in
   let consistent =
-    match repetition g with
-    | _ -> true
-    | exception Csdf.Repetition.Inconsistent msg ->
-        note "inconsistent: %s" msg;
-        false
-    | exception Csdf.Repetition.Disconnected ->
-        note "disconnected";
-        false
+    Obs.wall_span obs "analysis.consistency" (fun () ->
+        match repetition g with
+        | _ -> true
+        | exception Csdf.Repetition.Inconsistent msg ->
+            note "inconsistent: %s" msg;
+            false
+        | exception Csdf.Repetition.Disconnected ->
+            note "disconnected";
+            false)
   in
   let safe =
     if not consistent then false
     else
-      match rate_safety g with
+      match rate_safety ~obs g with
       | Ok () -> true
       | Error vs ->
           List.iter
@@ -166,7 +187,7 @@ let check_boundedness g ~samples =
     consistent
     && List.for_all
          (fun v ->
-           let r = Liveness.check g v in
+           let r = Liveness.check ~obs g v in
            if not r.Liveness.live then
              note "deadlock under %a (stuck: %s)" Valuation.pp v
                (String.concat ", " r.Liveness.stuck);

@@ -14,7 +14,7 @@
 
 open Tpdf_param
 
-val repetition : Graph.t -> Tpdf_csdf.Repetition.t
+val repetition : ?obs:Tpdf_obs.Obs.t -> Graph.t -> Tpdf_csdf.Repetition.t
 (** Symbolic repetition vector of the skeleton.
     @raise Tpdf_csdf.Repetition.Inconsistent / Disconnected. *)
 
@@ -53,9 +53,12 @@ val cumulative_symbolic : Poly.t array -> Frac.t -> Frac.t option
 
 type violation = { control : string; channel : int; reason : string }
 
-val rate_safety : Graph.t -> (unit, violation list) result
+val rate_safety : ?obs:Tpdf_obs.Obs.t -> Graph.t -> (unit, violation list) result
 (** Definition 5, checked for every control actor over every channel that
-    connects it to its area. *)
+    connects it to its area.  With an enabled [obs], records a wall-clock
+    ["analysis.rate_safety"] span plus [analysis.areas_checked] /
+    [analysis.rate_violations] counters — as do {!repetition},
+    {!check_boundedness} and {!Liveness.check} for their phases. *)
 
 val rate_safe : Graph.t -> bool
 
@@ -67,7 +70,8 @@ type boundedness = {
   notes : string list;
 }
 
-val check_boundedness : Graph.t -> samples:Valuation.t list -> boundedness
+val check_boundedness :
+  ?obs:Tpdf_obs.Obs.t -> Graph.t -> samples:Valuation.t list -> boundedness
 (** Theorem 2: a rate consistent, safe and live TPDF graph returns to its
     initial state at the end of each iteration and can run in bounded
     memory.  Liveness is validated on the sample valuations (the paper's

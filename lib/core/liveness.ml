@@ -2,6 +2,8 @@ open Tpdf_param
 open Tpdf_util
 module Csdf = Tpdf_csdf
 module Digraph = Tpdf_graph.Digraph
+module Obs = Tpdf_obs.Obs
+module Metrics = Tpdf_obs.Metrics
 
 type cycle_report = {
   members : string list;
@@ -56,21 +58,30 @@ let check_cycle conc members =
   in
   { members; local_counts; local_schedule }
 
-let check g valuation =
-  let skel = Graph.skeleton g in
-  let conc = Csdf.Concrete.make skel valuation in
-  let cycles =
-    List.map (check_cycle conc)
-      (Digraph.nontrivial_sccs (Csdf.Graph.digraph skel))
-  in
-  (* Whole-graph schedule run as the final word: a maximal data-driven
-     execution either completes the iteration or exhibits the deadlock. *)
-  let live, stuck =
-    match Csdf.Schedule.run ~policy:Csdf.Schedule.Late_first conc with
-    | Csdf.Schedule.Complete _ -> (true, [])
-    | Csdf.Schedule.Deadlock { stuck; _ } -> (false, stuck)
-  in
-  { valuation; cycles; live; stuck }
+let check ?(obs = Obs.disabled) g valuation =
+  Obs.wall_span obs "liveness.check" (fun () ->
+      let skel = Graph.skeleton g in
+      let conc = Csdf.Concrete.make skel valuation in
+      let cycles =
+        List.map (check_cycle conc)
+          (Digraph.nontrivial_sccs (Csdf.Graph.digraph skel))
+      in
+      (* Whole-graph schedule run as the final word: a maximal data-driven
+         execution either completes the iteration or exhibits the deadlock. *)
+      let live, stuck, fired =
+        match Csdf.Schedule.run ~policy:Csdf.Schedule.Late_first conc with
+        | Csdf.Schedule.Complete t -> (true, [], List.length t.Csdf.Schedule.firings)
+        | Csdf.Schedule.Deadlock { stuck; fired; _ } ->
+            (false, stuck, List.length fired)
+      in
+      if Obs.enabled obs then begin
+        let m = Obs.metrics obs in
+        Metrics.incr m "liveness.checks";
+        Metrics.incr ~by:(List.length cycles) m "liveness.cycles_checked";
+        Metrics.incr ~by:fired m "liveness.schedule_firings";
+        if not live then Metrics.incr m "liveness.deadlocks"
+      end;
+      { valuation; cycles; live; stuck })
 
 let check_samples g vs = List.map (check g) vs
 

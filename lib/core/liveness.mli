@@ -34,9 +34,11 @@ type report = {
   stuck : string list;  (** actors unable to finish when not live *)
 }
 
-val check : Graph.t -> Valuation.t -> report
+val check : ?obs:Tpdf_obs.Obs.t -> Graph.t -> Valuation.t -> report
 (** Full analysis under one valuation: per-cycle local schedules plus a
-    whole-graph schedule run as the final word. *)
+    whole-graph schedule run as the final word.  With an enabled [obs],
+    records a wall-clock ["liveness.check"] span and solver counters
+    (cycles checked, abstract firings, deadlocks). *)
 
 val check_samples : Graph.t -> Valuation.t list -> report list
 

@@ -1,0 +1,34 @@
+type clock = Virtual | Wall
+
+type arg = Str of string | Int of int | Float of float
+
+type payload =
+  | Span of float  (* duration, ms *)
+  | Instant
+  | Counter of float  (* sampled value *)
+
+type t = {
+  name : string;
+  cat : string;
+  track : string;
+  clock : clock;
+  ts_ms : float;
+  payload : payload;
+  args : (string * arg) list;
+}
+
+let clock_name = function Virtual -> "virtual" | Wall -> "wall"
+
+let payload_kind = function
+  | Span _ -> "span"
+  | Instant -> "instant"
+  | Counter _ -> "counter"
+
+let duration_ms t = match t.payload with Span d -> d | _ -> 0.0
+
+let value t = match t.payload with Counter v -> Some v | _ -> None
+
+let string_of_arg = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f

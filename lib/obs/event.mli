@@ -1,0 +1,36 @@
+(** Structured observability events.
+
+    Every event carries a clock domain: [Virtual] timestamps come from the
+    simulator's deterministic virtual time (milliseconds since the start of
+    the run), [Wall] timestamps from the host's wall clock (milliseconds
+    since an arbitrary origin) and are used by the static analyses. *)
+
+type clock = Virtual | Wall
+
+type arg = Str of string | Int of int | Float of float
+
+type payload =
+  | Span of float  (** a duration in ms, starting at [ts_ms] *)
+  | Instant  (** a point event *)
+  | Counter of float  (** a sampled series value *)
+
+type t = {
+  name : string;  (** what happened, e.g. ["FFT/qpsk"] or ["drop"] *)
+  cat : string;  (** event family: ["firing"], ["channel"], ["analysis"], … *)
+  track : string;  (** lane the event belongs to: actor, channel, PE, phase *)
+  clock : clock;
+  ts_ms : float;
+  payload : payload;
+  args : (string * arg) list;
+}
+
+val clock_name : clock -> string
+val payload_kind : payload -> string
+
+val duration_ms : t -> float
+(** [0.0] for instants and counters. *)
+
+val value : t -> float option
+(** The sampled value of a counter event. *)
+
+val string_of_arg : arg -> string

@@ -1,0 +1,94 @@
+type histogram = {
+  mutable samples : float list; (* reverse insertion order *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 32;
+    histograms = Hashtbl.create 32;
+  }
+
+let incr ?(by = 1) t name =
+  if by < 0 then invalid_arg "Metrics.incr: counters are monotonic";
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let observe t name v =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h ->
+      h.samples <- v :: h.samples;
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v
+  | None ->
+      Hashtbl.replace t.histograms name
+        { samples = [ v ]; h_count = 1; h_sum = v; h_min = v; h_max = v }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with Some r -> Some !r | None -> None
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+(* Nearest-rank percentile over the sorted samples. *)
+let percentile sorted n p =
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let rank = Stdlib.max 1 (Stdlib.min n rank) in
+  sorted.(rank - 1)
+
+let stats_of h =
+  let sorted = Array.of_list h.samples in
+  Array.sort compare sorted;
+  let n = h.h_count in
+  {
+    count = n;
+    sum = h.h_sum;
+    min = h.h_min;
+    max = h.h_max;
+    p50 = percentile sorted n 50.0;
+    p95 = percentile sorted n 95.0;
+  }
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> Some (stats_of h)
+  | None -> None
+
+let sorted_bindings tbl f =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl [])
+
+let counters t = sorted_bindings t.counters (fun r -> !r)
+let gauges t = sorted_bindings t.gauges (fun r -> !r)
+let histograms t = sorted_bindings t.histograms stats_of
+
+let is_empty t =
+  Hashtbl.length t.counters = 0
+  && Hashtbl.length t.gauges = 0
+  && Hashtbl.length t.histograms = 0

@@ -1,0 +1,38 @@
+(** Metrics registry: monotonic counters, gauges and summary histograms,
+    keyed by name.  The convention used across the instrumented layers is
+    dotted names scoped by subsystem and subject, e.g.
+    ["engine.firings.FFT"], ["channel.e3.dropped"], ["analysis.liveness_ms"]. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a counter.  @raise Invalid_argument on negative [by]: counters are
+    monotonic. *)
+
+val set_gauge : t -> string -> float -> unit
+val observe : t -> string -> float -> unit
+
+val counter : t -> string -> int
+(** 0 when never incremented. *)
+
+val gauge : t -> string -> float option
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;  (** nearest-rank median *)
+  p95 : float;  (** nearest-rank 95th percentile *)
+}
+
+val histogram : t -> string -> histogram_stats option
+
+val counters : t -> (string * int) list
+(** Sorted by name; likewise below. *)
+
+val gauges : t -> (string * float) list
+val histograms : t -> (string * histogram_stats) list
+val is_empty : t -> bool

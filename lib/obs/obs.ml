@@ -1,0 +1,110 @@
+type sink = Event.t -> unit
+
+type store = {
+  mutable rev_events : Event.t list;
+  mutable n_events : int;
+  mutable sinks : sink list;
+  keep : bool;
+}
+
+type t = {
+  enabled : bool;
+  offset_ms : float; (* added to virtual timestamps; see [shift] *)
+  store : store;
+  metrics : Metrics.t;
+}
+
+let disabled =
+  {
+    enabled = false;
+    offset_ms = 0.0;
+    store = { rev_events = []; n_events = 0; sinks = []; keep = false };
+    metrics = Metrics.create ();
+  }
+
+let create ?(keep_events = true) () =
+  {
+    enabled = true;
+    offset_ms = 0.0;
+    store = { rev_events = []; n_events = 0; sinks = []; keep = keep_events };
+    metrics = Metrics.create ();
+  }
+
+let enabled t = t.enabled
+let metrics t = t.metrics
+let events t = List.rev t.store.rev_events
+let event_count t = t.store.n_events
+
+let add_sink t sink =
+  if t.enabled then t.store.sinks <- t.store.sinks @ [ sink ]
+
+let shift t offset_ms =
+  if not t.enabled then t
+  else { t with offset_ms = t.offset_ms +. offset_ms }
+
+let emit t (ev : Event.t) =
+  if t.enabled then begin
+    let ev =
+      if ev.Event.clock = Event.Virtual && t.offset_ms <> 0.0 then
+        { ev with Event.ts_ms = ev.Event.ts_ms +. t.offset_ms }
+      else ev
+    in
+    if t.store.keep then t.store.rev_events <- ev :: t.store.rev_events;
+    t.store.n_events <- t.store.n_events + 1;
+    List.iter (fun s -> s ev) t.store.sinks
+  end
+
+let span ?(clock = Event.Virtual) ?(args = []) t ~cat ~track ~name ~ts_ms
+    ~dur_ms () =
+  if t.enabled then
+    emit t
+      {
+        Event.name;
+        cat;
+        track;
+        clock;
+        ts_ms;
+        payload = Event.Span dur_ms;
+        args;
+      }
+
+let instant ?(clock = Event.Virtual) ?(args = []) t ~cat ~track ~name ~ts_ms ()
+    =
+  if t.enabled then
+    emit t
+      { Event.name; cat; track; clock; ts_ms; payload = Event.Instant; args }
+
+let counter ?(clock = Event.Virtual) ?(args = []) t ~cat ~track ~name ~ts_ms
+    value =
+  if t.enabled then
+    emit t
+      {
+        Event.name;
+        cat;
+        track;
+        clock;
+        ts_ms;
+        payload = Event.Counter value;
+        args;
+      }
+
+let now_wall_ms () = Unix.gettimeofday () *. 1000.0
+
+let wall_span ?(cat = "analysis") ?(track = "analysis") t name f =
+  if not t.enabled then f ()
+  else begin
+    let t0 = now_wall_ms () in
+    let finally () =
+      let t1 = now_wall_ms () in
+      span ~clock:Event.Wall t ~cat ~track ~name ~ts_ms:t0 ~dur_ms:(t1 -. t0)
+        ();
+      Metrics.observe t.metrics (name ^ "_ms") (t1 -. t0)
+    in
+    match f () with
+    | v ->
+        finally ();
+        v
+    | exception e ->
+        finally ();
+        raise e
+  end

@@ -1,0 +1,86 @@
+(** Observability collector: a stream of {!Event.t} plus a {!Metrics.t}
+    registry, with pluggable sinks.
+
+    The collector is either {e enabled} ({!create}) or the shared
+    {!disabled} instance.  Every emission function returns immediately on a
+    disabled collector; instrumented hot paths additionally guard argument
+    construction behind {!enabled} so that running with no collector
+    attached allocates nothing and costs one branch. *)
+
+type t
+
+type sink = Event.t -> unit
+(** Streaming consumers attached with {!add_sink}; called once per event in
+    emission order.  The built-in in-memory sink (see {!events}) is
+    independent of attached sinks. *)
+
+val disabled : t
+(** The shared no-op collector: {!enabled} is [false], nothing is recorded. *)
+
+val create : ?keep_events:bool -> unit -> t
+(** An enabled collector.  [keep_events] (default [true]) controls the
+    in-memory sink; pass [false] for long runs feeding a streaming sink. *)
+
+val enabled : t -> bool
+val metrics : t -> Metrics.t
+
+val events : t -> Event.t list
+(** Recorded events, oldest first. *)
+
+val event_count : t -> int
+(** Total events emitted (counted even when [keep_events] is [false]). *)
+
+val add_sink : t -> sink -> unit
+(** No-op on the disabled collector. *)
+
+val shift : t -> float -> t
+(** [shift t d] is a view of [t] adding [d] milliseconds to the virtual
+    timestamp of every event emitted through it (wall-clock events are
+    untouched).  The view shares the store and metrics of [t].  Used to
+    concatenate consecutive simulator runs — e.g. reconfiguration
+    sequences — on one global timeline. *)
+
+val emit : t -> Event.t -> unit
+
+val span :
+  ?clock:Event.clock ->
+  ?args:(string * Event.arg) list ->
+  t ->
+  cat:string ->
+  track:string ->
+  name:string ->
+  ts_ms:float ->
+  dur_ms:float ->
+  unit ->
+  unit
+
+val instant :
+  ?clock:Event.clock ->
+  ?args:(string * Event.arg) list ->
+  t ->
+  cat:string ->
+  track:string ->
+  name:string ->
+  ts_ms:float ->
+  unit ->
+  unit
+
+val counter :
+  ?clock:Event.clock ->
+  ?args:(string * Event.arg) list ->
+  t ->
+  cat:string ->
+  track:string ->
+  name:string ->
+  ts_ms:float ->
+  float ->
+  unit
+
+val now_wall_ms : unit -> float
+(** Wall-clock milliseconds since an arbitrary origin. *)
+
+val wall_span : ?cat:string -> ?track:string -> t -> string -> (unit -> 'a) -> 'a
+(** [wall_span t name f] runs [f] and, on an enabled collector, records a
+    wall-clock span named [name] (default category and track ["analysis"])
+    plus a [name ^ "_ms"] histogram observation.  Exceptions propagate, the
+    span is still recorded. *)

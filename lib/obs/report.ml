@@ -1,0 +1,96 @@
+(* Flat CSV and human-readable summary renderings of an event stream. *)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv_of_events events =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "clock,cat,track,kind,name,ts_ms,dur_ms,value,args\n";
+  List.iter
+    (fun (ev : Event.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%s,%s,%.6f,%.6f,%s,%s\n"
+           (Event.clock_name ev.clock) (csv_escape ev.cat)
+           (csv_escape ev.track)
+           (Event.payload_kind ev.payload)
+           (csv_escape ev.name) ev.ts_ms (Event.duration_ms ev)
+           (match Event.value ev with
+           | Some v -> Printf.sprintf "%g" v
+           | None -> "")
+           (csv_escape
+              (String.concat ";"
+                 (List.map
+                    (fun (k, v) -> k ^ "=" ^ Event.string_of_arg v)
+                    ev.args)))))
+    events;
+  Buffer.contents buf
+
+let summary ?metrics events =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* Per-category event counts. *)
+  let by_cat = Hashtbl.create 8 in
+  let bump tbl key =
+    Hashtbl.replace tbl key
+      (1 + match Hashtbl.find_opt tbl key with Some n -> n | None -> 0)
+  in
+  (* Per-track virtual busy time (sum of span durations). *)
+  let busy = Hashtbl.create 8 in
+  let add_busy track d =
+    Hashtbl.replace busy track
+      (d +. match Hashtbl.find_opt busy track with Some x -> x | None -> 0.0)
+  in
+  let virt_end = ref 0.0 in
+  List.iter
+    (fun (ev : Event.t) ->
+      bump by_cat ev.cat;
+      (match ev.payload with
+      | Event.Span d when ev.clock = Event.Virtual -> add_busy ev.track d
+      | _ -> ());
+      if ev.clock = Event.Virtual then
+        virt_end := Float.max !virt_end (ev.ts_ms +. Event.duration_ms ev))
+    events;
+  pr "== events ==\n";
+  pr "%-28s %8d\n" "total" (List.length events);
+  List.iter
+    (fun (cat, n) -> pr "%-28s %8d\n" ("cat " ^ cat) n)
+    (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_cat []));
+  let busy_rows =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) busy [])
+  in
+  if busy_rows <> [] then begin
+    pr "\n== virtual-time spans (end of timeline: %.3f ms) ==\n" !virt_end;
+    pr "%-20s %12s %9s\n" "track" "busy ms" "util";
+    List.iter
+      (fun (track, b) ->
+        pr "%-20s %12.3f %8.1f%%\n" track b
+          (if !virt_end > 0.0 then 100.0 *. b /. !virt_end else 0.0))
+      busy_rows
+  end;
+  (match metrics with
+  | Some m when not (Metrics.is_empty m) ->
+      let counters = Metrics.counters m in
+      if counters <> [] then begin
+        pr "\n== counters ==\n";
+        List.iter (fun (name, n) -> pr "%-40s %12d\n" name n) counters
+      end;
+      let gauges = Metrics.gauges m in
+      if gauges <> [] then begin
+        pr "\n== gauges ==\n";
+        List.iter (fun (name, v) -> pr "%-40s %12.4f\n" name v) gauges
+      end;
+      let histograms = Metrics.histograms m in
+      if histograms <> [] then begin
+        pr "\n== histograms ==\n";
+        pr "%-40s %8s %10s %10s %10s %10s\n" "name" "count" "p50" "p95" "max"
+          "sum";
+        List.iter
+          (fun (name, (s : Metrics.histogram_stats)) ->
+            pr "%-40s %8d %10.4f %10.4f %10.4f %10.4f\n" name s.Metrics.count
+              s.Metrics.p50 s.Metrics.p95 s.Metrics.max s.Metrics.sum)
+          histograms
+      end
+  | _ -> ());
+  Buffer.contents buf

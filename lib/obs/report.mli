@@ -1,0 +1,10 @@
+(** Textual renderings of an event stream. *)
+
+val csv_of_events : Event.t list -> string
+(** One row per event:
+    [clock,cat,track,kind,name,ts_ms,dur_ms,value,args]. *)
+
+val summary : ?metrics:Metrics.t -> Event.t list -> string
+(** Human-readable report: event counts per category, per-track virtual
+    busy time and utilization, and — when [metrics] is given — the counter,
+    gauge and histogram tables. *)

@@ -30,10 +30,17 @@ let find_firing s actor index =
       invalid_arg
         (Printf.sprintf "Latency: firing %s[%d] not in the schedule" actor index)
 
-let per_iteration_ms s ~source ~sink ~iterations ~q_source ~q_sink =
+let per_iteration_ms ?(obs = Tpdf_obs.Obs.disabled) s ~source ~sink ~iterations
+    ~q_source ~q_sink =
   if iterations < 1 || q_source < 1 || q_sink < 1 then
     invalid_arg "Latency.per_iteration_ms: non-positive arguments";
+  Tpdf_obs.Obs.wall_span obs ~cat:"sched" "latency.per_iteration" @@ fun () ->
   List.init iterations (fun k ->
       let first = find_firing s source (k * q_source) in
       let last = find_firing s sink ((k * q_sink) + q_sink - 1) in
-      last.List_scheduler.finish_ms -. first.List_scheduler.start_ms)
+      let lat = last.List_scheduler.finish_ms -. first.List_scheduler.start_ms in
+      if Tpdf_obs.Obs.enabled obs then
+        Tpdf_obs.Metrics.observe
+          (Tpdf_obs.Obs.metrics obs)
+          "latency.iteration_ms" lat;
+      lat)

@@ -18,6 +18,7 @@ val end_to_end_ms :
     iteration latency. *)
 
 val per_iteration_ms :
+  ?obs:Tpdf_obs.Obs.t ->
   List_scheduler.schedule ->
   source:string ->
   sink:string ->
@@ -28,5 +29,7 @@ val per_iteration_ms :
 (** Latency of each of the [iterations] expanded iterations: finish of the
     sink's last firing of iteration k minus start of the source's first
     firing of iteration k.  [q_source]/[q_sink] are per-iteration firing
-    counts.  @raise Invalid_argument on non-positive arguments or missing
-    firings. *)
+    counts.  With an enabled [obs], each latency is observed under the
+    [latency.iteration_ms] histogram and the extraction is timed as a
+    wall-clock ["latency.per_iteration"] span.  @raise Invalid_argument on
+    non-positive arguments or missing firings. *)

@@ -1,5 +1,8 @@
 module Platform = Tpdf_platform.Platform
 module Tpdf = Tpdf_core
+module Obs = Tpdf_obs.Obs
+module Ev = Tpdf_obs.Event
+module Metrics = Tpdf_obs.Metrics
 
 type assignment = {
   node : Canonical_period.node;
@@ -25,7 +28,9 @@ let bottom_levels period durations =
     (List.rev (Canonical_period.topological period));
   levels
 
-let run ?(durations = fun _ -> 1.0) ?reserve_control_pe ~graph period platform =
+let run ?(durations = fun _ -> 1.0) ?reserve_control_pe ?(obs = Obs.disabled)
+    ~graph period platform =
+  Obs.wall_span obs "sched.list_scheduler" @@ fun () ->
   let has_control = Tpdf.Graph.control_actors graph <> [] in
   let reserve =
     match reserve_control_pe with
@@ -99,9 +104,35 @@ let run ?(durations = fun _ -> 1.0) ?reserve_control_pe ~graph period platform =
         in
         let start_ms = est pe in
         let finish_ms = start_ms +. durations node in
+        let pe_avail_before = pe_avail.(pe) in
         pe_avail.(pe) <- finish_ms;
         Hashtbl.replace finished node (finish_ms, pe);
         assignments := { node; pe; start_ms; finish_ms } :: !assignments;
+        (* Placement decision: one span per firing on its PE's lane, plus
+           the idle gap the placement left on that PE (communication
+           latency from predecessors on other PEs). *)
+        if Obs.enabled obs then begin
+          Obs.span obs ~cat:"sched"
+            ~track:(Printf.sprintf "PE%d" pe)
+            ~name:
+              (Printf.sprintf "%s%d" node.Canonical_period.actor
+                 (node.Canonical_period.index + 1))
+            ~ts_ms:start_ms ~dur_ms:(finish_ms -. start_ms)
+            ~args:
+              [
+                ("pe", Ev.Int pe);
+                ("ready", Ev.Int (List.length !ready));
+                ("bottom_level", Ev.Float (Hashtbl.find levels node));
+              ]
+            ();
+          let m = Obs.metrics obs in
+          Metrics.incr m "sched.assignments";
+          Metrics.incr m
+            (Printf.sprintf "sched.assignments.pe%d" pe);
+          Metrics.observe m "sched.ready_queue"
+            (float_of_int (List.length !ready + 1));
+          Metrics.observe m "sched.pe_idle_ms" (start_ms -. pe_avail_before)
+        end;
         incr scheduled;
         List.iter
           (fun s ->

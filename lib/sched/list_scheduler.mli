@@ -28,13 +28,18 @@ type schedule = {
 val run :
   ?durations:(Canonical_period.node -> float) ->
   ?reserve_control_pe:bool ->
+  ?obs:Tpdf_obs.Obs.t ->
   graph:Tpdf_core.Graph.t ->
   Canonical_period.t ->
   Tpdf_platform.Platform.t ->
   schedule
 (** Default duration 1.0 ms per firing; [reserve_control_pe] defaults to
     true when the graph has control actors and the platform more than one
-    PE. *)
+    PE.  With an enabled [obs], every placement decision is emitted as a
+    virtual-time span (category ["sched"], one track per PE) carrying the
+    chosen PE, ready-queue depth and bottom level, plus assignment
+    counters and PE idle-gap / ready-queue histograms; the whole run is
+    timed as a wall-clock ["sched.list_scheduler"] span. *)
 
 val assignment_of : schedule -> Canonical_period.node -> assignment
 (** @raise Not_found. *)

@@ -1,5 +1,7 @@
 module Csdf = Tpdf_csdf
 module Digraph = Tpdf_graph.Digraph
+module Obs = Tpdf_obs.Obs
+module Metrics = Tpdf_obs.Metrics
 
 type node = { actor : string; index : int }
 
@@ -9,7 +11,8 @@ type t = { node_list : node list; edge_list : edge list }
 
 let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
 
-let build conc =
+let build ?(obs = Obs.disabled) conc =
+  Obs.wall_span obs ~cat:"sched" "mcr.build" @@ fun () ->
   let g = Csdf.Concrete.graph conc in
   (match Csdf.Schedule.run conc with
   | Csdf.Schedule.Complete _ -> ()
@@ -74,7 +77,13 @@ let build conc =
           end
         done)
     (Csdf.Graph.channels g);
-  { node_list; edge_list = List.sort_uniq compare !edges }
+  let t = { node_list; edge_list = List.sort_uniq compare !edges } in
+  if Obs.enabled obs then begin
+    let m = Obs.metrics obs in
+    Metrics.set_gauge m "mcr.nodes" (float_of_int (List.length t.node_list));
+    Metrics.set_gauge m "mcr.edges" (float_of_int (List.length t.edge_list))
+  end;
+  t
 
 let nodes t = t.node_list
 
@@ -105,22 +114,36 @@ let has_positive_cycle t weight =
   done;
   !rounds > n
 
-let iteration_period_ms ?(durations = fun _ -> 1.0) t =
-  let weight lambda e = durations e.src -. (lambda *. float_of_int e.delay) in
+let iteration_period_ms ?(durations = fun _ -> 1.0) ?(obs = Obs.disabled) t =
+  Obs.wall_span obs ~cat:"sched" "mcr.solve" @@ fun () ->
+  let oracle_calls = ref 0 in
+  let oracle lambda =
+    incr oracle_calls;
+    has_positive_cycle t
+      (fun e -> durations e.src -. (lambda *. float_of_int e.delay))
+  in
   let hi0 =
     List.fold_left (fun acc n -> acc +. Float.max 0.0 (durations n)) 1.0 t.node_list
   in
-  if not (has_positive_cycle t (weight 0.0)) then 0.0
-  else begin
-    let lo = ref 0.0 and hi = ref hi0 in
-    (* Widen until infeasible (cannot happen beyond total duration, but be
-       safe about degenerate duration functions). *)
-    while has_positive_cycle t (weight !hi) do
-      hi := !hi *. 2.0
-    done;
-    for _ = 1 to 60 do
-      let mid = 0.5 *. (!lo +. !hi) in
-      if has_positive_cycle t (weight mid) then lo := mid else hi := mid
-    done;
-    0.5 *. (!lo +. !hi)
-  end
+  let result =
+    if not (oracle 0.0) then 0.0
+    else begin
+      let lo = ref 0.0 and hi = ref hi0 in
+      (* Widen until infeasible (cannot happen beyond total duration, but be
+         safe about degenerate duration functions). *)
+      while oracle !hi do
+        hi := !hi *. 2.0
+      done;
+      for _ = 1 to 60 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if oracle mid then lo := mid else hi := mid
+      done;
+      0.5 *. (!lo +. !hi)
+    end
+  in
+  if Obs.enabled obs then begin
+    let m = Obs.metrics obs in
+    Metrics.incr ~by:!oracle_calls m "mcr.oracle_calls";
+    Metrics.set_gauge m "mcr.period_ms" result
+  end;
+  result

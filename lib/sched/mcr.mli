@@ -24,16 +24,20 @@ type edge = {
 
 type t
 
-val build : Tpdf_csdf.Concrete.t -> t
+val build : ?obs:Tpdf_obs.Obs.t -> Tpdf_csdf.Concrete.t -> t
 (** HSDF expansion with inter-iteration delays.  The graph must be live
-    (one iteration completes); @raise Failure otherwise. *)
+    (one iteration completes); @raise Failure otherwise.  With an enabled
+    [obs], the expansion is timed as a wall-clock ["mcr.build"] span and
+    the node/edge counts are recorded as gauges. *)
 
 val nodes : t -> node list
 val edges : t -> edge list
 
 val iteration_period_ms :
-  ?durations:(node -> float) -> t -> float
+  ?durations:(node -> float) -> ?obs:Tpdf_obs.Obs.t -> t -> float
 (** The maximum cycle ratio under the given per-firing durations
     (default 1.0 per firing).  0 when the graph has no cycle with positive
     delay (a DAG pipeline: unbounded throughput with unlimited buffering
-    and processors). *)
+    and processors).  With an enabled [obs], the binary search is timed as
+    a wall-clock ["mcr.solve"] span and the number of Bellman-Ford oracle
+    calls is counted under [mcr.oracle_calls]. *)

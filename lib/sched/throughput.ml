@@ -1,12 +1,16 @@
-let makespan ?durations ?include_actor ~graph conc platform ~iterations =
+module Obs = Tpdf_obs.Obs
+module Metrics = Tpdf_obs.Metrics
+
+let makespan ?durations ?include_actor ?obs ~graph conc platform ~iterations =
   let period = Canonical_period.build ?include_actor ~iterations conc in
-  (List_scheduler.run ?durations ~graph period platform)
+  (List_scheduler.run ?durations ?obs ~graph period platform)
     .List_scheduler.makespan_ms
 
 let iteration_period_ms ?(warmup = 2) ?(window = 4) ?durations ?include_actor
-    ~graph conc platform =
+    ?(obs = Obs.disabled) ~graph conc platform =
   if window < 1 then invalid_arg "Throughput: window must be positive";
   if warmup < 1 then invalid_arg "Throughput: warmup must be positive";
+  Obs.wall_span obs ~cat:"sched" "throughput.iteration_period" @@ fun () ->
   let m_short =
     makespan ?durations ?include_actor ~graph conc platform ~iterations:warmup
   in
@@ -14,10 +18,13 @@ let iteration_period_ms ?(warmup = 2) ?(window = 4) ?durations ?include_actor
     makespan ?durations ?include_actor ~graph conc platform
       ~iterations:(warmup + window)
   in
-  (m_long -. m_short) /. float_of_int window
+  let period = (m_long -. m_short) /. float_of_int window in
+  if Obs.enabled obs then
+    Metrics.set_gauge (Obs.metrics obs) "throughput.period_ms" period;
+  period
 
-let throughput_per_s ?warmup ?window ?durations ?include_actor ~graph conc
+let throughput_per_s ?warmup ?window ?durations ?include_actor ?obs ~graph conc
     platform =
   1000.0
-  /. iteration_period_ms ?warmup ?window ?durations ?include_actor ~graph conc
-       platform
+  /. iteration_period_ms ?warmup ?window ?durations ?include_actor ?obs ~graph
+       conc platform

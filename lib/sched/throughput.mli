@@ -11,19 +11,24 @@ val iteration_period_ms :
   ?window:int ->
   ?durations:(Canonical_period.node -> float) ->
   ?include_actor:(string -> bool) ->
+  ?obs:Tpdf_obs.Obs.t ->
   graph:Tpdf_core.Graph.t ->
   Tpdf_csdf.Concrete.t ->
   Tpdf_platform.Platform.t ->
   float
 (** [(makespan(warmup+window) - makespan(warmup)) / window] under the
     priority list scheduler.  Defaults: warmup 2, window 4, unit
-    durations.  @raise Invalid_argument on non-positive window. *)
+    durations.  With an enabled [obs], timed as a wall-clock
+    ["throughput.iteration_period"] span and the result recorded as the
+    [throughput.period_ms] gauge.  @raise Invalid_argument on non-positive
+    window. *)
 
 val throughput_per_s :
   ?warmup:int ->
   ?window:int ->
   ?durations:(Canonical_period.node -> float) ->
   ?include_actor:(string -> bool) ->
+  ?obs:Tpdf_obs.Obs.t ->
   graph:Tpdf_core.Graph.t ->
   Tpdf_csdf.Concrete.t ->
   Tpdf_platform.Platform.t ->

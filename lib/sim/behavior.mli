@@ -45,3 +45,8 @@ val emit_mode : ?duration_ms:('a ctx -> float) -> ('a ctx -> string) -> 'a t
     at the expected rates on every output channel. *)
 
 val const_duration : float -> 'a ctx -> float
+
+val produce_at_rates : 'a ctx -> (int -> int -> 'a Token.t) -> (int * 'a Token.t list) list
+(** [produce_at_rates ctx mk] builds the output list from [mk channel i],
+    honouring [ctx.out_rates] and skipping inactive (rate-0) outputs — the
+    building block of {!fill} and {!emit_mode}. *)

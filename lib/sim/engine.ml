@@ -1,6 +1,9 @@
 module Csdf = Tpdf_csdf
 module Tpdf = Tpdf_core
 module Digraph = Tpdf_graph.Digraph
+module Obs = Tpdf_obs.Obs
+module Ev = Tpdf_obs.Event
+module Metrics = Tpdf_obs.Metrics
 
 type firing_record = {
   actor : string;
@@ -64,9 +67,11 @@ type 'a t = {
   busy : (string, bool) Hashtbl.t;
   last_mode : (string, string) Hashtbl.t;
   events : 'a event_kind Eq.t;
+  obs : Obs.t;
   mutable now : float;
   mutable trace : firing_record list;
 }
+
 
 let first_mode graph kernel =
   match Tpdf.Graph.modes graph kernel with
@@ -88,7 +93,25 @@ let default_behavior graph actor default =
     Behavior.emit_mode (fun _ -> target_mode)
   else Behavior.fill default
 
-let create ~graph ~valuation ?init_token ?(behaviors = []) ~default () =
+let queue t ch = Hashtbl.find t.queues ch
+
+let get tbl key = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0
+
+let ch_track ch = "e" ^ string_of_int ch
+let occ_metric ch = Printf.sprintf "channel.e%d.occupancy" ch
+
+(* All instrumentation below is guarded by [Obs.enabled]: with no collector
+   attached the engine allocates nothing for observability. *)
+let sample_occupancy t ch =
+  if Obs.enabled t.obs then begin
+    let occ = float_of_int (Queue.length (queue t ch)) in
+    Obs.counter t.obs ~cat:"channel" ~track:(ch_track ch) ~name:"occupancy"
+      ~ts_ms:t.now occ;
+    Metrics.observe (Obs.metrics t.obs) (occ_metric ch) occ
+  end
+
+let create ~graph ~valuation ?init_token ?(behaviors = [])
+    ?(obs = Obs.disabled) ~default () =
   (match Tpdf.Graph.validate graph with
   | Ok () -> ()
   | Error msgs ->
@@ -149,13 +172,20 @@ let create ~graph ~valuation ?init_token ?(behaviors = []) ~default () =
     busy;
     last_mode;
     events = Eq.create ();
+    obs;
     now = 0.0;
     trace = [];
   }
+  |> fun t ->
+  (* One occupancy sample per channel at t=0 so every channel has a series
+     even if it never carries traffic. *)
+  if Obs.enabled obs then
+    List.iter
+      (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+        sample_occupancy t e.id)
+      (Csdf.Graph.channels (Tpdf.Graph.skeleton graph));
+  t
 
-let queue t ch = Hashtbl.find t.queues ch
-
-let get tbl key = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0
 
 (* Discharge rejection debt against the tokens currently in the channel. *)
 let purge t ch =
@@ -168,7 +198,15 @@ let purge t ch =
       incr dropped
     done;
     Hashtbl.replace t.debt ch (d - !dropped);
-    Hashtbl.replace t.dropped ch (get t.dropped ch + !dropped)
+    Hashtbl.replace t.dropped ch (get t.dropped ch + !dropped);
+    if Obs.enabled t.obs && !dropped > 0 then begin
+      Obs.instant t.obs ~cat:"channel" ~track:(ch_track ch) ~name:"drop"
+        ~ts_ms:t.now
+        ~args:[ ("count", Ev.Int !dropped) ]
+        ();
+      Metrics.incr ~by:!dropped (Obs.metrics t.obs)
+        (Printf.sprintf "channel.e%d.dropped" ch)
+    end
   end
 
 let push_tokens t ch toks =
@@ -176,7 +214,8 @@ let push_tokens t ch toks =
   List.iter (fun tok -> Queue.add tok q) toks;
   purge t ch;
   let occ = Queue.length q in
-  if occ > get t.max_occ ch then Hashtbl.replace t.max_occ ch occ
+  if occ > get t.max_occ ch then Hashtbl.replace t.max_occ ch occ;
+  sample_occupancy t ch
 
 let skel t = Tpdf.Graph.skeleton t.graph
 
@@ -261,7 +300,16 @@ let consume t a mode active phase =
   (match Tpdf.Graph.control_port t.graph a with
   | Some cid when cons_rate t cid phase > 0 ->
       ignore (Queue.pop (queue t cid));
-      Hashtbl.replace t.last_mode a mode.Tpdf.Mode.name
+      Hashtbl.replace t.last_mode a mode.Tpdf.Mode.name;
+      if Obs.enabled t.obs then begin
+        Obs.instant t.obs ~cat:"control" ~track:a ~name:"ctrl-read"
+          ~ts_ms:t.now
+          ~args:
+            [ ("mode", Ev.Str mode.Tpdf.Mode.name); ("channel", Ev.Int cid) ]
+          ();
+        Metrics.incr (Obs.metrics t.obs) ("engine.ctrl_reads." ^ a);
+        sample_occupancy t cid
+      end
   | _ -> ());
   let inputs =
     List.filter_map
@@ -269,13 +317,15 @@ let consume t a mode active phase =
         let rate = cons_rate t e.id phase in
         if List.mem e.id active then begin
           let toks = List.init rate (fun _ -> Queue.pop (queue t e.id)) in
+          if rate > 0 then sample_occupancy t e.id;
           if rate = 0 then None else Some (e.id, toks)
         end
         else begin
           (* Rejected input: its tokens are discarded as they arrive. *)
           if rate > 0 then begin
             Hashtbl.replace t.debt e.id (get t.debt e.id + rate);
-            purge t e.id
+            purge t e.id;
+            sample_occupancy t e.id
           end;
           None
         end)
@@ -428,7 +478,23 @@ let run ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000) t =
                 Hashtbl.replace t.busy a false;
                 Hashtbl.replace t.completed a (get t.completed a + 1);
                 List.iter (fun (ch, toks) -> push_tokens t ch toks) outputs;
-                t.trace <- record :: t.trace
+                t.trace <- record :: t.trace;
+                if Obs.enabled t.obs then begin
+                  Obs.span t.obs ~cat:"firing" ~track:a
+                    ~name:(a ^ "/" ^ record.mode) ~ts_ms:record.start_ms
+                    ~dur_ms:(record.finish_ms -. record.start_ms)
+                    ~args:
+                      [
+                        ("index", Ev.Int record.index);
+                        ("phase", Ev.Int record.phase);
+                        ("mode", Ev.Str record.mode);
+                      ]
+                    ();
+                  Metrics.incr (Obs.metrics t.obs) ("engine.firings." ^ a);
+                  Metrics.observe (Obs.metrics t.obs)
+                    ("engine.firing_ms." ^ a)
+                    (record.finish_ms -. record.start_ms)
+                end
             | Tick a ->
                 (* A clock firing: no inputs, emits control tokens now. *)
                 let index = get t.count a in
@@ -462,6 +528,13 @@ let run ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000) t =
                     finish_ms = t.now;
                   }
                   :: t.trace;
+                if Obs.enabled t.obs then begin
+                  Obs.instant t.obs ~cat:"clock" ~track:a ~name:(a ^ "/tick")
+                    ~ts_ms:t.now
+                    ~args:[ ("index", Ev.Int index); ("phase", Ev.Int phase) ]
+                    ();
+                  Metrics.incr (Obs.metrics t.obs) ("engine.ticks." ^ a)
+                end;
                 (match Tpdf.Graph.clock_period_ms t.graph a with
                 | Some p -> Eq.add t.events (t.now +. p) (Tick a)
                 | None -> ()));
@@ -481,6 +554,11 @@ let run ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000) t =
   let end_ms =
     List.fold_left (fun acc r -> max acc r.finish_ms) 0.0 t.trace
   in
+  if Obs.enabled t.obs then begin
+    let m = Obs.metrics t.obs in
+    Metrics.set_gauge m "engine.end_ms" end_ms;
+    Metrics.set_gauge m "engine.steps" (float_of_int !steps)
+  end;
   {
     end_ms;
     firings =

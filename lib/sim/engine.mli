@@ -39,6 +39,7 @@ val create :
   valuation:Tpdf_param.Valuation.t ->
   ?init_token:(int -> int -> 'a Token.t) ->
   ?behaviors:(string * 'a Behavior.t) list ->
+  ?obs:Tpdf_obs.Obs.t ->
   default:'a ->
   unit ->
   'a t
@@ -47,6 +48,14 @@ val create :
     first mode name on control channels).  Actors without an explicit
     behaviour source [default] values ({!Behavior.fill}); control actors
     default to emitting their destination's first mode name.
+
+    [obs] (default {!Tpdf_obs.Obs.disabled}) receives the run's virtual-time
+    event stream: one ["firing"] span per completed firing, ["clock"] tick
+    instants, ["control"] token-read instants, ["channel"] occupancy counter
+    samples (one per channel at t=0, then on every push/pop) and token-drop
+    instants, plus per-actor/per-channel metrics.  With the disabled
+    collector every instrumentation point is a single branch and allocates
+    nothing, so simulation results and timings are unchanged.
     @raise Invalid_argument on unknown behaviour actors, or if the graph
     fails {!Tpdf_core.Graph.validate}. *)
 

@@ -1,3 +1,10 @@
+module Tpdf = Tpdf_core
+module Csdf = Tpdf_csdf
+module Digraph = Tpdf_graph.Digraph
+module Obs = Tpdf_obs.Obs
+module Ev = Tpdf_obs.Event
+module Metrics = Tpdf_obs.Metrics
+
 type iteration_stats = {
   valuation : Tpdf_param.Valuation.t;
   stats : Engine.stats;
@@ -9,36 +16,204 @@ type report = {
   max_occupancy : (int * int) list;
 }
 
-let run_sequence ~graph ?(behaviors = []) ?targets ~default valuations =
+let merge_occupancy iterations =
+  match iterations with
+  | [] -> []
+  | first :: rest ->
+      List.fold_left
+        (fun acc it ->
+          List.map
+            (fun (ch, occ) ->
+              match List.assoc_opt ch it.stats.Engine.max_occupancy with
+              | Some occ' -> (ch, max occ occ')
+              | None -> (ch, occ))
+            acc)
+        first.stats.Engine.max_occupancy rest
+
+let reconfigure_instant obs ~offset ~what detail =
+  if Obs.enabled obs then begin
+    Obs.instant obs ~cat:"reconfig" ~track:"engine" ~name:"reconfigure"
+      ~ts_ms:offset
+      ~args:[ (what, Ev.Str detail) ]
+      ();
+    Metrics.incr (Obs.metrics obs) "engine.reconfigurations"
+  end
+
+let run_sequence ~graph ?(obs = Obs.disabled) ?(behaviors = []) ?targets
+    ~default valuations =
   if valuations = [] then
     invalid_arg "Reconfigure.run_sequence: empty valuation sequence";
+  let offset = ref 0.0 in
   let iterations =
     List.map
       (fun valuation ->
-        let eng = Engine.create ~graph ~valuation ~behaviors ~default () in
+        reconfigure_instant obs ~offset:!offset ~what:"valuation"
+          (Format.asprintf "%a" Tpdf_param.Valuation.pp valuation);
+        let eng =
+          Engine.create ~graph ~valuation ~behaviors
+            ~obs:(Obs.shift obs !offset) ~default ()
+        in
         let targets =
           match targets with None -> None | Some f -> Some (f valuation)
         in
-        { valuation; stats = Engine.run ?targets eng })
+        let stats = Engine.run ?targets eng in
+        offset := !offset +. stats.Engine.end_ms;
+        { valuation; stats })
       valuations
-  in
-  let max_occupancy =
-    match iterations with
-    | [] -> []
-    | first :: rest ->
-        List.fold_left
-          (fun acc it ->
-            List.map
-              (fun (ch, occ) ->
-                match List.assoc_opt ch it.stats.Engine.max_occupancy with
-                | Some occ' -> (ch, max occ occ')
-                | None -> (ch, occ))
-              acc)
-          first.stats.Engine.max_occupancy rest
   in
   {
     iterations;
     total_end_ms =
       List.fold_left (fun acc it -> acc +. it.stats.Engine.end_ms) 0.0 iterations;
-    max_occupancy;
+    max_occupancy = merge_occupancy iterations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Mode-scenario sweeps                                                *)
+(* ------------------------------------------------------------------ *)
+
+type scenario = (string * string) list
+
+let mode_scenarios graph =
+  let controlled =
+    List.filter
+      (fun a -> Tpdf.Graph.control_port graph a <> None)
+      (Tpdf.Graph.actors graph)
+  in
+  if controlled = [] then [ [] ]
+  else
+    let runs =
+      List.fold_left
+        (fun acc k -> max acc (List.length (Tpdf.Graph.modes graph k)))
+        1 controlled
+    in
+    List.init runs (fun i ->
+        List.map
+          (fun k ->
+            let modes = Tpdf.Graph.modes graph k in
+            let m = List.nth modes (i mod List.length modes) in
+            (k, m.Tpdf.Mode.name))
+          controlled)
+
+let pp_scenario scenario =
+  if scenario = [] then "default"
+  else
+    String.concat ","
+      (List.map (fun (k, m) -> Printf.sprintf "%s=%s" k m) scenario)
+
+(* Actors that cannot complete any firing under [scenario] because some
+   producer upstream keeps a needed input empty.  Fixpoint of "an input
+   channel is dead when its source suppresses it (pinned mode) or its
+   source is itself starved".  An actor whose pinned mode waits on the
+   highest-priority available input only starves when {e all} its data
+   inputs are dead; everyone else starves as soon as one needed input is. *)
+let starved_actors graph scenario =
+  let skel = Tpdf.Graph.skeleton graph in
+  let pinned a =
+    match List.assoc_opt a scenario with
+    | Some name -> Some (Tpdf.Graph.find_mode graph a name)
+    | None -> None
+  in
+  let suppressed_by_src (e : (string, Csdf.Graph.channel) Digraph.edge) =
+    match pinned e.src with
+    | Some m -> not (Tpdf.Mode.output_may_be_active m e.id)
+    | None -> false
+  in
+  let starved = Hashtbl.create 8 in
+  let dead (e : (string, Csdf.Graph.channel) Digraph.edge) =
+    suppressed_by_src e || Hashtbl.mem starved e.src
+  in
+  let data_ins a =
+    List.filter
+      (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+        not (Tpdf.Graph.is_control_channel graph e.id))
+      (Csdf.Graph.in_channels skel a)
+  in
+  let ctrl_in a =
+    List.filter
+      (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+        Tpdf.Graph.is_control_channel graph e.id)
+      (Csdf.Graph.in_channels skel a)
+  in
+  let is_starved a =
+    Tpdf.Graph.clock_period_ms graph a = None
+    && (List.exists dead (ctrl_in a)
+       ||
+       let ins = data_ins a in
+       match pinned a with
+       | Some m when m.Tpdf.Mode.inputs = Tpdf.Mode.Highest_priority_available
+         ->
+           ins <> [] && List.for_all dead ins
+       | Some m ->
+           List.exists
+             (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+               dead e && Tpdf.Mode.input_statically_active m e.id)
+             ins
+       | None -> List.exists dead ins)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun a ->
+        if (not (Hashtbl.mem starved a)) && is_starved a then begin
+          Hashtbl.replace starved a ();
+          changed := true
+        end)
+      (Tpdf.Graph.actors graph)
+  done;
+  List.filter (Hashtbl.mem starved) (Tpdf.Graph.actors graph)
+
+(* A behaviour for a control actor that emits, on each control channel, the
+   mode [scenario] pins that channel's destination kernel to. *)
+let scenario_control_behavior graph scenario =
+  let skel = Tpdf.Graph.skeleton graph in
+  let mode_for ch =
+    let e = Csdf.Graph.channel skel ch in
+    match List.assoc_opt e.Digraph.dst scenario with
+    | Some name -> name
+    | None -> (
+        match Tpdf.Graph.modes graph e.Digraph.dst with
+        | m :: _ -> m.Tpdf.Mode.name
+        | [] -> "default")
+  in
+  Behavior.make (fun ctx ->
+      Behavior.produce_at_rates ctx (fun ch _ -> Token.Ctrl (mode_for ch)))
+
+let run_scenarios ~graph ?(obs = Obs.disabled) ?(behaviors = [])
+    ?(iterations = 1) ~valuation ~default scenarios =
+  if scenarios = [] then
+    invalid_arg "Reconfigure.run_scenarios: empty scenario sequence";
+  let offset = ref 0.0 in
+  let runs =
+    List.map
+      (fun scenario ->
+        reconfigure_instant obs ~offset:!offset ~what:"scenario"
+          (pp_scenario scenario);
+        let ctrl_behaviors =
+          List.filter_map
+            (fun a ->
+              if List.mem_assoc a behaviors then None
+              else if Tpdf.Graph.clock_period_ms graph a <> None then None
+              else Some (a, scenario_control_behavior graph scenario))
+            (Tpdf.Graph.control_actors graph)
+        in
+        let targets =
+          List.map (fun a -> (a, 0)) (starved_actors graph scenario)
+        in
+        let eng =
+          Engine.create ~graph ~valuation
+            ~behaviors:(behaviors @ ctrl_behaviors)
+            ~obs:(Obs.shift obs !offset) ~default ()
+        in
+        let stats = Engine.run ~iterations ~targets eng in
+        offset := !offset +. stats.Engine.end_ms;
+        { valuation; stats })
+      scenarios
+  in
+  {
+    iterations = runs;
+    total_end_ms =
+      List.fold_left (fun acc it -> acc +. it.stats.Engine.end_ms) 0.0 runs;
+    max_occupancy = merge_occupancy runs;
   }

@@ -21,6 +21,7 @@ type report = {
 
 val run_sequence :
   graph:Tpdf_core.Graph.t ->
+  ?obs:Tpdf_obs.Obs.t ->
   ?behaviors:(string * 'a Behavior.t) list ->
   ?targets:(Tpdf_param.Valuation.t -> (string * int) list) ->
   default:'a ->
@@ -31,5 +32,50 @@ val run_sequence :
     guarantee); behaviours are re-instantiated per iteration with the
     current valuation's rates.  [targets] can deselect branch actors per
     valuation (see {!Engine.run}).
+
+    [obs] records the whole sequence on one virtual timeline: a
+    ["reconfig"] instant (with the valuation) marks each iteration
+    boundary, and each iteration's engine events are shifted by the
+    accumulated end time of the previous ones.
     @raise Invalid_argument on an empty sequence
     @raise Failure if any iteration stalls. *)
+
+(** {2 Mode-scenario sweeps}
+
+    Reconfiguration of the {e topology} rather than the parameters: run the
+    same graph and valuation under a sequence of mode scenarios (one mode
+    pinned per controlled kernel), e.g. the OFDM demodulator switching from
+    QPSK to 16-QAM between iterations. *)
+
+type scenario = (string * string) list
+(** [(kernel, mode)] pins, as in {!Tpdf_core.Buffers.scenario}. *)
+
+val mode_scenarios : Tpdf_core.Graph.t -> scenario list
+(** A covering sweep: scenario [i] pins every controlled kernel to its
+    [i]-th declared mode (modulo its mode count); the number of scenarios
+    is the largest mode count.  [[[]]] when the graph has no controlled
+    kernel, so the sweep degenerates to one plain run. *)
+
+val pp_scenario : scenario -> string
+
+val starved_actors : Tpdf_core.Graph.t -> scenario -> string list
+(** Actors that cannot fire under the scenario because a pinned mode
+    upstream suppresses (transitively) an input they need.  Used to zero
+    their firing targets when executing the scenario. *)
+
+val run_scenarios :
+  graph:Tpdf_core.Graph.t ->
+  ?obs:Tpdf_obs.Obs.t ->
+  ?behaviors:(string * 'a Behavior.t) list ->
+  ?iterations:int ->
+  valuation:Tpdf_param.Valuation.t ->
+  default:'a ->
+  scenario list ->
+  report
+(** Execute [iterations] (default 1) graph iterations per scenario, on one
+    virtual timeline with ["reconfig"] instants at scenario boundaries (see
+    [run_sequence]).  Control actors not given an explicit behaviour emit
+    the scenario's pinned mode of each target kernel; actors starved by the
+    scenario get a zero firing target.
+    @raise Invalid_argument on an empty scenario list
+    @raise Failure if a run stalls. *)

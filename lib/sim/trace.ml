@@ -1,4 +1,10 @@
-let actors_in_order (stats : Engine.stats) =
+module Ev = Tpdf_obs.Event
+
+(* Both renderers run over firing records; they can be fed either by the
+   legacy [Engine.stats.trace] list or by the observability event stream
+   (the ["firing"] spans and ["clock"] tick instants the engine emits). *)
+
+let actors_in_order records =
   let seen = Hashtbl.create 8 in
   List.filter_map
     (fun (r : Engine.firing_record) ->
@@ -7,11 +13,17 @@ let actors_in_order (stats : Engine.stats) =
         Hashtbl.replace seen r.Engine.actor ();
         Some r.Engine.actor
       end)
-    stats.Engine.trace
+    records
 
-let gantt ?(width = 72) (stats : Engine.stats) =
+let end_of_records records =
+  List.fold_left
+    (fun acc (r : Engine.firing_record) -> Float.max acc r.Engine.finish_ms)
+    0.0 records
+
+let gantt_of_records ?(width = 72) records =
   let buf = Buffer.create 256 in
-  let span = Float.max stats.Engine.end_ms 1e-9 in
+  let end_ms = end_of_records records in
+  let span = Float.max end_ms 1e-9 in
   let col t =
     min (width - 1) (int_of_float (float_of_int (width - 1) *. t /. span))
   in
@@ -28,13 +40,13 @@ let gantt ?(width = 72) (stats : Engine.stats) =
                                                   (col r.Engine.finish_ms - 1) do
                 Bytes.set row i '#'
               done)
-        stats.Engine.trace;
+        records;
       Buffer.add_string buf (Printf.sprintf "%-12s |%s|\n" actor (Bytes.to_string row)))
-    (actors_in_order stats);
-  Buffer.add_string buf (Printf.sprintf "%-12s  0 ms %*s %.3f ms\n" "" (width - 12) "" stats.Engine.end_ms);
+    (actors_in_order records);
+  Buffer.add_string buf (Printf.sprintf "%-12s  0 ms %*s %.3f ms\n" "" (width - 12) "" end_ms);
   Buffer.contents buf
 
-let to_csv (stats : Engine.stats) =
+let csv_of_records records =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "actor,index,phase,mode,start_ms,finish_ms\n";
   List.iter
@@ -42,5 +54,61 @@ let to_csv (stats : Engine.stats) =
       Buffer.add_string buf
         (Printf.sprintf "%s,%d,%d,%s,%.6f,%.6f\n" r.Engine.actor r.Engine.index
            r.Engine.phase r.Engine.mode r.Engine.start_ms r.Engine.finish_ms))
-    stats.Engine.trace;
+    records;
   Buffer.contents buf
+
+let gantt ?width (stats : Engine.stats) =
+  gantt_of_records ?width stats.Engine.trace
+
+let to_csv (stats : Engine.stats) = csv_of_records stats.Engine.trace
+
+(* ------------------------------------------------------------------ *)
+(* Event-stream front end                                              *)
+(* ------------------------------------------------------------------ *)
+
+let int_arg args name =
+  match List.assoc_opt name args with Some (Ev.Int i) -> Some i | _ -> None
+
+let str_arg args name =
+  match List.assoc_opt name args with Some (Ev.Str s) -> Some s | _ -> None
+
+let records_of_events events =
+  let records =
+    List.filter_map
+      (fun (ev : Ev.t) ->
+        let record mode finish_ms =
+          match (int_arg ev.args "index", int_arg ev.args "phase") with
+          | Some index, Some phase ->
+              Some
+                {
+                  Engine.actor = ev.track;
+                  index;
+                  phase;
+                  mode;
+                  start_ms = ev.ts_ms;
+                  finish_ms;
+                }
+          | _ -> None
+        in
+        match (ev.cat, ev.payload) with
+        | "firing", Ev.Span dur ->
+            let mode =
+              match str_arg ev.args "mode" with Some m -> m | None -> ev.name
+            in
+            record mode (ev.ts_ms +. dur)
+        | "clock", Ev.Instant -> record "tick" ev.ts_ms
+        | _ -> None)
+      events
+  in
+  (* Same presentation order as [Engine.stats.trace]: the engine emits
+     firing events in completion order, and the stable sort below matches
+     the one [Engine.run] applies. *)
+  List.stable_sort
+    (fun (a : Engine.firing_record) (b : Engine.firing_record) ->
+      compare (a.Engine.start_ms, a.Engine.finish_ms)
+        (b.Engine.start_ms, b.Engine.finish_ms))
+    records
+
+let gantt_of_events ?width events = gantt_of_records ?width (records_of_events events)
+
+let csv_of_events events = csv_of_records (records_of_events events)

@@ -1,4 +1,9 @@
-(** Rendering and exporting execution traces of the runtime engine. *)
+(** Rendering and exporting execution traces of the runtime engine.
+
+    The renderers accept either the legacy {!Engine.stats} record or the
+    observability event stream produced when the engine runs with an
+    enabled {!Tpdf_obs.Obs.t} collector; both inputs yield byte-identical
+    output for the same run. *)
 
 val gantt : ?width:int -> Engine.stats -> string
 (** ASCII Gantt chart of the firing records, one row per actor (actors in
@@ -8,3 +13,14 @@ val gantt : ?width:int -> Engine.stats -> string
 val to_csv : Engine.stats -> string
 (** One line per firing: [actor,index,phase,mode,start_ms,finish_ms],
     with a header row. *)
+
+val records_of_events : Tpdf_obs.Event.t list -> Engine.firing_record list
+(** Reconstruct the firing records from the engine's ["firing"] spans and
+    ["clock"] tick instants, in the presentation order of
+    [Engine.stats.trace].  Events of other categories are ignored. *)
+
+val gantt_of_events : ?width:int -> Tpdf_obs.Event.t list -> string
+val csv_of_events : Tpdf_obs.Event.t list -> string
+
+val gantt_of_records : ?width:int -> Engine.firing_record list -> string
+val csv_of_records : Engine.firing_record list -> string

@@ -1,0 +1,377 @@
+open Tpdf_core
+open Tpdf_sim
+open Tpdf_param
+module Obs = Tpdf_obs.Obs
+module Ev = Tpdf_obs.Event
+module Metrics = Tpdf_obs.Metrics
+module Chrome = Tpdf_obs.Chrome
+module Report = Tpdf_obs.Report
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON parser — just enough to validate the Chrome export.    *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else fail "unexpected end" in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () <> c then fail (Printf.sprintf "expected %c" c);
+    advance ()
+  in
+  let literal word v =
+    String.iter (fun c -> expect c) word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              for _ = 1 to 4 do
+                advance ();
+                match peek () with
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                | _ -> fail "bad \\u escape"
+              done;
+              Buffer.add_char buf '?'
+          | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          advance ();
+          go ()
+      | c ->
+          if Char.code c < 0x20 then fail "unescaped control character";
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = '-' then advance ();
+    while
+      !pos < n
+      && match s.[!pos] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false
+    do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin advance (); Obj [] end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); members ((k, v) :: acc)
+            | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin advance (); Arr [] end
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); elements (v :: acc)
+            | ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig2_run ?obs ~iterations () =
+  let { Examples.graph = g; _ } = Examples.fig2 () in
+  let v = Valuation.of_list [ ("p", 2) ] in
+  let eng = Engine.create ~graph:g ~valuation:v ?obs ~default:0 () in
+  Engine.run ~iterations eng
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_percentiles () =
+  let m = Metrics.create () in
+  for i = 1 to 100 do
+    Metrics.observe m "lat" (float_of_int i)
+  done;
+  match Metrics.histogram m "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s ->
+      Alcotest.(check int) "count" 100 s.Metrics.count;
+      Alcotest.(check (float 1e-9)) "sum" 5050.0 s.Metrics.sum;
+      Alcotest.(check (float 1e-9)) "min" 1.0 s.Metrics.min;
+      Alcotest.(check (float 1e-9)) "max" 100.0 s.Metrics.max;
+      Alcotest.(check (float 1e-9)) "p50 nearest-rank" 50.0 s.Metrics.p50;
+      Alcotest.(check (float 1e-9)) "p95 nearest-rank" 95.0 s.Metrics.p95
+
+let test_histogram_single_sample () =
+  let m = Metrics.create () in
+  Metrics.observe m "x" 3.5;
+  match Metrics.histogram m "x" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s ->
+      Alcotest.(check (float 1e-9)) "p50 of singleton" 3.5 s.Metrics.p50;
+      Alcotest.(check (float 1e-9)) "p95 of singleton" 3.5 s.Metrics.p95
+
+let test_counter_monotonic () =
+  let m = Metrics.create () in
+  Metrics.incr m "c";
+  Metrics.incr ~by:41 m "c";
+  Alcotest.(check int) "accumulated" 42 (Metrics.counter m "c");
+  Alcotest.(check int) "absent counter reads 0" 0 (Metrics.counter m "other");
+  Alcotest.check_raises "negative increment rejected"
+    (Invalid_argument "Metrics.incr: counters are monotonic") (fun () ->
+      Metrics.incr ~by:(-1) m "c");
+  Alcotest.(check int) "value unchanged after rejection" 42
+    (Metrics.counter m "c")
+
+(* ------------------------------------------------------------------ *)
+(* Collector                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_collector () =
+  Alcotest.(check bool) "disabled" false (Obs.enabled Obs.disabled);
+  Obs.instant Obs.disabled ~cat:"x" ~track:"t" ~name:"n" ~ts_ms:1.0 ();
+  Alcotest.(check int) "nothing recorded" 0 (Obs.event_count Obs.disabled);
+  Alcotest.(check bool) "metrics stay empty" true
+    (Metrics.is_empty (Obs.metrics Obs.disabled))
+
+let test_sinks_and_shift () =
+  let obs = Obs.create () in
+  let seen = ref [] in
+  Obs.add_sink obs (fun e -> seen := e :: !seen);
+  Obs.instant obs ~cat:"a" ~track:"t" ~name:"base" ~ts_ms:1.0 ();
+  let shifted = Obs.shift obs 10.0 in
+  Obs.instant shifted ~cat:"a" ~track:"t" ~name:"later" ~ts_ms:1.0 ();
+  let ts = List.map (fun e -> e.Ev.ts_ms) (Obs.events obs) in
+  Alcotest.(check (list (float 1e-9))) "virtual offset applied" [ 1.0; 11.0 ] ts;
+  Alcotest.(check int) "sink saw both (shared store)" 2 (List.length !seen)
+
+(* ------------------------------------------------------------------ *)
+(* Engine instrumentation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_no_sink_same_stats () =
+  let plain = fig2_run ~iterations:2 () in
+  let obs = Obs.create () in
+  let traced = fig2_run ~obs ~iterations:2 () in
+  Alcotest.(check (list (pair string int))) "same firing counts"
+    plain.Engine.firings traced.Engine.firings;
+  Alcotest.(check (float 1e-9)) "same end time" plain.Engine.end_ms
+    traced.Engine.end_ms;
+  Alcotest.(check string) "same gantt" (Trace.gantt plain) (Trace.gantt traced)
+
+let test_determinism () =
+  let virtual_events obs =
+    List.filter (fun e -> e.Ev.clock = Ev.Virtual) (Obs.events obs)
+  in
+  let o1 = Obs.create () in
+  ignore (fig2_run ~obs:o1 ~iterations:2 ());
+  let o2 = Obs.create () in
+  ignore (fig2_run ~obs:o2 ~iterations:2 ());
+  let e1 = virtual_events o1 and e2 = virtual_events o2 in
+  Alcotest.(check int) "same event count" (List.length e1) (List.length e2);
+  Alcotest.(check bool) "identical virtual-time traces" true (e1 = e2);
+  Alcotest.(check bool) "trace is non-trivial" true (List.length e1 > 10)
+
+let test_trace_golden () =
+  let obs = Obs.create () in
+  let stats = fig2_run ~obs ~iterations:2 () in
+  let events = Obs.events obs in
+  Alcotest.(check string) "csv byte-identical" (Trace.to_csv stats)
+    (Trace.csv_of_events events);
+  Alcotest.(check string) "gantt byte-identical" (Trace.gantt stats)
+    (Trace.gantt_of_events events)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_json () =
+  let obs = Obs.create () in
+  ignore
+    (Analysis.check_boundedness ~obs
+       (Examples.fig2 ()).Examples.graph
+       ~samples:[ Valuation.of_list [ ("p", 2) ] ]);
+  ignore (fig2_run ~obs ~iterations:1 ());
+  let json = Chrome.json_of_events (Obs.events obs) in
+  let root =
+    match parse_json json with
+    | v -> v
+    | exception Bad_json msg -> Alcotest.fail ("invalid JSON: " ^ msg)
+  in
+  let events =
+    match member "traceEvents" root with
+    | Some (Arr l) -> l
+    | _ -> Alcotest.fail "traceEvents array missing"
+  in
+  Alcotest.(check bool) "has events" true (events <> []);
+  let phases =
+    List.map
+      (fun e ->
+        match member "ph" e with
+        | Some (Str ph) ->
+            (match member "ts" e with
+            | Some (Num _) -> ()
+            | None when ph = "M" -> ()
+            | _ -> Alcotest.fail "event without numeric ts");
+            ph
+        | _ -> Alcotest.fail "event without ph")
+      events
+  in
+  let has ph = List.mem ph phases in
+  Alcotest.(check bool) "complete spans" true (has "X");
+  Alcotest.(check bool) "counters" true (has "C");
+  Alcotest.(check bool) "thread metadata" true (has "M");
+  (* both clocks present: virtual = pid 1, wall = pid 2 *)
+  let pids =
+    List.filter_map
+      (fun e -> match member "pid" e with Some (Num p) -> Some p | _ -> None)
+      events
+  in
+  Alcotest.(check bool) "virtual process" true (List.mem 1.0 pids);
+  Alcotest.(check bool) "wall process" true (List.mem 2.0 pids)
+
+let test_chrome_escaping () =
+  let obs = Obs.create () in
+  Obs.instant obs ~cat:"c" ~track:"t" ~name:"quote\"back\\slash\ntab\t"
+    ~args:[ ("k", Ev.Str "v\"2") ]
+    ~ts_ms:0.5 ();
+  match parse_json (Chrome.json_of_events (Obs.events obs)) with
+  | _ -> ()
+  | exception Bad_json msg -> Alcotest.fail ("escaping broke JSON: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Reports and scenarios                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_report () =
+  let obs = Obs.create () in
+  ignore (fig2_run ~obs ~iterations:1 ());
+  let csv = Report.csv_of_events (Obs.events obs) in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check string) "header" "clock,cat,track,kind,name,ts_ms,dur_ms,value,args"
+    (List.hd lines);
+  Alcotest.(check int) "one row per event"
+    (Obs.event_count obs)
+    (List.length lines - 1)
+
+let test_scenario_sweep_covers_actors () =
+  let g, _ = Tpdf_apps.Ofdm_app.tpdf_graph () in
+  let v = Valuation.of_list [ ("beta", 2); ("N", 8); ("L", 1) ] in
+  let obs = Obs.create () in
+  let scenarios = Reconfigure.mode_scenarios g in
+  Alcotest.(check bool) "ofdm sweeps >= 2 scenarios" true
+    (List.length scenarios >= 2);
+  ignore
+    (Reconfigure.run_scenarios ~graph:g ~obs ~valuation:v ~default:0 scenarios);
+  let events = Obs.events obs in
+  let fired =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun e -> if e.Ev.cat = "firing" then Some e.Ev.track else None)
+         events)
+  in
+  Alcotest.(check (list string)) "every actor fires somewhere in the sweep"
+    (List.sort compare (Graph.actors g))
+    fired;
+  let reconfigs = Metrics.counter (Obs.metrics obs) "engine.reconfigurations" in
+  Alcotest.(check int) "one reconfig instant per scenario"
+    (List.length scenarios) reconfigs
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "singleton histogram" `Quick test_histogram_single_sample;
+          Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonic;
+        ] );
+      ( "collector",
+        [
+          Alcotest.test_case "disabled no-op" `Quick test_disabled_collector;
+          Alcotest.test_case "sinks and shift" `Quick test_sinks_and_shift;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "no-sink output unchanged" `Quick test_no_sink_same_stats;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "trace golden" `Quick test_trace_golden;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "well-formed JSON" `Quick test_chrome_json;
+          Alcotest.test_case "string escaping" `Quick test_chrome_escaping;
+        ] );
+      ( "reports",
+        [
+          Alcotest.test_case "csv" `Quick test_csv_report;
+          Alcotest.test_case "ofdm scenario sweep" `Quick test_scenario_sweep_covers_actors;
+        ] );
+    ]
