@@ -1,4 +1,4 @@
-.PHONY: all build test bench check clean
+.PHONY: all build test bench check chaos clean
 
 all: build
 
@@ -13,6 +13,15 @@ bench:
 
 check:
 	sh ci/check.sh
+
+# Seeded chaos runs on both case studies; exits non-zero on an
+# unrecovered stall (same invocations as the CI smoke).
+chaos:
+	dune exec bin/tpdf_tool.exe -- chaos edge --seed 42 \
+	  --faults 'fail:IDuplicate:0.8:2,jitter:*:0.2:0.5' --iterations 4
+	dune exec bin/tpdf_tool.exe -- chaos ofdm-tpdf -p beta=2 -p N=8 -p L=1 \
+	  --seed 42 --faults 'overrun:QAM:0.8:8,fail:FFT:0.3:4' \
+	  --deadline QAM=0.05 --degrade-after 2 --iterations 6
 
 clean:
 	dune clean

@@ -236,19 +236,7 @@ let e10_fig8 () =
 (* ------------------------------------------------------------------ *)
 
 let ofdm_costs ~beta ~n (node : Sched.Canonical_period.node) =
-  (* per-firing cost model, microseconds scaled to ms: linear in the block
-     size handled by the actor *)
-  let bn = float_of_int (beta * n) /. 1000.0 in
-  match node.Sched.Canonical_period.actor with
-  | "SRC" | "SNK" -> 0.05 *. bn
-  | "RCP" -> 0.1 *. bn
-  | "FFT" -> 0.6 *. bn
-  | "DUP" -> 0.05 *. bn
-  | "QPSK" -> 0.4 *. bn
-  | "QAM" -> 0.8 *. bn
-  | "TRAN" -> 0.1 *. bn
-  | "CON" -> 0.01
-  | _ -> 0.1
+  Ofdm_app.model_cost_ms ~beta ~n node.Sched.Canonical_period.actor
 
 let e11_speedup () =
   section "E11" "Schedule makespan: TPDF vs CSDF OFDM on the platform model";
@@ -378,6 +366,66 @@ let e15_ablation () =
     (Sched.Mcr.iteration_period_ms (Sched.Mcr.build conc))
 
 (* ------------------------------------------------------------------ *)
+(* E16: resilience sweep — seeded chaos on the OFDM demodulator        *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = Tpdf_fault
+
+let e16_resilience () =
+  section "E16"
+    "Resilience: seeded fault injection on the OFDM demodulator (lib/fault)";
+  let g, _ = Ofdm_app.tpdf_graph () in
+  let beta = 2 and n = 8 in
+  let v = Ofdm_app.valuation ~beta ~n ~l:1 in
+  let behaviors =
+    List.filter_map
+      (fun a ->
+        if Graph.is_control g a then None
+        else
+          Some
+            ( a,
+              Tpdf_sim.Behavior.fill 0
+                ~duration_ms:(fun _ -> Ofdm_app.model_cost_ms ~beta ~n a) ))
+      (Graph.actors g)
+  in
+  (* QAM (0.0128 ms/firing here) against a 0.05 ms deadline: an x8 overrun
+     misses it, two consecutive misses degrade DUP and TRAN to QPSK. *)
+  let policy =
+    Fault.Policy.make
+      ~deadlines_ms:[ ("QAM", 0.05) ]
+      ~degrade_after:2
+      ~fallbacks:(Fault.Chaos.default_fallbacks g) ()
+  in
+  Printf.printf "%5s %8s %6s %7s %7s %9s %9s %10s\n" "prob" "retries" "skips"
+    "misses" "degr." "hit%" "end ms" "recovered";
+  List.iter
+    (fun prob ->
+      let specs =
+        if prob = 0.0 then []
+        else
+          [
+            Fault.Fault.spec ~target:"QAM" ~prob (Fault.Fault.Overrun 8.0);
+            Fault.Fault.spec ~target:"FFT" ~prob:(prob /. 2.0)
+              (Fault.Fault.Fail 4);
+            Fault.Fault.spec ~prob:(prob /. 4.0) (Fault.Fault.Jitter 0.02);
+          ]
+      in
+      let s =
+        Fault.Chaos.run ~graph:g ~seed:42 ~specs ~policy ~iterations:8
+          ~behaviors ~valuation:v ()
+      in
+      let open Fault.Supervisor in
+      let checks = s.deadline_hits + s.deadline_misses in
+      Printf.printf "%5.2f %8d %6d %7d %7d %8.1f%% %9.3f %10s\n" prob
+        s.retries s.skips s.deadline_misses
+        (List.length s.degrades)
+        (if checks = 0 then 100.0
+         else 100.0 *. float_of_int s.deadline_hits /. float_of_int checks)
+        s.total_end_ms
+        (if Fault.Chaos.recovered s then "yes" else "NO"))
+    [ 0.0; 0.3; 0.6; 0.9 ]
+
+(* ------------------------------------------------------------------ *)
 (* Analysis-cost microbenchmarks (ablation)                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -459,4 +507,5 @@ let () =
   e13_analysis_cost ();
   e14_video ();
   e15_ablation ();
+  e16_resilience ();
   print_newline ()

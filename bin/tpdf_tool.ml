@@ -290,6 +290,83 @@ let cmd_trace name params pes iterations format output =
           Printf.printf "wrote %s (%d events)\n" path (Obs.event_count obs)
       | exception Sys_error m -> or_die (Error m))
 
+module Fault = Tpdf_fault
+
+(* Duration behaviours for the chaos run: the OFDM graphs get the shared
+   per-actor cost model (so 16-QAM really is slower than QPSK and deadline
+   pressure is meaningful); other graphs keep the 1 ms default. *)
+let chaos_behaviors g v =
+  if
+    Valuation.mem v "beta" && Valuation.mem v "N"
+    && List.for_all
+         (fun a -> Csdf.Graph.mem_actor (Graph.skeleton g) a)
+         [ "FFT"; "DUP"; "TRAN" ]
+  then
+    let beta = Valuation.find v "beta" and n = Valuation.find v "N" in
+    List.filter_map
+      (fun a ->
+        if Graph.is_control g a then None
+        else
+          Some
+            ( a,
+              Sim.Behavior.fill 0
+                ~duration_ms:(fun _ -> Apps.Ofdm_app.model_cost_ms ~beta ~n a)
+            ))
+      (Graph.actors g)
+  else []
+
+let cmd_chaos name params seed faults iterations scenario deadlines retries
+    backoff degrade_after trace_out =
+  let g = or_die (lookup_graph name) in
+  let v = need_valuation g params in
+  let specs =
+    match faults with
+    | None -> []
+    | Some s -> or_die (Fault.Fault.parse_specs s)
+  in
+  let deadlines_ms =
+    List.map
+      (fun (a, ms) ->
+        match float_of_string_opt ms with
+        | Some f -> (a, f)
+        | None ->
+            or_die (Error (Printf.sprintf "bad deadline %S for %s" ms a)))
+      deadlines
+  in
+  let policy =
+    match
+      Fault.Policy.make ~max_retries:retries ~retry_backoff_ms:backoff
+        ~deadlines_ms ~degrade_after
+        ~fallbacks:(Fault.Chaos.default_fallbacks g) ()
+    with
+    | p -> p
+    | exception Invalid_argument m -> or_die (Error m)
+  in
+  let scenario = match scenario with [] -> None | s -> Some s in
+  let obs = Obs.create () in
+  let summary =
+    match
+      Fault.Chaos.run ~graph:g ~seed ~specs ~policy ?scenario ~iterations ~obs
+        ~valuation:v
+        ~behaviors:(chaos_behaviors g v) ()
+    with
+    | s -> s
+    | exception Invalid_argument m -> or_die (Error m)
+  in
+  Format.printf "seed %d, faults %s@." seed
+    (if specs = [] then "none" else Fault.Fault.specs_to_string specs);
+  Format.printf "%a@." Fault.Supervisor.pp_summary summary;
+  (match trace_out with
+  | None -> ()
+  | Some path -> (
+      match open_out path with
+      | oc ->
+          output_string oc (Tpdf_obs.Chrome.json_of_events (Obs.events obs));
+          close_out oc;
+          Printf.printf "wrote %s (%d events)\n" path (Obs.event_count obs)
+      | exception Sys_error m -> or_die (Error m)));
+  if not (Fault.Chaos.recovered summary) then exit 1
+
 let cmd_dot name =
   let g = or_die (lookup_graph name) in
   Format.printf "%a@." Graph.pp_dot g
@@ -379,6 +456,63 @@ let trace_cmd =
       const cmd_trace $ graph_arg $ param_arg $ pes_arg $ iterations_arg
       $ format_arg $ output_arg)
 
+let chaos_cmd =
+  let seed_arg =
+    let doc = "PRNG seed for the deterministic fault plan." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let faults_arg =
+    let doc =
+      "Fault specs, comma-separated $(b,KIND:TARGET:PROB[:ARG]) items with \
+       kinds $(b,fail), $(b,overrun), $(b,jitter), $(b,corrupt), \
+       $(b,ctrl-loss); $(b,*) targets every actor.  E.g. \
+       $(b,overrun:QAM:0.8:8,fail:FFT:0.2)."
+    in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let deadline_arg =
+    let parse s =
+      match String.split_on_char '=' s with
+      | [ a; ms ] -> Ok (a, ms)
+      | _ -> Error (`Msg "expected actor=ms")
+    in
+    let print ppf (a, ms) = Format.fprintf ppf "%s=%s" a ms in
+    let doc = "Per-firing deadline for $(docv) in ms (repeatable)." in
+    Arg.(
+      value
+      & opt_all (Arg.conv (parse, print)) []
+      & info [ "deadline" ] ~docv:"ACTOR=MS" ~doc)
+  in
+  let retries_arg =
+    let doc = "Retry budget per firing." in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc = "Virtual-time backoff per retry, in ms." in
+    Arg.(value & opt float 0.5 & info [ "backoff" ] ~docv:"MS" ~doc)
+  in
+  let degrade_arg =
+    let doc =
+      "Consecutive deadline misses or skips before a kernel is degraded to \
+       its fallback mode."
+    in
+    Arg.(value & opt int 3 & info [ "degrade-after" ] ~docv:"K" ~doc)
+  in
+  let trace_arg =
+    let doc = "Also write the Chrome trace of the run to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Seeded fault-injection run under the supervisor: bounded retry, \
+          skip-and-substitute, deadline watchdog and mode fallback.  Exits \
+          1 when the run does not recover.")
+    Term.(
+      const cmd_chaos $ graph_arg $ param_arg $ seed_arg $ faults_arg
+      $ iterations_arg $ scenario_arg $ deadline_arg $ retries_arg
+      $ backoff_arg $ degrade_arg $ trace_arg)
+
 let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Emit Graphviz") Term.(const cmd_dot $ graph_arg)
 
@@ -407,6 +541,7 @@ let () =
             buffers_cmd;
             simulate_cmd;
             throughput_cmd;
+            chaos_cmd;
             profile_cmd;
             trace_cmd;
             dot_cmd;

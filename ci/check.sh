@@ -22,4 +22,20 @@ dune exec bin/tpdf_tool.exe -- trace ofdm-tpdf -p beta=2 -p N=8 -p L=1 \
 grep -q '"traceEvents"' "$out"
 grep -q '"reconfigure"' "$out"
 
+# Chaos smoke: seeded fault injection on both case-study graphs.  The
+# command exits non-zero on an unrecovered stall, failing the check.
+echo "== smoke: tpdf_tool chaos edge (seed 42) =="
+dune exec bin/tpdf_tool.exe -- chaos edge --seed 42 \
+  --faults 'fail:IDuplicate:0.8:2,jitter:*:0.2:0.5' --iterations 4 > /dev/null
+
+echo "== smoke: tpdf_tool chaos ofdm-tpdf (seed 42, QAM -> QPSK fallback) =="
+chaos_out="$(mktemp)"
+trap 'rm -f "$out" "$chaos_out"' EXIT
+dune exec bin/tpdf_tool.exe -- chaos ofdm-tpdf -p beta=2 -p N=8 -p L=1 \
+  --seed 42 --faults 'overrun:QAM:0.8:8,fail:FFT:0.3:4' \
+  --deadline QAM=0.05 --degrade-after 2 --iterations 6 > "$chaos_out"
+# the deadline pressure on the 16-QAM branch must trigger the mode fallback
+grep -q 'degraded DUP -> qpsk' "$chaos_out"
+grep -q 'degraded TRAN -> qpsk' "$chaos_out"
+
 echo "check: OK"

@@ -158,6 +158,23 @@ let tpdf_buffer_formula ~beta ~n ~l = 3 + (beta * ((12 * n) + l))
 
 let csdf_buffer_formula ~beta ~n ~l = beta * ((17 * n) + l)
 
+(* Per-firing cost model, microseconds scaled to ms: linear in the block
+   size βN handled by the actor.  The 16-QAM demapper is twice as expensive
+   as QPSK, which is what makes the deadline-driven fallback to QPSK a
+   meaningful degradation. *)
+let model_cost_ms ~beta ~n actor =
+  let bn = float_of_int (beta * n) /. 1000.0 in
+  match actor with
+  | "SRC" | "SNK" -> 0.05 *. bn
+  | "RCP" -> 0.1 *. bn
+  | "FFT" -> 0.6 *. bn
+  | "DUP" -> 0.05 *. bn
+  | "QPSK" -> 0.4 *. bn
+  | "QAM" -> 0.8 *. bn
+  | "TRAN" -> 0.1 *. bn
+  | "CON" -> 0.01
+  | _ -> 0.1
+
 (* ------------------------------------------------------------------ *)
 (* Functional link simulation                                          *)
 (* ------------------------------------------------------------------ *)

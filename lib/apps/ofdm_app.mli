@@ -63,6 +63,11 @@ val tpdf_buffer_formula : beta:int -> n:int -> l:int -> int
 val csdf_buffer_formula : beta:int -> n:int -> l:int -> int
 (** The paper's closed form β(17N+L). *)
 
+val model_cost_ms : beta:int -> n:int -> string -> float
+(** Per-firing cost model of the demodulator's actors (linear in βN; the
+    16-QAM demapper twice the cost of QPSK), shared by the scheduling
+    benchmarks and the chaos harness. *)
+
 type link_report = {
   sent_bits : int;
   ber : float;

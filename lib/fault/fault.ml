@@ -1,0 +1,117 @@
+type kind =
+  | Fail of int
+  | Overrun of float
+  | Jitter of float
+  | Corrupt
+  | Ctrl_loss
+
+type spec = { target : string option; prob : float; kind : kind }
+
+let spec ?target ~prob kind =
+  if not (prob >= 0.0 && prob <= 1.0) then
+    invalid_arg "Fault.spec: probability must be in [0, 1]";
+  (match kind with
+  | Fail n when n <= 0 -> invalid_arg "Fault.spec: fail count must be positive"
+  | Overrun f when f < 0.0 -> invalid_arg "Fault.spec: negative overrun factor"
+  | Jitter j when j < 0.0 -> invalid_arg "Fault.spec: negative jitter"
+  | _ -> ());
+  { target; prob; kind }
+
+let applies_to s actor =
+  match s.target with None -> true | Some a -> a = actor
+
+let kind_name = function
+  | Fail _ -> "fail"
+  | Overrun _ -> "overrun"
+  | Jitter _ -> "jitter"
+  | Corrupt -> "corrupt"
+  | Ctrl_loss -> "ctrl-loss"
+
+let pp_kind ppf = function
+  | Fail n -> Format.fprintf ppf "fail(%d)" n
+  | Overrun f -> Format.fprintf ppf "overrun(x%g)" f
+  | Jitter j -> Format.fprintf ppf "jitter(%gms)" j
+  | Corrupt -> Format.pp_print_string ppf "corrupt"
+  | Ctrl_loss -> Format.pp_print_string ppf "ctrl-loss"
+
+let specs_to_string specs =
+  String.concat ","
+    (List.map
+       (fun s ->
+         let target = match s.target with None -> "*" | Some a -> a in
+         let arg =
+           match s.kind with
+           | Fail n -> Printf.sprintf ":%d" n
+           | Overrun f -> Printf.sprintf ":%g" f
+           | Jitter j -> Printf.sprintf ":%g" j
+           | Corrupt | Ctrl_loss -> ""
+         in
+         Printf.sprintf "%s:%s:%g%s" (kind_name s.kind) target s.prob arg)
+       specs)
+
+let parse_item item =
+  let fields = String.split_on_char ':' (String.trim item) in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let num name v k =
+    match float_of_string_opt v with
+    | Some f -> k f
+    | None -> fail "%s: %S is not a number" name v
+  in
+  match fields with
+  | kind :: target :: prob :: rest -> (
+      let target = if target = "*" then None else Some target in
+      num "probability" prob @@ fun prob ->
+      if not (prob >= 0.0 && prob <= 1.0) then
+        fail "probability %g is outside [0, 1]" prob
+      else
+        let arg ~default =
+          match rest with
+          | [] -> Ok default
+          | [ v ] -> (
+              match float_of_string_opt v with
+              | Some f when f >= 0.0 -> Ok f
+              | _ -> fail "%s: bad argument %S" kind v)
+          | _ -> fail "%s: too many fields" kind
+        in
+        let no_arg k =
+          match rest with
+          | [] -> Ok { target; prob; kind = k }
+          | _ -> fail "%s takes no argument" kind
+        in
+        match kind with
+        | "fail" ->
+            Result.bind (arg ~default:1.0) (fun n ->
+                if n < 1.0 || Float.of_int (int_of_float n) <> n then
+                  fail "fail: argument must be a positive integer"
+                else Ok { target; prob; kind = Fail (int_of_float n) })
+        | "overrun" ->
+            Result.map
+              (fun f -> { target; prob; kind = Overrun f })
+              (arg ~default:2.0)
+        | "jitter" ->
+            Result.map
+              (fun j -> { target; prob; kind = Jitter j })
+              (arg ~default:1.0)
+        | "corrupt" -> no_arg Corrupt
+        | "ctrl-loss" -> no_arg Ctrl_loss
+        | _ ->
+            fail
+              "unknown fault kind %S (expected fail, overrun, jitter, \
+               corrupt or ctrl-loss)"
+              kind)
+  | _ -> fail "expected KIND:TARGET:PROB[:ARG], got %S" item
+
+let parse_specs s =
+  let items =
+    List.filter
+      (fun i -> String.trim i <> "")
+      (String.split_on_char ',' s)
+  in
+  if items = [] then Error "empty fault spec"
+  else
+    List.fold_left
+      (fun acc item ->
+        Result.bind acc (fun specs ->
+            Result.map (fun s -> s :: specs) (parse_item item)))
+      (Ok []) items
+    |> Result.map List.rev

@@ -1,0 +1,46 @@
+(** Fault kinds and the injection spec language.
+
+    A {!spec} describes one class of fault to inject: a kind, a per-firing
+    probability, and an optional target actor.  Specs are resolved into
+    concrete per-firing injections by {!Plan}, deterministically from a
+    seed, so a chaos run is exactly reproducible.
+
+    The textual form used by [tpdf_tool chaos --faults] is a
+    comma-separated list of [KIND:TARGET:PROB[:ARG]] items, e.g.
+    [overrun:QAM:0.8:8,fail:FFT:0.2:1,jitter:*:0.1:0.5]. *)
+
+type kind =
+  | Fail of int
+      (** [n] consecutive transient failures of the firing attempt; the
+          supervisor retries within its budget, then substitutes *)
+  | Overrun of float  (** multiply the firing duration by this factor *)
+  | Jitter of float
+      (** add execution-time jitter: in a spec, the maximum added ms; in a
+          drawn injection (see {!Plan.draw}), the resolved added ms *)
+  | Corrupt  (** corrupt the data tokens produced by the firing *)
+  | Ctrl_loss
+      (** lose the control tokens emitted by the firing: the previously
+          emitted mode is re-sent instead, so the mode {e update} is lost
+          while declared rates are preserved *)
+
+type spec = {
+  target : string option;  (** actor name; [None] (["*"]) = every actor *)
+  prob : float;  (** per-firing injection probability, in [\[0, 1\]] *)
+  kind : kind;
+}
+
+val spec : ?target:string -> prob:float -> kind -> spec
+(** @raise Invalid_argument if [prob] is outside [\[0, 1\]], a [Fail] count
+    is non-positive, or an [Overrun]/[Jitter] argument is negative. *)
+
+val applies_to : spec -> string -> bool
+
+val parse_specs : string -> (spec list, string) result
+(** Parse the textual form above.  Kinds and default arguments:
+    [fail] (failures, default 1), [overrun] (factor, default 2.0),
+    [jitter] (max ms, default 1.0), [corrupt], [ctrl-loss]. *)
+
+val specs_to_string : spec list -> string
+(** Inverse of {!parse_specs} (canonical form). *)
+
+val pp_kind : Format.formatter -> kind -> unit

@@ -1,0 +1,46 @@
+module Prng = Tpdf_util.Prng
+
+type t = { seed : int; specs : Fault.spec list }
+
+let make ~seed specs = { seed; specs }
+let none = { seed = 0; specs = [] }
+let seed t = t.seed
+let specs t = t.specs
+
+(* FNV-1a over the actor name folded into the seed, then the firing index;
+   the resulting 64-bit key seeds an independent splitmix64 stream per
+   (actor, index).  Pure, so draws are order-independent. *)
+let fnv_prime = 0x100000001B3L
+
+let fnv h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let firing_rng t ~actor ~index =
+  let h = fnv (Int64.of_int t.seed) actor in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int index)) fnv_prime in
+  Prng.create (Int64.to_int h)
+
+let draw t ~actor ~index =
+  match t.specs with
+  | [] -> []
+  | specs ->
+      let rng = firing_rng t ~actor ~index in
+      List.filter_map
+        (fun (s : Fault.spec) ->
+          (* Draw for every spec, applicable or not, so one actor's faults
+             do not shift another actor's stream when specs are edited. *)
+          let u = Prng.float rng 1.0 in
+          if not (Fault.applies_to s actor && u < s.prob) then None
+          else
+            match s.kind with
+            | Fault.Jitter max_ms -> Some (Fault.Jitter (Prng.float rng max_ms))
+            | k -> Some k)
+        specs
+
+let pp ppf t =
+  Format.fprintf ppf "seed=%d %s" t.seed (Fault.specs_to_string t.specs)

@@ -1,0 +1,26 @@
+(** Deterministic fault plans.
+
+    A plan is a seed plus a list of {!Fault.spec}s.  {!draw} resolves the
+    specs into the concrete faults injected into one firing, as a {e pure
+    function} of [(seed, actor, index)]: the per-firing randomness comes
+    from a splitmix64 generator ({!Tpdf_util.Prng}) keyed by hashing the
+    actor name and firing index into the seed, so draws are independent of
+    evaluation order and a whole chaos run is bit-for-bit reproducible from
+    the seed. *)
+
+type t
+
+val make : seed:int -> Fault.spec list -> t
+val none : t
+(** The empty plan: {!draw} always returns []. *)
+
+val seed : t -> int
+val specs : t -> Fault.spec list
+
+val draw : t -> actor:string -> index:int -> Fault.kind list
+(** Faults injected into firing [index] of [actor], in spec order.  In the
+    result, [Jitter j] carries the {e resolved} added milliseconds (drawn
+    uniformly from [\[0, max)] of the spec).  Equal [(seed, actor, index)]
+    always give equal results. *)
+
+val pp : Format.formatter -> t -> unit

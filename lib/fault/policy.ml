@@ -1,0 +1,63 @@
+module Tpdf = Tpdf_core
+module Csdf = Tpdf_csdf
+
+type fallback = { watch : string; pins : (string * string) list }
+
+type t = {
+  max_retries : int;
+  retry_backoff_ms : float;
+  deadlines_ms : (string * float) list;
+  degrade_after : int;
+  fallbacks : fallback list;
+}
+
+let make ?(max_retries = 2) ?(retry_backoff_ms = 0.5) ?(deadlines_ms = [])
+    ?(degrade_after = 3) ?(fallbacks = []) () =
+  if max_retries < 0 then invalid_arg "Policy.make: negative retry budget";
+  if retry_backoff_ms < 0.0 then invalid_arg "Policy.make: negative backoff";
+  if degrade_after < 1 then
+    invalid_arg "Policy.make: degrade_after must be >= 1";
+  List.iter
+    (fun (a, d) ->
+      if d <= 0.0 then
+        invalid_arg
+          (Printf.sprintf "Policy.make: non-positive deadline for %s" a))
+    deadlines_ms;
+  { max_retries; retry_backoff_ms; deadlines_ms; degrade_after; fallbacks }
+
+let default = make ()
+
+let validate graph t =
+  let skel = Tpdf.Graph.skeleton graph in
+  let check_actor what a =
+    if not (Csdf.Graph.mem_actor skel a) then
+      Error (Printf.sprintf "policy %s names unknown actor %s" what a)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let rec each f = function
+    | [] -> Ok ()
+    | x :: rest ->
+        let* () = f x in
+        each f rest
+  in
+  let* () = each (fun (a, _) -> check_actor "deadline" a) t.deadlines_ms in
+  each
+    (fun fb ->
+      let* () = check_actor "fallback watch" fb.watch in
+      each
+        (fun (k, m) ->
+          let* () = check_actor "fallback pin" k in
+          if Tpdf.Graph.control_port graph k = None then
+            Error
+              (Printf.sprintf "fallback pins %s, which has no control port" k)
+          else
+            match Tpdf.Graph.find_mode graph k m with
+            | (_ : Tpdf.Mode.t) -> Ok ()
+            | exception Not_found ->
+                Error
+                  (Printf.sprintf "fallback pins %s to undeclared mode %S" k m))
+        fb.pins)
+    t.fallbacks
+
+let deadline_of t actor = List.assoc_opt actor t.deadlines_ms

@@ -1,0 +1,50 @@
+(** Supervision policy: how the supervisor reacts to faulted firings.
+
+    The policy combines per-firing recovery (bounded retry with
+    virtual-time backoff, then skip-and-substitute), a per-firing deadline
+    watchdog, and {e mode fallback}: after [degrade_after] consecutive
+    deadline misses or exhausted-retry skips in a watched actor, the
+    supervisor drives the associated kernels' control actors to a declared
+    degraded mode — the OFDM demodulator dropping from 16-QAM to QPSK under
+    deadline pressure (paper §IV). *)
+
+type fallback = {
+  watch : string;
+      (** actor whose consecutive deadline misses / skips trip the
+          fallback *)
+  pins : (string * string) list;
+      (** [(kernel, degraded_mode)] scenario pins applied at the next
+          iteration boundary *)
+}
+
+type t = {
+  max_retries : int;  (** retry budget per firing (default 2) *)
+  retry_backoff_ms : float;
+      (** virtual time added to the firing per retry (default 0.5) *)
+  deadlines_ms : (string * float) list;
+      (** per-actor firing deadline for the watchdog *)
+  degrade_after : int;
+      (** consecutive misses/skips before a fallback trips (default 3) *)
+  fallbacks : fallback list;
+}
+
+val make :
+  ?max_retries:int ->
+  ?retry_backoff_ms:float ->
+  ?deadlines_ms:(string * float) list ->
+  ?degrade_after:int ->
+  ?fallbacks:fallback list ->
+  unit ->
+  t
+(** @raise Invalid_argument on a negative retry budget or backoff, a
+    non-positive [degrade_after], or a non-positive deadline. *)
+
+val default : t
+(** [make ()]: 2 retries, 0.5 ms backoff, no deadlines, no fallbacks. *)
+
+val validate : Tpdf_core.Graph.t -> t -> (unit, string) result
+(** Check that every watched/deadlined actor exists and that every
+    fallback pin names a controlled kernel and one of its declared
+    modes. *)
+
+val deadline_of : t -> string -> float option

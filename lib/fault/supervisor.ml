@@ -1,0 +1,382 @@
+module Tpdf = Tpdf_core
+module Csdf = Tpdf_csdf
+module Engine = Tpdf_sim.Engine
+module Behavior = Tpdf_sim.Behavior
+module Reconfigure = Tpdf_sim.Reconfigure
+module Token = Tpdf_sim.Token
+module Obs = Tpdf_obs.Obs
+module Ev = Tpdf_obs.Event
+module Metrics = Tpdf_obs.Metrics
+
+type summary = {
+  iterations_run : int;
+  total_end_ms : float;
+  retries : int;
+  skips : int;
+  corrupted : int;
+  ctrl_lost : int;
+  deadline_misses : int;
+  deadline_hits : int;
+  degrades : (string * string) list;
+  unrecovered : string option;
+  per_iteration : Engine.stats list;
+}
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>%d iteration(s), %.3f ms total@,\
+     retries %d, skips %d, corrupted %d, ctrl lost %d@,\
+     deadline hits %d, misses %d"
+    s.iterations_run s.total_end_ms s.retries s.skips s.corrupted s.ctrl_lost
+    s.deadline_hits s.deadline_misses;
+  List.iter
+    (fun (k, m) -> Format.fprintf ppf "@,degraded %s -> %s" k m)
+    s.degrades;
+  (match s.unrecovered with
+  | Some why -> Format.fprintf ppf "@,UNRECOVERED: %s" why
+  | None -> ());
+  Format.fprintf ppf "@]"
+
+type state = {
+  graph : Tpdf.Graph.t;
+  plan : Plan.t;
+  policy : Policy.t;
+  mutable obs : Obs.t;  (* shifted view for the current iteration *)
+  mutable retries : int;
+  mutable skips : int;
+  mutable corrupted : int;
+  mutable ctrl_lost : int;
+  mutable deadline_misses : int;
+  mutable deadline_hits : int;
+  mutable degrades : (string * string) list;  (* newest first *)
+  consecutive : (string, int) Hashtbl.t;  (* watch actor -> bad streak *)
+  tripped : (string, unit) Hashtbl.t;  (* watch actors already degraded *)
+  degraded : (string, string) Hashtbl.t;  (* kernel -> pinned fallback mode *)
+  base_index : (string, int) Hashtbl.t;  (* firings before this iteration *)
+  skipped_now : (string, unit) Hashtbl.t;  (* actors whose current firing
+                                              was substituted *)
+  last_ctrl : (int, string) Hashtbl.t;  (* control channel -> last mode *)
+}
+
+let get tbl key = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0
+
+let metric st name actor =
+  let m = Obs.metrics st.obs in
+  Metrics.incr m ("supervisor." ^ name);
+  Metrics.incr m ("supervisor." ^ name ^ "." ^ actor)
+
+let instant st ~cat ~track ~name ~ts args =
+  if Obs.enabled st.obs then
+    Obs.instant st.obs ~cat ~track ~name ~ts_ms:ts ~args ()
+
+(* Trip every fallback watching [actor]: apply its pins for the following
+   iterations and record the degrade instants. *)
+let trip st ~actor ~ts =
+  List.iter
+    (fun (fb : Policy.fallback) ->
+      if fb.watch = actor then
+        List.iter
+          (fun (kernel, mode) ->
+            if Hashtbl.find_opt st.degraded kernel <> Some mode then begin
+              Hashtbl.replace st.degraded kernel mode;
+              st.degrades <- (kernel, mode) :: st.degrades;
+              metric st "degrades" kernel;
+              instant st ~cat:"supervisor" ~track:kernel ~name:"degrade" ~ts
+                [
+                  ("kernel", Ev.Str kernel);
+                  ("mode", Ev.Str mode);
+                  ("watch", Ev.Str actor);
+                ]
+            end)
+          fb.pins)
+    st.policy.Policy.fallbacks
+
+let note_bad st ~actor ~ts =
+  Hashtbl.replace st.consecutive actor (get st.consecutive actor + 1);
+  if
+    get st.consecutive actor >= st.policy.Policy.degrade_after
+    && not (Hashtbl.mem st.tripped actor)
+  then begin
+    Hashtbl.replace st.tripped actor ();
+    Hashtbl.replace st.consecutive actor 0;
+    trip st ~actor ~ts
+  end
+
+let note_good st ~actor = Hashtbl.replace st.consecutive actor 0
+
+let fail_count faults =
+  List.fold_left
+    (fun acc -> function Fault.Fail n -> acc + n | _ -> acc)
+    0 faults
+
+(* The mode a substituted control token should carry: the last mode emitted
+   on that channel, else the mode the effective scenario pins the
+   destination to. *)
+let substitute_mode st ch =
+  match Hashtbl.find_opt st.last_ctrl ch with
+  | Some m -> m
+  | None -> (
+      let e = Csdf.Graph.channel (Tpdf.Graph.skeleton st.graph) ch in
+      match Hashtbl.find_opt st.degraded e.Tpdf_graph.Digraph.dst with
+      | Some m -> m
+      | None -> (
+          match Tpdf.Graph.modes st.graph e.Tpdf_graph.Digraph.dst with
+          | m :: _ -> m.Tpdf.Mode.name
+          | [] -> "default"))
+
+let wrap st ~default ~corrupt actor (b : 'a Behavior.t) : 'a Behavior.t =
+  let is_ctrl_chan = Tpdf.Graph.is_control_channel st.graph in
+  let global_index ctx = get st.base_index actor + ctx.Behavior.index in
+  let work ctx =
+    let faults = Plan.draw st.plan ~actor ~index:(global_index ctx) in
+    let ts = ctx.Behavior.now_ms in
+    let fails = fail_count faults in
+    Hashtbl.remove st.skipped_now actor;
+    let outputs =
+      if fails = 0 then b.Behavior.work ctx
+      else begin
+        let budget = st.policy.Policy.max_retries in
+        let absorbed = min fails budget in
+        st.retries <- st.retries + absorbed;
+        Metrics.incr ~by:absorbed (Obs.metrics st.obs) "supervisor.retries";
+        Metrics.incr ~by:absorbed (Obs.metrics st.obs)
+          ("supervisor.retries." ^ actor);
+        instant st ~cat:"fault" ~track:actor ~name:"retry" ~ts
+          [ ("count", Ev.Int absorbed); ("injected", Ev.Int fails) ];
+        if fails <= budget then b.Behavior.work ctx
+        else begin
+          (* Retry budget exhausted: skip the firing and substitute default
+             tokens at the declared rates, preserving rate consistency. *)
+          st.skips <- st.skips + 1;
+          metric st "skips" actor;
+          Hashtbl.replace st.skipped_now actor ();
+          instant st ~cat:"supervisor" ~track:actor ~name:"skip" ~ts
+            [ ("injected", Ev.Int fails) ];
+          note_bad st ~actor ~ts;
+          Behavior.produce_at_rates ctx (fun ch _ ->
+              if is_ctrl_chan ch then Token.Ctrl (substitute_mode st ch)
+              else Token.Data default)
+        end
+      end
+    in
+    let outputs =
+      if
+        List.mem Fault.Corrupt faults
+        && not (Hashtbl.mem st.skipped_now actor)
+      then
+        List.map
+          (fun (ch, toks) ->
+            if is_ctrl_chan ch then (ch, toks)
+            else begin
+              let n = ref 0 in
+              let toks =
+                List.map
+                  (function
+                    | Token.Data v ->
+                        incr n;
+                        Token.Data (corrupt v)
+                    | tok -> tok)
+                  toks
+              in
+              st.corrupted <- st.corrupted + !n;
+              Metrics.incr ~by:!n (Obs.metrics st.obs) "supervisor.corrupted";
+              Metrics.incr ~by:!n (Obs.metrics st.obs)
+                ("supervisor.corrupted." ^ actor);
+              instant st ~cat:"fault" ~track:actor ~name:"corrupt" ~ts
+                [ ("count", Ev.Int !n); ("channel", Ev.Int ch) ];
+              (ch, toks)
+            end)
+          outputs
+      else outputs
+    in
+    let outputs =
+      if List.mem Fault.Ctrl_loss faults then
+        List.map
+          (fun (ch, toks) ->
+            if not (is_ctrl_chan ch) then (ch, toks)
+            else
+              match Hashtbl.find_opt st.last_ctrl ch with
+              | None -> (ch, toks) (* nothing emitted yet: loss is moot *)
+              | Some prev ->
+                  let n = List.length toks in
+                  st.ctrl_lost <- st.ctrl_lost + n;
+                  Metrics.incr ~by:n (Obs.metrics st.obs)
+                    "supervisor.ctrl_lost";
+                  Metrics.incr ~by:n (Obs.metrics st.obs)
+                    ("supervisor.ctrl_lost." ^ actor);
+                  instant st ~cat:"fault" ~track:actor ~name:"ctrl-loss" ~ts
+                    [ ("count", Ev.Int n); ("mode", Ev.Str prev) ];
+                  (ch, List.map (fun _ -> Token.Ctrl prev) toks))
+          outputs
+      else outputs
+    in
+    (* Remember the mode each control channel last carried. *)
+    List.iter
+      (fun (ch, toks) ->
+        if is_ctrl_chan ch then
+          List.iter
+            (function
+              | Token.Ctrl m -> Hashtbl.replace st.last_ctrl ch m
+              | Token.Data _ -> ())
+            toks)
+      outputs;
+    outputs
+  in
+  let duration_ms ctx =
+    let faults = Plan.draw st.plan ~actor ~index:(global_index ctx) in
+    let ts = ctx.Behavior.now_ms in
+    let d = b.Behavior.duration_ms ctx in
+    let d =
+      List.fold_left
+        (fun d -> function
+          | Fault.Overrun f -> d *. f
+          | Fault.Jitter j -> d +. j
+          | _ -> d)
+        d faults
+    in
+    let d =
+      d
+      +. float_of_int (min (fail_count faults) st.policy.Policy.max_retries)
+         *. st.policy.Policy.retry_backoff_ms
+    in
+    (match Policy.deadline_of st.policy actor with
+    | Some deadline when not (Hashtbl.mem st.skipped_now actor) ->
+        if d > deadline then begin
+          st.deadline_misses <- st.deadline_misses + 1;
+          metric st "deadline_misses" actor;
+          instant st ~cat:"supervisor" ~track:actor ~name:"deadline-miss" ~ts
+            [ ("duration_ms", Ev.Float d); ("deadline_ms", Ev.Float deadline) ];
+          note_bad st ~actor ~ts
+        end
+        else begin
+          st.deadline_hits <- st.deadline_hits + 1;
+          metric st "deadline_hits" actor;
+          note_good st ~actor
+        end
+    | _ -> ());
+    d
+  in
+  { Behavior.work; duration_ms }
+
+let effective_scenario st scenario =
+  let pins =
+    Hashtbl.fold (fun k m acc -> (k, m) :: acc) st.degraded []
+    |> List.sort compare
+  in
+  pins @ List.filter (fun (k, _) -> not (Hashtbl.mem st.degraded k)) scenario
+
+let run ~graph ~plan ?(policy = Policy.default) ?(obs = Obs.disabled)
+    ?(behaviors = []) ?(scenario = []) ?(iterations = 1) ?corrupt ~valuation
+    ~default () =
+  if iterations < 1 then invalid_arg "Supervisor.run: iterations must be >= 1";
+  Reconfigure.validate_scenario graph scenario;
+  (match Policy.validate graph policy with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Supervisor.run: " ^ m));
+  let corrupt = match corrupt with Some f -> f | None -> fun _ -> default in
+  let st =
+    {
+      graph;
+      plan;
+      policy;
+      obs;
+      retries = 0;
+      skips = 0;
+      corrupted = 0;
+      ctrl_lost = 0;
+      deadline_misses = 0;
+      deadline_hits = 0;
+      degrades = [];
+      consecutive = Hashtbl.create 8;
+      tripped = Hashtbl.create 8;
+      degraded = Hashtbl.create 8;
+      base_index = Hashtbl.create 16;
+      skipped_now = Hashtbl.create 8;
+      last_ctrl = Hashtbl.create 8;
+    }
+  in
+  let offset = ref 0.0 in
+  let per_iteration = ref [] in
+  let unrecovered = ref None in
+  let iterations_run = ref 0 in
+  let previous_scenario = ref None in
+  while !unrecovered = None && !iterations_run < iterations do
+    incr iterations_run;
+    let eff = effective_scenario st scenario in
+    st.obs <- Obs.shift obs !offset;
+    if Obs.enabled obs && !previous_scenario <> Some eff then begin
+      Obs.instant st.obs ~cat:"reconfig" ~track:"supervisor"
+        ~name:"reconfigure" ~ts_ms:0.0
+        ~args:[ ("scenario", Ev.Str (Reconfigure.pp_scenario eff)) ]
+        ();
+      Metrics.incr (Obs.metrics obs) "engine.reconfigurations"
+    end;
+    previous_scenario := Some eff;
+    let wrapped =
+      List.map
+        (fun a ->
+          let b =
+            match List.assoc_opt a behaviors with
+            | Some b -> b
+            | None ->
+                if Tpdf.Graph.is_control graph a then
+                  Reconfigure.scenario_control_behavior graph eff
+                else Behavior.fill default
+          in
+          (a, wrap st ~default ~corrupt a b))
+        (Tpdf.Graph.actors graph)
+    in
+    let targets =
+      List.map (fun a -> (a, 0)) (Reconfigure.starved_actors graph eff)
+    in
+    let finish (stats : Engine.stats) =
+      per_iteration := stats :: !per_iteration;
+      offset := !offset +. stats.Engine.end_ms;
+      List.iter
+        (fun (a, n) -> Hashtbl.replace st.base_index a (get st.base_index a + n))
+        stats.Engine.firings
+    in
+    let give_up why (partial : Engine.stats) =
+      unrecovered := Some why;
+      Metrics.incr (Obs.metrics obs) "supervisor.unrecovered";
+      instant st ~cat:"supervisor" ~track:"supervisor" ~name:"stall"
+        ~ts:partial.Engine.end_ms
+        [ ("why", Ev.Str why) ];
+      finish partial
+    in
+    match
+      let eng =
+        Engine.create ~graph ~valuation ~behaviors:wrapped ~obs:st.obs
+          ~default ()
+      in
+      Engine.run_outcome ~targets eng
+    with
+    | Engine.Completed stats -> finish stats
+    | Engine.Stalled (s, partial) ->
+        give_up (Format.asprintf "%a" Engine.pp_stall s) partial
+    | Engine.Budget_exceeded { steps; at_ms; partial } ->
+        give_up
+          (Printf.sprintf "event budget exceeded after %d steps at %.3f ms"
+             steps at_ms)
+          partial
+    | exception Engine.Error e -> (
+        unrecovered := Some (Engine.error_message e);
+        Metrics.incr (Obs.metrics obs) "supervisor.unrecovered")
+  done;
+  let total = st.deadline_hits + st.deadline_misses in
+  if Obs.enabled obs && total > 0 then
+    Metrics.set_gauge (Obs.metrics obs) "supervisor.deadline_hit_ratio"
+      (float_of_int st.deadline_hits /. float_of_int total);
+  {
+    iterations_run = !iterations_run;
+    total_end_ms = !offset;
+    retries = st.retries;
+    skips = st.skips;
+    corrupted = st.corrupted;
+    ctrl_lost = st.ctrl_lost;
+    deadline_misses = st.deadline_misses;
+    deadline_hits = st.deadline_hits;
+    degrades = List.rev st.degrades;
+    unrecovered = !unrecovered;
+    per_iteration = List.rev !per_iteration;
+  }

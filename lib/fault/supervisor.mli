@@ -1,0 +1,81 @@
+(** Supervised execution: fault-injected runs with recovery and graceful
+    degradation.
+
+    The supervisor layers on {!Tpdf_sim.Engine} without changing its
+    semantics: it wraps every actor behaviour so that the faults drawn from
+    a {!Plan} are injected into the firing's work and duration, and applies
+    the {!Policy}:
+
+    - {b bounded retry}: a firing hit by transient failures within the
+      retry budget succeeds after the injected failures, its duration
+      extended by [retry_backoff_ms] per retry (virtual-time backoff);
+    - {b skip-and-substitute}: past the budget, the firing is skipped and
+      the supervisor re-emits the declared rates with default tokens, so
+      rate consistency — and with it Theorem 2's boundedness — is
+      preserved;
+    - {b deadline watchdog}: firings of actors with a declared deadline are
+      checked against it (after overrun/jitter/backoff);
+    - {b mode fallback}: after [degrade_after] consecutive deadline misses
+      or skips in a watched actor, the fallback's [(kernel, mode)] pins are
+      applied at the next iteration boundary by steering the kernels'
+      control actors ({!Tpdf_sim.Reconfigure.scenario_control_behavior}),
+      and a ["degrade"] instant is recorded.
+
+    Execution proceeds one graph iteration per activation, exactly like
+    {!Tpdf_sim.Reconfigure.run_scenarios}: reconfiguration — including
+    degradation — happens at iteration boundaries, where the boundary
+    invariant makes it safe.  Everything is deterministic given the plan
+    seed: two runs with equal arguments produce byte-identical statistics
+    and event streams. *)
+
+type summary = {
+  iterations_run : int;
+  total_end_ms : float;
+  retries : int;  (** transient failures absorbed by retry *)
+  skips : int;  (** firings substituted after exhausting the budget *)
+  corrupted : int;  (** data tokens corrupted *)
+  ctrl_lost : int;  (** control tokens whose mode update was lost *)
+  deadline_misses : int;
+  deadline_hits : int;
+  degrades : (string * string) list;
+      (** [(kernel, degraded_mode)] in trip order *)
+  unrecovered : string option;
+      (** stall / budget / behaviour-error diagnosis when the run could not
+          complete; [None] on full recovery *)
+  per_iteration : Tpdf_sim.Engine.stats list;
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val run :
+  graph:Tpdf_core.Graph.t ->
+  plan:Plan.t ->
+  ?policy:Policy.t ->
+  ?obs:Tpdf_obs.Obs.t ->
+  ?behaviors:(string * 'a Tpdf_sim.Behavior.t) list ->
+  ?scenario:Tpdf_sim.Reconfigure.scenario ->
+  ?iterations:int ->
+  ?corrupt:('a -> 'a) ->
+  valuation:Tpdf_param.Valuation.t ->
+  default:'a ->
+  unit ->
+  summary
+(** Run [iterations] (default 1) supervised graph iterations.  [scenario]
+    pins the initial modes of controlled kernels (their first declared mode
+    when unpinned); fallback pins override it once tripped.  Actors without
+    an explicit behaviour get {!Tpdf_sim.Behavior.fill}[ default] (kernels)
+    or the scenario control behaviour (control actors, clocks included).
+    [corrupt] transforms a data payload hit by a [Corrupt] fault (default:
+    replace with [default]).
+
+    [obs] records the whole run on one timeline: engine events per
+    iteration (shifted as in {!Tpdf_sim.Reconfigure}), ["reconfig"]
+    instants at boundaries where the effective scenario changed, ["fault"]
+    instants (["retry"], ["corrupt"], ["ctrl-loss"]) and ["supervisor"]
+    instants (["skip"], ["deadline-miss"], ["degrade"], ["stall"]), plus
+    [supervisor.*] counters in the metrics registry.
+
+    Stalls, event-budget exhaustion and behaviour-contract violations do
+    not raise: they end the run early with the diagnosis in [unrecovered].
+    @raise Invalid_argument on an invalid scenario or policy, or
+    [iterations < 1]. *)

@@ -71,6 +71,56 @@ let summary ?metrics events =
   end;
   (match metrics with
   | Some m when not (Metrics.is_empty m) ->
+      (* Resilience: populated by the fault supervisor (lib/fault) and the
+         engine's drop accounting; omitted entirely for unsupervised,
+         drop-free runs. *)
+      let sup name = Metrics.counter m ("supervisor." ^ name) in
+      let retries = sup "retries" in
+      let skips = sup "skips" in
+      let corrupted = sup "corrupted" in
+      let ctrl_lost = sup "ctrl_lost" in
+      let hits = sup "deadline_hits" in
+      let misses = sup "deadline_misses" in
+      let degrades = sup "degrades" in
+      let unrecovered = sup "unrecovered" in
+      let dropped =
+        List.fold_left
+          (fun acc (name, n) ->
+            if
+              String.length name > 8
+              && String.sub name (String.length name - 8) 8 = ".dropped"
+            then acc + n
+            else acc)
+          0 (Metrics.counters m)
+      in
+      if
+        retries + skips + corrupted + ctrl_lost + hits + misses + degrades
+        + unrecovered + dropped
+        > 0
+      then begin
+        pr "\n== resilience ==\n";
+        pr "%-28s %8d\n" "retries" retries;
+        pr "%-28s %8d\n" "skipped firings" skips;
+        pr "%-28s %8d\n" "corrupted tokens" corrupted;
+        pr "%-28s %8d\n" "lost ctrl tokens" ctrl_lost;
+        pr "%-28s %8d\n" "dropped tokens" dropped;
+        pr "%-28s %8d\n" "deadline hits" hits;
+        pr "%-28s %8d\n" "deadline misses" misses;
+        (match Metrics.gauge m "supervisor.deadline_hit_ratio" with
+        | Some r -> pr "%-28s %7.1f%%\n" "deadline hit ratio" (100.0 *. r)
+        | None -> ());
+        pr "%-28s %8d\n" "mode degrades" degrades;
+        List.iter
+          (fun (ev : Event.t) ->
+            if ev.cat = "supervisor" && ev.name = "degrade" then
+              pr "  @ %10.3f ms  %s\n" ev.ts_ms
+                (String.concat " "
+                   (List.map
+                      (fun (k, v) -> k ^ "=" ^ Event.string_of_arg v)
+                      ev.args)))
+          events;
+        if unrecovered > 0 then pr "%-28s %8d\n" "UNRECOVERED runs" unrecovered
+      end;
       let counters = Metrics.counters m in
       if counters <> [] then begin
         pr "\n== counters ==\n";

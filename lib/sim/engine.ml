@@ -22,6 +22,61 @@ type stats = {
   trace : firing_record list;
 }
 
+type error =
+  | Unknown_mode of { actor : string; token : string }
+  | Data_on_control_port of { actor : string }
+  | Rate_mismatch of { actor : string; channel : int; expected : int; produced : int }
+  | Foreign_channel of { actor : string; channel : int }
+  | Token_class_mismatch of { actor : string; channel : int; control_channel : bool }
+  | Negative_duration of { actor : string; duration_ms : float }
+
+exception Error of error
+
+let error_message = function
+  | Unknown_mode { actor; token } ->
+      Printf.sprintf "Engine: control token %S does not name a mode of %s"
+        token actor
+  | Data_on_control_port { actor } ->
+      Printf.sprintf "Engine: data token on control port of %s" actor
+  | Rate_mismatch { actor; channel; expected; produced } ->
+      Printf.sprintf
+        "Engine: behaviour of %s produced %d token(s) on e%d, expected %d"
+        actor produced channel expected
+  | Foreign_channel { actor; channel } ->
+      Printf.sprintf "Engine: behaviour of %s wrote to foreign channel e%d"
+        actor channel
+  | Token_class_mismatch { actor; channel; control_channel } ->
+      Printf.sprintf
+        "Engine: behaviour of %s produced a %s token on %s channel e%d" actor
+        (if control_channel then "data" else "control")
+        (if control_channel then "control" else "data")
+        channel
+  | Negative_duration { actor; _ } ->
+      Printf.sprintf "Engine: negative duration for %s" actor
+
+type stall = {
+  at_ms : float;
+  blocked_actors : (string * int * int) list;
+  channel_states : (int * int) list;
+}
+
+type outcome =
+  | Completed of stats
+  | Stalled of stall * stats
+  | Budget_exceeded of { steps : int; at_ms : float; partial : stats }
+
+let pp_stall ppf (s : stall) =
+  Format.fprintf ppf "@[<v>stalled at %.3f ms@," s.at_ms;
+  List.iter
+    (fun (a, got, want) ->
+      Format.fprintf ppf "  %s completed %d of %d firing(s)@," a got want)
+    s.blocked_actors;
+  Format.fprintf ppf "  channel occupancy:";
+  List.iter
+    (fun (ch, occ) -> if occ > 0 then Format.fprintf ppf " e%d:%d" ch occ)
+    s.channel_states;
+  Format.fprintf ppf "@]"
+
 type 'a event_kind =
   | Complete of string * (int * 'a Token.t list) list * firing_record
   | Tick of string
@@ -249,13 +304,8 @@ let mode_of_token t a =
               match Tpdf.Graph.find_mode t.graph a name with
               | m -> m
               | exception Not_found ->
-                  failwith
-                    (Printf.sprintf
-                       "Engine: control token %S does not name a mode of %s"
-                       name a))
-          | Token.Data _ ->
-              failwith
-                (Printf.sprintf "Engine: data token on control port of %s" a))
+                  raise (Error (Unknown_mode { actor = a; token = name })))
+          | Token.Data _ -> raise (Error (Data_on_control_port { actor = a })))
 
 (* Decide whether actor [a] can fire now; if so return the mode and the
    selected active input channels. *)
@@ -354,28 +404,23 @@ let validate_outputs t a expected outputs =
         match List.assoc_opt ch outputs with Some l -> List.length l | None -> 0
       in
       if produced <> rate then
-        failwith
-          (Printf.sprintf
-             "Engine: behaviour of %s produced %d token(s) on e%d, expected %d"
-             a produced ch rate))
+        raise
+          (Error
+             (Rate_mismatch
+                { actor = a; channel = ch; expected = rate; produced })))
     expected;
   List.iter
     (fun (ch, toks) ->
       if not (List.mem_assoc ch expected) then
-        failwith
-          (Printf.sprintf "Engine: behaviour of %s wrote to foreign channel e%d"
-             a ch);
+        raise (Error (Foreign_channel { actor = a; channel = ch }));
       let is_ctrl_chan = Tpdf.Graph.is_control_channel t.graph ch in
       List.iter
         (fun tok ->
           if Token.is_ctrl tok <> is_ctrl_chan then
-            failwith
-              (Printf.sprintf
-                 "Engine: behaviour of %s produced a %s token on %s channel e%d"
-                 a
-                 (if Token.is_ctrl tok then "control" else "data")
-                 (if is_ctrl_chan then "control" else "data")
-                 ch))
+            raise
+              (Error
+                 (Token_class_mismatch
+                    { actor = a; channel = ch; control_channel = is_ctrl_chan })))
         toks)
     outputs
 
@@ -399,7 +444,8 @@ let start_firing t a (mode : Tpdf.Mode.t) active =
   let outputs = b.Behavior.work ctx in
   validate_outputs t a rates outputs;
   let d = b.Behavior.duration_ms ctx in
-  if d < 0.0 then failwith (Printf.sprintf "Engine: negative duration for %s" a);
+  if d < 0.0 then
+    raise (Error (Negative_duration { actor = a; duration_ms = d }));
   let record =
     {
       actor = a;
@@ -414,8 +460,21 @@ let start_firing t a (mode : Tpdf.Mode.t) active =
   Hashtbl.replace t.busy a true;
   Eq.add t.events (t.now +. d) (Complete (a, outputs, record))
 
-let run ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000) t =
+let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
+    t =
   if iterations < 1 then invalid_arg "Engine.run: iterations must be >= 1";
+  (match targets with
+  | None -> ()
+  | Some l ->
+      List.iter
+        (fun (a, n) ->
+          if not (Csdf.Graph.mem_actor (skel t) a) then
+            invalid_arg
+              (Printf.sprintf "Engine.run: unknown target actor %s" a);
+          if n < 0 then
+            invalid_arg
+              (Printf.sprintf "Engine.run: negative target %d for %s" n a))
+        l);
   let base a =
     match targets with
     | None -> Csdf.Concrete.q t.conc a
@@ -459,11 +518,14 @@ let run ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000) t =
   try_start_all ();
   let steps = ref 0 in
   let stop = ref false in
+  let budget_hit = ref false in
   while (not !stop) && not (Eq.is_empty t.events) do
     incr steps;
-    if !steps > max_events then
-      failwith "Engine.run: event budget exceeded (runaway simulation?)";
-    if finished () then stop := true
+    if !steps > max_events then begin
+      budget_hit := true;
+      stop := true
+    end
+    else if finished () then stop := true
     else
       match Eq.pop t.events with
       | None -> stop := true
@@ -541,16 +603,6 @@ let run ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000) t =
             try_start_all ()
           end)
   done;
-  if not (finished ()) then begin
-    let stuck =
-      List.filter
-        (fun a -> limit a <> max_int && get t.completed a < limit a)
-        (Tpdf.Graph.actors t.graph)
-    in
-    failwith
-      (Printf.sprintf "Engine.run: stalled at %.3f ms (stuck: %s)" t.now
-         (String.concat ", " stuck))
-  end;
   let end_ms =
     List.fold_left (fun acc r -> max acc r.finish_ms) 0.0 t.trace
   in
@@ -559,24 +611,61 @@ let run ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000) t =
     Metrics.set_gauge m "engine.end_ms" end_ms;
     Metrics.set_gauge m "engine.steps" (float_of_int !steps)
   end;
-  {
-    end_ms;
-    firings =
-      List.map (fun a -> (a, get t.count a)) (Tpdf.Graph.actors t.graph);
-    max_occupancy =
-      List.map
-        (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
-          (e.id, get t.max_occ e.id))
-        (Csdf.Graph.channels (skel t));
-    dropped =
-      List.map
-        (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
-          (e.id, get t.dropped e.id))
-        (Csdf.Graph.channels (skel t));
-    trace =
-      List.stable_sort
-        (fun a b -> compare (a.start_ms, a.finish_ms) (b.start_ms, b.finish_ms))
-        (List.rev t.trace);
-  }
+  let stats =
+    {
+      end_ms;
+      firings =
+        List.map (fun a -> (a, get t.count a)) (Tpdf.Graph.actors t.graph);
+      max_occupancy =
+        List.map
+          (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+            (e.id, get t.max_occ e.id))
+          (Csdf.Graph.channels (skel t));
+      dropped =
+        List.map
+          (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+            (e.id, get t.dropped e.id))
+          (Csdf.Graph.channels (skel t));
+      trace =
+        List.stable_sort
+          (fun a b ->
+            compare (a.start_ms, a.finish_ms) (b.start_ms, b.finish_ms))
+          (List.rev t.trace);
+    }
+  in
+  if !budget_hit then
+    Budget_exceeded { steps = !steps; at_ms = t.now; partial = stats }
+  else if not (finished ()) then
+    Stalled
+      ( {
+          at_ms = t.now;
+          blocked_actors =
+            List.filter_map
+              (fun a ->
+                let l = limit a in
+                if l <> max_int && get t.completed a < l then
+                  Some (a, get t.completed a, l)
+                else None)
+              (Tpdf.Graph.actors t.graph);
+          channel_states =
+            List.map
+              (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+                (e.id, Queue.length (queue t e.id)))
+              (Csdf.Graph.channels (skel t));
+        },
+        stats )
+  else Completed stats
+
+let run ?iterations ?targets ?until_ms ?max_events t =
+  match run_outcome ?iterations ?targets ?until_ms ?max_events t with
+  | Completed stats -> stats
+  | Stalled (s, _) ->
+      failwith
+        (Printf.sprintf "Engine.run: stalled at %.3f ms (stuck: %s)" s.at_ms
+           (String.concat ", "
+              (List.map (fun (a, _, _) -> a) s.blocked_actors)))
+  | Budget_exceeded _ ->
+      failwith "Engine.run: event budget exceeded (runaway simulation?)"
+  | exception Error e -> failwith (error_message e)
 
 let channel_tokens t ch = List.of_seq (Queue.to_seq (queue t ch))

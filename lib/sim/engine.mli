@@ -32,6 +32,53 @@ type stats = {
   trace : firing_record list;  (** in start order *)
 }
 
+(** {2 Typed run diagnoses}
+
+    Behaviour-contract violations are programming errors and carry a typed
+    {!error}; abnormal run terminations (deadlock, runaway) are execution
+    facts and are reported as an {!outcome} so a supervisor can react to
+    them — see [Tpdf_fault.Supervisor]. *)
+
+type error =
+  | Unknown_mode of { actor : string; token : string }
+      (** a control token named a mode the kernel does not declare *)
+  | Data_on_control_port of { actor : string }
+  | Rate_mismatch of {
+      actor : string;
+      channel : int;
+      expected : int;
+      produced : int;
+    }  (** behaviour produced the wrong token count on a channel *)
+  | Foreign_channel of { actor : string; channel : int }
+  | Token_class_mismatch of {
+      actor : string;
+      channel : int;
+      control_channel : bool;
+    }  (** data token on a control channel or vice versa *)
+  | Negative_duration of { actor : string; duration_ms : float }
+
+exception Error of error
+
+val error_message : error -> string
+(** The human-readable rendering {!run} uses when re-raising as [Failure]. *)
+
+type stall = {
+  at_ms : float;  (** virtual time at which no event remained *)
+  blocked_actors : (string * int * int) list;
+      (** [(actor, completed, required)] for every actor short of its
+          firing target *)
+  channel_states : (int * int) list;
+      (** per-channel occupancy at stall time *)
+}
+
+type outcome =
+  | Completed of stats
+  | Stalled of stall * stats  (** deadlock; partial stats included *)
+  | Budget_exceeded of { steps : int; at_ms : float; partial : stats }
+      (** [max_events] exhausted (runaway guard) *)
+
+val pp_stall : Format.formatter -> stall -> unit
+
 type 'a t
 
 val create :
@@ -59,6 +106,29 @@ val create :
     @raise Invalid_argument on unknown behaviour actors, or if the graph
     fails {!Tpdf_core.Graph.validate}. *)
 
+val run_outcome :
+  ?iterations:int ->
+  ?targets:(string * int) list ->
+  ?until_ms:float ->
+  ?max_events:int ->
+  'a t ->
+  outcome
+(** Execute [iterations] (default 1) graph iterations: every non-clock
+    actor fires [iterations × q] times; clocks tick until the rest of the
+    graph finishes.  [targets] overrides the per-iteration count of listed
+    actors — pass 0 for actors on a branch the scenario never activates.
+    [until_ms] caps simulated time, [max_events] (default 1_000_000) caps
+    engine steps as a runaway guard.
+
+    A run that cannot complete its firing targets returns {!Stalled} with a
+    full diagnosis (blocked actors with their completed/required counts,
+    per-channel occupancy at stall time); exhausting the event budget
+    returns {!Budget_exceeded}.  Partial statistics are carried in both.
+    @raise Invalid_argument on a [targets] entry naming an unknown actor or
+    carrying a negative count, or if [iterations < 1].
+    @raise Error if a behaviour violates its contract (wrong token counts,
+    bad control tokens, negative durations). *)
+
 val run :
   ?iterations:int ->
   ?targets:(string * int) list ->
@@ -66,13 +136,12 @@ val run :
   ?max_events:int ->
   'a t ->
   stats
-(** Execute [iterations] (default 1) graph iterations: every non-clock
-    actor fires [iterations × q] times; clocks tick until the rest of the
-    graph finishes.  [targets] overrides the per-iteration count of listed
-    actors — pass 0 for actors on a branch the scenario never activates.  [until_ms] caps simulated time, [max_events] (default
-    1_000_000) caps engine steps as a runaway guard.
+(** Compatibility wrapper around {!run_outcome}: returns the stats of a
+    {!Completed} run.
+    @raise Invalid_argument as {!run_outcome}.
     @raise Failure if the graph stalls before completing the iterations
-    (deadlock at run time) or a behaviour produces wrong token counts. *)
+    (deadlock at run time), the event budget is exhausted, or a behaviour
+    violates its contract ({!Error} is rendered with {!error_message}). *)
 
 val channel_tokens : 'a t -> int -> 'a Token.t list
 (** Current contents of a channel (after {!run}: leftovers). *)

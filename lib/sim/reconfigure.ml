@@ -95,6 +95,20 @@ let mode_scenarios graph =
             (k, m.Tpdf.Mode.name))
           controlled)
 
+let validate_scenario graph scenario =
+  List.iter
+    (fun (k, m) ->
+      if not (Csdf.Graph.mem_actor (Tpdf.Graph.skeleton graph) k) then
+        invalid_arg
+          (Printf.sprintf "Reconfigure: scenario names unknown actor %s" k);
+      match Tpdf.Graph.find_mode graph k m with
+      | (_ : Tpdf.Mode.t) -> ()
+      | exception Not_found ->
+          invalid_arg
+            (Printf.sprintf
+               "Reconfigure: scenario pins %s to undeclared mode %S" k m))
+    scenario
+
 let pp_scenario scenario =
   if scenario = [] then "default"
   else
@@ -108,6 +122,7 @@ let pp_scenario scenario =
    highest-priority available input only starves when {e all} its data
    inputs are dead; everyone else starves as soon as one needed input is. *)
 let starved_actors graph scenario =
+  validate_scenario graph scenario;
   let skel = Tpdf.Graph.skeleton graph in
   let pinned a =
     match List.assoc_opt a scenario with
@@ -184,6 +199,7 @@ let run_scenarios ~graph ?(obs = Obs.disabled) ?(behaviors = [])
     ?(iterations = 1) ~valuation ~default scenarios =
   if scenarios = [] then
     invalid_arg "Reconfigure.run_scenarios: empty scenario sequence";
+  List.iter (validate_scenario graph) scenarios;
   let offset = ref 0.0 in
   let runs =
     List.map

@@ -1,0 +1,386 @@
+open Tpdf_core
+open Tpdf_param
+open Tpdf_fault
+module Sim = Tpdf_sim
+module Apps = Tpdf_apps
+module Obs = Tpdf_obs.Obs
+module Metrics = Tpdf_obs.Metrics
+
+let c = Tpdf_csdf.Graph.const_rates
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Spec language                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_roundtrip () =
+  let s = "fail:FFT:0.2:4,overrun:QAM:0.8:8,jitter:*:0.1:0.5,corrupt:RCP:0.3,ctrl-loss:CON:0.25" in
+  match Fault.parse_specs s with
+  | Error m -> Alcotest.fail m
+  | Ok specs ->
+      Alcotest.(check int) "five specs" 5 (List.length specs);
+      Alcotest.(check string) "canonical round-trip" s
+        (Fault.specs_to_string specs);
+      (match specs with
+      | { Fault.target = Some "FFT"; prob; kind = Fault.Fail 4 } :: _ ->
+          Alcotest.(check (float 1e-9)) "prob" 0.2 prob
+      | _ -> Alcotest.fail "first spec mismatch")
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Fault.parse_specs s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (s ^ ": error expected"))
+    [
+      "";
+      "boom:FFT:0.5";
+      "fail:FFT:1.5";
+      "fail:FFT:0.5:0";
+      "fail:FFT:0.5:1.5";
+      "corrupt:FFT:0.5:7";
+      "overrun:FFT:abc";
+    ]
+
+let test_spec_validation () =
+  (match Fault.spec ~prob:2.0 Fault.Corrupt with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "prob out of range accepted");
+  match Fault.spec ~prob:0.5 (Fault.Fail 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero fail count accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Plan determinism                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let some_specs =
+  [
+    Fault.spec ~target:"A" ~prob:0.5 (Fault.Fail 1);
+    Fault.spec ~prob:0.3 (Fault.Jitter 2.0);
+    Fault.spec ~target:"B" ~prob:0.4 Fault.Corrupt;
+  ]
+
+let test_plan_deterministic () =
+  let p1 = Plan.make ~seed:7 some_specs in
+  let p2 = Plan.make ~seed:7 some_specs in
+  for i = 0 to 99 do
+    List.iter
+      (fun actor ->
+        Alcotest.(check bool) "same draw" true
+          (Plan.draw p1 ~actor ~index:i = Plan.draw p2 ~actor ~index:i))
+      [ "A"; "B"; "C" ]
+  done
+
+let test_plan_seed_sensitive () =
+  let p1 = Plan.make ~seed:7 some_specs in
+  let p2 = Plan.make ~seed:8 some_specs in
+  let differs = ref false in
+  for i = 0 to 99 do
+    List.iter
+      (fun actor ->
+        if Plan.draw p1 ~actor ~index:i <> Plan.draw p2 ~actor ~index:i then
+          differs := true)
+      [ "A"; "B" ]
+  done;
+  Alcotest.(check bool) "seeds matter" true !differs
+
+let test_plan_respects_target () =
+  let p = Plan.make ~seed:3 [ Fault.spec ~target:"A" ~prob:1.0 Fault.Corrupt ] in
+  Alcotest.(check bool) "A always hit" true
+    (List.mem Fault.Corrupt (Plan.draw p ~actor:"A" ~index:0));
+  Alcotest.(check (list (list string))) "B never hit" []
+    (List.map
+       (fun k -> [ Format.asprintf "%a" Fault.pp_kind k ])
+       (Plan.draw p ~actor:"B" ~index:0));
+  Alcotest.(check bool) "empty plan draws nothing" true
+    (Plan.draw Plan.none ~actor:"A" ~index:0 = [])
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor on a small pipeline                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline () =
+  let g = Graph.create () in
+  Graph.add_kernel g "SRC";
+  Graph.add_kernel g "MID";
+  Graph.add_kernel g "SNK";
+  ignore (Graph.add_channel g ~src:"SRC" ~dst:"MID" ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) ());
+  ignore (Graph.add_channel g ~src:"MID" ~dst:"SNK" ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) ());
+  g
+
+let test_retry_recovers () =
+  let g = pipeline () in
+  (* MID fails twice on every firing; budget 2 absorbs it *)
+  let plan = Plan.make ~seed:1 [ Fault.spec ~target:"MID" ~prob:1.0 (Fault.Fail 2) ] in
+  let policy = Policy.make ~max_retries:2 ~retry_backoff_ms:0.5 () in
+  let s =
+    Supervisor.run ~graph:g ~plan ~policy ~iterations:3
+      ~valuation:Valuation.empty ~default:0 ()
+  in
+  Alcotest.(check (option string)) "recovered" None s.Supervisor.unrecovered;
+  Alcotest.(check int) "3 iterations" 3 s.Supervisor.iterations_run;
+  Alcotest.(check int) "2 retries per firing" 6 s.Supervisor.retries;
+  Alcotest.(check int) "no skips" 0 s.Supervisor.skips;
+  (* backoff extends virtual time beyond the 3 ms of a fault-free run *)
+  let clean =
+    Supervisor.run ~graph:g ~plan:Plan.none ~policy ~iterations:3
+      ~valuation:Valuation.empty ~default:0 ()
+  in
+  Alcotest.(check bool) "backoff visible in virtual time" true
+    (s.Supervisor.total_end_ms > clean.Supervisor.total_end_ms)
+
+let test_skip_substitutes () =
+  let g = pipeline () in
+  (* MID fails 5 times per firing, budget 1: every firing is substituted,
+     yet the declared rates keep the pipeline flowing to completion *)
+  let plan = Plan.make ~seed:1 [ Fault.spec ~target:"MID" ~prob:1.0 (Fault.Fail 5) ] in
+  let policy = Policy.make ~max_retries:1 () in
+  let seen = ref [] in
+  let behaviors =
+    [
+      ("SRC", Sim.Behavior.fill 7);
+      ( "SNK",
+        Sim.Behavior.sink (fun ctx ->
+            List.iter
+              (fun (_, toks) ->
+                List.iter (fun t -> seen := Sim.Token.data t :: !seen) toks)
+              ctx.Sim.Behavior.inputs) );
+    ]
+  in
+  let s =
+    Supervisor.run ~graph:g ~plan ~policy ~behaviors ~iterations:2
+      ~valuation:Valuation.empty ~default:0 ()
+  in
+  Alcotest.(check (option string)) "recovered" None s.Supervisor.unrecovered;
+  Alcotest.(check int) "every MID firing skipped" 2 s.Supervisor.skips;
+  Alcotest.(check (list int)) "SNK saw substituted defaults" [ 0; 0 ]
+    !seen;
+  List.iter
+    (fun (st : Sim.Engine.stats) ->
+      Alcotest.(check int) "MID fired" 1 (List.assoc "MID" st.Sim.Engine.firings))
+    s.Supervisor.per_iteration
+
+let test_corrupt_and_ctrl_loss_counted () =
+  let g = pipeline () in
+  let plan =
+    Plan.make ~seed:9 [ Fault.spec ~target:"SRC" ~prob:1.0 Fault.Corrupt ]
+  in
+  let behaviors = [ ("SRC", Sim.Behavior.fill 7) ] in
+  let s =
+    Supervisor.run ~graph:g ~plan ~behaviors ~iterations:2
+      ~valuation:Valuation.empty ~default:0 ~corrupt:(fun v -> v + 100) ()
+  in
+  Alcotest.(check int) "corruptions counted" 2 s.Supervisor.corrupted;
+  Alcotest.(check (option string)) "recovered" None s.Supervisor.unrecovered
+
+let test_deadline_watchdog () =
+  let g = pipeline () in
+  let plan =
+    Plan.make ~seed:2 [ Fault.spec ~target:"MID" ~prob:1.0 (Fault.Overrun 10.0) ]
+  in
+  let policy = Policy.make ~deadlines_ms:[ ("MID", 2.0) ] () in
+  let s =
+    Supervisor.run ~graph:g ~plan ~policy ~iterations:4
+      ~valuation:Valuation.empty ~default:0 ()
+  in
+  (* default 1 ms duration, x10 overrun = 10 ms > 2 ms deadline *)
+  Alcotest.(check int) "every firing misses" 4 s.Supervisor.deadline_misses;
+  Alcotest.(check int) "no hits" 0 s.Supervisor.deadline_hits
+
+let test_policy_validation () =
+  let g = pipeline () in
+  let bad watch pins =
+    let policy =
+      Policy.make ~fallbacks:[ { Policy.watch; pins } ] ()
+    in
+    match Policy.validate g policy with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "invalid fallback accepted"
+  in
+  bad "NOPE" [];
+  bad "MID" [ ("NOPE", "m") ];
+  bad "MID" [ ("MID", "m") ] (* MID has no control port *)
+
+let test_unrecovered_stall_reported () =
+  let g = Graph.create () in
+  Graph.add_kernel g "X";
+  Graph.add_kernel g "Y";
+  ignore (Graph.add_channel g ~src:"X" ~dst:"Y" ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) ());
+  ignore (Graph.add_channel g ~src:"Y" ~dst:"X" ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) ());
+  let s =
+    Supervisor.run ~graph:g ~plan:Plan.none ~iterations:3
+      ~valuation:Valuation.empty ~default:0 ()
+  in
+  (match s.Supervisor.unrecovered with
+  | Some why ->
+      Alcotest.(check bool) "mentions stall" true
+        (contains why "stalled")
+  | None -> Alcotest.fail "stall expected");
+  Alcotest.(check int) "stopped at first iteration" 1
+    s.Supervisor.iterations_run
+
+(* ------------------------------------------------------------------ *)
+(* Reconfigure failure paths                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_reconfigure_failures () =
+  let g, _ = Apps.Ofdm_app.tpdf_graph () in
+  let v = Apps.Ofdm_app.valuation ~beta:1 ~n:4 ~l:1 in
+  (match Sim.Reconfigure.run_scenarios ~graph:g ~valuation:v ~default:0 [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty scenario list accepted");
+  (match
+     Sim.Reconfigure.run_scenarios ~graph:g ~valuation:v ~default:0
+       [ [ ("DUP", "nope") ] ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undeclared mode accepted");
+  (match Sim.Reconfigure.starved_actors g [ ("NOPE", "qpsk") ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown actor accepted");
+  Alcotest.(check (list string)) "QAM starved under qpsk scenario" [ "QAM" ]
+    (Sim.Reconfigure.starved_actors g Apps.Ofdm_app.scenario_qpsk);
+  Alcotest.(check (list string)) "QPSK starved under qam scenario" [ "QPSK" ]
+    (Sim.Reconfigure.starved_actors g Apps.Ofdm_app.scenario_qam)
+
+(* ------------------------------------------------------------------ *)
+(* OFDM mode fallback, end to end, bit-for-bit reproducible            *)
+(* ------------------------------------------------------------------ *)
+
+let ofdm_chaos () =
+  let g, _ = Apps.Ofdm_app.tpdf_graph () in
+  let beta = 2 and n = 8 in
+  let v = Apps.Ofdm_app.valuation ~beta ~n ~l:1 in
+  let behaviors =
+    List.filter_map
+      (fun a ->
+        if Graph.is_control g a then None
+        else
+          Some
+            ( a,
+              Sim.Behavior.fill 0
+                ~duration_ms:(fun _ ->
+                  Apps.Ofdm_app.model_cost_ms ~beta ~n a) ))
+      (Graph.actors g)
+  in
+  let policy =
+    Policy.make
+      ~deadlines_ms:[ ("QAM", 0.05) ]
+      ~degrade_after:2
+      ~fallbacks:(Chaos.default_fallbacks g) ()
+  in
+  let specs = [ Fault.spec ~target:"QAM" ~prob:0.8 (Fault.Overrun 8.0) ] in
+  let obs = Obs.create () in
+  let s =
+    Chaos.run ~graph:g ~seed:42 ~specs ~policy ~iterations:6 ~obs ~behaviors
+      ~valuation:v ()
+  in
+  (s, obs)
+
+let test_ofdm_mode_fallback () =
+  let s, obs = ofdm_chaos () in
+  Alcotest.(check bool) "recovered" true (Chaos.recovered s);
+  Alcotest.(check (list (pair string string))) "DUP and TRAN degraded to qpsk"
+    [ ("DUP", "qpsk"); ("TRAN", "qpsk") ]
+    (List.sort compare s.Supervisor.degrades);
+  Alcotest.(check bool) "misses tripped it" true
+    (s.Supervisor.deadline_misses >= 2);
+  (* after the degrade the QAM branch is starved: its firings stop *)
+  (match List.rev s.Supervisor.per_iteration with
+  | last :: _ ->
+      Alcotest.(check int) "QAM silent after fallback" 0
+        (List.assoc "QAM" last.Sim.Engine.firings);
+      Alcotest.(check bool) "QPSK branch active" true
+        (List.assoc "QPSK" last.Sim.Engine.firings > 0)
+  | [] -> Alcotest.fail "no iterations");
+  (* the degrade instants and counters are visible through tpdf_obs *)
+  let degrade_events =
+    List.filter
+      (fun (e : Tpdf_obs.Event.t) ->
+        e.cat = "supervisor" && e.name = "degrade")
+      (Obs.events obs)
+  in
+  Alcotest.(check int) "two degrade instants" 2 (List.length degrade_events);
+  Alcotest.(check int) "degrade counter" 2
+    (Metrics.counter (Obs.metrics obs) "supervisor.degrades");
+  let report =
+    Tpdf_obs.Report.summary ~metrics:(Obs.metrics obs) (Obs.events obs)
+  in
+  Alcotest.(check bool) "summary has a resilience section" true
+    (contains report "== resilience ==");
+  Alcotest.(check bool) "summary lists the degrade" true
+    (contains report "mode degrades")
+
+let test_ofdm_chaos_reproducible () =
+  let s1, o1 = ofdm_chaos () in
+  let s2, o2 = ofdm_chaos () in
+  Alcotest.(check bool) "summaries byte-identical" true (s1 = s2);
+  Alcotest.(check bool) "per-iteration stats byte-identical" true
+    (s1.Supervisor.per_iteration = s2.Supervisor.per_iteration);
+  Alcotest.(check bool) "obs event streams byte-identical" true
+    (Obs.events o1 = Obs.events o2);
+  Alcotest.(check bool) "chrome traces byte-identical" true
+    (Tpdf_obs.Chrome.json_of_events (Obs.events o1)
+    = Tpdf_obs.Chrome.json_of_events (Obs.events o2))
+
+let test_chaos_defaults () =
+  let g, _ = Apps.Ofdm_app.tpdf_graph () in
+  Alcotest.(check (list (pair string string))) "start ambitious (last mode)"
+    [ ("DUP", "qam"); ("TRAN", "qam") ]
+    (List.sort compare (Chaos.default_scenario g));
+  let fallbacks = Chaos.default_fallbacks g in
+  Alcotest.(check (list string)) "watch set covers the QAM branch"
+    [ "DUP"; "QAM"; "TRAN" ]
+    (List.sort compare
+       (List.map (fun (f : Policy.fallback) -> f.Policy.watch) fallbacks));
+  List.iter
+    (fun (f : Policy.fallback) ->
+      Alcotest.(check (list (pair string string))) "pins fall back to qpsk"
+        [ ("DUP", "qpsk"); ("TRAN", "qpsk") ]
+        (List.sort compare f.Policy.pins))
+    fallbacks
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "specs",
+        [
+          Alcotest.test_case "round-trip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "constructor validation" `Quick
+            test_spec_validation;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "deterministic" `Quick test_plan_deterministic;
+          Alcotest.test_case "seed sensitive" `Quick test_plan_seed_sensitive;
+          Alcotest.test_case "targeting" `Quick test_plan_respects_target;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "retry recovers" `Quick test_retry_recovers;
+          Alcotest.test_case "skip substitutes" `Quick test_skip_substitutes;
+          Alcotest.test_case "corruption counted" `Quick
+            test_corrupt_and_ctrl_loss_counted;
+          Alcotest.test_case "deadline watchdog" `Quick test_deadline_watchdog;
+          Alcotest.test_case "policy validation" `Quick test_policy_validation;
+          Alcotest.test_case "unrecovered stall" `Quick
+            test_unrecovered_stall_reported;
+        ] );
+      ( "reconfigure",
+        [
+          Alcotest.test_case "failure paths" `Quick test_reconfigure_failures;
+        ] );
+      ( "ofdm",
+        [
+          Alcotest.test_case "mode fallback" `Quick test_ofdm_mode_fallback;
+          Alcotest.test_case "bit-for-bit reproducible" `Quick
+            test_ofdm_chaos_reproducible;
+          Alcotest.test_case "chaos defaults" `Quick test_chaos_defaults;
+        ] );
+    ]

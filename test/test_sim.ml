@@ -417,6 +417,68 @@ let test_trace_csv () =
     (List.length lines - 1);
   Alcotest.(check bool) "mode recorded" true (contains s ",deadline,")
 
+(* ------------------------------------------------------------------ *)
+(* Typed outcomes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_outcome_stalled () =
+  let g = Graph.create () in
+  Graph.add_kernel g "X";
+  Graph.add_kernel g "Y";
+  ignore (Graph.add_channel g ~src:"X" ~dst:"Y" ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) ());
+  ignore (Graph.add_channel g ~src:"Y" ~dst:"X" ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) ());
+  let eng = Engine.create ~graph:g ~valuation:Valuation.empty ~default:() () in
+  match Engine.run_outcome eng with
+  | Engine.Stalled (s, stats) ->
+      Alcotest.(check (list (pair string int))) "nothing fired"
+        [ ("X", 0); ("Y", 0) ]
+        stats.Engine.firings;
+      Alcotest.(check int) "both actors diagnosed" 2
+        (List.length s.Engine.blocked_actors);
+      List.iter
+        (fun (_, got, want) ->
+          Alcotest.(check int) "0 completed" 0 got;
+          Alcotest.(check int) "1 required" 1 want)
+        s.Engine.blocked_actors;
+      Alcotest.(check bool) "diagnosis renders" true
+        (contains (Format.asprintf "%a" Engine.pp_stall s) "stalled")
+  | _ -> Alcotest.fail "expected Stalled"
+
+let test_outcome_budget () =
+  (* a self-loop with 2 initial tokens consuming/producing 1 never finishes
+     within 3 events when asked for many iterations *)
+  let g = Graph.create () in
+  Graph.add_kernel g "A";
+  ignore (Graph.add_channel g ~src:"A" ~dst:"A" ~prod:(c [ 1 ]) ~cons:(c [ 1 ]) ~init:1 ());
+  let eng = Engine.create ~graph:g ~valuation:Valuation.empty ~default:0 () in
+  match Engine.run_outcome ~iterations:100 ~max_events:3 eng with
+  | Engine.Budget_exceeded { steps; partial; _ } ->
+      Alcotest.(check bool) "steps beyond budget" true (steps > 3);
+      Alcotest.(check bool) "partial progress recorded" true
+        (List.assoc "A" partial.Engine.firings > 0)
+  | _ -> Alcotest.fail "expected Budget_exceeded"
+
+let test_outcome_completed_matches_run () =
+  let g, _, _ = pipeline () in
+  let mk () = Engine.create ~graph:g ~valuation:Valuation.empty ~default:0 () in
+  let stats = Engine.run ~iterations:2 (mk ()) in
+  match Engine.run_outcome ~iterations:2 (mk ()) with
+  | Engine.Completed stats' ->
+      Alcotest.(check (list (pair string int))) "same firings"
+        stats.Engine.firings stats'.Engine.firings
+  | _ -> Alcotest.fail "expected Completed"
+
+let test_targets_validated () =
+  let g, _, _ = pipeline () in
+  let check_invalid name targets =
+    let eng = Engine.create ~graph:g ~valuation:Valuation.empty ~default:0 () in
+    match Engine.run ~targets eng with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": Invalid_argument expected")
+  in
+  check_invalid "unknown actor" [ ("NOPE", 1) ];
+  check_invalid "negative count" [ ("MID", -1) ]
+
 let () =
   Alcotest.run "sim"
     [
@@ -453,6 +515,14 @@ let () =
         [
           Alcotest.test_case "gantt" `Quick test_trace_gantt;
           Alcotest.test_case "csv" `Quick test_trace_csv;
+        ] );
+      ( "outcome",
+        [
+          Alcotest.test_case "stalled diagnosis" `Quick test_outcome_stalled;
+          Alcotest.test_case "budget exceeded" `Quick test_outcome_budget;
+          Alcotest.test_case "completed matches run" `Quick
+            test_outcome_completed_matches_run;
+          Alcotest.test_case "targets validated" `Quick test_targets_validated;
         ] );
       ( "validation",
         [
