@@ -1,4 +1,4 @@
-.PHONY: all build test bench check chaos clean
+.PHONY: all build test bench bench-smoke check chaos clean
 
 all: build
 
@@ -10,6 +10,14 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Engine throughput only, at smoke sizes (seconds, not minutes); writes
+# BENCH_engine.smoke.json so it never clobbers the checked-in full-size
+# BENCH_engine.json.  Refresh the checked-in file with
+# `TPDF_BENCH_ONLY=E17 make bench` (full sizes, ~10 s).
+bench-smoke:
+	TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E17 \
+	  TPDF_BENCH_OUT=BENCH_engine.smoke.json dune exec bench/main.exe
 
 check:
 	sh ci/check.sh

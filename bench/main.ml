@@ -1,12 +1,17 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (see DESIGN.md section 2 for the experiment index E1..E12).
+   evaluation (see DESIGN.md section 2 for the experiment index E1..E17).
 
    Environment knobs:
      TPDF_BENCH_SIZE   image side for the Fig. 6 table (default 1024)
      TPDF_BENCH_QUOTA  seconds of measurement per Bechamel test (default 2)
      TPDF_BENCH_TRACE  directory: write Chrome trace-event JSON (Perfetto)
                        and metrics summaries for instrumented runs of the
-                       example graphs there *)
+                       example graphs there
+     TPDF_BENCH_ONLY   comma-separated experiment ids (e.g. "E17"): run
+                       only those experiments
+     TPDF_BENCH_SMOKE  when set to 1, E17 runs reduced graph sizes (CI)
+     TPDF_BENCH_OUT    output path of the E17 perf JSON
+                       (default BENCH_engine.json) *)
 
 open Bechamel
 open Toolkit
@@ -19,6 +24,7 @@ module Edge = Tpdf_image.Edge
 module Synthetic = Tpdf_image.Synthetic
 module Platform = Tpdf_platform.Platform
 module Sched = Tpdf_sched
+module Engine = Tpdf_sim.Engine
 
 let env_int name default =
   match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
@@ -453,6 +459,189 @@ let e13_analysis_cost () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* E17: engine hot-path throughput on synthetic graphs                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Synthetic topologies exercising the discrete-event engine at scales the
+   paper graphs never reach (1e2..1e4 actors, 1e5+ events).  All rates are
+   1 so the repetition vector is trivially all-ones and every completion
+   costs exactly one engine event. *)
+
+let one = Csdf.Graph.const_rates [ 1 ]
+
+let synth_chain n =
+  let g = Graph.create () in
+  for i = 0 to n - 1 do
+    Graph.add_kernel g (Printf.sprintf "K%d" i)
+  done;
+  for i = 0 to n - 2 do
+    ignore
+      (Graph.add_channel g
+         ~src:(Printf.sprintf "K%d" i)
+         ~dst:(Printf.sprintf "K%d" (i + 1))
+         ~prod:one ~cons:one ())
+  done;
+  g
+
+let synth_fan n =
+  (* one source feeding n-1 independent sinks *)
+  let g = Graph.create () in
+  Graph.add_kernel g "SRC";
+  for i = 1 to n - 1 do
+    let a = Printf.sprintf "S%d" i in
+    Graph.add_kernel g a;
+    ignore (Graph.add_channel g ~src:"SRC" ~dst:a ~prod:one ~cons:one ())
+  done;
+  g
+
+let synth_grid w h =
+  (* h layers of w actors; each actor feeds straight-down and down-right
+     (wrapping), so interior actors have two inputs and two outputs *)
+  let g = Graph.create () in
+  let name i j = Printf.sprintf "G%d_%d" i j in
+  for i = 0 to h - 1 do
+    for j = 0 to w - 1 do
+      Graph.add_kernel g (name i j)
+    done
+  done;
+  for i = 0 to h - 2 do
+    for j = 0 to w - 1 do
+      ignore
+        (Graph.add_channel g ~src:(name i j) ~dst:(name (i + 1) j) ~prod:one
+           ~cons:one ());
+      ignore
+        (Graph.add_channel g
+           ~src:(name i j)
+           ~dst:(name (i + 1) ((j + 1) mod w))
+           ~prod:one ~cons:one ())
+    done
+  done;
+  g
+
+type e17_run = {
+  graph_name : string;
+  actors : int;
+  iterations : int;
+  events : int;
+  wall_ms : float;
+  events_per_sec : float;
+  peak_heap_words : int;
+}
+
+let e17_run_one ~graph_name ~iterations g =
+  let actors = List.length (Graph.actors g) in
+  let eng = Engine.create ~graph:g ~valuation:Valuation.empty ~default:0 () in
+  let t0 = Tpdf_obs.Obs.now_wall_ms () in
+  let stats =
+    Engine.run ~iterations ~max_events:10_000_000 eng
+  in
+  let wall_ms = Tpdf_obs.Obs.now_wall_ms () -. t0 in
+  let events =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 stats.Engine.firings
+  in
+  let events_per_sec =
+    if wall_ms <= 0.0 then 0.0 else 1000.0 *. float_of_int events /. wall_ms
+  in
+  {
+    graph_name;
+    actors;
+    iterations;
+    events;
+    wall_ms;
+    events_per_sec;
+    peak_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
+  }
+
+(* Seed-engine throughput on the 1e3-actor chain (commit 00dbc53, same
+   workload, same machine class): the pre-PR number every BENCH_engine.json
+   reports as [baseline] so the trajectory keeps its origin. *)
+let e17_baseline_chain_1e3_events_per_sec = 2544.0
+
+let e17_engine () =
+  section "E17" "Engine throughput: synthetic chain / fan / grid graphs";
+  let smoke =
+    match Sys.getenv_opt "TPDF_BENCH_SMOKE" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false
+  in
+  let configs =
+    if smoke then
+      [
+        ("chain", synth_chain 100, 20);
+        ("fan", synth_fan 100, 20);
+        ("grid", synth_grid 10 10, 20);
+      ]
+    else
+      [
+        ("chain", synth_chain 100, 1000);
+        ("chain", synth_chain 1000, 100);
+        ("chain", synth_chain 10_000, 10);
+        ("fan", synth_fan 1000, 100);
+        ("fan", synth_fan 10_000, 10);
+        ("grid", synth_grid 32 32, 100);
+        ("grid", synth_grid 100 100, 10);
+      ]
+  in
+  Printf.printf "%-6s %8s %6s %9s %10s %14s %12s\n" "graph" "actors" "iter"
+    "events" "wall ms" "events/sec" "heap words";
+  let runs =
+    List.map
+      (fun (graph_name, g, iterations) ->
+        let r = e17_run_one ~graph_name ~iterations g in
+        Printf.printf "%-6s %8d %6d %9d %10.1f %14.0f %12d\n%!" r.graph_name
+          r.actors r.iterations r.events r.wall_ms r.events_per_sec
+          r.peak_heap_words;
+        r)
+      configs
+  in
+  let chain_1e3 =
+    List.find_opt (fun r -> r.graph_name = "chain" && r.actors = 1000) runs
+  in
+  let speedup =
+    match chain_1e3 with
+    | Some r when e17_baseline_chain_1e3_events_per_sec > 0.0 ->
+        r.events_per_sec /. e17_baseline_chain_1e3_events_per_sec
+    | _ -> 0.0
+  in
+  (match chain_1e3 with
+  | Some r when e17_baseline_chain_1e3_events_per_sec > 0.0 ->
+      Printf.printf "chain-1e3 speedup vs seed engine baseline: %.1fx\n"
+        (r.events_per_sec /. e17_baseline_chain_1e3_events_per_sec)
+  | _ -> ());
+  let out =
+    match Sys.getenv_opt "TPDF_BENCH_OUT" with
+    | Some p -> p
+    | None -> "BENCH_engine.json"
+  in
+  let oc = open_out out in
+  let fp fmt = Printf.fprintf oc fmt in
+  fp "{\n";
+  fp "  \"experiment\": \"E17\",\n";
+  fp "  \"smoke\": %b,\n" smoke;
+  fp "  \"baseline\": {\n";
+  fp "    \"engine\": \"seed (pre-compiled-tables, sorted-list Eq, global rescan)\",\n";
+  fp "    \"graph\": \"chain\",\n";
+  fp "    \"actors\": 1000,\n";
+  fp "    \"events_per_sec\": %.0f\n" e17_baseline_chain_1e3_events_per_sec;
+  fp "  },\n";
+  fp "  \"speedup_chain_1e3_vs_baseline\": %.2f,\n" speedup;
+  fp "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      fp
+        "    { \"graph\": %S, \"actors\": %d, \"iterations\": %d, \"events\": \
+         %d, \"wall_ms\": %.3f, \"events_per_sec\": %.1f, \
+         \"peak_heap_words\": %d }%s\n"
+        r.graph_name r.actors r.iterations r.events r.wall_ms r.events_per_sec
+        r.peak_heap_words
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  fp "  ]\n";
+  fp "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* TPDF_BENCH_TRACE: observability artifacts for the example graphs    *)
 (* ------------------------------------------------------------------ *)
 
@@ -494,18 +683,33 @@ let () =
   | None -> ());
   Printf.printf "image size for E7: %dx%d; Bechamel quota: %.1fs\n" bench_size
     bench_size bench_quota;
-  e1_fig1 ();
-  e2_fig2 ();
-  e5_liveness ();
-  e6_fig5 ();
-  e7_fig6_table ();
-  e8_fig6_deadline ();
-  e9_fig7 ();
-  e10_fig8 ();
-  e11_speedup ();
-  e12_fmradio ();
-  e13_analysis_cost ();
-  e14_video ();
-  e15_ablation ();
-  e16_resilience ();
+  let experiments =
+    [
+      ("E1", e1_fig1);
+      ("E2", e2_fig2);
+      ("E5", e5_liveness);
+      ("E6", e6_fig5);
+      ("E7", e7_fig6_table);
+      ("E8", e8_fig6_deadline);
+      ("E9", e9_fig7);
+      ("E10", e10_fig8);
+      ("E11", e11_speedup);
+      ("E12", e12_fmradio);
+      ("E13", e13_analysis_cost);
+      ("E14", e14_video);
+      ("E15", e15_ablation);
+      ("E16", e16_resilience);
+      ("E17", e17_engine);
+    ]
+  in
+  let only =
+    match Sys.getenv_opt "TPDF_BENCH_ONLY" with
+    | None -> None
+    | Some s ->
+        Some (List.map String.trim (String.split_on_char ',' s))
+  in
+  List.iter
+    (fun (id, f) ->
+      match only with Some ids when not (List.mem id ids) -> () | _ -> f ())
+    experiments;
   print_newline ()

@@ -38,4 +38,31 @@ dune exec bin/tpdf_tool.exe -- chaos ofdm-tpdf -p beta=2 -p N=8 -p L=1 \
 grep -q 'degraded DUP -> qpsk' "$chaos_out"
 grep -q 'degraded TRAN -> qpsk' "$chaos_out"
 
+# Engine bench smoke: E17 at reduced sizes must produce a parseable
+# BENCH_engine.json with positive throughput.  (The engine-vs-seed
+# equivalence suite itself runs as part of `dune runtest` above.)
+echo "== smoke: bench E17 (engine throughput) =="
+bench_dir="$(mktemp -d)"
+trap 'rm -f "$out" "$chaos_out"; rm -rf "$bench_dir"' EXIT
+TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E17 \
+  TPDF_BENCH_OUT="$bench_dir/BENCH_engine.json" \
+  dune exec bench/main.exe > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$bench_dir/BENCH_engine.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["experiment"] == "E17", "unexpected experiment tag"
+assert doc["runs"], "no benchmark runs recorded"
+assert all(r["events_per_sec"] > 0 for r in doc["runs"]), "non-positive throughput"
+EOF
+else
+  grep -q '"experiment": "E17"' "$bench_dir/BENCH_engine.json"
+  grep -q '"events_per_sec"' "$bench_dir/BENCH_engine.json"
+  if grep -q '"events_per_sec": 0' "$bench_dir/BENCH_engine.json"; then
+    echo "bench smoke: zero throughput" >&2
+    exit 1
+  fi
+fi
+
 echo "check: OK"

@@ -1,23 +1,39 @@
 type ('v, 'e) edge = { id : int; src : 'v; dst : 'v; label : 'e }
 
+(* Accessors hand out forward-order lists; building those from the
+   reverse-order insertion lists used to allocate a fresh [List.rev] per
+   call, which dominated the simulation hot path.  Forward lists are now
+   cached and invalidated on mutation ([add_vertex]/[add_edge] and the
+   manual edge push of [subgraph]); analyses that treat the graph as
+   immutable input hit the cache every time. *)
 type ('v, 'e) t = {
   mutable order : 'v list; (* reverse insertion order *)
+  mutable vertices_fwd : 'v list option; (* cached forward order *)
+  mutable vertex_count : int;
   present : ('v, unit) Hashtbl.t;
   mutable edge_list : ('v, 'e) edge list; (* reverse insertion order *)
+  mutable edges_fwd : ('v, 'e) edge list option; (* cached forward order *)
   by_id : (int, ('v, 'e) edge) Hashtbl.t;
   out_tbl : ('v, ('v, 'e) edge list) Hashtbl.t; (* reverse order *)
   in_tbl : ('v, ('v, 'e) edge list) Hashtbl.t;
+  out_fwd : ('v, ('v, 'e) edge list) Hashtbl.t; (* forward-order cache *)
+  in_fwd : ('v, ('v, 'e) edge list) Hashtbl.t;
   mutable next_id : int;
 }
 
 let create () =
   {
     order = [];
+    vertices_fwd = None;
+    vertex_count = 0;
     present = Hashtbl.create 16;
     edge_list = [];
+    edges_fwd = None;
     by_id = Hashtbl.create 16;
     out_tbl = Hashtbl.create 16;
     in_tbl = Hashtbl.create 16;
+    out_fwd = Hashtbl.create 16;
+    in_fwd = Hashtbl.create 16;
     next_id = 0;
   }
 
@@ -26,40 +42,79 @@ let mem_vertex g v = Hashtbl.mem g.present v
 let add_vertex g v =
   if not (mem_vertex g v) then begin
     Hashtbl.replace g.present v ();
-    g.order <- v :: g.order
+    g.order <- v :: g.order;
+    g.vertices_fwd <- None;
+    g.vertex_count <- g.vertex_count + 1
   end
 
 let push tbl key e =
   let old = match Hashtbl.find_opt tbl key with Some l -> l | None -> [] in
   Hashtbl.replace tbl key (e :: old)
 
+(* Register an edge record, keeping every cache coherent.  Shared by
+   [add_edge] (fresh id) and [subgraph] (preserved id). *)
+let register_edge g e =
+  g.edge_list <- e :: g.edge_list;
+  g.edges_fwd <- None;
+  Hashtbl.replace g.by_id e.id e;
+  push g.out_tbl e.src e;
+  push g.in_tbl e.dst e;
+  Hashtbl.remove g.out_fwd e.src;
+  Hashtbl.remove g.in_fwd e.dst
+
 let add_edge g src dst label =
   add_vertex g src;
   add_vertex g dst;
   let id = g.next_id in
   g.next_id <- id + 1;
-  let e = { id; src; dst; label } in
-  g.edge_list <- e :: g.edge_list;
-  Hashtbl.replace g.by_id id e;
-  push g.out_tbl src e;
-  push g.in_tbl dst e;
+  register_edge g { id; src; dst; label };
   id
 
-let vertices g = List.rev g.order
+let vertices g =
+  match g.vertices_fwd with
+  | Some l -> l
+  | None ->
+      let l = List.rev g.order in
+      g.vertices_fwd <- Some l;
+      l
 
-let edges g = List.rev g.edge_list
+let edges g =
+  match g.edges_fwd with
+  | Some l -> l
+  | None ->
+      let l = List.rev g.edge_list in
+      g.edges_fwd <- Some l;
+      l
 
 let find_edge g id = Hashtbl.find g.by_id id
 
-let nb_vertices g = List.length g.order
+let nb_vertices g = g.vertex_count
 
 let nb_edges g = g.next_id
 
 let out_edges g v =
-  match Hashtbl.find_opt g.out_tbl v with Some l -> List.rev l | None -> []
+  match Hashtbl.find_opt g.out_fwd v with
+  | Some l -> l
+  | None ->
+      let l =
+        match Hashtbl.find_opt g.out_tbl v with
+        | Some l -> List.rev l
+        | None -> []
+      in
+      if Hashtbl.mem g.present v then Hashtbl.replace g.out_fwd v l;
+      l
 
 let in_edges g v =
-  match Hashtbl.find_opt g.in_tbl v with Some l -> List.rev l | None -> []
+  match Hashtbl.find_opt g.in_fwd v with
+  | Some l -> l
+  | None ->
+      let l =
+        match Hashtbl.find_opt g.in_tbl v with
+        | Some l -> List.rev l
+        | None -> []
+      in
+      if Hashtbl.mem g.present v then Hashtbl.replace g.in_fwd v l;
+      l
 
 let dedup l =
   let seen = Hashtbl.create 8 in
@@ -188,13 +243,8 @@ let subgraph g keep =
     (fun e ->
       if keep e.src && keep e.dst then begin
         (* Preserve ids so callers can correlate with the parent graph. *)
-        let id = e.id in
-        g'.next_id <- max g'.next_id (id + 1);
-        let e' = { e with id } in
-        g'.edge_list <- e' :: g'.edge_list;
-        Hashtbl.replace g'.by_id id e';
-        push g'.out_tbl e'.src e';
-        push g'.in_tbl e'.dst e'
+        g'.next_id <- max g'.next_id (e.id + 1);
+        register_edge g' e
       end)
     (edges g);
   g'

@@ -78,55 +78,68 @@ let pp_stall ppf (s : stall) =
   Format.fprintf ppf "@]"
 
 type 'a event_kind =
-  | Complete of string * (int * 'a Token.t list) list * firing_record
-  | Tick of string
+  | Complete of int * (int * 'a Token.t list) list * firing_record
+  | Tick of int
 
-module Eq = struct
-  type 'a t = { mutable seq : int; mutable set : (float * int * 'a) list }
-  (* Sorted association list; event volumes here are modest and insertion
-     keeps it simple and allocation-light enough. *)
+(* A mode of a specific actor, compiled against the engine's dense channel
+   ids: which data inputs the mode waits on and, per phase, the exact
+   [out_rates] list the behaviour context receives (suppressed outputs at
+   rate 0, control channels always at their declared rate).  Sharing the
+   per-phase list across firings is safe — contexts never mutate it. *)
+type compiled_mode = {
+  cm : Tpdf.Mode.t;
+  cm_selected : bool array; (* aligned with the actor's [data_ins] *)
+  cm_out_rates : (int * int) list array; (* per phase *)
+}
 
-  let create () = { seq = 0; set = [] }
-
-  let add t time v =
-    let seq = t.seq in
-    t.seq <- seq + 1;
-    let rec insert = function
-      | [] -> [ (time, seq, v) ]
-      | ((t', s', _) as hd) :: rest ->
-          if time < t' || (time = t' && seq < s') then (time, seq, v) :: hd :: rest
-          else hd :: insert rest
-    in
-    t.set <- insert t.set
-
-  let pop t =
-    match t.set with
-    | [] -> None
-    | (time, _, v) :: rest ->
-        t.set <- rest;
-        Some (time, v)
-
-  let is_empty t = t.set = []
-end
-
+(* The engine compiles the graph once at [create]: actors and channels get
+   dense int ids, and every per-firing query (rates, control ports, phase
+   counts, priorities, adjacency) becomes an array read.  The event queue
+   is a binary heap ordered by (time, seq) — FIFO on ties — and scheduling
+   uses a dirty-actor worklist instead of a global rescan.  The observable
+   semantics (stats, traces, tpdf_obs streams) are bit-for-bit those of the
+   seed engine, enforced by test/test_engine_equiv.ml. *)
 type 'a t = {
   graph : Tpdf.Graph.t;
   conc : Csdf.Concrete.t;
-  behaviors : (string, 'a Behavior.t) Hashtbl.t;
-  queues : (int, 'a Token.t Queue.t) Hashtbl.t;
-  debt : (int, int) Hashtbl.t;
-  dropped : (int, int) Hashtbl.t;
-  max_occ : (int, int) Hashtbl.t;
-  count : (string, int) Hashtbl.t; (* firings started *)
-  completed : (string, int) Hashtbl.t; (* firings finished *)
-  busy : (string, bool) Hashtbl.t;
-  last_mode : (string, string) Hashtbl.t;
-  events : 'a event_kind Eq.t;
   obs : Obs.t;
+  (* compiled actor tables; index = dense actor id in [actors] order *)
+  actor_names : string array;
+  actor_ids : (string, int) Hashtbl.t;
+  behaviors : 'a Behavior.t array;
+  phases : int array;
+  is_ctrl_actor : bool array;
+  clock_period : float option array;
+  ctrl_port : int array; (* control-port channel id; -1 when none *)
+  data_ins : int array array; (* data input channel ids, forward order *)
+  outs : int array array; (* all output channel ids, forward order *)
+  cmodes : compiled_mode array array; (* declared-order; head = default *)
+  mode_by_name : (string, compiled_mode) Hashtbl.t array;
+  tick_rates : (int * int) list array array; (* clock actors, per phase *)
+  (* compiled channel tables; index = channel id *)
+  chan_exists : bool array;
+  chan_order : int array; (* ids in skeleton channel order, for stats *)
+  cons : int array array; (* per channel, per consumer phase *)
+  prod : int array array; (* per channel, per producer phase *)
+  is_ctrl_chan : bool array;
+  chan_prio : int array;
+  chan_dst : int array; (* consumer actor id *)
+  queues : 'a Token.t Queue.t array;
+  (* mutable simulation state *)
+  debt : int array;
+  dropped : int array;
+  max_occ : int array;
+  count : int array; (* firings started *)
+  completed : int array; (* firings finished *)
+  busy : bool array;
+  last_mode : compiled_mode array;
+  dirty : bool array;
+  mutable dirty_ids : int list;
+  mutable remaining : int; (* actors still short of their firing limit *)
+  events : 'a event_kind Event_heap.t;
   mutable now : float;
   mutable trace : firing_record list;
 }
-
 
 let first_mode graph kernel =
   match Tpdf.Graph.modes graph kernel with
@@ -148,10 +161,6 @@ let default_behavior graph actor default =
     Behavior.emit_mode (fun _ -> target_mode)
   else Behavior.fill default
 
-let queue t ch = Hashtbl.find t.queues ch
-
-let get tbl key = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0
-
 let ch_track ch = "e" ^ string_of_int ch
 let occ_metric ch = Printf.sprintf "channel.e%d.occupancy" ch
 
@@ -159,7 +168,7 @@ let occ_metric ch = Printf.sprintf "channel.e%d.occupancy" ch
    attached the engine allocates nothing for observability. *)
 let sample_occupancy t ch =
   if Obs.enabled t.obs then begin
-    let occ = float_of_int (Queue.length (queue t ch)) in
+    let occ = float_of_int (Queue.length t.queues.(ch)) in
     Obs.counter t.obs ~cat:"channel" ~track:(ch_track ch) ~name:"occupancy"
       ~ts_ms:t.now occ;
     Metrics.observe (Obs.metrics t.obs) (occ_metric ch) occ
@@ -171,11 +180,14 @@ let create ~graph ~valuation ?init_token ?(behaviors = [])
   | Ok () -> ()
   | Error msgs ->
       invalid_arg ("Engine.create: invalid graph: " ^ String.concat "; " msgs));
-  let conc = Csdf.Concrete.make (Tpdf.Graph.skeleton graph) valuation in
+  let skel = Tpdf.Graph.skeleton graph in
+  let conc = Csdf.Concrete.make skel valuation in
+  let actors = Tpdf.Graph.actors graph in
+  let channels = Csdf.Graph.channels skel in
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun (a, b) ->
-      if not (Csdf.Graph.mem_actor (Tpdf.Graph.skeleton graph) a) then
+      if not (Csdf.Graph.mem_actor skel a) then
         invalid_arg (Printf.sprintf "Engine.create: unknown actor %s" a);
       Hashtbl.replace tbl a b)
     behaviors;
@@ -183,77 +195,207 @@ let create ~graph ~valuation ?init_token ?(behaviors = [])
     (fun a ->
       if not (Hashtbl.mem tbl a) then
         Hashtbl.replace tbl a (default_behavior graph a default))
-    (Tpdf.Graph.actors graph);
-  let queues = Hashtbl.create 16 in
-  let max_occ = Hashtbl.create 16 in
+    actors;
+  let n = List.length actors in
+  let actor_names = Array.of_list actors in
+  let actor_ids = Hashtbl.create (2 * n) in
+  Array.iteri (fun i a -> Hashtbl.replace actor_ids a i) actor_names;
+  let nch =
+    List.fold_left
+      (fun acc (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+        max acc (e.id + 1))
+      0 channels
+  in
+  let chan_exists = Array.make nch false in
+  let cons = Array.make nch [||] in
+  let prod = Array.make nch [||] in
+  let is_ctrl_chan = Array.make nch false in
+  let chan_prio = Array.make nch 0 in
+  let chan_dst = Array.make nch 0 in
+  let queues = Array.init nch (fun _ -> Queue.create ()) in
+  let max_occ = Array.make nch 0 in
+  let chan_order =
+    Array.of_list
+      (List.map
+         (fun (e : (string, Csdf.Graph.channel) Digraph.edge) -> e.id)
+         channels)
+  in
   List.iter
     (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
-      let q = Queue.create () in
+      let c = Csdf.Concrete.chan conc e.id in
+      chan_exists.(e.id) <- true;
+      cons.(e.id) <- c.Csdf.Concrete.cons;
+      prod.(e.id) <- c.Csdf.Concrete.prod;
+      is_ctrl_chan.(e.id) <- Tpdf.Graph.is_control_channel graph e.id;
+      chan_prio.(e.id) <- Tpdf.Graph.priority graph e.id;
+      chan_dst.(e.id) <- Hashtbl.find actor_ids e.dst;
       let mk =
         match init_token with
         | Some f -> f e.id
         | None ->
             fun _ ->
-              if Tpdf.Graph.is_control_channel graph e.id then
-                Token.Ctrl (first_mode graph e.dst)
+              if is_ctrl_chan.(e.id) then Token.Ctrl (first_mode graph e.dst)
               else Token.Data default
       in
       for i = 0 to e.label.init - 1 do
-        Queue.add (mk i) q
+        Queue.add (mk i) queues.(e.id)
       done;
-      Hashtbl.replace queues e.id q;
-      Hashtbl.replace max_occ e.id e.label.init)
-    (Csdf.Graph.channels (Tpdf.Graph.skeleton graph));
-  let count = Hashtbl.create 16 and busy = Hashtbl.create 16 in
-  let last_mode = Hashtbl.create 16 in
-  let completed = Hashtbl.create 16 in
-  List.iter
-    (fun a ->
-      Hashtbl.replace count a 0;
-      Hashtbl.replace completed a 0;
-      Hashtbl.replace busy a false;
-      Hashtbl.replace last_mode a (first_mode graph a))
-    (Tpdf.Graph.actors graph);
-  {
-    graph;
-    conc;
-    behaviors = tbl;
-    queues;
-    debt = Hashtbl.create 16;
-    dropped = Hashtbl.create 16;
-    max_occ;
-    count;
-    completed;
-    busy;
-    last_mode;
-    events = Eq.create ();
-    obs;
-    now = 0.0;
-    trace = [];
-  }
-  |> fun t ->
+      max_occ.(e.id) <- e.label.init)
+    channels;
+  let phases = Array.map (fun a -> Csdf.Graph.phases skel a) actor_names in
+  let is_ctrl_actor =
+    Array.map (fun a -> Tpdf.Graph.is_control graph a) actor_names
+  in
+  let clock_period =
+    Array.map (fun a -> Tpdf.Graph.clock_period_ms graph a) actor_names
+  in
+  let ctrl_port =
+    Array.map
+      (fun a ->
+        match Tpdf.Graph.control_port graph a with Some c -> c | None -> -1)
+      actor_names
+  in
+  let data_ins =
+    Array.map
+      (fun a ->
+        Array.of_list
+          (List.filter_map
+             (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+               if is_ctrl_chan.(e.id) then None else Some e.id)
+             (Csdf.Graph.in_channels skel a)))
+      actor_names
+  in
+  let outs =
+    Array.map
+      (fun a ->
+        Array.of_list
+          (List.map
+             (fun (e : (string, Csdf.Graph.channel) Digraph.edge) -> e.id)
+             (Csdf.Graph.out_channels skel a)))
+      actor_names
+  in
+  let compile_mode ai (m : Tpdf.Mode.t) =
+    let ins = data_ins.(ai) in
+    let sel =
+      match m.Tpdf.Mode.inputs with
+      | Tpdf.Mode.Input_subset l -> Array.map (fun ch -> List.mem ch l) ins
+      | Tpdf.Mode.All_inputs | Tpdf.Mode.Highest_priority_available ->
+          Array.map (fun _ -> true) ins
+    in
+    let out_list = Array.to_list outs.(ai) in
+    let out_rates =
+      Array.init phases.(ai) (fun ph ->
+          List.map
+            (fun ch ->
+              let r = prod.(ch).(ph) in
+              let r =
+                if is_ctrl_chan.(ch) || Tpdf.Mode.output_may_be_active m ch
+                then r
+                else 0
+              in
+              (ch, r))
+            out_list)
+    in
+    { cm = m; cm_selected = sel; cm_out_rates = out_rates }
+  in
+  let cmodes =
+    Array.init n (fun ai ->
+        Array.of_list
+          (List.map (compile_mode ai)
+             (Tpdf.Graph.modes graph actor_names.(ai))))
+  in
+  let mode_by_name =
+    Array.init n (fun ai ->
+        let h = Hashtbl.create 8 in
+        Array.iter
+          (fun cm ->
+            if not (Hashtbl.mem h cm.cm.Tpdf.Mode.name) then
+              Hashtbl.add h cm.cm.Tpdf.Mode.name cm)
+          cmodes.(ai);
+        h)
+  in
+  let tick_rates =
+    Array.init n (fun ai ->
+        match clock_period.(ai) with
+        | None -> [||]
+        | Some _ ->
+            Array.init phases.(ai) (fun ph ->
+                List.map
+                  (fun ch -> (ch, prod.(ch).(ph)))
+                  (Array.to_list outs.(ai))))
+  in
+  let last_mode =
+    Array.init n (fun ai ->
+        if Array.length cmodes.(ai) > 0 then cmodes.(ai).(0)
+        else compile_mode ai Tpdf.Mode.default)
+  in
+  let behaviors_arr =
+    Array.map (fun a -> Hashtbl.find tbl a) actor_names
+  in
+  let t =
+    {
+      graph;
+      conc;
+      obs;
+      actor_names;
+      actor_ids;
+      behaviors = behaviors_arr;
+      phases;
+      is_ctrl_actor;
+      clock_period;
+      ctrl_port;
+      data_ins;
+      outs;
+      cmodes;
+      mode_by_name;
+      tick_rates;
+      chan_exists;
+      chan_order;
+      cons;
+      prod;
+      is_ctrl_chan;
+      chan_prio;
+      chan_dst;
+      queues;
+      debt = Array.make nch 0;
+      dropped = Array.make nch 0;
+      max_occ;
+      count = Array.make n 0;
+      completed = Array.make n 0;
+      busy = Array.make n false;
+      last_mode;
+      dirty = Array.make n false;
+      dirty_ids = [];
+      remaining = 0;
+      events = Event_heap.create ();
+      now = 0.0;
+      trace = [];
+    }
+  in
   (* One occupancy sample per channel at t=0 so every channel has a series
      even if it never carries traffic. *)
   if Obs.enabled obs then
-    List.iter
-      (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
-        sample_occupancy t e.id)
-      (Csdf.Graph.channels (Tpdf.Graph.skeleton graph));
+    Array.iter (fun ch -> sample_occupancy t ch) chan_order;
   t
 
+let mark_dirty t ai =
+  if not t.dirty.(ai) then begin
+    t.dirty.(ai) <- true;
+    t.dirty_ids <- ai :: t.dirty_ids
+  end
 
 (* Discharge rejection debt against the tokens currently in the channel. *)
 let purge t ch =
-  let d = get t.debt ch in
+  let d = t.debt.(ch) in
   if d > 0 then begin
-    let q = queue t ch in
+    let q = t.queues.(ch) in
     let dropped = ref 0 in
     while !dropped < d && not (Queue.is_empty q) do
       ignore (Queue.pop q);
       incr dropped
     done;
-    Hashtbl.replace t.debt ch (d - !dropped);
-    Hashtbl.replace t.dropped ch (get t.dropped ch + !dropped);
+    t.debt.(ch) <- d - !dropped;
+    t.dropped.(ch) <- t.dropped.(ch) + !dropped;
     if Obs.enabled t.obs && !dropped > 0 then begin
       Obs.instant t.obs ~cat:"channel" ~track:(ch_track ch) ~name:"drop"
         ~ts_ms:t.now
@@ -265,139 +407,122 @@ let purge t ch =
   end
 
 let push_tokens t ch toks =
-  let q = queue t ch in
+  let q = t.queues.(ch) in
   List.iter (fun tok -> Queue.add tok q) toks;
   purge t ch;
   let occ = Queue.length q in
-  if occ > get t.max_occ ch then Hashtbl.replace t.max_occ ch occ;
-  sample_occupancy t ch
+  if occ > t.max_occ.(ch) then t.max_occ.(ch) <- occ;
+  sample_occupancy t ch;
+  (* wakeup rule: the channel's consumer may have become fireable *)
+  mark_dirty t t.chan_dst.(ch)
 
-let skel t = Tpdf.Graph.skeleton t.graph
+(* First declared mode of the actor; mirrors the seed's [List.hd]. *)
+let head_mode t ai =
+  let ms = t.cmodes.(ai) in
+  if Array.length ms = 0 then failwith "hd" else ms.(0)
 
-let data_in_channels t a =
-  List.filter
-    (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
-      not (Tpdf.Graph.is_control_channel t.graph e.id))
-    (Csdf.Graph.in_channels (skel t) a)
-
-let cons_rate t ch phase =
-  (Csdf.Concrete.chan t.conc ch).Csdf.Concrete.cons.(phase)
-
-let prod_rate t ch phase =
-  (Csdf.Concrete.chan t.conc ch).Csdf.Concrete.prod.(phase)
-
-let mode_of_token t a =
-  match Tpdf.Graph.control_port t.graph a with
-  | None -> List.hd (Tpdf.Graph.modes t.graph a)
-  | Some cid -> (
-      let phase = get t.count a mod Csdf.Graph.phases (skel t) a in
-      let rate = cons_rate t cid phase in
-      if rate = 0 then
-        (* No control token this phase: the previous mode persists. *)
-        Tpdf.Graph.find_mode t.graph a (Hashtbl.find t.last_mode a)
+let mode_of_token t ai =
+  let cid = t.ctrl_port.(ai) in
+  if cid < 0 then head_mode t ai
+  else
+    let phase = t.count.(ai) mod t.phases.(ai) in
+    if t.cons.(cid).(phase) = 0 then
+      (* No control token this phase: the previous mode persists. *)
+      t.last_mode.(ai)
+    else
+      let q = t.queues.(cid) in
+      if Queue.is_empty q then raise Exit
       else
-        let q = queue t cid in
-        if Queue.is_empty q then raise Exit
-        else
-          match Queue.peek q with
-          | Token.Ctrl name -> (
-              match Tpdf.Graph.find_mode t.graph a name with
-              | m -> m
-              | exception Not_found ->
-                  raise (Error (Unknown_mode { actor = a; token = name })))
-          | Token.Data _ -> raise (Error (Data_on_control_port { actor = a })))
+        match Queue.peek q with
+        | Token.Ctrl name -> (
+            match Hashtbl.find_opt t.mode_by_name.(ai) name with
+            | Some cm -> cm
+            | None ->
+                raise
+                  (Error
+                     (Unknown_mode { actor = t.actor_names.(ai); token = name })))
+        | Token.Data _ ->
+            raise (Error (Data_on_control_port { actor = t.actor_names.(ai) }))
 
-(* Decide whether actor [a] can fire now; if so return the mode and the
-   selected active input channels. *)
-let fireable t a =
-  match mode_of_token t a with
+(* Which inputs a firing consumes: the mode's selected-input mask, or the
+   single input a Transaction picked. *)
+type active = Selected | Single of int
+
+(* Decide whether actor [ai] can fire now; if so return the compiled mode
+   and the selected active inputs. *)
+let fireable t ai =
+  match mode_of_token t ai with
   | exception Exit -> None (* waiting for a control token *)
-  | mode -> (
-      let phase = get t.count a mod Csdf.Graph.phases (skel t) a in
-      let ins = data_in_channels t a in
-      let has_enough (e : (string, Csdf.Graph.channel) Digraph.edge) =
-        Queue.length (queue t e.id) >= cons_rate t e.id phase
-      in
-      match mode.Tpdf.Mode.inputs with
-      | Tpdf.Mode.All_inputs ->
-          if List.for_all has_enough ins then
-            Some (mode, List.map (fun (e : (_, _) Digraph.edge) -> e.id) ins)
-          else None
-      | Tpdf.Mode.Input_subset l ->
-          let selected = List.filter (fun e -> List.mem e.Digraph.id l) ins in
-          if List.for_all has_enough selected then
-            Some (mode, List.map (fun (e : (_, _) Digraph.edge) -> e.id) selected)
-          else None
-      | Tpdf.Mode.Highest_priority_available -> (
-          let ready = List.filter has_enough ins in
-          match ready with
-          | [] -> None (* wait for the first input to become available *)
-          | _ ->
-              let best =
-                List.fold_left
-                  (fun best e ->
-                    if
-                      Tpdf.Graph.priority t.graph e.Digraph.id
-                      > Tpdf.Graph.priority t.graph best.Digraph.id
-                    then e
-                    else best)
-                  (List.hd ready) (List.tl ready)
-              in
-              Some (mode, [ best.Digraph.id ])))
+  | cm -> (
+      let phase = t.count.(ai) mod t.phases.(ai) in
+      let ins = t.data_ins.(ai) in
+      let has_enough ch = Queue.length t.queues.(ch) >= t.cons.(ch).(phase) in
+      match cm.cm.Tpdf.Mode.inputs with
+      | Tpdf.Mode.All_inputs | Tpdf.Mode.Input_subset _ ->
+          let sel = cm.cm_selected in
+          let ok = ref true in
+          Array.iteri
+            (fun i ch -> if sel.(i) && not (has_enough ch) then ok := false)
+            ins;
+          if !ok then Some (cm, Selected) else None
+      | Tpdf.Mode.Highest_priority_available ->
+          (* first ready input wins ties; later ones only on strictly
+             higher priority — the seed's fold order *)
+          let best = ref (-1) in
+          Array.iter
+            (fun ch ->
+              if has_enough ch then
+                if !best < 0 || t.chan_prio.(ch) > t.chan_prio.(!best) then
+                  best := ch)
+            ins;
+          if !best < 0 then None (* wait for the first input available *)
+          else Some (cm, Single !best))
 
-let consume t a mode active phase =
+let consume t ai cm active phase =
   (* Control token first. *)
-  (match Tpdf.Graph.control_port t.graph a with
-  | Some cid when cons_rate t cid phase > 0 ->
-      ignore (Queue.pop (queue t cid));
-      Hashtbl.replace t.last_mode a mode.Tpdf.Mode.name;
-      if Obs.enabled t.obs then begin
-        Obs.instant t.obs ~cat:"control" ~track:a ~name:"ctrl-read"
-          ~ts_ms:t.now
-          ~args:
-            [ ("mode", Ev.Str mode.Tpdf.Mode.name); ("channel", Ev.Int cid) ]
-          ();
-        Metrics.incr (Obs.metrics t.obs) ("engine.ctrl_reads." ^ a);
-        sample_occupancy t cid
-      end
-  | _ -> ());
-  let inputs =
-    List.filter_map
-      (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
-        let rate = cons_rate t e.id phase in
-        if List.mem e.id active then begin
-          let toks = List.init rate (fun _ -> Queue.pop (queue t e.id)) in
-          if rate > 0 then sample_occupancy t e.id;
-          if rate = 0 then None else Some (e.id, toks)
-        end
-        else begin
-          (* Rejected input: its tokens are discarded as they arrive. *)
-          if rate > 0 then begin
-            Hashtbl.replace t.debt e.id (get t.debt e.id + rate);
-            purge t e.id;
-            sample_occupancy t e.id
-          end;
-          None
-        end)
-      (data_in_channels t a)
+  (let cid = t.ctrl_port.(ai) in
+   if cid >= 0 && t.cons.(cid).(phase) > 0 then begin
+     ignore (Queue.pop t.queues.(cid));
+     t.last_mode.(ai) <- cm;
+     if Obs.enabled t.obs then begin
+       let a = t.actor_names.(ai) in
+       Obs.instant t.obs ~cat:"control" ~track:a ~name:"ctrl-read" ~ts_ms:t.now
+         ~args:
+           [ ("mode", Ev.Str cm.cm.Tpdf.Mode.name); ("channel", Ev.Int cid) ]
+         ();
+       Metrics.incr (Obs.metrics t.obs) ("engine.ctrl_reads." ^ a);
+       sample_occupancy t cid
+     end
+   end);
+  let ins = t.data_ins.(ai) in
+  let n = Array.length ins in
+  let is_active i ch =
+    match active with Selected -> cm.cm_selected.(i) | Single c -> ch = c
   in
-  inputs
+  let rec build i =
+    if i >= n then []
+    else
+      let ch = ins.(i) in
+      let rate = t.cons.(ch).(phase) in
+      if is_active i ch then begin
+        let toks = List.init rate (fun _ -> Queue.pop t.queues.(ch)) in
+        if rate > 0 then sample_occupancy t ch;
+        if rate = 0 then build (i + 1) else (ch, toks) :: build (i + 1)
+      end
+      else begin
+        (* Rejected input: its tokens are discarded as they arrive. *)
+        if rate > 0 then begin
+          t.debt.(ch) <- t.debt.(ch) + rate;
+          purge t ch;
+          sample_occupancy t ch
+        end;
+        build (i + 1)
+      end
+  in
+  build 0
 
-let out_rates t a mode phase =
-  List.map
-    (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
-      let rate = prod_rate t e.id phase in
-      let rate =
-        if
-          Tpdf.Graph.is_control_channel t.graph e.id
-          || Tpdf.Mode.output_may_be_active mode e.id
-        then rate
-        else 0
-      in
-      (e.id, rate))
-    (Csdf.Graph.out_channels (skel t) a)
-
-let validate_outputs t a expected outputs =
+let validate_outputs t ai expected outputs =
+  let a = t.actor_names.(ai) in
   List.iter
     (fun (ch, rate) ->
       let produced =
@@ -406,14 +531,13 @@ let validate_outputs t a expected outputs =
       if produced <> rate then
         raise
           (Error
-             (Rate_mismatch
-                { actor = a; channel = ch; expected = rate; produced })))
+             (Rate_mismatch { actor = a; channel = ch; expected = rate; produced })))
     expected;
   List.iter
     (fun (ch, toks) ->
       if not (List.mem_assoc ch expected) then
         raise (Error (Foreign_channel { actor = a; channel = ch }));
-      let is_ctrl_chan = Tpdf.Graph.is_control_channel t.graph ch in
+      let is_ctrl_chan = t.is_ctrl_chan.(ch) in
       List.iter
         (fun tok ->
           if Token.is_ctrl tok <> is_ctrl_chan then
@@ -424,15 +548,16 @@ let validate_outputs t a expected outputs =
         toks)
     outputs
 
-let start_firing t a (mode : Tpdf.Mode.t) active =
-  let index = get t.count a in
-  let phase = index mod Csdf.Graph.phases (skel t) a in
-  let inputs = consume t a mode active phase in
-  let rates = out_rates t a mode phase in
+let start_firing t ai cm active =
+  let index = t.count.(ai) in
+  let phase = index mod t.phases.(ai) in
+  let inputs = consume t ai cm active phase in
+  let rates = cm.cm_out_rates.(phase) in
+  let a = t.actor_names.(ai) in
   let ctx =
     {
       Behavior.actor = a;
-      mode = mode.Tpdf.Mode.name;
+      mode = cm.cm.Tpdf.Mode.name;
       phase;
       index;
       now_ms = t.now;
@@ -440,9 +565,9 @@ let start_firing t a (mode : Tpdf.Mode.t) active =
       out_rates = rates;
     }
   in
-  let b = Hashtbl.find t.behaviors a in
+  let b = t.behaviors.(ai) in
   let outputs = b.Behavior.work ctx in
-  validate_outputs t a rates outputs;
+  validate_outputs t ai rates outputs;
   let d = b.Behavior.duration_ms ctx in
   if d < 0.0 then
     raise (Error (Negative_duration { actor = a; duration_ms = d }));
@@ -451,14 +576,14 @@ let start_firing t a (mode : Tpdf.Mode.t) active =
       actor = a;
       index;
       phase;
-      mode = mode.Tpdf.Mode.name;
+      mode = cm.cm.Tpdf.Mode.name;
       start_ms = t.now;
       finish_ms = t.now +. d;
     }
   in
-  Hashtbl.replace t.count a (index + 1);
-  Hashtbl.replace t.busy a true;
-  Eq.add t.events (t.now +. d) (Complete (a, outputs, record))
+  t.count.(ai) <- index + 1;
+  t.busy.(ai) <- true;
+  Event_heap.add t.events (t.now +. d) (Complete (ai, outputs, record))
 
 let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
     t =
@@ -468,80 +593,105 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
   | Some l ->
       List.iter
         (fun (a, n) ->
-          if not (Csdf.Graph.mem_actor (skel t) a) then
+          if not (Hashtbl.mem t.actor_ids a) then
             invalid_arg
               (Printf.sprintf "Engine.run: unknown target actor %s" a);
           if n < 0 then
             invalid_arg
               (Printf.sprintf "Engine.run: negative target %d for %s" n a))
         l);
-  let base a =
-    match targets with
-    | None -> Csdf.Concrete.q t.conc a
-    | Some l -> (
-        match List.assoc_opt a l with
-        | Some n -> n
-        | None -> Csdf.Concrete.q t.conc a)
-  in
-  let limit a =
-    if Tpdf.Graph.clock_period_ms t.graph a <> None then max_int
-    else iterations * base a
-  in
+  let n = Array.length t.actor_names in
+  (* Per-run firing limits, compiled to an array; clocks are unlimited. *)
+  let limit = Array.make n max_int in
+  Array.iteri
+    (fun ai a ->
+      if t.clock_period.(ai) = None then
+        let base =
+          match targets with
+          | None -> Csdf.Concrete.q t.conc a
+          | Some l -> (
+              match List.assoc_opt a l with
+              | Some k -> k
+              | None -> Csdf.Concrete.q t.conc a)
+        in
+        limit.(ai) <- iterations * base)
+    t.actor_names;
   (* An iteration is done when every firing has also *completed*: in-flight
      firings still deliver their tokens (e.g. a slow speculative path whose
-     result must be rejected). *)
-  let finished () =
-    List.for_all
-      (fun a -> limit a = max_int || get t.completed a >= limit a)
-      (Tpdf.Graph.actors t.graph)
-  in
+     result must be rejected).  [remaining] counts actors still short of
+     their limit, so the check per event is O(1). *)
+  t.remaining <- 0;
+  for ai = 0 to n - 1 do
+    if limit.(ai) <> max_int && t.completed.(ai) < limit.(ai) then
+      t.remaining <- t.remaining + 1
+  done;
   (* Arm the clocks. *)
-  List.iter
-    (fun a ->
-      match Tpdf.Graph.clock_period_ms t.graph a with
-      | Some p -> Eq.add t.events p (Tick a)
-      | None -> ())
-    (Tpdf.Graph.control_actors t.graph);
-  let try_start_all () =
-    List.iter
-      (fun a ->
-        if
-          (not (Hashtbl.find t.busy a))
-          && Tpdf.Graph.clock_period_ms t.graph a = None
-          && get t.count a < limit a
-        then
-          match fireable t a with
-          | Some (mode, active) -> start_firing t a mode active
-          | None -> ())
-      (Tpdf.Graph.actors t.graph)
+  for ai = 0 to n - 1 do
+    if t.is_ctrl_actor.(ai) then
+      match t.clock_period.(ai) with
+      | Some p -> Event_heap.add t.events p (Tick ai)
+      | None -> ()
+  done;
+  let try_start ai =
+    if
+      (not t.busy.(ai))
+      && t.clock_period.(ai) = None
+      && t.count.(ai) < limit.(ai)
+    then
+      match fireable t ai with
+      | Some (cm, active) -> start_firing t ai cm active
+      | None -> ()
   in
-  try_start_all ();
+  (* Drain the dirty worklist in ascending actor id — the same stable
+     order as the seed's global rescan, so scheduling decisions and the
+     resulting traces are identical. *)
+  let drain () =
+    match t.dirty_ids with
+    | [] -> ()
+    | ids ->
+        let ids = List.sort compare ids in
+        t.dirty_ids <- [];
+        List.iter (fun ai -> t.dirty.(ai) <- false) ids;
+        List.iter try_start ids
+  in
+  for ai = n - 1 downto 0 do
+    mark_dirty t ai
+  done;
+  drain ();
   let steps = ref 0 in
   let stop = ref false in
   let budget_hit = ref false in
-  while (not !stop) && not (Eq.is_empty t.events) do
-    incr steps;
-    if !steps > max_events then begin
-      budget_hit := true;
-      stop := true
-    end
-    else if finished () then stop := true
-    else
-      match Eq.pop t.events with
-      | None -> stop := true
-      | Some (time, ev) -> (
-          (match until_ms with
-          | Some cap when time > cap -> stop := true
-          | _ -> ());
-          if not !stop then begin
+  while (not !stop) && not (Event_heap.is_empty t.events) do
+    (* Peek before popping: an event past [until_ms] stays in the queue,
+       so the state at the cap is faithful and [steps] only counts
+       processed events. *)
+    (match (until_ms, Event_heap.peek_time t.events) with
+    | Some cap, Some time when time > cap -> stop := true
+    | _ -> ());
+    if not !stop then begin
+      incr steps;
+      if !steps > max_events then begin
+        budget_hit := true;
+        stop := true
+      end
+      else if t.remaining = 0 then stop := true
+      else
+        match Event_heap.pop t.events with
+        | None -> stop := true
+        | Some (time, ev) ->
             t.now <- time;
             (match ev with
-            | Complete (a, outputs, record) ->
-                Hashtbl.replace t.busy a false;
-                Hashtbl.replace t.completed a (get t.completed a + 1);
+            | Complete (ai, outputs, record) ->
+                t.busy.(ai) <- false;
+                let c = t.completed.(ai) + 1 in
+                t.completed.(ai) <- c;
+                if limit.(ai) <> max_int && c = limit.(ai) then
+                  t.remaining <- t.remaining - 1;
                 List.iter (fun (ch, toks) -> push_tokens t ch toks) outputs;
+                mark_dirty t ai;
                 t.trace <- record :: t.trace;
                 if Obs.enabled t.obs then begin
+                  let a = t.actor_names.(ai) in
                   Obs.span t.obs ~cat:"firing" ~track:a
                     ~name:(a ^ "/" ^ record.mode) ~ts_ms:record.start_ms
                     ~dur_ms:(record.finish_ms -. record.start_ms)
@@ -557,13 +707,12 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
                     ("engine.firing_ms." ^ a)
                     (record.finish_ms -. record.start_ms)
                 end
-            | Tick a ->
+            | Tick ai ->
                 (* A clock firing: no inputs, emits control tokens now. *)
-                let index = get t.count a in
-                let phase = index mod Csdf.Graph.phases (skel t) a in
-                let mode = List.hd (Tpdf.Graph.modes t.graph a) in
-                ignore mode;
-                let rates = out_rates t a (Tpdf.Mode.default) phase in
+                let a = t.actor_names.(ai) in
+                let index = t.count.(ai) in
+                let phase = index mod t.phases.(ai) in
+                let rates = t.tick_rates.(ai).(phase) in
                 let ctx =
                   {
                     Behavior.actor = a;
@@ -575,10 +724,10 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
                     out_rates = rates;
                   }
                 in
-                let b = Hashtbl.find t.behaviors a in
+                let b = t.behaviors.(ai) in
                 let outputs = b.Behavior.work ctx in
-                validate_outputs t a rates outputs;
-                Hashtbl.replace t.count a (index + 1);
+                validate_outputs t ai rates outputs;
+                t.count.(ai) <- index + 1;
                 List.iter (fun (ch, toks) -> push_tokens t ch toks) outputs;
                 t.trace <-
                   {
@@ -597,11 +746,11 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
                     ();
                   Metrics.incr (Obs.metrics t.obs) ("engine.ticks." ^ a)
                 end;
-                (match Tpdf.Graph.clock_period_ms t.graph a with
-                | Some p -> Eq.add t.events (t.now +. p) (Tick a)
+                (match t.clock_period.(ai) with
+                | Some p -> Event_heap.add t.events (t.now +. p) (Tick ai)
                 | None -> ()));
-            try_start_all ()
-          end)
+            drain ()
+    end
   done;
   let end_ms =
     List.fold_left (fun acc r -> max acc r.finish_ms) 0.0 t.trace
@@ -615,17 +764,14 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
     {
       end_ms;
       firings =
-        List.map (fun a -> (a, get t.count a)) (Tpdf.Graph.actors t.graph);
+        Array.to_list
+          (Array.mapi (fun ai a -> (a, t.count.(ai))) t.actor_names);
       max_occupancy =
-        List.map
-          (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
-            (e.id, get t.max_occ e.id))
-          (Csdf.Graph.channels (skel t));
+        Array.to_list
+          (Array.map (fun ch -> (ch, t.max_occ.(ch))) t.chan_order);
       dropped =
-        List.map
-          (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
-            (e.id, get t.dropped e.id))
-          (Csdf.Graph.channels (skel t));
+        Array.to_list
+          (Array.map (fun ch -> (ch, t.dropped.(ch))) t.chan_order);
       trace =
         List.stable_sort
           (fun a b ->
@@ -635,25 +781,24 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
   in
   if !budget_hit then
     Budget_exceeded { steps = !steps; at_ms = t.now; partial = stats }
-  else if not (finished ()) then
+  else if t.remaining > 0 then begin
+    let blocked = ref [] in
+    for ai = n - 1 downto 0 do
+      if limit.(ai) <> max_int && t.completed.(ai) < limit.(ai) then
+        blocked := (t.actor_names.(ai), t.completed.(ai), limit.(ai)) :: !blocked
+    done;
     Stalled
       ( {
           at_ms = t.now;
-          blocked_actors =
-            List.filter_map
-              (fun a ->
-                let l = limit a in
-                if l <> max_int && get t.completed a < l then
-                  Some (a, get t.completed a, l)
-                else None)
-              (Tpdf.Graph.actors t.graph);
+          blocked_actors = !blocked;
           channel_states =
-            List.map
-              (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
-                (e.id, Queue.length (queue t e.id)))
-              (Csdf.Graph.channels (skel t));
+            Array.to_list
+              (Array.map
+                 (fun ch -> (ch, Queue.length t.queues.(ch)))
+                 t.chan_order);
         },
         stats )
+  end
   else Completed stats
 
 let run ?iterations ?targets ?until_ms ?max_events t =
@@ -668,4 +813,7 @@ let run ?iterations ?targets ?until_ms ?max_events t =
       failwith "Engine.run: event budget exceeded (runaway simulation?)"
   | exception Error e -> failwith (error_message e)
 
-let channel_tokens t ch = List.of_seq (Queue.to_seq (queue t ch))
+let channel_tokens t ch =
+  if ch < 0 || ch >= Array.length t.chan_exists || not t.chan_exists.(ch) then
+    raise Not_found;
+  List.of_seq (Queue.to_seq t.queues.(ch))

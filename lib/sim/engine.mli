@@ -13,7 +13,13 @@
     - tokens on rejected inputs are {e discarded}, keeping every buffer
       bounded exactly as Theorem 2 promises;
     - {e clock} control actors fire on their period, independently of data;
-    - everything is deterministic given the behaviours. *)
+    - everything is deterministic given the behaviours.
+
+    Internally the graph is compiled once at {!create} into dense arrays
+    (rates, control ports, adjacency, per-mode tables), events live in an
+    {!Event_heap} ordered by [(time, seq)], and scheduling re-examines only
+    actors woken by token arrivals or their own completion — see DESIGN.md,
+    "Engine internals", for the structure and the determinism contract. *)
 
 type firing_record = {
   actor : string;
@@ -118,7 +124,9 @@ val run_outcome :
     graph finishes.  [targets] overrides the per-iteration count of listed
     actors — pass 0 for actors on a branch the scenario never activates.
     [until_ms] caps simulated time, [max_events] (default 1_000_000) caps
-    engine steps as a runaway guard.
+    engine steps as a runaway guard.  When [until_ms] cuts a run short the
+    first event past the cap stays queued, so a later [run_outcome] call on
+    the same instance resumes where the capped run stopped.
 
     A run that cannot complete its firing targets returns {!Stalled} with a
     full diagnosis (blocked actors with their completed/required counts,

@@ -1,0 +1,80 @@
+(* Array-backed binary min-heap of timed events, ordered by (time, seq).
+   [seq] is a monotonically increasing insertion counter, so events with
+   equal timestamps pop in FIFO order — the tie-break golden traces and
+   seeded fault runs depend on.  The (time, seq) pair is a total order,
+   which makes pop order fully deterministic regardless of heap layout. *)
+
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable len : int;
+  mutable seq : int;
+}
+
+let create () = { arr = [||]; len = 0; seq = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.arr in
+  let cap' = if cap = 0 then 16 else 2 * cap in
+  let arr' = Array.make cap' entry in
+  Array.blit t.arr 0 arr' 0 t.len;
+  t.arr <- arr'
+
+let add t time value =
+  let entry = { time; seq = t.seq; value } in
+  t.seq <- t.seq + 1;
+  if t.len = Array.length t.arr then grow t entry;
+  (* sift up *)
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  let arr = t.arr in
+  arr.(!i) <- entry;
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    lt entry arr.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    arr.(!i) <- arr.(parent);
+    arr.(parent) <- entry;
+    i := parent
+  done
+
+let peek_time t = if t.len = 0 then None else Some t.arr.(0).time
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let arr = t.arr in
+    let root = arr.(0) in
+    let last = arr.(t.len - 1) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      arr.(0) <- last;
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && lt arr.(l) arr.(!smallest) then smallest := l;
+        if r < t.len && lt arr.(r) arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = arr.(!i) in
+          arr.(!i) <- arr.(!smallest);
+          arr.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (root.time, root.value)
+  end

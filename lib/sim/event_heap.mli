@@ -1,0 +1,23 @@
+(** Binary min-heap of timed events with a deterministic FIFO tie-break.
+
+    The engine's event queue: O(log n) insertion and extraction, ordered by
+    [(time, seq)] where [seq] is the insertion index.  Two events scheduled
+    for the same instant therefore pop in the order they were added — the
+    determinism contract golden traces, [tpdf_obs] streams and seeded
+    [tpdf_fault] runs rely on (see DESIGN.md, "Engine internals"). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> float -> 'a -> unit
+(** [add t time v] schedules [v] at [time]; O(log n). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Extract the earliest event ([(time, seq)]-minimal); O(log n). *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the earliest event without removing it; O(1). *)
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int

@@ -1,0 +1,376 @@
+(* Equivalence suite for the compiled engine (lib/sim/engine.ml) against
+   [Reference_engine], a byte-for-byte snapshot of the seed engine.  The
+   optimized engine must be observationally identical: same outcome
+   constructor, same stats (firings, occupancy, drops, end time), the same
+   trace record-for-record, and the same tpdf_obs event stream — for every
+   shipped graph under every mode scenario, and for a seeded chaos run
+   through the fault supervisor.  Also property-tests the binary event
+   heap against a reference sorted list. *)
+
+module Csdf = Tpdf_csdf
+module Graph = Tpdf_core.Graph
+module Serial = Tpdf_core.Serial
+module Valuation = Tpdf_param.Valuation
+module Sim = Tpdf_sim
+module Engine = Tpdf_sim.Engine
+module Behavior = Tpdf_sim.Behavior
+module Heap = Tpdf_sim.Event_heap
+module Obs = Tpdf_obs.Obs
+module Fault = Tpdf_fault
+
+(* ------------------------------------------------------------------ *)
+(* Event heap vs reference sorted list                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference model: a list kept sorted by (time, seq) with FIFO ties. *)
+module Model = struct
+  type t = { mutable entries : (float * int * int) list; mutable seq : int }
+
+  let create () = { entries = []; seq = 0 }
+
+  let add m time v =
+    let e = (time, m.seq, v) in
+    m.seq <- m.seq + 1;
+    let rec ins = function
+      | [] -> [ e ]
+      | ((t', s', _) as hd) :: tl ->
+          if time < t' || (time = t' && m.seq - 1 < s') then e :: hd :: tl
+          else hd :: ins tl
+    in
+    m.entries <- ins m.entries
+
+  let pop m =
+    match m.entries with
+    | [] -> None
+    | (t, _, v) :: tl ->
+        m.entries <- tl;
+        Some (t, v)
+end
+
+(* Ops use a coarse time grid so equal timestamps are frequent and the
+   FIFO tie-break is actually exercised. *)
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 0 200)
+      (frequency
+         [ (3, map (fun t -> `Add (float_of_int t /. 2.0)) (int_range 0 6));
+           (2, return `Pop) ]))
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function `Add t -> Printf.sprintf "add %.1f" t | `Pop -> "pop")
+           ops))
+    gen_ops
+
+let prop_heap_matches_model =
+  QCheck.Test.make ~name:"heap pops = sorted-list pops" ~count:300 arb_ops
+    (fun ops ->
+      let h = Heap.create () in
+      let m = Model.create () in
+      let k = ref 0 in
+      List.for_all
+        (function
+          | `Add t ->
+              Heap.add h t !k;
+              Model.add m t !k;
+              incr k;
+              Heap.length h = List.length m.Model.entries
+          | `Pop -> Heap.pop h = Model.pop m)
+        ops
+      && begin
+           (* drain both fully: total order must agree to the end *)
+           let rec drain () =
+             let a = Heap.pop h and b = Model.pop m in
+             a = b && (a = None || drain ())
+           in
+           drain ()
+         end)
+
+let prop_heap_fifo_ties =
+  QCheck.Test.make ~name:"equal timestamps pop in insertion order" ~count:100
+    QCheck.(int_range 1 300)
+    (fun n ->
+      let h = Heap.create () in
+      for i = 0 to n - 1 do
+        Heap.add h 1.0 i
+      done;
+      let rec check i =
+        match Heap.pop h with
+        | None -> i = n
+        | Some (t, v) -> t = 1.0 && v = i && check (i + 1)
+      in
+      check 0)
+
+(* ------------------------------------------------------------------ *)
+(* Outcome comparison helpers                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The two engines declare distinct (structurally identical) record types;
+   map both to tuples so polymorphic equality applies. *)
+let tup_new (r : Engine.firing_record) =
+  (r.Engine.actor, r.Engine.index, r.Engine.phase, r.Engine.mode,
+   r.Engine.start_ms, r.Engine.finish_ms)
+
+let tup_ref (r : Reference_engine.firing_record) =
+  ( r.Reference_engine.actor,
+    r.Reference_engine.index,
+    r.Reference_engine.phase,
+    r.Reference_engine.mode,
+    r.Reference_engine.start_ms,
+    r.Reference_engine.finish_ms )
+
+let stats_new (s : Engine.stats) =
+  ( s.Engine.end_ms,
+    s.Engine.firings,
+    s.Engine.max_occupancy,
+    s.Engine.dropped,
+    List.map tup_new s.Engine.trace )
+
+let stats_ref (s : Reference_engine.stats) =
+  ( s.Reference_engine.end_ms,
+    s.Reference_engine.firings,
+    s.Reference_engine.max_occupancy,
+    s.Reference_engine.dropped,
+    List.map tup_ref s.Reference_engine.trace )
+
+type canonical =
+  | C_completed of
+      (float * (string * int) list * (int * int) list * (int * int) list
+      * (string * int * int * string * float * float) list)
+  | C_stalled of
+      (float * (string * int * int) list * (int * int) list)
+      * (float * (string * int) list * (int * int) list * (int * int) list
+        * (string * int * int * string * float * float) list)
+  | C_budget of
+      int
+      * float
+      * (float * (string * int) list * (int * int) list * (int * int) list
+        * (string * int * int * string * float * float) list)
+  | C_error of string
+
+let canon_new = function
+  | Engine.Completed s -> C_completed (stats_new s)
+  | Engine.Stalled (x, s) ->
+      C_stalled
+        ( (x.Engine.at_ms, x.Engine.blocked_actors, x.Engine.channel_states),
+          stats_new s )
+  | Engine.Budget_exceeded { steps; at_ms; partial } ->
+      C_budget (steps, at_ms, stats_new partial)
+
+let canon_ref = function
+  | Reference_engine.Completed s -> C_completed (stats_ref s)
+  | Reference_engine.Stalled (x, s) ->
+      C_stalled
+        ( ( x.Reference_engine.at_ms,
+            x.Reference_engine.blocked_actors,
+            x.Reference_engine.channel_states ),
+          stats_ref s )
+  | Reference_engine.Budget_exceeded { steps; at_ms; partial } ->
+      C_budget (steps, at_ms, stats_ref partial)
+
+let describe = function
+  | C_completed (e, f, _, _, tr) ->
+      Printf.sprintf "Completed end=%.3f firings=%s trace=%d" e
+        (String.concat ","
+           (List.map (fun (a, n) -> Printf.sprintf "%s:%d" a n) f))
+        (List.length tr)
+  | C_stalled ((at, blocked, _), _) ->
+      Printf.sprintf "Stalled at=%.3f blocked=%s" at
+        (String.concat ","
+           (List.map (fun (a, g, w) -> Printf.sprintf "%s:%d/%d" a g w) blocked))
+  | C_budget (steps, at, _) -> Printf.sprintf "Budget steps=%d at=%.3f" steps at
+  | C_error m -> "Error: " ^ m
+
+(* ------------------------------------------------------------------ *)
+(* Every shipped graph x every mode scenario                           *)
+(* ------------------------------------------------------------------ *)
+
+let graphs_dir =
+  let d = "../graphs" in
+  if Sys.file_exists d then d else "graphs"
+
+(* Assign every declared parameter the same small value on both sides;
+   the particular value is irrelevant to equivalence. *)
+let valuation_for g =
+  List.fold_left (fun v p -> Valuation.add p 2 v) Valuation.empty
+    (Graph.parameters g)
+
+let run_one_engine ~create ~run_outcome ~canon g v scenario =
+  let ctrl = Sim.Reconfigure.scenario_control_behavior g scenario in
+  let behaviors =
+    List.filter_map
+      (fun a -> if Graph.is_control g a then Some (a, ctrl) else None)
+      (Graph.actors g)
+  in
+  let targets =
+    List.map (fun a -> (a, 0)) (Sim.Reconfigure.starved_actors g scenario)
+  in
+  let obs = Obs.create () in
+  let outcome =
+    match create ~graph:g ~valuation:v ~behaviors ~obs ~default:0 () with
+    | e -> (
+        match run_outcome ~iterations:2 ~targets ~max_events:20_000 e with
+        | o -> canon o
+        | exception Engine.Error err -> C_error (Engine.error_message err)
+        | exception Reference_engine.Error err ->
+            C_error (Reference_engine.error_message err)
+        | exception Failure m -> C_error ("failure: " ^ m))
+    | exception Invalid_argument m -> C_error ("invalid: " ^ m)
+  in
+  (outcome, Obs.events obs)
+
+let check_file file () =
+  let path = Filename.concat graphs_dir file in
+  match Serial.load path with
+  | Error m -> Alcotest.fail (file ^ ": " ^ m)
+  | Ok g ->
+      let v = valuation_for g in
+      let scenarios = Sim.Reconfigure.mode_scenarios g in
+      List.iteri
+        (fun i scenario ->
+          let label = Printf.sprintf "%s scenario %d" file i in
+          let o_new, ev_new =
+            run_one_engine
+              ~create:(fun ~graph ~valuation ~behaviors ~obs ~default () ->
+                Engine.create ~graph ~valuation ~behaviors ~obs ~default ())
+              ~run_outcome:(fun ~iterations ~targets ~max_events e ->
+                Engine.run_outcome ~iterations ~targets ~max_events e)
+              ~canon:canon_new g v scenario
+          in
+          let o_ref, ev_ref =
+            run_one_engine
+              ~create:(fun ~graph ~valuation ~behaviors ~obs ~default () ->
+                Reference_engine.create ~graph ~valuation ~behaviors ~obs
+                  ~default ())
+              ~run_outcome:(fun ~iterations ~targets ~max_events e ->
+                Reference_engine.run_outcome ~iterations ~targets ~max_events e)
+              ~canon:canon_ref g v scenario
+          in
+          if o_new <> o_ref then
+            Alcotest.fail
+              (Printf.sprintf "%s: outcome diverged\n  new: %s\n  ref: %s"
+                 label (describe o_new) (describe o_ref));
+          Alcotest.(check int)
+            (label ^ " obs event count")
+            (List.length ev_ref) (List.length ev_new);
+          if ev_new <> ev_ref then
+            Alcotest.fail (label ^ ": tpdf_obs event streams diverged"))
+        scenarios
+
+let graph_files =
+  let files = Array.to_list (Sys.readdir graphs_dir) in
+  List.sort compare
+    (List.filter (fun f -> Filename.check_suffix f ".tpdf") files)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded chaos run through the fault supervisor                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Golden numbers captured by running this exact construction against the
+   seed engine (commit 00dbc53).  The supervisor, retry/skip machinery and
+   seeded fault plan all sit on top of the engine, so agreement here pins
+   the full stack: scheduling order, deadline arithmetic, obs streams. *)
+let test_chaos_golden () =
+  let g, _ = Tpdf_apps.Ofdm_app.tpdf_graph () in
+  let beta = 2 and n = 8 in
+  let v = Tpdf_apps.Ofdm_app.valuation ~beta ~n ~l:1 in
+  let behaviors =
+    List.filter_map
+      (fun a ->
+        if Graph.is_control g a then None
+        else
+          Some
+            ( a,
+              Behavior.fill 0 ~duration_ms:(fun _ ->
+                  Tpdf_apps.Ofdm_app.model_cost_ms ~beta ~n a) ))
+      (Graph.actors g)
+  in
+  let policy =
+    Fault.Policy.make
+      ~deadlines_ms:[ ("QAM", 0.05) ]
+      ~degrade_after:2
+      ~fallbacks:(Fault.Chaos.default_fallbacks g) ()
+  in
+  let specs =
+    [
+      Fault.Fault.spec ~target:"QAM" ~prob:0.6 (Fault.Fault.Overrun 8.0);
+      Fault.Fault.spec ~target:"FFT" ~prob:0.3 (Fault.Fault.Fail 4);
+      Fault.Fault.spec ~prob:0.15 (Fault.Fault.Jitter 0.02);
+    ]
+  in
+  let obs = Obs.create () in
+  let s =
+    Fault.Chaos.run ~graph:g ~seed:42 ~specs ~policy ~iterations:6 ~obs
+      ~behaviors ~valuation:v ()
+  in
+  let open Fault.Supervisor in
+  Alcotest.(check int) "iterations_run" 6 s.iterations_run;
+  Alcotest.(check bool) "total_end_ms" true
+    (Float.abs (s.total_end_ms -. 6.300679) < 1e-5);
+  Alcotest.(check int) "retries" 2 s.retries;
+  Alcotest.(check int) "skips" 1 s.skips;
+  Alcotest.(check int) "corrupted" 0 s.corrupted;
+  Alcotest.(check int) "ctrl_lost" 0 s.ctrl_lost;
+  Alcotest.(check int) "deadline_misses" 2 s.deadline_misses;
+  Alcotest.(check int) "deadline_hits" 2 s.deadline_hits;
+  Alcotest.(check (list (pair string string)))
+    "degrades"
+    [ ("DUP", "qpsk"); ("TRAN", "qpsk") ]
+    s.degrades;
+  Alcotest.(check (option string)) "unrecovered" None s.unrecovered;
+  Alcotest.(check int) "obs events" 248 (Obs.event_count obs)
+
+(* ------------------------------------------------------------------ *)
+(* until_ms: the event at the cap stays queued                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The seed engine popped the first event past [until_ms] and threw it
+   away (its actor stayed busy forever, its tokens were lost).  The
+   compiled engine peeks instead: a capped run can be resumed and still
+   complete.  This is the one sanctioned behaviour change of the rewrite. *)
+let test_until_ms_keeps_event () =
+  let one = Csdf.Graph.const_rates [ 1 ] in
+  let g = Graph.create () in
+  Graph.add_kernel g "A";
+  Graph.add_kernel g "B";
+  ignore (Graph.add_channel g ~src:"A" ~dst:"B" ~prod:one ~cons:one ());
+  let e = Engine.create ~graph:g ~valuation:Valuation.empty ~default:0 () in
+  (match Engine.run_outcome ~iterations:3 ~until_ms:1.5 e with
+  | Engine.Stalled (s, partial) ->
+      Alcotest.(check bool) "cut at the cap" true (s.Engine.at_ms <= 1.5);
+      Alcotest.(check bool) "some progress" true
+        (List.assoc "A" partial.Engine.firings >= 1)
+  | _ -> Alcotest.fail "expected a Stalled outcome at the cap");
+  (* resuming must find the retained events and finish the iteration *)
+  match Engine.run_outcome ~iterations:3 e with
+  | Engine.Completed stats ->
+      Alcotest.(check (list (pair string int)))
+        "all firings completed"
+        [ ("A", 3); ("B", 3) ]
+        stats.Engine.firings
+  | o ->
+      Alcotest.fail
+        ("resumed run did not complete: " ^ describe (canon_new o))
+
+let () =
+  Alcotest.run "engine_equiv"
+    [
+      ( "heap",
+        [
+          QCheck_alcotest.to_alcotest prop_heap_matches_model;
+          QCheck_alcotest.to_alcotest prop_heap_fifo_ties;
+        ] );
+      ( "scenarios",
+        List.map
+          (fun f -> Alcotest.test_case f `Quick (check_file f))
+          graph_files );
+      ("chaos", [ Alcotest.test_case "golden summary" `Quick test_chaos_golden ]);
+      ( "until_ms",
+        [
+          Alcotest.test_case "event kept at cap" `Quick
+            test_until_ms_keeps_event;
+        ] );
+    ]
