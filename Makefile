@@ -11,13 +11,17 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Engine throughput only, at smoke sizes (seconds, not minutes); writes
-# BENCH_engine.smoke.json so it never clobbers the checked-in full-size
-# BENCH_engine.json.  Refresh the checked-in file with
-# `TPDF_BENCH_ONLY=E17 make bench` (full sizes, ~10 s).
+# Engine throughput and multicore scaling only, at smoke sizes (seconds,
+# not minutes); writes BENCH_engine.smoke.json / BENCH_par.smoke.json so
+# it never clobbers the checked-in full-size BENCH_engine.json and
+# BENCH_par.json.  Refresh the checked-in files with
+# `TPDF_BENCH_ONLY=E17 make bench` and `TPDF_BENCH_ONLY=E18 make bench`
+# (full sizes, tens of seconds each).
 bench-smoke:
 	TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E17 \
 	  TPDF_BENCH_OUT=BENCH_engine.smoke.json dune exec bench/main.exe
+	TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E18 \
+	  TPDF_BENCH_PAR_OUT=BENCH_par.smoke.json dune exec bench/main.exe
 
 check:
 	sh ci/check.sh

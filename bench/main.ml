@@ -35,6 +35,28 @@ let env_float name default =
 let bench_size = env_int "TPDF_BENCH_SIZE" 1024
 let bench_quota = env_float "TPDF_BENCH_QUOTA" 2.0
 
+let bench_smoke =
+  match Sys.getenv_opt "TPDF_BENCH_SMOKE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* Shared metadata block embedded in every BENCH_*.json so the numbers
+   can be interpreted later (compiler, word size, how much parallelism
+   the machine actually offers) without anything host-identifying. *)
+let fp_metadata oc =
+  let fp fmt = Printf.fprintf oc fmt in
+  fp "  \"metadata\": {\n";
+  fp "    \"ocaml_version\": %S,\n" Sys.ocaml_version;
+  fp "    \"os_type\": %S,\n" Sys.os_type;
+  fp "    \"word_size\": %d,\n" Sys.word_size;
+  fp "    \"cores_detected\": %d,\n" (Tpdf_par.Pool.recommended ());
+  fp "    \"tpdf_domains_env\": %s,\n"
+    (match Sys.getenv_opt "TPDF_DOMAINS" with
+    | Some s -> Printf.sprintf "%S" s
+    | None -> "null");
+  fp "    \"bench_smoke\": %b\n" bench_smoke;
+  fp "  },\n"
+
 let section id title =
   Printf.printf "\n==[ %s ]=== %s ==========================================\n" id title
 
@@ -369,7 +391,27 @@ let e15_ablation () =
       Printf.printf "  %2d PEs: %6.2f ms/iteration\n" pes period)
     [ 1; 2; 4; 8 ];
   Printf.printf "  intrinsic bound (max cycle ratio): %.2f ms/iteration\n"
-    (Sched.Mcr.iteration_period_ms (Sched.Mcr.build conc))
+    (Sched.Mcr.iteration_period_ms (Sched.Mcr.build conc));
+  (* mcr.solve wall time: the tpdf_obs gauge (one instrumented solve)
+     next to a Bechamel estimate of the dense-array solver, so the
+     instrumentation overhead and the real cost stay comparable. *)
+  let mcr_t = Sched.Mcr.build conc in
+  let obs = Tpdf_obs.Obs.create () in
+  ignore (Sched.Mcr.iteration_period_ms ~obs mcr_t);
+  let observed =
+    match
+      Tpdf_obs.Metrics.histogram (Tpdf_obs.Obs.metrics obs) "mcr.solve_ms"
+    with
+    | Some h -> h.Tpdf_obs.Metrics.sum
+    | None -> nan
+  in
+  let measured =
+    measure_ms "mcr.solve" (fun () ->
+        ignore (Sched.Mcr.iteration_period_ms mcr_t))
+  in
+  Printf.printf
+    "  mcr.solve wall time: obs gauge %.4f ms, bechamel %.4f ms (dense arrays)\n"
+    observed measured
 
 (* ------------------------------------------------------------------ *)
 (* E16: resilience sweep — seeded chaos on the OFDM demodulator        *)
@@ -559,11 +601,7 @@ let e17_baseline_chain_1e3_events_per_sec = 2544.0
 
 let e17_engine () =
   section "E17" "Engine throughput: synthetic chain / fan / grid graphs";
-  let smoke =
-    match Sys.getenv_opt "TPDF_BENCH_SMOKE" with
-    | Some ("1" | "true" | "yes") -> true
-    | _ -> false
-  in
+  let smoke = bench_smoke in
   let configs =
     if smoke then
       [
@@ -618,6 +656,7 @@ let e17_engine () =
   fp "{\n";
   fp "  \"experiment\": \"E17\",\n";
   fp "  \"smoke\": %b,\n" smoke;
+  fp_metadata oc;
   fp "  \"baseline\": {\n";
   fp "    \"engine\": \"seed (pre-compiled-tables, sorted-list Eq, global rescan)\",\n";
   fp "    \"graph\": \"chain\",\n";
@@ -636,6 +675,207 @@ let e17_engine () =
         r.peak_heap_words
         (if i = List.length runs - 1 then "" else ","))
     runs;
+  fp "  ]\n";
+  fp "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
+(* E18: multicore scaling — domain sweep over kernels and engine       *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Tpdf_par.Pool
+
+type e18_edge_run = {
+  detector : string;
+  side : int;
+  e_domains : int;
+  e_wall_ms : float;
+  mpix_per_sec : float;
+}
+
+type e18_engine_run = {
+  g_name : string;
+  g_actors : int;
+  g_domains : int;
+  g_events : int;
+  g_wall_ms : float;
+  g_events_per_sec : float;
+}
+
+let e18_time f =
+  let t0 = Tpdf_obs.Obs.now_wall_ms () in
+  f ();
+  Tpdf_obs.Obs.now_wall_ms () -. t0
+
+let e18_par () =
+  section "E18" "Multicore scaling: domain sweep over kernels and engine";
+  let smoke = bench_smoke in
+  let cores = Pool.recommended () in
+  let domain_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  Printf.printf "cores detected: %d; sweeping domains in {%s}\n" cores
+    (String.concat "," (List.map string_of_int domain_counts));
+  (* -- data-parallel kernels: edge detection ----------------------- *)
+  let sides = if smoke then [ 256 ] else [ 1024; 2048 ] in
+  let detectors = [ Edge.Prewitt; Edge.Canny ] in
+  Printf.printf "%-10s %6s %8s %10s %12s %9s\n" "detector" "side" "domains"
+    "wall ms" "Mpixel/s" "speedup";
+  let edge_runs =
+    List.concat_map
+      (fun side ->
+        let img = Synthetic.scene ~seed:42 ~width:side ~height:side () in
+        List.concat_map
+          (fun d ->
+            let base = ref nan in
+            List.map
+              (fun domains ->
+                let pool = Pool.create ~domains in
+                let wall =
+                  Fun.protect
+                    ~finally:(fun () -> Pool.shutdown pool)
+                    (fun () ->
+                      e18_time (fun () -> ignore (Edge.run ~pool d img)))
+                in
+                if domains = 1 then base := wall;
+                let mpix =
+                  float_of_int (side * side) /. 1.0e6 /. (wall /. 1000.0)
+                in
+                Printf.printf "%-10s %6d %8d %10.1f %12.2f %8.2fx\n%!"
+                  (Edge.name d) side domains wall mpix (!base /. wall);
+                {
+                  detector = Edge.name d;
+                  side;
+                  e_domains = domains;
+                  e_wall_ms = wall;
+                  mpix_per_sec = mpix;
+                })
+              domain_counts)
+          detectors)
+      sides
+  in
+  (* -- engine: parallel ready-set firing on the E17 graphs ---------- *)
+  (* The fan graph has the widest same-instant ready sets, so it is the
+     topology where parallel firing can pay; the chain bounds the
+     orchestration overhead (ready sets of one actor). *)
+  let configs =
+    if smoke then
+      [ ("chain", synth_chain 100, 20); ("fan", synth_fan 100, 20) ]
+    else
+      [
+        ("chain", synth_chain 1000, 100);
+        ("fan", synth_fan 1000, 100);
+        ("grid", synth_grid 32 32, 100);
+      ]
+  in
+  Printf.printf "%-6s %8s %8s %9s %10s %14s %9s\n" "graph" "actors" "domains"
+    "events" "wall ms" "events/sec" "speedup";
+  let engine_runs =
+    List.concat_map
+      (fun (g_name, g, iterations) ->
+        let actors = List.length (Graph.actors g) in
+        let base = ref nan in
+        List.map
+          (fun domains ->
+            let pool = Pool.create ~domains in
+            Fun.protect
+              ~finally:(fun () -> Pool.shutdown pool)
+              (fun () ->
+                let eng =
+                  Engine.create ~graph:g ~valuation:Valuation.empty
+                    ~pool ~default:0 ()
+                in
+                let events = ref 0 in
+                let wall =
+                  e18_time (fun () ->
+                      let stats =
+                        Engine.run ~iterations ~max_events:10_000_000 eng
+                      in
+                      events :=
+                        List.fold_left
+                          (fun acc (_, n) -> acc + n)
+                          0 stats.Engine.firings)
+                in
+                if domains = 1 then base := wall;
+                let eps =
+                  if wall <= 0.0 then 0.0
+                  else 1000.0 *. float_of_int !events /. wall
+                in
+                Printf.printf "%-6s %8d %8d %9d %10.1f %14.0f %8.2fx\n%!"
+                  g_name actors domains !events wall eps (!base /. wall);
+                {
+                  g_name;
+                  g_actors = actors;
+                  g_domains = domains;
+                  g_events = !events;
+                  g_wall_ms = wall;
+                  g_events_per_sec = eps;
+                }))
+          domain_counts)
+      configs
+  in
+  (* -- BENCH_par.json ---------------------------------------------- *)
+  let out =
+    match Sys.getenv_opt "TPDF_BENCH_PAR_OUT" with
+    | Some p -> p
+    | None -> "BENCH_par.json"
+  in
+  let speedup_of ~wall_1 wall = if wall > 0.0 then wall_1 /. wall else 0.0 in
+  let oc = open_out out in
+  let fp fmt = Printf.fprintf oc fmt in
+  fp "{\n";
+  fp "  \"experiment\": \"E18\",\n";
+  fp "  \"smoke\": %b,\n" smoke;
+  fp_metadata oc;
+  fp "  \"domain_sweep\": [%s],\n"
+    (String.concat ", " (List.map string_of_int domain_counts));
+  fp "  \"note\": %S,\n"
+    (if cores < 4 then
+       Printf.sprintf
+         "machine exposes %d core(s): pool domains beyond that time-share \
+          one core, so speedup is bounded near 1.0x regardless of domain \
+          count; the determinism contract (bit-identical results at any \
+          domain count) is what these runs certify here. See EXPERIMENTS.md \
+          E18."
+         cores
+     else
+       "speedup is wall_ms at 1 domain divided by wall_ms at d domains, \
+        same workload");
+  fp "  \"edge\": [\n";
+  List.iteri
+    (fun i r ->
+      let wall_1 =
+        (List.find
+           (fun r' ->
+             r'.detector = r.detector && r'.side = r.side && r'.e_domains = 1)
+           edge_runs)
+          .e_wall_ms
+      in
+      fp
+        "    { \"detector\": %S, \"side\": %d, \"domains\": %d, \"wall_ms\": \
+         %.3f, \"mpix_per_sec\": %.3f, \"speedup_vs_1\": %.3f }%s\n"
+        r.detector r.side r.e_domains r.e_wall_ms r.mpix_per_sec
+        (speedup_of ~wall_1 r.e_wall_ms)
+        (if i = List.length edge_runs - 1 then "" else ","))
+    edge_runs;
+  fp "  ],\n";
+  fp "  \"engine\": [\n";
+  List.iteri
+    (fun i r ->
+      let wall_1 =
+        (List.find
+           (fun r' -> r'.g_name = r.g_name && r'.g_domains = 1)
+           engine_runs)
+          .g_wall_ms
+      in
+      fp
+        "    { \"graph\": %S, \"actors\": %d, \"domains\": %d, \"events\": \
+         %d, \"wall_ms\": %.3f, \"events_per_sec\": %.1f, \"speedup_vs_1\": \
+         %.3f }%s\n"
+        r.g_name r.g_actors r.g_domains r.g_events r.g_wall_ms
+        r.g_events_per_sec
+        (speedup_of ~wall_1 r.g_wall_ms)
+        (if i = List.length engine_runs - 1 then "" else ","))
+    engine_runs;
   fp "  ]\n";
   fp "}\n";
   close_out oc;
@@ -700,6 +940,7 @@ let () =
       ("E15", e15_ablation);
       ("E16", e16_resilience);
       ("E17", e17_engine);
+      ("E18", e18_par);
     ]
   in
   let only =

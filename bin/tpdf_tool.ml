@@ -228,6 +228,25 @@ let cmd_throughput name params pes =
   | Some s -> Format.printf "single-appearance schedule: %a@." Csdf.Sas.pp s
   | None -> Format.printf "no single-appearance schedule (interleaving required)@."
 
+(* TPDF_DOMAINS=d runs the simulation sweeps on a d-domain pool.  The
+   engine's determinism contract makes the outputs bit-identical to the
+   sequential run, so this is safe to honor silently; it exists to
+   exercise and time the parallel runtime from the CLI. *)
+let with_env_pool f =
+  match Sys.getenv_opt "TPDF_DOMAINS" with
+  | None -> f None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d > 1 ->
+          let pool = Tpdf_par.Pool.create ~domains:d in
+          Fun.protect
+            ~finally:(fun () -> Tpdf_par.Pool.shutdown pool)
+            (fun () -> f (Some pool))
+      | Some d when d >= 0 -> f None
+      | _ ->
+          or_die
+            (Error (Printf.sprintf "TPDF_DOMAINS: expected a count, got %S" s)))
+
 (* Run everything — analyses, scheduling and a mode-scenario simulation
    sweep — under one collector. *)
 let instrumented_run name params pes iterations =
@@ -257,8 +276,9 @@ let instrumented_run name params pes iterations =
   (* Simulation: sweep every mode scenario so each kernel exercises each of
      its modes (and `reconfig` instants mark the boundaries). *)
   (match
-     Sim.Reconfigure.run_scenarios ~graph:g ~obs ~iterations ~valuation:v
-       ~default:0
+     with_env_pool @@ fun pool ->
+     Sim.Reconfigure.run_scenarios ~graph:g ~obs ~iterations ?pool
+       ~valuation:v ~default:0
        (Sim.Reconfigure.mode_scenarios g)
    with
   | (_ : Sim.Reconfigure.report) -> ()
@@ -346,8 +366,9 @@ let cmd_chaos name params seed faults iterations scenario deadlines retries
   let obs = Obs.create () in
   let summary =
     match
+      with_env_pool @@ fun pool ->
       Fault.Chaos.run ~graph:g ~seed ~specs ~policy ?scenario ~iterations ~obs
-        ~valuation:v
+        ?pool ~valuation:v
         ~behaviors:(chaos_behaviors g v) ()
     with
     | s -> s

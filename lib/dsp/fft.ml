@@ -1,5 +1,16 @@
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
+(* Twiddle factors for one butterfly stage: w^k = e^(sign*2πik/len) for
+   k < len/2.  Each entry comes straight from cos/sin instead of the
+   classic w := w * wlen running product, whose rounding error compounds
+   across the stage (~len accumulated ulps by the last butterfly). *)
+let stage_twiddles ~sign len =
+  let half = len / 2 in
+  let step = sign *. 2.0 *. Float.pi /. float_of_int len in
+  Array.init half (fun k ->
+      let ang = step *. float_of_int k in
+      { Complex.re = cos ang; im = sin ang })
+
 (* In-place iterative radix-2 with bit-reversal permutation. *)
 let transform ~inverse x =
   let n = Array.length x in
@@ -21,21 +32,19 @@ let transform ~inverse x =
     done;
     j := !j lor !m
   done;
-  (* Butterflies. *)
+  (* Butterflies, one precomputed twiddle table per stage. *)
   let sign = if inverse then 1.0 else -1.0 in
   let len = ref 2 in
   while !len <= n do
-    let ang = sign *. 2.0 *. Float.pi /. float_of_int !len in
-    let wlen = { Complex.re = cos ang; im = sin ang } in
+    let tw = stage_twiddles ~sign !len in
+    let half = !len / 2 in
     let i = ref 0 in
     while !i < n do
-      let w = ref Complex.one in
-      for k = 0 to (!len / 2) - 1 do
+      for k = 0 to half - 1 do
         let u = a.(!i + k) in
-        let v = Complex.mul a.(!i + k + (!len / 2)) !w in
+        let v = Complex.mul a.(!i + k + half) tw.(k) in
         a.(!i + k) <- Complex.add u v;
-        a.(!i + k + (!len / 2)) <- Complex.sub u v;
-        w := Complex.mul !w wlen
+        a.(!i + k + half) <- Complex.sub u v
       done;
       i := !i + !len
     done;

@@ -22,7 +22,22 @@ let remove_cyclic_prefix cfg samples =
 
 let receive_symbol cfg samples = Fft.fft (remove_cyclic_prefix cfg samples)
 
-let transmit_bits cfg scheme bits =
+(* Symbols are independent — each is its own (I)FFT — so a batch maps
+   over a pool without any cross-symbol state.  Slots are filled in index
+   order (or disjointly in parallel) and concatenated, so the stream is
+   identical whatever the domain count. *)
+let map_symbols ?pool n f =
+  let out =
+    match pool with
+    | None -> Array.init n f
+    | Some pool ->
+        let out = Array.make n [||] in
+        Tpdf_par.Pool.parallel_for pool ~lo:0 ~hi:n (fun s -> out.(s) <- f s);
+        out
+  in
+  Array.concat (Array.to_list out)
+
+let transmit_bits ?pool cfg scheme bits =
   let k = Modulation.bits_per_symbol scheme in
   let per_sym = cfg.n * k in
   let total =
@@ -33,20 +48,18 @@ let transmit_bits cfg scheme bits =
   Array.blit bits 0 padded 0 (Array.length bits);
   let nsym = total / per_sym in
   let stream =
-    Array.concat
-      (List.init nsym (fun s ->
-           let chunk = Array.sub padded (s * per_sym) per_sym in
-           transmit_symbol cfg (Modulation.modulate scheme chunk)))
+    map_symbols ?pool nsym (fun s ->
+        let chunk = Array.sub padded (s * per_sym) per_sym in
+        transmit_symbol cfg (Modulation.modulate scheme chunk))
   in
   (stream, padded)
 
-let receive_bits cfg scheme stream =
+let receive_bits ?pool cfg scheme stream =
   let sps = samples_per_symbol cfg in
   let len = Array.length stream in
   if len mod sps <> 0 then
     invalid_arg "Ofdm.receive_bits: stream is not a whole number of symbols";
   let nsym = len / sps in
-  Array.concat
-    (List.init nsym (fun s ->
-         let chunk = Array.sub stream (s * sps) sps in
-         Modulation.demodulate scheme (receive_symbol cfg chunk)))
+  map_symbols ?pool nsym (fun s ->
+      let chunk = Array.sub stream (s * sps) sps in
+      Modulation.demodulate scheme (receive_symbol cfg chunk))

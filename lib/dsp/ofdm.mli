@@ -26,11 +26,16 @@ val receive_symbol : config -> Complex.t array -> Complex.t array
 (** RCP then FFT: N+L time-domain samples → N frequency-domain values. *)
 
 val transmit_bits :
+  ?pool:Tpdf_par.Pool.t ->
   config -> Modulation.scheme -> int array -> Complex.t array * int array
 (** [transmit_bits cfg scheme bits] pads [bits] to fill a whole number of
     OFDM symbols, returning the serialized time-domain stream and the
-    (padded) bit vector actually sent. *)
+    (padded) bit vector actually sent.  Symbols are modulated and
+    IFFT-transformed in parallel under [pool]; the stream is identical to
+    the sequential one. *)
 
 val receive_bits :
+  ?pool:Tpdf_par.Pool.t ->
   config -> Modulation.scheme -> Complex.t array -> int array
-(** Demodulate a serialized stream produced by {!transmit_bits}. *)
+(** Demodulate a serialized stream produced by {!transmit_bits}.  The
+    per-symbol FFT + demap runs batch-parallel under [pool]. *)

@@ -36,7 +36,7 @@ let default_fallbacks graph =
       List.map (fun watch -> { Policy.watch; pins }) watches
 
 let run ~graph ~seed ~specs ?policy ?scenario ?iterations ?obs ?behaviors
-    ~valuation () =
+    ?pool ~valuation () =
   let policy =
     match policy with
     | Some p -> p
@@ -47,6 +47,6 @@ let run ~graph ~seed ~specs ?policy ?scenario ?iterations ?obs ?behaviors
   in
   let plan = Plan.make ~seed specs in
   Supervisor.run ~graph ~plan ~policy ?obs ?behaviors ~scenario ?iterations
-    ~valuation ~default:0 ()
+    ?pool ~valuation ~default:0 ()
 
 let recovered (s : Supervisor.summary) = s.unrecovered = None

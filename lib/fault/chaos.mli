@@ -29,6 +29,7 @@ val run :
   ?iterations:int ->
   ?obs:Tpdf_obs.Obs.t ->
   ?behaviors:(string * int Tpdf_sim.Behavior.t) list ->
+  ?pool:Tpdf_par.Pool.t ->
   valuation:Tpdf_param.Valuation.t ->
   unit ->
   Supervisor.summary

@@ -56,9 +56,32 @@ type state = {
   skipped_now : (string, unit) Hashtbl.t;  (* actors whose current firing
                                               was substituted *)
   last_ctrl : (int, string) Hashtbl.t;  (* control channel -> last mode *)
+  lock : Mutex.t;
+      (* With a pooled engine the [work] wrappers of same-instant firings
+         run on different domains; every access to the mutable state
+         above goes through [locked].  The final values are still
+         deterministic — counters commute and the hashtables are keyed
+         per actor / per control channel, which same-instant firings
+         touch disjointly — with one documented exception: if two watch
+         actors trip at the same virtual instant, the order of their
+         [degrades] entries follows actor scheduling (obs streams and
+         metrics are unaffected; they are capture-spliced by the
+         engine).  Firings of the same actor never overlap, so the
+         wrapper's read-modify-write sequences stay atomic enough under
+         the single lock. *)
 }
 
 let get tbl key = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0
+
+let locked st f =
+  Mutex.lock st.lock;
+  match f () with
+  | v ->
+      Mutex.unlock st.lock;
+      v
+  | exception e ->
+      Mutex.unlock st.lock;
+      raise e
 
 let metric st name actor =
   let m = Obs.metrics st.obs in
@@ -131,13 +154,13 @@ let wrap st ~default ~corrupt actor (b : 'a Behavior.t) : 'a Behavior.t =
     let faults = Plan.draw st.plan ~actor ~index:(global_index ctx) in
     let ts = ctx.Behavior.now_ms in
     let fails = fail_count faults in
-    Hashtbl.remove st.skipped_now actor;
+    locked st (fun () -> Hashtbl.remove st.skipped_now actor);
     let outputs =
       if fails = 0 then b.Behavior.work ctx
       else begin
         let budget = st.policy.Policy.max_retries in
         let absorbed = min fails budget in
-        st.retries <- st.retries + absorbed;
+        locked st (fun () -> st.retries <- st.retries + absorbed);
         Metrics.incr ~by:absorbed (Obs.metrics st.obs) "supervisor.retries";
         Metrics.incr ~by:absorbed (Obs.metrics st.obs)
           ("supervisor.retries." ^ actor);
@@ -147,22 +170,23 @@ let wrap st ~default ~corrupt actor (b : 'a Behavior.t) : 'a Behavior.t =
         else begin
           (* Retry budget exhausted: skip the firing and substitute default
              tokens at the declared rates, preserving rate consistency. *)
-          st.skips <- st.skips + 1;
-          metric st "skips" actor;
-          Hashtbl.replace st.skipped_now actor ();
-          instant st ~cat:"supervisor" ~track:actor ~name:"skip" ~ts
-            [ ("injected", Ev.Int fails) ];
-          note_bad st ~actor ~ts;
-          Behavior.produce_at_rates ctx (fun ch _ ->
-              if is_ctrl_chan ch then Token.Ctrl (substitute_mode st ch)
-              else Token.Data default)
+          locked st (fun () ->
+              st.skips <- st.skips + 1;
+              metric st "skips" actor;
+              Hashtbl.replace st.skipped_now actor ();
+              instant st ~cat:"supervisor" ~track:actor ~name:"skip" ~ts
+                [ ("injected", Ev.Int fails) ];
+              note_bad st ~actor ~ts;
+              Behavior.produce_at_rates ctx (fun ch _ ->
+                  if is_ctrl_chan ch then Token.Ctrl (substitute_mode st ch)
+                  else Token.Data default))
         end
       end
     in
     let outputs =
       if
         List.mem Fault.Corrupt faults
-        && not (Hashtbl.mem st.skipped_now actor)
+        && not (locked st (fun () -> Hashtbl.mem st.skipped_now actor))
       then
         List.map
           (fun (ch, toks) ->
@@ -178,7 +202,7 @@ let wrap st ~default ~corrupt actor (b : 'a Behavior.t) : 'a Behavior.t =
                     | tok -> tok)
                   toks
               in
-              st.corrupted <- st.corrupted + !n;
+              locked st (fun () -> st.corrupted <- st.corrupted + !n);
               Metrics.incr ~by:!n (Obs.metrics st.obs) "supervisor.corrupted";
               Metrics.incr ~by:!n (Obs.metrics st.obs)
                 ("supervisor.corrupted." ^ actor);
@@ -195,11 +219,11 @@ let wrap st ~default ~corrupt actor (b : 'a Behavior.t) : 'a Behavior.t =
           (fun (ch, toks) ->
             if not (is_ctrl_chan ch) then (ch, toks)
             else
-              match Hashtbl.find_opt st.last_ctrl ch with
+              match locked st (fun () -> Hashtbl.find_opt st.last_ctrl ch) with
               | None -> (ch, toks) (* nothing emitted yet: loss is moot *)
               | Some prev ->
                   let n = List.length toks in
-                  st.ctrl_lost <- st.ctrl_lost + n;
+                  locked st (fun () -> st.ctrl_lost <- st.ctrl_lost + n);
                   Metrics.incr ~by:n (Obs.metrics st.obs)
                     "supervisor.ctrl_lost";
                   Metrics.incr ~by:n (Obs.metrics st.obs)
@@ -211,15 +235,16 @@ let wrap st ~default ~corrupt actor (b : 'a Behavior.t) : 'a Behavior.t =
       else outputs
     in
     (* Remember the mode each control channel last carried. *)
-    List.iter
-      (fun (ch, toks) ->
-        if is_ctrl_chan ch then
-          List.iter
-            (function
-              | Token.Ctrl m -> Hashtbl.replace st.last_ctrl ch m
-              | Token.Data _ -> ())
-            toks)
-      outputs;
+    locked st (fun () ->
+        List.iter
+          (fun (ch, toks) ->
+            if is_ctrl_chan ch then
+              List.iter
+                (function
+                  | Token.Ctrl m -> Hashtbl.replace st.last_ctrl ch m
+                  | Token.Data _ -> ())
+                toks)
+          outputs);
     outputs
   in
   let duration_ms ctx =
@@ -239,21 +264,28 @@ let wrap st ~default ~corrupt actor (b : 'a Behavior.t) : 'a Behavior.t =
       +. float_of_int (min (fail_count faults) st.policy.Policy.max_retries)
          *. st.policy.Policy.retry_backoff_ms
     in
-    (match Policy.deadline_of st.policy actor with
-    | Some deadline when not (Hashtbl.mem st.skipped_now actor) ->
-        if d > deadline then begin
-          st.deadline_misses <- st.deadline_misses + 1;
-          metric st "deadline_misses" actor;
-          instant st ~cat:"supervisor" ~track:actor ~name:"deadline-miss" ~ts
-            [ ("duration_ms", Ev.Float d); ("deadline_ms", Ev.Float deadline) ];
-          note_bad st ~actor ~ts
-        end
-        else begin
-          st.deadline_hits <- st.deadline_hits + 1;
-          metric st "deadline_hits" actor;
-          note_good st ~actor
-        end
-    | _ -> ());
+    (* [duration_ms] runs on the orchestrating domain (the pooled engine
+       commits sequentially), but take the lock anyway: it is cheap and
+       keeps the wrapper safe under any caller. *)
+    locked st (fun () ->
+        match Policy.deadline_of st.policy actor with
+        | Some deadline when not (Hashtbl.mem st.skipped_now actor) ->
+            if d > deadline then begin
+              st.deadline_misses <- st.deadline_misses + 1;
+              metric st "deadline_misses" actor;
+              instant st ~cat:"supervisor" ~track:actor ~name:"deadline-miss"
+                ~ts
+                [
+                  ("duration_ms", Ev.Float d); ("deadline_ms", Ev.Float deadline);
+                ];
+              note_bad st ~actor ~ts
+            end
+            else begin
+              st.deadline_hits <- st.deadline_hits + 1;
+              metric st "deadline_hits" actor;
+              note_good st ~actor
+            end
+        | _ -> ());
     d
   in
   { Behavior.work; duration_ms }
@@ -266,8 +298,8 @@ let effective_scenario st scenario =
   pins @ List.filter (fun (k, _) -> not (Hashtbl.mem st.degraded k)) scenario
 
 let run ~graph ~plan ?(policy = Policy.default) ?(obs = Obs.disabled)
-    ?(behaviors = []) ?(scenario = []) ?(iterations = 1) ?corrupt ~valuation
-    ~default () =
+    ?(behaviors = []) ?(scenario = []) ?(iterations = 1) ?corrupt ?pool
+    ~valuation ~default () =
   if iterations < 1 then invalid_arg "Supervisor.run: iterations must be >= 1";
   Reconfigure.validate_scenario graph scenario;
   (match Policy.validate graph policy with
@@ -293,6 +325,7 @@ let run ~graph ~plan ?(policy = Policy.default) ?(obs = Obs.disabled)
       base_index = Hashtbl.create 16;
       skipped_now = Hashtbl.create 8;
       last_ctrl = Hashtbl.create 8;
+      lock = Mutex.create ();
     }
   in
   let offset = ref 0.0 in
@@ -346,7 +379,7 @@ let run ~graph ~plan ?(policy = Policy.default) ?(obs = Obs.disabled)
     in
     match
       let eng =
-        Engine.create ~graph ~valuation ~behaviors:wrapped ~obs:st.obs
+        Engine.create ~graph ~valuation ~behaviors:wrapped ~obs:st.obs ?pool
           ~default ()
       in
       Engine.run_outcome ~targets eng

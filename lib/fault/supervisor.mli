@@ -56,6 +56,7 @@ val run :
   ?scenario:Tpdf_sim.Reconfigure.scenario ->
   ?iterations:int ->
   ?corrupt:('a -> 'a) ->
+  ?pool:Tpdf_par.Pool.t ->
   valuation:Tpdf_param.Valuation.t ->
   default:'a ->
   unit ->
@@ -74,6 +75,13 @@ val run :
     instants (["retry"], ["corrupt"], ["ctrl-loss"]) and ["supervisor"]
     instants (["skip"], ["deadline-miss"], ["degrade"], ["stall"]), plus
     [supervisor.*] counters in the metrics registry.
+
+    [pool] is handed to every engine the supervisor creates: iterations
+    execute in deterministic parallel mode (see {!Tpdf_sim.Engine.create})
+    and the summary and event streams stay byte-identical to a sequential
+    run.  The wrappers' bookkeeping is lock-protected for this; the one
+    caveat is the order of [degrades] entries when two distinct watch
+    actors trip at the same virtual instant.
 
     Stalls, event-budget exhaustion and behaviour-contract violations do
     not raise: they end the run early with the diagnosis in [unrecovered].

@@ -17,10 +17,10 @@ let quality = function
   | Canny -> 5
 
 (* The quick mask has only five non-zero coefficients; one fused pass. *)
-let quick_mask ?(threshold = 30.0) img =
+let quick_mask ?pool ?(threshold = 30.0) img =
   let w = Image.width img and h = Image.height img in
   let response =
-    Image.init ~width:w ~height:h (fun x y ->
+    Image.par_init ?pool ~width:w ~height:h (fun x y ->
         abs_float
           ((4.0 *. Image.get img x y)
           -. Image.get img (x - 1) (y - 1)
@@ -31,9 +31,9 @@ let quick_mask ?(threshold = 30.0) img =
   Image.threshold response threshold
 
 (* Both Sobel responses in one fused traversal of the neighbourhood. *)
-let gradient_magnitude img =
+let gradient_magnitude ?pool img =
   let w = Image.width img and h = Image.height img in
-  Image.init ~width:w ~height:h (fun x y ->
+  Image.par_init ?pool ~width:w ~height:h (fun x y ->
       let p00 = Image.get img (x - 1) (y - 1)
       and p10 = Image.get img x (y - 1)
       and p20 = Image.get img (x + 1) (y - 1)
@@ -46,56 +46,71 @@ let gradient_magnitude img =
       let b = p02 +. (2.0 *. p12) +. p22 -. p00 -. (2.0 *. p10) -. p20 in
       sqrt ((a *. a) +. (b *. b)))
 
-let sobel ?(threshold = 120.0) img =
-  Image.threshold (gradient_magnitude img) threshold
+let sobel ?pool ?(threshold = 120.0) img =
+  Image.threshold (gradient_magnitude ?pool img) threshold
 
 (* All eight compass responses are evaluated in a single fused pass over
    the 3x3 neighbourhood — one image traversal instead of eight
    convolutions. *)
-let compass masks ?(threshold = 120.0) img =
+let compass masks ?pool ?(threshold = 120.0) img =
   let w = Image.width img and h = Image.height img in
-  let nb = Array.make 9 0.0 in
-  let mag =
-    Image.init ~width:w ~height:h (fun x y ->
-        let i = ref 0 in
-        for dy = -1 to 1 do
-          for dx = -1 to 1 do
-            nb.(!i) <- Image.get img (x + dx) (y + dy);
-            incr i
-          done
-        done;
-        let best = ref 0.0 in
-        Array.iter
-          (fun mask ->
-            let acc = ref 0.0 in
-            for j = 0 to 8 do
-              acc := !acc +. (mask.(j) *. nb.(j))
-            done;
-            let v = abs_float !acc in
-            if v > !best then best := v)
-          masks;
-        !best)
+  let mag = Image.create ~width:w ~height:h in
+  let mdata = Image.data mag in
+  (* [nb] is the caller's scratch for one row: the parallel path hands
+     every row its own nine floats, so domains never share scratch. *)
+  let row nb y =
+    let base = y * w in
+    for x = 0 to w - 1 do
+      let i = ref 0 in
+      for dy = -1 to 1 do
+        for dx = -1 to 1 do
+          nb.(!i) <- Image.get img (x + dx) (y + dy);
+          incr i
+        done
+      done;
+      let best = ref 0.0 in
+      Array.iter
+        (fun mask ->
+          let acc = ref 0.0 in
+          for j = 0 to 8 do
+            acc := !acc +. (mask.(j) *. nb.(j))
+          done;
+          let v = abs_float !acc in
+          if v > !best then best := v)
+        masks;
+      mdata.(base + x) <- !best
+    done
   in
+  (match pool with
+  | None ->
+      let nb = Array.make 9 0.0 in
+      for y = 0 to h - 1 do
+        row nb y
+      done
+  | Some pool ->
+      Tpdf_par.Pool.parallel_for pool ~lo:0 ~hi:h (fun y ->
+          row (Array.make 9 0.0) y));
   Image.threshold mag threshold
 
-let prewitt ?threshold img = compass Kernels.prewitt_compass ?threshold img
+let prewitt ?pool ?threshold img =
+  compass Kernels.prewitt_compass ?pool ?threshold img
 
-let kirsch ?(threshold = 400.0) img =
-  compass Kernels.kirsch_compass ~threshold img
+let kirsch ?pool ?(threshold = 400.0) img =
+  compass Kernels.kirsch_compass ?pool ~threshold img
 
-let canny ?(low = 40.0) ?(high = 90.0) img =
+let canny ?pool ?(low = 40.0) ?(high = 90.0) img =
   let w = Image.width img and h = Image.height img in
-  let blurred = Kernels.convolve img ~size:5 Kernels.gaussian5 in
-  let gx = Kernels.convolve3 blurred Kernels.sobel_x in
-  let gy = Kernels.convolve3 blurred Kernels.sobel_y in
+  let blurred = Kernels.convolve ?pool img ~size:5 Kernels.gaussian5 in
+  let gx = Kernels.convolve3 ?pool blurred Kernels.sobel_x in
+  let gy = Kernels.convolve3 ?pool blurred Kernels.sobel_y in
   let mag =
-    Image.init ~width:w ~height:h (fun x y ->
+    Image.par_init ?pool ~width:w ~height:h (fun x y ->
         let a = Image.get gx x y and b = Image.get gy x y in
         sqrt ((a *. a) +. (b *. b)))
   in
   (* Non-maximum suppression along the quantized gradient direction. *)
   let nms =
-    Image.init ~width:w ~height:h (fun x y ->
+    Image.par_init ?pool ~width:w ~height:h (fun x y ->
         let m = Image.get mag x y in
         if m = 0.0 then 0.0
         else
@@ -148,12 +163,13 @@ let canny ?(low = 40.0) ?(high = 90.0) img =
   done;
   out
 
-let run = function
-  | Quick_mask -> quick_mask ?threshold:None
-  | Sobel -> sobel ?threshold:None
-  | Prewitt -> prewitt ?threshold:None
-  | Kirsch -> kirsch ?threshold:None
-  | Canny -> canny ?low:None ?high:None
+let run ?pool d img =
+  match d with
+  | Quick_mask -> quick_mask ?pool img
+  | Sobel -> sobel ?pool img
+  | Prewitt -> prewitt ?pool img
+  | Kirsch -> kirsch ?pool img
+  | Canny -> canny ?pool img
 
 (* Milliseconds per megapixel, fitted to the paper's Fig. 6 table
    (1024x1024 ~ 1.05 Mpix: 200 / 473 / 522 / 1040 ms); Kirsch, not measured

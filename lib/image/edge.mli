@@ -21,20 +21,25 @@ val quality : detector -> int
 (** Priority rank used by the Transaction box: Canny > Kirsch > Prewitt >
     Sobel > Quick Mask (the paper's order, with Kirsch inserted). *)
 
-val quick_mask : ?threshold:float -> Image.t -> Image.t
-val sobel : ?threshold:float -> Image.t -> Image.t
-val prewitt : ?threshold:float -> Image.t -> Image.t
-val kirsch : ?threshold:float -> Image.t -> Image.t
+val quick_mask : ?pool:Tpdf_par.Pool.t -> ?threshold:float -> Image.t -> Image.t
+val sobel : ?pool:Tpdf_par.Pool.t -> ?threshold:float -> Image.t -> Image.t
+val prewitt : ?pool:Tpdf_par.Pool.t -> ?threshold:float -> Image.t -> Image.t
+val kirsch : ?pool:Tpdf_par.Pool.t -> ?threshold:float -> Image.t -> Image.t
 
-val canny : ?low:float -> ?high:float -> Image.t -> Image.t
+val canny :
+  ?pool:Tpdf_par.Pool.t -> ?low:float -> ?high:float -> Image.t -> Image.t
 (** Gaussian blur → Sobel gradients → non-maximum suppression → double
     threshold with hysteresis (weak edges kept only when connected to a
-    strong edge). *)
+    strong edge).  The convolutions, gradient and suppression passes are
+    row-parallel under [pool]; hysteresis is inherently sequential. *)
 
-val run : detector -> Image.t -> Image.t
-(** Dispatch with default thresholds. *)
+val run : ?pool:Tpdf_par.Pool.t -> detector -> Image.t -> Image.t
+(** Dispatch with default thresholds.  Every detector is row-parallel
+    under [pool] (the compass operators give each chunk its own
+    neighbourhood scratch) and returns the same pixels as the sequential
+    run — bit-identical, not approximately. *)
 
-val gradient_magnitude : Image.t -> Image.t
+val gradient_magnitude : ?pool:Tpdf_par.Pool.t -> Image.t -> Image.t
 (** Sobel gradient magnitude (shared by {!sobel} and {!canny}); exposed for
     tests. *)
 

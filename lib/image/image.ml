@@ -41,6 +41,23 @@ let init ~width ~height f =
   done;
   t
 
+let data t = t.data
+
+(* Rows are disjoint slices of the backing array, so chunking the row
+   range over a pool writes without overlap and produces exactly the
+   pixels [init] would. *)
+let par_init ?pool ~width ~height f =
+  match pool with
+  | None -> init ~width ~height f
+  | Some pool ->
+      let t = create ~width ~height in
+      Tpdf_par.Pool.parallel_for pool ~lo:0 ~hi:height (fun y ->
+          let base = y * width in
+          for x = 0 to width - 1 do
+            Array.unsafe_set t.data (base + x) (f x y)
+          done);
+      t
+
 let fold f acc t = Array.fold_left f acc t.data
 
 let mean t = fold ( +. ) 0.0 t /. float_of_int (t.w * t.h)

@@ -26,6 +26,17 @@ val copy : t -> t
 val map : (float -> float) -> t -> t
 val init : width:int -> height:int -> (int -> int -> float) -> t
 
+val data : t -> float array
+(** The row-major backing array itself (no copy).  Pixel [(x, y)] lives at
+    index [y * width + x].  Exposed so kernels can address interior pixels
+    without the clamping arithmetic of {!get}; treat it as borrowed. *)
+
+val par_init :
+  ?pool:Tpdf_par.Pool.t -> width:int -> height:int -> (int -> int -> float) -> t
+(** {!init} with the row loop chunked over [pool].  [f] must be pure (it
+    may run on any domain, in any row order); the result is pixel-identical
+    to the sequential {!init}.  Without [pool] this {e is} {!init}. *)
+
 val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
 
 val mean : t -> float

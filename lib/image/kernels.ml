@@ -1,22 +1,66 @@
-let convolve img ~size kernel =
+let convolve ?pool img ~size kernel =
   if size mod 2 = 0 || size < 1 then
     invalid_arg "Kernels.convolve: size must be odd and positive";
   if Array.length kernel <> size * size then
     invalid_arg "Kernels.convolve: kernel length mismatch";
   let half = size / 2 in
   let w = Image.width img and h = Image.height img in
-  Image.init ~width:w ~height:h (fun x y ->
-      let acc = ref 0.0 in
-      for ky = 0 to size - 1 do
-        for kx = 0 to size - 1 do
-          acc :=
-            !acc
-            +. (kernel.((ky * size) + kx) *. Image.get img (x + kx - half) (y + ky - half))
-        done
+  let out = Image.create ~width:w ~height:h in
+  let odata = Image.data out and idata = Image.data img in
+  (* Clamped-read fallback, used wherever the window leaves the image. *)
+  let clamped x y =
+    let acc = ref 0.0 in
+    for ky = 0 to size - 1 do
+      for kx = 0 to size - 1 do
+        acc :=
+          !acc
+          +. (kernel.((ky * size) + kx)
+             *. Image.get img (x + kx - half) (y + ky - half))
+      done
+    done;
+    !acc
+  in
+  let row y =
+    let base = y * w in
+    if y >= half && y + half < h && w > 2 * half then begin
+      for x = 0 to half - 1 do
+        odata.(base + x) <- clamped x y
       done;
-      !acc)
+      (* Interior: the window is fully inside the image, so address the
+         backing array directly.  Accumulation order matches the clamped
+         path (ky outer, kx inner), so the sums are bit-identical. *)
+      for x = half to w - half - 1 do
+        let acc = ref 0.0 in
+        for ky = 0 to size - 1 do
+          let irow = ((y + ky - half) * w) + x - half in
+          let krow = ky * size in
+          for kx = 0 to size - 1 do
+            acc :=
+              !acc
+              +. (Array.unsafe_get kernel (krow + kx)
+                 *. Array.unsafe_get idata (irow + kx))
+          done
+        done;
+        odata.(base + x) <- !acc
+      done;
+      for x = w - half to w - 1 do
+        odata.(base + x) <- clamped x y
+      done
+    end
+    else
+      for x = 0 to w - 1 do
+        odata.(base + x) <- clamped x y
+      done
+  in
+  (match pool with
+  | None ->
+      for y = 0 to h - 1 do
+        row y
+      done
+  | Some pool -> Tpdf_par.Pool.parallel_for pool ~lo:0 ~hi:h row);
+  out
 
-let convolve3 img kernel = convolve img ~size:3 kernel
+let convolve3 ?pool img kernel = convolve ?pool img ~size:3 kernel
 
 let gaussian5 =
   let raw =

@@ -1,11 +1,15 @@
 (** Convolution and the classic 3×3 edge masks. *)
 
-val convolve3 : Image.t -> float array -> Image.t
+val convolve3 : ?pool:Tpdf_par.Pool.t -> Image.t -> float array -> Image.t
 (** 3×3 convolution (row-major 9-element kernel), clamped borders. *)
 
-val convolve : Image.t -> size:int -> float array -> Image.t
-(** Square odd-sized convolution.  @raise Invalid_argument on even size or
-    kernel length mismatch. *)
+val convolve :
+  ?pool:Tpdf_par.Pool.t -> Image.t -> size:int -> float array -> Image.t
+(** Square odd-sized convolution.  Interior pixels (window fully inside)
+    address the backing array directly; only the border pays for clamped
+    reads.  With [pool], rows are chunked across its domains — output is
+    bit-identical to the sequential run, whatever the domain count.
+    @raise Invalid_argument on even size or kernel length mismatch. *)
 
 val gaussian5 : float array
 (** 5×5 Gaussian blur kernel (σ ≈ 1.4), normalized, as used by Canny. *)

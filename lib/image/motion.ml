@@ -42,23 +42,29 @@ let sad ~block reference current ~bx ~by ~dx ~dy =
   done;
   !acc
 
-let make_field ~block ~blocks_x ~blocks_y f =
-  {
-    block;
-    blocks_x;
-    blocks_y;
-    vectors =
-      Array.init (blocks_x * blocks_y) (fun i ->
-          f (i mod blocks_x) (i / blocks_x));
-  }
+(* Blocks are independent, so the vector field can be filled in any
+   order: the pooled path writes disjoint slots of a pre-sized array and
+   matches [Array.init] exactly. *)
+let make_field ?pool ~block ~blocks_x ~blocks_y f =
+  let n = blocks_x * blocks_y in
+  let vectors =
+    match pool with
+    | None -> Array.init n (fun i -> f (i mod blocks_x) (i / blocks_x))
+    | Some pool ->
+        let v = Array.make n { dx = 0; dy = 0 } in
+        Tpdf_par.Pool.parallel_for pool ~lo:0 ~hi:n (fun i ->
+            v.(i) <- f (i mod blocks_x) (i / blocks_x));
+        v
+  in
+  { block; blocks_x; blocks_y; vectors }
 
 let zero_motion ?(block = 16) ~reference current =
   let blocks_x, blocks_y = check_frames ~block reference current in
   make_field ~block ~blocks_x ~blocks_y (fun _ _ -> { dx = 0; dy = 0 })
 
-let full_search ?(block = 16) ?(range = 7) ~reference current =
+let full_search ?pool ?(block = 16) ?(range = 7) ~reference current =
   let blocks_x, blocks_y = check_frames ~block reference current in
-  make_field ~block ~blocks_x ~blocks_y (fun bx by ->
+  make_field ?pool ~block ~blocks_x ~blocks_y (fun bx by ->
       let best = ref { dx = 0; dy = 0 } in
       let best_sad = ref infinity in
       for dy = -range to range do
@@ -72,9 +78,9 @@ let full_search ?(block = 16) ?(range = 7) ~reference current =
       done;
       !best)
 
-let three_step_search ?(block = 16) ?(range = 7) ~reference current =
+let three_step_search ?pool ?(block = 16) ?(range = 7) ~reference current =
   let blocks_x, blocks_y = check_frames ~block reference current in
-  make_field ~block ~blocks_x ~blocks_y (fun bx by ->
+  make_field ?pool ~block ~blocks_x ~blocks_y (fun bx by ->
       let centre = ref { dx = 0; dy = 0 } in
       let best_sad =
         ref (sad ~block reference current ~bx ~by ~dx:0 ~dy:0)

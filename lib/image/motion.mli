@@ -27,11 +27,18 @@ val zero_motion : ?block:int -> reference:Image.t -> Image.t -> field
 (** All-zero vectors.  @raise Invalid_argument on dimension mismatch or
     dimensions not divisible by the block size. *)
 
-val full_search : ?block:int -> ?range:int -> reference:Image.t -> Image.t -> field
-(** Exhaustive search in [\[-range, range\]²] (default block 16, range 7). *)
+val full_search :
+  ?pool:Tpdf_par.Pool.t ->
+  ?block:int -> ?range:int -> reference:Image.t -> Image.t -> field
+(** Exhaustive search in [\[-range, range\]²] (default block 16, range 7).
+    Blocks are searched in parallel under [pool]; the field is identical
+    to the sequential one. *)
 
-val three_step_search : ?block:int -> ?range:int -> reference:Image.t -> Image.t -> field
-(** Classic TSS: halving step sizes around the best candidate. *)
+val three_step_search :
+  ?pool:Tpdf_par.Pool.t ->
+  ?block:int -> ?range:int -> reference:Image.t -> Image.t -> field
+(** Classic TSS: halving step sizes around the best candidate.  Blocks are
+    searched in parallel under [pool]. *)
 
 val compensate : reference:Image.t -> field -> Image.t
 (** Motion-compensated prediction built from the reference frame. *)

@@ -19,18 +19,56 @@ let create () =
     histograms = Hashtbl.create 32;
   }
 
-let incr ?(by = 1) t name =
-  if by < 0 then invalid_arg "Metrics.incr: counters are monotonic";
+(* Domain-local capture: while a registry is being captured on the
+   current domain, its updates are recorded into a buffer instead of
+   being applied, and {!replay} applies them later in recorded order.
+   This is how the parallel engine keeps metrics bit-identical to a
+   sequential run: each same-instant firing records on its own domain,
+   and the buffers are replayed in ascending actor id at commit time.
+   Registries are not otherwise synchronized — uncaptured updates must
+   stay on the owning domain. *)
+type op =
+  | Op_incr of string * int
+  | Op_gauge of string * float
+  | Op_observe of string * float
+
+type capture = { cap_target : t; mutable rev_ops : op list }
+
+let capture_slot : capture option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let captured t =
+  match !(Domain.DLS.get capture_slot) with
+  | Some buf when buf.cap_target == t -> Some buf
+  | _ -> None
+
+let capture_begin t =
+  let slot = Domain.DLS.get capture_slot in
+  (match !slot with
+  | Some _ -> invalid_arg "Metrics.capture_begin: capture already active"
+  | None -> ());
+  let buf = { cap_target = t; rev_ops = [] } in
+  slot := Some buf;
+  buf
+
+let capture_end buf =
+  let slot = Domain.DLS.get capture_slot in
+  (match !slot with
+  | Some b when b == buf -> ()
+  | _ -> invalid_arg "Metrics.capture_end: capture not active on this domain");
+  slot := None
+
+let apply_incr t name by =
   match Hashtbl.find_opt t.counters name with
   | Some r -> r := !r + by
   | None -> Hashtbl.replace t.counters name (ref by)
 
-let set_gauge t name v =
+let apply_gauge t name v =
   match Hashtbl.find_opt t.gauges name with
   | Some r -> r := v
   | None -> Hashtbl.replace t.gauges name (ref v)
 
-let observe t name v =
+let apply_observe t name v =
   match Hashtbl.find_opt t.histograms name with
   | Some h ->
       h.samples <- v :: h.samples;
@@ -41,6 +79,32 @@ let observe t name v =
   | None ->
       Hashtbl.replace t.histograms name
         { samples = [ v ]; h_count = 1; h_sum = v; h_min = v; h_max = v }
+
+let replay t buf =
+  if not (buf.cap_target == t) then
+    invalid_arg "Metrics.replay: buffer belongs to another registry";
+  List.iter
+    (function
+      | Op_incr (name, by) -> apply_incr t name by
+      | Op_gauge (name, v) -> apply_gauge t name v
+      | Op_observe (name, v) -> apply_observe t name v)
+    (List.rev buf.rev_ops)
+
+let incr ?(by = 1) t name =
+  if by < 0 then invalid_arg "Metrics.incr: counters are monotonic";
+  match captured t with
+  | Some buf -> buf.rev_ops <- Op_incr (name, by) :: buf.rev_ops
+  | None -> apply_incr t name by
+
+let set_gauge t name v =
+  match captured t with
+  | Some buf -> buf.rev_ops <- Op_gauge (name, v) :: buf.rev_ops
+  | None -> apply_gauge t name v
+
+let observe t name v =
+  match captured t with
+  | Some buf -> buf.rev_ops <- Op_observe (name, v) :: buf.rev_ops
+  | None -> apply_observe t name v
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0

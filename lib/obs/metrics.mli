@@ -30,6 +30,33 @@ type histogram_stats = {
 
 val histogram : t -> string -> histogram_stats option
 
+(** {2 Domain-local capture}
+
+    Machinery for deterministic parallel instrumentation (used by the
+    engine's pool mode through [Obs]): between {!capture_begin} and
+    {!capture_end}, updates to the captured registry made {e on the
+    current domain} are recorded into the returned buffer instead of
+    being applied; {!replay} later applies them in recorded order.
+    Replaying per-task buffers in a fixed task order makes the final
+    registry bit-identical to the sequential run.  A registry is not
+    otherwise thread-safe: uncaptured updates must stay on the domain
+    that owns it. *)
+
+type capture
+
+val capture_begin : t -> capture
+(** Start capturing this registry's updates on the current domain.
+    @raise Invalid_argument if a capture is already active here. *)
+
+val capture_end : capture -> unit
+(** Stop capturing.  @raise Invalid_argument if [capture] is not the
+    active capture of the current domain. *)
+
+val replay : t -> capture -> unit
+(** Apply the buffered updates in the order they were recorded.
+    @raise Invalid_argument if the buffer was captured from another
+    registry. *)
+
 val counters : t -> (string * int) list
 (** Sorted by name; likewise below. *)
 

@@ -42,6 +42,68 @@ let shift t offset_ms =
   if not t.enabled then t
   else { t with offset_ms = t.offset_ms +. offset_ms }
 
+(* Domain-local capture (see the .mli): while active on the current
+   domain, events bound for the captured store are diverted — already
+   offset-adjusted, so [shift] views behave identically — into a buffer
+   that [splice] later feeds through the normal store path (in-memory
+   sink, event counting, attached sinks).  Metrics updates are captured
+   alongside through [Metrics].  The store itself is never touched from
+   more than one domain: capturing tasks write only their own buffers. *)
+type capture = {
+  cap_store : store;
+  mutable rev_captured : Event.t list;
+  cap_metrics : Metrics.capture option; (* None on a disabled collector *)
+}
+
+let capture_slot : capture option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let capture_begin t =
+  if not t.enabled then
+    { cap_store = t.store; rev_captured = []; cap_metrics = None }
+  else begin
+    let slot = Domain.DLS.get capture_slot in
+    (match !slot with
+    | Some _ -> invalid_arg "Obs.capture_begin: capture already active"
+    | None -> ());
+    let c =
+      {
+        cap_store = t.store;
+        rev_captured = [];
+        cap_metrics = Some (Metrics.capture_begin t.metrics);
+      }
+    in
+    slot := Some c;
+    c
+  end
+
+let capture_end t c =
+  if t.enabled then begin
+    let slot = Domain.DLS.get capture_slot in
+    (match !slot with
+    | Some active when active == c -> ()
+    | _ -> invalid_arg "Obs.capture_end: capture not active on this domain");
+    slot := None;
+    match c.cap_metrics with
+    | Some mc -> Metrics.capture_end mc
+    | None -> ()
+  end
+
+let deliver store ev =
+  if store.keep then store.rev_events <- ev :: store.rev_events;
+  store.n_events <- store.n_events + 1;
+  List.iter (fun s -> s ev) store.sinks
+
+let splice t c =
+  if t.enabled then begin
+    if not (c.cap_store == t.store) then
+      invalid_arg "Obs.splice: buffer belongs to another store";
+    List.iter (deliver t.store) (List.rev c.rev_captured);
+    match c.cap_metrics with
+    | Some mc -> Metrics.replay t.metrics mc
+    | None -> ()
+  end
+
 let emit t (ev : Event.t) =
   if t.enabled then begin
     let ev =
@@ -49,9 +111,10 @@ let emit t (ev : Event.t) =
         { ev with Event.ts_ms = ev.Event.ts_ms +. t.offset_ms }
       else ev
     in
-    if t.store.keep then t.store.rev_events <- ev :: t.store.rev_events;
-    t.store.n_events <- t.store.n_events + 1;
-    List.iter (fun s -> s ev) t.store.sinks
+    match !(Domain.DLS.get capture_slot) with
+    | Some c when c.cap_store == t.store ->
+        c.rev_captured <- ev :: c.rev_captured
+    | _ -> deliver t.store ev
   end
 
 let span ?(clock = Event.Virtual) ?(args = []) t ~cat ~track ~name ~ts_ms

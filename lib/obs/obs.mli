@@ -42,6 +42,39 @@ val shift : t -> float -> t
 
 val emit : t -> Event.t -> unit
 
+(** {2 Domain-local capture}
+
+    Support for the engine's deterministic pool mode: a task running on
+    any domain brackets its instrumentation with
+    {!capture_begin}/{!capture_end}, which diverts every event bound for
+    this collector's store — including emissions through {!shift} views,
+    which share the store — into a private buffer, together with the
+    collector's metrics updates (see [Metrics] capture).  The
+    orchestrating domain then applies the buffers in a deterministic
+    order with {!splice}, reproducing the sequential event stream and
+    registry bit for bit.  The store itself is only ever touched by one
+    domain at a time: capturing tasks write their own buffers, and
+    splicing happens after the batch has been joined. *)
+
+type capture
+
+val capture_begin : t -> capture
+(** Start diverting this collector's emissions on the current domain.
+    On a disabled collector this is a no-op returning an empty buffer.
+    @raise Invalid_argument if a capture is already active here. *)
+
+val capture_end : t -> capture -> unit
+(** Stop diverting.  Call before handing the buffer to another domain.
+    @raise Invalid_argument if [capture] is not the active capture of
+    the current domain. *)
+
+val splice : t -> capture -> unit
+(** Feed the buffered events through the store (in-memory sink, event
+    count, attached sinks, in buffered order) and replay the buffered
+    metrics updates.  No-op on a disabled collector.
+    @raise Invalid_argument if the buffer was captured from a different
+    collector's store. *)
+
 val span :
   ?clock:Event.clock ->
   ?args:(string * Event.arg) list ->

@@ -7,7 +7,20 @@ type node = { actor : string; index : int }
 
 type edge = { src : node; dst : node; delay : int }
 
-type t = { node_list : node list; edge_list : edge list }
+type t = {
+  node_list : node list;
+  edge_list : edge list;
+  (* The same expansion compiled to dense arrays at [build] time: the
+     Bellman-Ford oracle runs tens of times per binary search (each with
+     up to |V| relaxation rounds), so node identities are resolved to
+     integers once here instead of through a hashtable on every edge of
+     every round. *)
+  node_arr : node array;
+  edge_arr : edge array;
+  edge_src : int array;  (* index into node_arr *)
+  edge_dst : int array;
+  edge_delay : int array;
+}
 
 let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
 
@@ -77,7 +90,22 @@ let build ?(obs = Obs.disabled) conc =
           end
         done)
     (Csdf.Graph.channels g);
-  let t = { node_list; edge_list = List.sort_uniq compare !edges } in
+  let edge_list = List.sort_uniq compare !edges in
+  let node_arr = Array.of_list node_list in
+  let idx = Hashtbl.create (2 * Array.length node_arr) in
+  Array.iteri (fun i n -> Hashtbl.replace idx n i) node_arr;
+  let edge_arr = Array.of_list edge_list in
+  let t =
+    {
+      node_list;
+      edge_list;
+      node_arr;
+      edge_arr;
+      edge_src = Array.map (fun e -> Hashtbl.find idx e.src) edge_arr;
+      edge_dst = Array.map (fun e -> Hashtbl.find idx e.dst) edge_arr;
+      edge_delay = Array.map (fun e -> e.delay) edge_arr;
+    }
+  in
   if Obs.enabled obs then begin
     let m = Obs.metrics obs in
     Metrics.set_gauge m "mcr.nodes" (float_of_int (List.length t.node_list));
@@ -91,36 +119,44 @@ let edges t = t.edge_list
 
 (* Positive-cycle oracle: is there a cycle with
    sum (dur(src) - lambda * delay) > 0 ?  Bellman-Ford longest-path
-   relaxation from an all-zero potential. *)
-let has_positive_cycle t weight =
-  let idx = Hashtbl.create 64 in
-  List.iteri (fun i n -> Hashtbl.replace idx n i) t.node_list;
-  let n = List.length t.node_list in
+   relaxation from an all-zero potential, over the dense arrays compiled
+   at [build].  Edge weights are fixed during the relaxation, so they are
+   evaluated once up front rather than once per round. *)
+let bellman t w =
+  let n = Array.length t.node_arr in
+  let ne = Array.length t.edge_arr in
   let dist = Array.make n 0.0 in
   let changed = ref true in
   let rounds = ref 0 in
   while !changed && !rounds <= n do
     changed := false;
     incr rounds;
-    List.iter
-      (fun e ->
-        let u = Hashtbl.find idx e.src and v = Hashtbl.find idx e.dst in
-        let cand = dist.(u) +. weight e in
-        if cand > dist.(v) +. 1e-12 then begin
-          dist.(v) <- cand;
-          changed := true
-        end)
-      t.edge_list
+    for i = 0 to ne - 1 do
+      let u = Array.unsafe_get t.edge_src i
+      and v = Array.unsafe_get t.edge_dst i in
+      let cand = Array.unsafe_get dist u +. Array.unsafe_get w i in
+      if cand > Array.unsafe_get dist v +. 1e-12 then begin
+        Array.unsafe_set dist v cand;
+        changed := true
+      end
+    done
   done;
   !rounds > n
+
+let has_positive_cycle t weight =
+  bellman t (Array.init (Array.length t.edge_arr) (fun i -> weight t.edge_arr.(i)))
 
 let iteration_period_ms ?(durations = fun _ -> 1.0) ?(obs = Obs.disabled) t =
   Obs.wall_span obs ~cat:"sched" "mcr.solve" @@ fun () ->
   let oracle_calls = ref 0 in
+  (* Durations don't depend on lambda: evaluate them once per solve, so
+     each oracle call is pure array arithmetic. *)
+  let src_dur = Array.map (fun u -> durations t.node_arr.(u)) t.edge_src in
+  let delay_f = Array.map float_of_int t.edge_delay in
+  let ne = Array.length t.edge_arr in
   let oracle lambda =
     incr oracle_calls;
-    has_positive_cycle t
-      (fun e -> durations e.src -. (lambda *. float_of_int e.delay))
+    bellman t (Array.init ne (fun i -> src_dur.(i) -. (lambda *. delay_f.(i))))
   in
   let hi0 =
     List.fold_left (fun acc n -> acc +. Float.max 0.0 (durations n)) 1.0 t.node_list

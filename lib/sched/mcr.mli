@@ -33,6 +33,13 @@ val build : ?obs:Tpdf_obs.Obs.t -> Tpdf_csdf.Concrete.t -> t
 val nodes : t -> node list
 val edges : t -> edge list
 
+val has_positive_cycle : t -> (edge -> float) -> bool
+(** The Bellman-Ford oracle itself: does any cycle have positive total
+    weight under the given edge weighting?  Runs over dense arrays
+    compiled at {!build} (edge weights are evaluated once, then each
+    relaxation round is pure array arithmetic).  Exposed for tests and
+    for callers with their own cycle questions. *)
+
 val iteration_period_ms :
   ?durations:(node -> float) -> ?obs:Tpdf_obs.Obs.t -> t -> float
 (** The maximum cycle ratio under the given per-firing durations

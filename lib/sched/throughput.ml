@@ -23,6 +23,32 @@ let iteration_period_ms ?(warmup = 2) ?(window = 4) ?durations ?include_actor
     Metrics.set_gauge (Obs.metrics obs) "throughput.period_ms" period;
   period
 
+let steady_period_ms ?(max_warmup = 40) ?(eps = 1e-6) ?durations ?include_actor
+    ?(obs = Obs.disabled) ~graph conc platform =
+  if max_warmup < 4 then invalid_arg "Throughput: max_warmup must be >= 4";
+  Obs.wall_span obs ~cat:"sched" "throughput.steady_period" @@ fun () ->
+  let mk k =
+    makespan ?durations ?include_actor ~graph conc platform ~iterations:k
+  in
+  (* While the pipeline fills, the one-iteration marginal consumes
+     initial-token slack and can sit *below* the steady-state period for
+     several iterations; once the list schedule becomes periodic the
+     marginal is constant.  Declare it settled after three consecutive
+     equal marginals (the fill phase of multirate graphs can plateau for
+     two). *)
+  let rec settle k m0 m1 m2 m3 =
+    let d1 = m1 -. m0 and d2 = m2 -. m1 and d3 = m3 -. m2 in
+    if
+      (Float.abs (d2 -. d1) <= eps && Float.abs (d3 -. d2) <= eps)
+      || k + 4 > max_warmup
+    then d3
+    else settle (k + 1) m1 m2 m3 (mk (k + 4))
+  in
+  let p = settle 1 (mk 1) (mk 2) (mk 3) (mk 4) in
+  if Obs.enabled obs then
+    Metrics.set_gauge (Obs.metrics obs) "throughput.steady_period_ms" p;
+  p
+
 let throughput_per_s ?warmup ?window ?durations ?include_actor ?obs ~graph conc
     platform =
   1000.0

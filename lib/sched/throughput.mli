@@ -23,6 +23,30 @@ val iteration_period_ms :
     [throughput.period_ms] gauge.  @raise Invalid_argument on non-positive
     window. *)
 
+val steady_period_ms :
+  ?max_warmup:int ->
+  ?eps:float ->
+  ?durations:(Canonical_period.node -> float) ->
+  ?include_actor:(string -> bool) ->
+  ?obs:Tpdf_obs.Obs.t ->
+  graph:Tpdf_core.Graph.t ->
+  Tpdf_csdf.Concrete.t ->
+  Tpdf_platform.Platform.t ->
+  float
+(** The post-transient iteration period.  While the pipeline fills, the
+    one-iteration marginal [makespan(k+1) - makespan(k)] consumes
+    initial-token slack and can sit strictly {e below} the steady-state
+    period (and below the MCR bound) for several iterations; once the
+    list schedule reaches its periodic phase the marginal is constant.
+    This estimator grows the warmup until three consecutive marginals
+    agree within [eps] (default [1e-6]) and returns that settled value,
+    falling back to the last marginal at [max_warmup] (default 40)
+    iterations.  Unlike {!iteration_period_ms} with a small window, the
+    result is a sound subject for the MCR lower bound.  With an enabled
+    [obs], timed as a ["throughput.steady_period"] wall span and recorded
+    as the [throughput.steady_period_ms] gauge.
+    @raise Invalid_argument when [max_warmup < 4]. *)
+
 val throughput_per_s :
   ?warmup:int ->
   ?window:int ->

@@ -4,6 +4,7 @@ module Digraph = Tpdf_graph.Digraph
 module Obs = Tpdf_obs.Obs
 module Ev = Tpdf_obs.Event
 module Metrics = Tpdf_obs.Metrics
+module Pool = Tpdf_par.Pool
 
 type firing_record = {
   actor : string;
@@ -103,6 +104,7 @@ type 'a t = {
   graph : Tpdf.Graph.t;
   conc : Csdf.Concrete.t;
   obs : Obs.t;
+  pool : Pool.t option;
   (* compiled actor tables; index = dense actor id in [actors] order *)
   actor_names : string array;
   actor_ids : (string, int) Hashtbl.t;
@@ -175,7 +177,7 @@ let sample_occupancy t ch =
   end
 
 let create ~graph ~valuation ?init_token ?(behaviors = [])
-    ?(obs = Obs.disabled) ~default () =
+    ?(obs = Obs.disabled) ?pool ~default () =
   (match Tpdf.Graph.validate graph with
   | Ok () -> ()
   | Error msgs ->
@@ -337,6 +339,7 @@ let create ~graph ~valuation ?init_token ?(behaviors = [])
       graph;
       conc;
       obs;
+      pool;
       actor_names;
       actor_ids;
       behaviors = behaviors_arr;
@@ -548,15 +551,23 @@ let validate_outputs t ai expected outputs =
         toks)
     outputs
 
-let start_firing t ai cm active =
+(* A firing is split in two.  The {e stage} — consume inputs, run the
+   behaviour's [work], validate the outputs — touches only the actor's
+   own channels (every channel has exactly one consumer and outputs are
+   delivered later, at [Complete]), so the stages of all firings that
+   start at the same drain are independent and may run on a domain pool.
+   The {e commit} — [duration_ms], the firing record, the event-heap
+   push — runs on the orchestrating domain, in ascending actor id, which
+   keeps event sequence numbers, traces, supervisor bookkeeping and obs
+   streams bit-identical to a sequential run. *)
+let fire_stage t ai cm active =
   let index = t.count.(ai) in
   let phase = index mod t.phases.(ai) in
   let inputs = consume t ai cm active phase in
   let rates = cm.cm_out_rates.(phase) in
-  let a = t.actor_names.(ai) in
   let ctx =
     {
-      Behavior.actor = a;
+      Behavior.actor = t.actor_names.(ai);
       mode = cm.cm.Tpdf.Mode.name;
       phase;
       index;
@@ -565,29 +576,73 @@ let start_firing t ai cm active =
       out_rates = rates;
     }
   in
-  let b = t.behaviors.(ai) in
-  let outputs = b.Behavior.work ctx in
+  let outputs = t.behaviors.(ai).Behavior.work ctx in
   validate_outputs t ai rates outputs;
+  (ctx, outputs)
+
+let fire_commit t ai (ctx, outputs) =
+  let b = t.behaviors.(ai) in
   let d = b.Behavior.duration_ms ctx in
   if d < 0.0 then
-    raise (Error (Negative_duration { actor = a; duration_ms = d }));
+    raise
+      (Error (Negative_duration { actor = ctx.Behavior.actor; duration_ms = d }));
   let record =
     {
-      actor = a;
-      index;
-      phase;
-      mode = cm.cm.Tpdf.Mode.name;
+      actor = ctx.Behavior.actor;
+      index = ctx.Behavior.index;
+      phase = ctx.Behavior.phase;
+      mode = ctx.Behavior.mode;
       start_ms = t.now;
       finish_ms = t.now +. d;
     }
   in
-  t.count.(ai) <- index + 1;
+  t.count.(ai) <- ctx.Behavior.index + 1;
   t.busy.(ai) <- true;
   Event_heap.add t.events (t.now +. d) (Complete (ai, outputs, record))
 
+let start_firing t ai cm active = fire_commit t ai (fire_stage t ai cm active)
+
+(* Run the stages of [jobs] (same-instant, independent by construction)
+   on the pool, then commit in job order (= ascending actor id).  Each
+   task captures its obs/metrics emissions into a private buffer;
+   splicing the buffers in job order reconstructs the sequential stream.
+   A job may carry an exception instead of work — either pre-raised by
+   [fireable] or raised inside the stage: it is re-raised at its commit
+   slot, after the buffers of all earlier jobs (and its own partial one)
+   have been spliced, exactly where the sequential run would have
+   raised.  Later stages have already run by then; their token
+   consumption is unobservable because the raise aborts the run. *)
+let fire_parallel t pool jobs =
+  let tasks =
+    Array.map
+      (fun (ai, job) () ->
+        let cap = Obs.capture_begin t.obs in
+        let res =
+          match job with
+          | `Fire (cm, active) -> (
+              try Result.Ok (fire_stage t ai cm active)
+              with e -> Result.Error e)
+          | `Raise e -> Result.Error e
+        in
+        Obs.capture_end t.obs cap;
+        (res, cap))
+      jobs
+  in
+  let results = Pool.run pool tasks in
+  Array.iteri
+    (fun k (res, cap) ->
+      Obs.splice t.obs cap;
+      match res with
+      | Result.Error e -> raise e
+      | Result.Ok staged ->
+          let ai, _ = jobs.(k) in
+          fire_commit t ai staged)
+    results
+
 let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
-    t =
+    ?pool t =
   if iterations < 1 then invalid_arg "Engine.run: iterations must be >= 1";
+  let pool = match pool with Some _ as p -> p | None -> t.pool in
   (match targets with
   | None -> ()
   | Some l ->
@@ -632,27 +687,59 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
       | Some p -> Event_heap.add t.events p (Tick ai)
       | None -> ()
   done;
+  let eligible ai =
+    (not t.busy.(ai))
+    && t.clock_period.(ai) = None
+    && t.count.(ai) < limit.(ai)
+  in
   let try_start ai =
-    if
-      (not t.busy.(ai))
-      && t.clock_period.(ai) = None
-      && t.count.(ai) < limit.(ai)
-    then
+    if eligible ai then
       match fireable t ai with
       | Some (cm, active) -> start_firing t ai cm active
       | None -> ()
   in
   (* Drain the dirty worklist in ascending actor id — the same stable
      order as the seed's global rescan, so scheduling decisions and the
-     resulting traces are identical. *)
-  let drain () =
-    match t.dirty_ids with
-    | [] -> ()
-    | ids ->
-        let ids = List.sort compare ids in
-        t.dirty_ids <- [];
-        List.iter (fun ai -> t.dirty.(ai) <- false) ids;
-        List.iter try_start ids
+     resulting traces are identical.  With a pool, the fireable set is
+     decided first (firings that start together cannot enable or disable
+     one another: outputs are delivered at [Complete], and consumption
+     touches only the firing actor's own input channels), the stages run
+     in parallel, and the commits replay in the same ascending order. *)
+  let drain =
+    match pool with
+    | None ->
+        fun () ->
+          (match t.dirty_ids with
+          | [] -> ()
+          | ids ->
+              let ids = List.sort compare ids in
+              t.dirty_ids <- [];
+              List.iter (fun ai -> t.dirty.(ai) <- false) ids;
+              List.iter try_start ids)
+    | Some pool -> (
+        fun () ->
+          match t.dirty_ids with
+          | [] -> ()
+          | ids ->
+              let ids = List.sort compare ids in
+              t.dirty_ids <- [];
+              List.iter (fun ai -> t.dirty.(ai) <- false) ids;
+              let jobs =
+                List.filter_map
+                  (fun ai ->
+                    if eligible ai then
+                      match fireable t ai with
+                      | Some (cm, active) -> Some (ai, `Fire (cm, active))
+                      | None -> None
+                      | exception e -> Some (ai, `Raise e)
+                    else None)
+                  ids
+              in
+              (match jobs with
+              | [] -> ()
+              | [ (ai, `Fire (cm, active)) ] -> start_firing t ai cm active
+              | [ (_, `Raise e) ] -> raise e
+              | jobs -> fire_parallel t pool (Array.of_list jobs)))
   in
   for ai = n - 1 downto 0 do
     mark_dirty t ai
@@ -801,8 +888,8 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
   end
   else Completed stats
 
-let run ?iterations ?targets ?until_ms ?max_events t =
-  match run_outcome ?iterations ?targets ?until_ms ?max_events t with
+let run ?iterations ?targets ?until_ms ?max_events ?pool t =
+  match run_outcome ?iterations ?targets ?until_ms ?max_events ?pool t with
   | Completed stats -> stats
   | Stalled (s, _) ->
       failwith

@@ -93,6 +93,7 @@ val create :
   ?init_token:(int -> int -> 'a Token.t) ->
   ?behaviors:(string * 'a Behavior.t) list ->
   ?obs:Tpdf_obs.Obs.t ->
+  ?pool:Tpdf_par.Pool.t ->
   default:'a ->
   unit ->
   'a t
@@ -109,6 +110,17 @@ val create :
     instants, plus per-actor/per-channel metrics.  With the disabled
     collector every instrumentation point is a single branch and allocates
     nothing, so simulation results and timings are unchanged.
+
+    [pool] turns on deterministic parallel execution: the behaviours of
+    all firings that start at the same drain — independent by
+    construction, since outputs are delivered at completion and each
+    channel has a single consumer — run on the pool's domains, and their
+    results are committed in ascending actor id.  Outcomes, stats,
+    traces, metrics and obs event streams are bit-identical to a
+    sequential run (enforced by [test/test_engine_equiv.ml]); behaviours
+    must only be thread-safe {e against each other} (shared mutable state
+    between different actors' behaviours needs locking — see
+    [Tpdf_fault.Supervisor]).
     @raise Invalid_argument on unknown behaviour actors, or if the graph
     fails {!Tpdf_core.Graph.validate}. *)
 
@@ -117,6 +129,7 @@ val run_outcome :
   ?targets:(string * int) list ->
   ?until_ms:float ->
   ?max_events:int ->
+  ?pool:Tpdf_par.Pool.t ->
   'a t ->
   outcome
 (** Execute [iterations] (default 1) graph iterations: every non-clock
@@ -132,6 +145,8 @@ val run_outcome :
     full diagnosis (blocked actors with their completed/required counts,
     per-channel occupancy at stall time); exhausting the event budget
     returns {!Budget_exceeded}.  Partial statistics are carried in both.
+    [pool] overrides the pool given at {!create} for this run (the engine
+    stays usable sequentially and in parallel on the same instance).
     @raise Invalid_argument on a [targets] entry naming an unknown actor or
     carrying a negative count, or if [iterations < 1].
     @raise Error if a behaviour violates its contract (wrong token counts,
@@ -142,6 +157,7 @@ val run :
   ?targets:(string * int) list ->
   ?until_ms:float ->
   ?max_events:int ->
+  ?pool:Tpdf_par.Pool.t ->
   'a t ->
   stats
 (** Compatibility wrapper around {!run_outcome}: returns the stats of a

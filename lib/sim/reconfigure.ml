@@ -40,7 +40,7 @@ let reconfigure_instant obs ~offset ~what detail =
   end
 
 let run_sequence ~graph ?(obs = Obs.disabled) ?(behaviors = []) ?targets
-    ~default valuations =
+    ?pool ~default valuations =
   if valuations = [] then
     invalid_arg "Reconfigure.run_sequence: empty valuation sequence";
   let offset = ref 0.0 in
@@ -51,7 +51,7 @@ let run_sequence ~graph ?(obs = Obs.disabled) ?(behaviors = []) ?targets
           (Format.asprintf "%a" Tpdf_param.Valuation.pp valuation);
         let eng =
           Engine.create ~graph ~valuation ~behaviors
-            ~obs:(Obs.shift obs !offset) ~default ()
+            ~obs:(Obs.shift obs !offset) ?pool ~default ()
         in
         let targets =
           match targets with None -> None | Some f -> Some (f valuation)
@@ -196,7 +196,7 @@ let scenario_control_behavior graph scenario =
       Behavior.produce_at_rates ctx (fun ch _ -> Token.Ctrl (mode_for ch)))
 
 let run_scenarios ~graph ?(obs = Obs.disabled) ?(behaviors = [])
-    ?(iterations = 1) ~valuation ~default scenarios =
+    ?(iterations = 1) ?pool ~valuation ~default scenarios =
   if scenarios = [] then
     invalid_arg "Reconfigure.run_scenarios: empty scenario sequence";
   List.iter (validate_scenario graph) scenarios;
@@ -220,7 +220,7 @@ let run_scenarios ~graph ?(obs = Obs.disabled) ?(behaviors = [])
         let eng =
           Engine.create ~graph ~valuation
             ~behaviors:(behaviors @ ctrl_behaviors)
-            ~obs:(Obs.shift obs !offset) ~default ()
+            ~obs:(Obs.shift obs !offset) ?pool ~default ()
         in
         let stats = Engine.run ~iterations ~targets eng in
         offset := !offset +. stats.Engine.end_ms;

@@ -24,6 +24,7 @@ val run_sequence :
   ?obs:Tpdf_obs.Obs.t ->
   ?behaviors:(string * 'a Behavior.t) list ->
   ?targets:(Tpdf_param.Valuation.t -> (string * int) list) ->
+  ?pool:Tpdf_par.Pool.t ->
   default:'a ->
   Tpdf_param.Valuation.t list ->
   report
@@ -36,7 +37,9 @@ val run_sequence :
     [obs] records the whole sequence on one virtual timeline: a
     ["reconfig"] instant (with the valuation) marks each iteration
     boundary, and each iteration's engine events are shifted by the
-    accumulated end time of the previous ones.
+    accumulated end time of the previous ones.  [pool] is handed to every
+    engine created (deterministic parallel mode, byte-identical results —
+    see {!Engine.create}).
     @raise Invalid_argument on an empty sequence
     @raise Failure if any iteration stalls. *)
 
@@ -82,6 +85,7 @@ val run_scenarios :
   ?obs:Tpdf_obs.Obs.t ->
   ?behaviors:(string * 'a Behavior.t) list ->
   ?iterations:int ->
+  ?pool:Tpdf_par.Pool.t ->
   valuation:Tpdf_param.Valuation.t ->
   default:'a ->
   scenario list ->

@@ -271,13 +271,26 @@ let test_fm_demodulate () =
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* The per-stage twiddle tables keep butterfly error at a few ulps, so
+   these tolerances are two orders tighter than the 1e-8 the running
+   w := w * wlen recurrence needed, across every power-of-two length the
+   OFDM configurations use. *)
+let arb_fft_case ~max_exp =
+  QCheck.make
+    ~print:(fun (e, seed) -> Printf.sprintf "n=%d seed=%d" (1 lsl e) seed)
+    QCheck.Gen.(pair (int_range 0 max_exp) (int_range 0 100_000))
+
 let prop_fft_roundtrip =
-  QCheck.Test.make ~name:"ifft . fft = id" ~count:50
-    QCheck.(list_of_size (Gen.return 64) (pair (float_bound_exclusive 1.0) (float_bound_exclusive 1.0)))
-    (fun pts ->
-      QCheck.assume (List.length pts = 64);
-      let x = Array.of_list (List.map (fun (re, im) -> { Complex.re; im }) pts) in
-      carray_approx 1e-8 x (Fft.ifft (Fft.fft x)))
+  QCheck.Test.make ~name:"ifft . fft = id" ~count:60 (arb_fft_case ~max_exp:10)
+    (fun (e, seed) ->
+      let x = random_signal (Prng.create seed) (1 lsl e) in
+      carray_approx 1e-10 x (Fft.ifft (Fft.fft x)))
+
+let prop_fft_matches_naive =
+  QCheck.Test.make ~name:"fft = naive dft (pow2 lengths)" ~count:40
+    (arb_fft_case ~max_exp:8) (fun (e, seed) ->
+      let x = random_signal (Prng.create seed) (1 lsl e) in
+      carray_approx 1e-9 (Fft.fft x) (Fft.dft_naive x))
 
 let prop_modulation_roundtrip =
   QCheck.Test.make ~name:"demodulate . modulate = id (qam16)" ~count:100
@@ -332,5 +345,9 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_fft_roundtrip; prop_modulation_roundtrip ] );
+          [
+            prop_fft_roundtrip;
+            prop_fft_matches_naive;
+            prop_modulation_roundtrip;
+          ] );
     ]

@@ -324,6 +324,132 @@ let test_chaos_golden () =
   Alcotest.(check int) "obs events" 248 (Obs.event_count obs)
 
 (* ------------------------------------------------------------------ *)
+(* Sequential vs pooled execution                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Tpdf_par.Pool
+
+(* The pool contract is byte-identical observable behaviour: same
+   outcome, stats, traces and obs event streams as the sequential
+   engine, at any domain count.  Checked for every shipped graph under
+   every mode scenario, and for the full chaos stack. *)
+let par_domain_counts =
+  let base = [ 1; 2; 4 ] in
+  match Sys.getenv_opt "TPDF_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 && not (List.mem d base) -> base @ [ d ]
+      | _ -> base)
+  | None -> base
+
+let with_pool ~domains f =
+  let pool = Pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let check_file_par domains file () =
+  let path = Filename.concat graphs_dir file in
+  match Serial.load path with
+  | Error m -> Alcotest.fail (file ^ ": " ^ m)
+  | Ok g ->
+      let v = valuation_for g in
+      let scenarios = Sim.Reconfigure.mode_scenarios g in
+      with_pool ~domains @@ fun pool ->
+      List.iteri
+        (fun i scenario ->
+          let label =
+            Printf.sprintf "%s scenario %d (domains=%d)" file i domains
+          in
+          let run ?pool () =
+            run_one_engine
+              ~create:(fun ~graph ~valuation ~behaviors ~obs ~default () ->
+                Engine.create ~graph ~valuation ~behaviors ~obs ?pool ~default
+                  ())
+              ~run_outcome:(fun ~iterations ~targets ~max_events e ->
+                Engine.run_outcome ~iterations ~targets ~max_events e)
+              ~canon:canon_new g v scenario
+          in
+          let o_seq, ev_seq = run () in
+          let o_par, ev_par = run ~pool () in
+          if o_par <> o_seq then
+            Alcotest.fail
+              (Printf.sprintf "%s: outcome diverged\n  par: %s\n  seq: %s"
+                 label (describe o_par) (describe o_seq));
+          Alcotest.(check int)
+            (label ^ " obs event count")
+            (List.length ev_seq) (List.length ev_par);
+          if ev_par <> ev_seq then
+            Alcotest.fail (label ^ ": tpdf_obs event streams diverged"))
+        scenarios
+
+(* Chaos through the supervisor: retries, skips, deadline watchdog and
+   mode fallback all run above the pooled engine; the summary (including
+   per-iteration stats) and the obs stream must not move by a byte. *)
+let chaos_summary ?pool () =
+  let g, _ = Tpdf_apps.Ofdm_app.tpdf_graph () in
+  let beta = 2 and n = 8 in
+  let v = Tpdf_apps.Ofdm_app.valuation ~beta ~n ~l:1 in
+  let behaviors =
+    List.filter_map
+      (fun a ->
+        if Graph.is_control g a then None
+        else
+          Some
+            ( a,
+              Behavior.fill 0 ~duration_ms:(fun _ ->
+                  Tpdf_apps.Ofdm_app.model_cost_ms ~beta ~n a) ))
+      (Graph.actors g)
+  in
+  let policy =
+    Fault.Policy.make
+      ~deadlines_ms:[ ("QAM", 0.05) ]
+      ~degrade_after:2
+      ~fallbacks:(Fault.Chaos.default_fallbacks g) ()
+  in
+  let specs =
+    [
+      Fault.Fault.spec ~target:"QAM" ~prob:0.6 (Fault.Fault.Overrun 8.0);
+      Fault.Fault.spec ~target:"FFT" ~prob:0.3 (Fault.Fault.Fail 4);
+      Fault.Fault.spec ~prob:0.15 (Fault.Fault.Jitter 0.02);
+    ]
+  in
+  let obs = Obs.create () in
+  let s =
+    Fault.Chaos.run ~graph:g ~seed:42 ~specs ~policy ~iterations:6 ~obs
+      ~behaviors ?pool ~valuation:v ()
+  in
+  (s, Obs.events obs)
+
+let test_chaos_par domains () =
+  with_pool ~domains @@ fun pool ->
+  let s_seq, ev_seq = chaos_summary () in
+  let s_par, ev_par = chaos_summary ~pool () in
+  Alcotest.(check bool)
+    (Printf.sprintf "chaos summary identical (domains=%d)" domains)
+    true (s_par = s_seq);
+  Alcotest.(check int)
+    (Printf.sprintf "chaos obs event count (domains=%d)" domains)
+    (List.length ev_seq) (List.length ev_par);
+  if ev_par <> ev_seq then
+    Alcotest.fail
+      (Printf.sprintf "chaos obs streams diverged (domains=%d)" domains)
+
+let par_equiv_tests =
+  List.concat_map
+    (fun domains ->
+      List.map
+        (fun f ->
+          Alcotest.test_case
+            (Printf.sprintf "%s domains=%d" f domains)
+            `Quick (check_file_par domains f))
+        graph_files
+      @ [
+          Alcotest.test_case
+            (Printf.sprintf "chaos domains=%d" domains)
+            `Quick (test_chaos_par domains);
+        ])
+    par_domain_counts
+
+(* ------------------------------------------------------------------ *)
 (* until_ms: the event at the cap stays queued                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -368,6 +494,7 @@ let () =
           (fun f -> Alcotest.test_case f `Quick (check_file f))
           graph_files );
       ("chaos", [ Alcotest.test_case "golden summary" `Quick test_chaos_golden ]);
+      ("par-equiv", par_equiv_tests);
       ( "until_ms",
         [
           Alcotest.test_case "event kept at cap" `Quick

@@ -184,13 +184,16 @@ let prop_mcr_bounds_schedule =
       let tg = Graph.of_csdf g in
       let conc = Csdf.Concrete.make g Valuation.empty in
       let mcr = Sched.Mcr.iteration_period_ms (Sched.Mcr.build conc) in
+      (* The bound only holds for the *steady-state* period: during the
+         pipeline-fill transient the one-iteration marginal consumes
+         initial-token slack and can dip below the MCR (e.g. 24 ms/iter
+         for three iterations against an MCR of 25 on the seed-90
+         counterexample), so measure after the schedule settles. *)
       let sched =
-        Sched.Throughput.iteration_period_ms ~warmup:1 ~window:2 ~graph:tg conc
-          (Platform.uniform 4)
+        Sched.Throughput.steady_period_ms ~graph:tg conc (Platform.uniform 4)
       in
-      (* The MCR ignores communication costs, and the finite-window
-         marginal estimate amortizes the warmup's cross-PE latencies over
-         the window — allow that latency-scale slack. *)
+      (* The MCR ignores communication costs — allow latency-scale
+         slack. *)
       sched >= mcr -. 0.05)
 
 let prop_trees_live =

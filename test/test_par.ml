@@ -1,0 +1,278 @@
+(* Tests for lib/par (Pool): the deterministic domain pool underneath
+   the parallel engine and the data-parallel kernels.  The contract under
+   test: results in task-index order, ascending-chunk merges equal to the
+   sequential fold, every task attempted with the lowest-indexed
+   exception re-raised, and shutdown that joins all workers and degrades
+   the pool to inline execution. *)
+
+module Pool = Tpdf_par.Pool
+
+let with_pool ~domains f =
+  let pool = Pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_invalid () =
+  Alcotest.check_raises "domains=0 rejected"
+    (Invalid_argument "Pool.create: domains must be >= 1") (fun () ->
+      ignore (Pool.create ~domains:0))
+
+let test_domains_accessor () =
+  with_pool ~domains:3 @@ fun pool ->
+  Alcotest.(check int) "configured parallelism" 3 (Pool.domains pool);
+  Alcotest.(check bool) "recommended >= 1" true (Pool.recommended () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* run: index order and exception contract                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_index_order () =
+  with_pool ~domains:4 @@ fun pool ->
+  let n = 64 in
+  let out = Pool.run pool (Array.init n (fun i () -> i * i)) in
+  Alcotest.(check (array int))
+    "results in task-index order"
+    (Array.init n (fun i -> i * i))
+    out
+
+let test_run_empty () =
+  with_pool ~domains:2 @@ fun pool ->
+  Alcotest.(check (array int)) "empty batch" [||] (Pool.run pool [||])
+
+let test_run_exception_lowest_wins () =
+  with_pool ~domains:4 @@ fun pool ->
+  let attempted = Array.make 8 false in
+  let tasks =
+    Array.init 8 (fun i () ->
+        attempted.(i) <- true;
+        if i = 2 || i = 5 then failwith (Printf.sprintf "task %d" i))
+  in
+  (match Pool.run pool tasks with
+  | _ -> Alcotest.fail "expected a Failure"
+  | exception Failure m ->
+      Alcotest.(check string) "lowest-indexed exception wins" "task 2" m);
+  Alcotest.(check (array bool))
+    "every task attempted despite failures" (Array.make 8 true) attempted;
+  (* the pool must still be healthy: no hung workers, no poisoned state *)
+  let again = Pool.run pool (Array.init 4 (fun i () -> i + 1)) in
+  Alcotest.(check (array int)) "pool usable after a failing batch"
+    [| 1; 2; 3; 4 |] again
+
+let test_run_not_reentrant () =
+  with_pool ~domains:2 @@ fun pool ->
+  match
+    Pool.run pool
+      [| (fun () -> ignore (Pool.run pool [| (fun () -> 0) |] : int array)) |]
+  with
+  | _ ->
+      (* A single-task batch runs inline, and a nested single-task batch
+         is inline too — that is allowed.  Force a real nested batch: *)
+      (match
+         Pool.run pool
+           (Array.init 2 (fun i () ->
+                if i = 0 then
+                  ignore (Pool.run pool (Array.init 2 (fun j () -> j)))))
+       with
+      | _ -> Alcotest.fail "nested run did not raise"
+      | exception Invalid_argument _ -> ())
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* shutdown                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_shutdown_degrades_to_inline () =
+  let pool = Pool.create ~domains:4 in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  let out = Pool.run pool (Array.init 16 (fun i () -> 2 * i)) in
+  Alcotest.(check (array int))
+    "inline after shutdown"
+    (Array.init 16 (fun i -> 2 * i))
+    out;
+  let sum =
+    Pool.parallel_for_reduce pool ~lo:0 ~hi:100 ~init:0
+      ~body:(fun acc i -> acc + i)
+      ~merge:( + )
+  in
+  Alcotest.(check int) "reduce after shutdown" 4950 sum
+
+(* ------------------------------------------------------------------ *)
+(* parallel_for                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_for_covers_range () =
+  with_pool ~domains:4 @@ fun pool ->
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  (* disjoint writes: each index is touched by exactly one chunk *)
+  Pool.parallel_for ~chunk:7 pool ~lo:0 ~hi:n (fun i ->
+      hits.(i) <- hits.(i) + 1);
+  Alcotest.(check (array int)) "each index exactly once" (Array.make n 1) hits;
+  Pool.parallel_for pool ~lo:5 ~hi:5 (fun _ -> Alcotest.fail "empty range");
+  Alcotest.check_raises "chunk=0 rejected"
+    (Invalid_argument "Pool: chunk must be >= 1") (fun () ->
+      Pool.parallel_for ~chunk:0 pool ~lo:0 ~hi:10 ignore)
+
+(* ------------------------------------------------------------------ *)
+(* parallel_for_reduce = sequential fold (qcheck)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Integer sums and list concatenation are exact, so "equals the
+   sequential fold" is byte-equality, not approximation.  Domain and
+   chunk counts are arbitrary; the pool is created per case and shut
+   down so no domains leak across the 200 runs. *)
+let arb_reduce_case =
+  QCheck.make
+    ~print:(fun (domains, chunk, lo, len) ->
+      Printf.sprintf "domains=%d chunk=%s lo=%d len=%d" domains
+        (match chunk with Some c -> string_of_int c | None -> "auto")
+        lo len)
+    QCheck.Gen.(
+      quad (int_range 1 6)
+        (opt (int_range 1 50))
+        (int_range (-20) 20) (int_range 0 300))
+
+let prop_reduce_matches_fold =
+  QCheck.Test.make ~name:"parallel_for_reduce sum = fold_left" ~count:200
+    arb_reduce_case (fun (domains, chunk, lo, len) ->
+      let hi = lo + len in
+      with_pool ~domains @@ fun pool ->
+      let par =
+        Pool.parallel_for_reduce ?chunk pool ~lo ~hi ~init:0
+          ~body:(fun acc i -> acc + (i * i) + 3)
+          ~merge:( + )
+      in
+      let seq = ref 0 in
+      for i = lo to hi - 1 do
+        seq := !seq + (i * i) + 3
+      done;
+      par = !seq)
+
+let prop_reduce_preserves_order =
+  QCheck.Test.make
+    ~name:"parallel_for_reduce concat visits indices in order" ~count:100
+    arb_reduce_case (fun (domains, chunk, lo, len) ->
+      let hi = lo + len in
+      with_pool ~domains @@ fun pool ->
+      let par =
+        Pool.parallel_for_reduce ?chunk pool ~lo ~hi ~init:[]
+          ~body:(fun acc i -> acc @ [ i ])
+          ~merge:( @ )
+      in
+      par = List.init len (fun k -> lo + k))
+
+let prop_parallel_for_sums =
+  QCheck.Test.make ~name:"parallel_for hits every index once" ~count:100
+    arb_reduce_case (fun (domains, chunk, lo, len) ->
+      let hi = lo + len in
+      with_pool ~domains @@ fun pool ->
+      let hits = Array.make (max len 1) 0 in
+      Pool.parallel_for ?chunk pool ~lo ~hi (fun i ->
+          let k = i - lo in
+          hits.(k) <- hits.(k) + 1);
+      Array.for_all (( = ) 1) (Array.sub hits 0 len))
+
+(* ------------------------------------------------------------------ *)
+(* Data-parallel kernels are bit-identical to their sequential runs    *)
+(* ------------------------------------------------------------------ *)
+
+module Image = Tpdf_image.Image
+module Edge = Tpdf_image.Edge
+module Motion = Tpdf_image.Motion
+module Kernels = Tpdf_image.Kernels
+module Ofdm = Tpdf_dsp.Ofdm
+module Modulation = Tpdf_dsp.Modulation
+module Prng = Tpdf_util.Prng
+
+let random_image rng ~width ~height =
+  Image.init ~width ~height (fun _ _ -> Prng.float rng 255.0)
+
+let test_kernels_bit_identical () =
+  let rng = Prng.create 7 in
+  let img = random_image rng ~width:97 ~height:64 in
+  with_pool ~domains:3 @@ fun pool ->
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Edge.name d ^ " pooled = sequential")
+        true
+        (Image.equal (Edge.run d img) (Edge.run ~pool d img)))
+    Edge.all;
+  Alcotest.(check bool) "convolve5 pooled = sequential" true
+    (Image.equal
+       (Kernels.convolve img ~size:5 Kernels.gaussian5)
+       (Kernels.convolve ~pool img ~size:5 Kernels.gaussian5));
+  (* tiny image: every pixel is border, interior split degenerates *)
+  let tiny = random_image rng ~width:3 ~height:2 in
+  Alcotest.(check bool) "tiny convolve5 pooled = sequential" true
+    (Image.equal
+       (Kernels.convolve tiny ~size:5 Kernels.gaussian5)
+       (Kernels.convolve ~pool tiny ~size:5 Kernels.gaussian5))
+
+let test_motion_bit_identical () =
+  let rng = Prng.create 8 in
+  let reference = random_image rng ~width:64 ~height:48 in
+  let current = random_image rng ~width:64 ~height:48 in
+  with_pool ~domains:3 @@ fun pool ->
+  Alcotest.(check bool) "full_search pooled = sequential" true
+    (Motion.full_search ~block:16 ~range:4 ~reference current
+    = Motion.full_search ~pool ~block:16 ~range:4 ~reference current);
+  Alcotest.(check bool) "tss pooled = sequential" true
+    (Motion.three_step_search ~block:16 ~reference current
+    = Motion.three_step_search ~pool ~block:16 ~reference current)
+
+let test_ofdm_bit_identical () =
+  let rng = Prng.create 9 in
+  let cfg = Ofdm.config ~n:64 ~l:8 in
+  let bits = Array.init 1000 (fun _ -> Prng.int rng 2) in
+  with_pool ~domains:3 @@ fun pool ->
+  let stream_seq, padded_seq = Ofdm.transmit_bits cfg Modulation.Qam16 bits in
+  let stream_par, padded_par =
+    Ofdm.transmit_bits ~pool cfg Modulation.Qam16 bits
+  in
+  Alcotest.(check bool) "transmit pooled = sequential" true
+    (padded_par = padded_seq && stream_par = stream_seq);
+  let rx_seq = Ofdm.receive_bits cfg Modulation.Qam16 stream_seq in
+  let rx_par = Ofdm.receive_bits ~pool cfg Modulation.Qam16 stream_seq in
+  Alcotest.(check bool) "receive pooled = sequential" true (rx_par = rx_seq);
+  Alcotest.(check bool) "roundtrip" true (rx_seq = padded_seq)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "create rejects domains<1" `Quick
+            test_create_invalid;
+          Alcotest.test_case "domains accessor" `Quick test_domains_accessor;
+          Alcotest.test_case "run keeps index order" `Quick
+            test_run_index_order;
+          Alcotest.test_case "run on empty batch" `Quick test_run_empty;
+          Alcotest.test_case "lowest-indexed exception, all attempted" `Quick
+            test_run_exception_lowest_wins;
+          Alcotest.test_case "not reentrant" `Quick test_run_not_reentrant;
+          Alcotest.test_case "shutdown joins and degrades to inline" `Quick
+            test_shutdown_degrades_to_inline;
+          Alcotest.test_case "parallel_for covers the range" `Quick
+            test_parallel_for_covers_range;
+        ] );
+      ( "reduce",
+        [
+          QCheck_alcotest.to_alcotest prop_reduce_matches_fold;
+          QCheck_alcotest.to_alcotest prop_reduce_preserves_order;
+          QCheck_alcotest.to_alcotest prop_parallel_for_sums;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "edge detectors bit-identical" `Quick
+            test_kernels_bit_identical;
+          Alcotest.test_case "motion search bit-identical" `Quick
+            test_motion_bit_identical;
+          Alcotest.test_case "ofdm symbols bit-identical" `Quick
+            test_ofdm_bit_identical;
+        ] );
+    ]
