@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke check chaos clean
+.PHONY: all build test bench bench-smoke check chaos resume-smoke clean
 
 all: build
 
@@ -22,6 +22,8 @@ bench-smoke:
 	  TPDF_BENCH_OUT=BENCH_engine.smoke.json dune exec bench/main.exe
 	TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E18 \
 	  TPDF_BENCH_PAR_OUT=BENCH_par.smoke.json dune exec bench/main.exe
+	TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E19 \
+	  TPDF_BENCH_CKPT_OUT=BENCH_ckpt.smoke.json dune exec bench/main.exe
 
 check:
 	sh ci/check.sh
@@ -34,6 +36,23 @@ chaos:
 	dune exec bin/tpdf_tool.exe -- chaos ofdm-tpdf -p beta=2 -p N=8 -p L=1 \
 	  --seed 42 --faults 'overrun:QAM:0.8:8,fail:FFT:0.3:4' \
 	  --deadline QAM=0.05 --degrade-after 2 --iterations 6
+
+# Crash-recovery smoke: kill a checkpointed chaos run mid-flight (exit
+# 3), resume from the newest valid checkpoint, and require the resumed
+# stdout to match the uninterrupted run byte for byte.
+resume-smoke:
+	@dir=$$(mktemp -d); \
+	args="chaos ofdm-tpdf -p beta=2 -p N=8 -p L=1 --seed 42 \
+	  --faults overrun:QAM:0.8:8,fail:FFT:0.3:4 --deadline QAM=0.05 \
+	  --degrade-after 2 --iterations 6"; \
+	dune exec bin/tpdf_tool.exe -- $$args > $$dir/golden && \
+	{ dune exec bin/tpdf_tool.exe -- $$args --checkpoint-every 1 \
+	    --checkpoint-dir $$dir/ckpts --kill-at-ms 3.0 > /dev/null; \
+	  test $$? -eq 3; } && \
+	dune exec bin/tpdf_tool.exe -- resume $$dir/ckpts \
+	  > $$dir/resumed 2> /dev/null && \
+	diff $$dir/golden $$dir/resumed && \
+	rm -rf $$dir && echo "resume-smoke: OK"
 
 clean:
 	dune clean

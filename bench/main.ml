@@ -882,6 +882,177 @@ let e18_par () =
   Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* E19: checkpoint overhead — period sweep over snapshot + persist     *)
+(* ------------------------------------------------------------------ *)
+
+module Ckpt = Tpdf_ckpt.Ckpt
+
+type e19_run = {
+  c_graph : string;
+  c_period : int; (* 0 = checkpointing off *)
+  c_events : int;
+  c_wall_ms : float;
+  c_events_per_sec : float;
+  c_checkpoints : int;
+  c_snapshot_bytes : int; (* serialized size of the final checkpoint *)
+  c_restore_ms : float; (* read + verify + Engine.restore of that file *)
+}
+
+let e19_ckpt () =
+  section "E19" "Checkpoint overhead: period sweep (off, 1, 10, 100)";
+  let smoke = bench_smoke in
+  let iterations = if smoke then 20 else 100 in
+  let configs =
+    if smoke then [ ("chain", synth_chain 100); ("fan", synth_fan 100) ]
+    else [ ("chain", synth_chain 1000); ("fan", synth_fan 1000) ]
+  in
+  let periods = [ 0; 1; 10; 100 ] in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tpdf-e19-%d" (Unix.getpid ()))
+  in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ()
+    end
+  in
+  Printf.printf "%-6s %8s %9s %10s %14s %6s %9s %11s %11s\n" "graph" "period"
+    "events" "wall ms" "events/sec" "ckpts" "bytes" "restore ms" "overhead";
+  let make_file g v eng =
+    {
+      Ckpt.kind = "run";
+      meta = [ ("experiment", "E19") ];
+      graph_src = Serial.to_string g;
+      valuation = Valuation.bindings v;
+      snapshot = Some (Engine.snapshot ~encode:string_of_int eng);
+    }
+  in
+  let runs =
+    List.concat_map
+      (fun (c_graph, g) ->
+        let v = Valuation.empty in
+        let base = ref nan in
+        List.map
+          (fun c_period ->
+            cleanup ();
+            let store = Ckpt.Store.open_dir dir in
+            let eng = Engine.create ~graph:g ~valuation:v ~default:0 () in
+            let events = ref 0 in
+            let ckpts = ref 0 in
+            let run_to target =
+              match
+                Engine.run_outcome ~iterations:target ~max_events:10_000_000
+                  eng
+              with
+              | Engine.Completed stats ->
+                  events :=
+                    List.fold_left (fun a (_, n) -> a + n) 0 stats.Engine.firings
+              | _ -> failwith "E19 workload did not complete"
+            in
+            let wall =
+              e18_time (fun () ->
+                  if c_period = 0 then run_to iterations
+                  else begin
+                    let i = ref 0 in
+                    while !i < iterations do
+                      i := min iterations (!i + c_period);
+                      run_to !i;
+                      ignore
+                        (Ckpt.Store.save store ~seq:!i (make_file g v eng));
+                      incr ckpts
+                    done
+                  end)
+            in
+            if c_period = 0 then base := wall;
+            (* final checkpoint: size on disk and restore latency *)
+            let final = Ckpt.to_string (make_file g v eng) in
+            let c_snapshot_bytes = String.length final in
+            let path = Ckpt.Store.save store ~seq:(iterations + 1) (make_file g v eng) in
+            let t0 = Tpdf_obs.Obs.now_wall_ms () in
+            let c_restore_ms =
+              match Ckpt.read path with
+              | Error m -> failwith ("E19 restore: " ^ m)
+              | Ok f -> (
+                  match Serial.of_string f.Ckpt.graph_src with
+                  | Error m -> failwith ("E19 graph re-parse: " ^ m)
+                  | Ok g' ->
+                      ignore
+                        (Engine.restore ~graph:g'
+                           ~valuation:(Valuation.of_list f.Ckpt.valuation)
+                           ~default:0 ~decode:int_of_string
+                           (Option.get f.Ckpt.snapshot));
+                      Tpdf_obs.Obs.now_wall_ms () -. t0)
+            in
+            let eps =
+              if wall <= 0.0 then 0.0
+              else 1000.0 *. float_of_int !events /. wall
+            in
+            Printf.printf "%-6s %8s %9d %10.1f %14.0f %6d %9d %11.2f %10.2fx\n%!"
+              c_graph
+              (if c_period = 0 then "off" else string_of_int c_period)
+              !events wall eps !ckpts c_snapshot_bytes c_restore_ms
+              (wall /. !base);
+            {
+              c_graph;
+              c_period;
+              c_events = !events;
+              c_wall_ms = wall;
+              c_events_per_sec = eps;
+              c_checkpoints = !ckpts;
+              c_snapshot_bytes;
+              c_restore_ms;
+            })
+          periods)
+      configs
+  in
+  cleanup ();
+  let out =
+    match Sys.getenv_opt "TPDF_BENCH_CKPT_OUT" with
+    | Some p -> p
+    | None -> "BENCH_ckpt.json"
+  in
+  let oc = open_out out in
+  let fp fmt = Printf.fprintf oc fmt in
+  fp "{\n";
+  fp "  \"experiment\": \"E19\",\n";
+  fp "  \"smoke\": %b,\n" smoke;
+  fp_metadata oc;
+  fp "  \"iterations\": %d,\n" iterations;
+  fp "  \"periods\": [%s],\n"
+    (String.concat ", " (List.map string_of_int periods));
+  fp "  \"note\": %S,\n"
+    "period 0 is checkpointing off; overhead_vs_off is wall_ms divided by \
+     the same graph's period-off wall_ms.  Checkpoints are full crash-\
+     consistent writes (temp + fsync + rename) of graph source, valuation \
+     and engine snapshot.  Chunked driving at small periods also imposes \
+     iteration barriers, so the overhead includes lost source run-ahead, \
+     not just serialization.";
+  fp "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      let wall_off =
+        (List.find (fun r' -> r'.c_graph = r.c_graph && r'.c_period = 0) runs)
+          .c_wall_ms
+      in
+      fp
+        "    { \"graph\": %S, \"period\": %d, \"events\": %d, \"wall_ms\": \
+         %.3f, \"events_per_sec\": %.1f, \"checkpoints\": %d, \
+         \"snapshot_bytes\": %d, \"restore_ms\": %.3f, \"overhead_vs_off\": \
+         %.3f }%s\n"
+        r.c_graph r.c_period r.c_events r.c_wall_ms r.c_events_per_sec
+        r.c_checkpoints r.c_snapshot_bytes r.c_restore_ms
+        (if wall_off > 0.0 then r.c_wall_ms /. wall_off else 0.0)
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  fp "  ]\n";
+  fp "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* TPDF_BENCH_TRACE: observability artifacts for the example graphs    *)
 (* ------------------------------------------------------------------ *)
 
@@ -941,6 +1112,7 @@ let () =
       ("E16", e16_resilience);
       ("E17", e17_engine);
       ("E18", e18_par);
+      ("E19", e19_ckpt);
     ]
   in
   let only =

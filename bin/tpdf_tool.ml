@@ -38,7 +38,23 @@ let lookup_graph name =
   match List.assoc_opt name graphs with
   | Some (_, mk) -> Ok (mk ())
   | None ->
-      if Sys.file_exists name then Serial.load name
+      if Sys.file_exists name then
+        match Serial.load name with
+        | Ok g -> Ok g
+        | Error msg -> (
+            (* Serial diagnoses as "line N: reason"; rehome that on the
+               file so the shell sees a clickable file:line: message. *)
+            match Scanf.sscanf_opt msg "line %d" (fun n -> n) with
+            | Some n -> (
+                match String.index_opt msg ':' with
+                | Some i ->
+                    let rest =
+                      String.trim
+                        (String.sub msg (i + 1) (String.length msg - i - 1))
+                    in
+                    Error (Printf.sprintf "%s:%d: %s" name n rest)
+                | None -> Error (Printf.sprintf "%s:%d: %s" name n msg))
+            | None -> Error (Printf.sprintf "%s: %s" name msg))
       else
         Error
           (Printf.sprintf "unknown graph %S; try a .tpdf file or one of: %s"
@@ -335,14 +351,132 @@ let chaos_behaviors g v =
       (Graph.actors g)
   else []
 
-let cmd_chaos name params seed faults iterations scenario deadlines retries
-    backoff degrade_after trace_out =
-  let g = or_die (lookup_graph name) in
-  let v = need_valuation g params in
+(* ------------------------------------------------------------------ *)
+(* Checkpointed execution: run / chaos / resume                        *)
+(* ------------------------------------------------------------------ *)
+
+module Ckpt = Tpdf_ckpt.Ckpt
+
+let meta_or_die file key =
+  match Ckpt.meta file key with
+  | Some v -> v
+  | None ->
+      or_die (Error (Printf.sprintf "checkpoint: missing meta key %S" key))
+
+let int_meta file key =
+  match int_of_string_opt (meta_or_die file key) with
+  | Some n -> n
+  | None ->
+      or_die
+        (Error (Printf.sprintf "checkpoint: meta %S is not an integer" key))
+
+let float_meta file key =
+  match float_of_string_opt (meta_or_die file key) with
+  | Some f -> f
+  | None ->
+      or_die (Error (Printf.sprintf "checkpoint: meta %S is not a number" key))
+
+let split_kv what s =
+  if s = "" then []
+  else
+    List.map
+      (fun item ->
+        match String.index_opt item '=' with
+        | Some i ->
+            ( String.sub item 0 i,
+              String.sub item (i + 1) (String.length item - i - 1) )
+        | None ->
+            or_die
+              (Error (Printf.sprintf "checkpoint: bad %s entry %S" what item)))
+      (String.split_on_char ',' s)
+
+let join_kv kvs = String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+
+let open_store = function
+  | Some dir -> Some (Ckpt.Store.open_dir dir)
+  | None -> None
+
+(* Every checkpointed command shares the flag contract: checkpoints and
+   kills need somewhere to write. *)
+let check_ckpt_flags ~every ~kill_at ~store =
+  (match every with
+  | Some n when n < 1 -> or_die (Error "--checkpoint-every must be >= 1")
+  | _ -> ());
+  (match kill_at with
+  | Some t when t < 0.0 -> or_die (Error "--kill-at-ms must be >= 0")
+  | _ -> ());
+  if (every <> None || kill_at <> None) && store = None then
+    or_die (Error "--checkpoint-every and --kill-at-ms need --checkpoint-dir")
+
+(* Everything the chaos command needs to reconstruct an identical
+   supervised run in a fresh process; persisted as checkpoint metadata. *)
+type chaos_cfg = {
+  cc_name : string;
+  cc_seed : int;
+  cc_faults : string;  (** raw spec string; [""] = none *)
+  cc_iterations : int;
+  cc_retries : int;
+  cc_backoff : float;
+  cc_degrade_after : int;
+  cc_max_restarts : int;
+  cc_deadlines : (string * string) list;
+  cc_scenario : (string * string) list;
+}
+
+(* Supervisor state travels in the same meta list under a "sup." prefix
+   so its keys ("retries", ...) cannot collide with the command args. *)
+let sup_prefix = "sup."
+
+let chaos_ckpt cfg g v (ck : Fault.Supervisor.checkpoint) =
+  {
+    Ckpt.kind = "chaos";
+    meta =
+      [
+        ("graph", cfg.cc_name);
+        ("seed", string_of_int cfg.cc_seed);
+        ("faults", cfg.cc_faults);
+        ("iterations", string_of_int cfg.cc_iterations);
+        ("retries", string_of_int cfg.cc_retries);
+        ("backoff", Printf.sprintf "%h" cfg.cc_backoff);
+        ("degrade_after", string_of_int cfg.cc_degrade_after);
+        ("max_restarts", string_of_int cfg.cc_max_restarts);
+        ("deadlines", join_kv cfg.cc_deadlines);
+        ("scenario", join_kv cfg.cc_scenario);
+      ]
+      @ List.map
+          (fun (k, v) -> (sup_prefix ^ k, v))
+          (Fault.Supervisor.checkpoint_meta ck);
+    graph_src = Serial.to_string g;
+    valuation = Valuation.bindings v;
+    snapshot = ck.Fault.Supervisor.ck_engine;
+  }
+
+let chaos_seq (ck : Fault.Supervisor.checkpoint) =
+  ck.Fault.Supervisor.ck_iterations_run
+  + match ck.Fault.Supervisor.ck_engine with None -> 0 | Some _ -> 1
+
+let chaos_cfg_of_meta file =
+  {
+    cc_name = meta_or_die file "graph";
+    cc_seed = int_meta file "seed";
+    cc_faults = meta_or_die file "faults";
+    cc_iterations = int_meta file "iterations";
+    cc_retries = int_meta file "retries";
+    cc_backoff = float_meta file "backoff";
+    cc_degrade_after = int_meta file "degrade_after";
+    cc_max_restarts = int_meta file "max_restarts";
+    cc_deadlines = split_kv "deadline" (meta_or_die file "deadlines");
+    cc_scenario = split_kv "scenario" (meta_or_die file "scenario");
+  }
+
+(* The shared chaos driver: fresh runs and resumes print the same thing,
+   so a resumed run's output is byte-identical to the uninterrupted
+   golden one.  Exit 3 = killed (checkpoint written), 1 = unrecovered. *)
+let run_chaos cfg g v ~store ~every ~kill_at ~resume ~trace_out =
+  check_ckpt_flags ~every ~kill_at ~store;
   let specs =
-    match faults with
-    | None -> []
-    | Some s -> or_die (Fault.Fault.parse_specs s)
+    if cfg.cc_faults = "" then []
+    else or_die (Fault.Fault.parse_specs cfg.cc_faults)
   in
   let deadlines_ms =
     List.map
@@ -351,30 +485,41 @@ let cmd_chaos name params seed faults iterations scenario deadlines retries
         | Some f -> (a, f)
         | None ->
             or_die (Error (Printf.sprintf "bad deadline %S for %s" ms a)))
-      deadlines
+      cfg.cc_deadlines
   in
   let policy =
     match
-      Fault.Policy.make ~max_retries:retries ~retry_backoff_ms:backoff
-        ~deadlines_ms ~degrade_after
+      Fault.Policy.make ~max_retries:cfg.cc_retries
+        ~retry_backoff_ms:cfg.cc_backoff ~deadlines_ms
+        ~degrade_after:cfg.cc_degrade_after
+        ~max_restarts:cfg.cc_max_restarts
         ~fallbacks:(Fault.Chaos.default_fallbacks g) ()
     with
     | p -> p
     | exception Invalid_argument m -> or_die (Error m)
   in
-  let scenario = match scenario with [] -> None | s -> Some s in
+  let scenario = match cfg.cc_scenario with [] -> None | s -> Some s in
+  let save st ck =
+    ignore (Ckpt.Store.save st ~seq:(chaos_seq ck) (chaos_ckpt cfg g v ck))
+  in
+  let on_checkpoint =
+    match (store, every) with
+    | Some st, Some _ -> Some (fun ck -> save st ck)
+    | _ -> None
+  in
   let obs = Obs.create () in
   let summary =
     match
       with_env_pool @@ fun pool ->
-      Fault.Chaos.run ~graph:g ~seed ~specs ~policy ?scenario ~iterations ~obs
-        ?pool ~valuation:v
-        ~behaviors:(chaos_behaviors g v) ()
+      Fault.Chaos.run ~graph:g ~seed:cfg.cc_seed ~specs ~policy ?scenario
+        ~iterations:cfg.cc_iterations ~obs ?pool ~valuation:v
+        ~behaviors:(chaos_behaviors g v) ?kill_at_ms:kill_at
+        ?checkpoint_every:every ?on_checkpoint ?resume ()
     with
     | s -> s
     | exception Invalid_argument m -> or_die (Error m)
   in
-  Format.printf "seed %d, faults %s@." seed
+  Format.printf "seed %d, faults %s@." cfg.cc_seed
     (if specs = [] then "none" else Fault.Fault.specs_to_string specs);
   Format.printf "%a@." Fault.Supervisor.pp_summary summary;
   (match trace_out with
@@ -386,7 +531,183 @@ let cmd_chaos name params seed faults iterations scenario deadlines retries
           close_out oc;
           Printf.printf "wrote %s (%d events)\n" path (Obs.event_count obs)
       | exception Sys_error m -> or_die (Error m)));
-  if not (Fault.Chaos.recovered summary) then exit 1
+  match summary.Fault.Supervisor.killed with
+  | Some ck ->
+      let st = Option.get store in
+      save st ck;
+      Format.printf "resume with: tpdf_tool resume %s@." (Ckpt.Store.dir st);
+      exit 3
+  | None -> if not (Fault.Chaos.recovered summary) then exit 1
+
+let cmd_chaos name params seed faults iterations scenario deadlines retries
+    backoff degrade_after max_restarts trace_out every dir kill_at =
+  let g = or_die (lookup_graph name) in
+  let v = need_valuation g params in
+  let cfg =
+    {
+      cc_name = name;
+      cc_seed = seed;
+      cc_faults = (match faults with None -> "" | Some s -> s);
+      cc_iterations = iterations;
+      cc_retries = retries;
+      cc_backoff = backoff;
+      cc_degrade_after = degrade_after;
+      cc_max_restarts = max_restarts;
+      cc_deadlines = deadlines;
+      cc_scenario = scenario;
+    }
+  in
+  run_chaos cfg g v ~store:(open_store dir) ~every ~kill_at ~resume:None
+    ~trace_out
+
+let print_run_stats iterations (stats : Sim.Engine.stats) =
+  Format.printf "completed %d iteration(s) at %.3f ms@." iterations
+    stats.Sim.Engine.end_ms;
+  List.iter
+    (fun (a, n) -> Format.printf "  %-12s fired %4d time(s)@." a n)
+    stats.Sim.Engine.firings;
+  List.iter
+    (fun (ch, n) ->
+      if n > 0 then
+        Format.printf "  e%-3d dropped %d rejected token(s)@." ch n)
+    stats.Sim.Engine.dropped
+
+(* Drive one engine through the remaining iterations in single-iteration
+   chunks: every boundary is then a checkpoint opportunity, and because
+   the engine's limits are cumulative over its lifetime (snapshots carry
+   the counts), a restored engine picks up exactly where the killed one
+   stopped and the final chunk's stats are the whole run's stats. *)
+let drive_run ~name ~graph ~valuation ~store ~every ~kill_at ~iterations ~from
+    eng =
+  let make_ck ~done_ =
+    {
+      Ckpt.kind = "run";
+      meta =
+        [
+          ("graph", name);
+          ("iterations", string_of_int iterations);
+          ("done", string_of_int done_);
+        ];
+      graph_src = Serial.to_string graph;
+      valuation = Valuation.bindings valuation;
+      snapshot = Some (Sim.Engine.snapshot ~encode:string_of_int eng);
+    }
+  in
+  let write_ck st ~seq ~done_ =
+    ignore (Ckpt.Store.save st ~seq (make_ck ~done_))
+  in
+  let rec go i =
+    match Sim.Engine.run_outcome ~iterations:(i + 1) ?until_ms:kill_at eng with
+    | Sim.Engine.Completed stats ->
+        if i + 1 < iterations then begin
+          (match (store, every) with
+          | Some st, Some n when (i + 1) mod n = 0 ->
+              write_ck st ~seq:(i + 1) ~done_:(i + 1)
+          | _ -> ());
+          go (i + 1)
+        end
+        else print_run_stats iterations stats
+    | Sim.Engine.Stalled _
+      when kill_at <> None && Sim.Engine.pending_events eng > 0 ->
+        (* The cap cut the run short mid-iteration: simulate the crash by
+           checkpointing the live engine and exiting 3 (resumable). *)
+        let st = Option.get store in
+        write_ck st ~seq:(i + 1) ~done_:i;
+        Format.printf
+          "killed at %.3f ms in iteration %d/%d; resume with: tpdf_tool \
+           resume %s@."
+          (Option.get kill_at) (i + 1) iterations (Ckpt.Store.dir st);
+        exit 3
+    | Sim.Engine.Stalled (s, _) ->
+        or_die (Error (Format.asprintf "stalled: %a" Sim.Engine.pp_stall s))
+    | Sim.Engine.Budget_exceeded _ -> or_die (Error "event budget exceeded")
+    | exception Sim.Engine.Error e ->
+        or_die (Error (Sim.Engine.error_message e))
+  in
+  if from >= iterations then
+    or_die
+      (Error
+         (Printf.sprintf "checkpoint already covers all %d iteration(s)"
+            iterations))
+  else go from
+
+let cmd_run name params iterations every dir kill_at =
+  let g = or_die (lookup_graph name) in
+  let v = need_valuation g params in
+  if iterations < 1 then or_die (Error "iterations must be >= 1");
+  let store = open_store dir in
+  check_ckpt_flags ~every ~kill_at ~store;
+  with_env_pool @@ fun pool ->
+  let eng = Sim.Engine.create ~graph:g ~valuation:v ?pool ~default:0 () in
+  drive_run ~name ~graph:g ~valuation:v ~store ~every ~kill_at ~iterations
+    ~from:0 eng
+
+let resume_run file ~store ~every ~kill_at =
+  let g = or_die (Serial.of_string file.Ckpt.graph_src) in
+  let v = or_die (valuation_of file.Ckpt.valuation) in
+  let name = meta_or_die file "graph" in
+  let iterations = int_meta file "iterations" in
+  let done_ = int_meta file "done" in
+  let snap =
+    match file.Ckpt.snapshot with
+    | Some s -> s
+    | None -> or_die (Error "checkpoint: run checkpoint carries no snapshot")
+  in
+  with_env_pool @@ fun pool ->
+  let eng =
+    match
+      Sim.Engine.restore ~graph:g ~valuation:v ?pool ~default:0
+        ~decode:int_of_string snap
+    with
+    | eng -> eng
+    | exception Invalid_argument m -> or_die (Error ("checkpoint: " ^ m))
+  in
+  drive_run ~name ~graph:g ~valuation:v ~store ~every ~kill_at ~iterations
+    ~from:done_ eng
+
+let resume_chaos file ~store ~every ~kill_at =
+  let g = or_die (Serial.of_string file.Ckpt.graph_src) in
+  let v = or_die (valuation_of file.Ckpt.valuation) in
+  let cfg = chaos_cfg_of_meta file in
+  let sup_meta =
+    List.filter_map
+      (fun (k, v) ->
+        let pl = String.length sup_prefix in
+        if String.length k > pl && String.sub k 0 pl = sup_prefix then
+          Some (String.sub k pl (String.length k - pl), v)
+        else None)
+      file.Ckpt.meta
+  in
+  let ck =
+    or_die
+      (Fault.Supervisor.checkpoint_of_meta ?snapshot:file.Ckpt.snapshot
+         sup_meta)
+  in
+  run_chaos cfg g v ~store ~every ~kill_at ~resume:(Some ck) ~trace_out:None
+
+let cmd_resume path every dir kill_at =
+  if not (Sys.file_exists path) then
+    or_die (Error (Printf.sprintf "%s: no such file or directory" path));
+  let file =
+    if Sys.is_directory path then
+      match Ckpt.Store.latest (Ckpt.Store.open_dir path) with
+      | Some (_, p, file) ->
+          (* stderr, so stdout stays comparable to the uninterrupted run *)
+          Printf.eprintf "resuming from %s\n%!" p;
+          file
+      | None ->
+          or_die (Error (Printf.sprintf "%s: no valid checkpoint found" path))
+    else
+      match Ckpt.read path with
+      | Ok file -> file
+      | Error m -> or_die (Error (Printf.sprintf "%s: %s" path m))
+  in
+  let store = open_store dir in
+  check_ckpt_flags ~every ~kill_at ~store;
+  match file.Ckpt.kind with
+  | "run" -> resume_run file ~store ~every ~kill_at
+  | "chaos" -> resume_chaos file ~store ~every ~kill_at
+  | k -> or_die (Error (Printf.sprintf "checkpoint: unknown kind %S" k))
 
 let cmd_dot name =
   let g = or_die (lookup_graph name) in
@@ -477,6 +798,54 @@ let trace_cmd =
       const cmd_trace $ graph_arg $ param_arg $ pes_arg $ iterations_arg
       $ format_arg $ output_arg)
 
+let ckpt_every_arg =
+  let doc =
+    "Write a checkpoint after every $(docv)-th completed iteration \
+     (needs $(b,--checkpoint-dir))."
+  in
+  Arg.(value & opt (some int) None & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let ckpt_dir_arg =
+  let doc = "Directory for numbered checkpoint files (created if missing)." in
+  Arg.(
+    value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+
+let kill_at_arg =
+  let doc =
+    "Simulate a crash at virtual instant $(docv) ms: write a checkpoint \
+     (mid-iteration if needed) and exit 3."
+  in
+  Arg.(value & opt (some float) None & info [ "kill-at-ms" ] ~docv:"MS" ~doc)
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute the graph like $(b,simulate), with crash-consistent \
+          checkpoints at iteration boundaries and an optional simulated \
+          crash; a killed run exits 3 and continues under $(b,resume) with \
+          output byte-identical to the uninterrupted run.")
+    Term.(
+      const cmd_run $ graph_arg $ param_arg $ iterations_arg $ ckpt_every_arg
+      $ ckpt_dir_arg $ kill_at_arg)
+
+let resume_cmd =
+  let path_arg =
+    let doc =
+      "Checkpoint file, or a checkpoint directory (the newest file that \
+       still passes its checksum wins)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CKPT" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Continue a killed $(b,run) or $(b,chaos) execution from a \
+          checkpoint.  The completed output matches the uninterrupted run \
+          byte for byte; $(b,--kill-at-ms) may kill it again later.")
+    Term.(
+      const cmd_resume $ path_arg $ ckpt_every_arg $ ckpt_dir_arg $ kill_at_arg)
+
 let chaos_cmd =
   let seed_arg =
     let doc = "PRNG seed for the deterministic fault plan." in
@@ -519,6 +888,13 @@ let chaos_cmd =
     in
     Arg.(value & opt int 3 & info [ "degrade-after" ] ~docv:"K" ~doc)
   in
+  let restarts_arg =
+    let doc =
+      "Failed-iteration restart budget: roll the iteration back, escalate \
+       to every fallback mode and retry, up to $(docv) times."
+    in
+    Arg.(value & opt int 0 & info [ "max-restarts" ] ~docv:"N" ~doc)
+  in
   let trace_arg =
     let doc = "Also write the Chrome trace of the run to $(docv)." in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
@@ -527,12 +903,14 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:
          "Seeded fault-injection run under the supervisor: bounded retry, \
-          skip-and-substitute, deadline watchdog and mode fallback.  Exits \
-          1 when the run does not recover.")
+          skip-and-substitute, deadline watchdog, mode fallback and \
+          restart-from-checkpoint.  Exits 1 when the run does not recover, \
+          3 when $(b,--kill-at-ms) cut it short (resumable).")
     Term.(
       const cmd_chaos $ graph_arg $ param_arg $ seed_arg $ faults_arg
       $ iterations_arg $ scenario_arg $ deadline_arg $ retries_arg
-      $ backoff_arg $ degrade_arg $ trace_arg)
+      $ backoff_arg $ degrade_arg $ restarts_arg $ trace_arg
+      $ ckpt_every_arg $ ckpt_dir_arg $ kill_at_arg)
 
 let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Emit Graphviz") Term.(const cmd_dot $ graph_arg)
@@ -561,6 +939,8 @@ let () =
             schedule_cmd;
             buffers_cmd;
             simulate_cmd;
+            run_cmd;
+            resume_cmd;
             throughput_cmd;
             chaos_cmd;
             profile_cmd;

@@ -105,4 +105,70 @@ else
   grep -q '"speedup_vs_1"' "$bench_dir/BENCH_par.json"
 fi
 
+# CLI hardening smoke: a malformed .tpdf must exit non-zero with a
+# one-line file:line diagnostic, not a backtrace.
+echo "== smoke: CLI hardening (malformed graph file) =="
+bad_dir="$(mktemp -d)"
+trap 'rm -f "$out" "$chaos_out"; rm -rf "$bench_dir" "$bad_dir"' EXIT
+printf 'not a tpdf file\n' > "$bad_dir/bad.tpdf"
+status=0
+dune exec bin/tpdf_tool.exe -- analyze "$bad_dir/bad.tpdf" \
+  > /dev/null 2> "$bad_dir/err" || status=$?
+if [ "$status" -eq 0 ]; then
+  echo "malformed graph accepted" >&2
+  exit 1
+fi
+grep -q 'bad\.tpdf:1:' "$bad_dir/err"
+test "$(wc -l < "$bad_dir/err")" -eq 1
+
+# Crash-recovery smoke: a chaos run killed mid-flight must exit 3 and
+# leave a resumable checkpoint; resuming must reproduce the
+# uninterrupted run's stdout byte for byte.
+echo "== smoke: crash recovery (chaos --kill-at-ms + resume) =="
+rec_dir="$(mktemp -d)"
+trap 'rm -f "$out" "$chaos_out"; rm -rf "$bench_dir" "$bad_dir" "$rec_dir"' EXIT
+chaos_args="chaos ofdm-tpdf -p beta=2 -p N=8 -p L=1 --seed 42 \
+  --faults overrun:QAM:0.8:8,fail:FFT:0.3:4 --deadline QAM=0.05 \
+  --degrade-after 2 --iterations 6"
+dune exec bin/tpdf_tool.exe -- $chaos_args > "$rec_dir/golden"
+status=0
+dune exec bin/tpdf_tool.exe -- $chaos_args \
+  --checkpoint-every 1 --checkpoint-dir "$rec_dir/ckpts" \
+  --kill-at-ms 3.0 > /dev/null || status=$?
+if [ "$status" -ne 3 ]; then
+  echo "expected exit 3 from a killed run, got $status" >&2
+  exit 1
+fi
+dune exec bin/tpdf_tool.exe -- resume "$rec_dir/ckpts" \
+  > "$rec_dir/resumed" 2> /dev/null
+diff "$rec_dir/golden" "$rec_dir/resumed"
+
+# Checkpoint-overhead smoke: E19 at reduced sizes must produce a
+# parseable BENCH_ckpt.json with the period sweep, positive throughput
+# and sane checkpoint sizes/restore latencies.
+echo "== smoke: bench E19 (checkpoint overhead) =="
+TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E19 \
+  TPDF_BENCH_CKPT_OUT="$bench_dir/BENCH_ckpt.json" \
+  dune exec bench/main.exe > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$bench_dir/BENCH_ckpt.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["experiment"] == "E19", "unexpected experiment tag"
+assert 0 in doc["periods"], "period sweep must include off (0)"
+assert doc["metadata"]["cores_detected"] >= 1, "metadata block missing"
+assert doc["runs"], "no runs recorded"
+assert all(r["events_per_sec"] > 0 for r in doc["runs"]), "non-positive throughput"
+assert all(r["snapshot_bytes"] > 0 for r in doc["runs"]), "empty snapshot"
+assert all(r["restore_ms"] >= 0 for r in doc["runs"]), "negative restore time"
+off = {r["graph"] for r in doc["runs"] if r["period"] == 0}
+assert all(r["graph"] in off for r in doc["runs"]), "missing period-off baseline"
+EOF
+else
+  grep -q '"experiment": "E19"' "$bench_dir/BENCH_ckpt.json"
+  grep -q '"snapshot_bytes"' "$bench_dir/BENCH_ckpt.json"
+  grep -q '"overhead_vs_off"' "$bench_dir/BENCH_ckpt.json"
+fi
+
 echo "check: OK"

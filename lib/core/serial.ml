@@ -20,6 +20,14 @@ let kind_keyword = function
 
 let chan_name id = Printf.sprintf "e%d" id
 
+(* Shortest decimal rendering that parses back to the same float —
+   "%g" alone loses precision past 6 significant digits, which would
+   make [of_string (to_string g)] drift on clock periods (checkpoint
+   files embed graphs in this syntax, so drift becomes a restore bug). *)
+let float_repr f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
 let pp_mode g ppf (m : Mode.t) =
   let pp_ids ppf ids =
     Format.pp_print_list
@@ -58,7 +66,8 @@ let to_string g =
       | Graph.Control { clock_period_ms = None } ->
           Format.fprintf ppf "  control %s%s;@," a phases_attr
       | Graph.Control { clock_period_ms = Some p } ->
-          Format.fprintf ppf "  control %s%s clock=%g;@," a phases_attr p)
+          Format.fprintf ppf "  control %s%s clock=%s;@," a phases_attr
+            (float_repr p))
     (Graph.actors g);
   List.iter
     (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
@@ -156,6 +165,26 @@ let tokenize src =
         do
           incr j
         done;
+        (* Exponent suffix ("1e+06", "2.5E-3"): only when digits follow,
+           so an identifier starting with 'e' after a number still lexes
+           as its own token. *)
+        (if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then
+           let k =
+             if
+               !j + 1 < n
+               && (src.[!j + 1] = '+' || src.[!j + 1] = '-')
+             then !j + 2
+             else !j + 1
+           in
+           if k < n && (match src.[k] with '0' .. '9' -> true | _ -> false)
+           then begin
+             j := k;
+             while
+               !j < n && (match src.[!j] with '0' .. '9' -> true | _ -> false)
+             do
+               incr j
+             done
+           end);
         push (Number (String.sub src !i (!j - !i)));
         i := !j
     | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
@@ -238,21 +267,25 @@ let rates st =
   go ();
   Array.of_list (List.rev !entries)
 
+(* Attribute values may be negative (e.g. priority=-1): a leading '-'
+   lexes as [Op '-'], folded back into the literal here. *)
 let int_attr st what =
   match st.toks with
-  | (_, Number s) :: rest -> (
+  | (_, Number s) :: rest | (_, Op '-') :: (_, Number s) :: rest -> (
+      let neg = match st.toks with (_, Op '-') :: _ -> true | _ -> false in
       st.toks <- rest;
       match int_of_string_opt s with
-      | Some v -> v
+      | Some v -> if neg then -v else v
       | None -> raise (Err (line st, "bad integer for " ^ what)))
   | _ -> raise (Err (line st, "expected integer for " ^ what))
 
 let float_attr st what =
   match st.toks with
-  | (_, Number s) :: rest -> (
+  | (_, Number s) :: rest | (_, Op '-') :: (_, Number s) :: rest -> (
+      let neg = match st.toks with (_, Op '-') :: _ -> true | _ -> false in
       st.toks <- rest;
       match float_of_string_opt s with
-      | Some v -> v
+      | Some v -> if neg then -.v else v
       | None -> raise (Err (line st, "bad number for " ^ what)))
   | _ -> raise (Err (line st, "expected number for " ^ what))
 
@@ -327,6 +360,10 @@ let of_string src =
         | _ -> ()
       in
       attrs ();
+      if ctrl && !priority <> 0 then
+        (* The graph model has no priority on control channels; silently
+           dropping the attribute would break print/parse round-trips. *)
+        raise (Err (line st, "control channels have no priority"));
       expect st Semi "';'";
       let id =
         try

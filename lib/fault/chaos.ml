@@ -36,7 +36,7 @@ let default_fallbacks graph =
       List.map (fun watch -> { Policy.watch; pins }) watches
 
 let run ~graph ~seed ~specs ?policy ?scenario ?iterations ?obs ?behaviors
-    ?pool ~valuation () =
+    ?pool ?kill_at_ms ?checkpoint_every ?on_checkpoint ?resume ~valuation () =
   let policy =
     match policy with
     | Some p -> p
@@ -47,6 +47,7 @@ let run ~graph ~seed ~specs ?policy ?scenario ?iterations ?obs ?behaviors
   in
   let plan = Plan.make ~seed specs in
   Supervisor.run ~graph ~plan ~policy ?obs ?behaviors ~scenario ?iterations
-    ?pool ~valuation ~default:0 ()
+    ?pool ?kill_at_ms ?checkpoint_every ?on_checkpoint ?resume
+    ~encode:string_of_int ~decode:int_of_string ~valuation ~default:0 ()
 
 let recovered (s : Supervisor.summary) = s.unrecovered = None

@@ -30,6 +30,10 @@ val run :
   ?obs:Tpdf_obs.Obs.t ->
   ?behaviors:(string * int Tpdf_sim.Behavior.t) list ->
   ?pool:Tpdf_par.Pool.t ->
+  ?kill_at_ms:float ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Supervisor.checkpoint -> unit) ->
+  ?resume:Supervisor.checkpoint ->
   valuation:Tpdf_param.Valuation.t ->
   unit ->
   Supervisor.summary
@@ -37,8 +41,12 @@ val run :
     {!default_scenario}; [policy] defaults to {!Policy.default} extended
     with {!default_fallbacks}; [iterations] defaults to 1; [behaviors]
     (e.g. realistic durations) are passed through to the supervisor.
-    Deterministic: equal arguments produce byte-identical summaries and
-    event streams.
+    [kill_at_ms], [checkpoint_every], [on_checkpoint] and [resume] are
+    {!Supervisor.run}'s checkpointing controls, with the [int] payload
+    codec supplied ([string_of_int]/[int_of_string]).  Deterministic:
+    equal arguments produce byte-identical summaries and event streams,
+    and a killed run resumed from its checkpoint matches the
+    uninterrupted one byte for byte.
     @raise Invalid_argument as {!Supervisor.run}. *)
 
 val recovered : Supervisor.summary -> bool

@@ -9,21 +9,30 @@ type t = {
   deadlines_ms : (string * float) list;
   degrade_after : int;
   fallbacks : fallback list;
+  max_restarts : int;
 }
 
 let make ?(max_retries = 2) ?(retry_backoff_ms = 0.5) ?(deadlines_ms = [])
-    ?(degrade_after = 3) ?(fallbacks = []) () =
+    ?(degrade_after = 3) ?(fallbacks = []) ?(max_restarts = 0) () =
   if max_retries < 0 then invalid_arg "Policy.make: negative retry budget";
   if retry_backoff_ms < 0.0 then invalid_arg "Policy.make: negative backoff";
   if degrade_after < 1 then
     invalid_arg "Policy.make: degrade_after must be >= 1";
+  if max_restarts < 0 then invalid_arg "Policy.make: negative restart budget";
   List.iter
     (fun (a, d) ->
       if d <= 0.0 then
         invalid_arg
           (Printf.sprintf "Policy.make: non-positive deadline for %s" a))
     deadlines_ms;
-  { max_retries; retry_backoff_ms; deadlines_ms; degrade_after; fallbacks }
+  {
+    max_retries;
+    retry_backoff_ms;
+    deadlines_ms;
+    degrade_after;
+    fallbacks;
+    max_restarts;
+  }
 
 let default = make ()
 

@@ -26,6 +26,13 @@ type t = {
   degrade_after : int;
       (** consecutive misses/skips before a fallback trips (default 3) *)
   fallbacks : fallback list;
+  max_restarts : int;
+      (** iteration restarts from the boundary checkpoint before the
+          supervisor gives up on a failed iteration (default 0: a stall,
+          event-budget blowout or behaviour error ends the run).  A
+          restart rolls the aborted attempt back — counters, obs events
+          and metrics — and escalates by applying {e every} fallback's
+          pins before retrying. *)
 }
 
 val make :
@@ -34,13 +41,16 @@ val make :
   ?deadlines_ms:(string * float) list ->
   ?degrade_after:int ->
   ?fallbacks:fallback list ->
+  ?max_restarts:int ->
   unit ->
   t
-(** @raise Invalid_argument on a negative retry budget or backoff, a
-    non-positive [degrade_after], or a non-positive deadline. *)
+(** @raise Invalid_argument on a negative retry or restart budget, a
+    negative backoff, a non-positive [degrade_after], or a non-positive
+    deadline. *)
 
 val default : t
-(** [make ()]: 2 retries, 0.5 ms backoff, no deadlines, no fallbacks. *)
+(** [make ()]: 2 retries, 0.5 ms backoff, no deadlines, no fallbacks, no
+    restarts. *)
 
 val validate : Tpdf_core.Graph.t -> t -> (unit, string) result
 (** Check that every watched/deadlined actor exists and that every

@@ -8,6 +8,31 @@ module Obs = Tpdf_obs.Obs
 module Ev = Tpdf_obs.Event
 module Metrics = Tpdf_obs.Metrics
 
+(* Everything the supervisor needs to continue a run after a crash: the
+   summary counters, the recovery tables, the effective scenario of the
+   most recent (possibly in-flight) iteration, and — when the kill landed
+   mid-iteration — the engine snapshot.  [Tpdf_ckpt] persists this via
+   {!checkpoint_meta}; the supervisor itself stays byte-format-agnostic. *)
+type checkpoint = {
+  ck_iterations_run : int;  (** iterations fully completed *)
+  ck_offset_ms : float;
+  ck_retries : int;
+  ck_skips : int;
+  ck_corrupted : int;
+  ck_ctrl_lost : int;
+  ck_deadline_misses : int;
+  ck_deadline_hits : int;
+  ck_restarts : int;
+  ck_degrades : (string * string) list;  (** newest first, as kept live *)
+  ck_consecutive : (string * int) list;
+  ck_tripped : string list;
+  ck_degraded : (string * string) list;
+  ck_base_index : (string * int) list;
+  ck_last_ctrl : (int * string) list;
+  ck_scenario : Reconfigure.scenario;
+  ck_engine : Tpdf_sim.Snapshot.t option;  (** [None]: at a boundary *)
+}
+
 type summary = {
   iterations_run : int;
   total_end_ms : float;
@@ -17,8 +42,10 @@ type summary = {
   ctrl_lost : int;
   deadline_misses : int;
   deadline_hits : int;
+  restarts : int;
   degrades : (string * string) list;
   unrecovered : string option;
+  killed : checkpoint option;
   per_iteration : Engine.stats list;
 }
 
@@ -29,13 +56,151 @@ let pp_summary ppf s =
      deadline hits %d, misses %d"
     s.iterations_run s.total_end_ms s.retries s.skips s.corrupted s.ctrl_lost
     s.deadline_hits s.deadline_misses;
+  if s.restarts > 0 then Format.fprintf ppf "@,restarts %d" s.restarts;
   List.iter
     (fun (k, m) -> Format.fprintf ppf "@,degraded %s -> %s" k m)
     s.degrades;
   (match s.unrecovered with
   | Some why -> Format.fprintf ppf "@,UNRECOVERED: %s" why
   | None -> ());
+  (match s.killed with
+  | Some ck ->
+      Format.fprintf ppf "@,KILLED after %d iteration(s)%s" ck.ck_iterations_run
+        (if ck.ck_engine = None then "" else " (mid-iteration)")
+  | None -> ());
   Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint <-> string-assoc codec                                   *)
+(*                                                                     *)
+(* The supervisor stays independent of the on-disk format: it trades   *)
+(* checkpoints as [(key, value)] metadata (lists packed with newline/  *)
+(* tab separators — names in a graph cannot contain either) plus the   *)
+(* engine snapshot, which [Tpdf_ckpt] carries natively.                *)
+(* ------------------------------------------------------------------ *)
+
+let ck_atom what s =
+  if String.exists (fun c -> c = '\t' || c = '\n') s then
+    invalid_arg
+      (Printf.sprintf "Supervisor.checkpoint_meta: %s %S contains tab/newline"
+         what s)
+  else s
+
+let enc_list enc items = String.concat "\n" (List.map enc items)
+let enc_pair what (a, b) = ck_atom what a ^ "\t" ^ ck_atom what b
+
+let dec_list dec s =
+  if s = "" then Ok []
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest -> (
+          match dec item with
+          | Ok v -> go (v :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] (String.split_on_char '\n' s)
+
+let dec_pair item =
+  match String.split_on_char '\t' item with
+  | [ a; b ] -> Ok (a, b)
+  | _ -> Error (Printf.sprintf "malformed pair %S" item)
+
+let checkpoint_meta ck =
+  let pair_list what l = enc_list (enc_pair what) l in
+  [
+    ("iterations_run", string_of_int ck.ck_iterations_run);
+    ("offset_ms", Printf.sprintf "%h" ck.ck_offset_ms);
+    ("retries", string_of_int ck.ck_retries);
+    ("skips", string_of_int ck.ck_skips);
+    ("corrupted", string_of_int ck.ck_corrupted);
+    ("ctrl_lost", string_of_int ck.ck_ctrl_lost);
+    ("deadline_misses", string_of_int ck.ck_deadline_misses);
+    ("deadline_hits", string_of_int ck.ck_deadline_hits);
+    ("restarts", string_of_int ck.ck_restarts);
+    ("degrades", pair_list "degrade" ck.ck_degrades);
+    ( "consecutive",
+      pair_list "actor"
+        (List.map (fun (a, n) -> (a, string_of_int n)) ck.ck_consecutive) );
+    ("tripped", enc_list (ck_atom "actor") ck.ck_tripped);
+    ("degraded", pair_list "pin" ck.ck_degraded);
+    ( "base_index",
+      pair_list "actor"
+        (List.map (fun (a, n) -> (a, string_of_int n)) ck.ck_base_index) );
+    ( "last_ctrl",
+      pair_list "mode"
+        (List.map (fun (ch, m) -> (string_of_int ch, m)) ck.ck_last_ctrl) );
+    ("scenario", pair_list "pin" ck.ck_scenario);
+  ]
+
+let checkpoint_of_meta ?snapshot meta =
+  let ( let* ) = Result.bind in
+  let get key =
+    match List.assoc_opt key meta with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "checkpoint metadata misses %S" key)
+  in
+  let int_field key =
+    let* v = get key in
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "checkpoint field %s: bad integer %S" key v)
+  in
+  let int_snd (a, b) =
+    match int_of_string_opt b with
+    | Some n -> Ok (a, n)
+    | None -> Error (Printf.sprintf "bad integer %S" b)
+  in
+  let pair_list key dec =
+    let* v = get key in
+    dec_list (fun item -> Result.bind (dec_pair item) dec) v
+  in
+  let* ck_iterations_run = int_field "iterations_run" in
+  let* ck_offset_ms =
+    let* v = get "offset_ms" in
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "checkpoint field offset_ms: bad float %S" v)
+  in
+  let* ck_retries = int_field "retries" in
+  let* ck_skips = int_field "skips" in
+  let* ck_corrupted = int_field "corrupted" in
+  let* ck_ctrl_lost = int_field "ctrl_lost" in
+  let* ck_deadline_misses = int_field "deadline_misses" in
+  let* ck_deadline_hits = int_field "deadline_hits" in
+  let* ck_restarts = int_field "restarts" in
+  let* ck_degrades = pair_list "degrades" Result.ok in
+  let* ck_consecutive = pair_list "consecutive" int_snd in
+  let* ck_tripped = Result.bind (get "tripped") (dec_list Result.ok) in
+  let* ck_degraded = pair_list "degraded" Result.ok in
+  let* ck_base_index = pair_list "base_index" int_snd in
+  let* ck_last_ctrl =
+    pair_list "last_ctrl" (fun (ch, m) ->
+        match int_of_string_opt ch with
+        | Some ch -> Ok (ch, m)
+        | None -> Error (Printf.sprintf "bad channel id %S" ch))
+  in
+  let* ck_scenario = pair_list "scenario" Result.ok in
+  Ok
+    {
+      ck_iterations_run;
+      ck_offset_ms;
+      ck_retries;
+      ck_skips;
+      ck_corrupted;
+      ck_ctrl_lost;
+      ck_deadline_misses;
+      ck_deadline_hits;
+      ck_restarts;
+      ck_degrades;
+      ck_consecutive;
+      ck_tripped;
+      ck_degraded;
+      ck_base_index;
+      ck_last_ctrl;
+      ck_scenario;
+      ck_engine = snapshot;
+    }
 
 type state = {
   graph : Tpdf.Graph.t;
@@ -297,14 +462,109 @@ let effective_scenario st scenario =
   in
   pins @ List.filter (fun (k, _) -> not (Hashtbl.mem st.degraded k)) scenario
 
+let dump_tbl tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let fill_tbl tbl items =
+  Hashtbl.reset tbl;
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) items
+
+(* Mutable state saved before an iteration attempt, restored when a
+   restart rolls the attempt back. *)
+type attempt_saved = {
+  s_retries : int;
+  s_skips : int;
+  s_corrupted : int;
+  s_ctrl_lost : int;
+  s_deadline_misses : int;
+  s_deadline_hits : int;
+  s_degrades : (string * string) list;
+  s_consecutive : (string * int) list;
+  s_tripped : (string * unit) list;
+  s_degraded : (string * string) list;
+  s_last_ctrl : (int * string) list;
+}
+
+let save_attempt st =
+  {
+    s_retries = st.retries;
+    s_skips = st.skips;
+    s_corrupted = st.corrupted;
+    s_ctrl_lost = st.ctrl_lost;
+    s_deadline_misses = st.deadline_misses;
+    s_deadline_hits = st.deadline_hits;
+    s_degrades = st.degrades;
+    s_consecutive = dump_tbl st.consecutive;
+    s_tripped = dump_tbl st.tripped;
+    s_degraded = dump_tbl st.degraded;
+    s_last_ctrl = dump_tbl st.last_ctrl;
+  }
+
+(* [base_index] only changes in the post-iteration accounting, so a
+   failed attempt cannot have touched it; [skipped_now] is per-firing
+   scratch that every firing's [work] resets before use. *)
+let restore_attempt st s =
+  st.retries <- s.s_retries;
+  st.skips <- s.s_skips;
+  st.corrupted <- s.s_corrupted;
+  st.ctrl_lost <- s.s_ctrl_lost;
+  st.deadline_misses <- s.s_deadline_misses;
+  st.deadline_hits <- s.s_deadline_hits;
+  st.degrades <- s.s_degrades;
+  fill_tbl st.consecutive s.s_consecutive;
+  fill_tbl st.tripped s.s_tripped;
+  fill_tbl st.degraded s.s_degraded;
+  fill_tbl st.last_ctrl s.s_last_ctrl;
+  Hashtbl.reset st.skipped_now
+
+(* Restart escalation: apply {e every} fallback's pins (and mark the
+   watches tripped), so the retried iteration runs degraded and the
+   replayed fault plan meets different behaviours. *)
+let escalate st ~ts =
+  List.iter
+    (fun (fb : Policy.fallback) ->
+      Hashtbl.replace st.tripped fb.watch ();
+      Hashtbl.replace st.consecutive fb.watch 0;
+      List.iter
+        (fun (kernel, mode) ->
+          if Hashtbl.find_opt st.degraded kernel <> Some mode then begin
+            Hashtbl.replace st.degraded kernel mode;
+            st.degrades <- (kernel, mode) :: st.degrades;
+            metric st "degrades" kernel;
+            instant st ~cat:"supervisor" ~track:kernel ~name:"degrade" ~ts
+              [
+                ("kernel", Ev.Str kernel);
+                ("mode", Ev.Str mode);
+                ("watch", Ev.Str "restart");
+              ]
+          end)
+        fb.pins)
+    st.policy.Policy.fallbacks
+
 let run ~graph ~plan ?(policy = Policy.default) ?(obs = Obs.disabled)
     ?(behaviors = []) ?(scenario = []) ?(iterations = 1) ?corrupt ?pool
+    ?kill_at_ms ?checkpoint_every ?on_checkpoint ?resume ?encode ?decode
     ~valuation ~default () =
   if iterations < 1 then invalid_arg "Supervisor.run: iterations must be >= 1";
   Reconfigure.validate_scenario graph scenario;
   (match Policy.validate graph policy with
   | Ok () -> ()
   | Error m -> invalid_arg ("Supervisor.run: " ^ m));
+  (match checkpoint_every with
+  | Some n when n < 1 ->
+      invalid_arg "Supervisor.run: checkpoint_every must be >= 1"
+  | _ -> ());
+  (match kill_at_ms with
+  | Some k when k < 0.0 -> invalid_arg "Supervisor.run: negative kill_at_ms"
+  | Some _ when encode = None ->
+      invalid_arg
+        "Supervisor.run: kill_at_ms needs ~encode (mid-iteration snapshots)"
+  | _ -> ());
+  (match resume with
+  | Some { ck_engine = Some _; _ } when decode = None ->
+      invalid_arg
+        "Supervisor.run: resuming a mid-iteration checkpoint needs ~decode"
+  | _ -> ());
   let corrupt = match corrupt with Some f -> f | None -> fun _ -> default in
   let st =
     {
@@ -332,69 +592,205 @@ let run ~graph ~plan ?(policy = Policy.default) ?(obs = Obs.disabled)
   let per_iteration = ref [] in
   let unrecovered = ref None in
   let iterations_run = ref 0 in
+  let restarts = ref 0 in
+  let killed = ref None in
   let previous_scenario = ref None in
-  while !unrecovered = None && !iterations_run < iterations do
-    incr iterations_run;
-    let eff = effective_scenario st scenario in
-    st.obs <- Obs.shift obs !offset;
-    if Obs.enabled obs && !previous_scenario <> Some eff then begin
-      Obs.instant st.obs ~cat:"reconfig" ~track:"supervisor"
-        ~name:"reconfigure" ~ts_ms:0.0
-        ~args:[ ("scenario", Ev.Str (Reconfigure.pp_scenario eff)) ]
-        ();
-      Metrics.incr (Obs.metrics obs) "engine.reconfigurations"
-    end;
-    previous_scenario := Some eff;
-    let wrapped =
-      List.map
-        (fun a ->
-          let b =
-            match List.assoc_opt a behaviors with
-            | Some b -> b
-            | None ->
-                if Tpdf.Graph.is_control graph a then
-                  Reconfigure.scenario_control_behavior graph eff
-                else Behavior.fill default
+  let resume_engine = ref None in
+  (match resume with
+  | None -> ()
+  | Some ck ->
+      iterations_run := ck.ck_iterations_run;
+      offset := ck.ck_offset_ms;
+      restarts := ck.ck_restarts;
+      st.retries <- ck.ck_retries;
+      st.skips <- ck.ck_skips;
+      st.corrupted <- ck.ck_corrupted;
+      st.ctrl_lost <- ck.ck_ctrl_lost;
+      st.deadline_misses <- ck.ck_deadline_misses;
+      st.deadline_hits <- ck.ck_deadline_hits;
+      st.degrades <- ck.ck_degrades;
+      fill_tbl st.consecutive ck.ck_consecutive;
+      fill_tbl st.tripped (List.map (fun a -> (a, ())) ck.ck_tripped);
+      fill_tbl st.degraded ck.ck_degraded;
+      fill_tbl st.base_index ck.ck_base_index;
+      fill_tbl st.last_ctrl ck.ck_last_ctrl;
+      previous_scenario := Some ck.ck_scenario;
+      (match ck.ck_engine with
+      | None -> ()
+      | Some snap -> resume_engine := Some (snap, ck.ck_scenario)));
+  let make_ck ~completed ~eff ~engine =
+    {
+      ck_iterations_run = completed;
+      ck_offset_ms = !offset;
+      ck_retries = st.retries;
+      ck_skips = st.skips;
+      ck_corrupted = st.corrupted;
+      ck_ctrl_lost = st.ctrl_lost;
+      ck_deadline_misses = st.deadline_misses;
+      ck_deadline_hits = st.deadline_hits;
+      ck_restarts = !restarts;
+      ck_degrades = st.degrades;
+      ck_consecutive = dump_tbl st.consecutive;
+      ck_tripped = List.map fst (dump_tbl st.tripped);
+      ck_degraded = dump_tbl st.degraded;
+      ck_base_index = dump_tbl st.base_index;
+      ck_last_ctrl = dump_tbl st.last_ctrl;
+      ck_scenario = eff;
+      ck_engine = engine;
+    }
+  in
+  while !unrecovered = None && !killed = None && !iterations_run < iterations do
+    match kill_at_ms with
+    | Some k when !offset >= k ->
+        (* The kill instant falls on (or before) this boundary: take a
+           boundary checkpoint — no engine in flight. *)
+        let eff =
+          match !previous_scenario with
+          | Some e -> e
+          | None -> effective_scenario st scenario
+        in
+        killed :=
+          Some (make_ck ~completed:!iterations_run ~eff ~engine:None)
+    | _ ->
+        incr iterations_run;
+        (* One iteration as a supervised transaction: the attempt's
+           events and metrics are staged in an [Obs] capture.  Spliced on
+           completion (or on final failure, keeping the historical stream
+           of unrecovered runs); discarded wholesale when a restart rolls
+           the attempt back — no half-iteration firings or double-counted
+           supervisor metrics survive. *)
+        let rec attempt () =
+          let saved = save_attempt st in
+          let resuming = !resume_engine in
+          resume_engine := None;
+          let eff =
+            match resuming with
+            | Some (_, sc) -> sc
+            | None -> effective_scenario st scenario
           in
-          (a, wrap st ~default ~corrupt a b))
-        (Tpdf.Graph.actors graph)
-    in
-    let targets =
-      List.map (fun a -> (a, 0)) (Reconfigure.starved_actors graph eff)
-    in
-    let finish (stats : Engine.stats) =
-      per_iteration := stats :: !per_iteration;
-      offset := !offset +. stats.Engine.end_ms;
-      List.iter
-        (fun (a, n) -> Hashtbl.replace st.base_index a (get st.base_index a + n))
-        stats.Engine.firings
-    in
-    let give_up why (partial : Engine.stats) =
-      unrecovered := Some why;
-      Metrics.incr (Obs.metrics obs) "supervisor.unrecovered";
-      instant st ~cat:"supervisor" ~track:"supervisor" ~name:"stall"
-        ~ts:partial.Engine.end_ms
-        [ ("why", Ev.Str why) ];
-      finish partial
-    in
-    match
-      let eng =
-        Engine.create ~graph ~valuation ~behaviors:wrapped ~obs:st.obs ?pool
-          ~default ()
-      in
-      Engine.run_outcome ~targets eng
-    with
-    | Engine.Completed stats -> finish stats
-    | Engine.Stalled (s, partial) ->
-        give_up (Format.asprintf "%a" Engine.pp_stall s) partial
-    | Engine.Budget_exceeded { steps; at_ms; partial } ->
-        give_up
-          (Printf.sprintf "event budget exceeded after %d steps at %.3f ms"
-             steps at_ms)
-          partial
-    | exception Engine.Error e -> (
-        unrecovered := Some (Engine.error_message e);
-        Metrics.incr (Obs.metrics obs) "supervisor.unrecovered")
+          st.obs <- Obs.shift obs !offset;
+          let cap = Obs.capture_begin obs in
+          if
+            resuming = None && Obs.enabled obs
+            && !previous_scenario <> Some eff
+          then begin
+            Obs.instant st.obs ~cat:"reconfig" ~track:"supervisor"
+              ~name:"reconfigure" ~ts_ms:0.0
+              ~args:[ ("scenario", Ev.Str (Reconfigure.pp_scenario eff)) ]
+              ();
+            Metrics.incr (Obs.metrics obs) "engine.reconfigurations"
+          end;
+          let wrapped =
+            List.map
+              (fun a ->
+                let b =
+                  match List.assoc_opt a behaviors with
+                  | Some b -> b
+                  | None ->
+                      if Tpdf.Graph.is_control graph a then
+                        Reconfigure.scenario_control_behavior graph eff
+                      else Behavior.fill default
+                in
+                (a, wrap st ~default ~corrupt a b))
+              (Tpdf.Graph.actors graph)
+          in
+          let targets =
+            List.map (fun a -> (a, 0)) (Reconfigure.starved_actors graph eff)
+          in
+          let until_ms =
+            match kill_at_ms with Some k -> Some (k -. !offset) | None -> None
+          in
+          let commit () =
+            Obs.capture_end obs cap;
+            Obs.splice obs cap;
+            previous_scenario := Some eff
+          in
+          let finish (stats : Engine.stats) =
+            per_iteration := stats :: !per_iteration;
+            offset := !offset +. stats.Engine.end_ms;
+            List.iter
+              (fun (a, n) ->
+                Hashtbl.replace st.base_index a (get st.base_index a + n))
+              stats.Engine.firings
+          in
+          let give_up why (partial : Engine.stats) =
+            unrecovered := Some why;
+            Metrics.incr (Obs.metrics obs) "supervisor.unrecovered";
+            instant st ~cat:"supervisor" ~track:"supervisor" ~name:"stall"
+              ~ts:partial.Engine.end_ms
+              [ ("why", Ev.Str why) ];
+            finish partial
+          in
+          (* A failed attempt: roll back and restart (escalating to every
+             fallback pin) while the restart budget lasts, then give up
+             with the attempt's events committed, as an unsupervised run
+             would have. *)
+          let fail_with why partial =
+            Obs.capture_end obs cap;
+            if !restarts < policy.Policy.max_restarts then begin
+              restore_attempt st saved;
+              incr restarts;
+              st.obs <- Obs.shift obs !offset;
+              Metrics.incr (Obs.metrics obs) "supervisor.restarts";
+              instant st ~cat:"supervisor" ~track:"supervisor" ~name:"restart"
+                ~ts:0.0
+                [ ("why", Ev.Str why) ];
+              escalate st ~ts:0.0;
+              attempt ()
+            end
+            else begin
+              Obs.splice obs cap;
+              previous_scenario := Some eff;
+              match partial with
+              | Some partial -> give_up why partial
+              | None ->
+                  unrecovered := Some why;
+                  Metrics.incr (Obs.metrics obs) "supervisor.unrecovered"
+            end
+          in
+          match
+            let eng =
+              match resuming with
+              | Some (snap, _) ->
+                  Engine.restore ~graph ~valuation ~behaviors:wrapped
+                    ~obs:st.obs ?pool ~default ~decode:(Option.get decode)
+                    snap
+              | None ->
+                  Engine.create ~graph ~valuation ~behaviors:wrapped
+                    ~obs:st.obs ?pool ~default ()
+            in
+            (Engine.run_outcome ?until_ms ~targets eng, eng)
+          with
+          | Engine.Completed stats, _ ->
+              commit ();
+              finish stats;
+              (match (checkpoint_every, on_checkpoint) with
+              | Some n, Some cb when !iterations_run mod n = 0 ->
+                  cb (make_ck ~completed:!iterations_run ~eff ~engine:None)
+              | _ -> ())
+          | Engine.Stalled (_, _), eng
+            when until_ms <> None && Engine.pending_events eng > 0 ->
+              (* Not a deadlock: the [until_ms] cap — i.e. the kill
+                 instant — stopped the run with events still queued.
+                 Commit the partial iteration's stream (it happened) and
+                 checkpoint the in-flight engine. *)
+              commit ();
+              let snap = Engine.snapshot ~encode:(Option.get encode) eng in
+              killed :=
+                Some
+                  (make_ck ~completed:(!iterations_run - 1) ~eff
+                     ~engine:(Some snap))
+          | Engine.Stalled (s, partial), _ ->
+              fail_with (Format.asprintf "%a" Engine.pp_stall s) (Some partial)
+          | Engine.Budget_exceeded { steps; at_ms; partial }, _ ->
+              fail_with
+                (Printf.sprintf
+                   "event budget exceeded after %d steps at %.3f ms" steps
+                   at_ms)
+                (Some partial)
+          | exception Engine.Error e -> fail_with (Engine.error_message e) None
+        in
+        attempt ()
   done;
   let total = st.deadline_hits + st.deadline_misses in
   if Obs.enabled obs && total > 0 then
@@ -409,7 +805,9 @@ let run ~graph ~plan ?(policy = Policy.default) ?(obs = Obs.disabled)
     ctrl_lost = st.ctrl_lost;
     deadline_misses = st.deadline_misses;
     deadline_hits = st.deadline_hits;
+    restarts = !restarts;
     degrades = List.rev st.degrades;
     unrecovered = !unrecovered;
+    killed = !killed;
     per_iteration = List.rev !per_iteration;
   }

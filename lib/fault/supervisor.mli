@@ -28,6 +28,47 @@
     seed: two runs with equal arguments produce byte-identical statistics
     and event streams. *)
 
+(** Everything needed to continue a supervised run in a fresh process:
+    summary counters, recovery tables, the effective scenario of the most
+    recent (possibly in-flight) iteration, and — for a mid-iteration kill
+    — the engine snapshot.  Produced at iteration boundaries
+    ([checkpoint_every]/[on_checkpoint]) and at the kill instant
+    ([kill_at_ms]); fed back through [resume].  [Tpdf_ckpt] persists it
+    (see {!checkpoint_meta}). *)
+type checkpoint = {
+  ck_iterations_run : int;  (** iterations fully completed *)
+  ck_offset_ms : float;  (** accumulated virtual time at the boundary *)
+  ck_retries : int;
+  ck_skips : int;
+  ck_corrupted : int;
+  ck_ctrl_lost : int;
+  ck_deadline_misses : int;
+  ck_deadline_hits : int;
+  ck_restarts : int;
+  ck_degrades : (string * string) list;  (** newest first *)
+  ck_consecutive : (string * int) list;
+  ck_tripped : string list;
+  ck_degraded : (string * string) list;
+  ck_base_index : (string * int) list;
+  ck_last_ctrl : (int * string) list;
+  ck_scenario : Tpdf_sim.Reconfigure.scenario;
+      (** effective scenario of the most recent iteration *)
+  ck_engine : Tpdf_sim.Snapshot.t option;
+      (** [Some] iff the kill landed mid-iteration *)
+}
+
+val checkpoint_meta : checkpoint -> (string * string) list
+(** Everything except [ck_engine] as string metadata (for
+    [Tpdf_ckpt.t.meta]; the snapshot travels in [Tpdf_ckpt.t.snapshot]).
+    @raise Invalid_argument if an actor or mode name contains a tab or
+    newline (the list separators; impossible for parsed graphs). *)
+
+val checkpoint_of_meta :
+  ?snapshot:Tpdf_sim.Snapshot.t ->
+  (string * string) list ->
+  (checkpoint, string) result
+(** Inverse of {!checkpoint_meta}; [snapshot] becomes [ck_engine]. *)
+
 type summary = {
   iterations_run : int;
   total_end_ms : float;
@@ -37,11 +78,14 @@ type summary = {
   ctrl_lost : int;  (** control tokens whose mode update was lost *)
   deadline_misses : int;
   deadline_hits : int;
+  restarts : int;  (** failed iterations rolled back and retried *)
   degrades : (string * string) list;
       (** [(kernel, degraded_mode)] in trip order *)
   unrecovered : string option;
       (** stall / budget / behaviour-error diagnosis when the run could not
           complete; [None] on full recovery *)
+  killed : checkpoint option;
+      (** the checkpoint taken when [kill_at_ms] ended the run early *)
   per_iteration : Tpdf_sim.Engine.stats list;
 }
 
@@ -57,6 +101,12 @@ val run :
   ?iterations:int ->
   ?corrupt:('a -> 'a) ->
   ?pool:Tpdf_par.Pool.t ->
+  ?kill_at_ms:float ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(checkpoint -> unit) ->
+  ?resume:checkpoint ->
+  ?encode:('a -> string) ->
+  ?decode:(string -> 'a) ->
   valuation:Tpdf_param.Valuation.t ->
   default:'a ->
   unit ->
@@ -84,6 +134,24 @@ val run :
     actors trip at the same virtual instant.
 
     Stalls, event-budget exhaustion and behaviour-contract violations do
-    not raise: they end the run early with the diagnosis in [unrecovered].
-    @raise Invalid_argument on an invalid scenario or policy, or
-    [iterations < 1]. *)
+    not raise: while the policy's restart budget lasts, the failed
+    iteration is {e rolled back} — its staged obs events and metrics
+    discarded, its counter and table updates undone — every fallback pin
+    is applied (escalation, with a ["restart"] instant and a
+    [supervisor.restarts] counter), and the iteration is retried from
+    the boundary; past the budget they end the run early with the
+    diagnosis in [unrecovered] (the final attempt's events are kept).
+
+    {b Checkpoints.}  With [checkpoint_every = n], [on_checkpoint]
+    receives a boundary {!checkpoint} after every [n]-th completed
+    iteration.  [kill_at_ms] simulates a crash at a virtual instant on
+    the global timeline: the run stops there — mid-iteration if the
+    instant falls inside one, with the engine snapshotted via [encode] —
+    and the checkpoint is returned in [summary.killed].  Feeding it back
+    through [resume] (same graph, plan, policy, behaviours, [decode]
+    inverse of [encode]) continues the run so that outcomes, stats and
+    obs streams are byte-identical to the uninterrupted run.
+    @raise Invalid_argument on an invalid scenario or policy,
+    [iterations < 1], [checkpoint_every < 1], a negative [kill_at_ms],
+    [kill_at_ms] without [encode], or a mid-iteration [resume] without
+    [decode]. *)

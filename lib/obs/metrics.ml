@@ -34,29 +34,31 @@ type op =
 
 type capture = { cap_target : t; mutable rev_ops : op list }
 
-let capture_slot : capture option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
+(* Captures nest as a per-domain stack: the innermost (most recent)
+   capture targeting a registry receives its updates, so e.g. the
+   parallel engine's per-firing captures compose with an enclosing
+   transaction capture staging a whole iteration. *)
+let capture_slot : capture list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let captured t =
-  match !(Domain.DLS.get capture_slot) with
-  | Some buf when buf.cap_target == t -> Some buf
-  | _ -> None
+  let rec find = function
+    | [] -> None
+    | buf :: rest -> if buf.cap_target == t then Some buf else find rest
+  in
+  find !(Domain.DLS.get capture_slot)
 
 let capture_begin t =
   let slot = Domain.DLS.get capture_slot in
-  (match !slot with
-  | Some _ -> invalid_arg "Metrics.capture_begin: capture already active"
-  | None -> ());
   let buf = { cap_target = t; rev_ops = [] } in
-  slot := Some buf;
+  slot := buf :: !slot;
   buf
 
 let capture_end buf =
   let slot = Domain.DLS.get capture_slot in
-  (match !slot with
-  | Some b when b == buf -> ()
-  | _ -> invalid_arg "Metrics.capture_end: capture not active on this domain");
-  slot := None
+  match !slot with
+  | b :: rest when b == buf -> slot := rest
+  | _ -> invalid_arg "Metrics.capture_end: capture not innermost on this domain"
 
 let apply_incr t name by =
   match Hashtbl.find_opt t.counters name with
@@ -83,12 +85,18 @@ let apply_observe t name v =
 let replay t buf =
   if not (buf.cap_target == t) then
     invalid_arg "Metrics.replay: buffer belongs to another registry";
-  List.iter
-    (function
-      | Op_incr (name, by) -> apply_incr t name by
-      | Op_gauge (name, v) -> apply_gauge t name v
-      | Op_observe (name, v) -> apply_observe t name v)
-    (List.rev buf.rev_ops)
+  (* Route through any capture still active on this domain, so a replay
+     inside an enclosing (e.g. transaction) capture stays staged and can
+     be rolled back with it. *)
+  match captured t with
+  | Some outer -> outer.rev_ops <- buf.rev_ops @ outer.rev_ops
+  | None ->
+      List.iter
+        (function
+          | Op_incr (name, by) -> apply_incr t name by
+          | Op_gauge (name, v) -> apply_gauge t name v
+          | Op_observe (name, v) -> apply_observe t name v)
+        (List.rev buf.rev_ops)
 
 let incr ?(by = 1) t name =
   if by < 0 then invalid_arg "Metrics.incr: counters are monotonic";

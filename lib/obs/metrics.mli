@@ -38,22 +38,27 @@ val histogram : t -> string -> histogram_stats option
     current domain} are recorded into the returned buffer instead of
     being applied; {!replay} later applies them in recorded order.
     Replaying per-task buffers in a fixed task order makes the final
-    registry bit-identical to the sequential run.  A registry is not
-    otherwise thread-safe: uncaptured updates must stay on the domain
-    that owns it. *)
+    registry bit-identical to the sequential run.  Captures nest as a
+    per-domain stack — the innermost capture of a registry receives its
+    updates, and a {!replay} under an enclosing capture re-stages into
+    it (mirroring [Obs] capture nesting).  A registry is not otherwise
+    thread-safe: uncaptured updates must stay on the domain that owns
+    it. *)
 
 type capture
 
 val capture_begin : t -> capture
-(** Start capturing this registry's updates on the current domain.
-    @raise Invalid_argument if a capture is already active here. *)
+(** Start capturing this registry's updates on the current domain
+    (pushed on the domain's capture stack). *)
 
 val capture_end : capture -> unit
 (** Stop capturing.  @raise Invalid_argument if [capture] is not the
-    active capture of the current domain. *)
+    innermost capture of the current domain. *)
 
 val replay : t -> capture -> unit
-(** Apply the buffered updates in the order they were recorded.
+(** Apply the buffered updates in the order they were recorded — or,
+    when a capture of the same registry is still active on this domain,
+    append them to its buffer (kept staged for the enclosing scope).
     @raise Invalid_argument if the buffer was captured from another
     registry. *)
 

@@ -55,17 +55,27 @@ type capture = {
   cap_metrics : Metrics.capture option; (* None on a disabled collector *)
 }
 
-let capture_slot : capture option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
+(* Captures nest as a per-domain stack (mirroring [Metrics]): the
+   innermost capture targeting a store receives its events, and a
+   [splice] executed while an enclosing capture is active re-stages the
+   buffer into it instead of delivering — so the parallel engine's
+   per-firing captures compose with a transaction capture staging a
+   whole iteration for possible rollback. *)
+let capture_slot : capture list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let active_capture store =
+  let rec find = function
+    | [] -> None
+    | c :: rest -> if c.cap_store == store then Some c else find rest
+  in
+  find !(Domain.DLS.get capture_slot)
 
 let capture_begin t =
   if not t.enabled then
     { cap_store = t.store; rev_captured = []; cap_metrics = None }
   else begin
     let slot = Domain.DLS.get capture_slot in
-    (match !slot with
-    | Some _ -> invalid_arg "Obs.capture_begin: capture already active"
-    | None -> ());
     let c =
       {
         cap_store = t.store;
@@ -73,7 +83,7 @@ let capture_begin t =
         cap_metrics = Some (Metrics.capture_begin t.metrics);
       }
     in
-    slot := Some c;
+    slot := c :: !slot;
     c
   end
 
@@ -81,9 +91,8 @@ let capture_end t c =
   if t.enabled then begin
     let slot = Domain.DLS.get capture_slot in
     (match !slot with
-    | Some active when active == c -> ()
-    | _ -> invalid_arg "Obs.capture_end: capture not active on this domain");
-    slot := None;
+    | active :: rest when active == c -> slot := rest
+    | _ -> invalid_arg "Obs.capture_end: capture not innermost on this domain");
     match c.cap_metrics with
     | Some mc -> Metrics.capture_end mc
     | None -> ()
@@ -98,7 +107,9 @@ let splice t c =
   if t.enabled then begin
     if not (c.cap_store == t.store) then
       invalid_arg "Obs.splice: buffer belongs to another store";
-    List.iter (deliver t.store) (List.rev c.rev_captured);
+    (match active_capture t.store with
+    | Some outer -> outer.rev_captured <- c.rev_captured @ outer.rev_captured
+    | None -> List.iter (deliver t.store) (List.rev c.rev_captured));
     match c.cap_metrics with
     | Some mc -> Metrics.replay t.metrics mc
     | None -> ()
@@ -111,10 +122,9 @@ let emit t (ev : Event.t) =
         { ev with Event.ts_ms = ev.Event.ts_ms +. t.offset_ms }
       else ev
     in
-    match !(Domain.DLS.get capture_slot) with
-    | Some c when c.cap_store == t.store ->
-        c.rev_captured <- ev :: c.rev_captured
-    | _ -> deliver t.store ev
+    match active_capture t.store with
+    | Some c -> c.rev_captured <- ev :: c.rev_captured
+    | None -> deliver t.store ev
   end
 
 let span ?(clock = Event.Virtual) ?(args = []) t ~cat ~track ~name ~ts_ms

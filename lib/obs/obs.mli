@@ -54,24 +54,34 @@ val emit : t -> Event.t -> unit
     order with {!splice}, reproducing the sequential event stream and
     registry bit for bit.  The store itself is only ever touched by one
     domain at a time: capturing tasks write their own buffers, and
-    splicing happens after the batch has been joined. *)
+    splicing happens after the batch has been joined.
+
+    Captures {e nest} (a per-domain stack): the innermost capture of a
+    store receives emissions, and a {!splice} performed while an
+    enclosing capture is active re-stages the buffer into the enclosing
+    one instead of delivering.  [Tpdf_sim.Reconfigure] and
+    [Tpdf_fault.Supervisor] rely on this to stage a whole iteration —
+    pooled engine included — and discard it on transaction abort. *)
 
 type capture
 
 val capture_begin : t -> capture
-(** Start diverting this collector's emissions on the current domain.
-    On a disabled collector this is a no-op returning an empty buffer.
-    @raise Invalid_argument if a capture is already active here. *)
+(** Start diverting this collector's emissions on the current domain
+    (pushed on the domain's capture stack).  On a disabled collector
+    this is a no-op returning an empty buffer. *)
 
 val capture_end : t -> capture -> unit
 (** Stop diverting.  Call before handing the buffer to another domain.
-    @raise Invalid_argument if [capture] is not the active capture of
+    @raise Invalid_argument if [capture] is not the innermost capture of
     the current domain. *)
 
 val splice : t -> capture -> unit
 (** Feed the buffered events through the store (in-memory sink, event
     count, attached sinks, in buffered order) and replay the buffered
-    metrics updates.  No-op on a disabled collector.
+    metrics updates; if a capture of the same store is still active on
+    this domain the buffer is appended to it instead (see nesting
+    above).  Discarding a buffer without splicing rolls its events and
+    metrics back.  No-op on a disabled collector.
     @raise Invalid_argument if the buffer was captured from a different
     collector's store. *)
 

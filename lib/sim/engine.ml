@@ -141,6 +141,7 @@ type 'a t = {
   events : 'a event_kind Event_heap.t;
   mutable now : float;
   mutable trace : firing_record list;
+  mutable armed : bool; (* clock Ticks scheduled; armed once per engine *)
 }
 
 let first_mode graph kernel =
@@ -176,7 +177,7 @@ let sample_occupancy t ch =
     Metrics.observe (Obs.metrics t.obs) (occ_metric ch) occ
   end
 
-let create ~graph ~valuation ?init_token ?(behaviors = [])
+let create_engine ~emit_initial ~graph ~valuation ?init_token ?(behaviors = [])
     ?(obs = Obs.disabled) ?pool ~default () =
   (match Tpdf.Graph.validate graph with
   | Ok () -> ()
@@ -373,13 +374,19 @@ let create ~graph ~valuation ?init_token ?(behaviors = [])
       events = Event_heap.create ();
       now = 0.0;
       trace = [];
+      armed = false;
     }
   in
   (* One occupancy sample per channel at t=0 so every channel has a series
-     even if it never carries traffic. *)
-  if Obs.enabled obs then
+     even if it never carries traffic.  Suppressed on restore: the
+     original engine already emitted them. *)
+  if emit_initial && Obs.enabled obs then
     Array.iter (fun ch -> sample_occupancy t ch) chan_order;
   t
+
+let create ~graph ~valuation ?init_token ?behaviors ?obs ?pool ~default () =
+  create_engine ~emit_initial:true ~graph ~valuation ?init_token ?behaviors
+    ?obs ?pool ~default ()
 
 let mark_dirty t ai =
   if not t.dirty.(ai) then begin
@@ -680,13 +687,19 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
     if limit.(ai) <> max_int && t.completed.(ai) < limit.(ai) then
       t.remaining <- t.remaining + 1
   done;
-  (* Arm the clocks. *)
-  for ai = 0 to n - 1 do
-    if t.is_ctrl_actor.(ai) then
-      match t.clock_period.(ai) with
-      | Some p -> Event_heap.add t.events p (Tick ai)
-      | None -> ()
-  done;
+  (* Arm the clocks — once per engine.  A second [run_outcome] call (a
+     resumed capped run, or chunked cumulative iterations) must not
+     re-schedule the initial Ticks: the periodic re-arm in the Tick
+     handler keeps them alive. *)
+  if not t.armed then begin
+    t.armed <- true;
+    for ai = 0 to n - 1 do
+      if t.is_ctrl_actor.(ai) then
+        match t.clock_period.(ai) with
+        | Some p -> Event_heap.add t.events p (Tick ai)
+        | None -> ()
+    done
+  end;
   let eligible ai =
     (not t.busy.(ai))
     && t.clock_period.(ai) = None
@@ -904,3 +917,177 @@ let channel_tokens t ch =
   if ch < 0 || ch >= Array.length t.chan_exists || not t.chan_exists.(ch) then
     raise Not_found;
   List.of_seq (Queue.to_seq t.queues.(ch))
+
+let pending_events t = Event_heap.length t.events
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let at_boundary t =
+  let skel = Tpdf.Graph.skeleton t.graph in
+  Array.for_all not t.busy
+  && Array.for_all (fun d -> d = 0) t.debt
+  && List.for_all
+       (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
+         Queue.length t.queues.(e.id) = e.label.init)
+       (Csdf.Graph.channels skel)
+  && List.for_all
+       (fun (_, _, ev) -> match ev with Tick _ -> true | Complete _ -> false)
+       (Event_heap.entries t.events)
+
+let snapshot ~encode t =
+  let tok = function
+    | Token.Data v -> Snapshot.Data (encode v)
+    | Token.Ctrl m -> Snapshot.Ctrl m
+  in
+  let firing (r : firing_record) =
+    {
+      Snapshot.f_actor = r.actor;
+      f_index = r.index;
+      f_phase = r.phase;
+      f_mode = r.mode;
+      f_start_ms = r.start_ms;
+      f_finish_ms = r.finish_ms;
+    }
+  in
+  let actors =
+    Array.to_list
+      (Array.mapi
+         (fun ai name ->
+           {
+             Snapshot.a_name = name;
+             a_count = t.count.(ai);
+             a_completed = t.completed.(ai);
+             a_busy = t.busy.(ai);
+             a_last_mode = t.last_mode.(ai).cm.Tpdf.Mode.name;
+           })
+         t.actor_names)
+  in
+  let channels =
+    Array.to_list
+      (Array.map
+         (fun ch ->
+           {
+             Snapshot.c_id = ch;
+             c_tokens = List.map tok (List.of_seq (Queue.to_seq t.queues.(ch)));
+             c_debt = t.debt.(ch);
+             c_dropped = t.dropped.(ch);
+             c_max_occ = t.max_occ.(ch);
+           })
+         t.chan_order)
+  in
+  let heap =
+    List.map
+      (fun (time, seq, ev) ->
+        let h_event =
+          match ev with
+          | Complete (ai, outputs, record) ->
+              Snapshot.Complete
+                {
+                  c_actor = t.actor_names.(ai);
+                  c_outputs =
+                    List.map
+                      (fun (ch, toks) -> (ch, List.map tok toks))
+                      outputs;
+                  c_record = firing record;
+                }
+          | Tick ai -> Snapshot.Tick t.actor_names.(ai)
+        in
+        { Snapshot.h_time = time; h_seq = seq; h_event })
+      (Event_heap.entries t.events)
+  in
+  {
+    Snapshot.now = t.now;
+    armed = t.armed;
+    heap_seq = Event_heap.next_seq t.events;
+    actors;
+    channels;
+    heap;
+    trace = List.rev_map firing t.trace;
+  }
+
+let restore ~graph ~valuation ?init_token ?behaviors ?obs ?pool ~default
+    ~decode (s : Snapshot.t) =
+  let t =
+    create_engine ~emit_initial:false ~graph ~valuation ?init_token ?behaviors
+      ?obs ?pool ~default ()
+  in
+  let fail fmt =
+    Printf.ksprintf (fun m -> invalid_arg ("Engine.restore: " ^ m)) fmt
+  in
+  let aid name =
+    match Hashtbl.find_opt t.actor_ids name with
+    | Some i -> i
+    | None -> fail "snapshot names unknown actor %s" name
+  in
+  let tok = function
+    | Snapshot.Data v -> Token.Data (decode v)
+    | Snapshot.Ctrl m -> Token.Ctrl m
+  in
+  let firing (f : Snapshot.firing) =
+    {
+      actor = f.f_actor;
+      index = f.f_index;
+      phase = f.f_phase;
+      mode = f.f_mode;
+      start_ms = f.f_start_ms;
+      finish_ms = f.f_finish_ms;
+    }
+  in
+  if List.length s.actors <> Array.length t.actor_names then
+    fail "snapshot has %d actor(s), graph has %d" (List.length s.actors)
+      (Array.length t.actor_names);
+  List.iter
+    (fun (a : Snapshot.actor_state) ->
+      let ai = aid a.a_name in
+      t.count.(ai) <- a.a_count;
+      t.completed.(ai) <- a.a_completed;
+      t.busy.(ai) <- a.a_busy;
+      match Hashtbl.find_opt t.mode_by_name.(ai) a.a_last_mode with
+      | Some cm -> t.last_mode.(ai) <- cm
+      | None ->
+          (* Actors without declared modes snapshot the synthetic default
+             mode name; their compiled default is already installed. *)
+          if Array.length t.cmodes.(ai) > 0 then
+            fail "snapshot pins %s to unknown mode %S" a.a_name a.a_last_mode)
+    s.actors;
+  if List.length s.channels <> Array.length t.chan_order then
+    fail "snapshot has %d channel(s), graph has %d" (List.length s.channels)
+      (Array.length t.chan_order);
+  List.iter
+    (fun (c : Snapshot.channel_state) ->
+      let ch = c.c_id in
+      if ch < 0 || ch >= Array.length t.chan_exists || not t.chan_exists.(ch)
+      then fail "snapshot names unknown channel e%d" ch;
+      let q = t.queues.(ch) in
+      Queue.clear q;
+      List.iter (fun tk -> Queue.add (tok tk) q) c.c_tokens;
+      t.debt.(ch) <- c.c_debt;
+      t.dropped.(ch) <- c.c_dropped;
+      t.max_occ.(ch) <- c.c_max_occ)
+    s.channels;
+  let event = function
+    | Snapshot.Tick a -> Tick (aid a)
+    | Snapshot.Complete { c_actor; c_outputs; c_record } ->
+        Complete
+          ( aid c_actor,
+            List.map
+              (fun (ch, toks) ->
+                if
+                  ch < 0
+                  || ch >= Array.length t.chan_exists
+                  || not t.chan_exists.(ch)
+                then fail "snapshot output on unknown channel e%d" ch;
+                (ch, List.map tok toks))
+              c_outputs,
+            firing c_record )
+  in
+  Event_heap.load t.events ~next_seq:s.heap_seq
+    (List.map
+       (fun (e : Snapshot.heap_entry) -> (e.h_time, e.h_seq, event e.h_event))
+       s.heap);
+  t.now <- s.now;
+  t.armed <- s.armed;
+  t.trace <- List.rev_map firing s.trace;
+  t

@@ -169,3 +169,45 @@ val run :
 
 val channel_tokens : 'a t -> int -> 'a Token.t list
 (** Current contents of a channel (after {!run}: leftovers). *)
+
+val pending_events : 'a t -> int
+(** Events still queued.  After a capped {!run_outcome} this is how a
+    caller distinguishes "stopped at [until_ms]" (events pending) from a
+    genuine deadlock (queue drained). *)
+
+(** {2 Snapshot / restore}
+
+    The engine's complete deterministic run state as plain data (see
+    {!Snapshot}): restore-then-continue is byte-identical to an
+    uninterrupted run — outcomes, stats, traces and [tpdf_obs] streams —
+    at any iteration boundary or mid-iteration point, sequentially or on
+    a pool.  Enforced by [test/test_ckpt.ml]. *)
+
+val at_boundary : 'a t -> bool
+(** The iteration-boundary invariant (PAPER §III): no firing in flight,
+    no undischarged rejection debt, every channel back to its initial
+    token {e count}, and no pending event other than clock ticks.  This
+    is the state in which a parameter change is safe. *)
+
+val snapshot : encode:('a -> string) -> 'a t -> Snapshot.t
+(** Capture the run state.  [encode] serializes data-token payloads;
+    it must be the inverse of the [decode] later given to {!restore}. *)
+
+val restore :
+  graph:Tpdf_core.Graph.t ->
+  valuation:Tpdf_param.Valuation.t ->
+  ?init_token:(int -> int -> 'a Token.t) ->
+  ?behaviors:(string * 'a Behavior.t) list ->
+  ?obs:Tpdf_obs.Obs.t ->
+  ?pool:Tpdf_par.Pool.t ->
+  default:'a ->
+  decode:(string -> 'a) ->
+  Snapshot.t ->
+  'a t
+(** Rebuild a runnable engine in the snapshotted state.  [graph],
+    [valuation] and [behaviors] must match the original {!create} call
+    (the snapshot carries state, not code); the t=0 occupancy samples
+    are {e not} re-emitted, so the [obs] stream of the restored engine
+    continues exactly where the original's left off.
+    @raise Invalid_argument when the snapshot does not fit the graph
+    (unknown actors/channels/modes, wrong counts). *)

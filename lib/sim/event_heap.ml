@@ -50,6 +50,44 @@ let add t time value =
 
 let peek_time t = if t.len = 0 then None else Some t.arr.(0).time
 
+let next_seq t = t.seq
+
+let entries t =
+  let l = ref [] in
+  for i = t.len - 1 downto 0 do
+    let e = t.arr.(i) in
+    l := (e.time, e.seq, e.value) :: !l
+  done;
+  List.sort
+    (fun (t1, s1, _) (t2, s2, _) -> compare (t1, s1) (t2, s2))
+    !l
+
+let load t ~next_seq entries =
+  let entries =
+    List.sort
+      (fun (t1, s1, _) (t2, s2, _) -> compare (t1, s1) (t2, s2))
+      entries
+  in
+  List.iter
+    (fun (_, seq, _) ->
+      if seq >= next_seq then
+        invalid_arg "Event_heap.load: entry seq >= next_seq")
+    entries;
+  (* A (time, seq)-sorted array satisfies the heap invariant directly:
+     every parent precedes its children in the total order. *)
+  let arr =
+    Array.of_list
+      (List.map (fun (time, seq, value) -> { time; seq; value }) entries)
+  in
+  t.arr <- arr;
+  t.len <- Array.length arr;
+  t.seq <- next_seq
+
+let of_entries ~next_seq entries =
+  let t = create () in
+  load t ~next_seq entries;
+  t
+
 let pop t =
   if t.len = 0 then None
   else begin

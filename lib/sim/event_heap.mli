@@ -21,3 +21,26 @@ val peek_time : 'a t -> float option
 
 val is_empty : 'a t -> bool
 val length : 'a t -> int
+
+(** {2 Introspection for snapshots}
+
+    A heap's observable state is the multiset of pending [(time, seq)]
+    entries plus the insertion counter; [entries]/[load] expose exactly
+    that, so [Tpdf_ckpt] can serialize the queue and rebuild one whose
+    pop order — including FIFO ties against events added later — is
+    identical. *)
+
+val next_seq : 'a t -> int
+(** The seq the next {!add} will stamp (monotonic insertion counter). *)
+
+val entries : 'a t -> (float * int * 'a) list
+(** Pending entries in [(time, seq)] order, i.e. pop order; O(n log n). *)
+
+val load : 'a t -> next_seq:int -> (float * int * 'a) list -> unit
+(** Replace [t]'s contents with [entries] (any order) and set the
+    insertion counter.  After [load t ~next_seq:(next_seq h) (entries h)],
+    [t] pops identically to [h].
+    @raise Invalid_argument if an entry carries [seq >= next_seq]. *)
+
+val of_entries : next_seq:int -> (float * int * 'a) list -> 'a t
+(** Fresh heap; [load] on {!create}. *)

@@ -10,10 +10,13 @@ type iteration_stats = {
   stats : Engine.stats;
 }
 
+type abort = { abort_index : int; abort_what : string; abort_reason : string }
+
 type report = {
   iterations : iteration_stats list;
   total_end_ms : float;
   max_occupancy : (int * int) list;
+  aborts : abort list;
 }
 
 let merge_occupancy iterations =
@@ -39,26 +42,158 @@ let reconfigure_instant obs ~offset ~what detail =
     Metrics.incr (Obs.metrics obs) "engine.reconfigurations"
   end
 
+(* ------------------------------------------------------------------ *)
+(* Transactional validate-then-commit                                  *)
+(* ------------------------------------------------------------------ *)
+
+let txn_instant obs ~offset ~name args =
+  if Obs.enabled obs then
+    Obs.instant obs ~cat:"txn" ~track:"engine" ~name ~ts_ms:offset
+      ~args:(List.map (fun (k, v) -> (k, Ev.Str v)) args)
+      ()
+
+(* Static admission check for a new valuation: every parameter bound,
+   rate safety, boundedness (Theorem 2) with the valuation as the
+   liveness sample.  Runs without [obs] — a rejected transaction must
+   leave no trace beyond its [txn.abort]. *)
+let validate_valuation graph valuation =
+  let missing =
+    List.filter
+      (fun p -> not (Tpdf_param.Valuation.mem valuation p))
+      (Tpdf.Graph.parameters graph)
+  in
+  if missing <> [] then
+    Error ("unbound parameter(s): " ^ String.concat ", " missing)
+  else
+    match Tpdf.Analysis.rate_safety graph with
+    | Error (v :: _) ->
+        Error
+          (Printf.sprintf "rate safety violated at %s/channel %d: %s"
+             v.Tpdf.Analysis.control v.Tpdf.Analysis.channel
+             v.Tpdf.Analysis.reason)
+    | Error [] -> Error "rate safety violated"
+    | Ok () -> (
+        let b = Tpdf.Analysis.check_boundedness graph ~samples:[ valuation ] in
+        if not b.Tpdf.Analysis.bounded then
+          Error
+            ("not bounded under this valuation: "
+            ^ String.concat "; " b.Tpdf.Analysis.notes)
+        else
+          match Tpdf.Liveness.check graph valuation with
+          | r when r.Tpdf.Liveness.live -> Ok ()
+          | r ->
+              Error
+                ("not live under this valuation; stuck: "
+                ^ String.concat ", " r.Tpdf.Liveness.stuck))
+
+type staged =
+  | St_committed of Engine.stats
+  | St_aborted of string  (** reason; every effect rolled back *)
+
+(* Run one iteration with its instrumentation staged in a capture:
+   committed (spliced) only when the run completes back at the iteration
+   boundary, discarded wholesale otherwise.  [run ()] must create its
+   engine(s) under [obs]-derived collectors so their emissions land in
+   the capture. *)
+let staged_iteration obs ~run : staged =
+  let cap = Obs.capture_begin obs in
+  let result =
+    match run () with
+    | Engine.Completed stats, eng ->
+        if Engine.at_boundary eng then St_committed stats
+        else St_aborted "completed away from the iteration boundary"
+    | Engine.Stalled (stall, _), _ ->
+        St_aborted
+          (Format.asprintf "stalled at %g ms (%a)" stall.Engine.at_ms
+             Engine.pp_stall stall)
+    | Engine.Budget_exceeded { steps; at_ms; _ }, _ ->
+        St_aborted
+          (Printf.sprintf "event budget exhausted (%d steps, at %g ms)" steps
+             at_ms)
+    | exception Engine.Error e -> St_aborted (Engine.error_message e)
+  in
+  Obs.capture_end obs cap;
+  (match result with
+  | St_committed _ -> Obs.splice obs cap
+  | St_aborted _ -> (* dropping the buffer rolls everything back *) ());
+  result
+
+let record_abort obs ~offset ~index ~what reason =
+  txn_instant obs ~offset:!offset ~name:"txn.abort"
+    [ ("what", what); ("reason", reason) ];
+  if Obs.enabled obs then
+    Metrics.incr (Obs.metrics obs) "reconfigure.aborts";
+  { abort_index = index; abort_what = what; abort_reason = reason }
+
 let run_sequence ~graph ?(obs = Obs.disabled) ?(behaviors = []) ?targets
-    ?pool ~default valuations =
+    ?pool ?(txn = false) ~default valuations =
   if valuations = [] then
     invalid_arg "Reconfigure.run_sequence: empty valuation sequence";
   let offset = ref 0.0 in
+  let aborts = ref [] in
+  let committed = ref None in
+  (* The plain (non-transactional) iteration body: reconfigure instant,
+     fresh engine on the shifted timeline, one iteration. *)
+  let plain valuation =
+    reconfigure_instant obs ~offset:!offset ~what:"valuation"
+      (Format.asprintf "%a" Tpdf_param.Valuation.pp valuation);
+    let eng =
+      Engine.create ~graph ~valuation ~behaviors
+        ~obs:(Obs.shift obs !offset) ?pool ~default ()
+    in
+    let targets =
+      match targets with None -> None | Some f -> Some (f valuation)
+    in
+    let stats = Engine.run ?targets eng in
+    offset := !offset +. stats.Engine.end_ms;
+    { valuation; stats }
+  in
   let iterations =
-    List.map
-      (fun valuation ->
-        reconfigure_instant obs ~offset:!offset ~what:"valuation"
-          (Format.asprintf "%a" Tpdf_param.Valuation.pp valuation);
-        let eng =
-          Engine.create ~graph ~valuation ~behaviors
-            ~obs:(Obs.shift obs !offset) ?pool ~default ()
-        in
-        let targets =
-          match targets with None -> None | Some f -> Some (f valuation)
-        in
-        let stats = Engine.run ?targets eng in
-        offset := !offset +. stats.Engine.end_ms;
-        { valuation; stats })
+    List.mapi
+      (fun index valuation ->
+        if not txn then plain valuation
+        else begin
+          let what =
+            Format.asprintf "%a" Tpdf_param.Valuation.pp valuation
+          in
+          txn_instant obs ~offset:!offset ~name:"txn.begin"
+            [ ("valuation", what) ];
+          let staged =
+            match validate_valuation graph valuation with
+            | Error reason -> St_aborted reason
+            | Ok () ->
+                staged_iteration obs ~run:(fun () ->
+                    reconfigure_instant obs ~offset:!offset ~what:"valuation"
+                      what;
+                    let eng =
+                      Engine.create ~graph ~valuation ~behaviors
+                        ~obs:(Obs.shift obs !offset) ?pool ~default ()
+                    in
+                    let targets =
+                      match targets with
+                      | None -> None
+                      | Some f -> Some (f valuation)
+                    in
+                    (Engine.run_outcome ?targets eng, eng))
+          in
+          match staged with
+          | St_committed stats ->
+              offset := !offset +. stats.Engine.end_ms;
+              txn_instant obs ~offset:!offset ~name:"txn.commit"
+                [ ("valuation", what) ];
+              committed := Some valuation;
+              { valuation; stats }
+          | St_aborted reason -> (
+              aborts := record_abort obs ~offset ~index ~what reason :: !aborts;
+              match !committed with
+              | Some prev -> plain prev
+              | None ->
+                  failwith
+                    (Printf.sprintf
+                       "Reconfigure.run_sequence: initial valuation rejected \
+                        (%s) and no previous valuation to roll back to"
+                       reason))
+        end)
       valuations
   in
   {
@@ -66,6 +201,7 @@ let run_sequence ~graph ?(obs = Obs.disabled) ?(behaviors = []) ?targets
     total_end_ms =
       List.fold_left (fun acc it -> acc +. it.stats.Engine.end_ms) 0.0 iterations;
     max_occupancy = merge_occupancy iterations;
+    aborts = List.rev !aborts;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -196,35 +332,89 @@ let scenario_control_behavior graph scenario =
       Behavior.produce_at_rates ctx (fun ch _ -> Token.Ctrl (mode_for ch)))
 
 let run_scenarios ~graph ?(obs = Obs.disabled) ?(behaviors = [])
-    ?(iterations = 1) ?pool ~valuation ~default scenarios =
+    ?(iterations = 1) ?pool ?(txn = false) ~valuation ~default scenarios =
   if scenarios = [] then
     invalid_arg "Reconfigure.run_scenarios: empty scenario sequence";
-  List.iter (validate_scenario graph) scenarios;
+  if not txn then List.iter (validate_scenario graph) scenarios;
   let offset = ref 0.0 in
+  let aborts = ref [] in
+  let committed = ref None in
+  let plain scenario =
+    reconfigure_instant obs ~offset:!offset ~what:"scenario"
+      (pp_scenario scenario);
+    let ctrl_behaviors =
+      List.filter_map
+        (fun a ->
+          if List.mem_assoc a behaviors then None
+          else if Tpdf.Graph.clock_period_ms graph a <> None then None
+          else Some (a, scenario_control_behavior graph scenario))
+        (Tpdf.Graph.control_actors graph)
+    in
+    let targets = List.map (fun a -> (a, 0)) (starved_actors graph scenario) in
+    let eng =
+      Engine.create ~graph ~valuation
+        ~behaviors:(behaviors @ ctrl_behaviors)
+        ~obs:(Obs.shift obs !offset) ?pool ~default ()
+    in
+    let stats = Engine.run ~iterations ~targets eng in
+    offset := !offset +. stats.Engine.end_ms;
+    { valuation; stats }
+  in
   let runs =
-    List.map
-      (fun scenario ->
-        reconfigure_instant obs ~offset:!offset ~what:"scenario"
-          (pp_scenario scenario);
-        let ctrl_behaviors =
-          List.filter_map
-            (fun a ->
-              if List.mem_assoc a behaviors then None
-              else if Tpdf.Graph.clock_period_ms graph a <> None then None
-              else Some (a, scenario_control_behavior graph scenario))
-            (Tpdf.Graph.control_actors graph)
-        in
-        let targets =
-          List.map (fun a -> (a, 0)) (starved_actors graph scenario)
-        in
-        let eng =
-          Engine.create ~graph ~valuation
-            ~behaviors:(behaviors @ ctrl_behaviors)
-            ~obs:(Obs.shift obs !offset) ?pool ~default ()
-        in
-        let stats = Engine.run ~iterations ~targets eng in
-        offset := !offset +. stats.Engine.end_ms;
-        { valuation; stats })
+    List.mapi
+      (fun index scenario ->
+        if not txn then plain scenario
+        else begin
+          let what = pp_scenario scenario in
+          txn_instant obs ~offset:!offset ~name:"txn.begin"
+            [ ("scenario", what) ];
+          let staged =
+            match validate_scenario graph scenario with
+            | exception Invalid_argument reason -> St_aborted reason
+            | () ->
+                staged_iteration obs ~run:(fun () ->
+                    reconfigure_instant obs ~offset:!offset ~what:"scenario"
+                      what;
+                    let ctrl_behaviors =
+                      List.filter_map
+                        (fun a ->
+                          if List.mem_assoc a behaviors then None
+                          else if Tpdf.Graph.clock_period_ms graph a <> None
+                          then None
+                          else
+                            Some (a, scenario_control_behavior graph scenario))
+                        (Tpdf.Graph.control_actors graph)
+                    in
+                    let targets =
+                      List.map
+                        (fun a -> (a, 0))
+                        (starved_actors graph scenario)
+                    in
+                    let eng =
+                      Engine.create ~graph ~valuation
+                        ~behaviors:(behaviors @ ctrl_behaviors)
+                        ~obs:(Obs.shift obs !offset) ?pool ~default ()
+                    in
+                    (Engine.run_outcome ~iterations ~targets eng, eng))
+          in
+          match staged with
+          | St_committed stats ->
+              offset := !offset +. stats.Engine.end_ms;
+              txn_instant obs ~offset:!offset ~name:"txn.commit"
+                [ ("scenario", what) ];
+              committed := Some scenario;
+              { valuation; stats }
+          | St_aborted reason -> (
+              aborts := record_abort obs ~offset ~index ~what reason :: !aborts;
+              match !committed with
+              | Some prev -> plain prev
+              | None ->
+                  failwith
+                    (Printf.sprintf
+                       "Reconfigure.run_scenarios: initial scenario rejected \
+                        (%s) and no previous scenario to roll back to"
+                       reason))
+        end)
       scenarios
   in
   {
@@ -232,4 +422,5 @@ let run_scenarios ~graph ?(obs = Obs.disabled) ?(behaviors = [])
     total_end_ms =
       List.fold_left (fun acc it -> acc +. it.stats.Engine.end_ms) 0.0 runs;
     max_occupancy = merge_occupancy runs;
+    aborts = List.rev !aborts;
   }

@@ -13,10 +13,17 @@ type iteration_stats = {
   stats : Engine.stats;
 }
 
+type abort = {
+  abort_index : int;  (** position in the requested sequence *)
+  abort_what : string;  (** the rejected valuation or scenario, rendered *)
+  abort_reason : string;
+}
+
 type report = {
   iterations : iteration_stats list;
   total_end_ms : float;  (** sum of per-iteration end times *)
   max_occupancy : (int * int) list;  (** per channel, across iterations *)
+  aborts : abort list;  (** transactions rolled back ([] when [txn] off) *)
 }
 
 val run_sequence :
@@ -25,6 +32,7 @@ val run_sequence :
   ?behaviors:(string * 'a Behavior.t) list ->
   ?targets:(Tpdf_param.Valuation.t -> (string * int) list) ->
   ?pool:Tpdf_par.Pool.t ->
+  ?txn:bool ->
   default:'a ->
   Tpdf_param.Valuation.t list ->
   report
@@ -40,8 +48,23 @@ val run_sequence :
     accumulated end time of the previous ones.  [pool] is handed to every
     engine created (deterministic parallel mode, byte-identical results —
     see {!Engine.create}).
+
+    [txn] (default [false]) makes each reconfiguration a {e transaction}
+    with validate-then-commit semantics.  A ["txn.begin"] instant opens
+    the boundary; the new valuation is re-validated (all parameters
+    bound, rate safety, boundedness with the valuation as liveness
+    sample) and the iteration runs with its events and metrics staged in
+    an [Obs] capture.  If validation passes, the run completes, and the
+    engine ends back at the iteration boundary, the capture is spliced
+    and a ["txn.commit"] instant recorded; otherwise {e nothing} of the
+    attempt reaches [obs] — a ["txn.abort"] instant (with the reason) and
+    a [reconfigure.aborts] counter bump are recorded, the abort is
+    appended to {!field:report.aborts}, and the iteration re-runs under
+    the previous committed valuation.
     @raise Invalid_argument on an empty sequence
-    @raise Failure if any iteration stalls. *)
+    @raise Failure if any iteration stalls irrecoverably — with [txn],
+    only when the very first valuation is rejected (nothing to roll back
+    to) or the rollback run itself stalls. *)
 
 (** {2 Mode-scenario sweeps}
 
@@ -86,6 +109,7 @@ val run_scenarios :
   ?behaviors:(string * 'a Behavior.t) list ->
   ?iterations:int ->
   ?pool:Tpdf_par.Pool.t ->
+  ?txn:bool ->
   valuation:Tpdf_param.Valuation.t ->
   default:'a ->
   scenario list ->
@@ -95,5 +119,13 @@ val run_scenarios :
     [run_sequence]).  Control actors not given an explicit behaviour emit
     the scenario's pinned mode of each target kernel; actors starved by the
     scenario get a zero firing target.
-    @raise Invalid_argument on an empty scenario list
-    @raise Failure if a run stalls. *)
+
+    With [txn] (default [false]) each scenario switch is a transaction:
+    the pins are validated at the boundary (instead of up front, so an
+    invalid scenario mid-sequence aborts rather than raises), the run is
+    staged in an [Obs] capture, and a failed or non-boundary run is
+    rolled back and re-run under the previous committed scenario — see
+    {!run_sequence} for the protocol and {!field:report.aborts}.
+    @raise Invalid_argument on an empty scenario list (or, without
+    [txn], an invalid scenario anywhere in it)
+    @raise Failure if a run stalls irrecoverably (see {!run_sequence}). *)

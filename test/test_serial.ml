@@ -163,6 +163,30 @@ let test_shipped_graph_files () =
           Alcotest.(check bool) (f ^ " consistent") true (Analysis.consistent g))
     tpdf
 
+let test_shipped_fixed_point () =
+  (* parse∘print = id for every shipped graph: re-printing the parsed
+     graph must reproduce the exact same text, and the re-parsed graph
+     must be equivalent to the original *)
+  let dir = "../graphs" in
+  let dir = if Sys.file_exists dir then dir else "graphs" in
+  let tpdf =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".tpdf")
+  in
+  List.iter
+    (fun f ->
+      match Serial.load (Filename.concat dir f) with
+      | Error m -> Alcotest.fail (f ^ ": " ^ m)
+      | Ok g -> (
+          let s = Serial.to_string g in
+          match Serial.of_string s with
+          | Error m -> Alcotest.fail (f ^ " re-parse: " ^ m)
+          | Ok g' ->
+              check_equivalent f g g';
+              Alcotest.(check string) (f ^ ": print is a fixed point") s
+                (Serial.to_string g')))
+    tpdf
+
 let test_file_roundtrip () =
   let g = (Examples.fig2 ()).Examples.graph in
   let path = Filename.temp_file "tpdf" ".tpdf" in
@@ -177,50 +201,120 @@ let test_file_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "loaded a missing file"
 
-(* Property: random small TPDF graphs round-trip. *)
+(* Property: random small TPDF graphs round-trip.  Each channel carries
+   random multi-phase rates, init tokens and an optional priority; each
+   kernel a random phase count; the optional control actor a clock drawn
+   from awkward float periods (0.1 does not have an exact binary
+   representation, so it exercises the printer's float fidelity). *)
+type rand_chan = {
+  rc_prod : int list; (* one rate per producer phase *)
+  rc_cons : int list; (* one rate per consumer phase *)
+  rc_init : int;
+  rc_prio : int option;
+}
+
+type rand_graph = {
+  rg_phases : int list; (* phase count per kernel, length n *)
+  rg_chans : rand_chan list; (* length n-1, chain k(i) -> k(i+1) *)
+  rg_clock : float option option; (* None: no control actor *)
+}
+
 let gen_graph =
   QCheck.Gen.(
-    let* n_kernels = int_range 2 5 in
-    let* with_control = bool in
-    let* rates = list_size (return (n_kernels - 1)) (int_range 1 4) in
-    let* inits = list_size (return (n_kernels - 1)) (int_range 0 3) in
-    return (n_kernels, with_control, rates, inits))
+    let gen_chan =
+      let* rc_prod = list_size (int_range 1 3) (int_range 0 4) in
+      let* rc_cons = list_size (int_range 1 3) (int_range 0 4) in
+      let* rc_init = int_range 0 3 in
+      let* rc_prio = opt (int_range 0 9) in
+      return { rc_prod; rc_cons; rc_init; rc_prio }
+    in
+    let* n = int_range 2 5 in
+    let* rg_phases = list_size (return n) (int_range 1 3) in
+    let* rg_chans = list_size (return (n - 1)) gen_chan in
+    let* rg_clock =
+      opt (opt (oneofl [ 0.1; 0.5; 1.0; 2.25; 125.5 ]))
+    in
+    return { rg_phases; rg_chans; rg_clock })
 
 let arb_graph =
   QCheck.make
-    ~print:(fun (n, c, r, i) ->
-      Printf.sprintf "kernels=%d control=%b rates=%s inits=%s" n c
-        (String.concat "," (List.map string_of_int r))
-        (String.concat "," (List.map string_of_int i)))
+    ~print:(fun rg ->
+      let ints l = String.concat "," (List.map string_of_int l) in
+      Printf.sprintf "phases=[%s] chans=[%s] clock=%s" (ints rg.rg_phases)
+        (String.concat "; "
+           (List.map
+              (fun c ->
+                Printf.sprintf "[%s]->[%s] init=%d prio=%s" (ints c.rc_prod)
+                  (ints c.rc_cons) c.rc_init
+                  (match c.rc_prio with
+                  | None -> "-"
+                  | Some p -> string_of_int p))
+              rg.rg_chans))
+        (match rg.rg_clock with
+        | None -> "none"
+        | Some None -> "sporadic"
+        | Some (Some t) -> string_of_float t))
     gen_graph
 
+let build_random_graph rg =
+  let g = Graph.create () in
+  List.iteri
+    (fun i phases -> Graph.add_kernel g ~phases (Printf.sprintf "k%d" i))
+    rg.rg_phases;
+  let phases = Array.of_list rg.rg_phases in
+  List.iteri
+    (fun i c ->
+      (* rate vectors must match the endpoint's phase count; cycle the
+         generated rates to the right length (at least one non-zero so
+         the channel is not degenerate) *)
+      let fit n l =
+        List.init n (fun k -> List.nth l (k mod List.length l))
+      in
+      let nonzero l = if List.for_all (( = ) 0) l then 1 :: List.tl l else l in
+      ignore
+        (Graph.add_channel g
+           ~src:(Printf.sprintf "k%d" i)
+           ~dst:(Printf.sprintf "k%d" (i + 1))
+           ~prod:(Csdf.Graph.const_rates (nonzero (fit phases.(i) c.rc_prod)))
+           ~cons:
+             (Csdf.Graph.const_rates (nonzero (fit phases.(i + 1) c.rc_cons)))
+           ~init:c.rc_init ?priority:c.rc_prio ()))
+    rg.rg_chans;
+  (match rg.rg_clock with
+  | None -> ()
+  | Some clock ->
+      Graph.add_control g ?clock_period_ms:clock "ctl";
+      ignore
+        (Graph.add_control_channel g ~src:"ctl" ~dst:"k0"
+           ~prod:(Csdf.Graph.const_rates [ 1 ])
+           ~cons:(Csdf.Graph.const_rates (List.init phases.(0) (fun _ -> 1)))
+           ()));
+  g
+
 let prop_random_roundtrip =
-  QCheck.Test.make ~name:"random chains round-trip" ~count:100 arb_graph
-    (fun (n_kernels, with_control, rates, inits) ->
-      let g = Graph.create () in
-      for i = 0 to n_kernels - 1 do
-        Graph.add_kernel g (Printf.sprintf "k%d" i)
-      done;
-      List.iteri
-        (fun i (rate, init) ->
-          ignore
-            (Graph.add_channel g
-               ~src:(Printf.sprintf "k%d" i)
-               ~dst:(Printf.sprintf "k%d" (i + 1))
-               ~prod:(Csdf.Graph.const_rates [ rate ])
-               ~cons:(Csdf.Graph.const_rates [ 1 ])
-               ~init ()))
-        (List.combine rates inits);
-      if with_control then begin
-        Graph.add_control g "ctl";
-        ignore
-          (Graph.add_control_channel g ~src:"ctl" ~dst:"k0"
-             ~prod:(Csdf.Graph.const_rates [ 1 ])
-             ~cons:(Csdf.Graph.const_rates [ 1 ])
-             ())
-      end;
+  QCheck.Test.make ~name:"random chains round-trip" ~count:200 arb_graph
+    (fun rg ->
+      let g = build_random_graph rg in
       match Serial.of_string (Serial.to_string g) with
       | Ok g' -> Serial.to_string g = Serial.to_string g'
+      | Error _ -> false)
+
+let prop_random_clock_exact =
+  (* the clock period must survive the round-trip bit-exactly, not just
+     to a few printed digits *)
+  QCheck.Test.make ~name:"clock periods round-trip exactly" ~count:50
+    QCheck.(oneofl [ 0.1; 0.3; 1.0 /. 3.0; 2.25; 125.5; 0.0625 ])
+    (fun t ->
+      let g = Graph.create () in
+      Graph.add_kernel g "k";
+      Graph.add_control g ~clock_period_ms:t "w";
+      ignore
+        (Graph.add_control_channel g ~src:"w" ~dst:"k"
+           ~prod:(Csdf.Graph.const_rates [ 1 ])
+           ~cons:(Csdf.Graph.const_rates [ 1 ])
+           ());
+      match Serial.of_string (Serial.to_string g) with
+      | Ok g' -> Graph.clock_period_ms g' "w" = Some t
       | Error _ -> false)
 
 let () =
@@ -232,7 +326,10 @@ let () =
           Alcotest.test_case "applications" `Quick test_roundtrip_apps;
           Alcotest.test_case "file" `Quick test_file_roundtrip;
           Alcotest.test_case "shipped graphs" `Quick test_shipped_graph_files;
+          Alcotest.test_case "shipped graphs are print fixed points" `Quick
+            test_shipped_fixed_point;
           QCheck_alcotest.to_alcotest prop_random_roundtrip;
+          QCheck_alcotest.to_alcotest prop_random_clock_exact;
         ] );
       ( "parsing",
         [
