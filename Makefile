@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke check chaos resume-smoke clean
+.PHONY: all build test bench bench-smoke obs-smoke check chaos resume-smoke clean
 
 all: build
 
@@ -24,6 +24,19 @@ bench-smoke:
 	  TPDF_BENCH_PAR_OUT=BENCH_par.smoke.json dune exec bench/main.exe
 	TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E19 \
 	  TPDF_BENCH_CKPT_OUT=BENCH_ckpt.smoke.json dune exec bench/main.exe
+	TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E20 \
+	  TPDF_BENCH_OBS_OUT=BENCH_obs.smoke.json dune exec bench/main.exe
+
+# Telemetry smoke: E20 at smoke sizes (writes BENCH_obs.smoke.json, the
+# checked-in BENCH_obs.json is refreshed with `TPDF_BENCH_ONLY=E20 make
+# bench`), plus the critical-path analyzer on both case studies — it
+# exits non-zero if the observed period beats the proven MCR bound or
+# drifts from the throughput prediction.
+obs-smoke:
+	TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E20 \
+	  TPDF_BENCH_OBS_OUT=BENCH_obs.smoke.json dune exec bench/main.exe
+	dune exec bin/tpdf_tool.exe -- analyze-trace ofdm-tpdf -p beta=2 -p N=8 -p L=1
+	dune exec bin/tpdf_tool.exe -- analyze-trace edge -p W=8 -p H=8
 
 check:
 	sh ci/check.sh

@@ -1053,6 +1053,208 @@ let e19_ckpt () =
   Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* E20: telemetry overhead — collector off vs sampled vs full          *)
+(* ------------------------------------------------------------------ *)
+
+module Ring = Tpdf_obs.Ring
+
+type e20_run = {
+  t_graph : string;
+  t_actors : int;
+  t_iterations : int;
+  t_mode : string; (* "off" | "sampled" | "full" *)
+  t_events : int; (* completed firings *)
+  t_wall_ms : float; (* best of the repetitions *)
+  t_events_per_sec : float;
+  t_obs_seen : int; (* events offered to the collector / ring *)
+  t_ring_retained : int; (* 0 when no ring is attached *)
+}
+
+let e20_sampling = Tpdf_obs.Obs.default_sampling
+let e20_ring_capacity = 8192
+
+(* One engine run under the given telemetry mode, repeated [reps] times
+   on fresh engines; wall is the best repetition (the others absorb
+   warmup noise — the acceptance gate is a 5% ratio, well inside
+   run-to-run jitter of a single cold run). *)
+let e20_run_one ~reps ~t_graph ~t_mode ?(span_every = e20_sampling.span_every)
+    ~iterations g =
+  let t_actors = List.length (Graph.actors g) in
+  let best = ref infinity in
+  let events = ref 0 and seen = ref 0 and retained = ref 0 in
+  for _ = 1 to reps do
+    let obs, ring =
+      match t_mode with
+      | "off" -> (Tpdf_obs.Obs.disabled, None)
+      | "sampled" ->
+          let o =
+            Tpdf_obs.Obs.create ~keep_events:false
+              ~sampling:{ e20_sampling with span_every }
+              ()
+          in
+          let r =
+            Ring.attach
+              ~config:
+                { Ring.default_config with capacity = e20_ring_capacity }
+              o
+          in
+          (o, Some r)
+      | _ -> (Tpdf_obs.Obs.create (), None)
+    in
+    let eng =
+      Engine.create ~graph:g ~valuation:Valuation.empty ~obs ~default:0 ()
+    in
+    let stats = ref None in
+    (* Collect the previous repetition's garbage outside the timed
+       section, so mode A's allocation debt is not billed to mode B. *)
+    Gc.full_major ();
+    let wall =
+      e18_time (fun () ->
+          stats := Some (Engine.run ~iterations ~max_events:30_000_000 eng))
+    in
+    let s = Option.get !stats in
+    events := List.fold_left (fun a (_, n) -> a + n) 0 s.Engine.firings;
+    (match ring with
+    | Some r ->
+        seen := Ring.seen r;
+        retained := Ring.retained r
+    | None -> seen := Tpdf_obs.Obs.event_count obs);
+    if wall < !best then best := wall
+  done;
+  {
+    t_graph;
+    t_actors;
+    t_iterations = iterations;
+    t_mode;
+    t_events = !events;
+    t_wall_ms = !best;
+    t_events_per_sec =
+      (if !best <= 0.0 then 0.0
+       else 1000.0 *. float_of_int !events /. !best);
+    t_obs_seen = !seen;
+    t_ring_retained = !retained;
+  }
+
+let e20_obs () =
+  section "E20" "Telemetry overhead: collector off vs sampled vs full";
+  let smoke = bench_smoke in
+  let reps = if smoke then 2 else 3 in
+  let configs =
+    if smoke then
+      [ ("chain", synth_chain 100, 20); ("fan", synth_fan 100, 20) ]
+    else
+      [
+        ("chain", synth_chain 1000, 100);
+        ("fan", synth_fan 1000, 100);
+        ("grid", synth_grid 32 32, 100);
+      ]
+  in
+  let modes = [ "off"; "sampled"; "full" ] in
+  Printf.printf "%-6s %8s %9s %9s %10s %14s %10s %9s %9s\n" "graph" "actors"
+    "mode" "events" "wall ms" "events/sec" "obs seen" "ring" "overhead";
+  let runs =
+    List.concat_map
+      (fun (t_graph, g, iterations) ->
+        let wall_off = ref nan in
+        List.map
+          (fun t_mode ->
+            let r = e20_run_one ~reps ~t_graph ~t_mode ~iterations g in
+            if t_mode = "off" then wall_off := r.t_wall_ms;
+            Printf.printf
+              "%-6s %8d %9s %9d %10.1f %14.0f %10d %9d %8.2fx\n%!" r.t_graph
+              r.t_actors r.t_mode r.t_events r.t_wall_ms r.t_events_per_sec
+              r.t_obs_seen r.t_ring_retained
+              (if !wall_off > 0.0 then r.t_wall_ms /. !wall_off else 0.0);
+            r)
+          modes)
+      configs
+  in
+  (* Flight-recorder bounded-memory certificate: a run whose unsampled
+     span stream (span_every = 1) far exceeds the ring capacity must
+     retain exactly [capacity] events, evicting the rest. *)
+  let b_graph, b_g, b_iters =
+    if smoke then ("chain", synth_chain 100, 100)
+    else ("chain", synth_chain 1000, 1000)
+  in
+  let bounded =
+    e20_run_one ~reps:1 ~t_graph:b_graph ~t_mode:"sampled" ~span_every:1
+      ~iterations:b_iters b_g
+  in
+  let bounded_ok =
+    bounded.t_ring_retained <= e20_ring_capacity
+    && bounded.t_obs_seen > e20_ring_capacity
+  in
+  Printf.printf
+    "bounded: %s %d actors, %d events offered, ring retained %d/%d -> %s\n"
+    bounded.t_graph bounded.t_actors bounded.t_obs_seen
+    bounded.t_ring_retained e20_ring_capacity
+    (if bounded_ok then "ok" else "FAILED");
+  let overhead_of mode =
+    (* worst overhead across graphs for [mode] *)
+    List.fold_left
+      (fun acc r ->
+        if r.t_mode <> mode then acc
+        else
+          let off =
+            (List.find
+               (fun r' -> r'.t_graph = r.t_graph && r'.t_mode = "off")
+               runs)
+              .t_wall_ms
+          in
+          if off > 0.0 then Float.max acc (r.t_wall_ms /. off) else acc)
+      0.0 runs
+  in
+  let out =
+    match Sys.getenv_opt "TPDF_BENCH_OBS_OUT" with
+    | Some p -> p
+    | None -> "BENCH_obs.json"
+  in
+  let oc = open_out out in
+  let fp fmt = Printf.fprintf oc fmt in
+  fp "{\n";
+  fp "  \"experiment\": \"E20\",\n";
+  fp "  \"smoke\": %b,\n" smoke;
+  fp_metadata oc;
+  fp "  \"sampling\": { \"span_every\": %d, \"ring_capacity\": %d },\n"
+    e20_sampling.Tpdf_obs.Obs.span_every e20_ring_capacity;
+  fp "  \"note\": %S,\n"
+    "overhead_vs_off is wall_ms divided by the same graph's collector-off \
+     wall_ms (best of the repetitions each).  'sampled' is the production \
+     configuration: metrics always on, one in span_every firing spans into \
+     a bounded flight-recorder ring, no unbounded event list.  'full' is the \
+     diagnostic full-capture collector.  The bounded block runs an \
+     unsampled span stream through the ring to certify eviction.";
+  fp "  \"worst_overhead_sampled\": %.3f,\n" (overhead_of "sampled");
+  fp "  \"worst_overhead_full\": %.3f,\n" (overhead_of "full");
+  fp "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      let off =
+        (List.find
+           (fun r' -> r'.t_graph = r.t_graph && r'.t_mode = "off")
+           runs)
+          .t_wall_ms
+      in
+      fp
+        "    { \"graph\": %S, \"actors\": %d, \"iterations\": %d, \"mode\": \
+         %S, \"events\": %d, \"wall_ms\": %.3f, \"events_per_sec\": %.1f, \
+         \"obs_events_seen\": %d, \"ring_retained\": %d, \
+         \"overhead_vs_off\": %.3f }%s\n"
+        r.t_graph r.t_actors r.t_iterations r.t_mode r.t_events r.t_wall_ms
+        r.t_events_per_sec r.t_obs_seen r.t_ring_retained
+        (if off > 0.0 then r.t_wall_ms /. off else 0.0)
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  fp "  ],\n";
+  fp "  \"bounded\": { \"graph\": %S, \"actors\": %d, \"events_offered\": \
+      %d, \"ring_capacity\": %d, \"ring_retained\": %d, \"ok\": %b }\n"
+    bounded.t_graph bounded.t_actors bounded.t_obs_seen e20_ring_capacity
+    bounded.t_ring_retained bounded_ok;
+  fp "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* TPDF_BENCH_TRACE: observability artifacts for the example graphs    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1113,6 +1315,7 @@ let () =
       ("E17", e17_engine);
       ("E18", e18_par);
       ("E19", e19_ckpt);
+      ("E20", e20_obs);
     ]
   in
   let only =

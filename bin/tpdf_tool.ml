@@ -301,10 +301,16 @@ let instrumented_run name params pes iterations =
   | exception Failure m -> or_die (Error m));
   obs
 
-let cmd_profile name params pes iterations =
+let cmd_profile name params pes iterations openmetrics =
   let obs = instrumented_run name params pes iterations in
   print_string
-    (Tpdf_obs.Report.summary ~metrics:(Obs.metrics obs) (Obs.events obs))
+    (Tpdf_obs.Report.summary ~metrics:(Obs.metrics obs) (Obs.events obs));
+  match openmetrics with
+  | None -> ()
+  | Some path ->
+      Tpdf_util.Atomic_file.write path
+        (Tpdf_obs.Openmetrics.render (Obs.metrics obs));
+      Printf.printf "wrote %s\n" path
 
 let cmd_trace name params pes iterations format output =
   let obs = instrumented_run name params pes iterations in
@@ -325,6 +331,277 @@ let cmd_trace name params pes iterations format output =
           close_out oc;
           Printf.printf "wrote %s (%d events)\n" path (Obs.event_count obs)
       | exception Sys_error m -> or_die (Error m))
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry v2: production collector, live per-actor table, and       *)
+(* trace-derived critical-path analysis (tpdf_obs v2).                 *)
+(* ------------------------------------------------------------------ *)
+
+module Ring = Tpdf_obs.Ring
+module Critpath = Tpdf_obs.Critpath
+module Metrics = Tpdf_obs.Metrics
+
+let write_openmetrics obs = function
+  | None -> ()
+  | Some path ->
+      Tpdf_util.Atomic_file.write path
+        (Tpdf_obs.Openmetrics.render (Obs.metrics obs));
+      Printf.printf "wrote %s\n" path
+
+(* The production collector: no unbounded event list — a sampled engine
+   stream feeds a bounded flight-recorder ring, and metrics aggregate
+   everything.  [sample <= 1] keeps every span (full fidelity, still
+   bounded memory). *)
+let production_obs ~sample ~ring_cap =
+  let sampling = { Obs.span_every = max 1 sample; occupancy_every = 0 } in
+  let obs = Obs.create ~keep_events:false ~sampling () in
+  let ring =
+    Ring.attach
+      ~config:{ Ring.default_config with capacity = max 16 ring_cap }
+      obs
+  in
+  (obs, ring)
+
+let cmd_top name params iterations refresh_ms sample ring_cap limit
+    openmetrics =
+  let g = or_die (lookup_graph name) in
+  let v = need_valuation g params in
+  let skel = Graph.skeleton g in
+  let obs, ring = production_obs ~sample ~ring_cap in
+  with_env_pool @@ fun pool ->
+  let eng = Sim.Engine.create ~graph:g ~valuation:v ~obs ?pool ~default:0 () in
+  let in_ids =
+    List.map
+      (fun a ->
+        ( a,
+          List.map
+            (fun (e : (string, Csdf.Graph.channel) Tpdf_graph.Digraph.edge) ->
+              e.Tpdf_graph.Digraph.id)
+            (Csdf.Graph.in_channels skel a) ))
+      (Graph.actors g)
+  in
+  let is_tty = Unix.isatty Unix.stdout in
+  let frame k (stats : Sim.Engine.stats) =
+    let m = Obs.metrics obs in
+    let end_ms = stats.Sim.Engine.end_ms in
+    if is_tty then print_string "\027[2J\027[H";
+    Format.printf
+      "tpdf top — %s  iteration %d/%d  t=%.3f ms  events %d seen, ring %d/%d@."
+      name k iterations end_ms (Ring.seen ring) (Ring.retained ring)
+      (Ring.capacity ring);
+    Format.printf "%-14s %8s %7s %9s %5s %8s %9s@." "ACTOR" "FIRINGS" "BUSY%"
+      "BUSY ms" "OCC" "RETRIES" "DEGRADES";
+    let rows =
+      List.map
+        (fun (a, n) ->
+          let busy =
+            Option.value ~default:0.0 (Metrics.gauge m ("engine.busy_ms." ^ a))
+          in
+          let occ =
+            List.fold_left
+              (fun acc id ->
+                match List.assoc_opt id stats.Sim.Engine.max_occupancy with
+                | Some o -> max acc o
+                | None -> acc)
+              0
+              (Option.value ~default:[] (List.assoc_opt a in_ids))
+          in
+          ( a,
+            n,
+            busy,
+            occ,
+            Metrics.counter m ("supervisor.retries." ^ a),
+            Metrics.counter m ("supervisor.degrades." ^ a) ))
+        stats.Sim.Engine.firings
+    in
+    let rows =
+      List.sort
+        (fun (a1, _, b1, _, _, _) (a2, _, b2, _, _, _) ->
+          match compare b2 b1 with 0 -> compare a1 a2 | c -> c)
+        rows
+    in
+    List.iteri
+      (fun i (a, n, busy, occ, retries, degrades) ->
+        if i < limit then
+          let pct = if end_ms > 0.0 then 100.0 *. busy /. end_ms else 0.0 in
+          Format.printf "%-14s %8d %6.1f%% %9.3f %5d %8d %9d@." a n pct busy
+            occ retries degrades)
+      rows;
+    let hidden = List.length rows - limit in
+    if hidden > 0 then Format.printf "  … %d more actor(s)@." hidden
+  in
+  (try
+     for k = 1 to iterations do
+       (* Cumulative chunked runs on one engine: iteration k resumes where
+          k-1 stopped, so each frame shows live totals. *)
+       let stats = Sim.Engine.run ~iterations:k eng in
+       frame k stats;
+       if refresh_ms > 0 && k < iterations then
+         Unix.sleepf (float_of_int refresh_ms /. 1000.0)
+     done
+   with Failure m -> or_die (Error m));
+  write_openmetrics obs openmetrics
+
+(* analyze-trace: execute every mode scenario, measure the settled
+   observed iteration period from cumulative-run marginals, and diff it
+   against the scheduler-side predictions — the proven MCR lower bound
+   (observed below it is an analysis bug: exit 2) and the list-schedule
+   steady period (deviation beyond tolerance: exit 1).  Clock-driven
+   graphs pace the run by wall of the clock, so only the bound check
+   applies there. *)
+let cmd_analyze_trace name params tolerance max_iters show_path =
+  let g = or_die (lookup_graph name) in
+  let v = need_valuation g params in
+  let actors = Graph.actors g in
+  let conc = Csdf.Concrete.make (Graph.skeleton g) v in
+  let clocked =
+    List.exists (fun a -> Graph.clock_period_ms g a <> None) actors
+  in
+  let pes = max 2 (List.length actors) in
+  let platform = Platform.uniform pes in
+  let scenarios = Sim.Reconfigure.mode_scenarios g in
+  let mismatches = ref 0 and bound_bugs = ref 0 in
+  with_env_pool @@ fun pool ->
+  List.iter
+    (fun scenario ->
+      Format.printf "@[<v>scenario %s@,"
+        (Sim.Reconfigure.pp_scenario scenario);
+      let starved = Sim.Reconfigure.starved_actors g scenario in
+      let behaviors =
+        List.filter_map
+          (fun a ->
+            if Graph.clock_period_ms g a <> None then None
+            else
+              Some (a, Sim.Reconfigure.scenario_control_behavior g scenario))
+          (Graph.control_actors g)
+      in
+      let targets = List.map (fun a -> (a, 0)) starved in
+      (* A run's firing limits stop actors from racing into iteration k+1,
+         so resuming one engine serializes at every boundary and the
+         marginal measures latency.  Instead each window k gets a fresh
+         engine whose single run pipelines all k iterations; the marginal
+         makespan(k) - makespan(k-1) then settles to the steady iteration
+         period, exactly like [Throughput.steady_period_ms]. *)
+      let obs = ref Obs.disabled in
+      let run_window k =
+        let o = Obs.create () in
+        let eng =
+          Sim.Engine.create ~graph:g ~valuation:v ~behaviors ~obs:o ?pool
+            ~default:0 ()
+        in
+        let stats = Sim.Engine.run ~iterations:k ~targets eng in
+        obs := o;
+        stats.Sim.Engine.end_ms
+      in
+      let eps = 1e-6 in
+      let ends = Array.make (max_iters + 1) 0.0 in
+      let observed = ref Float.nan in
+      let failed = ref None in
+      (try
+         let k = ref 1 in
+         while Float.is_nan !observed && !k <= max_iters do
+           ends.(!k) <- run_window !k;
+           (if !k >= 3 then
+              let m1 = ends.(!k) -. ends.(!k - 1)
+              and m2 = ends.(!k - 1) -. ends.(!k - 2)
+              and m3 = ends.(!k - 2) -. ends.(!k - 3) in
+              if Float.abs (m1 -. m2) <= eps && Float.abs (m2 -. m3) <= eps
+              then observed := m1);
+           incr k
+         done;
+         if Float.is_nan !observed then
+           observed := ends.(max_iters) -. ends.(max_iters - 1)
+       with Failure m -> failed := Some m);
+      (match !failed with
+      | Some m ->
+          incr mismatches;
+          Format.printf "  run FAILED: %s@," m
+      | None ->
+          let obs_p = !observed in
+          if starved <> [] then
+            Format.printf "  starved (target 0): %s@,"
+              (String.concat ", " starved);
+          Format.printf "  observed period   %8.3f ms/iteration@," obs_p;
+          let mcr_durations (nd : Sched.Mcr.node) =
+            if List.mem nd.Sched.Mcr.actor starved then 0.0 else 1.0
+          in
+          (match
+             Sched.Mcr.iteration_period_ms ~durations:mcr_durations
+               (Sched.Mcr.build conc)
+           with
+          | proven ->
+              Format.printf "  proven bound      %8.3f ms (max cycle ratio)@,"
+                proven;
+              if obs_p < proven -. eps then begin
+                incr bound_bugs;
+                Format.printf
+                  "  ERROR: observed beats the proven bound by %.3f ms — \
+                   analysis bug@,"
+                  (proven -. obs_p)
+              end
+          | exception Failure _ ->
+              Format.printf "  proven bound      (unavailable)@,");
+          let sched_durations (nd : Sched.Canonical_period.node) =
+            if List.mem nd.Sched.Canonical_period.actor starved then 0.0
+            else 1.0
+          in
+          (if clocked then
+             Format.printf "  predicted period  (skipped: clock-driven run)@,"
+           else
+             match
+               Sched.Throughput.steady_period_ms ~durations:sched_durations
+                 ~include_actor:(fun a -> not (List.mem a starved))
+                 ~graph:g conc platform
+             with
+             | predicted when predicted > 0.0 ->
+                 let dev = Float.abs (obs_p -. predicted) /. predicted in
+                 Format.printf
+                   "  predicted period  %8.3f ms (list schedule, %d PEs), \
+                    deviation %.1f%%@,"
+                   predicted pes (100.0 *. dev);
+                 if dev *. 100.0 > tolerance then begin
+                   incr mismatches;
+                   Format.printf "  MISMATCH: beyond tolerance %.1f%%@,"
+                     tolerance
+                 end
+             | _ -> ()
+             | exception (Failure _ | Invalid_argument _) ->
+                 Format.printf "  predicted period  (unavailable)@,");
+          (match Critpath.of_events (Obs.events !obs) with
+          | None -> Format.printf "  no firing spans recorded@,"
+          | Some r ->
+              let total_busy =
+                List.fold_left
+                  (fun acc (_, b) -> acc +. b)
+                  0.0 r.Critpath.busy_ms
+              in
+              Format.printf
+                "  critical path     %8.3f ms over %d of %d span(s)%s@,"
+                r.Critpath.cp_ms
+                (List.length r.Critpath.critical_path)
+                r.Critpath.span_count
+                (if total_busy > 0.0 then
+                   Printf.sprintf " (%.0f%% of %.3f ms busy)"
+                     (100.0 *. r.Critpath.cp_ms /. total_busy)
+                     total_busy
+                 else "");
+              if show_path then Format.printf "%a@," Critpath.pp_path r;
+              (match Critpath.suspects r with
+              | [] -> ()
+              | sus ->
+                  Format.printf "  cliff suspects:   %s@,"
+                    (String.concat ", "
+                       (List.map
+                          (fun (a, s) ->
+                            Printf.sprintf "%s (%.0f%% busy)" a (100.0 *. s))
+                          sus)))));
+      Format.printf "@]@.")
+    scenarios;
+  if !bound_bugs > 0 then exit 2
+  else if !mismatches > 0 then exit 1
+  else
+    Format.printf "all %d scenario(s) consistent with the analyses@."
+      (List.length scenarios)
 
 module Fault = Tpdf_fault
 
@@ -768,13 +1045,94 @@ let throughput_cmd =
        ~doc:"Iteration-period bounds: max cycle ratio vs list scheduling")
     Term.(const cmd_throughput $ graph_arg $ param_arg $ pes_arg)
 
+let openmetrics_arg =
+  let doc =
+    "Also write the metrics registry to $(docv) in OpenMetrics text format \
+     (atomic rename, Prometheus-scrapable)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "openmetrics" ] ~docv:"FILE" ~doc)
+
 let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Run analyses, scheduling and a mode-scenario simulation sweep \
           under the observability collector and print the metrics summary")
-    Term.(const cmd_profile $ graph_arg $ param_arg $ pes_arg $ iterations_arg)
+    Term.(
+      const cmd_profile $ graph_arg $ param_arg $ pes_arg $ iterations_arg
+      $ openmetrics_arg)
+
+let top_cmd =
+  let iters_arg =
+    let doc = "Total iterations to execute (one table frame per iteration)." in
+    Arg.(value & opt int 8 & info [ "i"; "iterations" ] ~docv:"N" ~doc)
+  in
+  let refresh_arg =
+    let doc = "Wall-clock delay between frames, in ms (0 = no delay)." in
+    Arg.(value & opt int 0 & info [ "refresh-ms" ] ~docv:"MS" ~doc)
+  in
+  let sample_arg =
+    let doc =
+      "Keep one in $(docv) firing spans in the flight recorder (1 = all; \
+       counters and instants are never sampled)."
+    in
+    Arg.(
+      value
+      & opt int Obs.default_sampling.Obs.span_every
+      & info [ "sample" ] ~docv:"K" ~doc)
+  in
+  let ring_arg =
+    let doc = "Flight-recorder capacity, in events." in
+    Arg.(value & opt int 8192 & info [ "ring" ] ~docv:"N" ~doc)
+  in
+  let limit_arg =
+    let doc = "Show at most $(docv) actors (busiest first)." in
+    Arg.(value & opt int 20 & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Execute the graph under the production telemetry collector \
+          (bounded flight-recorder ring, sampled spans) and render a \
+          refreshing per-actor table: firings, busy time, queue occupancy, \
+          retries and degrades.  $(b,TPDF_METRICS_OUT) additionally \
+          exports OpenMetrics snapshots during the run.")
+    Term.(
+      const cmd_top $ graph_arg $ param_arg $ iters_arg $ refresh_arg
+      $ sample_arg $ ring_arg $ limit_arg $ openmetrics_arg)
+
+let analyze_trace_cmd =
+  let tolerance_arg =
+    let doc =
+      "Accepted relative deviation between the observed and the predicted \
+       iteration period, in percent."
+    in
+    Arg.(value & opt float 10.0 & info [ "tolerance" ] ~docv:"PCT" ~doc)
+  in
+  let iters_arg =
+    let doc =
+      "Maximum cumulative iterations while waiting for the marginal \
+       iteration cost to settle."
+    in
+    Arg.(value & opt int 16 & info [ "max-iterations" ] ~docv:"N" ~doc)
+  in
+  let path_arg =
+    let doc = "Print every span of the reconstructed critical path." in
+    Arg.(value & flag & info [ "show-path" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "analyze-trace"
+       ~doc:
+         "Execute every mode scenario, reconstruct the observed critical \
+          path and iteration period from the recorded firing spans, and \
+          diff them against the scheduler analyses: exits 2 when the \
+          observed period beats the proven MCR bound (an analysis bug) and \
+          1 when it deviates from the throughput prediction beyond \
+          $(b,--tolerance).")
+    Term.(
+      const cmd_analyze_trace $ graph_arg $ param_arg $ tolerance_arg
+      $ iters_arg $ path_arg)
 
 let trace_cmd =
   let format_arg =
@@ -945,6 +1303,8 @@ let () =
             chaos_cmd;
             profile_cmd;
             trace_cmd;
+            top_cmd;
+            analyze_trace_cmd;
             dot_cmd;
             export_cmd;
           ]))

@@ -171,4 +171,121 @@ else
   grep -q '"overhead_vs_off"' "$bench_dir/BENCH_ckpt.json"
 fi
 
+# Telemetry smoke: the OpenMetrics exposition must be well-formed (one
+# TYPE line per family, no duplicate series, "# EOF" terminator) and
+# counters must be monotone in the amount of work profiled.
+echo "== smoke: OpenMetrics exposition (profile --openmetrics) =="
+om_dir="$(mktemp -d)"
+trap 'rm -f "$out" "$chaos_out"; rm -rf "$bench_dir" "$bad_dir" "$rec_dir" "$om_dir"' EXIT
+dune exec bin/tpdf_tool.exe -- profile fig2 -p p=2 -i 1 \
+  --openmetrics "$om_dir/m1.prom" > /dev/null
+dune exec bin/tpdf_tool.exe -- profile fig2 -p p=2 -i 3 \
+  --openmetrics "$om_dir/m3.prom" > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$om_dir/m1.prom" "$om_dir/m3.prom" <<'EOF'
+import sys
+
+def load(path):
+    lines = open(path).read().splitlines()
+    assert lines and lines[-1] == "# EOF", f"{path}: missing # EOF terminator"
+    series, types = {}, {}
+    for l in lines[:-1]:
+        if l.startswith("# TYPE "):
+            fam, kind = l[len("# TYPE "):].split(" ")
+            assert fam not in types, f"{path}: duplicate TYPE for {fam}"
+            types[fam] = kind
+            continue
+        if not l or l.startswith("#"):
+            continue
+        key, val = l.rsplit(" ", 1)
+        assert key not in series, f"{path}: duplicate series {key}"
+        series[key] = float(val)
+    assert series, f"{path}: empty exposition"
+    return series
+
+short, long = load(sys.argv[1]), load(sys.argv[2])
+counters = [k for k in short if k.split("{")[0].endswith("_total")]
+assert counters, "no counter series found"
+for k in counters:
+    assert k in long, f"counter {k} vanished in the longer run"
+    assert long[k] >= short[k], \
+        f"counter {k} not monotone: {short[k]} -> {long[k]}"
+EOF
+else
+  for f in "$om_dir/m1.prom" "$om_dir/m3.prom"; do
+    tail -n 1 "$f" | grep -q '^# EOF$'
+    dups="$(awk '!/^#/ && NF { print $1 }' "$f" | sort | uniq -d)"
+    if [ -n "$dups" ]; then
+      echo "duplicate OpenMetrics series in $f: $dups" >&2
+      exit 1
+    fi
+  done
+fi
+
+# Always-on export path: a `top` run with TPDF_METRICS_OUT set must
+# leave a complete exposition behind (atomic rename, never torn).
+echo "== smoke: tpdf_tool top + TPDF_METRICS_OUT =="
+TPDF_METRICS_OUT="$om_dir/live.prom" dune exec bin/tpdf_tool.exe -- \
+  top fig2 -p p=2 -i 2 --refresh-ms 0 > /dev/null
+tail -n 1 "$om_dir/live.prom" | grep -q '^# EOF$'
+
+# Critical-path analyzer smoke: on every ofdm-tpdf mode scenario the
+# observed iteration period must match the throughput prediction and
+# respect the proven MCR bound (the command exits non-zero otherwise).
+echo "== smoke: tpdf_tool analyze-trace ofdm-tpdf =="
+dune exec bin/tpdf_tool.exe -- analyze-trace ofdm-tpdf -p beta=2 -p N=8 -p L=1 \
+  > "$om_dir/analyze.out"
+grep -q 'consistent with the analyses' "$om_dir/analyze.out"
+
+# Telemetry bench smoke: E20 at reduced sizes must produce a parseable
+# BENCH_obs.json with off/sampled/full runs per graph and a passing
+# bounded-ring certificate.  The checked-in full-size BENCH_obs.json is
+# held to the acceptance gate: <= 5% sampled overhead on the 1e3-actor
+# chain and a bounded ring under the 1e6-event run.
+echo "== smoke: bench E20 (telemetry overhead) =="
+TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E20 \
+  TPDF_BENCH_OBS_OUT="$bench_dir/BENCH_obs.json" \
+  dune exec bench/main.exe > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$bench_dir/BENCH_obs.json" BENCH_obs.json <<'EOF'
+import json, sys
+
+def check(path, smoke):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["experiment"] == "E20", f"{path}: unexpected experiment tag"
+    assert doc["smoke"] == smoke, f"{path}: unexpected smoke flag"
+    assert doc["metadata"]["cores_detected"] >= 1, f"{path}: metadata missing"
+    assert doc["sampling"]["span_every"] >= 1, f"{path}: sampling block missing"
+    assert doc["runs"], f"{path}: no runs recorded"
+    for g in {r["graph"] for r in doc["runs"]}:
+        modes = {r["mode"] for r in doc["runs"] if r["graph"] == g}
+        assert modes == {"off", "sampled", "full"}, \
+            f"{path}: {g} missing a mode: {modes}"
+    assert all(r["events_per_sec"] > 0 for r in doc["runs"]), \
+        f"{path}: non-positive throughput"
+    b = doc["bounded"]
+    assert b["ok"] and b["ring_retained"] <= b["ring_capacity"] \
+        and b["events_offered"] > b["ring_capacity"], \
+        f"{path}: bounded-ring certificate failed"
+    return doc
+
+check(sys.argv[1], smoke=True)
+full = check(sys.argv[2], smoke=False)
+chain = [r for r in full["runs"]
+         if r["graph"] == "chain" and r["mode"] == "sampled"]
+assert chain, "checked-in BENCH_obs.json has no sampled chain run"
+assert all(r["actors"] >= 1000 for r in chain), "chain below 1e3 actors"
+assert all(r["overhead_vs_off"] <= 1.05 for r in chain), \
+    "sampled overhead gate (<= 5% on the 1e3-actor chain) failed"
+assert full["bounded"]["events_offered"] >= 1_000_000, \
+    "bounded certificate below 1e6 events"
+EOF
+else
+  grep -q '"experiment": "E20"' "$bench_dir/BENCH_obs.json"
+  grep -q '"ok": true' "$bench_dir/BENCH_obs.json"
+  grep -q '"experiment": "E20"' BENCH_obs.json
+  grep -q '"ok": true' BENCH_obs.json
+fi
+
 echo "check: OK"

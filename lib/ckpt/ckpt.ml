@@ -455,32 +455,10 @@ let of_string s =
 
 (* ---------- crash-consistent IO ---------- *)
 
-let fsync_dir dir =
-  (* Make the rename itself durable.  Some filesystems refuse to fsync a
-     directory fd; that only weakens durability, not consistency. *)
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-  | fd ->
-      (try Unix.fsync fd with Unix.Unix_error _ -> ());
-      Unix.close fd
-  | exception Unix.Unix_error _ -> ()
-
-let write_string path data =
-  let dir = Filename.dirname path in
-  let tmp = path ^ ".tmp" in
-  let fd =
-    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-  in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      let n = String.length data in
-      let pos = ref 0 in
-      while !pos < n do
-        pos := !pos + Unix.write_substring fd data !pos (n - !pos)
-      done;
-      Unix.fsync fd);
-  Unix.rename tmp path;
-  fsync_dir dir
+(* The temp-file + fsync + rename protocol lives in [Tpdf_util.Atomic_file]
+   (shared with the obs-layer metric exporter); a crash at any point leaves
+   either the previous or the new complete checkpoint. *)
+let write_string path data = Tpdf_util.Atomic_file.write path data
 
 let write path t = write_string path (to_string t)
 

@@ -37,6 +37,17 @@ let json_of_args args =
 
 let pid_of = function Event.Virtual -> 1 | Event.Wall -> 2
 
+(* Events stamped with a ("domain", Int d) argument — the parallel
+   engine's per-domain stage spans — get a process of their own (pid
+   3 + d), so Perfetto groups them per domain instead of one flat
+   track. *)
+let domain_of (ev : Event.t) =
+  match List.assoc_opt "domain" ev.args with
+  | Some (Event.Int d) when d >= 0 -> Some d
+  | _ -> None
+
+let domain_pid d = 3 + d
+
 (* Microsecond timestamps with sub-microsecond precision preserved. *)
 let us ms = Printf.sprintf "%.4f" (ms *. 1000.0)
 
@@ -55,11 +66,11 @@ let json_of_events ?(process_names = ("simulation (virtual time)", "analyses (wa
   let sep () =
     if !first then first := false else Buffer.add_string buf ",\n"
   in
-  (* Stable thread ids per (clock, track), in order of first appearance. *)
+  (* Stable thread ids per (pid, track), in order of first appearance. *)
   let tids = Hashtbl.create 16 in
   let next_tid = ref 0 in
-  let tid_of clock track =
-    let key = (clock, track) in
+  let tid_of pid track =
+    let key = (pid, track) in
     match Hashtbl.find_opt tids key with
     | Some tid -> tid
     | None ->
@@ -67,26 +78,30 @@ let json_of_events ?(process_names = ("simulation (virtual time)", "analyses (wa
         let tid = !next_tid in
         Hashtbl.replace tids key tid;
         sep ();
-        add_meta buf ~pid:(pid_of clock) ~tid:(Some tid) ~what:"thread_name"
-          ~name:track;
+        add_meta buf ~pid ~tid:(Some tid) ~what:"thread_name" ~name:track;
         tid
   in
   let seen_pids = Hashtbl.create 2 in
-  let pid_of_clock clock =
-    let pid = pid_of clock in
+  let pid_of_event clock domain =
+    let pid, name =
+      match domain with
+      | Some d -> (domain_pid d, Printf.sprintf "domain %d (tpdf_par)" d)
+      | None ->
+          let vname, wname = process_names in
+          ( pid_of clock,
+            match clock with Event.Virtual -> vname | Event.Wall -> wname )
+    in
     if not (Hashtbl.mem seen_pids pid) then begin
       Hashtbl.replace seen_pids pid ();
       sep ();
-      let vname, wname = process_names in
-      add_meta buf ~pid ~tid:None ~what:"process_name"
-        ~name:(match clock with Event.Virtual -> vname | Event.Wall -> wname)
+      add_meta buf ~pid ~tid:None ~what:"process_name" ~name
     end;
     pid
   in
   List.iter
     (fun (ev : Event.t) ->
-      let pid = pid_of_clock ev.clock in
-      let tid = tid_of ev.clock ev.track in
+      let pid = pid_of_event ev.clock (domain_of ev) in
+      let tid = tid_of pid ev.track in
       let common =
         Printf.sprintf
           "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%s"

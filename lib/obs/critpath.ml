@@ -1,0 +1,154 @@
+(* Trace-derived critical path.
+
+   Input: the virtual-clock firing spans of a recorded run (category
+   "firing"; full capture or a sampled/ring-retained subset).  The
+   dependency chain is reconstructed greedily from timing alone: walk
+   back from the last finisher, at each step picking the latest
+   finisher whose finish does not exceed the current span's start —
+   in an event-driven schedule a firing starts exactly when its last
+   enabling token arrives, so the latest finisher at (or before) the
+   start instant is the binding predecessor.  The result is an
+   observed critical path whose length can be diffed against the
+   analytical MCR / throughput predictions (see tpdf_tool
+   analyze-trace). *)
+
+type span = {
+  track : string;
+  mode : string;
+  index : int;
+  start_ms : float;
+  finish_ms : float;
+}
+
+type report = {
+  t0 : float;
+  t1 : float;
+  span_count : int;
+  busy_ms : (string * float) list; (* per track, busiest first *)
+  critical_path : span list; (* oldest first *)
+  cp_ms : float; (* summed span durations along the path *)
+  cp_share : (string * float) list; (* share of cp_ms per track *)
+}
+
+let span_of_event (ev : Event.t) =
+  match (ev.Event.clock, ev.Event.payload) with
+  | Event.Virtual, Event.Span dur when ev.Event.cat = "firing" ->
+      let arg_int k d =
+        match List.assoc_opt k ev.Event.args with
+        | Some (Event.Int i) -> i
+        | _ -> d
+      in
+      let arg_str k d =
+        match List.assoc_opt k ev.Event.args with
+        | Some (Event.Str s) -> s
+        | _ -> d
+      in
+      Some
+        {
+          track = ev.Event.track;
+          mode = arg_str "mode" "";
+          index = arg_int "index" (-1);
+          start_ms = ev.Event.ts_ms;
+          finish_ms = ev.Event.ts_ms +. dur;
+        }
+  | _ -> None
+
+let desc_by_value l =
+  List.sort
+    (fun (ka, va) (kb, vb) ->
+      match compare vb va with 0 -> compare ka kb | c -> c)
+    l
+
+let of_events ?(eps = 1e-9) events =
+  let spans = List.filter_map span_of_event events in
+  match spans with
+  | [] -> None
+  | _ ->
+      let arr = Array.of_list spans in
+      (* sort by (finish, start, track, index): the rightmost entry
+         with finish <= bound is the deterministic "latest finisher" *)
+      Array.sort
+        (fun a b ->
+          compare
+            (a.finish_ms, a.start_ms, a.track, a.index)
+            (b.finish_ms, b.start_ms, b.track, b.index))
+        arr;
+      let n = Array.length arr in
+      let t0 =
+        Array.fold_left (fun acc s -> Float.min acc s.start_ms) infinity arr
+      in
+      let t1 = arr.(n - 1).finish_ms in
+      (* rightmost index with finish <= bound, or -1 *)
+      let latest_before bound =
+        let lo = ref 0 and hi = ref n in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if arr.(mid).finish_ms <= bound then lo := mid + 1 else hi := mid
+        done;
+        !lo - 1
+      in
+      let rec chain acc cur guard =
+        if guard <= 0 then acc
+        else
+          let i = latest_before (cur.start_ms +. eps) in
+          if i < 0 then acc
+          else
+            let pred = arr.(i) in
+            (* A zero-duration predecessor at the same instant could
+               recurse forever; require strict progress. *)
+            if pred.finish_ms >= cur.finish_ms -. eps && pred.start_ms >= cur.start_ms -. eps
+            then acc
+            else chain (pred :: acc) pred (guard - 1)
+      in
+      let last = arr.(n - 1) in
+      let path = chain [ last ] last n in
+      let add tbl k v =
+        Hashtbl.replace tbl k
+          (v +. (Option.value ~default:0.0 (Hashtbl.find_opt tbl k)))
+      in
+      let busy = Hashtbl.create 16 in
+      Array.iter (fun s -> add busy s.track (s.finish_ms -. s.start_ms)) arr;
+      let cp_ms =
+        List.fold_left (fun acc s -> acc +. (s.finish_ms -. s.start_ms)) 0.0 path
+      in
+      let shares = Hashtbl.create 16 in
+      List.iter
+        (fun s ->
+          if cp_ms > 0.0 then
+            add shares s.track ((s.finish_ms -. s.start_ms) /. cp_ms))
+        path;
+      let to_list tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+      Some
+        {
+          t0;
+          t1;
+          span_count = n;
+          busy_ms = desc_by_value (to_list busy);
+          critical_path = path;
+          cp_ms;
+          cp_share = desc_by_value (to_list shares);
+        }
+
+let suspects ?(threshold = 0.25) report =
+  let total =
+    List.fold_left (fun acc (_, v) -> acc +. v) 0.0 report.busy_ms
+  in
+  if total <= 0.0 then []
+  else
+    List.filter_map
+      (fun (k, v) ->
+        let share = v /. total in
+        if share >= threshold then Some (k, share) else None)
+      report.busy_ms
+
+let pp_path ppf report =
+  Format.fprintf ppf "@[<v>critical path (%.3f ms over %d span(s)):@,"
+    report.cp_ms
+    (List.length report.critical_path);
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %8.3f .. %8.3f  %s%s@," s.start_ms s.finish_ms
+        s.track
+        (if s.mode = "" then "" else "/" ^ s.mode))
+    report.critical_path;
+  Format.fprintf ppf "@]"

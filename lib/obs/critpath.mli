@@ -1,0 +1,45 @@
+(** Trace-derived critical-path analysis.
+
+    Reconstructs a dependency chain from recorded virtual-clock firing
+    spans (category ["firing"]) by walking back from the last finisher:
+    in an event-driven schedule a firing starts exactly when its last
+    enabling token arrives, so the latest finisher at or before a
+    span's start is taken as its binding predecessor.  Works on any
+    event list — a full capture, a {!Ring}'s retained stream, or a
+    sampled subset (with sampling the chain is an approximation whose
+    per-actor shares remain representative).
+
+    [tpdf_tool analyze-trace] combines this with the scheduler-side
+    [Mcr]/[Throughput] predictions: observed iteration period below the
+    proven MCR bound is reported as an analysis bug, and actors whose
+    busy-time share crosses {!suspects}' threshold are flagged as
+    fan-out-cliff suspects. *)
+
+type span = {
+  track : string;
+  mode : string;
+  index : int;
+  start_ms : float;
+  finish_ms : float;
+}
+
+type report = {
+  t0 : float;  (** earliest observed start *)
+  t1 : float;  (** latest observed finish *)
+  span_count : int;
+  busy_ms : (string * float) list;  (** per actor, busiest first *)
+  critical_path : span list;  (** oldest first *)
+  cp_ms : float;  (** summed durations along the path *)
+  cp_share : (string * float) list;
+      (** per-actor share of [cp_ms], largest first *)
+}
+
+val of_events : ?eps:float -> Event.t list -> report option
+(** [None] when the list contains no firing spans.  [eps] (default
+    1e-9 ms) is the timestamp tolerance for "finished at or before". *)
+
+val suspects : ?threshold:float -> report -> (string * float) list
+(** Actors whose share of total observed busy time is at least
+    [threshold] (default 0.25), with their shares, largest first. *)
+
+val pp_path : Format.formatter -> report -> unit

@@ -129,11 +129,20 @@ type histogram_stats = {
   p95 : float;
 }
 
-(* Nearest-rank percentile over the sorted samples. *)
+(* Interpolated nearest-rank percentile (Hyndman–Fan type 7, the R /
+   NumPy default) over the sorted samples.  Plain nearest-rank
+   degenerates on small counts — the 95th percentile of anything under
+   20 observations is just the max; interpolating between the two
+   straddling order statistics keeps small-sample estimates usable. *)
 let percentile sorted n p =
-  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-  let rank = Stdlib.max 1 (Stdlib.min n rank) in
-  sorted.(rank - 1)
+  if n = 1 then sorted.(0)
+  else begin
+    let h = p /. 100.0 *. float_of_int (n - 1) in
+    let h = Float.max 0.0 (Float.min (float_of_int (n - 1)) h) in
+    let lo = int_of_float (Float.floor h) in
+    let hi = Stdlib.min (n - 1) (lo + 1) in
+    sorted.(lo) +. ((h -. float_of_int lo) *. (sorted.(hi) -. sorted.(lo)))
+  end
 
 let stats_of h =
   let sorted = Array.of_list h.samples in

@@ -24,8 +24,11 @@ type histogram_stats = {
   sum : float;
   min : float;
   max : float;
-  p50 : float;  (** nearest-rank median *)
-  p95 : float;  (** nearest-rank 95th percentile *)
+  p50 : float;  (** interpolated median *)
+  p95 : float;
+      (** interpolated 95th percentile (Hyndman–Fan type 7): small
+          sample counts interpolate between straddling order statistics
+          instead of degenerating to the max *)
 }
 
 val histogram : t -> string -> histogram_stats option

@@ -7,11 +7,22 @@ type store = {
   keep : bool;
 }
 
+(* Sampling policy advertised to instrumented hot paths (the engine):
+   emit one of every [span_every] firing spans, and one of every
+   [occupancy_every] channel-occupancy samples (0 = none).  The policy
+   lives on the collector so that every component the collector is
+   threaded through — supervisors and reconfiguration sequences create
+   engines internally — inherits it without new plumbing. *)
+type sampling = { span_every : int; occupancy_every : int }
+
+let default_sampling = { span_every = 64; occupancy_every = 0 }
+
 type t = {
   enabled : bool;
   offset_ms : float; (* added to virtual timestamps; see [shift] *)
   store : store;
   metrics : Metrics.t;
+  sampling : sampling option; (* None = full capture *)
 }
 
 let disabled =
@@ -20,18 +31,25 @@ let disabled =
     offset_ms = 0.0;
     store = { rev_events = []; n_events = 0; sinks = []; keep = false };
     metrics = Metrics.create ();
+    sampling = None;
   }
 
-let create ?(keep_events = true) () =
+let create ?(keep_events = true) ?sampling () =
+  (match sampling with
+  | Some s when s.span_every < 1 || s.occupancy_every < 0 ->
+      invalid_arg "Obs.create: span_every >= 1, occupancy_every >= 0"
+  | _ -> ());
   {
     enabled = true;
     offset_ms = 0.0;
     store = { rev_events = []; n_events = 0; sinks = []; keep = keep_events };
     metrics = Metrics.create ();
+    sampling;
   }
 
 let enabled t = t.enabled
 let metrics t = t.metrics
+let sampling t = t.sampling
 let events t = List.rev t.store.rev_events
 let event_count t = t.store.n_events
 

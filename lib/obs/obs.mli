@@ -17,12 +17,41 @@ type sink = Event.t -> unit
 val disabled : t
 (** The shared no-op collector: {!enabled} is [false], nothing is recorded. *)
 
-val create : ?keep_events:bool -> unit -> t
+type sampling = {
+  span_every : int;  (** emit one of every K firing spans (K >= 1) *)
+  occupancy_every : int;
+      (** emit one of every K per-channel occupancy samples; 0 = none *)
+}
+(** Production sampling policy.  A collector created with a policy tells
+    instrumented hot paths (the simulation engine) to emit a
+    deterministic 1-in-K subset of high-frequency events and to keep
+    per-firing bookkeeping in dense aggregates flushed at run end,
+    instead of one event + registry update per firing.  Rare events —
+    reconfigure, transaction, fault/supervisor and drop instants — are
+    always emitted.  The subset is chosen by counters, never randomness,
+    so the emitted stream is identical run to run and at any domain
+    count. *)
+
+val default_sampling : sampling
+(** [{ span_every = 64; occupancy_every = 0 }] — the always-on profile
+    benchmarked by E20.  1-in-64 keeps the overhead on an engine that
+    completes a firing every ~800 ns under 5%: a retained span costs
+    about 1 us end to end (event construction, ring admission, and the
+    extra minor-GC pressure of the survivors the ring keeps alive). *)
+
+val create : ?keep_events:bool -> ?sampling:sampling -> unit -> t
 (** An enabled collector.  [keep_events] (default [true]) controls the
-    in-memory sink; pass [false] for long runs feeding a streaming sink. *)
+    in-memory sink; pass [false] for long runs feeding a streaming sink
+    such as {!Ring}.  [sampling] (default [None] = full capture)
+    advertises a sampling policy to instrumented components; the
+    collector itself records whatever is emitted either way. *)
 
 val enabled : t -> bool
 val metrics : t -> Metrics.t
+
+val sampling : t -> sampling option
+(** The policy given to {!create}; [None] on {!disabled} and on
+    full-capture collectors. *)
 
 val events : t -> Event.t list
 (** Recorded events, oldest first. *)

@@ -67,6 +67,17 @@ val parallel_for_reduce :
     and [merge] is associative (e.g. sums, maxima, list concatenation).
     @raise Invalid_argument when [chunk < 1]. *)
 
+val self_index : unit -> int
+(** The pool slot of the calling domain: 0 on the orchestrating (caller)
+    domain — or on any domain not owned by a pool — and [1 .. domains-1]
+    on workers.  Telemetry uses this to attribute work per domain
+    without contention. *)
+
+val tasks_per_domain : t -> int array
+(** Tasks executed per pool slot (index 0 = the caller) since [create].
+    Each slot is written only by its owning domain; read it from the
+    orchestrating domain between batches. *)
+
 val shutdown : t -> unit
 (** Signal the workers to exit and join them all.  Idempotent.  The pool
     remains usable afterwards, degraded to inline execution. *)

@@ -4,6 +4,7 @@ module Digraph = Tpdf_graph.Digraph
 module Obs = Tpdf_obs.Obs
 module Ev = Tpdf_obs.Event
 module Metrics = Tpdf_obs.Metrics
+module Om = Tpdf_obs.Openmetrics
 module Pool = Tpdf_par.Pool
 
 type firing_record = {
@@ -93,6 +94,19 @@ type compiled_mode = {
   cm_out_rates : (int * int) list array; (* per phase *)
 }
 
+(* How the engine instruments itself, decided once at [create] from the
+   collector's advertised {!Obs.sampling} policy.  [Obs_full] is the
+   historical byte-golden stream (one span per firing, one occupancy
+   sample per push, per-firing registry updates) — pinned by
+   test_engine_equiv.  [Obs_sampled] is the always-on production
+   profile: dense per-actor aggregates flushed to the registry at run
+   end, a deterministic 1-in-K subset of firing spans, and no per-push
+   occupancy sampling unless asked — cheap enough to leave attached
+   (bounded by E20's <=5% overhead criterion).  Rare events (drops,
+   ticks, reconfigure/txn/supervisor instants emitted by the layers
+   above) are emitted in both modes. *)
+type obs_mode = Obs_off | Obs_full | Obs_sampled of Obs.sampling
+
 (* The engine compiles the graph once at [create]: actors and channels get
    dense int ids, and every per-firing query (rates, control ports, phase
    counts, priorities, adjacency) becomes an array read.  The event queue
@@ -142,6 +156,17 @@ type 'a t = {
   mutable now : float;
   mutable trace : firing_record list;
   mutable armed : bool; (* clock Ticks scheduled; armed once per engine *)
+  (* telemetry (not simulation state; excluded from snapshots) *)
+  omode : obs_mode;
+  s_busy : float array; (* sampled: per-actor busy virtual ms *)
+  s_ctrl : int array; (* sampled: per-actor control reads *)
+  s_flushed : int array; (* firings already flushed to the registry *)
+  s_flushed_ctrl : int array;
+  occ_seen : int array; (* per-channel occupancy samples offered *)
+  firing_metric : string array; (* "engine.firing_ms.<actor>", precomputed *)
+  dom_fire : int array; (* staged firings per pool slot; slot 0 = caller *)
+  gc_base : Gc.stat;
+  exporter : Om.Exporter.t option; (* TPDF_METRICS_OUT *)
 }
 
 let first_mode graph kernel =
@@ -167,15 +192,25 @@ let default_behavior graph actor default =
 let ch_track ch = "e" ^ string_of_int ch
 let occ_metric ch = Printf.sprintf "channel.e%d.occupancy" ch
 
-(* All instrumentation below is guarded by [Obs.enabled]: with no collector
-   attached the engine allocates nothing for observability. *)
+(* All instrumentation below is guarded by the compiled [omode]: with no
+   collector attached the engine allocates nothing for observability,
+   and the sampled profile touches only dense arrays on the hot path. *)
+let emit_occupancy t ch =
+  let occ = float_of_int (Queue.length t.queues.(ch)) in
+  Obs.counter t.obs ~cat:"channel" ~track:(ch_track ch) ~name:"occupancy"
+    ~ts_ms:t.now occ;
+  Metrics.observe (Obs.metrics t.obs) (occ_metric ch) occ
+
 let sample_occupancy t ch =
-  if Obs.enabled t.obs then begin
-    let occ = float_of_int (Queue.length t.queues.(ch)) in
-    Obs.counter t.obs ~cat:"channel" ~track:(ch_track ch) ~name:"occupancy"
-      ~ts_ms:t.now occ;
-    Metrics.observe (Obs.metrics t.obs) (occ_metric ch) occ
-  end
+  match t.omode with
+  | Obs_off -> ()
+  | Obs_full -> emit_occupancy t ch
+  | Obs_sampled s ->
+      if s.Obs.occupancy_every > 0 then begin
+        let k = t.occ_seen.(ch) in
+        t.occ_seen.(ch) <- k + 1;
+        if k mod s.Obs.occupancy_every = 0 then emit_occupancy t ch
+      end
 
 let create_engine ~emit_initial ~graph ~valuation ?init_token ?(behaviors = [])
     ?(obs = Obs.disabled) ?pool ~default () =
@@ -335,6 +370,26 @@ let create_engine ~emit_initial ~graph ~valuation ?init_token ?(behaviors = [])
   let behaviors_arr =
     Array.map (fun a -> Hashtbl.find tbl a) actor_names
   in
+  let omode =
+    if not (Obs.enabled obs) then Obs_off
+    else
+      match Obs.sampling obs with
+      | None -> Obs_full
+      | Some s -> Obs_sampled s
+  in
+  let exporter =
+    if not (Obs.enabled obs) then None
+    else
+      match Sys.getenv_opt "TPDF_METRICS_OUT" with
+      | Some path when path <> "" ->
+          let interval_ms =
+            match Sys.getenv_opt "TPDF_METRICS_INTERVAL_MS" with
+            | Some s -> ( try float_of_string s with Failure _ -> 1000.0)
+            | None -> 1000.0
+          in
+          Some (Om.Exporter.create ~path ~interval_ms (Obs.metrics obs))
+      | _ -> None
+  in
   let t =
     {
       graph;
@@ -375,6 +430,18 @@ let create_engine ~emit_initial ~graph ~valuation ?init_token ?(behaviors = [])
       now = 0.0;
       trace = [];
       armed = false;
+      omode;
+      s_busy = Array.make n 0.0;
+      s_ctrl = Array.make n 0;
+      s_flushed = Array.make n 0;
+      s_flushed_ctrl = Array.make n 0;
+      occ_seen = Array.make nch 0;
+      firing_metric =
+        Array.map (fun a -> "engine.firing_ms." ^ a) actor_names;
+      dom_fire =
+        Array.make (match pool with Some p -> Pool.domains p | None -> 1) 0;
+      gc_base = Gc.quick_stat ();
+      exporter;
     }
   in
   (* One occupancy sample per channel at t=0 so every channel has a series
@@ -494,15 +561,21 @@ let consume t ai cm active phase =
    if cid >= 0 && t.cons.(cid).(phase) > 0 then begin
      ignore (Queue.pop t.queues.(cid));
      t.last_mode.(ai) <- cm;
-     if Obs.enabled t.obs then begin
-       let a = t.actor_names.(ai) in
-       Obs.instant t.obs ~cat:"control" ~track:a ~name:"ctrl-read" ~ts_ms:t.now
-         ~args:
-           [ ("mode", Ev.Str cm.cm.Tpdf.Mode.name); ("channel", Ev.Int cid) ]
-         ();
-       Metrics.incr (Obs.metrics t.obs) ("engine.ctrl_reads." ^ a);
-       sample_occupancy t cid
-     end
+     match t.omode with
+     | Obs_off -> ()
+     | Obs_full ->
+         let a = t.actor_names.(ai) in
+         Obs.instant t.obs ~cat:"control" ~track:a ~name:"ctrl-read"
+           ~ts_ms:t.now
+           ~args:
+             [ ("mode", Ev.Str cm.cm.Tpdf.Mode.name); ("channel", Ev.Int cid) ]
+           ();
+         Metrics.incr (Obs.metrics t.obs) ("engine.ctrl_reads." ^ a);
+         sample_occupancy t cid
+     | Obs_sampled _ ->
+         (* dense aggregate, flushed to the registry at run end *)
+         t.s_ctrl.(ai) <- t.s_ctrl.(ai) + 1;
+         sample_occupancy t cid
    end);
   let ins = t.data_ins.(ai) in
   let n = Array.length ins in
@@ -607,7 +680,13 @@ let fire_commit t ai (ctx, outputs) =
   t.busy.(ai) <- true;
   Event_heap.add t.events (t.now +. d) (Complete (ai, outputs, record))
 
-let start_firing t ai cm active = fire_commit t ai (fire_stage t ai cm active)
+let start_firing t ai cm active =
+  (match t.omode with
+  | Obs_off -> ()
+  | _ ->
+      (* inline staging always happens on the orchestrating domain *)
+      t.dom_fire.(0) <- t.dom_fire.(0) + 1);
+  fire_commit t ai (fire_stage t ai cm active)
 
 (* Run the stages of [jobs] (same-instant, independent by construction)
    on the pool, then commit in job order (= ascending actor id).  Each
@@ -620,10 +699,23 @@ let start_firing t ai cm active = fire_commit t ai (fire_stage t ai cm active)
    raised.  Later stages have already run by then; their token
    consumption is unobservable because the raise aborts the run. *)
 let fire_parallel t pool jobs =
+  let span_every =
+    match t.omode with Obs_sampled s -> s.Obs.span_every | _ -> 0
+  in
+  let obs_on = match t.omode with Obs_off -> false | _ -> true in
   let tasks =
     Array.map
       (fun (ai, job) () ->
         let cap = Obs.capture_begin t.obs in
+        let di = if obs_on then Pool.self_index () else 0 in
+        if obs_on && di < Array.length t.dom_fire then
+          t.dom_fire.(di) <- t.dom_fire.(di) + 1;
+        (* In sampled mode, 1-in-K staged firings get a wall-clock span
+           stamped with the executing domain — the raw material for
+           Perfetto's per-domain lanes (see Chrome.domain_of).  Wall
+           events never enter the deterministic retained stream (the
+           ring excludes them by default). *)
+        let t0w = if span_every > 0 then Obs.now_wall_ms () else 0.0 in
         let res =
           match job with
           | `Fire (cm, active) -> (
@@ -631,6 +723,12 @@ let fire_parallel t pool jobs =
               with e -> Result.Error e)
           | `Raise e -> Result.Error e
         in
+        if span_every > 0 && t.count.(ai) mod span_every = 0 then
+          Obs.span t.obs ~clock:Ev.Wall ~cat:"par" ~track:"stage"
+            ~name:t.actor_names.(ai) ~ts_ms:t0w
+            ~dur_ms:(Obs.now_wall_ms () -. t0w)
+            ~args:[ ("domain", Ev.Int di); ("index", Ev.Int t.count.(ai)) ]
+            ();
         Obs.capture_end t.obs cap;
         (res, cap))
       jobs
@@ -645,6 +743,68 @@ let fire_parallel t pool jobs =
           let ai, _ = jobs.(k) in
           fire_commit t ai staged)
     results
+
+(* GC / allocation gauges: deltas of [Gc.quick_stat] against the
+   engine's creation baseline, refreshed at exporter ticks and at run
+   end.  Gauges only — never events — so the byte-golden full-capture
+   event stream is untouched. *)
+let update_gc_gauges t =
+  match t.omode with
+  | Obs_off -> ()
+  | _ ->
+      let m = Obs.metrics t.obs in
+      let s = Gc.quick_stat () in
+      Metrics.set_gauge m "gc.minor_words"
+        (s.Gc.minor_words -. t.gc_base.Gc.minor_words);
+      Metrics.set_gauge m "gc.major_words"
+        (s.Gc.major_words -. t.gc_base.Gc.major_words);
+      Metrics.set_gauge m "gc.promoted_words"
+        (s.Gc.promoted_words -. t.gc_base.Gc.promoted_words);
+      Metrics.set_gauge m "gc.compactions"
+        (float_of_int (s.Gc.compactions - t.gc_base.Gc.compactions));
+      Metrics.set_gauge m "gc.heap_words" (float_of_int s.Gc.heap_words)
+
+(* Sampled mode keeps per-firing bookkeeping in dense arrays; this
+   reconciles the registry with them (idempotent: counters advance by
+   the delta since the last flush).  Metrics calls route through any
+   active capture, so a transactionally staged run stays abortable. *)
+let flush_sampled t pool =
+  match t.omode with
+  | Obs_off | Obs_full -> ()
+  | Obs_sampled _ ->
+      let m = Obs.metrics t.obs in
+      Array.iteri
+        (fun ai a ->
+          let df = t.completed.(ai) - t.s_flushed.(ai) in
+          if df > 0 then begin
+            t.s_flushed.(ai) <- t.completed.(ai);
+            Metrics.incr ~by:df m ("engine.firings." ^ a)
+          end;
+          let dc = t.s_ctrl.(ai) - t.s_flushed_ctrl.(ai) in
+          if dc > 0 then begin
+            t.s_flushed_ctrl.(ai) <- t.s_ctrl.(ai);
+            Metrics.incr ~by:dc m ("engine.ctrl_reads." ^ a)
+          end;
+          if t.s_busy.(ai) > 0.0 then
+            Metrics.set_gauge m ("engine.busy_ms." ^ a) t.s_busy.(ai))
+        t.actor_names;
+      Array.iteri
+        (fun d n ->
+          if n > 0 then
+            Metrics.set_gauge m
+              (Printf.sprintf "domain.%d.firings" d)
+              (float_of_int n))
+        t.dom_fire;
+      (match pool with
+      | Some p ->
+          Array.iteri
+            (fun d n ->
+              if n > 0 then
+                Metrics.set_gauge m
+                  (Printf.sprintf "domain.%d.tasks" d)
+                  (float_of_int n))
+            (Pool.tasks_per_domain p)
+      | None -> ())
 
 let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
     ?pool t =
@@ -790,23 +950,47 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
                 List.iter (fun (ch, toks) -> push_tokens t ch toks) outputs;
                 mark_dirty t ai;
                 t.trace <- record :: t.trace;
-                if Obs.enabled t.obs then begin
-                  let a = t.actor_names.(ai) in
-                  Obs.span t.obs ~cat:"firing" ~track:a
-                    ~name:(a ^ "/" ^ record.mode) ~ts_ms:record.start_ms
-                    ~dur_ms:(record.finish_ms -. record.start_ms)
-                    ~args:
-                      [
-                        ("index", Ev.Int record.index);
-                        ("phase", Ev.Int record.phase);
-                        ("mode", Ev.Str record.mode);
-                      ]
-                    ();
-                  Metrics.incr (Obs.metrics t.obs) ("engine.firings." ^ a);
-                  Metrics.observe (Obs.metrics t.obs)
-                    ("engine.firing_ms." ^ a)
-                    (record.finish_ms -. record.start_ms)
-                end
+                (match t.omode with
+                | Obs_off -> ()
+                | Obs_full ->
+                    let a = t.actor_names.(ai) in
+                    Obs.span t.obs ~cat:"firing" ~track:a
+                      ~name:(a ^ "/" ^ record.mode) ~ts_ms:record.start_ms
+                      ~dur_ms:(record.finish_ms -. record.start_ms)
+                      ~args:
+                        [
+                          ("index", Ev.Int record.index);
+                          ("phase", Ev.Int record.phase);
+                          ("mode", Ev.Str record.mode);
+                        ]
+                      ();
+                    Metrics.incr (Obs.metrics t.obs) ("engine.firings." ^ a);
+                    Metrics.observe (Obs.metrics t.obs) t.firing_metric.(ai)
+                      (record.finish_ms -. record.start_ms)
+                | Obs_sampled s ->
+                    (* hot path: two dense-array writes; the k-th
+                       completion of each actor keeps its span iff
+                       (k-1) mod span_every = 0 — a pure function of
+                       the deterministic completion order.  The span name
+                       is the bare actor (no "/mode" concat): the mode is
+                       still carried in the args, and the sampled stream
+                       has no byte-golden to preserve. *)
+                    let dur = record.finish_ms -. record.start_ms in
+                    t.s_busy.(ai) <- t.s_busy.(ai) +. dur;
+                    if (c - 1) mod s.Obs.span_every = 0 then begin
+                      let a = t.actor_names.(ai) in
+                      Obs.span t.obs ~cat:"firing" ~track:a ~name:a
+                        ~ts_ms:record.start_ms ~dur_ms:dur
+                        ~args:
+                          [
+                            ("index", Ev.Int record.index);
+                            ("phase", Ev.Int record.phase);
+                            ("mode", Ev.Str record.mode);
+                          ]
+                        ();
+                      Metrics.observe (Obs.metrics t.obs) t.firing_metric.(ai)
+                        dur
+                    end)
             | Tick ai ->
                 (* A clock firing: no inputs, emits control tokens now. *)
                 let a = t.actor_names.(ai) in
@@ -849,7 +1033,16 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
                 (match t.clock_period.(ai) with
                 | Some p -> Event_heap.add t.events (t.now +. p) (Tick ai)
                 | None -> ()));
-            drain ()
+            drain ();
+            (match t.exporter with
+            | Some e when !steps land 1023 = 0 ->
+                (* periodic snapshot export: refresh aggregates, then
+                   atomically rewrite TPDF_METRICS_OUT if the interval
+                   elapsed *)
+                flush_sampled t pool;
+                update_gc_gauges t;
+                Om.Exporter.tick e
+            | _ -> ())
     end
   done;
   let end_ms =
@@ -858,7 +1051,10 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
   if Obs.enabled t.obs then begin
     let m = Obs.metrics t.obs in
     Metrics.set_gauge m "engine.end_ms" end_ms;
-    Metrics.set_gauge m "engine.steps" (float_of_int !steps)
+    Metrics.set_gauge m "engine.steps" (float_of_int !steps);
+    flush_sampled t pool;
+    update_gc_gauges t;
+    match t.exporter with Some e -> Om.Exporter.flush e | None -> ()
   end;
   let stats =
     {

@@ -1,0 +1,17 @@
+(** Crash-consistent whole-file writes.
+
+    [write path data] writes [data] to a [path ^ ".tmp"] sibling, fsyncs
+    it, renames it over [path], then fsyncs the directory.  A crash at
+    any point leaves either the previous complete file or the new
+    complete file — never a torn mix.  This is the write path shared by
+    [Tpdf_ckpt] (checkpoint files) and [Tpdf_obs.Openmetrics] (metric
+    snapshot export); readers on the same filesystem always observe a
+    complete snapshot. *)
+
+val write : string -> string -> unit
+(** @raise Unix.Unix_error on IO failure (the temp file may be left
+    behind; a later retry truncates it). *)
+
+val fsync_dir : string -> unit
+(** Best-effort fsync of a directory, for callers sequencing their own
+    renames. *)

@@ -456,6 +456,101 @@ let pooled_tests =
     [ 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* Observability across checkpoint/restore                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Counter and histogram totals summed over a split run's collectors.
+   Gauges are deliberately excluded: they are instantaneous state
+   (engine.steps progress, gc.* readings) that a fresh process
+   legitimately re-derives rather than restores. *)
+let counter_totals obs_list =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun obs ->
+      List.iter
+        (fun (k, v) ->
+          Hashtbl.replace tbl k
+            (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+        (Metrics.counters (Obs.metrics obs)))
+    obs_list;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let histogram_totals obs_list =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun obs ->
+      List.iter
+        (fun (k, (s : Metrics.histogram_stats)) ->
+          let c0, s0 =
+            Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl k)
+          in
+          Hashtbl.replace tbl k (c0 + s.Metrics.count, s0 +. s.Metrics.sum))
+        (Metrics.histograms (Obs.metrics obs)))
+    obs_list;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* Checkpoint mid-run, restore into a fresh engine (full codec
+   round-trip in between), finish: the concatenated event streams must
+   be byte-identical to the uninterrupted run, and every counter and
+   histogram must add up exactly — the rolled window neither loses nor
+   double-counts a single firing. *)
+let test_obs_survives_restore () =
+  let g = fig2_graph () in
+  let v = Valuation.of_list [ ("p", 2) ] in
+  let iterations = 3 in
+  let obs_full = Obs.create () in
+  let eng = Engine.create ~graph:g ~valuation:v ~obs:obs_full ~default:0 () in
+  let full_stats =
+    match Engine.run_outcome ~iterations eng with
+    | Engine.Completed s -> s
+    | _ -> Alcotest.fail "reference run must complete"
+  in
+  let obs1 = Obs.create () in
+  let eng1 = Engine.create ~graph:g ~valuation:v ~obs:obs1 ~default:0 () in
+  let stop = full_stats.Engine.end_ms /. 2.0 in
+  (match Engine.run_outcome ~iterations ~until_ms:stop eng1 with
+  | Engine.Stalled _ when Engine.pending_events eng1 > 0 -> ()
+  | _ -> Alcotest.fail "expected the cap to stop the run mid-iteration");
+  let file =
+    {
+      Ckpt.kind = "run";
+      meta = [];
+      graph_src = Serial.to_string g;
+      valuation = Valuation.bindings v;
+      snapshot = Some (Engine.snapshot ~encode:string_of_int eng1);
+    }
+  in
+  let file' =
+    match Ckpt.of_string (Ckpt.to_string file) with
+    | Ok f -> f
+    | Error m -> Alcotest.fail ("checkpoint round-trip: " ^ m)
+  in
+  let g' =
+    match Serial.of_string file'.Ckpt.graph_src with
+    | Ok g -> g
+    | Error m -> Alcotest.fail ("embedded graph: " ^ m)
+  in
+  let obs2 = Obs.create () in
+  let eng2 =
+    Engine.restore ~graph:g'
+      ~valuation:(Valuation.of_list file'.Ckpt.valuation)
+      ~obs:obs2 ~default:0 ~decode:int_of_string
+      (Option.get file'.Ckpt.snapshot)
+  in
+  (match Engine.run_outcome ~iterations eng2 with
+  | Engine.Completed s when s = full_stats -> ()
+  | _ -> Alcotest.fail "resumed outcome diverged");
+  Alcotest.(check bool) "event streams byte-identical" true
+    (Obs.events obs1 @ Obs.events obs2 = Obs.events obs_full);
+  Alcotest.(check (list (pair string int))) "counter totals add up exactly"
+    (counter_totals [ obs_full ])
+    (counter_totals [ obs1; obs2 ]);
+  Alcotest.(check (list (pair string (pair int (float 1e-9)))))
+    "histogram totals add up exactly"
+    (histogram_totals [ obs_full ])
+    (histogram_totals [ obs1; obs2 ])
+
+(* ------------------------------------------------------------------ *)
 (* Transactional reconfiguration: validate-then-commit                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -811,6 +906,11 @@ let () =
       ("store", [ Alcotest.test_case "latest-valid fallback" `Quick test_store ]);
       ("heap", [ QCheck_alcotest.to_alcotest prop_heap_roundtrip ]);
       ("restore-equiv", restore_tests);
+      ( "obs-equiv",
+        [
+          Alcotest.test_case "metric totals + streams survive restore" `Quick
+            test_obs_survives_restore;
+        ] );
       ("restore-equiv-pooled", pooled_tests);
       ( "txn",
         [
