@@ -1,4 +1,5 @@
-.PHONY: all build test bench bench-smoke obs-smoke check chaos resume-smoke clean
+.PHONY: all build test bench bench-smoke obs-smoke check chaos resume-smoke \
+  serve-smoke clean
 
 all: build
 
@@ -26,6 +27,8 @@ bench-smoke:
 	  TPDF_BENCH_CKPT_OUT=BENCH_ckpt.smoke.json dune exec bench/main.exe
 	TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E20 \
 	  TPDF_BENCH_OBS_OUT=BENCH_obs.smoke.json dune exec bench/main.exe
+	TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E22 \
+	  TPDF_BENCH_SERVE_OUT=BENCH_serve.smoke.json dune exec bench/main.exe
 
 # Telemetry smoke: E20 at smoke sizes (writes BENCH_obs.smoke.json, the
 # checked-in BENCH_obs.json is refreshed with `TPDF_BENCH_ONLY=E20 make
@@ -66,6 +69,13 @@ resume-smoke:
 	  > $$dir/resumed 2> /dev/null && \
 	diff $$dir/golden $$dir/resumed && \
 	rm -rf $$dir && echo "resume-smoke: OK"
+
+# Serving smoke: daemon on a Unix socket, two tenants submitted and
+# advanced, kill -9, restart on the same state dir — the continued
+# session's responses must match an uninterrupted daemon's byte for
+# byte.  See ci/serve_smoke.sh.
+serve-smoke:
+	sh ci/serve_smoke.sh
 
 clean:
 	dune clean

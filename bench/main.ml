@@ -1255,6 +1255,243 @@ let e20_obs () =
   Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* E22: serving — multi-tenant throughput, p95 latency, fault column   *)
+(* ------------------------------------------------------------------ *)
+
+module ServeD = Tpdf_serve.Daemon
+module ServeJ = Tpdf_serve.Json
+
+type e22_run = {
+  s_label : string; (* "mem" | "persist" | "fault" *)
+  s_tenants : int;
+  s_requests : int;
+  s_iterations : int; (* completed graph iterations, fleet-wide *)
+  s_firings : int;
+  s_wall_ms : float;
+  s_quarantined : int;
+  s_p50_ms : float;
+  s_p95_ms : float; (* over every request *)
+  s_healthy_p95_ms : float; (* over healthy tenants' advances only *)
+}
+
+let e22_percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1))))
+
+(* Drive the daemon core in-process: the socket pump adds no work per
+   request beyond line I/O, so this measures the serving path itself
+   (admission, supervised advance, checkpointing, metrics).  Requests
+   are issued back-to-back with zero think time — the saturation load
+   of an open-loop generator.  [faulty] adds one permanently failing
+   tenant on top of the [tenants] healthy ones. *)
+let e22_load ~s_label ~tenants ~rounds ~iters_per_advance ~faulty ?state_dir ()
+    =
+  let cfg =
+    {
+      ServeD.default_config with
+      ServeD.state_dir;
+      quarantine_skips = 1;
+      checkpoint_every = 4;
+    }
+  in
+  let d =
+    match ServeD.create cfg with Ok d -> d | Error e -> failwith e
+  in
+  let fig1_src = Serial.to_string (Graph.of_csdf (Csdf.Examples.fig1 ())) in
+  let fig2_src = Serial.to_string (Examples.fig2 ()).Examples.graph in
+  let names = Array.init tenants (fun i -> Printf.sprintf "t%02d" i) in
+  let lat_all = ref [] and lat_healthy = ref [] in
+  let requests = ref 0 in
+  let rpc ?(healthy = false) fields =
+    let line = ServeJ.to_string (ServeJ.Obj fields) in
+    let t0 = Tpdf_obs.Obs.now_wall_ms () in
+    let resp = ServeD.handle_line d line in
+    let dt = Tpdf_obs.Obs.now_wall_ms () -. t0 in
+    incr requests;
+    lat_all := dt :: !lat_all;
+    if healthy then lat_healthy := dt :: !lat_healthy;
+    resp
+  in
+  let submit ?faults ?params name src =
+    ignore
+      (rpc
+         ([
+            ("id", ServeJ.String ("s-" ^ name));
+            ("op", ServeJ.String "submit");
+            ("name", ServeJ.String name);
+            ("graph", ServeJ.String src);
+          ]
+         @ (match params with
+           | Some ps ->
+               [
+                 ( "params",
+                   ServeJ.Obj
+                     (List.map (fun (k, v) -> (k, ServeJ.Int v)) ps) );
+               ]
+           | None -> [])
+         @
+         match faults with
+         | Some f -> [ ("faults", ServeJ.String f) ]
+         | None -> []))
+  in
+  let advance ~healthy name =
+    ignore
+      (rpc ~healthy
+         [
+           ("id", ServeJ.String ("a-" ^ name));
+           ("op", ServeJ.String "advance");
+           ("name", ServeJ.String name);
+           ("iterations", ServeJ.Int iters_per_advance);
+         ])
+  in
+  let t0 = Tpdf_obs.Obs.now_wall_ms () in
+  Array.iteri
+    (fun i name ->
+      if i mod 2 = 0 then submit name fig1_src
+      else submit name fig2_src ~params:[ ("p", 1 + (i mod 3)) ])
+    names;
+  if faulty then
+    submit "faulty" fig2_src ~params:[ ("p", 2) ] ~faults:"fail:*:1.0:1000";
+  for _ = 1 to rounds do
+    Array.iter (fun name -> advance ~healthy:true name) names;
+    if faulty then advance ~healthy:false "faulty"
+  done;
+  let s_wall_ms = Tpdf_obs.Obs.now_wall_ms () -. t0 in
+  let counters = Tpdf_obs.Metrics.counters (ServeD.metrics d) in
+  let counter name =
+    match List.assoc_opt name counters with Some n -> n | None -> 0
+  in
+  let sorted l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a
+  in
+  let all = sorted !lat_all and healthy_l = sorted !lat_healthy in
+  {
+    s_label;
+    s_tenants = (tenants + if faulty then 1 else 0);
+    s_requests = !requests;
+    s_iterations = counter "serve.iterations";
+    s_firings = counter "serve.firings";
+    s_wall_ms;
+    s_quarantined = counter "serve.quarantined";
+    s_p50_ms = e22_percentile all 0.5;
+    s_p95_ms = e22_percentile all 0.95;
+    s_healthy_p95_ms = e22_percentile healthy_l 0.95;
+  }
+
+let e22_gate_p95_ratio = 2.0
+
+let e22_serve () =
+  section "E22" "Serving: multi-tenant throughput, p95 latency, fault column";
+  let smoke = bench_smoke in
+  let tenants = if smoke then 4 else 8 in
+  let rounds = if smoke then 8 else 60 in
+  let iters_per_advance = 2 in
+  let with_state_dir f =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tpdf_e22_%d" (Unix.getpid ()))
+    in
+    let rec rm_rf p =
+      if Sys.file_exists p then
+        if Sys.is_directory p then begin
+          Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+    in
+    rm_rf dir;
+    Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+  in
+  let runs =
+    [
+      e22_load ~s_label:"mem" ~tenants ~rounds ~iters_per_advance
+        ~faulty:false ();
+      with_state_dir (fun dir ->
+          e22_load ~s_label:"persist" ~tenants ~rounds ~iters_per_advance
+            ~faulty:false ~state_dir:dir ());
+      e22_load ~s_label:"fault" ~tenants ~rounds ~iters_per_advance
+        ~faulty:true ();
+    ]
+  in
+  let base_healthy_p95 = (List.nth runs 0).s_healthy_p95_ms in
+  let fault_healthy_p95 = (List.nth runs 2).s_healthy_p95_ms in
+  let p95_ratio =
+    if base_healthy_p95 > 0.0 then fault_healthy_p95 /. base_healthy_p95
+    else 0.0
+  in
+  let isolation_ok = p95_ratio > 0.0 && p95_ratio <= e22_gate_p95_ratio in
+  Printf.printf "%-8s %8s %9s %11s %11s %12s %9s %9s %12s\n" "mode" "tenants"
+    "requests" "iterations" "firings" "firings/sec" "p50 ms" "p95 ms"
+    "healthy p95";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %8d %9d %11d %11d %12.0f %9.3f %9.3f %12.3f\n"
+        r.s_label r.s_tenants r.s_requests r.s_iterations r.s_firings
+        (if r.s_wall_ms > 0.0 then
+           1000.0 *. float_of_int r.s_firings /. r.s_wall_ms
+         else 0.0)
+        r.s_p50_ms r.s_p95_ms r.s_healthy_p95_ms)
+    runs;
+  Printf.printf
+    "fault isolation: healthy p95 %.3f ms with faulter vs %.3f ms without \
+     (%.2fx, gate %.1fx) -> %s\n"
+    fault_healthy_p95 base_healthy_p95 p95_ratio e22_gate_p95_ratio
+    (if isolation_ok then "ok" else "FAILED");
+  let out =
+    match Sys.getenv_opt "TPDF_BENCH_SERVE_OUT" with
+    | Some p -> p
+    | None -> "BENCH_serve.json"
+  in
+  let oc = open_out out in
+  let fp fmt = Printf.fprintf oc fmt in
+  fp "{\n";
+  fp "  \"experiment\": \"E22\",\n";
+  fp "  \"smoke\": %b,\n" smoke;
+  fp_metadata oc;
+  fp "  \"note\": %S,\n"
+    "In-process saturation load over the daemon core (the socket pump adds \
+     only line I/O): submit the fleet, then round-robin advance requests \
+     with zero think time.  'mem' is the memory-only daemon, 'persist' \
+     checkpoints every 4 iterations to a state directory, 'fault' adds one \
+     permanently failing tenant (quarantined on its first advance) on top \
+     of the healthy fleet.  healthy_p95_ms is the p95 over healthy \
+     tenants' advance requests only; isolation_ok gates the ratio of that \
+     p95 with and without the faulter.";
+  fp "  \"iters_per_advance\": %d,\n" iters_per_advance;
+  fp "  \"rounds\": %d,\n" rounds;
+  fp "  \"gate_p95_ratio\": %.1f,\n" e22_gate_p95_ratio;
+  fp "  \"healthy_p95_ratio\": %.3f,\n" p95_ratio;
+  fp "  \"isolation_ok\": %b,\n" isolation_ok;
+  fp "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      fp
+        "    { \"mode\": %S, \"tenants\": %d, \"requests\": %d, \
+         \"iterations\": %d, \"firings\": %d, \"wall_ms\": %.3f, \
+         \"requests_per_sec\": %.1f, \"firings_per_sec\": %.1f, \
+         \"quarantined\": %d, \"request_p50_ms\": %.4f, \"request_p95_ms\": \
+         %.4f, \"healthy_p95_ms\": %.4f }%s\n"
+        r.s_label r.s_tenants r.s_requests r.s_iterations r.s_firings
+        r.s_wall_ms
+        (if r.s_wall_ms > 0.0 then
+           1000.0 *. float_of_int r.s_requests /. r.s_wall_ms
+         else 0.0)
+        (if r.s_wall_ms > 0.0 then
+           1000.0 *. float_of_int r.s_firings /. r.s_wall_ms
+         else 0.0)
+        r.s_quarantined r.s_p50_ms r.s_p95_ms r.s_healthy_p95_ms
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  fp "  ]\n";
+  fp "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* TPDF_BENCH_TRACE: observability artifacts for the example graphs    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1316,6 +1553,7 @@ let () =
       ("E18", e18_par);
       ("E19", e19_ckpt);
       ("E20", e20_obs);
+      ("E22", e22_serve);
     ]
   in
   let only =

@@ -1270,6 +1270,190 @@ let chaos_cmd =
       $ backoff_arg $ degrade_arg $ restarts_arg $ trace_arg
       $ ckpt_every_arg $ ckpt_dir_arg $ kill_at_arg)
 
+(* ---------- serve / client ---------- *)
+
+module Serve = Tpdf_serve
+
+let cmd_serve socket state_dir max_tenants max_resident capacity max_queue
+    max_advance checkpoint_every request_timeout_ms retry_after_ms
+    quarantine_skips default_budget metrics_out =
+  let endpoint = or_die (Serve.Server.parse_endpoint socket) in
+  let cfg =
+    {
+      Serve.Daemon.state_dir;
+      max_tenants;
+      max_resident;
+      capacity;
+      max_queue;
+      max_advance;
+      checkpoint_every;
+      request_timeout_ms;
+      retry_after_ms;
+      quarantine_skips;
+      default_budget;
+      metrics_out;
+    }
+  in
+  with_env_pool @@ fun pool ->
+  let daemon = or_die (Serve.Daemon.create ?pool cfg) in
+  Printf.eprintf "tpdf_tool: serving on %s\n%!" socket;
+  or_die (Serve.Server.serve daemon endpoint)
+
+let cmd_client socket request timeout_ms =
+  let endpoint = or_die (Serve.Server.parse_endpoint socket) in
+  match request with
+  | Some line -> print_endline (or_die (Serve.Server.request endpoint line))
+  | None ->
+      or_die
+        (Serve.Server.session endpoint ~connect_timeout_ms:timeout_ms stdin
+           stdout)
+
+let socket_arg =
+  let doc =
+    "Daemon endpoint: a Unix-domain socket path, or $(b,HOST:PORT) for TCP."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SOCKET" ~doc)
+
+let serve_cmd =
+  let dc = Serve.Daemon.default_config in
+  let state_dir_arg =
+    let doc =
+      "State directory for crash-consistent tenant checkpoints and the fleet \
+       manifest; without it the daemon is memory-only (no restart recovery, \
+       no eviction)."
+    in
+    Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let max_tenants_arg =
+    let doc = "Registry size cap; further submissions are shed." in
+    Arg.(
+      value
+      & opt int dc.Serve.Daemon.max_tenants
+      & info [ "max-tenants" ] ~docv:"N" ~doc)
+  in
+  let max_resident_arg =
+    let doc =
+      "Keep at most $(docv) tenants hot in memory, evicting the coldest to \
+       their checkpoints (needs $(b,--state-dir)); 0 keeps everything hot."
+    in
+    Arg.(
+      value
+      & opt int dc.Serve.Daemon.max_resident
+      & info [ "max-resident" ] ~docv:"N" ~doc)
+  in
+  let capacity_arg =
+    let doc =
+      "Fleet capacity in firings per iteration: tenants whose summed \
+       per-iteration cost would exceed it are queued; 0 means unlimited."
+    in
+    Arg.(
+      value
+      & opt int dc.Serve.Daemon.capacity
+      & info [ "capacity" ] ~docv:"FIRINGS" ~doc)
+  in
+  let max_queue_arg =
+    let doc = "Admission queue bound; a full queue sheds with $(b,overloaded)." in
+    Arg.(
+      value
+      & opt int dc.Serve.Daemon.max_queue
+      & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let max_advance_arg =
+    let doc = "Largest iteration count accepted in one advance request." in
+    Arg.(
+      value
+      & opt int dc.Serve.Daemon.max_advance
+      & info [ "max-advance" ] ~docv:"N" ~doc)
+  in
+  let checkpoint_every_arg =
+    let doc = "Persist a tenant after every $(docv)-th new iteration." in
+    Arg.(
+      value
+      & opt int dc.Serve.Daemon.checkpoint_every
+      & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Wall-clock budget per advance request: a longer advance returns \
+       partial progress plus a retry hint; 0 disables the cut."
+    in
+    Arg.(
+      value
+      & opt float dc.Serve.Daemon.request_timeout_ms
+      & info [ "request-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let retry_after_arg =
+    let doc = "Backoff hint attached to shed and timeout responses." in
+    Arg.(
+      value
+      & opt int dc.Serve.Daemon.retry_after_ms
+      & info [ "retry-after-ms" ] ~docv:"MS" ~doc)
+  in
+  let quarantine_arg =
+    let doc =
+      "Quarantine a tenant once its cumulative substituted firings reach \
+       $(docv); 0 quarantines only unrecovered runs."
+    in
+    Arg.(
+      value
+      & opt int dc.Serve.Daemon.quarantine_skips
+      & info [ "quarantine-skips" ] ~docv:"N" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Default per-tenant admission budget in firings per iteration \
+       (overridable per submission)."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "budget" ] ~docv:"FIRINGS" ~doc)
+  in
+  let metrics_out_arg =
+    let doc = "Rewrite an OpenMetrics snapshot of the fleet to $(docv) \
+               atomically after every request." in
+    Arg.(
+      value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the multi-tenant streaming daemon: host many TPDF graph \
+          instances over newline-delimited JSON on $(i,SOCKET), with \
+          admission control (rate-safety, boundedness and MCR checks at \
+          submit time), FIFO queueing and load shedding, per-tenant fault \
+          isolation with quarantine, and crash-consistent checkpoints — \
+          $(b,kill -9) plus a restart on the same $(b,--state-dir) resumes \
+          every tenant byte-identically.  $(b,TPDF_DOMAINS) shards \
+          $(b,tick) batches across a domain pool.")
+    Term.(
+      const cmd_serve $ socket_arg $ state_dir_arg $ max_tenants_arg
+      $ max_resident_arg $ capacity_arg $ max_queue_arg $ max_advance_arg
+      $ checkpoint_every_arg $ timeout_arg $ retry_after_arg $ quarantine_arg
+      $ budget_arg $ metrics_out_arg)
+
+let client_cmd =
+  let request_arg =
+    let doc =
+      "Send this single JSON request and print the response instead of \
+       running a scripted session from stdin."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "e"; "request" ] ~docv:"JSON" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Keep retrying the initial connect for up to $(docv) ms, so scripts \
+       can race the daemon's startup."
+    in
+    Arg.(value & opt float 5000.0 & info [ "connect-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Scripted client for $(b,tpdf_tool serve): read JSON request lines \
+          from stdin (blank lines and $(b,#) comments skipped), send each to \
+          $(i,SOCKET), and print one response line per request.")
+    Term.(const cmd_client $ socket_arg $ request_arg $ timeout_arg)
+
 let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Emit Graphviz") Term.(const cmd_dot $ graph_arg)
 
@@ -1282,9 +1466,33 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Serialize a graph to the textual .tpdf format")
     Term.(const cmd_export $ graph_arg $ file_arg)
 
+(* The one exit-code contract shared by every subcommand; scripts (and
+   ci/check.sh) key off these numbers, so keep the table in sync with
+   README.md. *)
+let exit_table =
+  [
+    Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info 1
+      ~doc:
+        "on a runtime failure: invalid input, an analysis that rejects the \
+         graph, an observed/predicted mismatch beyond tolerance, or a chaos \
+         run that did not recover.";
+    Cmd.Exit.info 2
+      ~doc:
+        "when an observed execution beats a proven analysis bound — an \
+         analysis bug, never an input error.";
+    Cmd.Exit.info 3
+      ~doc:
+        "when $(b,--kill-at-ms) cut a checkpointed run short; $(b,tpdf_tool \
+         resume) continues it byte-identically.";
+    Cmd.Exit.info Cmd.Exit.cli_error ~doc:"on command line parsing errors.";
+    Cmd.Exit.info Cmd.Exit.internal_error
+      ~doc:"on unexpected internal errors (bugs).";
+  ]
+
 let () =
   let info =
-    Cmd.info "tpdf_tool" ~version:"1.0.0"
+    Cmd.info "tpdf_tool" ~version:"1.0.0" ~exits:exit_table
       ~doc:"Transaction Parameterized Dataflow analyses (DATE 2016 reproduction)"
   in
   exit
@@ -1307,4 +1515,6 @@ let () =
             analyze_trace_cmd;
             dot_cmd;
             export_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

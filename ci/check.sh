@@ -288,4 +288,77 @@ else
   grep -q '"ok": true' BENCH_obs.json
 fi
 
+# Exit-code contract: the unified table must be in `--help`, and the
+# codes must be live — a parse error really exits 124, a rejected graph
+# really exits 1.  (Exit 3 is exercised by the crash-recovery smoke
+# above; exit 2 only fires on an analysis bug.)
+echo "== smoke: tpdf_tool exit-code table =="
+help_out="$(mktemp)"
+trap 'rm -f "$out" "$chaos_out" "$help_out"; rm -rf "$bench_dir" "$bad_dir" "$rec_dir" "$om_dir"' EXIT
+dune exec bin/tpdf_tool.exe -- --help=plain > "$help_out" 2> /dev/null
+grep -q 'EXIT STATUS' "$help_out"
+grep -q '^       0   on success' "$help_out"
+grep -q '^       1   on a runtime failure' "$help_out"
+grep -q '^       2   when an observed execution beats a proven analysis bound' \
+  "$help_out"
+grep -q '^       3   when --kill-at-ms cut a checkpointed run short' "$help_out"
+grep -q '^       124 on command line parsing errors' "$help_out"
+grep -q '^       125 on unexpected internal errors' "$help_out"
+status=0
+dune exec bin/tpdf_tool.exe -- analyze --no-such-flag > /dev/null 2>&1 \
+  || status=$?
+if [ "$status" -ne 124 ]; then
+  echo "expected exit 124 from a parse error, got $status" >&2
+  exit 1
+fi
+
+# Serving smoke: real daemon over a Unix socket, two tenants, kill -9,
+# restart on the same state dir, byte-identical continuation.
+echo "== smoke: serve (daemon kill -9 + restart) =="
+sh ci/serve_smoke.sh
+
+# Serving bench smoke: E22 at reduced sizes must produce a parseable
+# BENCH_serve.json; the checked-in full-size file is held to the fault
+# isolation gate — a permanently faulting tenant must not move the
+# healthy tenants' p95 request latency past gate_p95_ratio x the
+# all-healthy baseline, and must itself end up quarantined.
+echo "== smoke: bench E22 (multi-tenant serving) =="
+TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E22 \
+  TPDF_BENCH_SERVE_OUT="$bench_dir/BENCH_serve.json" \
+  dune exec bench/main.exe > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$bench_dir/BENCH_serve.json" BENCH_serve.json <<'EOF'
+import json, sys
+
+def check(path, smoke):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["experiment"] == "E22", f"{path}: unexpected experiment tag"
+    assert doc["smoke"] == smoke, f"{path}: unexpected smoke flag"
+    assert doc["metadata"]["cores_detected"] >= 1, f"{path}: metadata missing"
+    modes = [r["mode"] for r in doc["runs"]]
+    assert modes == ["mem", "persist", "fault"], f"{path}: bad runs: {modes}"
+    for r in doc["runs"]:
+        assert r["requests_per_sec"] > 0 and r["firings_per_sec"] > 0, \
+            f"{path}: non-positive throughput in {r['mode']}"
+        assert r["request_p95_ms"] >= r["request_p50_ms"] >= 0, \
+            f"{path}: bad latency percentiles in {r['mode']}"
+    by = {r["mode"]: r for r in doc["runs"]}
+    assert by["mem"]["quarantined"] == 0, f"{path}: healthy run quarantined"
+    assert by["fault"]["quarantined"] >= 1, \
+        f"{path}: faulting tenant never quarantined"
+    assert doc["isolation_ok"], f"{path}: fault isolation gate failed"
+    assert 0 < doc["healthy_p95_ratio"] <= doc["gate_p95_ratio"], \
+        f"{path}: healthy p95 ratio {doc['healthy_p95_ratio']} past gate"
+
+check(sys.argv[1], smoke=True)
+check(sys.argv[2], smoke=False)
+EOF
+else
+  grep -q '"experiment": "E22"' "$bench_dir/BENCH_serve.json"
+  grep -q '"isolation_ok": true' "$bench_dir/BENCH_serve.json"
+  grep -q '"experiment": "E22"' BENCH_serve.json
+  grep -q '"isolation_ok": true' BENCH_serve.json
+fi
+
 echo "check: OK"

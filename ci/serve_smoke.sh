@@ -1,0 +1,81 @@
+#!/bin/sh
+# Serving smoke: start the daemon on a Unix socket, submit two graphs,
+# advance both, kill -9 the daemon, restart it on the same state
+# directory and advance further — the combined transcript must be
+# byte-identical to an uninterrupted daemon's.  This drives the real
+# binary over the real socket; the in-process equivalents live in
+# test/test_serve.ml.
+# Usage: ci/serve_smoke.sh   (or: make serve-smoke)
+set -eu
+cd "$(dirname "$0")/.."
+
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "serve-smoke: SKIPPED (python3 needed to JSON-escape graph sources)"
+  exit 0
+fi
+
+dune build bin/tpdf_tool.exe
+bin=_build/default/bin/tpdf_tool.exe
+dir="$(mktemp -d)"
+pid=
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2> /dev/null || true
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+"$bin" export fig1 "$dir/fig1.tpdf" > /dev/null
+"$bin" export fig2 "$dir/fig2.tpdf" > /dev/null
+
+python3 - "$dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+fig1 = open(d + '/fig1.tpdf').read()
+fig2 = open(d + '/fig2.tpdf').read()
+def w(name, reqs):
+    with open(d + '/' + name, 'w') as f:
+        f.write('\n'.join(json.dumps(r) for r in reqs) + '\n')
+sub = [
+    {"id": "s1", "op": "submit", "name": "alpha", "graph": fig1},
+    {"id": "s2", "op": "submit", "name": "beta", "graph": fig2,
+     "params": {"p": 2}},
+]
+adv1 = [
+    {"id": "a1", "op": "advance", "name": "alpha", "iterations": 2},
+    {"id": "b1", "op": "advance", "name": "beta", "iterations": 2},
+]
+adv2 = [
+    {"id": "a2", "op": "advance", "name": "alpha", "iterations": 3},
+    {"id": "b2", "op": "advance", "name": "beta", "iterations": 3},
+    {"id": "q1", "op": "query", "name": "alpha"},
+    {"id": "q2", "op": "query", "name": "beta"},
+]
+w('phase1.txt', sub + adv1)
+w('phase2.txt', adv2)
+w('golden.txt', sub + adv1 + adv2)
+EOF
+
+# Golden transcript: one daemon, never interrupted.
+"$bin" serve "$dir/gsock" --state-dir "$dir/gstate" 2> /dev/null &
+pid=$!
+"$bin" client "$dir/gsock" < "$dir/golden.txt" > "$dir/golden.out"
+kill -9 "$pid" 2> /dev/null || true
+wait "$pid" 2> /dev/null || true
+
+# Crash run: phase 1, kill -9 mid-fleet, restart on the same state
+# directory, phase 2.  The daemon checkpoints synchronously per request,
+# so nothing is lost.
+"$bin" serve "$dir/sock" --state-dir "$dir/state" 2> /dev/null &
+pid=$!
+"$bin" client "$dir/sock" < "$dir/phase1.txt" > "$dir/run.out"
+kill -9 "$pid" 2> /dev/null || true
+wait "$pid" 2> /dev/null || true
+"$bin" serve "$dir/sock" --state-dir "$dir/state" 2> /dev/null &
+pid=$!
+"$bin" client "$dir/sock" < "$dir/phase2.txt" >> "$dir/run.out"
+kill -9 "$pid" 2> /dev/null || true
+wait "$pid" 2> /dev/null || true
+pid=
+
+diff "$dir/golden.out" "$dir/run.out"
+echo "serve-smoke: OK"

@@ -84,6 +84,21 @@ let family_of name =
         | None -> None)
     | None -> None
   in
+  let try_serve () =
+    (* serve.tenant.<what>.<name> with a dot-free <what>; tenant names
+       are dot-free by the serve daemon's naming rule *)
+    match strip "serve.tenant." with
+    | Some rest -> (
+        match String.index_opt rest '.' with
+        | Some i ->
+            let what = String.sub rest 0 i in
+            let tenant = String.sub rest (i + 1) (String.length rest - i - 1) in
+            if what <> "" && tenant <> "" then
+              Some ("tpdf_serve_tenant_" ^ sanitize what, [ ("tenant", tenant) ])
+            else None
+        | None -> None)
+    | None -> None
+  in
   let ( <|> ) a b = match a with Some _ -> a | None -> b () in
   let mapped =
     try_actor "engine.firings." "tpdf_engine_firings"
@@ -96,7 +111,7 @@ let family_of name =
     <|> fun () ->
     try_actor "engine.ticks." "tpdf_engine_ticks"
     <|> fun () -> try_channel () <|> fun () -> try_domain ()
-    <|> fun () -> try_supervisor ()
+    <|> fun () -> try_supervisor () <|> fun () -> try_serve ()
   in
   match mapped with
   | Some fl -> fl
@@ -195,6 +210,11 @@ module Exporter = struct
     { path; interval_ms; metrics; last_ms = neg_infinity }
 
   let flush t = Tpdf_util.Atomic_file.write t.path (render t.metrics)
+
+  let try_flush t =
+    match Tpdf_util.Atomic_file.write_result t.path (render t.metrics) with
+    | Ok () -> Ok ()
+    | Error e -> Error (Printf.sprintf "metrics export to %s: %s" t.path e)
 
   let tick t =
     let now = Unix.gettimeofday () *. 1000.0 in

@@ -38,5 +38,11 @@ module Exporter : sig
       the last rewrite; cheap otherwise. *)
 
   val flush : t -> unit
-  (** Unconditional rewrite (used at end of run). *)
+  (** Unconditional rewrite (used at end of run).
+      @raise Unix.Unix_error on IO failure. *)
+
+  val try_flush : t -> (unit, string) result
+  (** {!flush} with IO failures surfaced as [Error] instead of raised —
+      the form long-running exporters (the serve daemon) use so an
+      unwritable path degrades to a counted error. *)
 end

@@ -1,0 +1,266 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------- printing ---------- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* One canonical spelling per float: the shortest %g that round-trips,
+   widened with a ".0" when it would otherwise read back as an int. *)
+let float_repr f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else
+    let s =
+      let cand = Printf.sprintf "%.12g" f in
+      if float_of_string cand = f then cand else Printf.sprintf "%.17g" f
+    in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+
+let rec print buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          print buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          print buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  print buf v;
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+exception Bad of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'
+               | '\\' -> Buffer.add_char buf '\\'
+               | '/' -> Buffer.add_char buf '/'
+               | 'b' -> Buffer.add_char buf '\b'
+               | 'f' -> Buffer.add_char buf '\012'
+               | 'n' -> Buffer.add_char buf '\n'
+               | 'r' -> Buffer.add_char buf '\r'
+               | 't' -> Buffer.add_char buf '\t'
+               | 'u' ->
+                   if !pos + 4 >= n then fail "truncated \\u escape";
+                   let hex = String.sub s (!pos + 1) 4 in
+                   let code =
+                     match int_of_string_opt ("0x" ^ hex) with
+                     | Some c -> c
+                     | None -> fail "bad \\u escape"
+                   in
+                   (* Code points are re-encoded as UTF-8; surrogate
+                      pairs are not needed by this protocol and decode
+                      as two replacement sequences. *)
+                   if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                   else if code < 0x800 then begin
+                     Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+                     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                   end
+                   else begin
+                     Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+                     Buffer.add_char buf
+                       (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                   end;
+                   pos := !pos + 4
+               | c -> fail (Printf.sprintf "bad escape \\%C" c));
+            advance ();
+            loop ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    (* JSON forbids leading zeros: 01 is two tokens, i.e. an error. *)
+    let mantissa =
+      if String.length tok > 0 && tok.[0] = '-' then
+        String.sub tok 1 (String.length tok - 1)
+      else tok
+    in
+    if
+      String.length mantissa > 1
+      && mantissa.[0] = '0'
+      && (match mantissa.[1] with '0' .. '9' -> true | _ -> false)
+    then fail (Printf.sprintf "bad number %S: leading zero" tok);
+    let is_int =
+      not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok)
+    in
+    if is_int then
+      match int_of_string_opt tok with
+      | Some v -> Int v
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "bad number %S" tok))
+    else
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %S" tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          List (List.rev !items)
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None

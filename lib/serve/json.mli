@@ -1,0 +1,30 @@
+(** Minimal JSON for the serving protocol.
+
+    The daemon speaks line-delimited JSON over a socket; the repo has no
+    JSON dependency, so this is a small self-contained value type with a
+    recursive-descent parser and a canonical printer.  The printer is
+    deterministic — object fields render in the order given, numbers
+    have one canonical spelling — so byte-comparing protocol transcripts
+    is meaningful (the serve tests and `make serve-smoke` rely on it). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact canonical rendering (no insignificant whitespace, fields in
+    list order).  Strings are escaped per RFC 8259; non-finite floats
+    render as [null] (JSON has no spelling for them). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing
+    garbage is an error).  Numbers without [.]/[e] that fit in [int]
+    parse as [Int], everything else as [Float]. *)
+
+val member : string -> t -> t option
+(** First binding of the field in an [Obj]; [None] otherwise. *)

@@ -1,0 +1,80 @@
+let ok ~id fields = Json.Obj ((("id", id) :: ("ok", Json.Bool true) :: fields))
+
+let err ~id ~code ?retry_after_ms ?(fields = []) msg =
+  let error =
+    [ ("code", Json.String code); ("msg", Json.String msg) ]
+    @
+    match retry_after_ms with
+    | Some ms -> [ ("retry_after_ms", Json.Int ms) ]
+    | None -> []
+  in
+  Json.Obj
+    ((("id", id) :: ("ok", Json.Bool false) :: fields)
+    @ [ ("error", Json.Obj error) ])
+
+let id_of req = match Json.member "id" req with Some v -> v | None -> Json.Null
+
+let opt_string req key =
+  match Json.member key req with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.String s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" key)
+
+let req_string req key =
+  match opt_string req key with
+  | Ok (Some s) -> Ok s
+  | Ok None -> Error (Printf.sprintf "missing field %S" key)
+  | Error e -> Error e
+
+let opt_int req key =
+  match Json.member key req with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Int n) -> Ok (Some n)
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" key)
+
+let opt_float req key =
+  match Json.member key req with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Int n) -> Ok (Some (float_of_int n))
+  | Some (Json.Float f) -> Ok (Some f)
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" key)
+
+let opt_bool req key =
+  match Json.member key req with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Bool b) -> Ok (Some b)
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" key)
+
+let opt_params req key =
+  match Json.member key req with
+  | None | Some Json.Null -> Ok []
+  | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          match (acc, v) with
+          | Error e, _ -> Error e
+          | Ok acc, Json.Int n when n > 0 -> Ok ((k, n) :: acc)
+          | Ok _, _ ->
+              Error
+                (Printf.sprintf
+                   "field %S: parameter %S must be a positive integer" key k))
+        (Ok []) fields
+      |> Result.map List.rev
+  | Some _ -> Error (Printf.sprintf "field %S must be an object" key)
+
+let opt_string_map req key =
+  match Json.member key req with
+  | None | Some Json.Null -> Ok []
+  | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          match (acc, v) with
+          | Error e, _ -> Error e
+          | Ok acc, Json.Int n -> Ok ((k, float_of_int n) :: acc)
+          | Ok acc, Json.Float f -> Ok ((k, f) :: acc)
+          | Ok _, _ ->
+              Error
+                (Printf.sprintf "field %S: entry %S must be a number" key k))
+        (Ok []) fields
+      |> Result.map List.rev
+  | Some _ -> Error (Printf.sprintf "field %S must be an object" key)

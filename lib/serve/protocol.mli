@@ -1,0 +1,54 @@
+(** The line-delimited JSON request/response protocol.
+
+    One request per line, one response line per request, in order:
+
+    {v
+    -> {"op":"submit","id":1,"name":"t1","graph":"tpdf g { ... }",
+        "params":{"p":2},"seed":7,"faults":"fail:A:0.2:1"}
+    <- {"id":1,"ok":true,"tenant":"t1","status":"running","cost":12,
+        "period_ms":3.0}
+    -> {"op":"advance","id":2,"name":"t1","iterations":4}
+    <- {"id":2,"ok":true,"tenant":"t1","done":4,"end_ms":12.0,...}
+    v}
+
+    Every response carries the request's ["id"] back (or [null]) and an
+    ["ok"] flag; failures add an ["error"] object with a stable [code],
+    a human [msg], and — for load-shedding responses — a
+    [retry_after_ms] backoff hint.  Stable error codes:
+    [bad_request], [unknown_op], [unknown_tenant], [exists],
+    [inadmissible], [overloaded], [queued], [quarantined], [timeout],
+    [no_state_dir], [internal]. *)
+
+val ok : id:Json.t -> (string * Json.t) list -> Json.t
+(** [{"id":id,"ok":true,<fields>}]. *)
+
+val err :
+  id:Json.t ->
+  code:string ->
+  ?retry_after_ms:int ->
+  ?fields:(string * Json.t) list ->
+  string ->
+  Json.t
+(** [{"id":id,"ok":false,<fields>,"error":{"code":..,"msg":..
+    [,"retry_after_ms":..]}}]. *)
+
+val id_of : Json.t -> Json.t
+(** The request's ["id"] field, [Null] when absent. *)
+
+(** Field accessors over a request object; [req_*] fail with a
+    [bad_request]-worthy message when the field is missing. *)
+
+val opt_string : Json.t -> string -> (string option, string) result
+val req_string : Json.t -> string -> (string, string) result
+val opt_int : Json.t -> string -> (int option, string) result
+val opt_float : Json.t -> string -> (float option, string) result
+(** Accepts both [Int] and [Float]. *)
+
+val opt_bool : Json.t -> string -> (bool option, string) result
+
+val opt_params : Json.t -> string -> ((string * int) list, string) result
+(** An object of positive-integer parameter bindings, [[]] when
+    absent. *)
+
+val opt_string_map : Json.t -> string -> ((string * float) list, string) result
+(** An object of numeric bindings (e.g. per-actor deadlines). *)

@@ -1,0 +1,228 @@
+type endpoint = Unix_path of string | Tcp of string * int
+
+let parse_tcp ~orig spec =
+  match String.rindex_opt spec ':' with
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+      | _ ->
+          Error
+            (Printf.sprintf "bad endpoint %S: expected tcp:HOST:PORT" orig))
+  | None ->
+      Error (Printf.sprintf "bad endpoint %S: expected tcp:HOST:PORT" orig)
+
+let strip_prefix prefix s =
+  let np = String.length prefix in
+  if String.length s > np && String.sub s 0 np = prefix then
+    Some (String.sub s np (String.length s - np))
+  else None
+
+let parse_endpoint s =
+  if s = "" then Error "empty endpoint"
+  else
+    match strip_prefix "tcp:" s with
+    | Some spec -> parse_tcp ~orig:s spec
+    | None -> (
+        match strip_prefix "unix:" s with
+        | Some path -> Ok (Unix_path path)
+        | None -> (
+            (* No scheme: HOST:PORT with a numeric port is TCP, anything
+               else is a Unix socket path. *)
+            match String.rindex_opt s ':' with
+            | Some i -> (
+                let host = String.sub s 0 i in
+                let port = String.sub s (i + 1) (String.length s - i - 1) in
+                match int_of_string_opt port with
+                | Some p when p > 0 && p < 65536 && host <> "" ->
+                    Ok (Tcp (host, p))
+                | _ ->
+                    if String.contains s '/' then Ok (Unix_path s)
+                    else
+                      Error
+                        (Printf.sprintf
+                           "bad endpoint %S: expected PATH or HOST:PORT" s))
+            | None -> Ok (Unix_path s)))
+
+let sockaddr_of = function
+  | Unix_path path -> Ok (Unix.ADDR_UNIX path)
+  | Tcp (host, port) -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          Error (Printf.sprintf "no address for host %S" host)
+      | h -> Ok (Unix.ADDR_INET (h.Unix.h_addr_list.(0), port))
+      | exception Not_found ->
+          Error (Printf.sprintf "unknown host %S" host))
+
+(* ---------- server ---------- *)
+
+type conn = { fd : Unix.file_descr; buf : Buffer.t }
+
+let serve daemon endpoint =
+  match sockaddr_of endpoint with
+  | Error e -> Error e
+  | Ok addr -> (
+      (* A dead client must surface as EPIPE on write, not kill us. *)
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ -> ());
+      (match endpoint with
+      | Unix_path path when Sys.file_exists path -> (
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+      | _ -> ());
+      let listen_fd =
+        Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+      in
+      match
+        Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+        Unix.bind listen_fd addr;
+        Unix.listen listen_fd 64
+      with
+      | exception Unix.Unix_error (err, syscall, _) ->
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot listen: %s: %s" syscall
+               (Unix.error_message err))
+      | () ->
+          let conns = ref [] in
+          let drop c =
+            conns := List.filter (fun c' -> c'.fd != c.fd) !conns;
+            try Unix.close c.fd with Unix.Unix_error _ -> ()
+          in
+          let send_line c line =
+            match
+              let data = line ^ "\n" in
+              let n = String.length data in
+              let pos = ref 0 in
+              while !pos < n do
+                pos :=
+                  !pos + Unix.write_substring c.fd data !pos (n - !pos)
+              done
+            with
+            | () -> ()
+            | exception Unix.Unix_error _ -> drop c
+          in
+          (* Consume every complete line buffered for this connection. *)
+          let rec pump c =
+            let data = Buffer.contents c.buf in
+            match String.index_opt data '\n' with
+            | None -> ()
+            | Some i ->
+                let line = String.sub data 0 i in
+                Buffer.clear c.buf;
+                Buffer.add_substring c.buf data (i + 1)
+                  (String.length data - i - 1);
+                let line = String.trim line in
+                if line <> "" then send_line c (Daemon.handle_line daemon line);
+                if not (Daemon.stopping daemon) then pump c
+          in
+          let chunk = Bytes.create 65536 in
+          (try
+             while not (Daemon.stopping daemon) do
+               let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
+               match Unix.select fds [] [] 1.0 with
+               | readable, _, _ ->
+                   List.iter
+                     (fun fd ->
+                       if fd == listen_fd then begin
+                         match Unix.accept listen_fd with
+                         | client, _ ->
+                             conns :=
+                               { fd = client; buf = Buffer.create 256 }
+                               :: !conns
+                         | exception Unix.Unix_error _ -> ()
+                       end
+                       else
+                         match List.find_opt (fun c -> c.fd == fd) !conns with
+                         | None -> ()
+                         | Some c -> (
+                             match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+                             | 0 -> drop c
+                             | n ->
+                                 Buffer.add_subbytes c.buf chunk 0 n;
+                                 pump c
+                             | exception Unix.Unix_error _ -> drop c))
+                     readable
+               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+             done
+           with e ->
+             List.iter (fun c -> try Unix.close c.fd with _ -> ()) !conns;
+             (try Unix.close listen_fd with _ -> ());
+             raise e);
+          List.iter (fun c -> try Unix.close c.fd with _ -> ()) !conns;
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          (match endpoint with
+          | Unix_path path -> (
+              try Unix.unlink path with Unix.Unix_error _ -> ())
+          | _ -> ());
+          Daemon.persist daemon;
+          Ok ())
+
+(* ---------- client ---------- *)
+
+let connect ?(timeout_ms = 5000.0) endpoint =
+  match sockaddr_of endpoint with
+  | Error e -> Error e
+  | Ok addr ->
+      let deadline = Unix.gettimeofday () +. (timeout_ms /. 1000.0) in
+      let rec attempt () =
+        let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+        match Unix.connect fd addr with
+        | () -> Ok fd
+        | exception Unix.Unix_error (err, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            if Unix.gettimeofday () < deadline then begin
+              ignore (Unix.select [] [] [] 0.05);
+              attempt ()
+            end
+            else
+              Error
+                (Printf.sprintf "cannot connect: %s" (Unix.error_message err))
+      in
+      attempt ()
+
+let with_io fd f =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f ic oc)
+
+let roundtrip ic oc line =
+  match
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    input_line ic
+  with
+  | resp -> Ok resp
+  | exception End_of_file -> Error "connection closed by the daemon"
+  | exception Sys_error e -> Error e
+
+let request endpoint line =
+  match connect endpoint with
+  | Error e -> Error e
+  | Ok fd -> with_io fd (fun ic oc -> roundtrip ic oc line)
+
+let session endpoint ?(connect_timeout_ms = 5000.0) input output =
+  match connect ~timeout_ms:connect_timeout_ms endpoint with
+  | Error e -> Error e
+  | Ok fd ->
+      with_io fd (fun ic oc ->
+          let rec loop () =
+            match input_line input with
+            | exception End_of_file -> Ok ()
+            | line ->
+                let line = String.trim line in
+                if line = "" || String.length line > 0 && line.[0] = '#' then
+                  loop ()
+                else
+                  match roundtrip ic oc line with
+                  | Ok resp ->
+                      output_string output resp;
+                      output_char output '\n';
+                      flush output;
+                      loop ()
+                  | Error e -> Error e
+          in
+          loop ())

@@ -1,0 +1,38 @@
+(** Socket front end: a thin line pump around {!Daemon}.
+
+    The daemon listens on a Unix-domain socket (or TCP on loopback),
+    reads newline-delimited JSON requests per connection, and answers
+    each with one response line in order.  The loop is single-threaded
+    [select]-based — requests from all connections are serialized into
+    the daemon, which keeps the protocol deterministic and the daemon
+    free of locks.  A client disconnect mid-request never disturbs
+    other connections; [kill -9] of the whole process is the crash the
+    state directory is designed for. *)
+
+type endpoint = Unix_path of string | Tcp of string * int
+
+val parse_endpoint : string -> (endpoint, string) result
+(** ["tcp:host:port"] is TCP and ["unix:path"] a Unix-domain socket
+    path, explicitly.  Without a scheme, ["host:port"] (with a numeric
+    port) is TCP and anything else a socket path. *)
+
+val serve : Daemon.t -> endpoint -> (unit, string) result
+(** Bind, listen and pump requests until a [shutdown] request flips
+    {!Daemon.stopping}.  A pre-existing Unix socket path is replaced.
+    Persists the daemon once more on orderly exit. *)
+
+val request : endpoint -> string -> (string, string) result
+(** One-shot client helper: connect, send one request line, read one
+    response line. *)
+
+val session :
+  endpoint ->
+  ?connect_timeout_ms:float ->
+  in_channel ->
+  out_channel ->
+  (unit, string) result
+(** Scripted client session: read request lines from the input channel
+    (blank lines and [#] comments skipped), send each, write each
+    response line to the output channel.  Retries the initial connect
+    until [connect_timeout_ms] (default 5000) so scripts can race the
+    daemon's startup. *)

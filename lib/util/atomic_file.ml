@@ -24,3 +24,11 @@ let write path data =
       Unix.fsync fd);
   Unix.rename tmp path;
   fsync_dir dir
+
+let write_result path data =
+  match write path data with
+  | () -> Ok ()
+  | exception Unix.Unix_error (err, syscall, arg) ->
+      Error
+        (Printf.sprintf "%s: %s(%s)" (Unix.error_message err) syscall
+           (if arg = "" then path else arg))

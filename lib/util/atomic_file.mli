@@ -6,11 +6,21 @@
     complete file — never a torn mix.  This is the write path shared by
     [Tpdf_ckpt] (checkpoint files) and [Tpdf_obs.Openmetrics] (metric
     snapshot export); readers on the same filesystem always observe a
-    complete snapshot. *)
+    complete snapshot.
+
+    A stale [path ^ ".tmp"] left by an earlier crash is harmless: the
+    next write truncates and replaces it. *)
 
 val write : string -> string -> unit
 (** @raise Unix.Unix_error on IO failure (the temp file may be left
     behind; a later retry truncates it). *)
+
+val write_result : string -> string -> (unit, string) result
+(** {!write} with every failure surfaced to the caller instead of
+    raised: [Error] carries a one-line [errno: path] diagnosis.  This is
+    the form long-running callers (the metrics exporter, the serve
+    daemon) use — an unwritable export path must degrade to a counted
+    error, not kill the process. *)
 
 val fsync_dir : string -> unit
 (** Best-effort fsync of a directory, for callers sequencing their own

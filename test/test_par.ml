@@ -100,6 +100,56 @@ let test_shutdown_degrades_to_inline () =
   in
   Alcotest.(check int) "reduce after shutdown" 4950 sum
 
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~domains:3 in
+  (* Use the pool before the first shutdown so workers are warm. *)
+  ignore (Pool.run pool (Array.init 8 (fun i () -> i)));
+  Pool.shutdown pool;
+  (* Any number of further shutdowns must be harmless no-ops. *)
+  for _ = 1 to 5 do
+    Pool.shutdown pool
+  done;
+  Alcotest.(check int) "accessor survives shutdown" 3 (Pool.domains pool);
+  (* Post-shutdown submissions degrade to inline but keep the full
+     contract: index order, range coverage, exception propagation. *)
+  let out = Pool.run pool (Array.init 8 (fun i () -> i * 3)) in
+  Alcotest.(check (array int))
+    "run inline, index order"
+    (Array.init 8 (fun i -> i * 3))
+    out;
+  let n = 50 in
+  let hits = Array.make n 0 in
+  Pool.parallel_for ~chunk:7 pool ~lo:0 ~hi:n (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check (array int))
+    "parallel_for inline covers the range" (Array.make n 1) hits;
+  (match Pool.run pool [| (fun () -> failwith "boom") |] with
+  | _ -> Alcotest.fail "expected a Failure"
+  | exception Failure m ->
+      Alcotest.(check string) "exception still propagates inline" "boom" m);
+  Pool.shutdown pool
+
+let test_parallel_for_empty_ranges () =
+  let never _ = Alcotest.fail "body called on an empty range" in
+  let check_empty pool =
+    Pool.parallel_for pool ~lo:0 ~hi:0 never;
+    Pool.parallel_for pool ~lo:5 ~hi:5 never;
+    Pool.parallel_for pool ~lo:10 ~hi:3 never;
+    Pool.parallel_for ~chunk:4 pool ~lo:(-3) ~hi:(-7) never;
+    Alcotest.(check int) "reduce on an empty range returns init" 42
+      (Pool.parallel_for_reduce pool ~lo:9 ~hi:9 ~init:42 ~body:never
+         ~merge:(fun _ _ -> Alcotest.fail "merge called on an empty range"));
+    (* Argument validation is not skipped just because the range is
+       empty — a bad chunk is a bug wherever it appears. *)
+    Alcotest.check_raises "chunk=0 rejected on empty range"
+      (Invalid_argument "Pool: chunk must be >= 1") (fun () ->
+        Pool.parallel_for ~chunk:0 pool ~lo:3 ~hi:3 never)
+  in
+  with_pool ~domains:2 check_empty;
+  (* Same behavior once the pool has degraded to inline. *)
+  let pool = Pool.create ~domains:2 in
+  Pool.shutdown pool;
+  check_empty pool
+
 (* ------------------------------------------------------------------ *)
 (* parallel_for                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -257,6 +307,10 @@ let () =
           Alcotest.test_case "not reentrant" `Quick test_run_not_reentrant;
           Alcotest.test_case "shutdown joins and degrades to inline" `Quick
             test_shutdown_degrades_to_inline;
+          Alcotest.test_case "shutdown is idempotent" `Quick
+            test_shutdown_idempotent;
+          Alcotest.test_case "parallel_for on empty ranges" `Quick
+            test_parallel_for_empty_ranges;
           Alcotest.test_case "parallel_for covers the range" `Quick
             test_parallel_for_covers_range;
         ] );

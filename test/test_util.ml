@@ -181,9 +181,105 @@ let prop_lcm_multiple =
       let m = Intmath.lcm a b in
       m mod a = 0 && m mod b = 0 && m = a * b / Intmath.gcd a b)
 
+(* ------------------------------------------------------------------ *)
+(* Atomic_file: error surfacing and torn-tmp recovery                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tpdf_util_test_%d" (Unix.getpid ()))
+  in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  cleanup ();
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:cleanup (fun () -> f dir)
+
+let read_file p = In_channel.with_open_text p In_channel.input_all
+
+let test_atomic_write_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "out.txt" in
+  Atomic_file.write path "first";
+  Alcotest.(check string) "first write" "first" (read_file path);
+  (match Atomic_file.write_result path "second" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check string) "atomic overwrite" "second" (read_file path);
+  Alcotest.(check bool) "no tmp left behind" false
+    (Sys.file_exists (path ^ ".tmp"))
+
+let test_atomic_write_unwritable () =
+  (* A missing parent directory fails at open(2) regardless of uid —
+     chmod-based unwritability is invisible to root, which CI may be. *)
+  let path = "/nonexistent-tpdf-dir/out.txt" in
+  (match Atomic_file.write_result path "data" with
+  | Ok () -> Alcotest.fail "write into a missing directory must fail"
+  | Error e ->
+      Alcotest.(check bool) ("error names the syscall: " ^ e) true
+        (String.length e > 0));
+  (* The raising variant surfaces the same failure as Unix_error. *)
+  match Atomic_file.write path "data" with
+  | () -> Alcotest.fail "write into a missing directory must raise"
+  | exception Unix.Unix_error _ -> ()
+
+let test_atomic_write_rename_error () =
+  with_temp_dir @@ fun dir ->
+  (* Target is an existing non-empty directory: the temp file is written
+     but rename(2) must fail — the error path after data hits disk. *)
+  let path = Filename.concat dir "target" in
+  Unix.mkdir path 0o755;
+  let blocker = Filename.concat path "keep" in
+  Atomic_file.write blocker "x";
+  (match Atomic_file.write_result path "data" with
+  | Ok () -> Alcotest.fail "rename over a non-empty directory must fail"
+  | Error _ -> ());
+  Sys.remove blocker;
+  Sys.rmdir path;
+  (* The stale tmp a failed/crashed writer leaves behind is harmless:
+     the next write truncates and replaces it. *)
+  Alcotest.(check bool) "failed write left its tmp" true
+    (Sys.file_exists (path ^ ".tmp"));
+  (match Atomic_file.write_result path "fresh" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check string) "recovered write wins" "fresh" (read_file path);
+  Alcotest.(check bool) "tmp consumed by the retry" false
+    (Sys.file_exists (path ^ ".tmp"))
+
+let test_atomic_write_stale_tmp () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "out.txt" in
+  (* Simulate a writer that died between writing and renaming its tmp. *)
+  Out_channel.with_open_bin (path ^ ".tmp") (fun oc ->
+      Out_channel.output_string oc "torn garbage");
+  (match Atomic_file.write_result path "clean" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check string) "stale tmp does not poison the write" "clean"
+    (read_file path);
+  Alcotest.(check bool) "stale tmp gone" false (Sys.file_exists (path ^ ".tmp"))
+
 let () =
   Alcotest.run "util"
     [
+      ( "atomic_file",
+        [
+          Alcotest.test_case "write + write_result roundtrip" `Quick
+            test_atomic_write_roundtrip;
+          Alcotest.test_case "unwritable destination surfaces the error"
+            `Quick test_atomic_write_unwritable;
+          Alcotest.test_case "rename failure surfaces, tmp harmless" `Quick
+            test_atomic_write_rename_error;
+          Alcotest.test_case "stale tmp from a crashed writer" `Quick
+            test_atomic_write_stale_tmp;
+        ] );
       ( "intmath",
         [
           Alcotest.test_case "gcd" `Quick test_gcd;
