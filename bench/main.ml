@@ -568,21 +568,51 @@ type e17_run = {
   wall_ms : float;
   events_per_sec : float;
   peak_heap_words : int;
+  compiled_wall_ms : float;
+  compiled_events_per_sec : float;
+  compiled_vs_interpreted : float;
 }
+
+(* One timed run on a fresh engine.  [Gc.compact] first: it returns the
+   heap to the live set, so [heap_words] after the run measures only
+   this run's growth.  ([top_heap_words] is a process-lifetime high-water
+   mark — using it reported the cumulative maximum of all earlier
+   benchmarks, identical for every row.) *)
+let e17_time_backend ~backend ~iterations g =
+  let eng = Engine.create ~graph:g ~valuation:Valuation.empty ~default:0 () in
+  Gc.compact ();
+  let t0 = Tpdf_obs.Obs.now_wall_ms () in
+  let stats = Engine.run ~backend ~iterations ~max_events:10_000_000 eng in
+  let wall_ms = Tpdf_obs.Obs.now_wall_ms () -. t0 in
+  let peak_heap_words = (Gc.quick_stat ()).Gc.heap_words in
+  (stats, wall_ms, peak_heap_words)
+
+(* Interleaved min-of-N: alternating the backends and taking each one's
+   best repetition cancels GC-state and warm-up order bias — timing the
+   pair back to back once systematically penalised whichever ran second. *)
+let e17_reps = 3
 
 let e17_run_one ~graph_name ~iterations g =
   let actors = List.length (Graph.actors g) in
-  let eng = Engine.create ~graph:g ~valuation:Valuation.empty ~default:0 () in
-  let t0 = Tpdf_obs.Obs.now_wall_ms () in
-  let stats =
-    Engine.run ~iterations ~max_events:10_000_000 eng
+  let stats, wall_ms, peak_heap_words =
+    e17_time_backend ~backend:`Event ~iterations g
   in
-  let wall_ms = Tpdf_obs.Obs.now_wall_ms () -. t0 in
+  let _, compiled_wall_ms, _ =
+    e17_time_backend ~backend:`Compiled ~iterations g
+  in
+  let wall_ms = ref wall_ms and compiled_wall_ms = ref compiled_wall_ms in
+  for _ = 2 to e17_reps do
+    let _, w, _ = e17_time_backend ~backend:`Event ~iterations g in
+    if w < !wall_ms then wall_ms := w;
+    let _, w, _ = e17_time_backend ~backend:`Compiled ~iterations g in
+    if w < !compiled_wall_ms then compiled_wall_ms := w
+  done;
+  let wall_ms = !wall_ms and compiled_wall_ms = !compiled_wall_ms in
   let events =
     List.fold_left (fun acc (_, n) -> acc + n) 0 stats.Engine.firings
   in
-  let events_per_sec =
-    if wall_ms <= 0.0 then 0.0 else 1000.0 *. float_of_int events /. wall_ms
+  let per_sec wall =
+    if wall <= 0.0 then 0.0 else 1000.0 *. float_of_int events /. wall
   in
   {
     graph_name;
@@ -590,8 +620,12 @@ let e17_run_one ~graph_name ~iterations g =
     iterations;
     events;
     wall_ms;
-    events_per_sec;
-    peak_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
+    events_per_sec = per_sec wall_ms;
+    peak_heap_words;
+    compiled_wall_ms;
+    compiled_events_per_sec = per_sec compiled_wall_ms;
+    compiled_vs_interpreted =
+      (if compiled_wall_ms <= 0.0 then 0.0 else wall_ms /. compiled_wall_ms);
   }
 
 (* Seed-engine throughput on the 1e3-actor chain (commit 00dbc53, same
@@ -616,19 +650,23 @@ let e17_engine () =
         ("chain", synth_chain 10_000, 10);
         ("fan", synth_fan 1000, 100);
         ("fan", synth_fan 10_000, 10);
+        ("fan", synth_fan 100_000, 5);
         ("grid", synth_grid 32 32, 100);
         ("grid", synth_grid 100 100, 10);
+        ("grid", synth_grid 100 1000, 5);
       ]
   in
-  Printf.printf "%-6s %8s %6s %9s %10s %14s %12s\n" "graph" "actors" "iter"
-    "events" "wall ms" "events/sec" "heap words";
+  Printf.printf "%-6s %8s %6s %9s %10s %14s %12s %14s %9s\n" "graph" "actors"
+    "iter" "events" "wall ms" "events/sec" "heap words" "compiled e/s"
+    "cmp/int";
   let runs =
     List.map
       (fun (graph_name, g, iterations) ->
         let r = e17_run_one ~graph_name ~iterations g in
-        Printf.printf "%-6s %8d %6d %9d %10.1f %14.0f %12d\n%!" r.graph_name
-          r.actors r.iterations r.events r.wall_ms r.events_per_sec
-          r.peak_heap_words;
+        Printf.printf "%-6s %8d %6d %9d %10.1f %14.0f %12d %14.0f %8.2fx\n%!"
+          r.graph_name r.actors r.iterations r.events r.wall_ms
+          r.events_per_sec r.peak_heap_words r.compiled_events_per_sec
+          r.compiled_vs_interpreted;
         r)
       configs
   in
@@ -670,9 +708,12 @@ let e17_engine () =
       fp
         "    { \"graph\": %S, \"actors\": %d, \"iterations\": %d, \"events\": \
          %d, \"wall_ms\": %.3f, \"events_per_sec\": %.1f, \
-         \"peak_heap_words\": %d }%s\n"
+         \"peak_heap_words\": %d, \"compiled_wall_ms\": %.3f, \
+         \"compiled_events_per_sec\": %.1f, \"compiled_vs_interpreted\": \
+         %.2f }%s\n"
         r.graph_name r.actors r.iterations r.events r.wall_ms r.events_per_sec
-        r.peak_heap_words
+        r.peak_heap_words r.compiled_wall_ms r.compiled_events_per_sec
+        r.compiled_vs_interpreted
         (if i = List.length runs - 1 then "" else ","))
     runs;
   fp "  ]\n";

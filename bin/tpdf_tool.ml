@@ -98,6 +98,18 @@ let iterations_arg =
   let doc = "Number of graph iterations." in
   Arg.(value & opt int 1 & info [ "iterations"; "i" ] ~docv:"N" ~doc)
 
+let backend_arg =
+  let doc =
+    "Execute with the compiled static-schedule backend instead of the \
+     event interpreter.  Output is byte-identical; the engine falls back \
+     to the interpreter transparently when the backend cannot engage \
+     (clocked actors, domain pools, non-uniform firing durations)."
+  in
+  Term.(
+    app
+      (const (fun c -> if c then `Compiled else `Event))
+      Arg.(value & flag & info [ "compiled" ] ~doc))
+
 let valuation_of params =
   try Ok (Valuation.of_list params) with Invalid_argument m -> Error m
 
@@ -213,11 +225,11 @@ let cmd_buffers name params scenario minimize =
     | exception Failure m -> or_die (Error m)
   end
 
-let cmd_simulate name params iterations trace =
+let cmd_simulate name params iterations trace backend =
   let g = or_die (lookup_graph name) in
   let v = need_valuation g params in
   let eng = Tpdf_sim.Engine.create ~graph:g ~valuation:v ~default:0 () in
-  match Tpdf_sim.Engine.run ~iterations eng with
+  match Tpdf_sim.Engine.run ~backend ~iterations eng with
   | stats ->
       if trace then print_string (Tpdf_sim.Trace.gantt stats);
       Format.printf "completed at %.3f ms@." stats.Tpdf_sim.Engine.end_ms;
@@ -265,7 +277,7 @@ let with_env_pool f =
 
 (* Run everything — analyses, scheduling and a mode-scenario simulation
    sweep — under one collector. *)
-let instrumented_run name params pes iterations =
+let instrumented_run name params pes iterations backend =
   let g = or_die (lookup_graph name) in
   let v = need_valuation g params in
   let obs = Obs.create () in
@@ -293,7 +305,7 @@ let instrumented_run name params pes iterations =
      its modes (and `reconfig` instants mark the boundaries). *)
   (match
      with_env_pool @@ fun pool ->
-     Sim.Reconfigure.run_scenarios ~graph:g ~obs ~iterations ?pool
+     Sim.Reconfigure.run_scenarios ~graph:g ~backend ~obs ~iterations ?pool
        ~valuation:v ~default:0
        (Sim.Reconfigure.mode_scenarios g)
    with
@@ -301,8 +313,8 @@ let instrumented_run name params pes iterations =
   | exception Failure m -> or_die (Error m));
   obs
 
-let cmd_profile name params pes iterations openmetrics =
-  let obs = instrumented_run name params pes iterations in
+let cmd_profile name params pes iterations openmetrics backend =
+  let obs = instrumented_run name params pes iterations backend in
   print_string
     (Tpdf_obs.Report.summary ~metrics:(Obs.metrics obs) (Obs.events obs));
   match openmetrics with
@@ -312,8 +324,8 @@ let cmd_profile name params pes iterations openmetrics =
         (Tpdf_obs.Openmetrics.render (Obs.metrics obs));
       Printf.printf "wrote %s\n" path
 
-let cmd_trace name params pes iterations format output =
-  let obs = instrumented_run name params pes iterations in
+let cmd_trace name params pes iterations format output backend =
+  let obs = instrumented_run name params pes iterations backend in
   let events = Obs.events obs in
   let text =
     match format with
@@ -855,7 +867,7 @@ let print_run_stats iterations (stats : Sim.Engine.stats) =
    the counts), a restored engine picks up exactly where the killed one
    stopped and the final chunk's stats are the whole run's stats. *)
 let drive_run ~name ~graph ~valuation ~store ~every ~kill_at ~iterations ~from
-    eng =
+    ~backend eng =
   let make_ck ~done_ =
     {
       Ckpt.kind = "run";
@@ -874,7 +886,9 @@ let drive_run ~name ~graph ~valuation ~store ~every ~kill_at ~iterations ~from
     ignore (Ckpt.Store.save st ~seq (make_ck ~done_))
   in
   let rec go i =
-    match Sim.Engine.run_outcome ~iterations:(i + 1) ?until_ms:kill_at eng with
+    match
+      Sim.Engine.run_outcome ~backend ~iterations:(i + 1) ?until_ms:kill_at eng
+    with
     | Sim.Engine.Completed stats ->
         if i + 1 < iterations then begin
           (match (store, every) with
@@ -908,7 +922,7 @@ let drive_run ~name ~graph ~valuation ~store ~every ~kill_at ~iterations ~from
             iterations))
   else go from
 
-let cmd_run name params iterations every dir kill_at =
+let cmd_run name params iterations every dir kill_at backend =
   let g = or_die (lookup_graph name) in
   let v = need_valuation g params in
   if iterations < 1 then or_die (Error "iterations must be >= 1");
@@ -917,9 +931,9 @@ let cmd_run name params iterations every dir kill_at =
   with_env_pool @@ fun pool ->
   let eng = Sim.Engine.create ~graph:g ~valuation:v ?pool ~default:0 () in
   drive_run ~name ~graph:g ~valuation:v ~store ~every ~kill_at ~iterations
-    ~from:0 eng
+    ~from:0 ~backend eng
 
-let resume_run file ~store ~every ~kill_at =
+let resume_run file ~store ~every ~kill_at ~backend =
   let g = or_die (Serial.of_string file.Ckpt.graph_src) in
   let v = or_die (valuation_of file.Ckpt.valuation) in
   let name = meta_or_die file "graph" in
@@ -940,7 +954,7 @@ let resume_run file ~store ~every ~kill_at =
     | exception Invalid_argument m -> or_die (Error ("checkpoint: " ^ m))
   in
   drive_run ~name ~graph:g ~valuation:v ~store ~every ~kill_at ~iterations
-    ~from:done_ eng
+    ~from:done_ ~backend eng
 
 let resume_chaos file ~store ~every ~kill_at =
   let g = or_die (Serial.of_string file.Ckpt.graph_src) in
@@ -962,7 +976,7 @@ let resume_chaos file ~store ~every ~kill_at =
   in
   run_chaos cfg g v ~store ~every ~kill_at ~resume:(Some ck) ~trace_out:None
 
-let cmd_resume path every dir kill_at =
+let cmd_resume path every dir kill_at backend =
   if not (Sys.file_exists path) then
     or_die (Error (Printf.sprintf "%s: no such file or directory" path));
   let file =
@@ -982,7 +996,7 @@ let cmd_resume path every dir kill_at =
   let store = open_store dir in
   check_ckpt_flags ~every ~kill_at ~store;
   match file.Ckpt.kind with
-  | "run" -> resume_run file ~store ~every ~kill_at
+  | "run" -> resume_run file ~store ~every ~kill_at ~backend
   | "chaos" -> resume_chaos file ~store ~every ~kill_at
   | k -> or_die (Error (Printf.sprintf "checkpoint: unknown kind %S" k))
 
@@ -1037,7 +1051,9 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Execute the graph with default behaviours")
-    Term.(const cmd_simulate $ graph_arg $ param_arg $ iterations_arg $ trace_arg)
+    Term.(
+      const cmd_simulate $ graph_arg $ param_arg $ iterations_arg $ trace_arg
+      $ backend_arg)
 
 let throughput_cmd =
   Cmd.v
@@ -1061,7 +1077,7 @@ let profile_cmd =
           under the observability collector and print the metrics summary")
     Term.(
       const cmd_profile $ graph_arg $ param_arg $ pes_arg $ iterations_arg
-      $ openmetrics_arg)
+      $ openmetrics_arg $ backend_arg)
 
 let top_cmd =
   let iters_arg =
@@ -1154,7 +1170,7 @@ let trace_cmd =
           and export the event stream")
     Term.(
       const cmd_trace $ graph_arg $ param_arg $ pes_arg $ iterations_arg
-      $ format_arg $ output_arg)
+      $ format_arg $ output_arg $ backend_arg)
 
 let ckpt_every_arg =
   let doc =
@@ -1185,7 +1201,7 @@ let run_cmd =
           output byte-identical to the uninterrupted run.")
     Term.(
       const cmd_run $ graph_arg $ param_arg $ iterations_arg $ ckpt_every_arg
-      $ ckpt_dir_arg $ kill_at_arg)
+      $ ckpt_dir_arg $ kill_at_arg $ backend_arg)
 
 let resume_cmd =
   let path_arg =
@@ -1202,7 +1218,8 @@ let resume_cmd =
           checkpoint.  The completed output matches the uninterrupted run \
           byte for byte; $(b,--kill-at-ms) may kill it again later.")
     Term.(
-      const cmd_resume $ path_arg $ ckpt_every_arg $ ckpt_dir_arg $ kill_at_arg)
+      const cmd_resume $ path_arg $ ckpt_every_arg $ ckpt_dir_arg $ kill_at_arg
+      $ backend_arg)
 
 let chaos_cmd =
   let seed_arg =

@@ -51,9 +51,41 @@ dune exec bin/tpdf_tool.exe -- chaos ofdm-tpdf -p beta=2 -p N=8 -p L=1 \
 grep -q 'degraded DUP -> qpsk' "$chaos_out"
 grep -q 'degraded TRAN -> qpsk' "$chaos_out"
 
+# Compiled-backend equivalence smoke: `--compiled` must leave every
+# output byte unchanged — the backend is an execution strategy, never a
+# semantics.  One synthetic graph byte-compared end to end, plus the
+# OFDM case study's full mode-scenario sweep compared on the recorded
+# virtual-clock event stream (wall-clock spans differ by definition).
+echo "== smoke: compiled backend equivalence (--compiled) =="
+cmp_dir="$(mktemp -d)"
+trap 'rm -f "$out" "$chaos_out"; rm -rf "$cmp_dir"' EXIT
+dune exec bin/tpdf_tool.exe -- simulate fig2 -p p=2 -i 3 --trace \
+  > "$cmp_dir/event.out"
+dune exec bin/tpdf_tool.exe -- simulate fig2 -p p=2 -i 3 --trace --compiled \
+  > "$cmp_dir/compiled.out"
+if ! cmp -s "$cmp_dir/event.out" "$cmp_dir/compiled.out"; then
+  echo "compiled backend diverged on: simulate fig2" >&2
+  diff "$cmp_dir/event.out" "$cmp_dir/compiled.out" >&2 || true
+  exit 1
+fi
+test -s "$cmp_dir/event.out"
+dune exec bin/tpdf_tool.exe -- trace ofdm-tpdf -p beta=2 -p N=8 -p L=1 \
+  -i 2 -f csv | grep -v '^wall,' > "$cmp_dir/event.csv"
+dune exec bin/tpdf_tool.exe -- trace ofdm-tpdf -p beta=2 -p N=8 -p L=1 \
+  -i 2 -f csv --compiled | grep -v '^wall,' > "$cmp_dir/compiled.csv"
+if ! cmp -s "$cmp_dir/event.csv" "$cmp_dir/compiled.csv"; then
+  echo "compiled backend diverged on: trace ofdm-tpdf" >&2
+  diff "$cmp_dir/event.csv" "$cmp_dir/compiled.csv" >&2 || true
+  exit 1
+fi
+grep -q 'virtual,' "$cmp_dir/event.csv"
+rm -rf "$cmp_dir"
+trap 'rm -f "$out" "$chaos_out"' EXIT
+
 # Engine bench smoke: E17 at reduced sizes must produce a parseable
-# BENCH_engine.json with positive throughput.  (The engine-vs-seed
-# equivalence suite itself runs as part of `dune runtest` above.)
+# BENCH_engine.json with positive throughput on both backends.  (The
+# engine-vs-seed and compiled-vs-event equivalence suites run as part
+# of `dune runtest` above.)
 echo "== smoke: bench E17 (engine throughput) =="
 bench_dir="$(mktemp -d)"
 trap 'rm -f "$out" "$chaos_out"; rm -rf "$bench_dir"' EXIT
@@ -61,17 +93,35 @@ TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E17 \
   TPDF_BENCH_OUT="$bench_dir/BENCH_engine.json" \
   dune exec bench/main.exe > /dev/null
 if command -v python3 > /dev/null 2>&1; then
-  python3 - "$bench_dir/BENCH_engine.json" <<'EOF'
+  python3 - "$bench_dir/BENCH_engine.json" BENCH_engine.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 assert doc["experiment"] == "E17", "unexpected experiment tag"
 assert doc["runs"], "no benchmark runs recorded"
 assert all(r["events_per_sec"] > 0 for r in doc["runs"]), "non-positive throughput"
+assert all(r["compiled_events_per_sec"] > 0 for r in doc["runs"]), \
+    "non-positive compiled throughput"
+
+# Perf regression gates on the checked-in full-size E17 results: the
+# fan cliff must stay dead (fan@1e4 within 10x of chain@1e4) and the
+# compiled backend must keep its >= 2x margin on chain@1e3.
+with open(sys.argv[2]) as f:
+    full = json.load(f)
+assert full["experiment"] == "E17" and not full["smoke"], \
+    "checked-in BENCH_engine.json is not a full E17 run"
+by = {(r["graph"], r["actors"]): r for r in full["runs"]}
+fan, chain = by[("fan", 10_000)], by[("chain", 10_000)]
+assert fan["events_per_sec"] * 10 >= chain["events_per_sec"], \
+    "fan cliff regressed: fan@1e4 is more than 10x slower than chain@1e4"
+c1e3 = by[("chain", 1000)]
+assert c1e3["compiled_vs_interpreted"] >= 2.0, \
+    "compiled backend below 2x on chain@1e3"
 EOF
 else
   grep -q '"experiment": "E17"' "$bench_dir/BENCH_engine.json"
   grep -q '"events_per_sec"' "$bench_dir/BENCH_engine.json"
+  grep -q '"compiled_events_per_sec"' "$bench_dir/BENCH_engine.json"
   if grep -q '"events_per_sec": 0' "$bench_dir/BENCH_engine.json"; then
     echo "bench smoke: zero throughput" >&2
     exit 1

@@ -83,3 +83,7 @@ let worst_case ?policy g valuation ~scenarios =
 
 let csdf_equivalent ?(policy = Csdf.Schedule.Min_buffer) g valuation =
   analyze ~policy g valuation ~scenario:[]
+
+let capacity_hint ~cons ~prod ~init =
+  let burst = Array.fold_left max 0 in
+  max 8 (init + burst prod + burst cons)

@@ -50,3 +50,11 @@ val csdf_equivalent :
   Tpdf_csdf.Buffers.report
 (** The CSDF baseline: every channel of the skeleton stays active (a static
     dataflow implementation must compute every branch). *)
+
+val capacity_hint : cons:int array -> prod:int array -> init:int -> int
+(** Cheap per-channel preallocation hint for runtime ring buffers: the
+    initial token count plus one producer burst plus one consumer burst
+    (the per-phase maxima of the concrete rate vectors), floored at 8.
+    Unlike {!analyze} this is O(phases) and needs no schedule; it is not
+    a bound — runtime buffers grow past it — it just makes fixed-rate
+    channels allocation-free from the first iteration. *)

@@ -35,8 +35,9 @@ let default_fallbacks graph =
       in
       List.map (fun watch -> { Policy.watch; pins }) watches
 
-let run ~graph ~seed ~specs ?policy ?scenario ?iterations ?obs ?behaviors
-    ?pool ?kill_at_ms ?checkpoint_every ?on_checkpoint ?resume ~valuation () =
+let run ~graph ~seed ~specs ?backend ?policy ?scenario ?iterations ?obs
+    ?behaviors ?pool ?kill_at_ms ?checkpoint_every ?on_checkpoint ?resume
+    ~valuation () =
   let policy =
     match policy with
     | Some p -> p
@@ -46,8 +47,8 @@ let run ~graph ~seed ~specs ?policy ?scenario ?iterations ?obs ?behaviors
     match scenario with Some s -> s | None -> default_scenario graph
   in
   let plan = Plan.make ~seed specs in
-  Supervisor.run ~graph ~plan ~policy ?obs ?behaviors ~scenario ?iterations
-    ?pool ?kill_at_ms ?checkpoint_every ?on_checkpoint ?resume
+  Supervisor.run ~graph ~plan ?backend ~policy ?obs ?behaviors ~scenario
+    ?iterations ?pool ?kill_at_ms ?checkpoint_every ?on_checkpoint ?resume
     ~encode:string_of_int ~decode:int_of_string ~valuation ~default:0 ()
 
 let recovered (s : Supervisor.summary) = s.unrecovered = None

@@ -24,6 +24,7 @@ val run :
   graph:Tpdf_core.Graph.t ->
   seed:int ->
   specs:Fault.spec list ->
+  ?backend:[ `Event | `Compiled ] ->
   ?policy:Policy.t ->
   ?scenario:Tpdf_sim.Reconfigure.scenario ->
   ?iterations:int ->

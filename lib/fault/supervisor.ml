@@ -541,7 +541,7 @@ let escalate st ~ts =
         fb.pins)
     st.policy.Policy.fallbacks
 
-let run ~graph ~plan ?(policy = Policy.default) ?(obs = Obs.disabled)
+let run ~graph ~plan ?backend ?(policy = Policy.default) ?(obs = Obs.disabled)
     ?(behaviors = []) ?(scenario = []) ?(iterations = 1) ?corrupt ?pool
     ?kill_at_ms ?checkpoint_every ?on_checkpoint ?resume ?encode ?decode
     ~valuation ~default () =
@@ -759,7 +759,7 @@ let run ~graph ~plan ?(policy = Policy.default) ?(obs = Obs.disabled)
                   Engine.create ~graph ~valuation ~behaviors:wrapped
                     ~obs:st.obs ?pool ~default ()
             in
-            (Engine.run_outcome ?until_ms ~targets eng, eng)
+            (Engine.run_outcome ?backend ?until_ms ~targets eng, eng)
           with
           | Engine.Completed stats, _ ->
               commit ();

@@ -94,6 +94,7 @@ val pp_summary : Format.formatter -> summary -> unit
 val run :
   graph:Tpdf_core.Graph.t ->
   plan:Plan.t ->
+  ?backend:[ `Event | `Compiled ] ->
   ?policy:Policy.t ->
   ?obs:Tpdf_obs.Obs.t ->
   ?behaviors:(string * 'a Tpdf_sim.Behavior.t) list ->

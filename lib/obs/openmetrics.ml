@@ -84,6 +84,13 @@ let family_of name =
         | None -> None)
     | None -> None
   in
+  let try_backend () =
+    (* engine.backend.<name>: which execution backend ran (0/1 gauges) *)
+    match strip "engine.backend." with
+    | Some rest when rest <> "" && not (String.contains rest '.') ->
+        Some ("tpdf_engine_backend", [ ("backend", rest) ])
+    | _ -> None
+  in
   let try_serve () =
     (* serve.tenant.<what>.<name> with a dot-free <what>; tenant names
        are dot-free by the serve daemon's naming rule *)
@@ -110,6 +117,8 @@ let family_of name =
     try_actor "engine.ctrl_reads." "tpdf_engine_ctrl_reads"
     <|> fun () ->
     try_actor "engine.ticks." "tpdf_engine_ticks"
+    <|> fun () ->
+    try_backend ()
     <|> fun () -> try_channel () <|> fun () -> try_domain ()
     <|> fun () -> try_supervisor () <|> fun () -> try_serve ()
   in

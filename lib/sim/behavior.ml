@@ -20,11 +20,18 @@ let make ?(duration_ms = const_duration 1.0) work = { work; duration_ms }
 let produce_at_rates ctx mk =
   List.filter_map
     (fun (ch, rate) ->
-      if rate = 0 then None else Some (ch, List.init rate (fun i -> mk ch i)))
+      if rate = 0 then None
+      else if rate = 1 then Some (ch, [ mk ch 0 ])
+      else Some (ch, List.init rate (fun i -> mk ch i)))
     ctx.out_rates
 
 let fill ?duration_ms v =
-  make ?duration_ms (fun ctx -> produce_at_rates ctx (fun _ _ -> Token.Data v))
+  (* one shared token and one shared [mk], not a fresh box and closure
+     per firing — [fill] is the default kernel behaviour, so this is on
+     every benchmark's hot path *)
+  let tok = Token.Data v in
+  let mk _ _ = tok in
+  make ?duration_ms (fun ctx -> produce_at_rates ctx mk)
 
 let forward ?duration_ms () =
   make ?duration_ms (fun ctx ->

@@ -6,6 +6,8 @@ module Ev = Tpdf_obs.Event
 module Metrics = Tpdf_obs.Metrics
 module Om = Tpdf_obs.Openmetrics
 module Pool = Tpdf_par.Pool
+module Ringbuf = Tpdf_util.Ringbuf
+module Cfifo = Compiled.Fifo
 
 type firing_record = {
   actor : string;
@@ -140,7 +142,10 @@ type 'a t = {
   is_ctrl_chan : bool array;
   chan_prio : int array;
   chan_dst : int array; (* consumer actor id *)
-  queues : 'a Token.t Queue.t array;
+  has_clock : bool; (* any clocked control actor in the graph *)
+  queues : 'a Token.t Ringbuf.t array;
+      (* flat circular buffers: pushes/pops move cursors, no per-token
+         cell; preallocated to Buffers.capacity_hint, grown on demand *)
   (* mutable simulation state *)
   debt : int array;
   dropped : int array;
@@ -150,13 +155,17 @@ type 'a t = {
   busy : bool array;
   last_mode : compiled_mode array;
   dirty : bool array;
-  mutable dirty_ids : int list;
+  dirty_buf : int array; (* worklist: first [dirty_len] entries are dirty *)
+  mutable dirty_len : int;
+  sc_prod : int array; (* validate_outputs scratch, per channel; -1 idle *)
+  sc_exp : bool array; (* validate_outputs scratch, per channel *)
   mutable remaining : int; (* actors still short of their firing limit *)
   events : 'a event_kind Event_heap.t;
   mutable now : float;
   mutable trace : firing_record list;
   mutable armed : bool; (* clock Ticks scheduled; armed once per engine *)
   (* telemetry (not simulation state; excluded from snapshots) *)
+  mutable ran_compiled : bool; (* last run_outcome used the compiled backend *)
   omode : obs_mode;
   s_busy : float array; (* sampled: per-actor busy virtual ms *)
   s_ctrl : int array; (* sampled: per-actor control reads *)
@@ -196,7 +205,7 @@ let occ_metric ch = Printf.sprintf "channel.e%d.occupancy" ch
    collector attached the engine allocates nothing for observability,
    and the sampled profile touches only dense arrays on the hot path. *)
 let emit_occupancy t ch =
-  let occ = float_of_int (Queue.length t.queues.(ch)) in
+  let occ = float_of_int (Ringbuf.length t.queues.(ch)) in
   Obs.counter t.obs ~cat:"channel" ~track:(ch_track ch) ~name:"occupancy"
     ~ts_ms:t.now occ;
   Metrics.observe (Obs.metrics t.obs) (occ_metric ch) occ
@@ -250,7 +259,8 @@ let create_engine ~emit_initial ~graph ~valuation ?init_token ?(behaviors = [])
   let is_ctrl_chan = Array.make nch false in
   let chan_prio = Array.make nch 0 in
   let chan_dst = Array.make nch 0 in
-  let queues = Array.init nch (fun _ -> Queue.create ()) in
+  let tok_dummy = Token.Ctrl "" in
+  let queues = Array.make nch (Ringbuf.create ~capacity:1 ~dummy:tok_dummy ()) in
   let max_occ = Array.make nch 0 in
   let chan_order =
     Array.of_list
@@ -267,6 +277,12 @@ let create_engine ~emit_initial ~graph ~valuation ?init_token ?(behaviors = [])
       is_ctrl_chan.(e.id) <- Tpdf.Graph.is_control_channel graph e.id;
       chan_prio.(e.id) <- Tpdf.Graph.priority graph e.id;
       chan_dst.(e.id) <- Hashtbl.find actor_ids e.dst;
+      queues.(e.id) <-
+        Ringbuf.create
+          ~capacity:
+            (Tpdf.Buffers.capacity_hint ~cons:c.Csdf.Concrete.cons
+               ~prod:c.Csdf.Concrete.prod ~init:e.label.init)
+          ~dummy:tok_dummy ();
       let mk =
         match init_token with
         | Some f -> f e.id
@@ -276,7 +292,7 @@ let create_engine ~emit_initial ~graph ~valuation ?init_token ?(behaviors = [])
               else Token.Data default
       in
       for i = 0 to e.label.init - 1 do
-        Queue.add (mk i) queues.(e.id)
+        Ringbuf.push queues.(e.id) (mk i)
       done;
       max_occ.(e.id) <- e.label.init)
     channels;
@@ -415,6 +431,8 @@ let create_engine ~emit_initial ~graph ~valuation ?init_token ?(behaviors = [])
       is_ctrl_chan;
       chan_prio;
       chan_dst;
+      has_clock =
+        Array.exists (function Some _ -> true | None -> false) clock_period;
       queues;
       debt = Array.make nch 0;
       dropped = Array.make nch 0;
@@ -424,12 +442,16 @@ let create_engine ~emit_initial ~graph ~valuation ?init_token ?(behaviors = [])
       busy = Array.make n false;
       last_mode;
       dirty = Array.make n false;
-      dirty_ids = [];
+      dirty_buf = Array.make (max n 1) 0;
+      dirty_len = 0;
+      sc_prod = Array.make (max nch 1) (-1);
+      sc_exp = Array.make (max nch 1) false;
       remaining = 0;
       events = Event_heap.create ();
       now = 0.0;
       trace = [];
       armed = false;
+      ran_compiled = false;
       omode;
       s_busy = Array.make n 0.0;
       s_ctrl = Array.make n 0;
@@ -458,8 +480,51 @@ let create ~graph ~valuation ?init_token ?behaviors ?obs ?pool ~default () =
 let mark_dirty t ai =
   if not t.dirty.(ai) then begin
     t.dirty.(ai) <- true;
-    t.dirty_ids <- ai :: t.dirty_ids
+    t.dirty_buf.(t.dirty_len) <- ai;
+    t.dirty_len <- t.dirty_len + 1
   end
+
+(* In-place ascending sort of [a.(0 .. len-1)].  Worklists are tiny (a
+   completion wakes the actor and its consumers) or nearly sorted (a wide
+   fan-out marks consumers in channel order), so insertion sort wins; the
+   heapsort branch keeps adversarial orders O(k log k).  Either way: no
+   allocation, unlike the former [List.sort] per drain. *)
+let sort_worklist a len =
+  if len > 1 then
+    if len <= 32 then
+      for i = 1 to len - 1 do
+        let v = a.(i) in
+        let j = ref (i - 1) in
+        while !j >= 0 && a.(!j) > v do
+          a.(!j + 1) <- a.(!j);
+          decr j
+        done;
+        a.(!j + 1) <- v
+      done
+    else begin
+      let swap i j =
+        let tmp = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- tmp
+      in
+      let rec sift i len =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let m = ref i in
+        if l < len && a.(l) > a.(!m) then m := l;
+        if r < len && a.(r) > a.(!m) then m := r;
+        if !m <> i then begin
+          swap i !m;
+          sift !m len
+        end
+      in
+      for i = (len / 2) - 1 downto 0 do
+        sift i len
+      done;
+      for i = len - 1 downto 1 do
+        swap 0 i;
+        sift 0 i
+      done
+    end
 
 (* Discharge rejection debt against the tokens currently in the channel. *)
 let purge t ch =
@@ -467,8 +532,8 @@ let purge t ch =
   if d > 0 then begin
     let q = t.queues.(ch) in
     let dropped = ref 0 in
-    while !dropped < d && not (Queue.is_empty q) do
-      ignore (Queue.pop q);
+    while !dropped < d && not (Ringbuf.is_empty q) do
+      ignore (Ringbuf.pop q);
       incr dropped
     done;
     t.debt.(ch) <- d - !dropped;
@@ -485,9 +550,9 @@ let purge t ch =
 
 let push_tokens t ch toks =
   let q = t.queues.(ch) in
-  List.iter (fun tok -> Queue.add tok q) toks;
+  List.iter (fun tok -> Ringbuf.push q tok) toks;
   purge t ch;
-  let occ = Queue.length q in
+  let occ = Ringbuf.length q in
   if occ > t.max_occ.(ch) then t.max_occ.(ch) <- occ;
   sample_occupancy t ch;
   (* wakeup rule: the channel's consumer may have become fireable *)
@@ -508,9 +573,9 @@ let mode_of_token t ai =
       t.last_mode.(ai)
     else
       let q = t.queues.(cid) in
-      if Queue.is_empty q then raise Exit
+      if Ringbuf.is_empty q then raise Exit
       else
-        match Queue.peek q with
+        match Ringbuf.peek q with
         | Token.Ctrl name -> (
             match Hashtbl.find_opt t.mode_by_name.(ai) name with
             | Some cm -> cm
@@ -533,7 +598,9 @@ let fireable t ai =
   | cm -> (
       let phase = t.count.(ai) mod t.phases.(ai) in
       let ins = t.data_ins.(ai) in
-      let has_enough ch = Queue.length t.queues.(ch) >= t.cons.(ch).(phase) in
+      let has_enough ch =
+        Ringbuf.length t.queues.(ch) >= t.cons.(ch).(phase)
+      in
       match cm.cm.Tpdf.Mode.inputs with
       | Tpdf.Mode.All_inputs | Tpdf.Mode.Input_subset _ ->
           let sel = cm.cm_selected in
@@ -559,7 +626,7 @@ let consume t ai cm active phase =
   (* Control token first. *)
   (let cid = t.ctrl_port.(ai) in
    if cid >= 0 && t.cons.(cid).(phase) > 0 then begin
-     ignore (Queue.pop t.queues.(cid));
+     ignore (Ringbuf.pop t.queues.(cid));
      t.last_mode.(ai) <- cm;
      match t.omode with
      | Obs_off -> ()
@@ -588,7 +655,7 @@ let consume t ai cm active phase =
       let ch = ins.(i) in
       let rate = t.cons.(ch).(phase) in
       if is_active i ch then begin
-        let toks = List.init rate (fun _ -> Queue.pop t.queues.(ch)) in
+        let toks = List.init rate (fun _ -> Ringbuf.pop t.queues.(ch)) in
         if rate > 0 then sample_occupancy t ch;
         if rate = 0 then build (i + 1) else (ch, toks) :: build (i + 1)
       end
@@ -604,31 +671,80 @@ let consume t ai cm active phase =
   in
   build 0
 
+(* Output-contract checks shared by both implementations below: rate
+   errors are reported in expected-list order, then foreign channels and
+   token classes in output order; the first binding wins when a behaviour
+   repeats a channel (the seed's [List.assoc_opt]). *)
+let check_rate a ch rate produced =
+  if produced <> rate then
+    raise
+      (Error (Rate_mismatch { actor = a; channel = ch; expected = rate; produced }))
+
+let check_classes t a ch toks =
+  let is_ctrl_chan = t.is_ctrl_chan.(ch) in
+  List.iter
+    (fun tok ->
+      if Token.is_ctrl tok <> is_ctrl_chan then
+        raise
+          (Error
+             (Token_class_mismatch
+                { actor = a; channel = ch; control_channel = is_ctrl_chan })))
+    toks
+
+(* O(degree): per-channel scratch tables replace the seed's quadratic
+   [List.assoc] scans over the output list — the fan-graph cliff, where a
+   1e4-way source paid O(width²) list walks per firing.  The scratch slots
+   are always restored (even on the error path, so a caught [Error] leaves
+   the tables clean), but they are engine-global: parallel staged firings
+   use {!validate_outputs_list} instead. *)
 let validate_outputs t ai expected outputs =
+  let a = t.actor_names.(ai) in
+  let nch = Array.length t.chan_exists in
+  let sc_prod = t.sc_prod and sc_exp = t.sc_exp in
+  List.iter
+    (fun (ch, toks) ->
+      if ch >= 0 && ch < nch && sc_prod.(ch) < 0 then
+        sc_prod.(ch) <- List.length toks)
+    outputs;
+  List.iter (fun ((ch, _) : int * int) -> sc_exp.(ch) <- true) expected;
+  let err =
+    try
+      List.iter
+        (fun (ch, rate) ->
+          check_rate a ch rate (if sc_prod.(ch) >= 0 then sc_prod.(ch) else 0))
+        expected;
+      List.iter
+        (fun (ch, toks) ->
+          if ch < 0 || ch >= nch || not sc_exp.(ch) then
+            raise (Error (Foreign_channel { actor = a; channel = ch }));
+          check_classes t a ch toks)
+        outputs;
+      None
+    with Error e -> Some e
+  in
+  List.iter
+    (fun (ch, _) -> if ch >= 0 && ch < nch then sc_prod.(ch) <- -1)
+    outputs;
+  List.iter (fun ((ch, _) : int * int) -> sc_exp.(ch) <- false) expected;
+  match err with None -> () | Some e -> raise (Error e)
+
+(* Allocation-free but quadratic in the actor's degree; used only by
+   pool-staged firings, which run concurrently and must not share the
+   engine's scratch tables. *)
+let validate_outputs_list t ai expected outputs =
   let a = t.actor_names.(ai) in
   List.iter
     (fun (ch, rate) ->
       let produced =
         match List.assoc_opt ch outputs with Some l -> List.length l | None -> 0
       in
-      if produced <> rate then
-        raise
-          (Error
-             (Rate_mismatch { actor = a; channel = ch; expected = rate; produced })))
+      check_rate a ch rate produced)
     expected;
   List.iter
     (fun (ch, toks) ->
       if not (List.mem_assoc ch expected) then
         raise (Error (Foreign_channel { actor = a; channel = ch }));
-      let is_ctrl_chan = t.is_ctrl_chan.(ch) in
-      List.iter
-        (fun tok ->
-          if Token.is_ctrl tok <> is_ctrl_chan then
-            raise
-              (Error
-                 (Token_class_mismatch
-                    { actor = a; channel = ch; control_channel = is_ctrl_chan })))
-        toks)
+      check_classes t a ch toks)
     outputs
 
 (* A firing is split in two.  The {e stage} — consume inputs, run the
@@ -640,7 +756,7 @@ let validate_outputs t ai expected outputs =
    push — runs on the orchestrating domain, in ascending actor id, which
    keeps event sequence numbers, traces, supervisor bookkeeping and obs
    streams bit-identical to a sequential run. *)
-let fire_stage t ai cm active =
+let fire_stage ?(par = false) t ai cm active =
   let index = t.count.(ai) in
   let phase = index mod t.phases.(ai) in
   let inputs = consume t ai cm active phase in
@@ -657,7 +773,8 @@ let fire_stage t ai cm active =
     }
   in
   let outputs = t.behaviors.(ai).Behavior.work ctx in
-  validate_outputs t ai rates outputs;
+  if par then validate_outputs_list t ai rates outputs
+  else validate_outputs t ai rates outputs;
   (ctx, outputs)
 
 let fire_commit t ai (ctx, outputs) =
@@ -719,7 +836,7 @@ let fire_parallel t pool jobs =
         let res =
           match job with
           | `Fire (cm, active) -> (
-              try Result.Ok (fire_stage t ai cm active)
+              try Result.Ok (fire_stage ~par:true t ai cm active)
               with e -> Result.Error e)
           | `Raise e -> Result.Error e
         in
@@ -806,8 +923,178 @@ let flush_sampled t pool =
             (Pool.tasks_per_domain p)
       | None -> ())
 
-let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
-    ?pool t =
+(* Process one completion: deliver outputs, wake consumers, record the
+   trace and obs span.  Shared verbatim by the event loop and the
+   compiled round executor — identical processing order plus identical
+   processing code is what makes the two backends byte-equivalent. *)
+let complete_event t ~limit ai outputs record =
+  t.busy.(ai) <- false;
+  let c = t.completed.(ai) + 1 in
+  t.completed.(ai) <- c;
+  if limit.(ai) <> max_int && c = limit.(ai) then
+    t.remaining <- t.remaining - 1;
+  List.iter (fun (ch, toks) -> push_tokens t ch toks) outputs;
+  mark_dirty t ai;
+  t.trace <- record :: t.trace;
+  match t.omode with
+  | Obs_off -> ()
+  | Obs_full ->
+      let a = t.actor_names.(ai) in
+      Obs.span t.obs ~cat:"firing" ~track:a ~name:(a ^ "/" ^ record.mode)
+        ~ts_ms:record.start_ms
+        ~dur_ms:(record.finish_ms -. record.start_ms)
+        ~args:
+          [
+            ("index", Ev.Int record.index);
+            ("phase", Ev.Int record.phase);
+            ("mode", Ev.Str record.mode);
+          ]
+        ();
+      Metrics.incr (Obs.metrics t.obs) ("engine.firings." ^ a);
+      Metrics.observe (Obs.metrics t.obs) t.firing_metric.(ai)
+        (record.finish_ms -. record.start_ms)
+  | Obs_sampled s ->
+      (* hot path: two dense-array writes; the k-th completion of each
+         actor keeps its span iff (k-1) mod span_every = 0 — a pure
+         function of the deterministic completion order.  The span name
+         is the bare actor (no "/mode" concat): the mode is still
+         carried in the args, and the sampled stream has no byte-golden
+         to preserve. *)
+      let dur = record.finish_ms -. record.start_ms in
+      t.s_busy.(ai) <- t.s_busy.(ai) +. dur;
+      if (c - 1) mod s.Obs.span_every = 0 then begin
+        let a = t.actor_names.(ai) in
+        Obs.span t.obs ~cat:"firing" ~track:a ~name:a ~ts_ms:record.start_ms
+          ~dur_ms:dur
+          ~args:
+            [
+              ("index", Ev.Int record.index);
+              ("phase", Ev.Int record.phase);
+              ("mode", Ev.Str record.mode);
+            ]
+          ();
+        Metrics.observe (Obs.metrics t.obs) t.firing_metric.(ai) dur
+      end
+
+(* A clock firing: no inputs, emits control tokens now. *)
+let tick_event t ai =
+  let a = t.actor_names.(ai) in
+  let index = t.count.(ai) in
+  let phase = index mod t.phases.(ai) in
+  let rates = t.tick_rates.(ai).(phase) in
+  let ctx =
+    {
+      Behavior.actor = a;
+      mode = "tick";
+      phase;
+      index;
+      now_ms = t.now;
+      inputs = [];
+      out_rates = rates;
+    }
+  in
+  let b = t.behaviors.(ai) in
+  let outputs = b.Behavior.work ctx in
+  validate_outputs t ai rates outputs;
+  t.count.(ai) <- index + 1;
+  List.iter (fun (ch, toks) -> push_tokens t ch toks) outputs;
+  t.trace <-
+    { actor = a; index; phase; mode = "tick"; start_ms = t.now; finish_ms = t.now }
+    :: t.trace;
+  if Obs.enabled t.obs then begin
+    Obs.instant t.obs ~cat:"clock" ~track:a ~name:(a ^ "/tick") ~ts_ms:t.now
+      ~args:[ ("index", Ev.Int index); ("phase", Ev.Int phase) ]
+      ();
+    Metrics.incr (Obs.metrics t.obs) ("engine.ticks." ^ a)
+  end;
+  match t.clock_period.(ai) with
+  | Some p -> Event_heap.add t.events (t.now +. p) (Tick ai)
+  | None -> ()
+
+(* Compiled-backend specialisations of the completion path and the output
+   check, for [Obs_off] runs.  They replay [complete_event] and
+   [validate_outputs] step for step minus the observability hooks — same
+   state writes, same token pushes, same errors — but as top-level
+   recursive functions, so the per-event closure allocations ([List.iter]
+   thunks, the scratch-table passes) disappear from the hot loop. *)
+let rec push_all q = function
+  | [] -> ()
+  | tok :: rest ->
+      (* Ringbuf.push, hand-inlined minus the growth branch *)
+      let cap = Array.length q.Ringbuf.arr in
+      if q.Ringbuf.len = cap then Ringbuf.push q tok
+      else begin
+        let i = q.Ringbuf.head + q.Ringbuf.len in
+        q.Ringbuf.arr.(if i >= cap then i - cap else i) <- tok;
+        q.Ringbuf.len <- q.Ringbuf.len + 1
+      end;
+      push_all q rest
+
+(* Delivery without [mark_dirty]: the compiled loop walks the actor's
+   precomputed wake list instead of a dirty worklist, so the flags must
+   stay untouched (all-false) here. *)
+let rec deliver_fast t = function
+  | [] -> ()
+  | (ch, toks) :: rest ->
+      let q = t.queues.(ch) in
+      push_all q toks;
+      if t.debt.(ch) > 0 then purge t ch;
+      let occ = q.Ringbuf.len in
+      if occ > t.max_occ.(ch) then t.max_occ.(ch) <- occ;
+      deliver_fast t rest
+
+let complete_fast t ~limit ai outputs record =
+  t.busy.(ai) <- false;
+  let c = t.completed.(ai) + 1 in
+  t.completed.(ai) <- c;
+  if limit.(ai) <> max_int && c = limit.(ai) then
+    t.remaining <- t.remaining - 1;
+  deliver_fast t outputs;
+  t.trace <- record :: t.trace
+
+(* [true] iff [toks] has exactly [want] tokens, all of channel [ch]'s
+   class. *)
+let rec toks_ok t ch want = function
+  | [] -> want = 0
+  | tok :: rest ->
+      want > 0
+      && Token.is_ctrl tok = t.is_ctrl_chan.(ch)
+      && toks_ok t ch (want - 1) rest
+
+(* Lockstep output check: [true] when [outputs] lists exactly the expected
+   channels in declaration order (rate-0 entries omitted) with the right
+   counts and token classes — then [validate_outputs] is guaranteed to
+   pass and can be skipped.  Any deviation returns [false] and the caller
+   falls back to the full check, which either passes (e.g. an explicit
+   [(ch, [])] for a rate-0 channel) or raises with the canonical error. *)
+let rec validate_fast t expected outputs =
+  match expected with
+  | (ch, rate) :: erest -> (
+      match outputs with
+      | (ch', toks) :: orest when ch' = ch && rate > 0 ->
+          toks_ok t ch rate toks && validate_fast t erest orest
+      | _ -> rate = 0 && validate_fast t erest outputs)
+  | [] -> ( match outputs with [] -> true | _ :: _ -> false)
+
+(* Stats-tail helpers, top-level so the 100k-record walks stay
+   closure-free.  [trace_sorted] is conservative under NaN (returns
+   [false], falling back to the sort — identical result either way). *)
+let rec max_finish acc = function
+  | [] -> acc
+  | r :: rest -> max_finish (if r.finish_ms > acc then r.finish_ms else acc) rest
+
+let rec trace_sorted = function
+  | a :: (b :: _ as rest) ->
+      (a.start_ms < b.start_ms
+      || (a.start_ms = b.start_ms && a.finish_ms <= b.finish_ms))
+      && trace_sorted rest
+  | _ -> true
+
+let dummy_record =
+  { actor = ""; index = 0; phase = 0; mode = ""; start_ms = 0.0; finish_ms = 0.0 }
+
+let run_outcome ?(backend = `Event) ?(iterations = 1) ?targets ?until_ms
+    ?(max_events = 1_000_000) ?pool t =
   if iterations < 1 then invalid_arg "Engine.run: iterations must be >= 1";
   let pool = match pool with Some _ as p -> p | None -> t.pool in
   (match targets with
@@ -878,49 +1165,375 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
      one another: outputs are delivered at [Complete], and consumption
      touches only the firing actor's own input channels), the stages run
      in parallel, and the commits replay in the same ascending order. *)
+  (* Sorting and flag-clearing are shared: the worklist prefix is stable
+     while it is walked, because nothing inside [try_start] marks actors
+     dirty (outputs are delivered at [Complete], not at start). *)
+  let take_worklist () =
+    let len = t.dirty_len in
+    if len > 0 then begin
+      sort_worklist t.dirty_buf len;
+      t.dirty_len <- 0;
+      for k = 0 to len - 1 do
+        t.dirty.(t.dirty_buf.(k)) <- false
+      done
+    end;
+    len
+  in
   let drain =
     match pool with
     | None ->
         fun () ->
-          (match t.dirty_ids with
-          | [] -> ()
-          | ids ->
-              let ids = List.sort compare ids in
-              t.dirty_ids <- [];
-              List.iter (fun ai -> t.dirty.(ai) <- false) ids;
-              List.iter try_start ids)
+          let len = take_worklist () in
+          for k = 0 to len - 1 do
+            try_start t.dirty_buf.(k)
+          done
     | Some pool -> (
         fun () ->
-          match t.dirty_ids with
-          | [] -> ()
-          | ids ->
-              let ids = List.sort compare ids in
-              t.dirty_ids <- [];
-              List.iter (fun ai -> t.dirty.(ai) <- false) ids;
-              let jobs =
-                List.filter_map
-                  (fun ai ->
-                    if eligible ai then
-                      match fireable t ai with
-                      | Some (cm, active) -> Some (ai, `Fire (cm, active))
-                      | None -> None
-                      | exception e -> Some (ai, `Raise e)
-                    else None)
-                  ids
-              in
-              (match jobs with
-              | [] -> ()
-              | [ (ai, `Fire (cm, active)) ] -> start_firing t ai cm active
-              | [ (_, `Raise e) ] -> raise e
-              | jobs -> fire_parallel t pool (Array.of_list jobs)))
+          let len = take_worklist () in
+          if len > 0 then begin
+            let jobs = ref [] in
+            for k = len - 1 downto 0 do
+              let ai = t.dirty_buf.(k) in
+              if eligible ai then
+                match fireable t ai with
+                | Some (cm, active) -> jobs := (ai, `Fire (cm, active)) :: !jobs
+                | None -> ()
+                | exception e -> jobs := (ai, `Raise e) :: !jobs
+            done;
+            match !jobs with
+            | [] -> ()
+            | [ (ai, `Fire (cm, active)) ] -> start_firing t ai cm active
+            | [ (_, `Raise e) ] -> raise e
+            | jobs -> fire_parallel t pool (Array.of_list jobs)
+          end)
   in
-  for ai = n - 1 downto 0 do
-    mark_dirty t ai
-  done;
-  drain ();
   let steps = ref 0 in
   let stop = ref false in
   let budget_hit = ref false in
+  let exporter_tick () =
+    match t.exporter with
+    | Some e when !steps land 1023 = 0 ->
+        (* periodic snapshot export: refresh aggregates, then atomically
+           rewrite TPDF_METRICS_OUT if the interval elapsed *)
+        flush_sampled t pool;
+        update_gc_gauges t;
+        Om.Exporter.tick e
+    | _ -> ()
+  in
+  (* The compiled static-schedule backend (see Compiled and DESIGN.md §8)
+     engages only from a clean start it can fully model: no clocks, no
+     pool, nothing in flight.  Everything else — including a run it
+     deoptimised out of — goes through the event heap. *)
+  let compiled =
+    backend = `Compiled && pool = None && (not t.has_clock)
+    && Event_heap.is_empty t.events
+    && Array.for_all not t.busy
+  in
+  t.ran_compiled <- compiled;
+  if compiled then begin
+    (* Round executor: pending completions live in two flat FIFOs — the
+       round being delivered ([cur], all at one timestamp) and the round
+       it enables ([nxt], one uniform duration later).  Pop order equals
+       the heap's (time, seq) order as long as every firing takes the
+       same duration; the first firing that does not trips [deopt] and
+       the pending entries (timestamps and seq numbers intact) reload
+       into the heap, where the ordinary loop below resumes. *)
+    let cur =
+      ref (Compiled.Fifo.create ~dummy_u:[] ~dummy_v:dummy_record ())
+    in
+    let nxt =
+      ref (Compiled.Fifo.create ~dummy_u:[] ~dummy_v:dummy_record ())
+    in
+    let cseq = ref (Event_heap.next_seq t.events) in
+    let dur = ref neg_infinity (* negative = not yet discovered *) in
+    let deopt = ref false in
+    let commit ai (ctx, outputs) =
+      let b = t.behaviors.(ai) in
+      let d = b.Behavior.duration_ms ctx in
+      if d < 0.0 then
+        raise
+          (Error
+             (Negative_duration { actor = ctx.Behavior.actor; duration_ms = d }));
+      let record =
+        {
+          actor = ctx.Behavior.actor;
+          index = ctx.Behavior.index;
+          phase = ctx.Behavior.phase;
+          mode = ctx.Behavior.mode;
+          start_ms = t.now;
+          finish_ms = t.now +. d;
+        }
+      in
+      t.count.(ai) <- ctx.Behavior.index + 1;
+      t.busy.(ai) <- true;
+      if !dur < 0.0 then dur := d else if d <> !dur then deopt := true;
+      Compiled.Fifo.push !nxt ~time:(t.now +. d) ~seq:!cseq ~ai outputs record;
+      incr cseq
+    in
+    (* Static actors — no control port, head mode reads [All_inputs] —
+       never change mode, never reject an input and never touch the
+       control machinery, so (under [Obs_off], where no occupancy
+       sampling interleaves) their firings can be fused into one
+       allocation-light check-consume-commit.  Everything it does is a
+       step-for-step replay of [fireable]/[fire_stage]/[commit] for that
+       shape: same pops, same error order, same records. *)
+    let static =
+      let fast = t.omode = Obs_off in
+      Array.init n (fun ai ->
+          fast
+          && t.ctrl_port.(ai) < 0
+          && Array.length t.cmodes.(ai) > 0
+          &&
+          match t.cmodes.(ai).(0).cm.Tpdf.Mode.inputs with
+          | Tpdf.Mode.All_inputs -> true
+          | _ -> false)
+    in
+    let start_static ai =
+      (* [eligible] without the clock test: compiled never engages on a
+         graph with clocked actors. *)
+      if (not t.busy.(ai)) && t.count.(ai) < limit.(ai) then begin
+        let index = t.count.(ai) in
+        let ph = t.phases.(ai) in
+        let phase = if ph = 1 then 0 else index mod ph in
+        let ins = t.data_ins.(ai) in
+        let nin = Array.length ins in
+        let ok = ref true in
+        for i = 0 to nin - 1 do
+          let ch = ins.(i) in
+          if Ringbuf.length t.queues.(ch) < t.cons.(ch).(phase) then
+            ok := false
+        done;
+        if !ok then begin
+          let cm = t.cmodes.(ai).(0) in
+          let inputs = ref [] in
+          (* per-channel pops in FIFO order; channels are disjoint, so
+             walking them in reverse builds the ascending assoc list
+             [consume] would. *)
+          for i = nin - 1 downto 0 do
+            let ch = ins.(i) in
+            let rate = t.cons.(ch).(phase) in
+            if rate > 0 then begin
+              let q = t.queues.(ch) in
+              let toks =
+                if rate = 1 && q.Ringbuf.len > 0 then begin
+                  (* Ringbuf.pop, hand-inlined (the fireable check above
+                     guarantees non-empty; the guard keeps the raise
+                     path identical regardless) *)
+                  let h = q.Ringbuf.head in
+                  let v = q.Ringbuf.arr.(h) in
+                  q.Ringbuf.arr.(h) <- q.Ringbuf.dummy;
+                  let h1 = h + 1 in
+                  q.Ringbuf.head <-
+                    (if h1 = Array.length q.Ringbuf.arr then 0 else h1);
+                  q.Ringbuf.len <- q.Ringbuf.len - 1;
+                  [ v ]
+                end
+                else if rate = 1 then [ Ringbuf.pop q ]
+                else List.init rate (fun _ -> Ringbuf.pop q)
+              in
+              inputs := (ch, toks) :: !inputs
+            end
+          done;
+          let rates = cm.cm_out_rates.(phase) in
+          let ctx =
+            {
+              Behavior.actor = t.actor_names.(ai);
+              mode = cm.cm.Tpdf.Mode.name;
+              phase;
+              index;
+              now_ms = t.now;
+              inputs = !inputs;
+              out_rates = rates;
+            }
+          in
+          let outputs = t.behaviors.(ai).Behavior.work ctx in
+          let valid =
+            (* single-output rate-1 firings (every chain/fan/grid kernel)
+               resolve in one match; anything else takes the general
+               lockstep walk *)
+            match (rates, outputs) with
+            | [ (ch, 1) ], [ (ch', [ tok ]) ] ->
+                ch' = ch && Token.is_ctrl tok = t.is_ctrl_chan.(ch)
+            | _ -> validate_fast t rates outputs
+          in
+          if not valid then validate_outputs t ai rates outputs;
+          let d = t.behaviors.(ai).Behavior.duration_ms ctx in
+          if d < 0.0 then
+            raise
+              (Error
+                 (Negative_duration
+                    { actor = ctx.Behavior.actor; duration_ms = d }));
+          let fin = t.now +. d in
+          let record =
+            {
+              actor = ctx.Behavior.actor;
+              index;
+              phase;
+              mode = ctx.Behavior.mode;
+              start_ms = t.now;
+              finish_ms = fin;
+            }
+          in
+          t.count.(ai) <- index + 1;
+          t.busy.(ai) <- true;
+          if !dur < 0.0 then dur := d else if d <> !dur then deopt := true;
+          (* Cfifo.push, hand-inlined minus the growth branch (ocamlopt
+             without flambda will not inline the cross-module call) *)
+          let fq = !nxt in
+          let cap = Array.length fq.Cfifo.times in
+          if fq.Cfifo.len = cap then
+            Cfifo.push fq ~time:fin ~seq:!cseq ~ai outputs record
+          else begin
+            let i = fq.Cfifo.head + fq.Cfifo.len in
+            let i = if i >= cap then i - cap else i in
+            fq.Cfifo.times.(i) <- fin;
+            fq.Cfifo.seqs.(i) <- !cseq;
+            fq.Cfifo.ais.(i) <- ai;
+            fq.Cfifo.us.(i) <- outputs;
+            fq.Cfifo.vs.(i) <- record;
+            fq.Cfifo.len <- fq.Cfifo.len + 1
+          end;
+          incr cseq
+        end
+      end
+    in
+    let try_start_gen ai =
+      if eligible ai then
+        match fireable t ai with
+        | Some (cm, active) ->
+            (match t.omode with
+            | Obs_off -> ()
+            | _ -> t.dom_fire.(0) <- t.dom_fire.(0) + 1);
+            commit ai (fire_stage t ai cm active)
+        | None -> ()
+    in
+    (* Who a completion of [ai] can wake: [ai] itself plus the consumer
+       of every declared output channel, ascending and deduplicated —
+       the dirty set [complete_event] would have built, precomputed (a
+       superset when a phase produces nothing on some channel, which is
+       harmless: an actor outside the true dirty set is never fireable,
+       so trying it is a no-op).  Walking this in the steady loop
+       replaces the whole mark/sort/clear worklist dance per event. *)
+    let wake =
+      let seen = Array.make n false in
+      Array.init n (fun ai ->
+          seen.(ai) <- true;
+          let acc = ref [ ai ] in
+          Array.iter
+            (fun cm ->
+              Array.iter
+                (List.iter (fun ((ch, _) : int * int) ->
+                     let dst = t.chan_dst.(ch) in
+                     if not seen.(dst) then begin
+                       seen.(dst) <- true;
+                       acc := dst :: !acc
+                     end))
+                cm.cm_out_rates)
+            t.cmodes.(ai);
+          let arr = Array.of_list !acc in
+          Array.iter (fun a -> seen.(a) <- false) arr;
+          Array.sort (fun (a : int) b -> compare a b) arr;
+          arr)
+    in
+    (* [take_worklist] fused in: flags clear before the starts, and
+       nothing in either start path marks actors dirty, so the walked
+       prefix is stable — same argument as the event loop's drain *)
+    let drain_c () =
+      let len = t.dirty_len in
+      if len > 0 then begin
+        sort_worklist t.dirty_buf len;
+        t.dirty_len <- 0;
+        for k = 0 to len - 1 do
+          t.dirty.(t.dirty_buf.(k)) <- false
+        done;
+        for k = 0 to len - 1 do
+          let ai = t.dirty_buf.(k) in
+          if static.(ai) then start_static ai else try_start_gen ai
+        done
+      end
+    in
+    for ai = 0 to n - 1 do
+      mark_dirty t ai
+    done;
+    drain_c ();
+    let obs_off = t.omode = Obs_off in
+    let exporter_on = match t.exporter with Some _ -> true | None -> false in
+    let cap = match until_ms with Some c -> c | None -> infinity in
+    let finished = ref false in
+    while
+      (not !finished) && (not !deopt)
+      && not ((!cur).Cfifo.len = 0 && (!nxt).Cfifo.len = 0)
+    do
+      if (!cur).Cfifo.len = 0 then begin
+        let tmp = !cur in
+        cur := !nxt;
+        nxt := tmp
+      end;
+      let q = !cur in
+      let h = q.Cfifo.head in
+      let tm = q.Cfifo.times.(h) in
+      if tm > cap then begin
+        finished := true;
+        stop := true
+      end
+      else begin
+        incr steps;
+        if !steps > max_events then begin
+          budget_hit := true;
+          stop := true;
+          finished := true
+        end
+        else if t.remaining = 0 then begin
+          stop := true;
+          finished := true
+        end
+        else begin
+          let ai = q.Cfifo.ais.(h) in
+          let outputs = q.Cfifo.us.(h) in
+          let record = q.Cfifo.vs.(h) in
+          t.now <- tm;
+          (* Cfifo.advance, hand-inlined *)
+          q.Cfifo.us.(h) <- q.Cfifo.dummy_u;
+          q.Cfifo.vs.(h) <- q.Cfifo.dummy_v;
+          let h1 = h + 1 in
+          q.Cfifo.head <-
+            (if h1 = Array.length q.Cfifo.times then 0 else h1);
+          q.Cfifo.len <- q.Cfifo.len - 1;
+          if obs_off then begin
+            complete_fast t ~limit ai outputs record;
+            let wl = wake.(ai) in
+            for k = 0 to Array.length wl - 1 do
+              let aj = wl.(k) in
+              if static.(aj) then start_static aj else try_start_gen aj
+            done
+          end
+          else begin
+            complete_event t ~limit ai outputs record;
+            drain_c ()
+          end;
+          if exporter_on then exporter_tick ()
+        end
+      end
+    done;
+    (* Hand the pending entries (if any) back to the heap — deopt
+       continues under the loop below, an early stop leaves a resumable
+       engine — and sync the heap's seq counter either way, so later
+       runs and snapshots number events exactly as the interpreter
+       would have. *)
+    let pending =
+      List.map
+        (fun (time, seq, ai, outputs, record) ->
+          (time, seq, Complete (ai, outputs, record)))
+        (Compiled.Fifo.entries !cur @ Compiled.Fifo.entries !nxt)
+    in
+    Event_heap.load t.events ~next_seq:!cseq pending
+  end
+  else begin
+    for ai = 0 to n - 1 do
+      mark_dirty t ai
+    done;
+    drain ()
+  end;
   while (not !stop) && not (Event_heap.is_empty t.events) do
     (* Peek before popping: an event past [until_ms] stays in the queue,
        so the state at the cap is faithful and [steps] only counts
@@ -942,116 +1555,24 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
             t.now <- time;
             (match ev with
             | Complete (ai, outputs, record) ->
-                t.busy.(ai) <- false;
-                let c = t.completed.(ai) + 1 in
-                t.completed.(ai) <- c;
-                if limit.(ai) <> max_int && c = limit.(ai) then
-                  t.remaining <- t.remaining - 1;
-                List.iter (fun (ch, toks) -> push_tokens t ch toks) outputs;
-                mark_dirty t ai;
-                t.trace <- record :: t.trace;
-                (match t.omode with
-                | Obs_off -> ()
-                | Obs_full ->
-                    let a = t.actor_names.(ai) in
-                    Obs.span t.obs ~cat:"firing" ~track:a
-                      ~name:(a ^ "/" ^ record.mode) ~ts_ms:record.start_ms
-                      ~dur_ms:(record.finish_ms -. record.start_ms)
-                      ~args:
-                        [
-                          ("index", Ev.Int record.index);
-                          ("phase", Ev.Int record.phase);
-                          ("mode", Ev.Str record.mode);
-                        ]
-                      ();
-                    Metrics.incr (Obs.metrics t.obs) ("engine.firings." ^ a);
-                    Metrics.observe (Obs.metrics t.obs) t.firing_metric.(ai)
-                      (record.finish_ms -. record.start_ms)
-                | Obs_sampled s ->
-                    (* hot path: two dense-array writes; the k-th
-                       completion of each actor keeps its span iff
-                       (k-1) mod span_every = 0 — a pure function of
-                       the deterministic completion order.  The span name
-                       is the bare actor (no "/mode" concat): the mode is
-                       still carried in the args, and the sampled stream
-                       has no byte-golden to preserve. *)
-                    let dur = record.finish_ms -. record.start_ms in
-                    t.s_busy.(ai) <- t.s_busy.(ai) +. dur;
-                    if (c - 1) mod s.Obs.span_every = 0 then begin
-                      let a = t.actor_names.(ai) in
-                      Obs.span t.obs ~cat:"firing" ~track:a ~name:a
-                        ~ts_ms:record.start_ms ~dur_ms:dur
-                        ~args:
-                          [
-                            ("index", Ev.Int record.index);
-                            ("phase", Ev.Int record.phase);
-                            ("mode", Ev.Str record.mode);
-                          ]
-                        ();
-                      Metrics.observe (Obs.metrics t.obs) t.firing_metric.(ai)
-                        dur
-                    end)
-            | Tick ai ->
-                (* A clock firing: no inputs, emits control tokens now. *)
-                let a = t.actor_names.(ai) in
-                let index = t.count.(ai) in
-                let phase = index mod t.phases.(ai) in
-                let rates = t.tick_rates.(ai).(phase) in
-                let ctx =
-                  {
-                    Behavior.actor = a;
-                    mode = "tick";
-                    phase;
-                    index;
-                    now_ms = t.now;
-                    inputs = [];
-                    out_rates = rates;
-                  }
-                in
-                let b = t.behaviors.(ai) in
-                let outputs = b.Behavior.work ctx in
-                validate_outputs t ai rates outputs;
-                t.count.(ai) <- index + 1;
-                List.iter (fun (ch, toks) -> push_tokens t ch toks) outputs;
-                t.trace <-
-                  {
-                    actor = a;
-                    index;
-                    phase;
-                    mode = "tick";
-                    start_ms = t.now;
-                    finish_ms = t.now;
-                  }
-                  :: t.trace;
-                if Obs.enabled t.obs then begin
-                  Obs.instant t.obs ~cat:"clock" ~track:a ~name:(a ^ "/tick")
-                    ~ts_ms:t.now
-                    ~args:[ ("index", Ev.Int index); ("phase", Ev.Int phase) ]
-                    ();
-                  Metrics.incr (Obs.metrics t.obs) ("engine.ticks." ^ a)
-                end;
-                (match t.clock_period.(ai) with
-                | Some p -> Event_heap.add t.events (t.now +. p) (Tick ai)
-                | None -> ()));
+                complete_event t ~limit ai outputs record
+            | Tick ai -> tick_event t ai);
             drain ();
-            (match t.exporter with
-            | Some e when !steps land 1023 = 0 ->
-                (* periodic snapshot export: refresh aggregates, then
-                   atomically rewrite TPDF_METRICS_OUT if the interval
-                   elapsed *)
-                flush_sampled t pool;
-                update_gc_gauges t;
-                Om.Exporter.tick e
-            | _ -> ())
+            exporter_tick ()
     end
   done;
-  let end_ms =
-    List.fold_left (fun acc r -> max acc r.finish_ms) 0.0 t.trace
-  in
+  let end_ms = max_finish 0.0 t.trace in
   if Obs.enabled t.obs then begin
     let m = Obs.metrics t.obs in
     Metrics.set_gauge m "engine.end_ms" end_ms;
     Metrics.set_gauge m "engine.steps" (float_of_int !steps);
+    (* which backend executed this run, as a pair of 0/1 gauges — the
+       OpenMetrics exporter maps them to tpdf_engine_backend{backend=…}.
+       Gauges only: nothing enters the obs event stream, so the
+       byte-equivalence contract between backends is unaffected. *)
+    let c = if t.ran_compiled then 1.0 else 0.0 in
+    Metrics.set_gauge m "engine.backend.compiled" c;
+    Metrics.set_gauge m "engine.backend.event" (1.0 -. c);
     flush_sampled t pool;
     update_gc_gauges t;
     match t.exporter with Some e -> Om.Exporter.flush e | None -> ()
@@ -1069,10 +1590,18 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
         Array.to_list
           (Array.map (fun ch -> (ch, t.dropped.(ch))) t.chan_order);
       trace =
-        List.stable_sort
-          (fun a b ->
-            compare (a.start_ms, a.finish_ms) (b.start_ms, b.finish_ms))
-          (List.rev t.trace);
+        (let rev = List.rev t.trace in
+         (* completion order is already start-time order under uniform
+            durations (every compiled run, most event runs); skip the
+            sort then — stable_sort leaves a sorted list untouched, so
+            the result is identical either way *)
+         if trace_sorted rev then rev
+         else
+           List.stable_sort
+             (fun a b ->
+               let c = Float.compare a.start_ms b.start_ms in
+               if c <> 0 then c else Float.compare a.finish_ms b.finish_ms)
+             rev);
     }
   in
   if !budget_hit then
@@ -1090,15 +1619,15 @@ let run_outcome ?(iterations = 1) ?targets ?until_ms ?(max_events = 1_000_000)
           channel_states =
             Array.to_list
               (Array.map
-                 (fun ch -> (ch, Queue.length t.queues.(ch)))
+                 (fun ch -> (ch, Ringbuf.length t.queues.(ch)))
                  t.chan_order);
         },
         stats )
   end
   else Completed stats
 
-let run ?iterations ?targets ?until_ms ?max_events ?pool t =
-  match run_outcome ?iterations ?targets ?until_ms ?max_events ?pool t with
+let run ?backend ?iterations ?targets ?until_ms ?max_events ?pool t =
+  match run_outcome ?backend ?iterations ?targets ?until_ms ?max_events ?pool t with
   | Completed stats -> stats
   | Stalled (s, _) ->
       failwith
@@ -1112,7 +1641,7 @@ let run ?iterations ?targets ?until_ms ?max_events ?pool t =
 let channel_tokens t ch =
   if ch < 0 || ch >= Array.length t.chan_exists || not t.chan_exists.(ch) then
     raise Not_found;
-  List.of_seq (Queue.to_seq t.queues.(ch))
+  Ringbuf.to_list t.queues.(ch)
 
 let pending_events t = Event_heap.length t.events
 
@@ -1126,7 +1655,7 @@ let at_boundary t =
   && Array.for_all (fun d -> d = 0) t.debt
   && List.for_all
        (fun (e : (string, Csdf.Graph.channel) Digraph.edge) ->
-         Queue.length t.queues.(e.id) = e.label.init)
+         Ringbuf.length t.queues.(e.id) = e.label.init)
        (Csdf.Graph.channels skel)
   && List.for_all
        (fun (_, _, ev) -> match ev with Tick _ -> true | Complete _ -> false)
@@ -1166,7 +1695,7 @@ let snapshot ~encode t =
          (fun ch ->
            {
              Snapshot.c_id = ch;
-             c_tokens = List.map tok (List.of_seq (Queue.to_seq t.queues.(ch)));
+             c_tokens = List.map tok (Ringbuf.to_list t.queues.(ch));
              c_debt = t.debt.(ch);
              c_dropped = t.dropped.(ch);
              c_max_occ = t.max_occ.(ch);
@@ -1257,8 +1786,8 @@ let restore ~graph ~valuation ?init_token ?behaviors ?obs ?pool ~default
       if ch < 0 || ch >= Array.length t.chan_exists || not t.chan_exists.(ch)
       then fail "snapshot names unknown channel e%d" ch;
       let q = t.queues.(ch) in
-      Queue.clear q;
-      List.iter (fun tk -> Queue.add (tok tk) q) c.c_tokens;
+      Ringbuf.clear q;
+      List.iter (fun tk -> Ringbuf.push q (tok tk)) c.c_tokens;
       t.debt.(ch) <- c.c_debt;
       t.dropped.(ch) <- c.c_dropped;
       t.max_occ.(ch) <- c.c_max_occ)

@@ -125,6 +125,7 @@ val create :
     fails {!Tpdf_core.Graph.validate}. *)
 
 val run_outcome :
+  ?backend:[ `Event | `Compiled ] ->
   ?iterations:int ->
   ?targets:(string * int) list ->
   ?until_ms:float ->
@@ -141,6 +142,18 @@ val run_outcome :
     first event past the cap stays queued, so a later [run_outcome] call on
     the same instance resumes where the capped run stopped.
 
+    [backend] (default [`Event]) selects the execution strategy, never
+    the semantics: [`Compiled] replays the static-schedule rounds of
+    §III-D with two flat FIFOs instead of the event heap, and is
+    byte-equivalent to [`Event] — outcomes, stats, traces, obs streams
+    and snapshot images are identical (enforced by
+    [test/test_engine_equiv.ml]).  It engages when the run starts clean
+    (no clocked actors, no pool, no pending events or in-flight firings)
+    and firing durations are uniform; any other situation — including
+    the first non-uniform duration mid-run — falls back to the event
+    interpreter transparently, continuing the same run.  See DESIGN.md
+    §8.
+
     A run that cannot complete its firing targets returns {!Stalled} with a
     full diagnosis (blocked actors with their completed/required counts,
     per-channel occupancy at stall time); exhausting the event budget
@@ -153,6 +166,7 @@ val run_outcome :
     bad control tokens, negative durations). *)
 
 val run :
+  ?backend:[ `Event | `Compiled ] ->
   ?iterations:int ->
   ?targets:(string * int) list ->
   ?until_ms:float ->

@@ -125,8 +125,8 @@ let record_abort obs ~offset ~index ~what reason =
     Metrics.incr (Obs.metrics obs) "reconfigure.aborts";
   { abort_index = index; abort_what = what; abort_reason = reason }
 
-let run_sequence ~graph ?(obs = Obs.disabled) ?(behaviors = []) ?targets
-    ?pool ?(txn = false) ~default valuations =
+let run_sequence ~graph ?backend ?(obs = Obs.disabled) ?(behaviors = [])
+    ?targets ?pool ?(txn = false) ~default valuations =
   if valuations = [] then
     invalid_arg "Reconfigure.run_sequence: empty valuation sequence";
   let offset = ref 0.0 in
@@ -144,7 +144,7 @@ let run_sequence ~graph ?(obs = Obs.disabled) ?(behaviors = []) ?targets
     let targets =
       match targets with None -> None | Some f -> Some (f valuation)
     in
-    let stats = Engine.run ?targets eng in
+    let stats = Engine.run ?backend ?targets eng in
     offset := !offset +. stats.Engine.end_ms;
     { valuation; stats }
   in
@@ -174,7 +174,7 @@ let run_sequence ~graph ?(obs = Obs.disabled) ?(behaviors = []) ?targets
                       | None -> None
                       | Some f -> Some (f valuation)
                     in
-                    (Engine.run_outcome ?targets eng, eng))
+                    (Engine.run_outcome ?backend ?targets eng, eng))
           in
           match staged with
           | St_committed stats ->
@@ -331,7 +331,7 @@ let scenario_control_behavior graph scenario =
   Behavior.make (fun ctx ->
       Behavior.produce_at_rates ctx (fun ch _ -> Token.Ctrl (mode_for ch)))
 
-let run_scenarios ~graph ?(obs = Obs.disabled) ?(behaviors = [])
+let run_scenarios ~graph ?backend ?(obs = Obs.disabled) ?(behaviors = [])
     ?(iterations = 1) ?pool ?(txn = false) ~valuation ~default scenarios =
   if scenarios = [] then
     invalid_arg "Reconfigure.run_scenarios: empty scenario sequence";
@@ -356,7 +356,7 @@ let run_scenarios ~graph ?(obs = Obs.disabled) ?(behaviors = [])
         ~behaviors:(behaviors @ ctrl_behaviors)
         ~obs:(Obs.shift obs !offset) ?pool ~default ()
     in
-    let stats = Engine.run ~iterations ~targets eng in
+    let stats = Engine.run ?backend ~iterations ~targets eng in
     offset := !offset +. stats.Engine.end_ms;
     { valuation; stats }
   in
@@ -395,7 +395,7 @@ let run_scenarios ~graph ?(obs = Obs.disabled) ?(behaviors = [])
                         ~behaviors:(behaviors @ ctrl_behaviors)
                         ~obs:(Obs.shift obs !offset) ?pool ~default ()
                     in
-                    (Engine.run_outcome ~iterations ~targets eng, eng))
+                    (Engine.run_outcome ?backend ~iterations ~targets eng, eng))
           in
           match staged with
           | St_committed stats ->

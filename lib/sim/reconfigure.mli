@@ -28,6 +28,7 @@ type report = {
 
 val run_sequence :
   graph:Tpdf_core.Graph.t ->
+  ?backend:[ `Event | `Compiled ] ->
   ?obs:Tpdf_obs.Obs.t ->
   ?behaviors:(string * 'a Behavior.t) list ->
   ?targets:(Tpdf_param.Valuation.t -> (string * int) list) ->
@@ -105,6 +106,7 @@ val starved_actors : Tpdf_core.Graph.t -> scenario -> string list
 
 val run_scenarios :
   graph:Tpdf_core.Graph.t ->
+  ?backend:[ `Event | `Compiled ] ->
   ?obs:Tpdf_obs.Obs.t ->
   ?behaviors:(string * 'a Behavior.t) list ->
   ?iterations:int ->

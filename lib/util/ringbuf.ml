@@ -1,0 +1,70 @@
+(* Flat circular FIFO buffer.  Elements live in a single preallocated
+   array; [push]/[pop] move two integer cursors, so the steady state
+   allocates nothing (unlike [Queue.t], which boxes one cell per
+   element).  The buffer grows by doubling when full, so a capacity
+   hint is an optimisation, never a correctness bound.  Vacated slots
+   are overwritten with [dummy] so popped elements do not leak. *)
+
+type 'a t = {
+  dummy : 'a;
+  mutable arr : 'a array;
+  mutable head : int; (* index of the oldest element *)
+  mutable len : int;
+}
+
+exception Empty
+
+let create ?(capacity = 8) ~dummy () =
+  let capacity = max capacity 1 in
+  { dummy; arr = Array.make capacity dummy; head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+let capacity t = Array.length t.arr
+
+let grow t =
+  let cap = Array.length t.arr in
+  let arr' = Array.make (2 * cap) t.dummy in
+  (* unroll the ring: oldest element lands at index 0 *)
+  let tail = cap - t.head in
+  Array.blit t.arr t.head arr' 0 (min t.len tail);
+  if t.len > tail then Array.blit t.arr 0 arr' tail (t.len - tail);
+  t.arr <- arr';
+  t.head <- 0
+
+let push t v =
+  if t.len = Array.length t.arr then grow t;
+  let cap = Array.length t.arr in
+  let i = t.head + t.len in
+  t.arr.(if i >= cap then i - cap else i) <- v;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then raise Empty;
+  let v = t.arr.(t.head) in
+  t.arr.(t.head) <- t.dummy;
+  let h = t.head + 1 in
+  t.head <- (if h = Array.length t.arr then 0 else h);
+  t.len <- t.len - 1;
+  v
+
+let peek t = if t.len = 0 then raise Empty else t.arr.(t.head)
+
+let clear t =
+  Array.fill t.arr 0 (Array.length t.arr) t.dummy;
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  let cap = Array.length t.arr in
+  for k = 0 to t.len - 1 do
+    let i = t.head + k in
+    f t.arr.(if i >= cap then i - cap else i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun v -> acc := f !acc v) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)

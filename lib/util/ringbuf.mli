@@ -1,0 +1,46 @@
+(** Flat circular FIFO buffer: a preallocated array and two cursors.
+
+    Push/pop allocate nothing in the steady state — unlike [Queue.t],
+    which boxes a cell per element — which is what makes fixed-rate
+    dataflow channels allocation-free once warmed up.  When full the
+    buffer doubles, so variable-rate channels work too; the initial
+    [capacity] is only a hint.  [dummy] fills vacant slots so popped
+    values are not retained by the buffer. *)
+
+type 'a t = {
+  dummy : 'a;
+  mutable arr : 'a array;
+  mutable head : int;  (** index of the oldest element *)
+  mutable len : int;
+}
+(** The representation is exposed so the simulator's hot loops can
+    hand-inline [push]/[pop] (ocamlopt without flambda keeps them as
+    cross-module calls otherwise); treat it as read-only elsewhere.
+    Invariant: the [len] live elements start at [head] and wrap around
+    [arr]; vacant slots hold [dummy]. *)
+
+exception Empty
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Append at the back; doubles the backing array when full. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the oldest element.  @raise Empty when empty. *)
+
+val peek : 'a t -> 'a
+(** Return the oldest element without removing it.
+    @raise Empty when empty. *)
+
+val clear : 'a t -> unit
+(** Drop every element (slots are reset to [dummy]); keeps capacity. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest-to-newest iteration. *)
+
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_list : 'a t -> 'a list

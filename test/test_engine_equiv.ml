@@ -16,6 +16,7 @@ module Engine = Tpdf_sim.Engine
 module Behavior = Tpdf_sim.Behavior
 module Heap = Tpdf_sim.Event_heap
 module Obs = Tpdf_obs.Obs
+module Metrics = Tpdf_obs.Metrics
 module Fault = Tpdf_fault
 
 (* ------------------------------------------------------------------ *)
@@ -481,6 +482,382 @@ let test_until_ms_keeps_event () =
       Alcotest.fail
         ("resumed run did not complete: " ^ describe (canon_new o))
 
+(* ------------------------------------------------------------------ *)
+(* Compiled static-schedule backend vs event interpreter               *)
+(* ------------------------------------------------------------------ *)
+
+(* The compiled backend replays the event heap's pop order with flat
+   round FIFOs; everything observable — outcome constructor, stats,
+   traces, obs event streams — must be byte-identical, for every shipped
+   graph under every mode scenario (including the clocked ones, where
+   the backend declines to engage and must fall through transparently). *)
+let check_file_compiled file () =
+  let path = Filename.concat graphs_dir file in
+  match Serial.load path with
+  | Error m -> Alcotest.fail (file ^ ": " ^ m)
+  | Ok g ->
+      let v = valuation_for g in
+      let scenarios = Sim.Reconfigure.mode_scenarios g in
+      List.iteri
+        (fun i scenario ->
+          let label = Printf.sprintf "%s scenario %d (compiled)" file i in
+          let run backend =
+            run_one_engine
+              ~create:(fun ~graph ~valuation ~behaviors ~obs ~default () ->
+                Engine.create ~graph ~valuation ~behaviors ~obs ~default ())
+              ~run_outcome:(fun ~iterations ~targets ~max_events e ->
+                Engine.run_outcome ~backend ~iterations ~targets ~max_events e)
+              ~canon:canon_new g v scenario
+          in
+          let o_evt, ev_evt = run `Event in
+          let o_cmp, ev_cmp = run `Compiled in
+          if o_cmp <> o_evt then
+            Alcotest.fail
+              (Printf.sprintf "%s: outcome diverged\n  compiled: %s\n  event: %s"
+                 label (describe o_cmp) (describe o_evt));
+          Alcotest.(check int)
+            (label ^ " obs event count")
+            (List.length ev_evt) (List.length ev_cmp);
+          if ev_cmp <> ev_evt then
+            Alcotest.fail (label ^ ": tpdf_obs event streams diverged"))
+        scenarios
+
+(* With observability disabled the compiled backend takes its fused
+   static fast path (wake-list walk, hand-inlined fire/complete), which
+   the obs-enabled variant above never reaches.  Pin the full outcome —
+   stats record, trace included — along that path too, for every graph
+   under every scenario. *)
+let check_file_compiled_noobs file () =
+  let path = Filename.concat graphs_dir file in
+  match Serial.load path with
+  | Error m -> Alcotest.fail (file ^ ": " ^ m)
+  | Ok g ->
+      let v = valuation_for g in
+      let scenarios = Sim.Reconfigure.mode_scenarios g in
+      List.iteri
+        (fun i scenario ->
+          let label =
+            Printf.sprintf "%s scenario %d (compiled, no obs)" file i
+          in
+          let run backend =
+            let ctrl = Sim.Reconfigure.scenario_control_behavior g scenario in
+            let behaviors =
+              List.filter_map
+                (fun a ->
+                  if Graph.is_control g a then Some (a, ctrl) else None)
+                (Graph.actors g)
+            in
+            let targets =
+              List.map
+                (fun a -> (a, 0))
+                (Sim.Reconfigure.starved_actors g scenario)
+            in
+            match Engine.create ~graph:g ~valuation:v ~behaviors ~default:0 ()
+            with
+            | e -> (
+                match
+                  Engine.run_outcome ~backend ~iterations:2 ~targets
+                    ~max_events:20_000 e
+                with
+                | o -> canon_new o
+                | exception Engine.Error err ->
+                    C_error (Engine.error_message err)
+                | exception Failure m -> C_error ("failure: " ^ m))
+            | exception Invalid_argument m -> C_error ("invalid: " ^ m)
+          in
+          let o_evt = run `Event in
+          let o_cmp = run `Compiled in
+          if o_cmp <> o_evt then
+            Alcotest.fail
+              (Printf.sprintf "%s: outcome diverged\n  compiled: %s\n  event: %s"
+                 label (describe o_cmp) (describe o_evt)))
+        scenarios
+
+(* A chain with uniform durations: the backend must actually engage
+   (visible through the engine.backend gauges), and the snapshot taken
+   after the run — including the heap's seq counter — must equal the
+   event engine's image bit for bit. *)
+let chain_graph n =
+  let one = Csdf.Graph.const_rates [ 1 ] in
+  let g = Graph.create () in
+  for i = 0 to n - 1 do
+    Graph.add_kernel g (Printf.sprintf "a%d" i)
+  done;
+  for i = 0 to n - 2 do
+    ignore
+      (Graph.add_channel g
+         ~src:(Printf.sprintf "a%d" i)
+         ~dst:(Printf.sprintf "a%d" (i + 1))
+         ~prod:one ~cons:one ())
+  done;
+  g
+
+let test_compiled_engages () =
+  let backend_gauge backend =
+    let g = chain_graph 4 in
+    let obs = Obs.create () in
+    let e = Engine.create ~graph:g ~valuation:Valuation.empty ~obs ~default:0 () in
+    (match Engine.run_outcome ~backend ~iterations:2 e with
+    | Engine.Completed _ -> ()
+    | o -> Alcotest.fail ("chain did not complete: " ^ describe (canon_new o)));
+    Metrics.gauge (Obs.metrics obs) "engine.backend.compiled"
+  in
+  Alcotest.(check (option (float 0.0)))
+    "compiled gauge under `Compiled" (Some 1.0) (backend_gauge `Compiled);
+  Alcotest.(check (option (float 0.0)))
+    "compiled gauge under `Event" (Some 0.0) (backend_gauge `Event)
+
+let test_compiled_snapshot_identical () =
+  let image backend =
+    let g = chain_graph 5 in
+    let e = Engine.create ~graph:g ~valuation:Valuation.empty ~default:0 () in
+    (match Engine.run_outcome ~backend ~iterations:3 e with
+    | Engine.Completed _ -> ()
+    | o -> Alcotest.fail ("chain did not complete: " ^ describe (canon_new o)));
+    Engine.snapshot ~encode:string_of_int e
+  in
+  if image `Compiled <> image `Event then
+    Alcotest.fail "snapshot images diverged between backends"
+
+(* Snapshot under one backend, restore, continue under the other: the
+   restored engine carries pending events, so `Compiled declines and the
+   continuation is identical either way. *)
+let test_compiled_restore_roundtrip () =
+  let g = chain_graph 4 in
+  let continue_with backend =
+    let e = Engine.create ~graph:g ~valuation:Valuation.empty ~default:0 () in
+    (match Engine.run_outcome ~backend:`Compiled ~iterations:3 ~until_ms:1.5 e with
+    | Engine.Stalled _ -> ()
+    | o -> Alcotest.fail ("expected a capped stall: " ^ describe (canon_new o)));
+    let snap = Engine.snapshot ~encode:string_of_int e in
+    let e' =
+      Engine.restore ~graph:g ~valuation:Valuation.empty ~default:0
+        ~decode:int_of_string snap
+    in
+    canon_new (Engine.run_outcome ~backend ~iterations:3 e')
+  in
+  let c = continue_with `Compiled and v = continue_with `Event in
+  (match c with
+  | C_completed (_, firings, _, _, _) ->
+      Alcotest.(check (list (pair string int)))
+        "restored run completed all firings"
+        [ ("a0", 3); ("a1", 3); ("a2", 3); ("a3", 3) ]
+        firings
+  | o -> Alcotest.fail ("restored run did not complete: " ^ describe o));
+  if c <> v then Alcotest.fail "restored continuations diverged across backends"
+
+(* Non-uniform durations: the backend engages, then the uniformity guard
+   trips mid-run and hands the pending rounds back to the heap.  The
+   deoptimised run must still match the interpreter byte for byte. *)
+let test_compiled_deopt_nonuniform () =
+  let g = chain_graph 4 in
+  let behaviors =
+    List.mapi
+      (fun i a ->
+        (a, Behavior.fill 0 ~duration_ms:(fun _ -> 1.0 +. (0.25 *. float_of_int i))))
+      [ "a0"; "a1"; "a2"; "a3" ]
+  in
+  let run backend =
+    let obs = Obs.create () in
+    let e =
+      Engine.create ~graph:g ~valuation:Valuation.empty ~behaviors ~obs
+        ~default:0 ()
+    in
+    (canon_new (Engine.run_outcome ~backend ~iterations:4 e), Obs.events obs)
+  in
+  let o_cmp, ev_cmp = run `Compiled and o_evt, ev_evt = run `Event in
+  if o_cmp <> o_evt then
+    Alcotest.fail
+      (Printf.sprintf "deopt run diverged\n  compiled: %s\n  event: %s"
+         (describe o_cmp) (describe o_evt));
+  if ev_cmp <> ev_evt then Alcotest.fail "deopt obs streams diverged"
+
+(* until_ms under the compiled backend: the entry at the cap is handed
+   back to the heap with its original (time, seq), so a later run — on
+   either backend — resumes and completes exactly like the interpreter. *)
+let test_compiled_until_ms_resumes () =
+  let g = chain_graph 2 in
+  let e = Engine.create ~graph:g ~valuation:Valuation.empty ~default:0 () in
+  (match Engine.run_outcome ~backend:`Compiled ~iterations:3 ~until_ms:1.5 e with
+  | Engine.Stalled (s, partial) ->
+      Alcotest.(check bool) "cut at the cap" true (s.Engine.at_ms <= 1.5);
+      Alcotest.(check bool)
+        "some progress" true
+        (List.assoc "a0" partial.Engine.firings >= 1);
+      Alcotest.(check bool)
+        "events retained" true
+        (Engine.pending_events e > 0)
+  | o -> Alcotest.fail ("expected a capped stall: " ^ describe (canon_new o)));
+  match Engine.run_outcome ~backend:`Compiled ~iterations:3 e with
+  | Engine.Completed stats ->
+      Alcotest.(check (list (pair string int)))
+        "all firings completed"
+        [ ("a0", 3); ("a1", 3) ]
+        stats.Engine.firings
+  | o ->
+      Alcotest.fail ("resumed run did not complete: " ^ describe (canon_new o))
+
+(* Chaos through the supervisor with backend:`Compiled — restores,
+   retries, kills and non-uniform model costs all force fallback paths;
+   the summary and obs stream must not move. *)
+let test_compiled_chaos () =
+  let run backend =
+    let g, _ = Tpdf_apps.Ofdm_app.tpdf_graph () in
+    let beta = 2 and n = 8 in
+    let v = Tpdf_apps.Ofdm_app.valuation ~beta ~n ~l:1 in
+    let behaviors =
+      List.filter_map
+        (fun a ->
+          if Graph.is_control g a then None
+          else
+            Some
+              ( a,
+                Behavior.fill 0 ~duration_ms:(fun _ ->
+                    Tpdf_apps.Ofdm_app.model_cost_ms ~beta ~n a) ))
+        (Graph.actors g)
+    in
+    let policy =
+      Fault.Policy.make
+        ~deadlines_ms:[ ("QAM", 0.05) ]
+        ~degrade_after:2
+        ~fallbacks:(Fault.Chaos.default_fallbacks g) ()
+    in
+    let specs =
+      [
+        Fault.Fault.spec ~target:"QAM" ~prob:0.6 (Fault.Fault.Overrun 8.0);
+        Fault.Fault.spec ~target:"FFT" ~prob:0.3 (Fault.Fault.Fail 4);
+        Fault.Fault.spec ~prob:0.15 (Fault.Fault.Jitter 0.02);
+      ]
+    in
+    let obs = Obs.create () in
+    let s =
+      Fault.Chaos.run ~graph:g ~seed:42 ~specs ~backend ~policy ~iterations:6
+        ~obs ~behaviors ~valuation:v ()
+    in
+    (s, Obs.events obs)
+  in
+  let s_cmp, ev_cmp = run `Compiled and s_evt, ev_evt = run `Event in
+  Alcotest.(check bool) "chaos summaries identical" true (s_cmp = s_evt);
+  if ev_cmp <> ev_evt then Alcotest.fail "chaos obs streams diverged"
+
+(* Firing counts of a completed compiled run equal the static plan:
+   iterations × repetition vector (Compiled.firing_counts), on a
+   multirate chain of random length and random iteration count. *)
+let prop_compiled_firing_counts =
+  QCheck.Test.make ~name:"compiled firing counts = iterations x q" ~count:50
+    QCheck.(pair (int_range 2 6) (int_range 1 4))
+    (fun (n, iterations) ->
+      let g = Graph.create () in
+      for i = 0 to n - 1 do
+        Graph.add_kernel g (Printf.sprintf "a%d" i)
+      done;
+      for i = 0 to n - 2 do
+        (* alternate 2:1 and 1:2 so the repetition vector is not flat *)
+        let prod = Csdf.Graph.const_rates [ 1 + (i mod 2) ] in
+        let cons = Csdf.Graph.const_rates [ 1 + ((i + 1) mod 2) ] in
+        ignore
+          (Graph.add_channel g
+             ~src:(Printf.sprintf "a%d" i)
+             ~dst:(Printf.sprintf "a%d" (i + 1))
+             ~prod ~cons ())
+      done;
+      let e = Engine.create ~graph:g ~valuation:Valuation.empty ~default:0 () in
+      match Engine.run_outcome ~backend:`Compiled ~iterations e with
+      | Engine.Completed stats ->
+          let conc =
+            Csdf.Concrete.make (Graph.skeleton g) Valuation.empty
+          in
+          let plan =
+            Sim.Compiled.firing_counts conc ~iterations (Graph.actors g)
+          in
+          List.sort compare stats.Engine.firings = List.sort compare plan
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Event heap growth and edge paths                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_empty_edges () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.(check (option (float 0.0))) "peek_time empty" None (Heap.peek_time h);
+  Alcotest.(check bool) "pop empty" true (Heap.pop h = None);
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length empty" 0 (Heap.length h);
+  Alcotest.(check int) "next_seq starts at 0" 0 (Heap.next_seq h)
+
+(* Push far past any plausible initial capacity so the backing array
+   doubles several times, then verify the full pop order. *)
+let test_heap_growth () =
+  let h = Heap.create () in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    (* decreasing times: every add sifts to the root, worst case *)
+    Heap.add h (float_of_int (n - i)) i
+  done;
+  Alcotest.(check int) "length after growth" n (Heap.length h);
+  let rec check k =
+    match Heap.pop h with
+    | None -> Alcotest.(check int) "popped all" n k
+    | Some (t, v) ->
+        if t <> float_of_int (k + 1) || v <> n - 1 - k then
+          Alcotest.fail
+            (Printf.sprintf "pop %d: got (%g, %d), want (%d, %d)" k t v (k + 1)
+               (n - 1 - k));
+        check (k + 1)
+  in
+  check 0
+
+let test_heap_load_out_of_order () =
+  let h = Heap.create () in
+  (* deliberately scrambled: ties on time resolved by seq *)
+  Heap.load h ~next_seq:10
+    [ (2.0, 7, "d"); (1.0, 3, "b"); (1.0, 1, "a"); (2.0, 4, "c") ];
+  Alcotest.(check int) "next_seq taken from load" 10 (Heap.next_seq h);
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list string))
+    "pop order is (time, seq)"
+    [ "a"; "b"; "c"; "d" ]
+    (List.rev !order);
+  (* seq validation: an entry at/past next_seq is rejected *)
+  (match Heap.load h ~next_seq:5 [ (1.0, 5, "x") ] with
+  | () -> Alcotest.fail "load accepted seq >= next_seq"
+  | exception Invalid_argument _ -> ());
+  (* load with [] is a pure seq sync on an empty heap *)
+  Heap.load h ~next_seq:42 [];
+  Alcotest.(check int) "seq sync" 42 (Heap.next_seq h);
+  Alcotest.(check bool) "still empty" true (Heap.is_empty h)
+
+let compiled_equiv_tests =
+  List.map
+    (fun f -> Alcotest.test_case (f ^ " compiled") `Quick (check_file_compiled f))
+    graph_files
+  @ List.map
+      (fun f ->
+        Alcotest.test_case (f ^ " compiled no-obs") `Quick
+          (check_file_compiled_noobs f))
+      graph_files
+  @ [
+      Alcotest.test_case "backend gauge" `Quick test_compiled_engages;
+      Alcotest.test_case "snapshot identical" `Quick
+        test_compiled_snapshot_identical;
+      Alcotest.test_case "restore roundtrip" `Quick
+        test_compiled_restore_roundtrip;
+      Alcotest.test_case "deopt on non-uniform durations" `Quick
+        test_compiled_deopt_nonuniform;
+      Alcotest.test_case "until_ms resumes" `Quick
+        test_compiled_until_ms_resumes;
+      Alcotest.test_case "chaos via supervisor" `Quick test_compiled_chaos;
+      QCheck_alcotest.to_alcotest prop_compiled_firing_counts;
+    ]
+
 let () =
   Alcotest.run "engine_equiv"
     [
@@ -488,6 +865,10 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_heap_matches_model;
           QCheck_alcotest.to_alcotest prop_heap_fifo_ties;
+          Alcotest.test_case "empty edges" `Quick test_heap_empty_edges;
+          Alcotest.test_case "growth past capacity" `Quick test_heap_growth;
+          Alcotest.test_case "load out of order" `Quick
+            test_heap_load_out_of_order;
         ] );
       ( "scenarios",
         List.map
@@ -495,6 +876,7 @@ let () =
           graph_files );
       ("chaos", [ Alcotest.test_case "golden summary" `Quick test_chaos_golden ]);
       ("par-equiv", par_equiv_tests);
+      ("compiled-equiv", compiled_equiv_tests);
       ( "until_ms",
         [
           Alcotest.test_case "event kept at cap" `Quick
