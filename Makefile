@@ -27,6 +27,8 @@ bench-smoke:
 	  TPDF_BENCH_CKPT_OUT=BENCH_ckpt.smoke.json dune exec bench/main.exe
 	TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E20 \
 	  TPDF_BENCH_OBS_OUT=BENCH_obs.smoke.json dune exec bench/main.exe
+	TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E21 \
+	  TPDF_BENCH_PARAM_OUT=BENCH_param.smoke.json dune exec bench/main.exe
 	TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E22 \
 	  TPDF_BENCH_SERVE_OUT=BENCH_serve.smoke.json dune exec bench/main.exe
 

@@ -11,7 +11,9 @@
                        only those experiments
      TPDF_BENCH_SMOKE  when set to 1, E17 runs reduced graph sizes (CI)
      TPDF_BENCH_OUT    output path of the E17 perf JSON
-                       (default BENCH_engine.json) *)
+                       (default BENCH_engine.json)
+     TPDF_BENCH_PARAM_OUT  output path of the E21 symbolic-kernel JSON
+                       (default BENCH_param.json) *)
 
 open Bechamel
 open Toolkit
@@ -1296,6 +1298,388 @@ let e20_obs () =
   Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* E21: symbolic kernel — hash-consed algebra vs the frozen legacy     *)
+(* ------------------------------------------------------------------ *)
+
+(* Two workloads, both seeded and deterministic:
+
+   - "chain-rand" (kind=solve): a chain of single-phase actors whose rates
+     are random parameter monomials.  The raw repetition vector accumulates
+     polynomial denominators with many distinct parameter monomials — the
+     workload where the pre-rewrite normalize loop (multiply everything by
+     the first surviving denominator, rescan) is quadratic in the actor
+     count.  Solved both by the current kernel (Csdf.Repetition.solve) and
+     by a faithful port of the pre-rewrite pipeline over the frozen
+     Tpdf_param.Legacy modules; outputs are asserted identical and the
+     speedup column is gated in CI on the 100-parameter row.
+
+   - "blocks" (kind=rate_safety): Fig. 2 control blocks chained back to
+     back, one parameter per block, driving Analysis.repetition +
+     Analysis.rate_safety end to end on ~1000 actors with ~100 parameters
+     (degree-~170 monomials in the repetition vector). *)
+
+module Legacy = Tpdf_param.Legacy
+module Q = Tpdf_util.Q
+
+let e21_pname i = Printf.sprintf "p%02d" i
+let e21_aname i = Printf.sprintf "K%04d" i
+
+(* A random monomial rate over [params] parameters: 1-2 distinct factors,
+   exponents 1-2, coefficient 1 (integer coefficients would telescope into
+   2^actors numeric content on a 1000-edge chain and overflow native
+   ints — for both kernels). *)
+let e21_rand_spec prng ~params =
+  let nfac = 1 + Tpdf_util.Prng.int prng 2 in
+  let rec pick acc k =
+    if k = 0 then acc
+    else
+      let p = Tpdf_util.Prng.int prng params in
+      if List.mem_assoc p acc then pick acc k
+      else pick ((p, 1 + Tpdf_util.Prng.int prng 2) :: acc) (k - 1)
+  in
+  pick [] nfac
+
+let e21_poly_of_spec spec =
+  Poly.monomial Q.one
+    (Monomial.of_list (List.map (fun (i, e) -> (e21_pname i, e)) spec))
+
+let e21_lpoly_of_spec spec =
+  Legacy.Poly.monomial Q.one
+    (Legacy.Monomial.of_list (List.map (fun (i, e) -> (e21_pname i, e)) spec))
+
+let e21_chain_specs ~params ~actors =
+  let prng = Tpdf_util.Prng.create (210_000 + (params * 1000) + actors) in
+  Array.init (actors - 1) (fun _ ->
+      (e21_rand_spec prng ~params, e21_rand_spec prng ~params))
+
+let e21_chain_graph ~actors specs =
+  let g = Csdf.Graph.create () in
+  for i = 0 to actors - 1 do
+    Csdf.Graph.add_actor g (e21_aname i) ~phases:1
+  done;
+  Array.iteri
+    (fun i (ps, cs) ->
+      ignore
+        (Csdf.Graph.add_channel g ~src:(e21_aname i) ~dst:(e21_aname (i + 1))
+           ~prod:[| e21_poly_of_spec ps |]
+           ~cons:[| e21_poly_of_spec cs |]
+           ()))
+    specs;
+  g
+
+(* The pre-rewrite solve pipeline (propagate, verify, normalize with the
+   first-fractional clearing loop), ported verbatim onto the frozen legacy
+   kernel.  The chain is its own spanning tree, so BFS propagation from the
+   first actor is just the left-to-right product. *)
+let e21_legacy_chain_solve specs =
+  let n = Array.length specs + 1 in
+  let r = Array.make n Legacy.Frac.one in
+  for i = 0 to n - 2 do
+    let prod, cons = specs.(i) in
+    r.(i + 1) <- Legacy.Frac.mul r.(i) (Legacy.Frac.make prod cons)
+  done;
+  Array.iteri
+    (fun i (prod, cons) ->
+      let lhs = Legacy.Frac.mul r.(i) (Legacy.Frac.of_poly prod)
+      and rhs = Legacy.Frac.mul r.(i + 1) (Legacy.Frac.of_poly cons) in
+      if not (Legacy.Frac.equal lhs rhs) then
+        failwith "E21: legacy chain verify failed")
+    specs;
+  let entries = ref (Array.to_list r) in
+  let fractional () =
+    List.find_opt
+      (fun f -> not (Legacy.Poly.equal (Legacy.Frac.den f) Legacy.Poly.one))
+      !entries
+  in
+  let rec clear () =
+    match fractional () with
+    | None -> ()
+    | Some f ->
+        let d = Legacy.Frac.of_poly (Legacy.Frac.den f) in
+        entries := List.map (fun x -> Legacy.Frac.mul x d) !entries;
+        clear ()
+  in
+  clear ();
+  let polys =
+    List.map
+      (fun f ->
+        match Legacy.Frac.to_poly f with Some p -> p | None -> assert false)
+      !entries
+  in
+  let content =
+    List.fold_left
+      (fun acc p -> Q.gcd acc (Legacy.Poly.content p))
+      Q.zero polys
+  in
+  let polys =
+    if Q.is_zero content then polys
+    else List.map (fun p -> Legacy.Poly.scale (Q.inv content) p) polys
+  in
+  let common =
+    List.fold_left (fun acc p -> Legacy.Poly.gcd acc p) Legacy.Poly.zero polys
+  in
+  let polys =
+    if Legacy.Poly.is_zero common || Legacy.Poly.equal common Legacy.Poly.one
+    then polys
+    else
+      List.map
+        (fun p ->
+          match Legacy.Poly.divide p common with
+          | Some q -> q
+          | None -> assert false)
+        polys
+  in
+  match polys with
+  | p :: _
+    when (not (Legacy.Poly.is_zero p))
+         && Q.sign (snd (Legacy.Poly.leading p)) < 0 ->
+      List.map Legacy.Poly.neg polys
+  | _ -> polys
+
+(* Fig. 2 control blocks chained F(b) -> A(b+1); block b is parameterized
+   by p(b mod params). *)
+let e21_blocks_graph ~params ~blocks =
+  let g = Graph.create () in
+  let r = Csdf.Graph.rates and c = Csdf.Graph.const_rates in
+  for b = 0 to blocks - 1 do
+    let n s = Printf.sprintf "%s%04d" s b in
+    let p = e21_pname (b mod params) in
+    Graph.add_kernel g (n "A");
+    Graph.add_kernel g (n "B");
+    Graph.add_control g (n "C");
+    Graph.add_kernel g (n "D");
+    Graph.add_kernel g (n "E");
+    Graph.add_kernel g ~phases:2 ~kind:Graph.Transaction (n "F");
+    ignore
+      (Graph.add_channel g ~src:(n "A") ~dst:(n "B") ~prod:(r [ p ])
+         ~cons:(c [ 1 ]) ());
+    ignore
+      (Graph.add_channel g ~src:(n "B") ~dst:(n "C") ~prod:(c [ 1 ])
+         ~cons:(c [ 2 ]) ());
+    ignore
+      (Graph.add_channel g ~src:(n "B") ~dst:(n "D") ~prod:(c [ 1 ])
+         ~cons:(c [ 2 ]) ());
+    ignore
+      (Graph.add_channel g ~src:(n "B") ~dst:(n "E") ~prod:(c [ 1 ])
+         ~cons:(c [ 1 ]) ());
+    ignore
+      (Graph.add_control_channel g ~src:(n "C") ~dst:(n "F") ~prod:(c [ 2 ])
+         ~cons:(c [ 1; 1 ]) ());
+    let e6 =
+      Graph.add_channel g ~src:(n "D") ~dst:(n "F") ~prod:(c [ 2 ])
+        ~cons:(c [ 1; 1 ]) ~priority:1 ()
+    in
+    let e7 =
+      Graph.add_channel g ~src:(n "E") ~dst:(n "F") ~prod:(c [ 1 ])
+        ~cons:(c [ 0; 2 ]) ~priority:2 ()
+    in
+    Graph.set_modes g (n "F")
+      [
+        Mode.make ~inputs:(Mode.Input_subset [ e6 ]) "take_e6";
+        Mode.make ~inputs:(Mode.Input_subset [ e7 ]) "take_e7";
+      ];
+    if b > 0 then
+      ignore
+        (Graph.add_channel g
+           ~src:(Printf.sprintf "F%04d" (b - 1))
+           ~dst:(n "A") ~prod:(c [ 1; 1 ]) ~cons:(c [ 1 ]) ())
+  done;
+  g
+
+let e21_time_best reps f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = Tpdf_obs.Obs.now_wall_ms () in
+    let r = f () in
+    let dt = Tpdf_obs.Obs.now_wall_ms () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+type e21_row = {
+  p_kind : string;
+  p_graph : string;
+  p_params : int;
+  p_actors : int;
+  p_new_ms : float;
+  p_memo_off_ms : float;
+  p_legacy_ms : float; (* nan when not measured *)
+  p_speedup : float; (* nan when not measured *)
+  p_outputs_match : bool option;
+}
+
+let e21_solve_row ~params ~actors ~legacy_reps ~new_reps =
+  let specs = e21_chain_specs ~params ~actors in
+  let g = e21_chain_graph ~actors specs in
+  let lspecs =
+    Array.map
+      (fun (ps, cs) -> (e21_lpoly_of_spec ps, e21_lpoly_of_spec cs))
+      specs
+  in
+  let sv, new_ms = e21_time_best new_reps (fun () -> Csdf.Repetition.solve g) in
+  let svo, memo_off_ms =
+    Memo.set_enabled false;
+    Fun.protect
+      ~finally:(fun () -> Memo.set_enabled true)
+      (fun () -> e21_time_best new_reps (fun () -> Csdf.Repetition.solve g))
+  in
+  let lv, legacy_ms =
+    e21_time_best legacy_reps (fun () -> e21_legacy_chain_solve lspecs)
+  in
+  let outputs_match =
+    List.length sv.Csdf.Repetition.r = List.length lv
+    && List.for_all2
+         (fun (_, p) lp ->
+           String.equal (Poly.to_string p) (Legacy.Poly.to_string lp))
+         sv.Csdf.Repetition.r lv
+    && List.for_all2
+         (fun (_, p) (_, p') -> Poly.equal p p')
+         sv.Csdf.Repetition.r svo.Csdf.Repetition.r
+  in
+  {
+    p_kind = "solve";
+    p_graph = "chain-rand";
+    p_params = params;
+    p_actors = actors;
+    p_new_ms = new_ms;
+    p_memo_off_ms = memo_off_ms;
+    p_legacy_ms = legacy_ms;
+    p_speedup = legacy_ms /. new_ms;
+    p_outputs_match = Some outputs_match;
+  }
+
+let e21_rate_safety_row ~params ~blocks ~reps =
+  let g = e21_blocks_graph ~params ~blocks in
+  let actors = List.length (Graph.actors g) in
+  let ok, new_ms =
+    e21_time_best reps (fun () ->
+        ignore (Analysis.repetition g);
+        Analysis.rate_safety g)
+  in
+  (match ok with
+  | Ok () -> ()
+  | Error _ -> failwith "E21: blocks graph unexpectedly rate-unsafe");
+  let oko, memo_off_ms =
+    Memo.set_enabled false;
+    Fun.protect
+      ~finally:(fun () -> Memo.set_enabled true)
+      (fun () ->
+        e21_time_best reps (fun () ->
+            ignore (Analysis.repetition g);
+            Analysis.rate_safety g))
+  in
+  (match oko with
+  | Ok () -> ()
+  | Error _ -> failwith "E21: blocks graph rate-unsafe with memo off");
+  {
+    p_kind = "rate_safety";
+    p_graph = "blocks";
+    p_params = params;
+    p_actors = actors;
+    p_new_ms = new_ms;
+    p_memo_off_ms = memo_off_ms;
+    p_legacy_ms = nan;
+    p_speedup = nan;
+    p_outputs_match = None;
+  }
+
+let e21_param () =
+  section "E21" "Symbolic kernel: hash-consed algebra vs pre-rewrite baseline";
+  let smoke = bench_smoke in
+  let rows =
+    if smoke then
+      [
+        e21_solve_row ~params:5 ~actors:50 ~legacy_reps:2 ~new_reps:3;
+        e21_solve_row ~params:10 ~actors:100 ~legacy_reps:2 ~new_reps:3;
+        e21_rate_safety_row ~params:10 ~blocks:10 ~reps:2;
+      ]
+    else
+      [
+        e21_solve_row ~params:10 ~actors:100 ~legacy_reps:3 ~new_reps:5;
+        e21_solve_row ~params:30 ~actors:300 ~legacy_reps:2 ~new_reps:5;
+        e21_solve_row ~params:100 ~actors:1000 ~legacy_reps:1 ~new_reps:5;
+        e21_rate_safety_row ~params:10 ~blocks:17 ~reps:3;
+        e21_rate_safety_row ~params:100 ~blocks:166 ~reps:2;
+      ]
+  in
+  Printf.printf "%-12s %-10s %7s %7s %10s %13s %11s %9s %6s\n" "kind" "graph"
+    "params" "actors" "new ms" "memo-off ms" "legacy ms" "speedup" "match";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %-10s %7d %7d %10.3f %13.3f %11s %9s %6s\n%!"
+        r.p_kind r.p_graph r.p_params r.p_actors r.p_new_ms r.p_memo_off_ms
+        (if Float.is_nan r.p_legacy_ms then "-"
+         else Printf.sprintf "%.1f" r.p_legacy_ms)
+        (if Float.is_nan r.p_speedup then "-"
+         else Printf.sprintf "%.1fx" r.p_speedup)
+        (match r.p_outputs_match with
+        | None -> "-"
+        | Some true -> "yes"
+        | Some false -> "NO!"))
+    rows;
+  let gauges = Memo.gauges () in
+  let gauge name =
+    match List.assoc_opt name gauges with Some v -> v | None -> 0.0
+  in
+  Printf.printf
+    "kernel caches: %.0f memo hits, %.0f misses; intern tables: %.0f \
+     monomials, %.0f polys, %.0f fracs\n"
+    (gauge "param.memo.hits") (gauge "param.memo.misses")
+    (gauge "param.intern.monomials")
+    (gauge "param.intern.polys") (gauge "param.intern.fracs");
+  let out =
+    match Sys.getenv_opt "TPDF_BENCH_PARAM_OUT" with
+    | Some p -> p
+    | None -> "BENCH_param.json"
+  in
+  let oc = open_out out in
+  let fp fmt = Printf.fprintf oc fmt in
+  fp "{\n";
+  fp "  \"experiment\": \"E21\",\n";
+  fp "  \"smoke\": %b,\n" smoke;
+  fp_metadata oc;
+  fp "  \"baseline\": {\n";
+  fp
+    "    \"kernel\": \"pre-rewrite assoc-list Monomial/Poly/Frac \
+     (Tpdf_param.Legacy), first-fractional denominator clearing\"\n";
+  fp "  },\n";
+  fp "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      let opt_f v =
+        if Float.is_nan v then "null" else Printf.sprintf "%.3f" v
+      in
+      fp
+        "    { \"kind\": %S, \"graph\": %S, \"params\": %d, \"actors\": %d, \
+         \"new_ms\": %.3f, \"new_memo_off_ms\": %.3f, \"legacy_ms\": %s, \
+         \"speedup\": %s, \"outputs_match\": %s }%s\n"
+        r.p_kind r.p_graph r.p_params r.p_actors r.p_new_ms r.p_memo_off_ms
+        (opt_f r.p_legacy_ms) (opt_f r.p_speedup)
+        (match r.p_outputs_match with
+        | None -> "null"
+        | Some b -> string_of_bool b)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  fp "  ],\n";
+  fp "  \"gauges\": {\n";
+  fp "    \"param_memo_hits\": %.0f,\n" (gauge "param.memo.hits");
+  fp "    \"param_memo_misses\": %.0f,\n" (gauge "param.memo.misses");
+  fp "    \"param_intern_monomials\": %.0f,\n" (gauge "param.intern.monomials");
+  fp "    \"param_intern_polys\": %.0f,\n" (gauge "param.intern.polys");
+  fp "    \"param_intern_fracs\": %.0f\n" (gauge "param.intern.fracs");
+  fp "  }\n";
+  fp "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  if
+    List.exists
+      (fun r -> r.p_outputs_match = Some false)
+      rows
+  then failwith "E21: rewritten kernel disagrees with the legacy baseline"
+
+(* ------------------------------------------------------------------ *)
 (* E22: serving — multi-tenant throughput, p95 latency, fault column   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1594,6 +1978,7 @@ let () =
       ("E18", e18_par);
       ("E19", e19_ckpt);
       ("E20", e20_obs);
+      ("E21", e21_param);
       ("E22", e22_serve);
     ]
   in

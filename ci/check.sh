@@ -338,6 +338,74 @@ else
   grep -q '"ok": true' BENCH_obs.json
 fi
 
+# Symbolic-kernel bench smoke: E21 at reduced sizes must produce a
+# parseable BENCH_param.json whose rewritten-vs-legacy outputs match on
+# every solve row.  The checked-in full-size file is held to the
+# acceptance gate: on the 100-parameter, 1000-actor chain the hash-consed
+# kernel must solve in single-digit milliseconds and record a >= 10x
+# speedup over the frozen pre-rewrite kernel.
+echo "== smoke: bench E21 (symbolic kernel) =="
+TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E21 \
+  TPDF_BENCH_PARAM_OUT="$bench_dir/BENCH_param.json" \
+  dune exec bench/main.exe > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$bench_dir/BENCH_param.json" BENCH_param.json <<'EOF'
+import json, sys
+
+def check(path, smoke):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["experiment"] == "E21", f"{path}: unexpected experiment tag"
+    assert doc["smoke"] == smoke, f"{path}: unexpected smoke flag"
+    assert doc["metadata"]["cores_detected"] >= 1, f"{path}: metadata missing"
+    assert doc["rows"], f"{path}: no rows recorded"
+    kinds = {r["kind"] for r in doc["rows"]}
+    assert kinds == {"solve", "rate_safety"}, f"{path}: missing a kind: {kinds}"
+    for r in doc["rows"]:
+        assert r["new_ms"] > 0 and r["new_memo_off_ms"] > 0, \
+            f"{path}: non-positive timing in {r}"
+        if r["kind"] == "solve":
+            assert r["outputs_match"] is True, \
+                f"{path}: kernel disagrees with legacy baseline on {r}"
+            assert r["legacy_ms"] > 0 and r["speedup"] > 0, \
+                f"{path}: missing baseline column on {r}"
+    assert doc["gauges"]["param_intern_monomials"] > 0, \
+        f"{path}: intern-table gauges missing"
+    return doc
+
+check(sys.argv[1], smoke=True)
+full = check(sys.argv[2], smoke=False)
+big = [r for r in full["rows"]
+       if r["kind"] == "solve" and r["params"] == 100 and r["actors"] == 1000]
+assert big, "checked-in BENCH_param.json has no 100-param/1000-actor solve"
+r = big[0]
+assert r["new_ms"] < 10.0, \
+    f"100-param solve above single-digit ms: {r['new_ms']}"
+assert r["speedup"] >= 10.0, \
+    f"symbolic kernel below 10x over pre-rewrite baseline: {r['speedup']}"
+rs = [r for r in full["rows"] if r["kind"] == "rate_safety"]
+assert any(r["params"] >= 100 and r["actors"] >= 996 for r in rs), \
+    "checked-in BENCH_param.json has no full-size rate-safety row"
+EOF
+else
+  grep -q '"experiment": "E21"' "$bench_dir/BENCH_param.json"
+  grep -q '"outputs_match": true' "$bench_dir/BENCH_param.json"
+  grep -q '"experiment": "E21"' BENCH_param.json
+  grep -q '"outputs_match": true' BENCH_param.json
+  if grep -q '"outputs_match": false' BENCH_param.json; then
+    echo "symbolic kernel disagrees with legacy baseline" >&2
+    exit 1
+  fi
+fi
+
+# Memo kill-switch: the analysis suites must pass with TPDF_PARAM_MEMO=0,
+# pinning that memoization only caches value-deterministic results and
+# never changes a symbolic answer.
+echo "== analysis suites with TPDF_PARAM_MEMO=0 =="
+TPDF_PARAM_MEMO=0 dune exec test/test_param.exe > /dev/null
+TPDF_PARAM_MEMO=0 dune exec test/test_csdf.exe > /dev/null
+TPDF_PARAM_MEMO=0 dune exec test/test_tpdf.exe > /dev/null
+
 # Exit-code contract: the unified table must be in `--help`, and the
 # codes must be live — a parse error really exits 124, a rejected graph
 # really exits 1.  (Exit 3 is exercised by the crash-recovery smoke

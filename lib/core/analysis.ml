@@ -4,9 +4,20 @@ module Digraph = Tpdf_graph.Digraph
 module Obs = Tpdf_obs.Obs
 module Metrics = Tpdf_obs.Metrics
 
+(* Publish the symbolic-kernel cache statistics (memo hit/miss totals,
+   memo-table and intern-table sizes) as gauges after every symbolic
+   analysis, so solver runs show up in the OpenMetrics export. *)
+let record_param_gauges obs =
+  if Obs.enabled obs then begin
+    let m = Obs.metrics obs in
+    List.iter (fun (k, v) -> Metrics.set_gauge m k v) (Memo.gauges ())
+  end
+
 let repetition ?(obs = Obs.disabled) g =
   Obs.wall_span obs "analysis.repetition" (fun () ->
-      Csdf.Repetition.solve (Graph.skeleton g))
+      let r = Csdf.Repetition.solve (Graph.skeleton g) in
+      record_param_gauges obs;
+      r)
 
 let consistent g = Csdf.Repetition.is_consistent (Graph.skeleton g)
 
@@ -146,6 +157,7 @@ let rate_safety ?(obs = Obs.disabled) g =
         | Ok () -> ()
         | Error l -> Metrics.incr ~by:(List.length l) m "analysis.rate_violations"
       end;
+      record_param_gauges obs;
       result)
 
 let rate_safe g = match rate_safety g with Ok () -> true | Error _ -> false

@@ -84,15 +84,196 @@ let verify g r =
                 (Hashtbl.find r e.dst) Poly.pp y)))
     (Graph.channels g)
 
+(* Fast path: when every channel's total production and consumption rate is
+   a single term — true of any graph whose rates are constants or rational
+   multiples of parameter powers — every ratio r̂(a) is a power product
+   c · ∏ p^e with integer (possibly negative) exponents.  Represent those
+   directly as a coefficient plus a dense exponent vector: propagation,
+   verification and normalization become integer-array arithmetic, with no
+   polynomial division, GCD or interning on the hot path.  The normalized
+   repetition vector is the unique least positive integer-coefficient one,
+   so on success the result is identical to the general path's (canonical
+   polynomials are unique per value); any deviation — a multi-term rate,
+   an unbalanced channel, a zero rate, coefficient overflow, an empty or
+   disconnected graph — abandons the fast path and reruns the general
+   pipeline so every diagnostic stays byte-for-byte the same. *)
+exception Fallback
+
+let solve_fast g =
+  let channels = Graph.channels g in
+  let term p =
+    match Poly.terms p with [ (m, c) ] -> (m, c) | _ -> raise Fallback
+  in
+  let rates =
+    List.map
+      (fun (e : (string, Graph.channel) Digraph.edge) ->
+        (e.id, term (Graph.prod_total e.label), term (Graph.cons_total e.label)))
+      channels
+  in
+  (* Dense variable indexing over the parameters that actually occur, in
+     name order so exponent vectors read out in canonical monomial order. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (_, (mx, _), (my, _)) ->
+      List.iter
+        (fun (v, _) -> if not (Hashtbl.mem seen v) then Hashtbl.add seen v ())
+        (Monomial.to_list mx @ Monomial.to_list my))
+    rates;
+  let names =
+    Array.of_list
+      (List.sort String.compare (Hashtbl.fold (fun v () l -> v :: l) seen []))
+  in
+  let n = Array.length names in
+  let idx = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.add idx v i) names;
+  (* Per channel, one dense array of exponent differences X - Y: enough for
+     both propagation directions and the balance check. *)
+  let by_edge = Hashtbl.create 16 in
+  List.iter
+    (fun (eid, (mx, cx), (my, cy)) ->
+      let d = Array.make n 0 in
+      List.iter
+        (fun (v, k) -> d.(Hashtbl.find idx v) <- k)
+        (Monomial.to_list mx);
+      List.iter
+        (fun (v, k) ->
+          let i = Hashtbl.find idx v in
+          d.(i) <- d.(i) - k)
+        (Monomial.to_list my);
+      Hashtbl.replace by_edge eid (cx, cy, d))
+    rates;
+  let dg = Graph.digraph g in
+  match Digraph.vertices dg with
+  | [] -> raise Fallback
+  | root :: _ ->
+      let r = Hashtbl.create 16 in
+      Hashtbl.replace r root (Q.one, Array.make n 0);
+      let queue = Queue.create () in
+      Queue.add root queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        let cv, ev = Hashtbl.find r v in
+        List.iter
+          (fun (e : (string, Graph.channel) Digraph.edge) ->
+            let fwd = e.src = v in
+            let other = if fwd then e.dst else e.src in
+            if not (Hashtbl.mem r other) then begin
+              let cx, cy, d = Hashtbl.find by_edge e.id in
+              let c =
+                if fwd then Q.div (Q.mul cv cx) cy else Q.div (Q.mul cv cy) cx
+              in
+              let eo = Array.make n 0 in
+              if fwd then
+                for i = 0 to n - 1 do
+                  Array.unsafe_set eo i
+                    (Array.unsafe_get ev i + Array.unsafe_get d i)
+                done
+              else
+                for i = 0 to n - 1 do
+                  Array.unsafe_set eo i
+                    (Array.unsafe_get ev i - Array.unsafe_get d i)
+                done;
+              Hashtbl.replace r other (c, eo);
+              Queue.add other queue
+            end)
+          (Digraph.incident dg v)
+      done;
+      if not (List.for_all (Hashtbl.mem r) (Digraph.vertices dg)) then
+        raise Fallback;
+      (* Balance check: r(src)·X = r(dst)·Y on every channel. *)
+      List.iter
+        (fun (e : (string, Graph.channel) Digraph.edge) ->
+          let cx, cy, d = Hashtbl.find by_edge e.id in
+          let cs, es = Hashtbl.find r e.src
+          and cd, ed = Hashtbl.find r e.dst in
+          if not (Q.equal (Q.mul cs cx) (Q.mul cd cy)) then raise Fallback;
+          (* r(src)·X = r(dst)·Y componentwise: es + (X - Y) = ed. *)
+          for i = 0 to n - 1 do
+            if
+              Array.unsafe_get es i + Array.unsafe_get d i
+              <> Array.unsafe_get ed i
+            then raise Fallback
+          done)
+        channels;
+      (* Normalize: subtract the per-variable minimum exponent (= clearing
+         denominators then cancelling the common monomial), divide by the
+         rational content, fix the sign on the first entry. *)
+      let entries =
+        List.map (fun a -> (a, Hashtbl.find r a)) (Graph.actors g)
+      in
+      let mins = Array.make n max_int in
+      List.iter
+        (fun (_, (_, e)) ->
+          for i = 0 to n - 1 do
+            if e.(i) < mins.(i) then mins.(i) <- e.(i)
+          done)
+        entries;
+      let content =
+        List.fold_left (fun acc (_, (c, _)) -> Q.gcd acc c) Q.zero entries
+      in
+      let scale = if Q.is_zero content then Q.one else Q.inv content in
+      let scale =
+        match entries with
+        | (_, (c, _)) :: _ when Q.sign (Q.mul c scale) < 0 -> Q.neg scale
+        | _ -> scale
+      in
+      let to_poly (c, e) =
+        let w = ref 0 in
+        for i = 0 to n - 1 do
+          let d = Array.unsafe_get e i - Array.unsafe_get mins i in
+          Array.unsafe_set e i d;
+          if d > 0 then incr w
+        done;
+        let vs = Array.make !w ("", 0) in
+        let k = ref 0 in
+        for i = 0 to n - 1 do
+          let d = Array.unsafe_get e i in
+          if d > 0 then begin
+            Array.unsafe_set vs !k (Array.unsafe_get names i, d);
+            incr k
+          end
+        done;
+        Poly.monomial (Q.mul c scale) (Monomial.of_sorted_array vs)
+      in
+      List.map (fun (a, v) -> (a, to_poly v)) entries
+
 (* Normalize a vector of rational functions to the least positive vector of
    integer-coefficient polynomials: clear polynomial denominators, then
-   cancel common numeric content and common parameter powers. *)
+   cancel common numeric content and common parameter powers.
+
+   Denominators are cleared in one pass by multiplying every entry with the
+   LCM of all denominators.  Any common multiple yields the same final
+   vector: the content/common-gcd cancellation below divides the extra
+   factor back out.  The pre-rewrite loop (multiply everything by the first
+   surviving denominator, rescan) is kept as a fallback for the regime
+   where the polynomial GCD overflows native ints and the LCM pass can
+   leave residual fractions — there it reproduces the old behavior
+   exactly. *)
 let normalize entries =
   let entries = ref entries in
   let fractional () =
     List.find_opt
       (fun (_, f) -> not (Poly.equal (Frac.den f) Poly.one))
       !entries
+  in
+  let clear_lcm () =
+    let dens =
+      List.filter_map
+        (fun (_, f) ->
+          let d = Frac.den f in
+          if Poly.equal d Poly.one then None else Some d)
+        !entries
+    in
+    match dens with
+    | [] -> ()
+    | d :: rest -> (
+        match
+          let l = List.fold_left Poly.lcm d rest in
+          let fl = Frac.of_poly l in
+          List.map (fun (a, x) -> (a, Frac.mul x fl)) !entries
+        with
+        | cleared -> entries := cleared
+        | exception Intmath.Overflow -> ())
   in
   let rec clear () =
     match fractional () with
@@ -102,6 +283,7 @@ let normalize entries =
         entries := List.map (fun (a, x) -> (a, Frac.mul x d)) !entries;
         clear ()
   in
+  clear_lcm ();
   clear ();
   let polys =
     List.map
@@ -142,12 +324,19 @@ let normalize entries =
       List.map (fun (a, p) -> (a, Poly.neg p)) polys
   | _ -> polys
 
-let solve g =
+let solve_general g =
   let raw = propagate g in
   verify g raw;
   let actor_order = Graph.actors g in
   let entries = List.map (fun a -> (a, Hashtbl.find raw a)) actor_order in
-  let r = normalize entries in
+  normalize entries
+
+let solve g =
+  let r =
+    match solve_fast g with
+    | r -> r
+    | exception (Fallback | Intmath.Overflow) -> solve_general g
+  in
   let q =
     List.map (fun (a, p) -> (a, Poly.mul (Poly.of_int (Graph.phases g a)) p)) r
   in

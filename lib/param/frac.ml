@@ -1,96 +1,166 @@
 open Tpdf_util
 
-type t = { num : Poly.t; den : Poly.t }
+(* Canonical quotient of interned polynomials.  Normalization happens in
+   [make] (memoized on the interned ids of the raw inputs), and the
+   resulting descriptor is itself interned, so equal canonical fractions
+   built in the same domain are physically equal. *)
+type desc = { num : Poly.t; den : Poly.t }
 
-(* Normalization: cancel what can be cancelled cheaply and exactly.
+module H = Hashcons.Make (struct
+  type t = desc
+
+  let equal a b = Poly.equal a.num b.num && Poly.equal a.den b.den
+  let hash a = (Poly.hash a.num * 31) + Poly.hash a.den
+end)
+
+type t = desc Hashcons.hash_consed
+
+let table_key = Domain.DLS.new_key (fun () -> H.create 256)
+let table () = Domain.DLS.get table_key
+
+let () =
+  Memo.register_gauge "param.intern.fracs" (fun () ->
+      float_of_int (H.count (table ())))
+
+let intern num den = H.intern (table ()) { num; den }
+
+let make_tbl : (int * int, t) Memo.t = Memo.create ~name:"frac_make" ()
+
+(* Normalization: cancel exactly.
    1. zero numerator short-circuits;
    2. full exact division one way or the other;
    3. common monomial factor;
-   4. scale so the denominator has coprime integer coefficients and a
+   4. full polynomial GCD (memoized in the Poly layer) — skipped when both
+      sides are single terms, where step 3 already cancelled everything;
+   5. scale so the denominator has coprime integer coefficients and a
       positive leading coefficient. *)
+let make_raw num den =
+  let num, den =
+    match Poly.divide num den with
+    | Some q -> (q, Poly.one)
+    | None -> (
+        match Poly.divide den num with
+        | Some q ->
+            (* num/den = 1/q *)
+            (Poly.one, q)
+        | None -> (num, den))
+  in
+  let num, den =
+    let mg = Monomial.gcd (Poly.monomial_gcd num) (Poly.monomial_gcd den) in
+    if Monomial.is_one mg then (num, den)
+    else
+      let strip p =
+        match Poly.divide p (Poly.monomial Q.one mg) with
+        | Some q -> q
+        | None -> assert false
+      in
+      (strip num, strip den)
+  in
+  let num, den =
+    if Poly.equal den Poly.one || (Poly.is_monomial num && Poly.is_monomial den)
+    then (num, den)
+    else
+      let g = Poly.gcd num den in
+      if Poly.is_const g then (num, den)
+      else
+        match (Poly.divide num g, Poly.divide den g) with
+        | Some qn, Some qd -> (qn, qd)
+        | _ ->
+            (* The overflow fallback of [Poly.gcd] can return a divisor of
+               only the monomial parts; cancellation already happened in
+               step 3 then. *)
+            (num, den)
+  in
+  let c = Poly.content den in
+  let c = if Q.sign (snd (Poly.leading den)) < 0 then Q.neg c else c in
+  let inv_c = Q.inv c in
+  intern (Poly.scale inv_c num) (Poly.scale inv_c den)
+
 let make num den =
   if Poly.is_zero den then raise Division_by_zero;
-  if Poly.is_zero num then { num = Poly.zero; den = Poly.one }
+  if Poly.is_zero num then intern Poly.zero Poly.one
   else
-    let num, den =
-      match Poly.divide num den with
-      | Some q -> (q, Poly.one)
-      | None -> (
-          match Poly.divide den num with
-          | Some q ->
-              (* num/den = 1/q *)
-              (Poly.one, q)
-          | None -> (num, den))
-    in
-    let num, den =
-      let mg = Monomial.gcd (Poly.monomial_gcd num) (Poly.monomial_gcd den) in
-      if Monomial.is_one mg then (num, den)
-      else
-        let strip p =
-          match Poly.divide p (Poly.monomial Q.one mg) with
-          | Some q -> q
-          | None -> assert false
-        in
-        (strip num, strip den)
-    in
-    let c = Poly.content den in
-    let c = if Q.sign (snd (Poly.leading den)) < 0 then Q.neg c else c in
-    let inv_c = Q.inv c in
-    { num = Poly.scale inv_c num; den = Poly.scale inv_c den }
+    Memo.find make_tbl (Poly.id num, Poly.id den) (fun _ -> make_raw num den)
 
 let of_poly p = make p Poly.one
 let of_int n = of_poly (Poly.of_int n)
 let of_q q = of_poly (Poly.const q)
 let var v = of_poly (Poly.var v)
-
 let zero = of_int 0
 let one = of_int 1
+let num (t : t) = t.node.num
+let den (t : t) = t.node.den
+let is_zero (t : t) = Poly.is_zero t.node.num
 
-let num t = t.num
-let den t = t.den
+let to_poly (t : t) =
+  if Poly.equal t.node.den Poly.one then Some t.node.num else None
 
-let is_zero t = Poly.is_zero t.num
-
-let to_poly t = if Poly.equal t.den Poly.one then Some t.num else None
-
-let add a b =
+let add (a : t) (b : t) =
+  let a = a.node and b = b.node in
   make
     (Poly.add (Poly.mul a.num b.den) (Poly.mul b.num a.den))
     (Poly.mul a.den b.den)
 
-let neg a = { a with num = Poly.neg a.num }
-
+(* Negating the numerator preserves every canonicity invariant (the
+   denominator's sign and content are untouched), so skip [make]. *)
+let neg (a : t) = intern (Poly.neg a.node.num) a.node.den
 let sub a b = add a (neg b)
 
-let mul a b =
+let mul (a : t) (b : t) =
   (* Cross-cancel before multiplying to keep degrees low. *)
+  let a = a.node and b = b.node in
   let x = make a.num b.den and y = make b.num a.den in
-  make (Poly.mul x.num y.num) (Poly.mul x.den y.den)
+  make (Poly.mul x.node.num y.node.num) (Poly.mul x.node.den y.node.den)
 
-let inv a =
+let inv (a : t) =
   if is_zero a then raise Division_by_zero;
-  make a.den a.num
+  make a.node.den a.node.num
 
 let div a b = mul a (inv b)
 
-let equal a b =
-  Poly.equal (Poly.mul a.num b.den) (Poly.mul b.num a.den)
+let equal (a : t) (b : t) =
+  a == b
+  || Poly.equal
+       (Poly.mul a.node.num b.node.den)
+       (Poly.mul b.node.num a.node.den)
 
-let subst x q t = make (Poly.subst x q t.num) (Poly.subst x q t.den)
+(* Total order on the canonical representation (numerator, then
+   denominator).  Coincides with {!equal} whenever normalization fully
+   reduced both sides — always, unless the polynomial GCD hit its integer
+   overflow fallback. *)
+let compare (a : t) (b : t) =
+  if a == b then 0
+  else
+    let c = Poly.compare a.node.num b.node.num in
+    if c <> 0 then c else Poly.compare a.node.den b.node.den
 
-let eval env t =
-  let d = Poly.eval env t.den in
+let hash (t : t) = t.hkey
+let subst x q (t : t) = make (Poly.subst x q t.node.num) (Poly.subst x q t.node.den)
+
+let eval env (t : t) =
+  let d = Poly.eval env t.node.den in
   if Q.is_zero d then raise Division_by_zero;
-  Q.div (Poly.eval env t.num) d
+  Q.div (Poly.eval env t.node.num) d
 
-let pp ppf t =
+(* A denominator needs no parentheses only when it is a bare variable power
+   ([x], [x^2]): [num/x*y] would re-parse as [(num/x)*y].  Denominators are
+   primitive with a positive leading coefficient, so a single-term
+   denominator always has coefficient 1. *)
+let den_atomic p =
+  match Poly.terms p with
+  | [ (m, c) ] -> Q.equal c Q.one && List.length (Monomial.to_list m) <= 1
+  | _ -> false
+
+let pp ppf (t : t) =
+  let t = t.node in
   if Poly.equal t.den Poly.one then Poly.pp ppf t.num
   else
-    let wrap ppf p =
-      if Poly.is_monomial p then Poly.pp ppf p
-      else Format.fprintf ppf "(%a)" Poly.pp p
+    let wrap atomic ppf p =
+      if atomic p then Poly.pp ppf p else Format.fprintf ppf "(%a)" Poly.pp p
     in
-    Format.fprintf ppf "%a/%a" wrap t.num wrap t.den
+    Format.fprintf ppf "%a/%a"
+      (wrap Poly.is_monomial)
+      t.num (wrap den_atomic) t.den
 
 let to_string t = Format.asprintf "%a" pp t
 

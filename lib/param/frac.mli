@@ -43,7 +43,19 @@ val inv : t -> t
 (** @raise Division_by_zero on {!zero}. *)
 
 val equal : t -> t -> bool
-(** Exact mathematical equality (cross-multiplication). *)
+(** Exact mathematical equality: physical equality of the interned
+    canonical forms short-circuits, cross-multiplication decides the
+    rest. *)
+
+val compare : t -> t -> int
+(** Total order on the canonical representation (numerator first, then
+    denominator).  Consistent with {!equal} whenever normalization fully
+    reduced both sides — always, unless the polynomial GCD hit its
+    integer-overflow fallback and a common factor survived. *)
+
+val hash : t -> int
+(** Structural hash of the canonical form, precomputed at interning time;
+    deterministic across runs and domains. *)
 
 val subst : string -> Poly.t -> t -> t
 (** Substitute a parameter by a polynomial in both numerator and

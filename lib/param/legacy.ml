@@ -1,0 +1,471 @@
+(* Frozen pre-rewrite symbolic kernel: the assoc-list Monomial/Poly/Frac
+   implementation exactly as it stood before the hash-consed rewrite.
+
+   Kept for two purposes only:
+   - bench E21 measures the rewrite's speedup against this baseline;
+   - the differential qcheck suite in test/test_param.ml cross-checks that
+     the rewritten kernel prints byte-identical results for every
+     operation.
+
+   Do not modify and do not use in new code. *)
+
+open Tpdf_util
+
+module Monomial = struct
+  (* Sorted association list from parameter name to exponent; exponents are
+     strictly positive, names strictly increasing. *)
+  type t = (string * int) list
+
+  let one = []
+  let var v = [ (v, 1) ]
+
+  let of_list l =
+    let l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+    let rec check = function
+      | [] -> ()
+      | (_, e) :: _ when e <= 0 ->
+          invalid_arg "Monomial.of_list: non-positive exponent"
+      | (a, _) :: ((b, _) :: _ as rest) ->
+          if String.equal a b then
+            invalid_arg "Monomial.of_list: duplicate parameter"
+          else check rest
+      | [ _ ] -> ()
+    in
+    check l;
+    l
+
+  let to_list t = t
+  let is_one t = t = []
+  let degree t = List.fold_left (fun acc (_, e) -> acc + e) 0 t
+  let exponent t v = match List.assoc_opt v t with Some e -> e | None -> 0
+
+  let rec merge f a b =
+    match (a, b) with
+    | [], rest | rest, [] ->
+        List.filter_map
+          (fun (v, e) -> match f e 0 with 0 -> None | e -> Some (v, e))
+          rest
+    | (va, ea) :: ra, (vb, eb) :: rb -> (
+        let c = String.compare va vb in
+        if c < 0 then
+          match f ea 0 with
+          | 0 -> merge f ra b
+          | e -> (va, e) :: merge f ra b
+        else if c > 0 then
+          match f eb 0 with
+          | 0 -> merge f a rb
+          | e -> (vb, e) :: merge f a rb
+        else
+          match f ea eb with
+          | 0 -> merge f ra rb
+          | e -> (va, e) :: merge f ra rb)
+
+  let mul a b = merge ( + ) a b
+  let divides a b = List.for_all (fun (v, e) -> exponent b v >= e) a
+
+  let div b a =
+    if not (divides a b) then invalid_arg "Monomial.div: not divisible";
+    merge ( - ) b a
+
+  let gcd a b =
+    List.filter_map
+      (fun (v, e) ->
+        let e' = min e (exponent b v) in
+        if e' > 0 then Some (v, e') else None)
+      a
+
+  let lcm a b = merge max a b
+
+  let pow t n =
+    if n < 0 then invalid_arg "Monomial.pow: negative exponent";
+    if n = 0 then one else List.map (fun (v, e) -> (v, e * n)) t
+
+  let compare a b =
+    let c = Int.compare (degree a) (degree b) in
+    if c <> 0 then c
+    else
+      let rec lex a b =
+        match (a, b) with
+        | [], [] -> 0
+        | [], _ -> -1
+        | _, [] -> 1
+        | (va, ea) :: ra, (vb, eb) :: rb ->
+            let c = String.compare vb va in
+            if c <> 0 then c
+            else
+              let c = Int.compare ea eb in
+              if c <> 0 then c else lex ra rb
+      in
+      lex a b
+
+  let equal a b = compare a b = 0
+  let vars t = List.map fst t
+
+  let eval env t =
+    List.fold_left
+      (fun acc (v, e) -> Intmath.mul_exn acc (Intmath.pow (env v) e))
+      1 t
+
+  let pp ppf t =
+    match t with
+    | [] -> Format.pp_print_string ppf "1"
+    | _ ->
+        Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "*")
+          (fun ppf (v, e) ->
+            if e = 1 then Format.pp_print_string ppf v
+            else Format.fprintf ppf "%s^%d" v e)
+          ppf t
+end
+
+module Poly = struct
+  (* Terms sorted by strictly decreasing monomial order; no zero
+     coefficient. *)
+  type t = (Monomial.t * Q.t) list
+
+  let zero = []
+  let const c = if Q.is_zero c then [] else [ (Monomial.one, c) ]
+  let one = const Q.one
+  let of_int n = const (Q.of_int n)
+  let monomial c m = if Q.is_zero c then [] else [ (m, c) ]
+  let var v = monomial Q.one (Monomial.var v)
+  let is_zero t = t = []
+
+  let is_const t =
+    match t with [] -> true | [ (m, _) ] -> Monomial.is_one m | _ -> false
+
+  let to_const t =
+    match t with
+    | [] -> Some Q.zero
+    | [ (m, c) ] when Monomial.is_one m -> Some c
+    | _ -> None
+
+  let terms t = t
+
+  let leading t =
+    match t with
+    | [] -> invalid_arg "Poly.leading: zero polynomial"
+    | hd :: _ -> hd
+
+  let rec add a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | (ma, ca) :: ra, (mb, cb) :: rb ->
+        let cmp = Monomial.compare ma mb in
+        if cmp > 0 then (ma, ca) :: add ra b
+        else if cmp < 0 then (mb, cb) :: add a rb
+        else
+          let c = Q.add ca cb in
+          if Q.is_zero c then add ra rb else (ma, c) :: add ra rb
+
+  let neg t = List.map (fun (m, c) -> (m, Q.neg c)) t
+  let sub a b = add a (neg b)
+
+  let scale k t =
+    if Q.is_zero k then [] else List.map (fun (m, c) -> (m, Q.mul k c)) t
+
+  let mul_term (m, c) t =
+    List.map (fun (m', c') -> (Monomial.mul m m', Q.mul c c')) t
+
+  let mul a b = List.fold_left (fun acc term -> add acc (mul_term term b)) zero a
+
+  let pow t n =
+    if n < 0 then invalid_arg "Poly.pow: negative exponent";
+    let rec go acc t n =
+      if n = 0 then acc
+      else if n land 1 = 1 then go (mul acc t) (mul t t) (n asr 1)
+      else go acc (mul t t) (n asr 1)
+    in
+    go one t n
+
+  let divide a b =
+    if is_zero b then raise Division_by_zero;
+    let mb, cb = leading b in
+    let rec go quo rem =
+      match rem with
+      | [] -> Some (List.rev quo)
+      | (mr, cr) :: _ ->
+          if not (Monomial.divides mb mr) then None
+          else
+            let qm = Monomial.div mr mb and qc = Q.div cr cb in
+            let rem = sub rem (mul_term (qm, qc) b) in
+            go ((qm, qc) :: quo) rem
+    in
+    match go [] a with
+    | None -> None
+    | Some q -> Some (List.fold_left (fun acc term -> add acc [ term ]) zero q)
+
+  let equal a b = sub a b = []
+  let compare a b = Stdlib.compare (a : t) b
+
+  let degree t =
+    List.fold_left (fun acc (m, _) -> max acc (Monomial.degree m)) (-1) t
+
+  let vars t =
+    List.sort_uniq String.compare
+      (List.concat_map (fun (m, _) -> Monomial.vars m) t)
+
+  let content t = List.fold_left (fun acc (_, c) -> Q.gcd acc c) Q.zero t
+
+  let monomial_gcd t =
+    match t with
+    | [] -> Monomial.one
+    | (m, _) :: rest ->
+        List.fold_left (fun acc (m', _) -> Monomial.gcd acc m') m rest
+
+  let is_monomial t = match t with [] | [ _ ] -> true | _ -> false
+
+  let normalize_sign_content t =
+    match t with
+    | [] -> []
+    | (_, lead) :: _ ->
+        let c =
+          List.fold_left (fun acc (_, coeff) -> Q.gcd acc coeff) Q.zero t
+        in
+        let c = if Q.sign lead < 0 then Q.neg c else c in
+        scale (Q.inv c) t
+
+  let to_univar t x =
+    let deg_x =
+      List.fold_left (fun acc (m, _) -> max acc (Monomial.exponent m x)) 0 t
+    in
+    let coeffs = Array.make (deg_x + 1) zero in
+    List.iter
+      (fun (m, c) ->
+        let e = Monomial.exponent m x in
+        let rest =
+          Monomial.of_list
+            (List.filter (fun (v, _) -> v <> x) (Monomial.to_list m))
+        in
+        coeffs.(e) <- add coeffs.(e) (monomial c rest))
+      t;
+    coeffs
+
+  let of_univar coeffs x =
+    let acc = ref zero in
+    Array.iteri
+      (fun e coeff ->
+        acc :=
+          add !acc
+            (mul coeff (monomial Q.one (Monomial.pow (Monomial.var x) e))))
+      coeffs;
+    !acc
+
+  let univar_degree coeffs =
+    let d = ref (-1) in
+    Array.iteri (fun e c -> if not (is_zero c) then d := e) coeffs;
+    !d
+
+  let rec gcd_exn a b =
+    if is_zero a then normalize_sign_content b
+    else if is_zero b then normalize_sign_content a
+    else
+      match (to_const a, to_const b) with
+      | Some _, Some _ -> one
+      | _ ->
+          let all_vars = List.sort_uniq String.compare (vars a @ vars b) in
+          let x = List.hd all_vars in
+          let ua = to_univar a x and ub = to_univar b x in
+          let content_of u = Array.fold_left gcd_exn zero u in
+          let ca = content_of ua and cb = content_of ub in
+          let divide_exn p d =
+            match divide p d with Some q -> q | None -> assert false
+          in
+          let primitive u c = Array.map (fun coeff -> divide_exn coeff c) u in
+          let pa = primitive ua ca and pb = primitive ub cb in
+          let rec euclid u v =
+            let dv = univar_degree v in
+            if dv < 0 then u
+            else if dv = 0 then [| one |]
+            else begin
+              let du = univar_degree u in
+              if du < dv then euclid v u
+              else begin
+                let r = Array.map (fun c -> c) u in
+                let lv = v.(dv) in
+                for k = du downto dv do
+                  let lead = r.(k) in
+                  if not (is_zero lead) then begin
+                    for i = 0 to Array.length r - 1 do
+                      r.(i) <- mul lv r.(i)
+                    done;
+                    for i = 0 to dv do
+                      r.(i + k - dv) <- sub r.(i + k - dv) (mul lead v.(i))
+                    done
+                  end
+                done;
+                for i = dv to Array.length r - 1 do
+                  r.(i) <- zero
+                done;
+                let rc = Array.fold_left gcd_exn zero r in
+                let r =
+                  if is_zero rc then r
+                  else Array.map (fun c -> divide_exn c rc) r
+                in
+                let rn =
+                  Array.fold_left (fun acc p -> Q.gcd acc (content p)) Q.zero r
+                in
+                let r =
+                  if Q.is_zero rn || Q.equal rn Q.one then r
+                  else Array.map (fun p -> scale (Q.inv rn) p) r
+                in
+                euclid v r
+              end
+            end
+          in
+          let prim_gcd =
+            let g = euclid pa pb in
+            let gc = Array.fold_left gcd_exn zero g in
+            let g =
+              if is_zero gc then g else Array.map (fun c -> divide_exn c gc) g
+            in
+            of_univar g x
+          in
+          normalize_sign_content (mul (gcd_exn ca cb) prim_gcd)
+
+  let gcd a b =
+    match gcd_exn a b with
+    | g -> g
+    | exception Intmath.Overflow ->
+        if is_zero a && is_zero b then zero
+        else
+          let mg =
+            if is_zero a then monomial_gcd b
+            else if is_zero b then monomial_gcd a
+            else Monomial.gcd (monomial_gcd a) (monomial_gcd b)
+          in
+          monomial Q.one mg
+
+  let subst x q t =
+    List.fold_left
+      (fun acc (m, c) ->
+        let e = Monomial.exponent m x in
+        if e = 0 then add acc [ (m, c) ]
+        else
+          let rest =
+            Monomial.of_list
+              (List.filter (fun (v, _) -> v <> x) (Monomial.to_list m))
+          in
+          add acc (mul (monomial c rest) (pow q e)))
+      zero t
+
+  let eval env t =
+    List.fold_left
+      (fun acc (m, c) -> Q.add acc (Q.mul c (Q.of_int (Monomial.eval env m))))
+      Q.zero t
+
+  let eval_int env t =
+    let v = eval env t in
+    if not (Q.is_integer v) then invalid_arg "Poly.eval_int: fractional value";
+    Q.to_int v
+
+  let pp ppf t =
+    match t with
+    | [] -> Format.pp_print_string ppf "0"
+    | _ ->
+        List.iteri
+          (fun i (m, c) ->
+            let c =
+              if i = 0 then (
+                if Q.sign c < 0 then Format.pp_print_string ppf "-";
+                Q.abs c)
+              else (
+                Format.pp_print_string ppf
+                  (if Q.sign c < 0 then " - " else " + ");
+                Q.abs c)
+            in
+            if Monomial.is_one m then Format.fprintf ppf "%a" Q.pp c
+            else if Q.equal c Q.one then Monomial.pp ppf m
+            else Format.fprintf ppf "%a*%a" Q.pp c Monomial.pp m)
+          t
+
+  let to_string t = Format.asprintf "%a" pp t
+end
+
+module Frac = struct
+  type t = { num : Poly.t; den : Poly.t }
+
+  let make num den =
+    if Poly.is_zero den then raise Division_by_zero;
+    if Poly.is_zero num then { num = Poly.zero; den = Poly.one }
+    else
+      let num, den =
+        match Poly.divide num den with
+        | Some q -> (q, Poly.one)
+        | None -> (
+            match Poly.divide den num with
+            | Some q -> (Poly.one, q)
+            | None -> (num, den))
+      in
+      let num, den =
+        let mg =
+          Monomial.gcd (Poly.monomial_gcd num) (Poly.monomial_gcd den)
+        in
+        if Monomial.is_one mg then (num, den)
+        else
+          let strip p =
+            match Poly.divide p (Poly.monomial Q.one mg) with
+            | Some q -> q
+            | None -> assert false
+          in
+          (strip num, strip den)
+      in
+      let c = Poly.content den in
+      let c = if Q.sign (snd (Poly.leading den)) < 0 then Q.neg c else c in
+      let inv_c = Q.inv c in
+      { num = Poly.scale inv_c num; den = Poly.scale inv_c den }
+
+  let of_poly p = make p Poly.one
+  let of_int n = of_poly (Poly.of_int n)
+  let of_q q = of_poly (Poly.const q)
+  let var v = of_poly (Poly.var v)
+  let zero = of_int 0
+  let one = of_int 1
+  let num t = t.num
+  let den t = t.den
+  let is_zero t = Poly.is_zero t.num
+  let to_poly t = if Poly.equal t.den Poly.one then Some t.num else None
+
+  let add a b =
+    make
+      (Poly.add (Poly.mul a.num b.den) (Poly.mul b.num a.den))
+      (Poly.mul a.den b.den)
+
+  let neg a = { a with num = Poly.neg a.num }
+  let sub a b = add a (neg b)
+
+  let mul a b =
+    let x = make a.num b.den and y = make b.num a.den in
+    make (Poly.mul x.num y.num) (Poly.mul x.den y.den)
+
+  let inv a =
+    if is_zero a then raise Division_by_zero;
+    make a.den a.num
+
+  let div a b = mul a (inv b)
+  let equal a b = Poly.equal (Poly.mul a.num b.den) (Poly.mul b.num a.den)
+  let subst x q t = make (Poly.subst x q t.num) (Poly.subst x q t.den)
+
+  let eval env t =
+    let d = Poly.eval env t.den in
+    if Q.is_zero d then raise Division_by_zero;
+    Q.div (Poly.eval env t.num) d
+
+  let pp ppf t =
+    if Poly.equal t.den Poly.one then Poly.pp ppf t.num
+    else
+      let wrap ppf p =
+        if Poly.is_monomial p then Poly.pp ppf p
+        else Format.fprintf ppf "(%a)" Poly.pp p
+      in
+      Format.fprintf ppf "%a/%a" wrap t.num wrap t.den
+
+  let to_string t = Format.asprintf "%a" pp t
+
+  module Infix = struct
+    let ( + ) = add
+    let ( - ) = sub
+    let ( * ) = mul
+    let ( / ) = div
+  end
+end

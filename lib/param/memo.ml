@@ -1,0 +1,63 @@
+let enabled_ref =
+  ref
+    (match Sys.getenv_opt "TPDF_PARAM_MEMO" with
+    | Some ("0" | "false" | "no" | "off") -> false
+    | _ -> true)
+
+let enabled () = !enabled_ref
+let set_enabled b = enabled_ref := b
+
+let gauge_registry : (string * (unit -> float)) list ref = ref []
+let register_gauge name f = gauge_registry := !gauge_registry @ [ (name, f) ]
+
+(* (hits, misses) readers, one per memo table, evaluated in the calling
+   domain. *)
+let counter_registry : (unit -> int * int) list ref = ref []
+
+type ('k, 'v) state = {
+  h : ('k, 'v) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type ('k, 'v) t = { cap : int; state : ('k, 'v) state Domain.DLS.key }
+
+let create ~name ?(cap = 1 lsl 20) () =
+  let state =
+    Domain.DLS.new_key (fun () ->
+        { h = Hashtbl.create 256; hits = 0; misses = 0 })
+  in
+  register_gauge
+    ("param.memo." ^ name ^ ".size")
+    (fun () -> float_of_int (Hashtbl.length (Domain.DLS.get state).h));
+  counter_registry :=
+    (fun () ->
+      let s = Domain.DLS.get state in
+      (s.hits, s.misses))
+    :: !counter_registry;
+  { cap; state }
+
+let find t k compute =
+  if not !enabled_ref then compute k
+  else
+    let s = Domain.DLS.get t.state in
+    match Hashtbl.find_opt s.h k with
+    | Some v ->
+        s.hits <- s.hits + 1;
+        v
+    | None ->
+        s.misses <- s.misses + 1;
+        let v = compute k in
+        if Hashtbl.length s.h >= t.cap then Hashtbl.reset s.h;
+        Hashtbl.add s.h k v;
+        v
+
+let hits () = List.fold_left (fun acc f -> acc + fst (f ())) 0 !counter_registry
+
+let misses () =
+  List.fold_left (fun acc f -> acc + snd (f ())) 0 !counter_registry
+
+let gauges () =
+  ("param.memo.hits", float_of_int (hits ()))
+  :: ("param.memo.misses", float_of_int (misses ()))
+  :: List.map (fun (n, f) -> (n, f ())) !gauge_registry

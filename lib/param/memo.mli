@@ -1,0 +1,44 @@
+(** Memoization support for the symbolic kernel.
+
+    Tables are per-domain ([Domain.DLS]), so worker domains spawned by
+    [tpdf_par] never contend on them, and size-capped (the table is dropped
+    wholesale when it reaches its cap, bounding memory).  Every memoized
+    operation is value-deterministic, so hits, misses, cap evictions and the
+    [TPDF_PARAM_MEMO=0] kill-switch can never change a result — only how
+    fast it is produced.  CI pins this by running the analysis test suites
+    once with the switch off. *)
+
+val enabled : unit -> bool
+(** Initialized from [TPDF_PARAM_MEMO] ([0]/[false]/[no]/[off] disable;
+    default on).  Interning is unaffected — only memo tables are skipped. *)
+
+val set_enabled : bool -> unit
+(** Override the environment setting (used by tests and benches). *)
+
+type ('k, 'v) t
+(** A named, capped, per-domain memo table. *)
+
+val create : name:string -> ?cap:int -> unit -> ('k, 'v) t
+(** Create a table and register its size gauge as
+    [param.memo.<name>.size].  Call at module-initialization time only.
+    [cap] defaults to 2^20 entries. *)
+
+val find : ('k, 'v) t -> 'k -> ('k -> 'v) -> 'v
+(** [find t k compute] returns the cached value for [k], computing and
+    caching it on a miss.  When memoization is disabled, simply runs
+    [compute k].  If [compute] raises, nothing is cached. *)
+
+val register_gauge : string -> (unit -> float) -> unit
+(** Register an extra gauge (used by the intern tables).  The thunk is
+    evaluated in the calling domain. *)
+
+val hits : unit -> int
+(** Total memo hits across all tables, current domain. *)
+
+val misses : unit -> int
+(** Total memo misses across all tables, current domain. *)
+
+val gauges : unit -> (string * float) list
+(** All kernel gauges for the calling domain: [param.memo.hits],
+    [param.memo.misses], per-table sizes, and intern-table statistics.
+    Wired into the analysis spans by [tpdf_core]. *)

@@ -1,10 +1,58 @@
-(* Sorted association list from parameter name to exponent; exponents are
-   strictly positive, names strictly increasing. *)
-type t = (string * int) list
+open Tpdf_util
 
-let one = []
+(* Sorted (name, exponent) array; exponents strictly positive, names strictly
+   increasing.  Descriptors are interned in a per-domain unique table, so
+   structurally equal monomials built in the same domain are physically equal
+   and carry a precomputed structural hash and total degree. *)
+type desc = { vs : (string * int) array; deg : int }
 
-let var v = [ (v, 1) ]
+module H = Hashcons.Make (struct
+  type t = desc
+
+  let equal a b =
+    let n = Array.length a.vs in
+    n = Array.length b.vs
+    &&
+    let rec go i =
+      i >= n
+      ||
+      let va, ea = Array.unsafe_get a.vs i
+      and vb, eb = Array.unsafe_get b.vs i in
+      ea = eb && String.equal va vb && go (i + 1)
+    in
+    go 0
+
+  (* FNV-1a over the characters: parameter names are short, and wide
+     monomials hash one name per factor on every interning, so an inlined
+     char fold beats a generic-hash call per name. *)
+  let string_hash s =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to String.length s - 1 do
+      h := (!h lxor Char.code (String.unsafe_get s i)) * 0x01000193
+    done;
+    !h
+
+  let hash a =
+    Array.fold_left
+      (fun acc (v, e) -> ((acc * 31) + string_hash v) * 31 + e)
+      17 a.vs
+end)
+
+type t = desc Hashcons.hash_consed
+
+let table_key = Domain.DLS.new_key (fun () -> H.create 1024)
+let table () = Domain.DLS.get table_key
+
+let () =
+  Memo.register_gauge "param.intern.monomials" (fun () ->
+      float_of_int (H.count (table ())))
+
+let intern_array vs =
+  H.intern (table ())
+    { vs; deg = Array.fold_left (fun acc (_, e) -> acc + e) 0 vs }
+
+let one = intern_array [||]
+let var v = intern_array [| (v, 1) |]
 
 let of_list l =
   let l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
@@ -19,92 +67,163 @@ let of_list l =
     | [ _ ] -> ()
   in
   check l;
-  l
+  intern_array (Array.of_list l)
 
-let to_list t = t
+(* Bulk constructor for producers that already hold the canonical order
+   (e.g. the repetition-vector fast path, which emits thousands of wide
+   monomials): skips the sort, validates the invariant in one pass.  The
+   array is owned by the monomial afterwards — callers must not mutate
+   it. *)
+let of_sorted_array vs =
+  Array.iteri
+    (fun i (v, e) ->
+      if e <= 0 then
+        invalid_arg "Monomial.of_sorted_array: non-positive exponent";
+      if i > 0 && String.compare (fst vs.(i - 1)) v >= 0 then
+        invalid_arg "Monomial.of_sorted_array: not strictly sorted")
+    vs;
+  intern_array vs
 
-let is_one t = t = []
+let to_list (t : t) = Array.to_list t.node.vs
+let is_one (t : t) = Array.length t.node.vs = 0
+let degree (t : t) = t.node.deg
 
-let degree t = List.fold_left (fun acc (_, e) -> acc + e) 0 t
+let exponent (t : t) v =
+  let vs = t.node.vs in
+  let n = Array.length vs in
+  let rec go i =
+    if i >= n then 0
+    else
+      let v', e = Array.unsafe_get vs i in
+      if String.equal v v' then e else go (i + 1)
+  in
+  go 0
 
-let exponent t v = match List.assoc_opt v t with Some e -> e | None -> 0
-
-let rec merge f a b =
-  match (a, b) with
-  | [], rest | rest, [] ->
-      List.filter_map (fun (v, e) -> match f e 0 with 0 -> None | e -> Some (v, e)) rest
-  | (va, ea) :: ra, (vb, eb) :: rb -> (
-      let c = String.compare va vb in
-      if c < 0 then
-        match f ea 0 with
-        | 0 -> merge f ra b
-        | e -> (va, e) :: merge f ra b
-      else if c > 0 then
-        match f eb 0 with
-        | 0 -> merge f a rb
-        | e -> (vb, e) :: merge f a rb
-      else
-        match f ea eb with
-        | 0 -> merge f ra rb
-        | e -> (va, e) :: merge f ra rb)
+(* Merge two sorted exponent arrays; [f] combines exponents (0 for the
+   missing side), zero results are dropped. *)
+let merge f (a : t) (b : t) : t =
+  let va = a.node.vs and vb = b.node.vs in
+  let na = Array.length va and nb = Array.length vb in
+  let out = Array.make (na + nb) ("", 0) in
+  let k = ref 0 in
+  let push v e =
+    if e <> 0 then begin
+      out.(!k) <- (v, e);
+      incr k
+    end
+  in
+  let i = ref 0 and j = ref 0 in
+  while !i < na || !j < nb do
+    if !i >= na then begin
+      let v, e = vb.(!j) in
+      push v (f 0 e);
+      incr j
+    end
+    else if !j >= nb then begin
+      let v, e = va.(!i) in
+      push v (f e 0);
+      incr i
+    end
+    else begin
+      let v1, e1 = va.(!i) and v2, e2 = vb.(!j) in
+      let c = String.compare v1 v2 in
+      if c < 0 then begin
+        push v1 (f e1 0);
+        incr i
+      end
+      else if c > 0 then begin
+        push v2 (f 0 e2);
+        incr j
+      end
+      else begin
+        push v1 (f e1 e2);
+        incr i;
+        incr j
+      end
+    end
+  done;
+  intern_array (Array.sub out 0 !k)
 
 let mul a b = merge ( + ) a b
 
-let divides a b = List.for_all (fun (v, e) -> exponent b v >= e) a
+let divides (a : t) (b : t) =
+  Array.for_all (fun (v, e) -> exponent b v >= e) a.node.vs
 
 let div b a =
   if not (divides a b) then invalid_arg "Monomial.div: not divisible";
   merge ( - ) b a
 
-let gcd a b =
-  List.filter_map
-    (fun (v, e) ->
-      let e' = min e (exponent b v) in
-      if e' > 0 then Some (v, e') else None)
-    a
+let gcd (a : t) (b : t) =
+  let l =
+    Array.to_list a.node.vs
+    |> List.filter_map (fun (v, e) ->
+           let e' = min e (exponent b v) in
+           if e' > 0 then Some (v, e') else None)
+  in
+  intern_array (Array.of_list l)
 
 let lcm a b = merge max a b
 
-let pow t n =
+let pow (t : t) n =
   if n < 0 then invalid_arg "Monomial.pow: negative exponent";
-  if n = 0 then one else List.map (fun (v, e) -> (v, e * n)) t
+  if n = 0 then one
+  else intern_array (Array.map (fun (v, e) -> (v, e * n)) t.node.vs)
 
-let compare a b =
-  let c = Int.compare (degree a) (degree b) in
-  if c <> 0 then c
+let compare (a : t) (b : t) =
+  if a == b then 0
   else
-    (* Lexicographic on the sorted variable/exponent sequence: a variable
-       earlier in the alphabet with a higher exponent compares greater. *)
-    let rec lex a b =
-      match (a, b) with
-      | [], [] -> 0
-      | [], _ -> -1
-      | _, [] -> 1
-      | (va, ea) :: ra, (vb, eb) :: rb ->
-          let c = String.compare vb va in
+    let c = Int.compare a.node.deg b.node.deg in
+    if c <> 0 then c
+    else
+      (* Lexicographic on the sorted variable/exponent sequence: a variable
+         earlier in the alphabet with a higher exponent compares greater. *)
+      let va = a.node.vs and vb = b.node.vs in
+      let na = Array.length va and nb = Array.length vb in
+      let rec lex i =
+        if i >= na then if i >= nb then 0 else -1
+        else if i >= nb then 1
+        else
+          let v1, e1 = Array.unsafe_get va i
+          and v2, e2 = Array.unsafe_get vb i in
+          let c = String.compare v2 v1 in
           if c <> 0 then c
           else
-            let c = Int.compare ea eb in
-            if c <> 0 then c else lex ra rb
-    in
-    lex a b
+            let c = Int.compare e1 e2 in
+            if c <> 0 then c else lex (i + 1)
+      in
+      lex 0
 
-let equal a b = compare a b = 0
+let equal (a : t) (b : t) =
+  a == b
+  || (a.hkey = b.hkey
+     &&
+     let n = Array.length a.node.vs in
+     n = Array.length b.node.vs
+     &&
+     let rec go i =
+       i >= n
+       ||
+       let va, ea = a.node.vs.(i) and vb, eb = b.node.vs.(i) in
+       ea = eb && String.equal va vb && go (i + 1)
+     in
+     go 0)
 
-let vars t = List.map fst t
+let hash (t : t) = t.hkey
+let id (t : t) = t.tag
+let vars (t : t) = Array.to_list (Array.map fst t.node.vs)
 
-let eval env t =
-  List.fold_left
-    (fun acc (v, e) -> Tpdf_util.Intmath.mul_exn acc (Tpdf_util.Intmath.pow (env v) e))
-    1 t
+let eval env (t : t) =
+  Array.fold_left
+    (fun acc (v, e) -> Intmath.mul_exn acc (Intmath.pow (env v) e))
+    1 t.node.vs
 
-let pp ppf t =
-  match t with
+let pp ppf (t : t) =
+  match Array.to_list t.node.vs with
   | [] -> Format.pp_print_string ppf "1"
-  | _ ->
+  | l ->
       Format.pp_print_list
         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "*")
         (fun ppf (v, e) ->
           if e = 1 then Format.pp_print_string ppf v
           else Format.fprintf ppf "%s^%d" v e)
-        ppf t
+        ppf l

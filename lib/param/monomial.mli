@@ -17,6 +17,13 @@ val of_list : (string * int) list -> t
 (** Build from (parameter, exponent) pairs; exponents must be positive and
     parameters distinct.  @raise Invalid_argument otherwise. *)
 
+val of_sorted_array : (string * int) array -> t
+(** Bulk constructor for callers that already hold the pairs sorted by
+    strictly increasing parameter name: validated in one linear pass
+    instead of [of_list]'s sort.  The array is owned by the monomial
+    afterwards and must not be mutated.  @raise Invalid_argument on
+    non-positive exponents or out-of-order names. *)
+
 val to_list : t -> (string * int) list
 (** Sorted (parameter, exponent) pairs. *)
 
@@ -43,9 +50,19 @@ val pow : t -> int -> t
 (** @raise Invalid_argument on negative exponent. *)
 
 val compare : t -> t -> int
-(** Graded lexicographic order; [one] is the smallest monomial. *)
+(** Graded lexicographic order; [one] is the smallest monomial.  Physical
+    equality of interned nodes short-circuits to 0. *)
 
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash, precomputed at interning time.  Deterministic across
+    runs and domains; agrees with {!equal}. *)
+
+val id : t -> int
+(** Interning tag: process-unique identity, constant for the node's
+    lifetime.  Suitable as a memo key within a domain; NOT stable across
+    runs — never let it influence results, only caching. *)
 
 val vars : t -> string list
 (** Parameters occurring in the monomial, sorted. *)

@@ -1,60 +1,141 @@
 open Tpdf_util
 
-(* Terms sorted by strictly decreasing monomial order; no zero coefficient. *)
-type t = (Monomial.t * Q.t) list
+(* Terms sorted by strictly decreasing monomial order; no zero coefficient.
+   The canonical term array is interned in a per-domain unique table:
+   structurally equal polynomials built in the same domain are physically
+   equal, carry a precomputed structural hash, and their interning tag keys
+   the memo tables for gcd/subst/eval and Frac normalization. *)
+type desc = { ts : (Monomial.t * Q.t) array }
 
-let zero = []
+module H = Hashcons.Make (struct
+  type t = desc
 
-let const c = if Q.is_zero c then [] else [ (Monomial.one, c) ]
+  let equal a b =
+    let n = Array.length a.ts in
+    n = Array.length b.ts
+    &&
+    let rec go i =
+      i >= n
+      ||
+      let ma, ca = Array.unsafe_get a.ts i
+      and mb, cb = Array.unsafe_get b.ts i in
+      Monomial.equal ma mb && Q.equal ca cb && go (i + 1)
+    in
+    go 0
 
+  let hash a =
+    Array.fold_left
+      (fun acc (m, c) -> ((acc * 31) + Monomial.hash m) * 31 + Q.hash c)
+      19 a.ts
+end)
+
+type t = desc Hashcons.hash_consed
+
+let table_key = Domain.DLS.new_key (fun () -> H.create 1024)
+let table () = Domain.DLS.get table_key
+
+let () =
+  Memo.register_gauge "param.intern.polys" (fun () ->
+      float_of_int (H.count (table ())))
+
+let intern ts = H.intern (table ()) { ts }
+let dummy_term = (Monomial.one, Q.zero)
+let zero = intern [||]
+let const c = if Q.is_zero c then zero else intern [| (Monomial.one, c) |]
 let one = const Q.one
-
 let of_int n = const (Q.of_int n)
-
-let monomial c m = if Q.is_zero c then [] else [ (m, c) ]
-
+let monomial c m = if Q.is_zero c then zero else intern [| (m, c) |]
 let var v = monomial Q.one (Monomial.var v)
+let is_zero (t : t) = Array.length t.node.ts = 0
 
-let is_zero t = t = []
+let is_const (t : t) =
+  match t.node.ts with
+  | [||] -> true
+  | [| (m, _) |] -> Monomial.is_one m
+  | _ -> false
 
-let is_const t =
-  match t with [] -> true | [ (m, _) ] -> Monomial.is_one m | _ -> false
-
-let to_const t =
-  match t with
-  | [] -> Some Q.zero
-  | [ (m, c) ] when Monomial.is_one m -> Some c
+let to_const (t : t) =
+  match t.node.ts with
+  | [||] -> Some Q.zero
+  | [| (m, c) |] when Monomial.is_one m -> Some c
   | _ -> None
 
-let terms t = t
+let terms (t : t) = Array.to_list t.node.ts
 
-let leading t =
-  match t with
-  | [] -> invalid_arg "Poly.leading: zero polynomial"
-  | hd :: _ -> hd
+let leading (t : t) =
+  match t.node.ts with
+  | [||] -> invalid_arg "Poly.leading: zero polynomial"
+  | ts -> ts.(0)
 
-let rec add a b =
-  match (a, b) with
-  | [], rest | rest, [] -> rest
-  | (ma, ca) :: ra, (mb, cb) :: rb ->
+let add (a : t) (b : t) =
+  let ta = a.node.ts and tb = b.node.ts in
+  let na = Array.length ta and nb = Array.length tb in
+  if na = 0 then b
+  else if nb = 0 then a
+  else begin
+    let out = Array.make (na + nb) dummy_term in
+    let k = ref 0 and i = ref 0 and j = ref 0 in
+    while !i < na && !j < nb do
+      let ma, ca = Array.unsafe_get ta !i and mb, cb = Array.unsafe_get tb !j in
       let cmp = Monomial.compare ma mb in
-      if cmp > 0 then (ma, ca) :: add ra b
-      else if cmp < 0 then (mb, cb) :: add a rb
-      else
+      if cmp > 0 then begin
+        out.(!k) <- (ma, ca);
+        incr k;
+        incr i
+      end
+      else if cmp < 0 then begin
+        out.(!k) <- (mb, cb);
+        incr k;
+        incr j
+      end
+      else begin
         let c = Q.add ca cb in
-        if Q.is_zero c then add ra rb else (ma, c) :: add ra rb
+        if not (Q.is_zero c) then begin
+          out.(!k) <- (ma, c);
+          incr k
+        end;
+        incr i;
+        incr j
+      end
+    done;
+    while !i < na do
+      out.(!k) <- ta.(!i);
+      incr k;
+      incr i
+    done;
+    while !j < nb do
+      out.(!k) <- tb.(!j);
+      incr k;
+      incr j
+    done;
+    intern (Array.sub out 0 !k)
+  end
 
-let neg t = List.map (fun (m, c) -> (m, Q.neg c)) t
+let neg (t : t) =
+  if is_zero t then t
+  else intern (Array.map (fun (m, c) -> (m, Q.neg c)) t.node.ts)
 
 let sub a b = add a (neg b)
 
-let scale k t =
-  if Q.is_zero k then [] else List.map (fun (m, c) -> (m, Q.mul k c)) t
+let scale k (t : t) =
+  if Q.is_zero k then zero
+  else intern (Array.map (fun (m, c) -> (m, Q.mul k c)) t.node.ts)
 
-let mul_term (m, c) t =
-  List.map (fun (m', c') -> (Monomial.mul m m', Q.mul c c')) t
+(* Multiplying every monomial by the same monomial preserves the strictly
+   decreasing order (graded lex is a monomial order), and products of
+   nonzero rationals are nonzero, so the mapped array is canonical. *)
+let mul_term (m, c) (t : t) =
+  intern (Array.map (fun (m', c') -> (Monomial.mul m m', Q.mul c c')) t.node.ts)
 
-let mul a b = List.fold_left (fun acc term -> add acc (mul_term term b)) zero a
+let mul (a : t) (b : t) =
+  let na = Array.length a.node.ts and nb = Array.length b.node.ts in
+  if na = 0 || nb = 0 then zero
+  else if a == one then b
+  else if b == one then a
+  else if na = 1 then mul_term a.node.ts.(0) b
+  else if nb = 1 then mul_term b.node.ts.(0) a
+  else
+    Array.fold_left (fun acc tm -> add acc (mul_term tm b)) zero a.node.ts
 
 let pow t n =
   if n < 0 then invalid_arg "Poly.pow: negative exponent";
@@ -71,65 +152,110 @@ let divide a b =
   if is_zero b then raise Division_by_zero;
   let mb, cb = leading b in
   let rec go quo rem =
-    match rem with
-    | [] -> Some (List.rev quo)
-    | (mr, cr) :: _ ->
-        if not (Monomial.divides mb mr) then None
-        else
-          let qm = Monomial.div mr mb and qc = Q.div cr cb in
-          let rem = sub rem (mul_term (qm, qc) b) in
-          go ((qm, qc) :: quo) rem
+    if is_zero rem then Some (List.rev quo)
+    else
+      let mr, cr = leading rem in
+      if not (Monomial.divides mb mr) then None
+      else
+        let qm = Monomial.div mr mb and qc = Q.div cr cb in
+        let rem = sub rem (mul_term (qm, qc) b) in
+        go ((qm, qc) :: quo) rem
   in
-  (* Quotient terms are produced in decreasing order already, but we collect
-     then reverse to keep the recursion tail-friendly; re-sort via add to be
-     safe about canonical form. *)
   match go [] a with
   | None -> None
-  | Some q -> Some (List.fold_left (fun acc term -> add acc [ term ]) zero q)
+  | Some q ->
+      Some (List.fold_left (fun acc (m, c) -> add acc (monomial c m)) zero q)
 
-let equal a b = sub a b = []
+let equal (a : t) (b : t) =
+  a == b
+  || (a.hkey = b.hkey
+     &&
+     let n = Array.length a.node.ts in
+     n = Array.length b.node.ts
+     &&
+     let rec go i =
+       i >= n
+       ||
+       let ma, ca = a.node.ts.(i) and mb, cb = b.node.ts.(i) in
+       Monomial.equal ma mb && Q.equal ca cb && go (i + 1)
+     in
+     go 0)
 
-let compare a b = Stdlib.compare (a : t) b
+(* Numeric coefficient order, degrading to a structural order on the
+   (always canonical) num/den pair if the cross-multiplication would
+   overflow — still a total order consistent with [Q.equal] there. *)
+let compare_coeff c1 c2 =
+  if Q.equal c1 c2 then 0
+  else
+    match Q.compare c1 c2 with
+    | c -> c
+    | exception Intmath.Overflow ->
+        let c = Int.compare c1.Q.num c2.Q.num in
+        if c <> 0 then c else Int.compare c1.Q.den c2.Q.den
 
-let degree t =
-  List.fold_left (fun acc (m, _) -> max acc (Monomial.degree m)) (-1) t
+let compare (a : t) (b : t) =
+  if a == b then 0
+  else
+    let ta = a.node.ts and tb = b.node.ts in
+    let na = Array.length ta and nb = Array.length tb in
+    let rec go i =
+      if i >= na || i >= nb then Int.compare na nb
+      else
+        let ma, ca = ta.(i) and mb, cb = tb.(i) in
+        let c = Monomial.compare ma mb in
+        if c <> 0 then c
+        else
+          let c = compare_coeff ca cb in
+          if c <> 0 then c else go (i + 1)
+    in
+    go 0
 
-let vars t =
+let hash (t : t) = t.hkey
+let id (t : t) = t.tag
+
+let degree (t : t) =
+  Array.fold_left (fun acc (m, _) -> max acc (Monomial.degree m)) (-1) t.node.ts
+
+let vars (t : t) =
   List.sort_uniq String.compare
-    (List.concat_map (fun (m, _) -> Monomial.vars m) t)
+    (List.concat_map (fun (m, _) -> Monomial.vars m) (terms t))
 
-let content t =
-  List.fold_left (fun acc (_, c) -> Q.gcd acc c) Q.zero t
+let content (t : t) =
+  Array.fold_left (fun acc (_, c) -> Q.gcd acc c) Q.zero t.node.ts
 
-let monomial_gcd t =
-  match t with
-  | [] -> Monomial.one
-  | (m, _) :: rest ->
-      List.fold_left (fun acc (m', _) -> Monomial.gcd acc m') m rest
+let monomial_gcd (t : t) =
+  match t.node.ts with
+  | [||] -> Monomial.one
+  | ts ->
+      let acc = ref (fst ts.(0)) in
+      for i = 1 to Array.length ts - 1 do
+        acc := Monomial.gcd !acc (fst ts.(i))
+      done;
+      !acc
 
-let is_monomial t = match t with [] | [ _ ] -> true | _ -> false
+let is_monomial (t : t) = Array.length t.node.ts <= 1
 
 (* --- exact multivariate GCD ----------------------------------------- *)
 
 (* Normalize to coprime integer coefficients with a positive leading one. *)
-let normalize_sign_content t =
-  match t with
-  | [] -> []
-  | (_, lead) :: _ ->
-      let c =
-        List.fold_left (fun acc (_, coeff) -> Q.gcd acc coeff) Q.zero t
-      in
-      let c = if Q.sign lead < 0 then Q.neg c else c in
-      scale (Q.inv c) t
+let normalize_sign_content (t : t) =
+  if is_zero t then t
+  else
+    let _, lead = leading t in
+    let c = content t in
+    let c = if Q.sign lead < 0 then Q.neg c else c in
+    scale (Q.inv c) t
 
 (* View [t] as a univariate polynomial in [x]: an array of coefficient
    polynomials (not containing x), index = power of x. *)
-let to_univar t x =
+let to_univar (t : t) x =
   let deg_x =
-    List.fold_left (fun acc (m, _) -> max acc (Monomial.exponent m x)) 0 t
+    Array.fold_left
+      (fun acc (m, _) -> max acc (Monomial.exponent m x))
+      0 t.node.ts
   in
   let coeffs = Array.make (deg_x + 1) zero in
-  List.iter
+  Array.iter
     (fun (m, c) ->
       let e = Monomial.exponent m x in
       let rest =
@@ -137,7 +263,7 @@ let to_univar t x =
           (List.filter (fun (v, _) -> v <> x) (Monomial.to_list m))
       in
       coeffs.(e) <- add coeffs.(e) (monomial c rest))
-    t;
+    t.node.ts;
   coeffs
 
 let of_univar coeffs x =
@@ -155,123 +281,169 @@ let univar_degree coeffs =
   Array.iteri (fun e c -> if not (is_zero c) then d := e) coeffs;
   !d
 
+let gcd_exn_tbl : (int * int, t) Memo.t = Memo.create ~name:"poly_gcd" ()
+
 let rec gcd_exn a b =
+  Memo.find gcd_exn_tbl (a.Hashcons.tag, b.Hashcons.tag) (fun _ ->
+      gcd_exn_body a b)
+
+and gcd_exn_body a b =
   if is_zero a then normalize_sign_content b
   else if is_zero b then normalize_sign_content a
   else
     match (to_const a, to_const b) with
     | Some _, Some _ -> one (* primitive gcd of nonzero constants *)
     | _ ->
-        let all_vars = List.sort_uniq String.compare (vars a @ vars b) in
-        let x = List.hd all_vars in
-        let ua = to_univar a x and ub = to_univar b x in
-        let content_of u = Array.fold_left gcd_exn zero u in
-        let ca = content_of ua and cb = content_of ub in
-        let divide_exn p d =
-          match divide p d with Some q -> q | None -> assert false
-        in
-        let primitive u c = Array.map (fun coeff -> divide_exn coeff c) u in
-        let pa = primitive ua ca and pb = primitive ub cb in
-        (* primitive pseudo-remainder sequence in x *)
-        let rec euclid u v =
-          let dv = univar_degree v in
-          if dv < 0 then u
-          else if dv = 0 then [| one |]
-          else begin
-            (* pseudo-remainder: lc(v)^(du-dv+1) * u mod v *)
-            let du = univar_degree u in
-            if du < dv then euclid v u
+        if is_monomial a && is_monomial b then
+          (* Single-term inputs: the primitive-PRS recursion below reduces
+             to the componentwise minimum of the exponents with numeric
+             content stripped — compute that directly. *)
+          monomial Q.one (Monomial.gcd (fst (leading a)) (fst (leading b)))
+        else
+          let all_vars = List.sort_uniq String.compare (vars a @ vars b) in
+          let x = List.hd all_vars in
+          let ua = to_univar a x and ub = to_univar b x in
+          let content_of u = Array.fold_left gcd_exn zero u in
+          let ca = content_of ua and cb = content_of ub in
+          let divide_exn p d =
+            match divide p d with Some q -> q | None -> assert false
+          in
+          let primitive u c = Array.map (fun coeff -> divide_exn coeff c) u in
+          let pa = primitive ua ca and pb = primitive ub cb in
+          (* primitive pseudo-remainder sequence in x *)
+          let rec euclid u v =
+            let dv = univar_degree v in
+            if dv < 0 then u
+            else if dv = 0 then [| one |]
             else begin
-              let r = Array.map (fun c -> c) u in
-              let lv = v.(dv) in
-              for k = du downto dv do
-                let lead = r.(k) in
-                if not (is_zero lead) then begin
-                  (* r := lv * r - lead * x^(k-dv) * v *)
-                  for i = 0 to Array.length r - 1 do
-                    r.(i) <- mul lv r.(i)
-                  done;
-                  for i = 0 to dv do
-                    r.(i + k - dv) <- sub r.(i + k - dv) (mul lead v.(i))
-                  done
-                end
-              done;
-              for i = dv to Array.length r - 1 do
-                r.(i) <- zero
-              done;
-              (* Primitive PRS: strip the polynomial content, then the
-                 numeric content the primitive gcd ignores, keeping the
-                 coefficients small between steps. *)
-              let rc = Array.fold_left gcd_exn zero r in
-              let r =
-                if is_zero rc then r else Array.map (fun c -> divide_exn c rc) r
-              in
-              let rn =
-                Array.fold_left (fun acc p -> Q.gcd acc (content p)) Q.zero r
-              in
-              let r =
-                if Q.is_zero rn || Q.equal rn Q.one then r
-                else Array.map (fun p -> scale (Q.inv rn) p) r
-              in
-              euclid v r
+              (* pseudo-remainder: lc(v)^(du-dv+1) * u mod v *)
+              let du = univar_degree u in
+              if du < dv then euclid v u
+              else begin
+                let r = Array.map (fun c -> c) u in
+                let lv = v.(dv) in
+                for k = du downto dv do
+                  let lead = r.(k) in
+                  if not (is_zero lead) then begin
+                    (* r := lv * r - lead * x^(k-dv) * v *)
+                    for i = 0 to Array.length r - 1 do
+                      r.(i) <- mul lv r.(i)
+                    done;
+                    for i = 0 to dv do
+                      r.(i + k - dv) <- sub r.(i + k - dv) (mul lead v.(i))
+                    done
+                  end
+                done;
+                for i = dv to Array.length r - 1 do
+                  r.(i) <- zero
+                done;
+                (* Primitive PRS: strip the polynomial content, then the
+                   numeric content the primitive gcd ignores, keeping the
+                   coefficients small between steps. *)
+                let rc = Array.fold_left gcd_exn zero r in
+                let r =
+                  if is_zero rc then r
+                  else Array.map (fun c -> divide_exn c rc) r
+                in
+                let rn =
+                  Array.fold_left (fun acc p -> Q.gcd acc (content p)) Q.zero r
+                in
+                let r =
+                  if Q.is_zero rn || Q.equal rn Q.one then r
+                  else Array.map (fun p -> scale (Q.inv rn) p) r
+                in
+                euclid v r
+              end
             end
-          end
-        in
-        let prim_gcd =
-          let g = euclid pa pb in
-          let gc = Array.fold_left gcd_exn zero g in
-          let g = if is_zero gc then g else Array.map (fun c -> divide_exn c gc) g in
-          of_univar g x
-        in
-        normalize_sign_content (mul (gcd_exn ca cb) prim_gcd)
+          in
+          let prim_gcd =
+            let g = euclid pa pb in
+            let gc = Array.fold_left gcd_exn zero g in
+            let g =
+              if is_zero gc then g else Array.map (fun c -> divide_exn c gc) g
+            in
+            of_univar g x
+          in
+          normalize_sign_content (mul (gcd_exn ca cb) prim_gcd)
+
+let gcd_tbl : (int * int, t) Memo.t = Memo.create ~name:"poly_gcd_total" ()
 
 (* Native-int coefficient growth in the remainder sequence can overflow on
    adversarial inputs; fall back to the always-valid monomial common
    divisor in that case. *)
 let gcd a b =
-  match gcd_exn a b with
-  | g -> g
-  | exception Intmath.Overflow ->
-      if is_zero a && is_zero b then zero
-      else
-        let mg =
-          if is_zero a then monomial_gcd b
-          else if is_zero b then monomial_gcd a
-          else Monomial.gcd (monomial_gcd a) (monomial_gcd b)
-        in
-        monomial Q.one mg
+  Memo.find gcd_tbl (a.Hashcons.tag, b.Hashcons.tag) (fun _ ->
+      match gcd_exn a b with
+      | g -> g
+      | exception Intmath.Overflow ->
+          if is_zero a && is_zero b then zero
+          else
+            let mg =
+              if is_zero a then monomial_gcd b
+              else if is_zero b then monomial_gcd a
+              else Monomial.gcd (monomial_gcd a) (monomial_gcd b)
+            in
+            monomial Q.one mg)
 
+let lcm a b =
+  if is_zero a || is_zero b then zero
+  else
+    let g = gcd a b in
+    match divide b g with
+    | Some q -> mul a q
+    | None ->
+        (* Only reachable when the gcd fell back to a partial divisor that
+           does not divide [b]; the plain product is still a common
+           multiple. *)
+        mul a b
 
-let subst x q t =
-  List.fold_left
+let subst_tbl : (string * int * int, t) Memo.t =
+  Memo.create ~name:"poly_subst" ()
+
+let subst_raw x q (t : t) =
+  Array.fold_left
     (fun acc (m, c) ->
       let e = Monomial.exponent m x in
-      if e = 0 then add acc [ (m, c) ]
+      if e = 0 then add acc (monomial c m)
       else
         let rest =
           Monomial.of_list
             (List.filter (fun (v, _) -> v <> x) (Monomial.to_list m))
         in
         add acc (mul (monomial c rest) (pow q e)))
-    zero t
+    zero t.node.ts
 
-let eval env t =
-  List.fold_left
-    (fun acc (m, c) ->
-      Q.add acc (Q.mul c (Q.of_int (Monomial.eval env m))))
-    Q.zero t
+let subst x q (t : t) =
+  Memo.find subst_tbl
+    (x, q.Hashcons.tag, t.Hashcons.tag)
+    (fun _ -> subst_raw x q t)
+
+let eval_direct env (t : t) =
+  Array.fold_left
+    (fun acc (m, c) -> Q.add acc (Q.mul c (Q.of_int (Monomial.eval env m))))
+    Q.zero t.node.ts
+
+let eval_tbl : (int * int list, Q.t) Memo.t = Memo.create ~name:"poly_eval" ()
+
+(* Memoize only non-trivial polynomials: for small ones, building the
+   (tag, values-of-vars) key costs as much as evaluating directly. *)
+let eval env (t : t) =
+  if Array.length t.node.ts < 8 || not (Memo.enabled ()) then
+    eval_direct env t
+  else
+    let key = (t.tag, List.map env (vars t)) in
+    Memo.find eval_tbl key (fun _ -> eval_direct env t)
 
 let eval_int env t =
   let v = eval env t in
-  if not (Q.is_integer v) then
-    invalid_arg "Poly.eval_int: fractional value";
+  if not (Q.is_integer v) then invalid_arg "Poly.eval_int: fractional value";
   Q.to_int v
 
-let pp ppf t =
-  match t with
-  | [] -> Format.pp_print_string ppf "0"
-  | _ ->
-      List.iteri
+let pp ppf (t : t) =
+  match t.node.ts with
+  | [||] -> Format.pp_print_string ppf "0"
+  | ts ->
+      Array.iteri
         (fun i (m, c) ->
           let c =
             if i = 0 then (
@@ -284,6 +456,6 @@ let pp ppf t =
           if Monomial.is_one m then Format.fprintf ppf "%a" Q.pp c
           else if Q.equal c Q.one then Monomial.pp ppf m
           else Format.fprintf ppf "%a*%a" Q.pp c Monomial.pp m)
-        t
+        ts
 
 let to_string t = Format.asprintf "%a" pp t

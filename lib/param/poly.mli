@@ -51,8 +51,27 @@ val divide : t -> t -> t option
 (** [divide a b] is [Some q] when [a = q*b] exactly, [None] otherwise.
     @raise Division_by_zero when [b] is {!zero}. *)
 
+val lcm : t -> t -> t
+(** A least common multiple up to content: [a * (b / gcd a b)].  Exact
+    whenever {!gcd} is; if the gcd fell back to the monomial divisor the
+    result is still a common multiple, just not least.  Zero if either
+    argument is zero. *)
+
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+(** Term-wise total order, consistent with {!equal}: terms are compared
+    pairwise by monomial order then coefficient value, then by term count.
+    Physical equality of interned nodes short-circuits to 0. *)
+
+val hash : t -> int
+(** Structural hash, precomputed at interning time.  Deterministic across
+    runs and domains; agrees with {!equal}. *)
+
+val id : t -> int
+(** Interning tag: process-unique identity, constant for the node's
+    lifetime.  Suitable as a memo key within a domain; NOT stable across
+    runs — never let it influence results, only caching. *)
 
 val degree : t -> int
 (** Total degree; [-1] for {!zero} by convention. *)

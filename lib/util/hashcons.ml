@@ -1,0 +1,42 @@
+type 'a hash_consed = { node : 'a; tag : int; hkey : int }
+
+module type HashedType = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Make (H : HashedType) = struct
+  module W = Weak.Make (struct
+    type t = H.t hash_consed
+
+    let equal a b = H.equal a.node b.node
+    let hash a = a.hkey
+  end)
+
+  type t = {
+    tbl : W.t;
+    mutable next_tag : int;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create n = { tbl = W.create (max 7 n); next_tag = 0; hits = 0; misses = 0 }
+
+  let intern t node =
+    let hkey = H.hash node land max_int in
+    let candidate = { node; tag = t.next_tag; hkey } in
+    let r = W.merge t.tbl candidate in
+    if r == candidate then begin
+      t.next_tag <- t.next_tag + 1;
+      t.misses <- t.misses + 1
+    end
+    else t.hits <- t.hits + 1;
+    r
+
+  let count t = W.count t.tbl
+  let hits t = t.hits
+  let misses t = t.misses
+  let clear t = W.clear t.tbl
+end

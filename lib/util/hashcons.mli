@@ -1,0 +1,50 @@
+(** Hash-consing: unique-table interning of immutable values.
+
+    [intern] returns a canonical physical representative for every value
+    that is [H.equal] to a previously interned one, so structural equality
+    degrades to physical equality ([==]) for nodes from the same table and
+    deep hashing degrades to reading the precomputed [hkey].  Tables hold
+    their nodes weakly: nodes unreachable from outside the table are
+    collected, and their tags are never reused (the counter is monotonic),
+    so a tag is a process-unique identity usable as a memo key.
+
+    [H.hash] must be deterministic across runs and domains (derive it from
+    the value's content only, never from addresses or tags), because the
+    [hkey] of composite nodes is typically folded into the hashes of the
+    structures that contain them. *)
+
+type 'a hash_consed = private { node : 'a; tag : int; hkey : int }
+
+module type HashedType = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  val hash : t -> int
+  (** Deterministic across runs and domains. *)
+end
+
+module Make (H : HashedType) : sig
+  type t
+  (** A unique table.  Not thread-safe: share per domain (e.g. via
+      [Domain.DLS]), not across domains. *)
+
+  val create : int -> t
+  (** [create n] with initial capacity hint [n]. *)
+
+  val intern : t -> H.t -> H.t hash_consed
+  (** Canonical node for the value: physically the same result for
+      [H.equal] inputs for as long as the node stays reachable. *)
+
+  val count : t -> int
+  (** Number of live interned nodes. *)
+
+  val hits : t -> int
+  (** Interning requests answered with an existing node. *)
+
+  val misses : t -> int
+  (** Interning requests that allocated a fresh node. *)
+
+  val clear : t -> unit
+  (** Drop every entry (tags keep increasing afterwards). *)
+end

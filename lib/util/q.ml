@@ -45,6 +45,8 @@ let equal a b = a.num = b.num && a.den = b.den
 let compare a b =
   Stdlib.compare (Intmath.mul_exn a.num b.den) (Intmath.mul_exn b.num a.den)
 
+let hash a = (a.num * 65599) lxor a.den
+
 let sign a = Stdlib.compare a.num 0
 
 let is_zero a = a.num = 0

@@ -31,6 +31,10 @@ val abs : t -> t
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Deterministic across runs (content-derived); agrees with {!equal}. *)
+
 val sign : t -> int
 val is_zero : t -> bool
 val is_integer : t -> bool

@@ -370,6 +370,184 @@ let prop_gcd_commutes =
     (QCheck.pair arb_poly arb_poly) (fun (a, b) ->
       Poly.equal (Poly.gcd a b) (Poly.gcd b a))
 
+(* ------------------------------------------------------------------ *)
+(* Hash-consed kernel: interning, memoization, overflow fallback       *)
+(* ------------------------------------------------------------------ *)
+
+let with_memo flag fn =
+  let prev = Memo.enabled () in
+  Memo.set_enabled flag;
+  Fun.protect ~finally:(fun () -> Memo.set_enabled prev) fn
+
+let test_interning_identity () =
+  (* structurally equal values built along different paths are physically
+     equal, so [==] is a complete equality test within a domain *)
+  let a = p "x^2 + 2*x + 1" in
+  let b = Poly.mul (p "x+1") (p "x+1") in
+  Alcotest.(check bool) "poly interned" true (a == b);
+  Alcotest.(check int) "same hash" (Poly.hash a) (Poly.hash b);
+  Alcotest.(check int) "same id" (Poly.id a) (Poly.id b);
+  let m1 = Monomial.of_list [ ("y", 2); ("x", 1) ]
+  and m2 = Monomial.of_sorted_array [| ("x", 1); ("y", 2) |] in
+  Alcotest.(check bool) "monomial interned" true (m1 == m2);
+  Alcotest.(check int) "same monomial id" (Monomial.id m1) (Monomial.id m2);
+  Alcotest.check_raises "unsorted rejected"
+    (Invalid_argument "Monomial.of_sorted_array: not strictly sorted")
+    (fun () -> ignore (Monomial.of_sorted_array [| ("y", 1); ("x", 1) |]));
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Monomial.of_sorted_array: not strictly sorted")
+    (fun () -> ignore (Monomial.of_sorted_array [| ("x", 1); ("x", 2) |]));
+  Alcotest.check_raises "non-positive exponent rejected"
+    (Invalid_argument "Monomial.of_sorted_array: non-positive exponent")
+    (fun () -> ignore (Monomial.of_sorted_array [| ("x", 0) |]))
+
+let test_gcd_overflow_fallback () =
+  (* (x+1)·A and (x+1)·B with huge-coefficient A, B: the primitive
+     remainder sequence overflows native ints mid-run and [gcd] falls back
+     to the common monomial divisor instead of raising.  The fallback is a
+     valid common divisor but deliberately not maximal — it must NOT
+     recover the (x+1) factor, otherwise this test is not exercising the
+     fallback path at all. *)
+  let big = Q.of_int (1 lsl 40) in
+  let va = Poly.add (Poly.scale big (p "x^2")) (p "x + 1")
+  and vb = Poly.add (Poly.scale big (p "x^2")) (p "x - 1") in
+  let a = Poly.mul (p "x+1") va and b = Poly.mul (p "x+1") vb in
+  let g = Poly.gcd a b in
+  Alcotest.check poly "fallback is constant" Poly.one g;
+  Alcotest.(check bool) "fallback is not the exact gcd" false
+    (Poly.equal g (p "x+1"));
+  (* common monomial factors survive the fallback *)
+  let y = p "y" in
+  Alcotest.check poly "monomial factor recovered" y
+    (Poly.gcd (Poly.mul y a) (Poly.mul y b));
+  (* a one-sided zero never hits the remainder sequence: the result is the
+     other argument up to sign/content, so it still divides it *)
+  Alcotest.(check bool) "gcd a 0 divides a" true
+    (Poly.divide a (Poly.gcd a Poly.zero) <> None);
+  Alcotest.check poly "gcd 0 0 = 0" Poly.zero (Poly.gcd Poly.zero Poly.zero)
+
+let test_memo_on_off () =
+  let a = p "p^2*q + 3*p" and b = p "p*q + q" in
+  let run () = (Poly.gcd a b, Poly.subst "p" (p "q+1") a, Frac.make a b) in
+  let g1, s1, f1 = with_memo true run in
+  let g2, s2, f2 = with_memo false run in
+  Alcotest.check poly "gcd agrees" g1 g2;
+  Alcotest.check poly "subst agrees" s1 s2;
+  Alcotest.check frac "make agrees" f1 f2;
+  (* repeating a memoized op registers hits, and the intern/memo gauges
+     that feed the solver telemetry are live *)
+  ignore (with_memo true run);
+  Alcotest.(check bool) "hits counted" true (Memo.hits () > 0);
+  Alcotest.(check bool) "misses counted" true (Memo.misses () > 0);
+  Alcotest.(check bool) "monomial intern gauge populated" true
+    (List.assoc "param.intern.monomials" (Memo.gauges ()) > 0.);
+  Alcotest.(check bool) "poly intern gauge populated" true
+    (List.assoc "param.intern.polys" (Memo.gauges ()) > 0.)
+
+let test_frac_pp_parens () =
+  let fr = Frac.make (p "z") (p "x*y") in
+  Alcotest.(check string) "multi-variable denominator is wrapped" "z/(x*y)"
+    (Frac.to_string fr);
+  Alcotest.check frac "wrapped form re-parses" fr (f (Frac.to_string fr));
+  let fr2 = Frac.make (p "z") (p "x^2") in
+  Alcotest.(check string) "bare power needs no parentheses" "z/x^2"
+    (Frac.to_string fr2);
+  Alcotest.check frac "bare form re-parses" fr2 (f (Frac.to_string fr2))
+
+(* ------------------------------------------------------------------ *)
+(* Properties: ring axioms, canonical-form identity, legacy differential *)
+(* ------------------------------------------------------------------ *)
+
+let prop_poly_add_assoc =
+  QCheck.Test.make ~name:"poly addition associative" ~count:300
+    (QCheck.triple arb_poly arb_poly arb_poly) (fun (a, b, c) ->
+      Poly.equal (Poly.add (Poly.add a b) c) (Poly.add a (Poly.add b c)))
+
+let prop_poly_mul_assoc =
+  QCheck.Test.make ~name:"poly multiplication associative" ~count:200
+    (QCheck.triple arb_poly arb_poly arb_poly) (fun (a, b, c) ->
+      Poly.equal (Poly.mul (Poly.mul a b) c) (Poly.mul a (Poly.mul b c)))
+
+let prop_poly_add_inverse =
+  QCheck.Test.make ~name:"a + (-a) = 0" ~count:300 arb_poly (fun a ->
+      Poly.is_zero (Poly.add a (Poly.neg a)))
+
+let sign n = Stdlib.compare n 0
+
+let prop_poly_compare_consistent =
+  QCheck.Test.make ~name:"Poly.compare/hash consistent with equal" ~count:300
+    (QCheck.pair arb_poly arb_poly) (fun (a, b) ->
+      (Poly.compare a b = 0) = Poly.equal a b
+      && sign (Poly.compare a b) = -sign (Poly.compare b a)
+      && ((not (Poly.equal a b)) || Poly.hash a = Poly.hash b))
+
+let prop_frac_compare_consistent =
+  QCheck.Test.make ~name:"Frac.compare/hash consistent with equal" ~count:200
+    (QCheck.quad arb_poly arb_poly arb_poly arb_poly) (fun (a, b, c, d) ->
+      QCheck.assume (not (Poly.is_zero b));
+      QCheck.assume (not (Poly.is_zero d));
+      let x = Frac.make a b and y = Frac.make c d in
+      (Frac.compare x y = 0) = Frac.equal x y
+      && sign (Frac.compare x y) = -sign (Frac.compare y x)
+      && ((not (Frac.equal x y)) || Frac.hash x = Frac.hash y))
+
+let prop_frac_make_canonical =
+  QCheck.Test.make
+    ~name:"Frac.make is idempotent up to physical identity" ~count:300
+    (QCheck.pair arb_poly arb_poly) (fun (a, b) ->
+      QCheck.assume (not (Poly.is_zero b));
+      let fr = Frac.make a b in
+      Frac.make (Frac.num fr) (Frac.den fr) == fr)
+
+let prop_frac_pp_parse_roundtrip =
+  QCheck.Test.make ~name:"Frac.pp output re-parses to an equal fraction"
+    ~count:300 (QCheck.pair arb_poly arb_poly) (fun (a, b) ->
+      QCheck.assume (not (Poly.is_zero b));
+      let fr = Frac.make a b in
+      Frac.equal fr (Expr.parse (Frac.to_string fr)))
+
+(* Differential check against the frozen pre-rewrite kernel: the
+   hash-consed implementation must print byte-identical results for every
+   ring and gcd operation. *)
+let legacy_of_poly pl =
+  List.fold_left
+    (fun acc (m, c) ->
+      Legacy.Poly.add acc
+        (Legacy.Poly.monomial c (Legacy.Monomial.of_list (Monomial.to_list m))))
+    Legacy.Poly.zero (Poly.terms pl)
+
+let prop_differential_legacy_poly =
+  QCheck.Test.make ~name:"poly ops match the frozen legacy kernel" ~count:300
+    (QCheck.pair arb_poly arb_poly) (fun (a, b) ->
+      let la = legacy_of_poly a and lb = legacy_of_poly b in
+      let same op lop =
+        String.equal (Poly.to_string (op a b)) (Legacy.Poly.to_string (lop la lb))
+      in
+      same Poly.add Legacy.Poly.add
+      && same Poly.sub Legacy.Poly.sub
+      && same Poly.mul Legacy.Poly.mul
+      && same Poly.gcd Legacy.Poly.gcd
+      && (Poly.is_zero b
+         ||
+         match (Poly.divide a b, Legacy.Poly.divide la lb) with
+         | None, None -> true
+         | Some q1, Some q2 ->
+             String.equal (Poly.to_string q1) (Legacy.Poly.to_string q2)
+         | _ -> false))
+
+let prop_differential_legacy_frac =
+  QCheck.Test.make ~name:"Frac.make matches the legacy value" ~count:300
+    (QCheck.pair arb_poly arb_poly) (fun (a, b) ->
+      QCheck.assume (not (Poly.is_zero b));
+      let fr = Frac.make a b in
+      (* the rewrite cancels more aggressively (full polynomial gcd), so
+         compare values by legacy cross-multiplication, not printed form *)
+      Legacy.Frac.equal
+        (Legacy.Frac.make (legacy_of_poly a) (legacy_of_poly b))
+        (Legacy.Frac.make
+           (legacy_of_poly (Frac.num fr))
+           (legacy_of_poly (Frac.den fr))))
+
 let () =
   Alcotest.run "param"
     [
@@ -417,6 +595,14 @@ let () =
           Alcotest.test_case "errors" `Quick test_parser_errors;
           Alcotest.test_case "whitespace" `Quick test_parser_whitespace;
         ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "interning identity" `Quick test_interning_identity;
+          Alcotest.test_case "gcd overflow fallback" `Quick
+            test_gcd_overflow_fallback;
+          Alcotest.test_case "memo on/off" `Quick test_memo_on_off;
+          Alcotest.test_case "frac pp parentheses" `Quick test_frac_pp_parens;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -430,5 +616,14 @@ let () =
             prop_gcd_divides_both;
             prop_gcd_common_factor;
             prop_gcd_commutes;
+            prop_poly_add_assoc;
+            prop_poly_mul_assoc;
+            prop_poly_add_inverse;
+            prop_poly_compare_consistent;
+            prop_frac_compare_consistent;
+            prop_frac_make_canonical;
+            prop_frac_pp_parse_roundtrip;
+            prop_differential_legacy_poly;
+            prop_differential_legacy_frac;
           ] );
     ]

@@ -147,6 +147,47 @@ let test_prng_shuffle () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "permutation" (Array.init 20 (fun i -> i)) sorted
 
+(* ------------------------------------------------------------------ *)
+(* Hashcons: unique-table interning                                    *)
+(* ------------------------------------------------------------------ *)
+
+module HS = Hashcons.Make (struct
+  type t = string * int
+
+  let equal (a, i) (b, j) = i = j && String.equal a b
+  let hash (s, i) = (Hashtbl.hash s * 31) + i
+end)
+
+let test_hashcons_interning () =
+  let t = HS.create 16 in
+  let a = HS.intern t ("x", 1) in
+  let b = HS.intern t ("x", 1) in
+  (* a freshly allocated but structurally equal key must still hit *)
+  let c = HS.intern t (String.init 1 (fun _ -> 'x'), 1) in
+  Alcotest.(check bool) "same value interned once" true (a == b);
+  Alcotest.(check bool) "structural equality suffices" true (a == c);
+  let d = HS.intern t ("y", 1) in
+  Alcotest.(check bool) "distinct values get distinct nodes" true (a != d);
+  Alcotest.(check bool) "distinct tags" true (a.Hashcons.tag <> d.Hashcons.tag);
+  Alcotest.(check int) "hkey is the content hash"
+    (((Hashtbl.hash "x" * 31) + 1) land max_int)
+    a.Hashcons.hkey;
+  Alcotest.(check int) "two live nodes" 2 (HS.count t)
+
+let test_hashcons_stats () =
+  let t = HS.create 16 in
+  let a0 = HS.intern t ("a", 0) in
+  let a1 = HS.intern t ("a", 0) in
+  let b0 = HS.intern t ("b", 0) in
+  ignore (a1 == a0 && b0 == b0);
+  Alcotest.(check int) "misses count fresh interns" 2 (HS.misses t);
+  Alcotest.(check int) "hits count repeats" 1 (HS.hits t);
+  let before = a0.Hashcons.tag in
+  HS.clear t;
+  Alcotest.(check int) "clear empties the table" 0 (HS.count t);
+  let after = (HS.intern t ("a", 0)).Hashcons.tag in
+  Alcotest.(check bool) "tags are never reused" true (after > before)
+
 (* QCheck properties *)
 
 let prop_q_add_assoc =
@@ -305,6 +346,11 @@ let () =
           Alcotest.test_case "gaussian moments" `Slow test_prng_gaussian_moments;
           Alcotest.test_case "split" `Quick test_prng_split;
           Alcotest.test_case "shuffle" `Quick test_prng_shuffle;
+        ] );
+      ( "hashcons",
+        [
+          Alcotest.test_case "interning" `Quick test_hashcons_interning;
+          Alcotest.test_case "stats and clear" `Quick test_hashcons_stats;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
