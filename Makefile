@@ -1,5 +1,5 @@
 .PHONY: all build test bench bench-smoke obs-smoke check chaos resume-smoke \
-  serve-smoke clean
+  serve-smoke netchaos-smoke clean
 
 all: build
 
@@ -31,6 +31,8 @@ bench-smoke:
 	  TPDF_BENCH_PARAM_OUT=BENCH_param.smoke.json dune exec bench/main.exe
 	TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E22 \
 	  TPDF_BENCH_SERVE_OUT=BENCH_serve.smoke.json dune exec bench/main.exe
+	TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E23 \
+	  TPDF_BENCH_NETCHAOS_OUT=BENCH_netchaos.smoke.json dune exec bench/main.exe
 
 # Telemetry smoke: E20 at smoke sizes (writes BENCH_obs.smoke.json, the
 # checked-in BENCH_obs.json is refreshed with `TPDF_BENCH_ONLY=E20 make
@@ -78,6 +80,13 @@ resume-smoke:
 # byte.  See ci/serve_smoke.sh.
 serve-smoke:
 	sh ci/serve_smoke.sh
+
+# Network-chaos smoke: kill -9 the source daemon mid-migration over real
+# sockets, restart, resolve — the tenant must end up live on exactly one
+# daemon with a byte-identical checkpoint; plus graceful drain and a
+# fault-injecting socket layer round-trip.  See ci/netchaos_smoke.sh.
+netchaos-smoke:
+	sh ci/netchaos_smoke.sh
 
 clean:
 	dune clean

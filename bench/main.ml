@@ -1917,6 +1917,301 @@ let e22_serve () =
   Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* E23: network chaos — resilient client over a seeded fault plan      *)
+(* ------------------------------------------------------------------ *)
+
+module NF = Tpdf_serve.Netfault
+module SClient = Tpdf_serve.Client
+
+type e23_run = {
+  n_label : string;
+  n_spec : string; (* netfault plan, "" for the no-fault baseline *)
+  n_tenants : int;
+  n_logical : int; (* logical client requests (advances) *)
+  n_attempts : int; (* transport attempts incl. retries *)
+  n_lost : int; (* logical requests that exhausted retries *)
+  n_req_lost : int; (* injected: request line lost on the wire *)
+  n_resp_lost : int; (* injected: response line lost on the wire *)
+  n_delayed : int; (* injected: operations delayed *)
+  n_wall_ms : float;
+  n_virtual_ms : float; (* injected delay + client backoff, virtual *)
+  n_p50_ms : float; (* per-logical-request daemon time, all attempts *)
+  n_p95_ms : float;
+  n_diverged : int; (* tenants whose final state differs from the twin *)
+}
+
+(* Open-loop load through the resilient client against an in-process
+   chaotic transport: each transport attempt consults the netfault plan
+   (per-tenant connection stream; requests and responses draw at
+   distinct op parities), a lost line surfaces as a transport failure,
+   and the client retries with idempotency keys under virtual-time
+   backoff.  Every logical request that succeeds is mirrored once into
+   a fault-free twin daemon; at the end the per-tenant final states
+   must be byte-identical — retries and replays must never
+   double-advance a tenant.  Latencies measure daemon time summed over
+   a logical request's attempts; injected delays and client backoff
+   accumulate in virtual time so runs are reproducible. *)
+let e23_load ~label ~spec ~seed ~tenants ~rounds ~iters_per_advance () =
+  let specs =
+    if spec = "" then []
+    else match NF.parse_specs spec with Ok s -> s | Error e -> failwith e
+  in
+  let plan = NF.make ~seed specs in
+  let cfg =
+    {
+      ServeD.default_config with
+      ServeD.max_tenants = (2 * tenants) + 8;
+      rid_cache = 1024;
+    }
+  in
+  let mk () = match ServeD.create cfg with Ok d -> d | Error e -> failwith e in
+  let d = mk () and twin = mk () in
+  let fig1_src = Serial.to_string (Graph.of_csdf (Csdf.Examples.fig1 ())) in
+  let fig2_src = Serial.to_string (Examples.fig2 ()).Examples.graph in
+  let names = Array.init tenants (fun i -> Printf.sprintf "n%03d" i) in
+  let virtual_ms = ref 0.0 in
+  let req_lost = ref 0 and resp_lost = ref 0 and delayed = ref 0 in
+  let attempts = ref 0 and lost = ref 0 in
+  let ops = Array.make tenants 0 in
+  let transport conn =
+    {
+      SClient.call =
+        (fun ~deadline_ms:_ line ->
+          let o = ops.(conn) in
+          ops.(conn) <- o + 1;
+          let v = NF.verdict plan ~conn ~op:(2 * o) ~len:(String.length line) in
+          if v.NF.v_delay_ms > 0.0 then begin
+            incr delayed;
+            virtual_ms := !virtual_ms +. v.NF.v_delay_ms
+          end;
+          if v.NF.v_drop || v.NF.v_tear_at <> None then begin
+            incr req_lost;
+            Error (SClient.Conn "injected: request lost")
+          end
+          else
+            let resp = ServeD.handle_line d line in
+            let v' =
+              NF.verdict plan ~conn ~op:((2 * o) + 1)
+                ~len:(String.length resp)
+            in
+            if v'.NF.v_delay_ms > 0.0 then begin
+              incr delayed;
+              virtual_ms := !virtual_ms +. v'.NF.v_delay_ms
+            end;
+            if v'.NF.v_drop || v'.NF.v_tear_at <> None then begin
+              incr resp_lost;
+              Error (SClient.Conn "injected: response lost")
+            end
+            else Ok resp);
+      sleep = (fun ms -> virtual_ms := !virtual_ms +. ms);
+    }
+  in
+  let policy =
+    {
+      SClient.deadline_ms = 1000.0;
+      retries = 6;
+      backoff_ms = 5.0;
+      backoff_max_ms = 80.0;
+      seed;
+    }
+  in
+  let submit_line name src params =
+    ServeJ.to_string
+      (ServeJ.Obj
+         ([
+            ("id", ServeJ.String ("s-" ^ name));
+            ("op", ServeJ.String "submit");
+            ("name", ServeJ.String name);
+            ("graph", ServeJ.String src);
+          ]
+         @
+         match params with
+         | [] -> []
+         | ps ->
+             [
+               ( "params",
+                 ServeJ.Obj (List.map (fun (k, v) -> (k, ServeJ.Int v)) ps) );
+             ]))
+  in
+  (* Submits bypass the chaos: the load under test is the steady-state
+     advance traffic.  Both daemons see identical submissions. *)
+  Array.iteri
+    (fun i name ->
+      let line =
+        if i mod 2 = 0 then submit_line name fig1_src []
+        else submit_line name fig2_src [ ("p", 1 + (i mod 3)) ]
+      in
+      ignore (ServeD.handle_line d line);
+      ignore (ServeD.handle_line twin line))
+    names;
+  let lat = ref [] in
+  let logical = ref 0 in
+  let t0 = Tpdf_obs.Obs.now_wall_ms () in
+  for r = 1 to rounds do
+    Array.iteri
+      (fun ti name ->
+        let line =
+          ServeJ.to_string
+            (ServeJ.Obj
+               [
+                 ("id", ServeJ.String ("a-" ^ name));
+                 ("rid", ServeJ.String (Printf.sprintf "adv-%s-%d" name r));
+                 ("op", ServeJ.String "advance");
+                 ("name", ServeJ.String name);
+                 ("iterations", ServeJ.Int iters_per_advance);
+               ])
+        in
+        incr logical;
+        let w0 = Tpdf_obs.Obs.now_wall_ms () in
+        let out = SClient.call policy (transport ti) ~op:!logical line in
+        lat := (Tpdf_obs.Obs.now_wall_ms () -. w0) :: !lat;
+        attempts := !attempts + out.SClient.attempts;
+        match out.SClient.response with
+        | Ok _ -> ignore (ServeD.handle_line twin line)
+        | Error _ -> incr lost)
+      names
+  done;
+  let n_wall_ms = Tpdf_obs.Obs.now_wall_ms () -. t0 in
+  let diverged =
+    Array.fold_left
+      (fun acc name ->
+        let q =
+          ServeJ.to_string
+            (ServeJ.Obj
+               [
+                 ("id", ServeJ.String ("q-" ^ name));
+                 ("op", ServeJ.String "query");
+                 ("name", ServeJ.String name);
+               ])
+        in
+        if ServeD.handle_line d q = ServeD.handle_line twin q then acc
+        else acc + 1)
+      0 names
+  in
+  let sorted =
+    let a = Array.of_list !lat in
+    Array.sort compare a;
+    a
+  in
+  {
+    n_label = label;
+    n_spec = spec;
+    n_tenants = tenants;
+    n_logical = !logical;
+    n_attempts = !attempts;
+    n_lost = !lost;
+    n_req_lost = !req_lost;
+    n_resp_lost = !resp_lost;
+    n_delayed = !delayed;
+    n_wall_ms;
+    n_virtual_ms = !virtual_ms;
+    n_p50_ms = e22_percentile sorted 0.5;
+    n_p95_ms = e22_percentile sorted 0.95;
+    n_diverged = diverged;
+  }
+
+let e23_gate_p95_ratio = 2.0
+
+let e23_netchaos () =
+  section "E23"
+    "Network chaos: resilient client + idempotency under a fault-plan sweep";
+  let smoke = bench_smoke in
+  let tenants = if smoke then 12 else 320 in
+  let rounds = if smoke then 3 else 6 in
+  let iters_per_advance = 1 in
+  let sweep =
+    [
+      ("baseline", "", 0);
+      ("lossy", "disconnect:0.01,tear:0.005", 7);
+      ("slow", "delay:0.05:2", 11);
+      ("lossy+slow", "disconnect:0.01,tear:0.005,delay:0.05:2,stall:0.01:4", 13);
+    ]
+  in
+  let runs =
+    List.map
+      (fun (label, spec, seed) ->
+        e23_load ~label ~spec ~seed ~tenants ~rounds ~iters_per_advance ())
+      sweep
+  in
+  let base = List.hd runs in
+  let faults = List.tl runs in
+  let ratio r =
+    if base.n_p95_ms > 0.0 then r.n_p95_ms /. base.n_p95_ms else 0.0
+  in
+  let worst_ratio = List.fold_left (fun m r -> Float.max m (ratio r)) 0.0 faults in
+  let p95_ok = worst_ratio > 0.0 && worst_ratio <= e23_gate_p95_ratio in
+  let diverged = List.fold_left (fun a r -> a + r.n_diverged) 0 runs in
+  let total_lost = List.fold_left (fun a r -> a + r.n_lost) 0 runs in
+  let injected r = r.n_req_lost + r.n_resp_lost + r.n_delayed in
+  let injected_ok = List.for_all (fun r -> injected r > 0) faults in
+  let divergence_ok = diverged = 0 && total_lost = 0 in
+  Printf.printf "%-11s %8s %9s %9s %7s %9s %9s %8s %9s %9s\n" "plan" "tenants"
+    "logical" "attempts" "lost" "req_lost" "resp_lost" "delayed" "p95 ms"
+    "diverged";
+  List.iter
+    (fun r ->
+      Printf.printf "%-11s %8d %9d %9d %7d %9d %9d %8d %9.3f %9d\n" r.n_label
+        r.n_tenants r.n_logical r.n_attempts r.n_lost r.n_req_lost
+        r.n_resp_lost r.n_delayed r.n_p95_ms r.n_diverged)
+    runs;
+  Printf.printf
+    "healthy p95 under chaos: worst %.2fx of baseline (gate %.1fx) -> %s\n"
+    worst_ratio e23_gate_p95_ratio
+    (if p95_ok then "ok" else "FAILED");
+  Printf.printf "state divergence: %d tenants, %d lost requests -> %s\n"
+    diverged total_lost
+    (if divergence_ok then "ok" else "FAILED");
+  let out =
+    match Sys.getenv_opt "TPDF_BENCH_NETCHAOS_OUT" with
+    | Some p -> p
+    | None -> "BENCH_netchaos.json"
+  in
+  let oc = open_out out in
+  let fp fmt = Printf.fprintf oc fmt in
+  fp "{\n";
+  fp "  \"experiment\": \"E23\",\n";
+  fp "  \"smoke\": %b,\n" smoke;
+  fp_metadata oc;
+  fp "  \"note\": %S,\n"
+    "Open-loop load through the resilient client (deadlines, idempotency \
+     keys, seeded jittered backoff) against an in-process transport that \
+     injects wire faults from a seeded netfault plan: lost requests, lost \
+     responses, delays.  Every successful logical advance is mirrored into \
+     a fault-free twin daemon; divergence counts tenants whose final query \
+     differs byte-for-byte from the twin's; retries plus rid replay must \
+     never double-advance a tenant.  p95 is per-logical-request daemon \
+     time summed over attempts (injected delays and backoff accumulate in \
+     virtual time); p95_ratio_ok gates the worst chaos-run p95 against the \
+     no-fault baseline.";
+  fp "  \"iters_per_advance\": %d,\n" iters_per_advance;
+  fp "  \"rounds\": %d,\n" rounds;
+  fp "  \"gate_p95_ratio\": %.1f,\n" e23_gate_p95_ratio;
+  fp "  \"worst_p95_ratio\": %.3f,\n" worst_ratio;
+  fp "  \"p95_ratio_ok\": %b,\n" p95_ok;
+  fp "  \"diverged_tenants\": %d,\n" diverged;
+  fp "  \"lost_requests\": %d,\n" total_lost;
+  fp "  \"divergence_ok\": %b,\n" divergence_ok;
+  fp "  \"faults_injected_ok\": %b,\n" injected_ok;
+  fp "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      fp
+        "    { \"plan\": %S, \"spec\": %S, \"tenants\": %d, \"logical\": %d, \
+         \"attempts\": %d, \"lost\": %d, \"req_lost\": %d, \"resp_lost\": \
+         %d, \"delayed\": %d, \"wall_ms\": %.3f, \"virtual_ms\": %.3f, \
+         \"request_p50_ms\": %.4f, \"request_p95_ms\": %.4f, \"diverged\": \
+         %d }%s\n"
+        r.n_label r.n_spec r.n_tenants r.n_logical r.n_attempts r.n_lost
+        r.n_req_lost r.n_resp_lost r.n_delayed r.n_wall_ms r.n_virtual_ms
+        r.n_p50_ms r.n_p95_ms r.n_diverged
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  fp "  ]\n";
+  fp "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* TPDF_BENCH_TRACE: observability artifacts for the example graphs    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1980,6 +2275,7 @@ let () =
       ("E20", e20_obs);
       ("E21", e21_param);
       ("E22", e22_serve);
+      ("E23", e23_netchaos);
     ]
   in
   let only =

@@ -1291,36 +1291,136 @@ let chaos_cmd =
 
 module Serve = Tpdf_serve
 
+let json_line fields = Serve.Json.to_string (Serve.Json.Obj fields)
+
+(* Peer dialing for live migration: each dial is one resilient logical
+   request through the same retry/backoff client the CLI uses. *)
+let mk_dial () =
+  let dial_op = ref 0 in
+  fun addr line ->
+    match Serve.Server.parse_endpoint addr with
+    | Error e -> Error e
+    | Ok ep ->
+        let tr = Serve.Client.socket_transport ep in
+        let op = !dial_op in
+        Stdlib.incr dial_op;
+        (Serve.Client.call Serve.Client.default_policy tr ~op line)
+          .Serve.Client.response
+
 let cmd_serve socket state_dir max_tenants max_resident capacity max_queue
     max_advance checkpoint_every request_timeout_ms retry_after_ms
-    quarantine_skips default_budget metrics_out =
+    quarantine_skips default_budget metrics_out rid_cache crash_at netfault
+    netfault_seed max_conns max_line_bytes read_deadline_ms conn_bytes conn_ms
+    drain =
   let endpoint = or_die (Serve.Server.parse_endpoint socket) in
-  let cfg =
-    {
-      Serve.Daemon.state_dir;
-      max_tenants;
-      max_resident;
-      capacity;
-      max_queue;
-      max_advance;
-      checkpoint_every;
-      request_timeout_ms;
-      retry_after_ms;
-      quarantine_skips;
-      default_budget;
-      metrics_out;
-    }
-  in
-  with_env_pool @@ fun pool ->
-  let daemon = or_die (Serve.Daemon.create ?pool cfg) in
-  Printf.eprintf "tpdf_tool: serving on %s\n%!" socket;
-  or_die (Serve.Server.serve daemon endpoint)
+  if drain then begin
+    (* Graceful drain of the daemon already running on SOCKET: persist
+       every tenant, refuse new submissions, stop once in-flight
+       requests are answered (nginx -s quit style). *)
+    let tr = Serve.Client.socket_transport endpoint in
+    let line =
+      json_line
+        [
+          ("op", Serve.Json.String "drain"); ("stop", Serve.Json.Bool true);
+        ]
+    in
+    let out = Serve.Client.call Serve.Client.default_policy tr ~op:0 line in
+    print_endline (or_die out.Serve.Client.response)
+  end
+  else begin
+    let netfault =
+      match netfault with
+      | None -> Serve.Netfault.none
+      | Some spec ->
+          Serve.Netfault.make ~seed:netfault_seed
+            (or_die (Serve.Netfault.parse_specs spec))
+    in
+    let limits =
+      {
+        Serve.Server.max_conns;
+        max_line_bytes;
+        read_deadline_ms;
+        conn_bytes;
+        conn_ms;
+      }
+    in
+    let cfg =
+      {
+        Serve.Daemon.state_dir;
+        max_tenants;
+        max_resident;
+        capacity;
+        max_queue;
+        max_advance;
+        checkpoint_every;
+        request_timeout_ms;
+        retry_after_ms;
+        quarantine_skips;
+        default_budget;
+        metrics_out;
+        rid_cache;
+        crash_at;
+      }
+    in
+    with_env_pool @@ fun pool ->
+    let daemon = or_die (Serve.Daemon.create ?pool ~dial:(mk_dial ()) cfg) in
+    Printf.eprintf "tpdf_tool: serving on %s\n%!" socket;
+    match Serve.Server.serve ~limits ~netfault daemon endpoint with
+    | r -> or_die r
+    | exception Serve.Daemon.Injected_crash point ->
+        (* Make the injected crash a *real* kill -9: no atexit, no
+           flushing, no final persist — exactly what the state
+           directory must survive. *)
+        Printf.eprintf "tpdf_tool: injected crash at %s\n%!" point;
+        Unix.kill (Unix.getpid ()) Sys.sigkill
+  end
 
-let cmd_client socket request timeout_ms =
+let cmd_client socket request timeout_ms deadline_ms retries backoff_ms
+    backoff_max_ms seed rid drain stop migrate migrate_to resolve =
   let endpoint = or_die (Serve.Server.parse_endpoint socket) in
-  match request with
-  | Some line -> print_endline (or_die (Serve.Server.request endpoint line))
-  | None ->
+  let policy =
+    { Serve.Client.deadline_ms; retries; backoff_ms; backoff_max_ms; seed }
+  in
+  let send ~op line =
+    let line =
+      match rid with
+      | Some r -> Serve.Client.ensure_rid line ~rid:r
+      | None -> line
+    in
+    let tr = Serve.Client.socket_transport endpoint in
+    let out = Serve.Client.call policy tr ~op line in
+    print_endline (or_die out.Serve.Client.response)
+  in
+  match (drain, migrate, resolve, request) with
+  | true, _, _, _ ->
+      send ~op:0
+        (json_line
+           [
+             ("op", Serve.Json.String "drain"); ("stop", Serve.Json.Bool stop);
+           ])
+  | _, Some name, _, _ ->
+      let to_addr =
+        match migrate_to with
+        | Some a -> a
+        | None -> or_die (Error "--migrate requires --to ADDR")
+      in
+      send ~op:0
+        (json_line
+           [
+             ("op", Serve.Json.String "migrate");
+             ("name", Serve.Json.String name);
+             ("to", Serve.Json.String to_addr);
+             ("from", Serve.Json.String socket);
+           ])
+  | _, _, Some name, _ ->
+      send ~op:0
+        (json_line
+           [
+             ("op", Serve.Json.String "resolve");
+             ("name", Serve.Json.String name);
+           ])
+  | _, _, _, Some line -> send ~op:0 line
+  | _ ->
       or_die
         (Serve.Server.session endpoint ~connect_timeout_ms:timeout_ms stdin
            stdout)
@@ -1430,6 +1530,94 @@ let serve_cmd =
     Arg.(
       value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
   in
+  let rid_cache_arg =
+    let doc =
+      "Idempotency-key cache capacity: responses to requests carrying a \
+       $(b,rid) field are replayed byte-identically on retry instead of \
+       re-executed; 0 disables."
+    in
+    Arg.(
+      value
+      & opt int dc.Serve.Daemon.rid_cache
+      & info [ "rid-cache" ] ~docv:"N" ~doc)
+  in
+  let crash_at_arg =
+    let doc =
+      "Fault injection for migration tests: SIGKILL this daemon the moment \
+       the named migration point (e.g. $(b,src_after_commit), \
+       $(b,dst_after_prepare)) is reached."
+    in
+    Arg.(value & opt (some string) None & info [ "kill-at" ] ~docv:"POINT" ~doc)
+  in
+  let netfault_arg =
+    let doc =
+      "Inject seeded wire faults into every accepted connection: \
+       comma-separated $(b,KIND:PROB[:ARG]) with kinds $(b,shortread), \
+       $(b,shortwrite), $(b,tear), $(b,stall), $(b,disconnect), $(b,delay), \
+       $(b,dup).  E.g. $(b,tear:0.01,disconnect:0.005,shortread:0.2:7)."
+    in
+    Arg.(value & opt (some string) None & info [ "netfault" ] ~docv:"SPEC" ~doc)
+  in
+  let netfault_seed_arg =
+    let doc = "Seed for the $(b,--netfault) plan (bit-reproducible)." in
+    Arg.(value & opt int 0 & info [ "netfault-seed" ] ~docv:"N" ~doc)
+  in
+  let dl = Serve.Server.default_limits in
+  let max_conns_arg =
+    let doc =
+      "Accepted-connection cap; an overflowing connection gets one \
+       $(b,overloaded) error line and is closed.  0 means unlimited."
+    in
+    Arg.(
+      value
+      & opt int dl.Serve.Server.max_conns
+      & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let max_line_bytes_arg =
+    let doc =
+      "Longest request line accepted (terminated or not): longer frames get \
+       a $(b,too_large) error and the connection is closed, bounding \
+       per-connection buffering.  0 means unlimited."
+    in
+    Arg.(
+      value
+      & opt int dl.Serve.Server.max_line_bytes
+      & info [ "max-line-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let read_deadline_arg =
+    let doc =
+      "Cut a connection that has sent part of a frame and then stalled for \
+       $(docv) ms (slow-loris defence); 0 never cuts."
+    in
+    Arg.(
+      value
+      & opt float dl.Serve.Server.read_deadline_ms
+      & info [ "read-deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let conn_bytes_arg =
+    let doc =
+      "Per-connection lifetime inbound byte budget; 0 means unlimited."
+    in
+    Arg.(
+      value
+      & opt int dl.Serve.Server.conn_bytes
+      & info [ "conn-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let conn_ms_arg =
+    let doc = "Per-connection lifetime wall budget in ms; 0 means unlimited." in
+    Arg.(
+      value
+      & opt float dl.Serve.Server.conn_ms
+      & info [ "conn-ms" ] ~docv:"MS" ~doc)
+  in
+  let drain_arg =
+    let doc =
+      "Do not start a daemon: gracefully drain the one already running on \
+       $(i,SOCKET) — persist every tenant, refuse new submissions, stop \
+       after in-flight requests are answered."
+    in
+    Arg.(value & flag & info [ "drain" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1439,13 +1627,18 @@ let serve_cmd =
           submit time), FIFO queueing and load shedding, per-tenant fault \
           isolation with quarantine, and crash-consistent checkpoints — \
           $(b,kill -9) plus a restart on the same $(b,--state-dir) resumes \
-          every tenant byte-identically.  $(b,TPDF_DOMAINS) shards \
+          every tenant byte-identically.  Live migration ($(b,tpdf_tool \
+          client --migrate)) hands a tenant to a peer daemon through a \
+          two-phase checksummed checkpoint transfer that survives \
+          $(b,kill -9) of either side.  $(b,TPDF_DOMAINS) shards \
           $(b,tick) batches across a domain pool.")
     Term.(
       const cmd_serve $ socket_arg $ state_dir_arg $ max_tenants_arg
       $ max_resident_arg $ capacity_arg $ max_queue_arg $ max_advance_arg
       $ checkpoint_every_arg $ timeout_arg $ retry_after_arg $ quarantine_arg
-      $ budget_arg $ metrics_out_arg)
+      $ budget_arg $ metrics_out_arg $ rid_cache_arg $ crash_at_arg
+      $ netfault_arg $ netfault_seed_arg $ max_conns_arg $ max_line_bytes_arg
+      $ read_deadline_arg $ conn_bytes_arg $ conn_ms_arg $ drain_arg)
 
 let client_cmd =
   let request_arg =
@@ -1463,13 +1656,93 @@ let client_cmd =
     in
     Arg.(value & opt float 5000.0 & info [ "connect-timeout-ms" ] ~docv:"MS" ~doc)
   in
+  let pc = Serve.Client.default_policy in
+  let deadline_arg =
+    let doc = "Per-attempt response deadline in ms." in
+    Arg.(
+      value
+      & opt float pc.Serve.Client.deadline_ms
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Re-send a request up to $(docv) times after transport failures \
+       (timeouts, resets, torn responses); well-formed error responses are \
+       never retried."
+    in
+    Arg.(
+      value
+      & opt int pc.Serve.Client.retries
+      & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc = "Base backoff between attempts in ms (exponential, jittered)." in
+    Arg.(
+      value
+      & opt float pc.Serve.Client.backoff_ms
+      & info [ "backoff-ms" ] ~docv:"MS" ~doc)
+  in
+  let backoff_max_arg =
+    let doc = "Backoff cap in ms, before jitter." in
+    Arg.(
+      value
+      & opt float pc.Serve.Client.backoff_max_ms
+      & info [ "backoff-max-ms" ] ~docv:"MS" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed of the deterministic backoff-jitter stream." in
+    Arg.(value & opt int pc.Serve.Client.seed & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let rid_arg =
+    let doc =
+      "Attach this idempotency key to the request (a $(b,rid) field): the \
+       daemon replays the cached response byte-identically if a retry \
+       re-delivers the request."
+    in
+    Arg.(value & opt (some string) None & info [ "rid" ] ~docv:"ID" ~doc)
+  in
+  let drain_arg =
+    let doc = "Send a $(b,drain) request instead of reading stdin." in
+    Arg.(value & flag & info [ "drain" ] ~doc)
+  in
+  let stop_arg =
+    let doc = "With $(b,--drain): also stop the daemon once drained." in
+    Arg.(value & flag & info [ "stop" ] ~doc)
+  in
+  let migrate_arg =
+    let doc =
+      "Live-migrate tenant $(docv) from the daemon on $(i,SOCKET) to the \
+       daemon at $(b,--to): two-phase checkpoint handoff, crash-safe on \
+       both sides."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "migrate" ] ~docv:"TENANT" ~doc)
+  in
+  let to_arg =
+    let doc = "Destination daemon endpoint for $(b,--migrate)." in
+    Arg.(value & opt (some string) None & info [ "to" ] ~docv:"ADDR" ~doc)
+  in
+  let resolve_arg =
+    let doc =
+      "Finish an interrupted migration of tenant $(docv) from whichever \
+       side's persisted state survives."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "resolve" ] ~docv:"TENANT" ~doc)
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
-         "Scripted client for $(b,tpdf_tool serve): read JSON request lines \
+         "Resilient client for $(b,tpdf_tool serve): read JSON request lines \
           from stdin (blank lines and $(b,#) comments skipped), send each to \
-          $(i,SOCKET), and print one response line per request.")
-    Term.(const cmd_client $ socket_arg $ request_arg $ timeout_arg)
+          $(i,SOCKET), and print one response line per request.  Single \
+          requests ($(b,-e), $(b,--drain), $(b,--migrate), $(b,--resolve)) \
+          ride the deadline/retry/backoff transport and may carry an \
+          idempotency key.")
+    Term.(
+      const cmd_client $ socket_arg $ request_arg $ timeout_arg $ deadline_arg
+      $ retries_arg $ backoff_arg $ backoff_max_arg $ seed_arg $ rid_arg
+      $ drain_arg $ stop_arg $ migrate_arg $ to_arg $ resolve_arg)
 
 let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Emit Graphviz") Term.(const cmd_dot $ graph_arg)

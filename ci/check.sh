@@ -479,4 +479,64 @@ else
   grep -q '"isolation_ok": true' BENCH_serve.json
 fi
 
+# Network-chaos smoke: kill -9 the source daemon mid-migration over real
+# sockets, restart, resolve — single owner, byte-identical checkpoint;
+# plus graceful drain and a fault-injecting socket layer round-trip.
+echo "== smoke: netchaos (kill -9 mid-migration + drain + netfault) =="
+sh ci/netchaos_smoke.sh
+
+# Network-chaos bench smoke: E23 at reduced sizes must produce a
+# parseable BENCH_netchaos.json; both it and the checked-in full-size
+# file are held to the resilience gates — the worst fault-plan p95 must
+# stay within gate_p95_ratio x the no-fault baseline, every fault run
+# must actually inject faults, and retries plus rid replay must leave
+# zero tenants diverged from the fault-free twin and zero requests lost.
+echo "== smoke: bench E23 (network chaos) =="
+TPDF_BENCH_SMOKE=1 TPDF_BENCH_ONLY=E23 \
+  TPDF_BENCH_NETCHAOS_OUT="$bench_dir/BENCH_netchaos.json" \
+  dune exec bench/main.exe > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$bench_dir/BENCH_netchaos.json" BENCH_netchaos.json <<'EOF'
+import json, sys
+
+def check(path, smoke):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["experiment"] == "E23", f"{path}: unexpected experiment tag"
+    assert doc["smoke"] == smoke, f"{path}: unexpected smoke flag"
+    assert doc["metadata"]["cores_detected"] >= 1, f"{path}: metadata missing"
+    plans = [r["plan"] for r in doc["runs"]]
+    assert plans == ["baseline", "lossy", "slow", "lossy+slow"], \
+        f"{path}: bad fault-plan sweep: {plans}"
+    for r in doc["runs"]:
+        assert r["logical"] > 0 and r["attempts"] >= r["logical"], \
+            f"{path}: attempts below logical requests in {r['plan']}"
+        assert r["request_p95_ms"] >= r["request_p50_ms"] >= 0, \
+            f"{path}: bad latency percentiles in {r['plan']}"
+        assert r["diverged"] == 0 and r["lost"] == 0, \
+            f"{path}: divergence or lost requests in {r['plan']}"
+        injected = r["req_lost"] + r["resp_lost"] + r["delayed"]
+        if r["plan"] == "baseline":
+            assert injected == 0, f"{path}: baseline run injected faults"
+        else:
+            assert injected > 0, f"{path}: fault run {r['plan']} injected nothing"
+    assert doc["p95_ratio_ok"], f"{path}: chaos p95 gate failed"
+    assert 0 < doc["worst_p95_ratio"] <= doc["gate_p95_ratio"], \
+        f"{path}: worst p95 ratio {doc['worst_p95_ratio']} past gate"
+    assert doc["divergence_ok"] and doc["faults_injected_ok"], \
+        f"{path}: resilience gates failed"
+
+check(sys.argv[1], smoke=True)
+check(sys.argv[2], smoke=False)
+EOF
+else
+  grep -q '"experiment": "E23"' "$bench_dir/BENCH_netchaos.json"
+  grep -q '"p95_ratio_ok": true' "$bench_dir/BENCH_netchaos.json"
+  grep -q '"divergence_ok": true' "$bench_dir/BENCH_netchaos.json"
+  grep -q '"experiment": "E23"' BENCH_netchaos.json
+  grep -q '"p95_ratio_ok": true' BENCH_netchaos.json
+  grep -q '"divergence_ok": true' BENCH_netchaos.json
+  grep -q '"faults_injected_ok": true' BENCH_netchaos.json
+fi
+
 echo "check: OK"

@@ -1,0 +1,151 @@
+module Prng = Tpdf_util.Prng
+
+type policy = {
+  deadline_ms : float;
+  retries : int;
+  backoff_ms : float;
+  backoff_max_ms : float;
+  seed : int;
+}
+
+let default_policy =
+  {
+    deadline_ms = 2000.0;
+    retries = 4;
+    backoff_ms = 25.0;
+    backoff_max_ms = 1000.0;
+    seed = 0;
+  }
+
+(* FNV-1a keying, as in Netfault and Tpdf_fault.Plan: the jitter for
+   (op, attempt) is an independent pure draw. *)
+let fnv_prime = 0x100000001B3L
+
+let fnv h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let backoff_ms p ~op ~attempt =
+  let base =
+    Float.min (p.backoff_ms *. Float.pow 2.0 (float_of_int (attempt - 1)))
+      p.backoff_max_ms
+  in
+  let h = fnv (Int64.of_int p.seed) (Printf.sprintf "op%d" op) in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int attempt)) fnv_prime in
+  let rng = Prng.create (Int64.to_int h) in
+  base *. (0.5 +. Prng.float rng 0.5)
+
+type failure = Timeout | Conn of string
+
+type transport = {
+  call : deadline_ms:float -> string -> (string, failure) result;
+  sleep : float -> unit;
+}
+
+type outcome = {
+  response : (string, string) result;
+  attempts : int;
+  slept_ms : float;
+}
+
+let describe = function
+  | Timeout -> "request timed out"
+  | Conn e -> e
+
+let call p transport ~op line =
+  let slept = ref 0.0 in
+  let rec attempt n =
+    match transport.call ~deadline_ms:p.deadline_ms line with
+    | Ok resp ->
+        { response = Ok resp; attempts = n; slept_ms = !slept }
+    | Error f ->
+        if n > p.retries then
+          { response = Error (describe f); attempts = n; slept_ms = !slept }
+        else begin
+          let ms = backoff_ms p ~op ~attempt:n in
+          slept := !slept +. ms;
+          transport.sleep ms;
+          attempt (n + 1)
+        end
+  in
+  attempt 1
+
+let ensure_rid line ~rid =
+  match Json.of_string line with
+  | Ok (Json.Obj fields) when not (List.mem_assoc "rid" fields) ->
+      Json.to_string (Json.Obj (("rid", Json.String rid) :: fields))
+  | _ -> line
+
+(* ---------- socket transport ---------- *)
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* Read one newline-terminated line from [fd] before [deadline] (an
+   absolute now_ms instant), without over-reading past the newline —
+   the connection is closed after each attempt anyway, but byte-exact
+   framing keeps the code honest. *)
+let recv_line ~max_line_bytes fd deadline =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let remaining = (deadline -. now_ms ()) /. 1000.0 in
+    if remaining <= 0.0 then Error Timeout
+    else
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> Error Timeout
+      | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Error (Conn "connection closed by the daemon")
+          | n -> (
+              Buffer.add_subbytes buf chunk 0 n;
+              if Buffer.length buf > max_line_bytes then
+                Error (Conn "response line too long")
+              else
+                let data = Buffer.contents buf in
+                match String.index_opt data '\n' with
+                | Some i -> Ok (String.sub data 0 i)
+                | None -> go ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Conn (Unix.error_message e)))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let send_line fd line deadline =
+  let data = line ^ "\n" in
+  let n = String.length data in
+  let rec wr pos =
+    if pos >= n then Ok ()
+    else if now_ms () > deadline then Error Timeout
+    else
+      match Unix.write_substring fd data pos (n - pos) with
+      | k -> wr (pos + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wr pos
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ignore (Unix.select [] [ fd ] [] 0.05);
+          wr pos
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Conn (Unix.error_message e))
+  in
+  wr 0
+
+let socket_transport ?(max_line_bytes = 16 * 1024 * 1024) endpoint =
+  let call ~deadline_ms line =
+    let deadline = now_ms () +. deadline_ms in
+    match Server.connect ~timeout_ms:deadline_ms endpoint with
+    | Error e -> Error (Conn e)
+    | Ok fd ->
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            match send_line fd line deadline with
+            | Error f -> Error f
+            | Ok () -> recv_line ~max_line_bytes fd deadline)
+  in
+  { call; sleep = (fun ms -> if ms > 0.0 then Unix.sleepf (ms /. 1000.0)) }

@@ -1,0 +1,71 @@
+(** Resilient request/response client: per-request deadlines,
+    idempotency keys, and seeded jittered exponential backoff.
+
+    The daemon's protocol is one line in, one line out — but the wire
+    can tear a frame, stall, or drop the connection at any byte.  The
+    client's contract makes one {e logical} request survive all of
+    that: each attempt gets a fresh transport call bounded by a
+    deadline; a failed attempt backs off (exponential, jittered from a
+    seeded stream, so retry storms decorrelate deterministically) and
+    re-sends the {e same} line.  Pairing the line with an idempotency
+    key (["rid"] field, {!ensure_rid}) makes the re-send safe: the
+    daemon caches the response per key and replays it byte-identically
+    instead of re-executing the mutation, so a response lost on the
+    wire never double-advances a tenant.
+
+    The transport is abstract: {!socket_transport} speaks to a real
+    daemon (one connection per attempt, immune to server-side drops),
+    while tests and the E23 load generator plug in an in-process
+    chaotic transport whose failures and delays are virtual — the whole
+    retry schedule is then a pure function of the seeds. *)
+
+type policy = {
+  deadline_ms : float;  (** per-attempt response deadline (default 2000) *)
+  retries : int;  (** re-sends after the first attempt (default 4) *)
+  backoff_ms : float;  (** backoff base (default 25) *)
+  backoff_max_ms : float;  (** backoff cap before jitter (default 1000) *)
+  seed : int;  (** jitter stream seed (default 0) *)
+}
+
+val default_policy : policy
+
+val backoff_ms : policy -> op:int -> attempt:int -> float
+(** The jittered backoff before re-send [attempt] (1-based) of logical
+    request [op]: [min (backoff_ms * 2^(attempt-1)) backoff_max_ms]
+    scaled by a uniform draw in [\[0.5, 1.0)] keyed by
+    [(seed, op, attempt)] — pure, so a whole retry schedule is
+    reproducible from the seed. *)
+
+type failure =
+  | Timeout  (** no full response line within the attempt's deadline *)
+  | Conn of string  (** connect/send/receive failure *)
+
+(** One attempt's transport: send a request line, await one response
+    line.  [sleep] is how backoff passes time — [Unix.sleepf] against a
+    real daemon, a virtual-time accumulator in tests and benches. *)
+type transport = {
+  call : deadline_ms:float -> string -> (string, failure) result;
+  sleep : float -> unit;  (** argument in milliseconds *)
+}
+
+type outcome = {
+  response : (string, string) result;
+      (** the response line, or the last attempt's failure *)
+  attempts : int;  (** total attempts made (>= 1) *)
+  slept_ms : float;  (** total backoff slept through [transport.sleep] *)
+}
+
+val call : policy -> transport -> op:int -> string -> outcome
+(** Send one logical request line, retrying transport failures under
+    the policy.  A well-formed response — even an error response — is
+    never retried; only {!failure}s are. *)
+
+val ensure_rid : string -> rid:string -> string
+(** Add an ["rid"] idempotency key to a request line (parsed as JSON;
+    returned unchanged if it already has one or is not an object). *)
+
+val socket_transport : ?max_line_bytes:int -> Server.endpoint -> transport
+(** One fresh connection per attempt: connect (bounded by the attempt
+    deadline), send the line, read one newline-terminated response
+    within the remaining deadline, close.  Responses longer than
+    [max_line_bytes] (default 16 MiB) fail the attempt. *)

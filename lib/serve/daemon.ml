@@ -19,6 +19,8 @@ type config = {
   quarantine_skips : int;
   default_budget : int option;
   metrics_out : string option;
+  rid_cache : int;
+  crash_at : string option;
 }
 
 let default_config =
@@ -35,7 +37,13 @@ let default_config =
     quarantine_skips = 0;
     default_budget = None;
     metrics_out = None;
+    rid_cache = 256;
+    crash_at = None;
   }
+
+exception Injected_crash of string
+
+type dial = string -> string -> (string, string) result
 
 type t = {
   cfg : config;
@@ -43,12 +51,29 @@ type t = {
   metrics : Metrics.t;
   pool : Tpdf_par.Pool.t option;
   exporter : Tpdf_obs.Openmetrics.Exporter.t option;
+  dial : dial;
+  rids : (string, string) Hashtbl.t;  (** rid -> cached response line *)
+  rid_q : string Queue.t;  (** FIFO of cached rids, oldest first *)
+  mutable draining : bool;
   mutable stop : bool;
 }
 
 let metrics d = d.metrics
 let stopping d = d.stop
+let draining d = d.draining
 let incr ?by d name = Metrics.incr ?by d.metrics name
+
+(* Crash injection for migration torture tests: when the configured
+   point is reached, the daemon "dies" mid-handler — after whatever it
+   has already persisted, before anything else.  [tpdf_tool serve]
+   turns this into a literal [SIGKILL] of its own process; in-process
+   tests catch the exception and reload the daemon from its state
+   directory.  Either way nothing below the raise runs, which is the
+   whole point. *)
+let maybe_crash d point =
+  match d.cfg.crash_at with
+  | Some p when p = point -> raise (Injected_crash point)
+  | _ -> ()
 
 (* ---------- persistence ---------- *)
 
@@ -214,7 +239,9 @@ let status_json tn =
     (match tn.R.t_status with
     | R.Running -> "running"
     | R.Queued -> "queued"
-    | R.Quarantined _ -> "quarantined")
+    | R.Quarantined _ -> "quarantined"
+    | R.Migrating _ -> "migrating"
+    | R.Prepared _ -> "prepared")
 
 (* Cumulative per-tenant counters, all from the boundary checkpoint. *)
 let progress_fields tn =
@@ -260,7 +287,11 @@ let with_fields ~id result =
 let h_submit d ~id req =
   with_fields ~id
   @@ let* name = P.req_string req "name" in
-     if not (name_ok name) then
+     if d.draining then
+       Ok
+         (P.err ~id ~code:"draining"
+            "daemon is draining; submit to another daemon")
+     else if not (name_ok name) then
        Ok
          (P.err ~id ~code:"bad_request"
             "tenant names are 1-64 chars of [A-Za-z0-9_-]")
@@ -408,6 +439,14 @@ let h_advance d ~id req =
               P.err ~id ~code:"queued" ~retry_after_ms:d.cfg.retry_after_ms
                 ~fields:[ ("tenant", Json.String name) ]
                 "tenant is waiting for fleet capacity"
+          | R.Migrating addr ->
+              P.err ~id ~code:"migrating"
+                ~retry_after_ms:d.cfg.retry_after_ms
+                (Printf.sprintf "tenant is migrating to %s" addr)
+          | R.Prepared addr ->
+              P.err ~id ~code:"not_owner"
+                (Printf.sprintf
+                   "tenant is an uncommitted copy offered by %s" addr)
           | R.Running -> (
               match revive d tn with
               | Error e ->
@@ -570,7 +609,9 @@ let h_query d ~id req =
            ]
           @ (match tn.R.t_status with
             | R.Quarantined reason -> [ ("reason", Json.String reason) ]
-            | _ -> [])
+            | R.Migrating addr | R.Prepared addr ->
+                [ ("peer", Json.String addr) ]
+            | R.Running | R.Queued -> [])
           @
           match queue_pos with
           | Some i -> [ ("queue_position", Json.Int i) ]
@@ -617,6 +658,13 @@ let h_reconfigure d ~id req =
         match tn.R.t_status with
         | R.Quarantined reason ->
             P.err ~id ~code:"quarantined" reason
+        | R.Migrating addr ->
+            P.err ~id ~code:"migrating" ~retry_after_ms:d.cfg.retry_after_ms
+              (Printf.sprintf "tenant is migrating to %s" addr)
+        | R.Prepared addr ->
+            P.err ~id ~code:"not_owner"
+              (Printf.sprintf "tenant is an uncommitted copy offered by %s"
+                 addr)
         | R.Running | R.Queued -> (
             match revive d tn with
             | Error e -> P.err ~id ~code:"internal" ("revive failed: " ^ e)
@@ -678,6 +726,8 @@ let state_gauge tn =
   | R.Running -> 0.0
   | R.Queued -> 1.0
   | R.Quarantined _ -> 2.0
+  | R.Migrating _ -> 3.0
+  | R.Prepared _ -> 4.0
 
 let h_metrics d ~id _req =
   let m = d.metrics in
@@ -723,12 +773,464 @@ let h_evict d ~id req =
         | Error e -> P.err ~id ~code:"no_state_dir" e)
 
 let h_ping d ~id _req =
-  P.ok ~id [ ("pong", Json.Bool true); ("tenants", Json.Int (R.count d.reg)) ]
+  P.ok ~id
+    ([ ("pong", Json.Bool true); ("tenants", Json.Int (R.count d.reg)) ]
+    @ if d.draining then [ ("draining", Json.Bool true) ] else [])
 
 let h_shutdown d ~id _req =
   persist d;
   d.stop <- true;
   P.ok ~id [ ("bye", Json.Bool true) ]
+
+let h_drain d ~id req =
+  with_fields ~id
+  @@ let* stop = P.opt_bool req "stop" in
+     let stop = Option.value stop ~default:false in
+     d.draining <- true;
+     incr d "serve.drains";
+     persist d;
+     if stop then d.stop <- true;
+     Ok
+       (P.ok ~id
+          [
+            ("draining", Json.Bool true);
+            ("stopping", Json.Bool stop);
+            ("tenants", Json.Int (R.count d.reg));
+            ("persisted", Json.Int (R.resident d.reg));
+          ])
+
+(* ---------- live migration ----------
+
+   Two-phase handoff, commit at the destination:
+
+     source                               destination
+     ------                               -----------
+     mark Migrating(dst), persist
+     export boundary checkpoint
+         -- migrate_offer (ckpt, cksum) -->
+                                           verify checksum
+                                           install as Prepared(src), persist
+         <-- ok ----------------------------
+         -- migrate_commit ---------------->
+                                           Prepared -> Running, persist
+         <-- ok ----------------------------
+     remove local copy, persist
+         -- (on failure: migrate_abort) --->
+                                           drop Prepared copy
+
+   A [Prepared] copy is not ownership — exactly one daemon owns the
+   tenant at every persisted instant, whichever side dies.  The only
+   ambiguous window is the source crashing after the destination
+   committed but before the local release; the source then restarts
+   as [Migrating] and [resolve] queries the destination to finish
+   (release if the peer owns it, revert to [Running] if not). *)
+
+let is_ok_resp line =
+  match Json.of_string line with
+  | Ok resp -> (
+      match Json.member "ok" resp with
+      | Some (Json.Bool true) -> Ok resp
+      | _ -> (
+          match Json.member "error" resp with
+          | Some err -> (
+              match (Json.member "code" err, Json.member "msg" err) with
+              | Some (Json.String code), Some (Json.String msg) ->
+                  Error (code, msg)
+              | _ -> Error ("internal", "malformed error response"))
+          | None -> Error ("internal", "malformed response")))
+  | Error e -> Error ("internal", "response parse: " ^ e)
+
+let cksum_of payload = Printf.sprintf "%Lx" (Tpdf_ckpt.Ckpt.fnv1a64 payload)
+
+(* Handoff ops carry no idempotency keys: they are re-send-safe by
+   construction (see [rid_exempt]) and a replay cache would remember
+   effects an abort has since undone. *)
+let mig_req fields = Json.to_string (Json.Obj fields)
+
+let revert_running d tn =
+  tn.R.t_status <- R.Running;
+  persist_tenant ~force:true d tn;
+  persist_manifest d
+
+(* Release the local copy once the destination owns the tenant. *)
+let release d tn =
+  R.remove d.reg tn.R.t_name;
+  incr d "serve.migrated_out";
+  ignore (drain_queue d);
+  persist_manifest d
+
+let h_migrate d ~id req =
+  with_fields ~id
+  @@ let* name = P.req_string req "name" in
+     let* addr = P.req_string req "to" in
+     let* from = P.opt_string req "from" in
+     let from = Option.value from ~default:"" in
+     Ok
+       (find_tenant d ~id name @@ fun tn ->
+        R.touch d.reg tn;
+        match tn.R.t_status with
+        | R.Quarantined reason -> P.err ~id ~code:"quarantined" reason
+        | R.Queued ->
+            P.err ~id ~code:"bad_request"
+              "queued tenants cannot migrate; wait for promotion"
+        | R.Prepared a ->
+            P.err ~id ~code:"not_owner"
+              (Printf.sprintf "tenant is an uncommitted copy offered by %s" a)
+        | R.Migrating a when a <> addr ->
+            P.err ~id ~code:"migrating"
+              (Printf.sprintf
+                 "tenant is already migrating to %s; resolve that handoff \
+                  first"
+                 a)
+        | R.Running | R.Migrating _ -> (
+            match revive d tn with
+            | Error e -> P.err ~id ~code:"internal" ("revive failed: " ^ e)
+            | Ok _hot -> (
+                tn.R.t_status <- R.Migrating addr;
+                persist_tenant ~force:true d tn;
+                persist_manifest d;
+                maybe_crash d "src_after_mark";
+                match R.export tn with
+                | Error e ->
+                    revert_running d tn;
+                    P.err ~id ~code:"migrate_failed" ("export: " ^ e)
+                | Ok payload -> (
+                    let cksum = cksum_of payload in
+                    let migrated () =
+                      release d tn;
+                      maybe_crash d "src_after_release";
+                      P.ok ~id
+                        [
+                          ("tenant", Json.String name);
+                          ("migrated_to", Json.String addr);
+                          ("done", Json.Int tn.R.t_done);
+                          ("cksum", Json.String cksum);
+                        ]
+                    in
+                    let abort_and_revert code msg =
+                      (* Best effort: clear any half-landed copy, then
+                         take ownership back.  [committed] from the
+                         abort means the peer in fact owns the tenant
+                         (a lost commit ack) — finish the release
+                         instead of reverting. *)
+                      let committed =
+                        match
+                          d.dial addr
+                            (mig_req
+                               [
+                                 ("op", Json.String "migrate_abort");
+                                 ("name", Json.String name);
+                               ])
+                        with
+                        | Ok line -> (
+                            match is_ok_resp line with
+                            | Error ("committed", _) -> true
+                            | _ -> false)
+                        | Error _ -> false
+                      in
+                      if committed then migrated ()
+                      else begin
+                        revert_running d tn;
+                        P.err ~id ~code (msg ())
+                      end
+                    in
+                    let offer =
+                      mig_req
+                        [
+                          ("op", Json.String "migrate_offer");
+                          ("name", Json.String name);
+                          ("from", Json.String from);
+                          ("ckpt", Json.String payload);
+                          ("cksum", Json.String cksum);
+                        ]
+                    in
+                    match d.dial addr offer with
+                    | Error e ->
+                        revert_running d tn;
+                        P.err ~id ~code:"migrate_failed"
+                          ("offer: " ^ e ^ "; reverted to running")
+                    | Ok line -> (
+                        match is_ok_resp line with
+                        | Error (code, msg) ->
+                            abort_and_revert "migrate_failed" (fun () ->
+                                Printf.sprintf
+                                  "offer refused by %s: %s (%s); reverted \
+                                   to running"
+                                  addr msg code)
+                        | Ok _ -> (
+                            maybe_crash d "src_after_offer";
+                            let commit =
+                              mig_req
+                                [
+                                  ("op", Json.String "migrate_commit");
+                                  ("name", Json.String name);
+                                ]
+                            in
+                            match d.dial addr commit with
+                            | Error e ->
+                                (* The peer may or may not have durably
+                                   committed before the failure: stay
+                                   [Migrating] so neither side advances,
+                                   and let [resolve] finish. *)
+                                P.err ~id ~code:"unresolved"
+                                  (Printf.sprintf
+                                     "commit to %s failed (%s); tenant \
+                                      left migrating, run resolve"
+                                     addr e)
+                            | Ok line -> (
+                                match is_ok_resp line with
+                                | Error (code, msg) ->
+                                    abort_and_revert "migrate_failed"
+                                      (fun () ->
+                                        Printf.sprintf
+                                          "commit refused by %s: %s (%s); \
+                                           reverted to running"
+                                          addr msg code)
+                                | Ok _ ->
+                                    maybe_crash d "src_after_commit";
+                                    migrated ())))))))
+
+let h_migrate_offer d ~id req =
+  with_fields ~id
+  @@ let* name = P.req_string req "name" in
+     let* payload = P.req_string req "ckpt" in
+     let* cksum = P.req_string req "cksum" in
+     let* from = P.opt_string req "from" in
+     let from = Option.value from ~default:"" in
+     if d.draining then
+       Ok
+         (P.err ~id ~code:"draining"
+            "daemon is draining and cannot accept migrations")
+     else if not (name_ok name) then
+       Ok
+         (P.err ~id ~code:"bad_request"
+            "tenant names are 1-64 chars of [A-Za-z0-9_-]")
+     else if cksum_of payload <> cksum then
+       Ok
+         (P.err ~id ~code:"migrate_failed"
+            (Printf.sprintf "checksum mismatch: payload %s, offered %s"
+               (cksum_of payload) cksum))
+     else
+       let existing = R.find d.reg name in
+       match existing with
+       | Some tn when R.owned tn ->
+           Ok
+             (P.err ~id ~code:"exists"
+                (Printf.sprintf "tenant %S already exists here" name))
+       | _ ->
+           if existing = None && R.count d.reg >= d.cfg.max_tenants then begin
+             incr d "serve.shed";
+             Ok
+               (P.err ~id ~code:"overloaded"
+                  ~retry_after_ms:d.cfg.retry_after_ms
+                  (Printf.sprintf "tenant table is full (%d)"
+                     d.cfg.max_tenants))
+           end
+           else (
+             match R.install d.reg ~name ~status:(R.Prepared from) payload with
+             | Error e ->
+                 Ok (P.err ~id ~code:"migrate_failed" ("install: " ^ e))
+             | Ok tn ->
+                 (* Advisory capacity check — the binding one runs at
+                    commit, when the tenant starts counting. *)
+                 if not (fits d tn.R.t_cost) then begin
+                   R.remove d.reg name;
+                   incr d "serve.shed";
+                   Ok
+                     (P.err ~id ~code:"overloaded"
+                        ~retry_after_ms:d.cfg.retry_after_ms
+                        (Printf.sprintf
+                           "cost %d does not fit the fleet capacity %d"
+                           tn.R.t_cost d.cfg.capacity))
+                 end
+                 else begin
+                   persist_manifest d;
+                   maybe_crash d "dst_after_prepare";
+                   incr d "serve.migrate_offers";
+                   evict_lru d ~keep:name;
+                   Ok
+                     (P.ok ~id
+                        [
+                          ("tenant", Json.String name);
+                          ("prepared", Json.Bool true);
+                          ("done", Json.Int tn.R.t_done);
+                          ("cksum", Json.String cksum);
+                        ])
+                 end)
+
+let h_migrate_commit d ~id req =
+  with_fields ~id
+  @@ let* name = P.req_string req "name" in
+     Ok
+       (find_tenant d ~id name @@ fun tn ->
+        match tn.R.t_status with
+        | R.Running ->
+            (* Idempotent: a re-sent commit after a lost ack. *)
+            P.ok ~id
+              [
+                ("tenant", Json.String name);
+                ("committed", Json.Bool true);
+                ("done", Json.Int tn.R.t_done);
+              ]
+        | R.Prepared _ ->
+            if not (fits d tn.R.t_cost) then begin
+              incr d "serve.shed";
+              P.err ~id ~code:"overloaded"
+                ~retry_after_ms:d.cfg.retry_after_ms
+                (Printf.sprintf "cost %d does not fit the fleet capacity %d"
+                   tn.R.t_cost d.cfg.capacity)
+            end
+            else begin
+              tn.R.t_status <- R.Running;
+              persist_tenant ~force:true d tn;
+              persist_manifest d;
+              maybe_crash d "dst_after_commit";
+              incr d "serve.migrated_in";
+              P.ok ~id
+                [
+                  ("tenant", Json.String name);
+                  ("committed", Json.Bool true);
+                  ("done", Json.Int tn.R.t_done);
+                ]
+            end
+        | R.Queued | R.Quarantined _ | R.Migrating _ ->
+            P.err ~id ~code:"migrate_failed"
+              (Printf.sprintf "tenant %S is not an offered copy" name))
+
+let h_migrate_abort d ~id req =
+  with_fields ~id
+  @@ let* name = P.req_string req "name" in
+     match R.find d.reg name with
+     | None ->
+         Ok
+           (P.ok ~id
+              [ ("tenant", Json.String name); ("aborted", Json.Bool true) ])
+     | Some tn -> (
+         match tn.R.t_status with
+         | R.Prepared _ ->
+             R.remove d.reg name;
+             persist_manifest d;
+             incr d "serve.migrate_aborts";
+             Ok
+               (P.ok ~id
+                  [ ("tenant", Json.String name); ("aborted", Json.Bool true) ])
+         | _ ->
+             Ok (P.err ~id ~code:"committed" "tenant is committed here"))
+
+let h_migrate_query d ~id req =
+  with_fields ~id
+  @@ let* name = P.req_string req "name" in
+     match R.find d.reg name with
+     | None ->
+         Ok
+           (P.ok ~id
+              [ ("tenant", Json.String name); ("owner", Json.Bool false) ])
+     | Some tn ->
+         Ok
+           (P.ok ~id
+              [
+                ("tenant", Json.String name);
+                ("owner", Json.Bool (R.owned tn));
+                ("done", Json.Int tn.R.t_done);
+                ("status", status_json tn);
+              ])
+
+(* Finish an interrupted handoff from either side's persisted state. *)
+let h_resolve d ~id req =
+  with_fields ~id
+  @@ let* name = P.req_string req "name" in
+     Ok
+       (find_tenant d ~id name @@ fun tn ->
+        let resolved how =
+          P.ok ~id
+            [
+              ("tenant", Json.String name);
+              ("resolved", Json.String how);
+              ("status", status_json tn);
+            ]
+        in
+        let query addr k =
+          match
+            d.dial addr
+              (Json.to_string
+                 (Json.Obj
+                    [
+                      ("op", Json.String "migrate_query");
+                      ("name", Json.String name);
+                    ]))
+          with
+          | Error e ->
+              P.err ~id ~code:"unresolved"
+                (Printf.sprintf "peer %s unreachable: %s" addr e)
+          | Ok line -> (
+              match is_ok_resp line with
+              | Error (code, msg) ->
+                  P.err ~id ~code:"unresolved"
+                    (Printf.sprintf "peer %s: %s (%s)" addr msg code)
+              | Ok resp ->
+                  let owner =
+                    match Json.member "owner" resp with
+                    | Some (Json.Bool b) -> b
+                    | _ -> false
+                  in
+                  let peer_done =
+                    match Json.member "done" resp with
+                    | Some (Json.Int n) -> n
+                    | _ -> -1
+                  in
+                  k ~owner ~peer_done)
+        in
+        match tn.R.t_status with
+        | R.Migrating addr ->
+            query addr @@ fun ~owner ~peer_done ->
+            if owner && peer_done = tn.R.t_done then begin
+              (* The destination durably committed: finish the release. *)
+              release d tn;
+              resolved "released"
+            end
+            else if not owner then begin
+              (* The destination never committed; clear any offered
+                 copy and take ownership back. *)
+              ignore
+                (d.dial addr
+                   (Json.to_string
+                      (Json.Obj
+                         [
+                           ("op", Json.String "migrate_abort");
+                           ("name", Json.String name);
+                         ])));
+              revert_running d tn;
+              resolved "reverted"
+            end
+            else
+              P.err ~id ~code:"unresolved"
+                (Printf.sprintf
+                   "peer %s owns %S at %d iterations, local copy has %d"
+                   addr name peer_done tn.R.t_done)
+        | R.Prepared "" ->
+            P.err ~id ~code:"unresolved"
+              "offered copy has no source address; migrate_abort or \
+               migrate_commit it explicitly"
+        | R.Prepared addr ->
+            query addr @@ fun ~owner ~peer_done:_ ->
+            if owner then begin
+              (* The source kept (or took back) the tenant: this copy
+                 is garbage. *)
+              R.remove d.reg name;
+              persist_manifest d;
+              incr d "serve.migrate_aborts";
+              resolved "dropped"
+            end
+            else begin
+              (* The source no longer owns it, so this copy is the only
+                 one: commit it. *)
+              tn.R.t_status <- R.Running;
+              persist_tenant ~force:true d tn;
+              persist_manifest d;
+              incr d "serve.migrated_in";
+              resolved "committed"
+            end
+        | R.Running | R.Queued | R.Quarantined _ -> resolved "none")
 
 let dispatch d req =
   let id = P.id_of req in
@@ -748,12 +1250,20 @@ let dispatch d req =
         | "checkpoint" -> Some h_checkpoint
         | "evict" -> Some h_evict
         | "shutdown" -> Some h_shutdown
+        | "drain" -> Some h_drain
+        | "migrate" -> Some h_migrate
+        | "migrate_offer" -> Some h_migrate_offer
+        | "migrate_commit" -> Some h_migrate_commit
+        | "migrate_abort" -> Some h_migrate_abort
+        | "migrate_query" -> Some h_migrate_query
+        | "resolve" -> Some h_resolve
         | _ -> None
       in
       match h with
       | Some h -> (
           match h d ~id req with
           | resp -> resp
+          | exception (Injected_crash _ as e) -> raise e
           | exception e ->
               incr d "serve.errors";
               P.err ~id ~code:"internal" (Printexc.to_string e))
@@ -774,17 +1284,73 @@ let handle d req =
   | None -> ());
   resp
 
-let handle_line d line =
-  let resp =
-    match Json.of_string line with
-    | Ok req -> handle d req
-    | Error e ->
-        incr d "serve.requests";
-        P.err ~id:Json.Null ~code:"bad_request" ("parse: " ^ e)
-  in
-  Json.to_string resp
+(* Response codes that must not be replayed from the rid cache: the
+   daemon's answer legitimately changes as conditions clear, so a
+   retried request has to re-execute. *)
+let transient_code = function
+  | "overloaded" | "queued" | "draining" | "migrating" | "unresolved"
+  | "internal" ->
+      true
+  | _ -> false
 
-let create ?pool cfg =
+let cacheable resp =
+  match Json.member "error" resp with
+  | None -> true
+  | Some err -> (
+      match Json.member "code" err with
+      | Some (Json.String code) -> not (transient_code code)
+      | _ -> false)
+
+(* The two-phase handoff ops are idempotent state machines in their own
+   right (a re-sent offer reinstalls, a re-sent commit on [Running]
+   acks, an abort on an absent copy acks) and their effects can be
+   {e undone} by a later abort — replaying a remembered "prepared"
+   response for a copy that has since been aborted would wedge the
+   handoff.  They bypass the rid cache entirely. *)
+let rid_exempt = function
+  | "migrate" | "migrate_offer" | "migrate_commit" | "migrate_abort"
+  | "migrate_query" | "resolve" ->
+      true
+  | _ -> false
+
+let rid_remember d rid line =
+  if d.cfg.rid_cache > 0 && not (Hashtbl.mem d.rids rid) then begin
+    Hashtbl.replace d.rids rid line;
+    Queue.push rid d.rid_q;
+    while Queue.length d.rid_q > d.cfg.rid_cache do
+      Hashtbl.remove d.rids (Queue.pop d.rid_q)
+    done
+  end
+
+let handle_line d line =
+  match Json.of_string line with
+  | Error e ->
+      incr d "serve.requests";
+      Json.to_string (P.err ~id:Json.Null ~code:"bad_request" ("parse: " ^ e))
+  | Ok req -> (
+      let rid =
+        match (Json.member "rid" req, Json.member "op" req) with
+        | Some (Json.String _), Some (Json.String op) when rid_exempt op ->
+            None
+        | Some (Json.String rid), _ when d.cfg.rid_cache > 0 -> Some rid
+        | _ -> None
+      in
+      match Option.bind rid (Hashtbl.find_opt d.rids) with
+      | Some cached ->
+          (* Idempotent replay: the mutation already ran; re-deliver the
+             response byte for byte without re-executing. *)
+          incr d "serve.requests";
+          incr d "serve.rid_replays";
+          cached
+      | None ->
+          let resp = handle d req in
+          let out = Json.to_string resp in
+          (match rid with
+          | Some rid when cacheable resp -> rid_remember d rid out
+          | _ -> ());
+          out)
+
+let create ?pool ?dial cfg =
   let reg_and_counters =
     match cfg.state_dir with
     | Some dir -> R.load ~dir
@@ -805,4 +1371,21 @@ let create ?pool cfg =
             Tpdf_obs.Openmetrics.Exporter.create ~path ~interval_ms:0.0 m)
           cfg.metrics_out
       in
-      Ok { cfg; reg; metrics = m; pool; exporter; stop = false }
+      let dial =
+        Option.value dial
+          ~default:(fun _addr _line ->
+            Error "no dialer configured (daemon created without ?dial)")
+      in
+      Ok
+        {
+          cfg;
+          reg;
+          metrics = m;
+          pool;
+          exporter;
+          dial;
+          rids = Hashtbl.create 64;
+          rid_q = Queue.create ();
+          draining = false;
+          stop = false;
+        }

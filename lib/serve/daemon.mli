@@ -44,27 +44,58 @@ type config = {
   default_budget : int option;  (** default per-tenant admission budget *)
   metrics_out : string option;
       (** OpenMetrics snapshot file, rewritten atomically per request *)
+  rid_cache : int;
+      (** idempotency-key cache capacity, FIFO; 0 disables (default 256) *)
+  crash_at : string option;
+      (** fault injection: raise {!Injected_crash} at this named
+          migration point (e.g. ["src_after_commit"]); [None] in
+          production *)
 }
 
 val default_config : config
 
+exception Injected_crash of string
+(** Raised mid-handler when [crash_at] matches, {e after} the durable
+    writes that precede the point and before everything else — the
+    in-process analogue of [kill -9] there.  Deliberately not caught by
+    {!handle}: the process front end turns it into a real [SIGKILL],
+    tests catch it and reload the daemon from its state directory. *)
+
+type dial = string -> string -> (string, string) result
+(** [dial addr line] sends one request line to the daemon at [addr] and
+    returns its response line — how a daemon speaks to a peer during
+    migration without knowing about sockets.  [Error] means transport
+    failure (the peer's own error responses come back as [Ok line]). *)
+
 type t
 
-val create : ?pool:Tpdf_par.Pool.t -> config -> (t, string) result
+val create : ?pool:Tpdf_par.Pool.t -> ?dial:dial -> config -> (t, string) result
 (** A fresh daemon; with [state_dir] set, restores the fleet from the
     newest valid manifest (tenants come back cold and revive lazily).
-    [pool] shards [tick] batches across its domains. *)
+    [pool] shards [tick] batches across its domains; [dial] enables the
+    [migrate] and [resolve] ops (without it they fail cleanly). *)
 
 val handle : t -> Json.t -> Json.t
 (** Process one request object. *)
 
 val handle_line : t -> string -> string
 (** Parse one request line, {!handle} it, render the response line
-    (without the trailing newline). *)
+    (without the trailing newline).  This layer also implements
+    idempotency keys: a request carrying a ["rid"] field whose response
+    was already delivered is answered from the cache, byte for byte,
+    without re-executing — so a client retry after a lost response
+    never double-advances a tenant.  Responses with transient error
+    codes ([overloaded], [queued], [draining], [migrating],
+    [unresolved], [internal]) are never cached. *)
 
 val metrics : t -> Tpdf_obs.Metrics.t
 val stopping : t -> bool
 (** Set once a [shutdown] request was handled; the server loop exits. *)
+
+val draining : t -> bool
+(** Set once a [drain] request was handled: the daemon keeps serving
+    existing tenants but rejects new [submit]s and inbound migration
+    offers with code [draining]. *)
 
 val persist : t -> unit
 (** Checkpoint every resident tenant and the manifest (no-op without a

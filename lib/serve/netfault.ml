@@ -1,0 +1,253 @@
+module Prng = Tpdf_util.Prng
+
+type kind =
+  | Short_read of int
+  | Short_write of int
+  | Tear
+  | Stall of float
+  | Disconnect
+  | Delay of float
+  | Dup
+
+type spec = { prob : float; kind : kind }
+
+let spec ~prob kind =
+  if not (prob >= 0.0 && prob <= 1.0) then
+    invalid_arg "Netfault.spec: probability must be in [0, 1]";
+  (match kind with
+  | Short_read n | Short_write n ->
+      if n <= 0 then invalid_arg "Netfault.spec: chunk must be positive"
+  | Stall ms | Delay ms ->
+      if ms < 0.0 then invalid_arg "Netfault.spec: negative delay"
+  | Tear | Disconnect | Dup -> ());
+  { prob; kind }
+
+let kind_name = function
+  | Short_read _ -> "shortread"
+  | Short_write _ -> "shortwrite"
+  | Tear -> "tear"
+  | Stall _ -> "stall"
+  | Disconnect -> "disconnect"
+  | Delay _ -> "delay"
+  | Dup -> "dup"
+
+let specs_to_string specs =
+  String.concat ","
+    (List.map
+       (fun s ->
+         let arg =
+           match s.kind with
+           | Short_read n | Short_write n -> Printf.sprintf ":%d" n
+           | Stall ms | Delay ms -> Printf.sprintf ":%g" ms
+           | Tear | Disconnect | Dup -> ""
+         in
+         Printf.sprintf "%s:%g%s" (kind_name s.kind) s.prob arg)
+       specs)
+
+let parse_item item =
+  let fields = String.split_on_char ':' (String.trim item) in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match fields with
+  | kind :: prob :: rest -> (
+      match float_of_string_opt prob with
+      | None -> fail "probability: %S is not a number" prob
+      | Some prob ->
+          if not (prob >= 0.0 && prob <= 1.0) then
+            fail "probability %g is outside [0, 1]" prob
+          else
+            let arg ~default =
+              match rest with
+              | [] -> Ok default
+              | [ v ] -> (
+                  match float_of_string_opt v with
+                  | Some f when f >= 0.0 -> Ok f
+                  | _ -> fail "%s: bad argument %S" kind v)
+              | _ -> fail "%s: too many fields" kind
+            in
+            let no_arg k =
+              match rest with
+              | [] -> Ok { prob; kind = k }
+              | _ -> fail "%s takes no argument" kind
+            in
+            let chunk k =
+              Result.bind (arg ~default:1.0) (fun n ->
+                  if n < 1.0 || Float.of_int (int_of_float n) <> n then
+                    fail "%s: argument must be a positive integer" kind
+                  else Ok { prob; kind = k (int_of_float n) })
+            in
+            (match kind with
+            | "shortread" -> chunk (fun n -> Short_read n)
+            | "shortwrite" -> chunk (fun n -> Short_write n)
+            | "tear" -> no_arg Tear
+            | "stall" ->
+                Result.map (fun ms -> { prob; kind = Stall ms })
+                  (arg ~default:10.0)
+            | "disconnect" -> no_arg Disconnect
+            | "delay" ->
+                Result.map (fun ms -> { prob; kind = Delay ms })
+                  (arg ~default:5.0)
+            | "dup" -> no_arg Dup
+            | _ ->
+                fail
+                  "unknown network fault kind %S (expected shortread, \
+                   shortwrite, tear, stall, disconnect, delay or dup)"
+                  kind))
+  | _ -> fail "expected KIND:PROB[:ARG], got %S" item
+
+let parse_specs s =
+  let items =
+    List.filter (fun i -> String.trim i <> "") (String.split_on_char ',' s)
+  in
+  if items = [] then Error "empty network fault spec"
+  else
+    List.fold_left
+      (fun acc item ->
+        Result.bind acc (fun specs ->
+            Result.map (fun s -> s :: specs) (parse_item item)))
+      (Ok []) items
+    |> Result.map List.rev
+
+type t = { n_seed : int; n_specs : spec list }
+
+let make ~seed specs = { n_seed = seed; n_specs = specs }
+let none = { n_seed = 0; n_specs = [] }
+let is_none t = t.n_specs = []
+let seed t = t.n_seed
+let specs t = t.n_specs
+
+let pp ppf t =
+  Format.fprintf ppf "seed=%d %s" t.n_seed (specs_to_string t.n_specs)
+
+type verdict = {
+  v_chunk : int option;
+  v_tear_at : int option;
+  v_drop : bool;
+  v_dup : bool;
+  v_delay_ms : float;
+}
+
+let clean =
+  { v_chunk = None; v_tear_at = None; v_drop = false; v_dup = false;
+    v_delay_ms = 0.0 }
+
+(* Same keying idiom as Tpdf_fault.Plan: FNV-1a over a label folded
+   into the seed, then the operation index, seeding an independent
+   splitmix64 stream per (conn, op). *)
+let fnv_prime = 0x100000001B3L
+
+let fnv h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let op_rng t ~conn ~op =
+  let h = fnv (Int64.of_int t.n_seed) (Printf.sprintf "conn%d" conn) in
+  let h = Int64.mul (Int64.logxor h (Int64.of_int op)) fnv_prime in
+  Prng.create (Int64.to_int h)
+
+let verdict t ~conn ~op ~len =
+  match t.n_specs with
+  | [] -> clean
+  | specs ->
+      let rng = op_rng t ~conn ~op in
+      List.fold_left
+        (fun v (s : spec) ->
+          (* Draw for every spec, firing or not, so editing one spec
+             never shifts another spec's stream; Tear consumes its
+             position draw likewise. *)
+          let u = Prng.float rng 1.0 in
+          let fired = u < s.prob in
+          match s.kind with
+          | Tear ->
+              let at = if len > 0 then Prng.int rng len else 0 in
+              if fired then { v with v_tear_at = Some at } else v
+          | Short_read n | Short_write n ->
+              if fired then
+                { v with
+                  v_chunk =
+                    Some (match v.v_chunk with Some m -> min m n | None -> n)
+                }
+              else v
+          | Stall ms | Delay ms ->
+              let d = Prng.float rng ms in
+              if fired then { v with v_delay_ms = v.v_delay_ms +. d } else v
+          | Disconnect -> if fired then { v with v_drop = true } else v
+          | Dup -> if fired then { v with v_dup = true } else v)
+        clean specs
+
+module Io = struct
+  type conn = {
+    plan : t;
+    id : int;
+    c_fd : Unix.file_descr;
+    mutable rops : int;
+    mutable wops : int;
+  }
+
+  let wrap plan ~conn fd = { plan; id = conn; c_fd = fd; rops = 0; wops = 0 }
+  let fd c = c.c_fd
+
+  let sleep_ms ms = if ms > 0.0 then Unix.sleepf (ms /. 1000.0)
+
+  let reset syscall =
+    raise (Unix.Unix_error (Unix.ECONNRESET, syscall, "injected"))
+
+  (* Reads draw at even op indices, writes at odd: the two directions
+     never share a stream, so e.g. an extra read retry cannot shift
+     which response gets torn. *)
+  let read c buf pos len =
+    if is_none c.plan then Unix.read c.c_fd buf pos len
+    else begin
+      let v = verdict c.plan ~conn:c.id ~op:(2 * c.rops) ~len in
+      c.rops <- c.rops + 1;
+      sleep_ms v.v_delay_ms;
+      if v.v_drop then reset "read";
+      let len = match v.v_chunk with Some n -> min n len | None -> len in
+      Unix.read c.c_fd buf pos (max 1 len)
+    end
+
+  let write_substring c data pos len =
+    if is_none c.plan then Unix.write_substring c.c_fd data pos len
+    else begin
+      let v = verdict c.plan ~conn:c.id ~op:((2 * c.wops) + 1) ~len in
+      c.wops <- c.wops + 1;
+      sleep_ms v.v_delay_ms;
+      if v.v_drop then reset "write";
+      (match v.v_tear_at with
+      | Some at ->
+          (* Push the prefix out, then reset: the peer sees a torn
+             frame with no terminator. *)
+          let torn = min at len in
+          let written = ref 0 in
+          while !written < torn do
+            written :=
+              !written
+              + Unix.write_substring c.c_fd data (pos + !written)
+                  (torn - !written)
+          done;
+          reset "write"
+      | None -> ());
+      if v.v_dup then begin
+        (* Deliver the whole window twice, reporting the single-copy
+           count so the caller's short-write loop terminates normally. *)
+        let put () =
+          let written = ref 0 in
+          while !written < len do
+            written :=
+              !written
+              + Unix.write_substring c.c_fd data (pos + !written)
+                  (len - !written)
+          done
+        in
+        put ();
+        put ();
+        len
+      end
+      else
+        let len = match v.v_chunk with Some n -> min n len | None -> len in
+        Unix.write_substring c.c_fd data pos (max 1 len)
+    end
+end

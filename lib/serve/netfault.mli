@@ -1,0 +1,114 @@
+(** Seeded, bit-reproducible network fault injection.
+
+    The serving analogue of {!Tpdf_fault.Plan}: a fault plan is a seed
+    plus a list of {!spec}s, and the faults injected into one I/O
+    operation are a {e pure function} of [(seed, conn, op)] — the
+    per-operation randomness comes from a splitmix64 generator keyed by
+    folding the connection id and operation index into the seed with
+    FNV-1a, so draws are independent of evaluation order and a whole
+    chaos run is reproducible bit for bit from the seed.
+
+    Two consumers share the plan:
+    {ul
+    {- {!Io}: an in-process wrapper over real socket file descriptors,
+       used by {!Server.serve} (and tests) to inject short reads and
+       writes, torn frames, stalled connections, mid-request
+       disconnects, and delayed or duplicated response lines on the
+       wire;}
+    {- {!verdict}: the pure channel form used by the in-process load
+       generator (bench E23) and the migration torture tests, where the
+       same decisions apply to whole request/response lines and delays
+       accumulate in virtual time instead of [sleep].}}
+
+    Fault kinds and the spec grammar ([KIND:PROB[:ARG]], comma
+    separated, mirroring [tpdf_fault]'s [KIND:TARGET:PROB[:ARG]]):
+    {ul
+    {- [shortread:P[:MAX]] — deliver at most [MAX] (default 1) bytes
+       per read call, forcing re-assembly of split frames;}
+    {- [shortwrite:P[:MAX]] — accept at most [MAX] (default 1) bytes
+       per write call, forcing the writer's short-write loop;}
+    {- [tear:P] — torn frame: only a strict prefix of the payload
+       reaches the peer, then the connection drops;}
+    {- [stall:P[:MS]] — slow-loris: the operation stalls [MS] (default
+       10) milliseconds before proceeding;}
+    {- [disconnect:P] — the connection resets before the operation;}
+    {- [delay:P[:MS]] — the response is delayed [MS] (default 5)
+       milliseconds but delivered intact;}
+    {- [dup:P] — the payload is delivered twice.}} *)
+
+type kind =
+  | Short_read of int
+  | Short_write of int
+  | Tear
+  | Stall of float
+  | Disconnect
+  | Delay of float
+  | Dup
+
+type spec = { prob : float; kind : kind }
+
+val spec : prob:float -> kind -> spec
+(** @raise Invalid_argument on a probability outside [0, 1] or a
+    non-positive argument. *)
+
+val parse_specs : string -> (spec list, string) result
+(** Parse the [KIND:PROB[:ARG]] grammar above. *)
+
+val specs_to_string : spec list -> string
+(** Canonical inverse of {!parse_specs}. *)
+
+type t
+
+val make : seed:int -> spec list -> t
+val none : t
+(** The empty plan: every verdict is {!clean}. *)
+
+val is_none : t -> bool
+val seed : t -> int
+val specs : t -> spec list
+val pp : Format.formatter -> t -> unit
+
+(** The resolved faults for one operation, in a form both the fd layer
+    and the pure channel layer can apply. *)
+type verdict = {
+  v_chunk : int option;  (** short read/write: at most this many bytes *)
+  v_tear_at : int option;
+      (** torn frame: only the first [n] bytes (a strict prefix, drawn
+          uniformly, 0 allowed) are delivered, then the connection
+          drops *)
+  v_drop : bool;  (** connection reset before the operation *)
+  v_dup : bool;  (** payload delivered twice *)
+  v_delay_ms : float;  (** total stall + delay, milliseconds *)
+}
+
+val clean : verdict
+
+val verdict : t -> conn:int -> op:int -> len:int -> verdict
+(** Pure: equal [(seed, conn, op, len)] give equal verdicts.  One
+    uniform draw is consumed per spec whether or not it fires, so
+    editing one spec never shifts another spec's stream. *)
+
+(** Fault-injecting wrappers over socket file descriptors.  Operation
+    indices count per direction ([read] and [write] draw from
+    independent streams via distinct op parities), so a read-side fault
+    never shifts the write-side stream. *)
+module Io : sig
+  type conn
+
+  val wrap : t -> conn:int -> Unix.file_descr -> conn
+  (** Wrap [fd] as connection [conn] of the plan.  With {!none} every
+      call is a transparent passthrough. *)
+
+  val fd : conn -> Unix.file_descr
+
+  val read : conn -> bytes -> int -> int -> int
+  (** Like [Unix.read], after applying the verdict for this operation:
+      an injected disconnect raises [Unix.Unix_error (ECONNRESET, ...)],
+      a stall sleeps, a short read caps the requested length. *)
+
+  val write_substring : conn -> string -> int -> int -> int
+  (** Like [Unix.write_substring] with the verdict applied: a torn
+      frame writes a prefix then raises [ECONNRESET]; a duplicate
+      writes the window twice (returning the original count); a short
+      write caps the window. *)
+end

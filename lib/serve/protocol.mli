@@ -17,7 +17,18 @@
     [retry_after_ms] backoff hint.  Stable error codes:
     [bad_request], [unknown_op], [unknown_tenant], [exists],
     [inadmissible], [overloaded], [queued], [quarantined], [timeout],
-    [no_state_dir], [internal]. *)
+    [no_state_dir], [internal]; from the hardened socket layer
+    [too_large] (oversized or unterminated request line) and
+    [conn_budget] (per-connection byte/time budget exhausted); and from
+    drain and live migration [draining], [migrating], [not_owner],
+    [committed], [unresolved], [migrate_failed].
+
+    A request may carry a ["rid"] string — an {e idempotency key}: the
+    daemon caches the response under it and replays it byte-identically
+    if the same key is re-delivered (responses with transient codes —
+    [overloaded], [queued], [draining], [migrating], [unresolved],
+    [internal] — are never cached), so client retries after a lost
+    response cannot double-execute a mutation. *)
 
 val ok : id:Json.t -> (string * Json.t) list -> Json.t
 (** [{"id":id,"ok":true,<fields>}]. *)

@@ -24,7 +24,12 @@ type hot = {
   mutable h_ck : Fault.Supervisor.checkpoint option;
 }
 
-type status = Running | Queued | Quarantined of string
+type status =
+  | Running
+  | Queued
+  | Quarantined of string
+  | Migrating of string
+  | Prepared of string
 
 type tenant = {
   t_name : string;
@@ -65,10 +70,21 @@ let touch t tenant =
   t.clock <- t.clock + 1;
   tenant.t_touch <- t.clock
 
+(* A tenant mid-migration is still owned here until released, so it
+   still holds its capacity share: an aborted handoff must not find the
+   fleet oversubscribed. *)
 let running_cost t =
   Hashtbl.fold
-    (fun _ tn acc -> match tn.t_status with Running -> acc + tn.t_cost | _ -> acc)
+    (fun _ tn acc ->
+      match tn.t_status with
+      | Running | Migrating _ -> acc + tn.t_cost
+      | _ -> acc)
     t.table 0
+
+let owned tn =
+  match tn.t_status with
+  | Running | Queued | Quarantined _ | Migrating _ -> true
+  | Prepared _ -> false
 
 let resident t =
   Hashtbl.fold
@@ -133,12 +149,18 @@ let status_atom = function
   | Running -> "running"
   | Queued -> "queued"
   | Quarantined _ -> "quarantined"
+  | Migrating _ -> "migrating"
+  | Prepared _ -> "prepared"
 
+(* The reason column carries the quarantine diagnostic — or, for the
+   migration states, the peer daemon's address. *)
 let status_of_atom atom reason =
   match atom with
   | "running" -> Ok Running
   | "queued" -> Ok Queued
   | "quarantined" -> Ok (Quarantined reason)
+  | "migrating" -> Ok (Migrating reason)
+  | "prepared" -> Ok (Prepared reason)
   | s -> Error (Printf.sprintf "unknown tenant status %S" s)
 
 let tenant_store t name =
@@ -164,6 +186,11 @@ let prune store =
 
 let opt_float = function None -> "" | Some f -> Printf.sprintf "%h" f
 let opt_int = function None -> "" | Some n -> string_of_int n
+
+let status_reason = function
+  | Quarantined r -> r
+  | Migrating addr | Prepared addr -> addr
+  | Running | Queued -> ""
 
 let tenant_ckpt tenant hot =
   let cfg = hot.h_cfg in
@@ -198,8 +225,7 @@ let tenant_ckpt tenant hot =
         ("done", string_of_int tenant.t_done);
         ("skips", string_of_int tenant.t_skips);
         ("status", status_atom tenant.t_status);
-        ( "reason",
-          match tenant.t_status with Quarantined r -> r | _ -> "" );
+        ("reason", status_reason tenant.t_status);
       ]
       @ sup_meta;
     graph_src = cfg.c_src;
@@ -226,7 +252,7 @@ let manifest_row tenant =
       string_of_int tenant.t_cost;
       Printf.sprintf "%h" tenant.t_period_ms;
       string_of_int tenant.t_skips;
-      (match tenant.t_status with Quarantined r -> r | _ -> "");
+      status_reason tenant.t_status;
     ]
 
 let save_manifest t ~counters =
@@ -464,24 +490,21 @@ let revive t tenant =
                    tenant.t_name)
           | Some (_seq, _path, file) ->
               let* hot = hot_of_file file in
-              (* The tenant file is authoritative: it was written no
-                 earlier than the manifest row that named it. *)
+              (* The tenant file is authoritative for {e progress} —
+                 every advance force-saves it before the counters move.
+                 It is NOT authoritative for status: handoff and
+                 quarantine transitions on a cold tenant commit through
+                 the manifest alone, so the file's status meta can be
+                 one transition stale (e.g. "migrating" written at the
+                 mark, reverted after a crash).  Keep the registry's. *)
               let* done_ = int_req file "done" in
               let* skips = int_req file "skips" in
               let* cost = int_req file "cost" in
               let* period_ms = float_req file "period_ms" in
-              let* status_raw = meta_req file "status" in
-              let* reason = meta_req file "reason" in
-              let* status = status_of_atom status_raw reason in
               tenant.t_done <- done_;
               tenant.t_skips <- skips;
               tenant.t_cost <- cost;
               tenant.t_period_ms <- period_ms;
-              (match (tenant.t_status, status) with
-              (* Keep a manifest-recorded quarantine even if the tenant
-                 file predates it. *)
-              | Quarantined _, _ -> ()
-              | _, s -> tenant.t_status <- s);
               tenant.t_persisted <- done_;
               tenant.t_hot <- Some hot;
               Ok hot))
@@ -520,3 +543,48 @@ let add t tenant =
         (Ckpt.Store.seqs store)
   | None -> ());
   Hashtbl.replace t.table tenant.t_name tenant
+
+(* ---------- migration transfer ---------- *)
+
+let export tenant =
+  match tenant.t_hot with
+  | None -> Error (Printf.sprintf "tenant %S is not resident" tenant.t_name)
+  | Some hot -> Ok (Ckpt.to_string (tenant_ckpt tenant hot))
+
+let install t ~name ~status src =
+  match Ckpt.of_string src with
+  | Error e -> Error ("checkpoint: " ^ e)
+  | Ok file ->
+      if file.Ckpt.kind <> "serve-tenant" then
+        Error
+          (Printf.sprintf "checkpoint has kind %S, expected serve-tenant"
+             file.Ckpt.kind)
+      else
+        let* mname = meta_req file "name" in
+        if mname <> name then
+          Error
+            (Printf.sprintf "checkpoint is for tenant %S, not %S" mname name)
+        else
+          let* hot = hot_of_file file in
+          let* done_ = int_req file "done" in
+          let* skips = int_req file "skips" in
+          let* cost = int_req file "cost" in
+          let* period_ms = float_req file "period_ms" in
+          let tn =
+            {
+              t_name = name;
+              t_status = status;
+              t_done = done_;
+              t_cost = cost;
+              t_period_ms = period_ms;
+              t_skips = skips;
+              t_hot = Some hot;
+              t_touch = 0;
+              t_persisted = -1;
+            }
+          in
+          t.q <- List.filter (fun n -> n <> name) t.q;
+          add t tn;
+          touch t tn;
+          save_tenant t tn;
+          Ok tn

@@ -50,7 +50,18 @@ type hot = {
       (** [None] before the first advance *)
 }
 
-type status = Running | Queued | Quarantined of string
+(** [Migrating addr]: this daemon still owns the tenant but is moving
+    it to the daemon at [addr] (two-phase handoff, source side).
+    [Prepared addr]: this daemon holds an offered copy from the daemon
+    at [addr] but does {e not} own it yet — the copy becomes [Running]
+    only at commit, and is dropped on abort.  Both survive restarts so
+    an interrupted handoff can be resolved. *)
+type status =
+  | Running
+  | Queued
+  | Quarantined of string
+  | Migrating of string
+  | Prepared of string
 
 type tenant = {
   t_name : string;
@@ -63,6 +74,10 @@ type tenant = {
   mutable t_touch : int;  (** LRU clock at last touch *)
   mutable t_persisted : int;  (** [t_done] at last persist; -1 = never *)
 }
+
+val owned : tenant -> bool
+(** Whether this daemon is the tenant's owner: true for every status
+    except [Prepared] (an uncommitted offered copy). *)
 
 type t
 
@@ -95,7 +110,22 @@ val dequeue_if : t -> (tenant -> bool) -> tenant list
     head — strict FIFO, no reordering — marking them [Running]. *)
 
 val running_cost : t -> int
-(** Sum of [t_cost] over [Running] tenants (resident or cold). *)
+(** Sum of [t_cost] over [Running] and [Migrating] tenants (resident or
+    cold) — a migrating tenant still occupies its source's capacity
+    until the handoff commits. *)
+
+val export : tenant -> (string, string) result
+(** The tenant's boundary state as a portable [serve-tenant] checkpoint
+    string ({!Tpdf_ckpt.Ckpt.to_string}: checksummed, byte-stable).
+    Fails when the tenant is cold. *)
+
+val install :
+  t -> name:string -> status:status -> string -> (tenant, string) result
+(** Install an {!export}ed checkpoint string as tenant [name] with the
+    given status, replacing any existing record under that name: the
+    migration destination's half of the transfer.  Validates the
+    checksum, kind and embedded name, makes the tenant resident, and
+    persists it when the registry has a directory. *)
 
 val mk_tenant : name:string -> cfg:cfg -> valuation:Tpdf_param.Valuation.t ->
   cost:int -> period_ms:float -> status:status -> tenant

@@ -57,9 +57,38 @@ let sockaddr_of = function
 
 (* ---------- server ---------- *)
 
-type conn = { fd : Unix.file_descr; buf : Buffer.t }
+type limits = {
+  max_conns : int;
+  max_line_bytes : int;
+  read_deadline_ms : float;
+  conn_bytes : int;
+  conn_ms : float;
+}
 
-let serve daemon endpoint =
+let default_limits =
+  {
+    max_conns = 64;
+    max_line_bytes = 1024 * 1024;
+    read_deadline_ms = 10_000.0;
+    conn_bytes = 0;
+    conn_ms = 0.0;
+  }
+
+type conn = {
+  io : Netfault.Io.conn;
+  buf : Buffer.t;
+  opened : float;  (** [now_ms] at accept *)
+  mutable last : float;  (** [now_ms] at the last byte received *)
+  mutable bytes_in : int;
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let err_line ~code msg =
+  Json.to_string (Protocol.err ~id:Json.Null ~code msg)
+
+let serve ?(limits = default_limits) ?(netfault = Netfault.none) daemon
+    endpoint =
   match sockaddr_of endpoint with
   | Error e -> Error e
   | Ok addr -> (
@@ -84,72 +113,182 @@ let serve daemon endpoint =
             (Printf.sprintf "cannot listen: %s: %s" syscall
                (Unix.error_message err))
       | () ->
+          let bump name = Tpdf_obs.Metrics.incr (Daemon.metrics daemon) name in
           let conns = ref [] in
+          let next_conn = ref 0 in
+          let fd_of c = Netfault.Io.fd c.io in
+          let alive c = List.exists (fun c' -> c' == c) !conns in
           let drop c =
-            conns := List.filter (fun c' -> c'.fd != c.fd) !conns;
-            try Unix.close c.fd with Unix.Unix_error _ -> ()
+            conns := List.filter (fun c' -> c' != c) !conns;
+            try Unix.close (fd_of c) with Unix.Unix_error _ -> ()
           in
+          (* Loop on short writes; EINTR retries, EAGAIN waits for the
+             socket to drain, any other error (EPIPE, ECONNRESET, ...)
+             is that one connection's death — never the daemon's. *)
           let send_line c line =
-            match
-              let data = line ^ "\n" in
-              let n = String.length data in
-              let pos = ref 0 in
-              while !pos < n do
-                pos :=
-                  !pos + Unix.write_substring c.fd data !pos (n - !pos)
-              done
-            with
-            | () -> ()
-            | exception Unix.Unix_error _ -> drop c
+            let data = line ^ "\n" in
+            let n = String.length data in
+            let rec wr pos =
+              if pos >= n then true
+              else
+                match Netfault.Io.write_substring c.io data pos (n - pos) with
+                | k -> wr (pos + k)
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> wr pos
+                | exception
+                    Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                  ->
+                    (match Unix.select [] [ fd_of c ] [] 1.0 with
+                    | _ -> ()
+                    | exception Unix.Unix_error _ -> ());
+                    wr pos
+                | exception Unix.Unix_error _ -> false
+            in
+            if not (wr 0) then begin
+              bump "serve.conn_errors";
+              drop c
+            end
+          in
+          let refuse c code msg counter =
+            bump counter;
+            send_line c (err_line ~code msg);
+            if alive c then drop c
           in
           (* Consume every complete line buffered for this connection. *)
           let rec pump c =
             let data = Buffer.contents c.buf in
             match String.index_opt data '\n' with
-            | None -> ()
+            | None ->
+                if
+                  limits.max_line_bytes > 0
+                  && String.length data > limits.max_line_bytes
+                then
+                  refuse c "too_large"
+                    (Printf.sprintf
+                       "request line exceeds %d bytes without a terminator"
+                       limits.max_line_bytes)
+                    "serve.too_large"
             | Some i ->
                 let line = String.sub data 0 i in
                 Buffer.clear c.buf;
                 Buffer.add_substring c.buf data (i + 1)
                   (String.length data - i - 1);
-                let line = String.trim line in
-                if line <> "" then send_line c (Daemon.handle_line daemon line);
-                if not (Daemon.stopping daemon) then pump c
+                if
+                  limits.max_line_bytes > 0
+                  && String.length line > limits.max_line_bytes
+                then
+                  refuse c "too_large"
+                    (Printf.sprintf "request line exceeds %d bytes"
+                       limits.max_line_bytes)
+                    "serve.too_large"
+                else begin
+                  let line = String.trim line in
+                  if line <> "" then
+                    send_line c (Daemon.handle_line daemon line);
+                  if (not (Daemon.stopping daemon)) && alive c then pump c
+                end
+          in
+          (* Per-round budget sweep: cut stalled mid-frame connections
+             (slow-loris) and connections past their byte/time budget. *)
+          let sweep () =
+            let now = now_ms () in
+            List.iter
+              (fun c ->
+                if not (alive c) then ()
+                else if limits.conn_ms > 0.0 && now -. c.opened > limits.conn_ms
+                then
+                  refuse c "conn_budget" "connection time budget exhausted"
+                    "serve.conn_budget_cut"
+                else if
+                  limits.read_deadline_ms > 0.0
+                  && Buffer.length c.buf > 0
+                  && now -. c.last > limits.read_deadline_ms
+                then begin
+                  (* The frame is incomplete, so no reply can be framed:
+                     just cut the stall. *)
+                  bump "serve.stall_cut";
+                  drop c
+                end)
+              !conns
           in
           let chunk = Bytes.create 65536 in
           (try
              while not (Daemon.stopping daemon) do
-               let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
-               match Unix.select fds [] [] 1.0 with
+               let fds = listen_fd :: List.map fd_of !conns in
+               (match Unix.select fds [] [] 1.0 with
                | readable, _, _ ->
                    List.iter
                      (fun fd ->
                        if fd == listen_fd then begin
                          match Unix.accept listen_fd with
                          | client, _ ->
-                             conns :=
-                               { fd = client; buf = Buffer.create 256 }
-                               :: !conns
+                             let now = now_ms () in
+                             let id = !next_conn in
+                             Stdlib.incr next_conn;
+                             let c =
+                               {
+                                 io = Netfault.Io.wrap netfault ~conn:id client;
+                                 buf = Buffer.create 256;
+                                 opened = now;
+                                 last = now;
+                                 bytes_in = 0;
+                               }
+                             in
+                             if
+                               limits.max_conns > 0
+                               && List.length !conns >= limits.max_conns
+                             then begin
+                               (* Register so the error line goes through
+                                  the normal short-write path, then cut. *)
+                               conns := c :: !conns;
+                               refuse c "overloaded"
+                                 (Printf.sprintf
+                                    "connection limit %d reached"
+                                    limits.max_conns)
+                                 "serve.conn_overflow"
+                             end
+                             else conns := c :: !conns
                          | exception Unix.Unix_error _ -> ()
                        end
                        else
-                         match List.find_opt (fun c -> c.fd == fd) !conns with
+                         match
+                           List.find_opt (fun c -> fd_of c == fd) !conns
+                         with
                          | None -> ()
                          | Some c -> (
-                             match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+                             match
+                               Netfault.Io.read c.io chunk 0
+                                 (Bytes.length chunk)
+                             with
                              | 0 -> drop c
                              | n ->
+                                 c.last <- now_ms ();
+                                 c.bytes_in <- c.bytes_in + n;
                                  Buffer.add_subbytes c.buf chunk 0 n;
-                                 pump c
-                             | exception Unix.Unix_error _ -> drop c))
+                                 if
+                                   limits.conn_bytes > 0
+                                   && c.bytes_in > limits.conn_bytes
+                                 then
+                                   refuse c "conn_budget"
+                                     (Printf.sprintf
+                                        "connection byte budget %d exhausted"
+                                        limits.conn_bytes)
+                                     "serve.conn_budget_cut"
+                                 else pump c
+                             | exception Unix.Unix_error (Unix.EINTR, _, _)
+                               ->
+                                 ()
+                             | exception Unix.Unix_error _ ->
+                                 bump "serve.conn_errors";
+                                 drop c))
                      readable
-               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+               sweep ()
              done
            with e ->
-             List.iter (fun c -> try Unix.close c.fd with _ -> ()) !conns;
+             List.iter (fun c -> try Unix.close (fd_of c) with _ -> ()) !conns;
              (try Unix.close listen_fd with _ -> ());
              raise e);
-          List.iter (fun c -> try Unix.close c.fd with _ -> ()) !conns;
+          List.iter (fun c -> try Unix.close (fd_of c) with _ -> ()) !conns;
           (try Unix.close listen_fd with Unix.Unix_error _ -> ());
           (match endpoint with
           | Unix_path path -> (

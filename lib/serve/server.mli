@@ -16,10 +16,38 @@ val parse_endpoint : string -> (endpoint, string) result
     path, explicitly.  Without a scheme, ["host:port"] (with a numeric
     port) is TCP and anything else a socket path. *)
 
-val serve : Daemon.t -> endpoint -> (unit, string) result
+(** Hardening knobs for the accept loop.  A violation costs exactly one
+    connection — the offender gets a framed error line where one can
+    still be framed ([too_large], [conn_budget], [overloaded]) and is
+    closed; every other connection is untouched. *)
+type limits = {
+  max_conns : int;  (** accepted connections; 0 = unlimited (default 64) *)
+  max_line_bytes : int;
+      (** longest request line, terminated or not; 0 = unlimited
+          (default 1 MiB) — bounds per-connection buffering *)
+  read_deadline_ms : float;
+      (** cut a connection stalled {e mid-frame} this long (slow-loris);
+          0 = never (default 10000) *)
+  conn_bytes : int;  (** lifetime inbound bytes; 0 = unlimited (default) *)
+  conn_ms : float;  (** lifetime wall budget; 0 = unlimited (default) *)
+}
+
+val default_limits : limits
+
+val serve :
+  ?limits:limits -> ?netfault:Netfault.t -> Daemon.t -> endpoint ->
+  (unit, string) result
 (** Bind, listen and pump requests until a [shutdown] request flips
     {!Daemon.stopping}.  A pre-existing Unix socket path is replaced.
-    Persists the daemon once more on orderly exit. *)
+    Persists the daemon once more on orderly exit.  [netfault] wraps
+    every accepted connection in {!Netfault.Io} — chaos testing against
+    a real daemon with reproducible wire faults. *)
+
+val connect :
+  ?timeout_ms:float -> endpoint -> (Unix.file_descr, string) result
+(** Connect to a daemon, retrying refused connections until
+    [timeout_ms] (default 5000) so clients can race daemon startup.
+    The caller owns (and must close) the descriptor. *)
 
 val request : endpoint -> string -> (string, string) result
 (** One-shot client helper: connect, send one request line, read one

@@ -603,6 +603,710 @@ let test_parse_endpoint () =
   check_ep "tcp out-of-range port" "tcp:host:70000" `Error;
   check_ep "empty" "" `Error
 
+(* ------------------------------------------------------------------ *)
+(* Protocol fuzz: malformed wire input never crashes the daemon        *)
+(* ------------------------------------------------------------------ *)
+
+module Prng = Tpdf_util.Prng
+module NF = Tpdf_serve.Netfault
+module C = Tpdf_serve.Client
+
+(* Every fuzz case must produce one well-formed response line: parsable
+   JSON object with a boolean "ok" — never an exception, never silence. *)
+let well_formed what resp =
+  match J.of_string resp with
+  | Error e -> Alcotest.failf "%s: unparsable response %S: %s" what resp e
+  | Ok v -> (
+      match J.member "ok" v with
+      | Some (J.Bool _) -> ()
+      | _ -> Alcotest.failf "%s: response without ok flag: %S" what resp)
+
+let fuzz_corpus seed n =
+  let rng = Prng.create seed in
+  let valid =
+    J.to_string
+      (J.Obj (submit_req ~id:"f" ~name:"fz" (Lazy.force fig1)))
+  in
+  let printable rng len =
+    String.init len (fun _ -> Char.chr (32 + Prng.int rng 95))
+  in
+  let raw rng len = String.init len (fun _ -> Char.chr (Prng.int rng 256)) in
+  let case i =
+    match i mod 8 with
+    | 0 -> raw rng (Prng.int rng 80)
+    | 1 -> printable rng (Prng.int rng 80)
+    | 2 ->
+        (* truncation of a valid request: torn frame delivered whole *)
+        String.sub valid 0 (Prng.int rng (String.length valid))
+    | 3 ->
+        (* valid JSON, wrong shape *)
+        List.nth
+          [ "42"; "\"op\""; "[1,2,3]"; "null"; "true"; "{}"; "[]" ]
+          (Prng.int rng 7)
+    | 4 ->
+        (* op field of the wrong type or unknown *)
+        List.nth
+          [
+            {|{"op":42}|};
+            {|{"op":null}|};
+            {|{"op":"nosuch"}|};
+            {|{"op":"advance","name":42}|};
+            {|{"op":"submit","name":"x","graph":17}|};
+            {|{"op":"migrate_offer","name":"x","ckpt":"junk","cksum":"0"}|};
+          ]
+          (Prng.int rng 6)
+    | 5 ->
+        (* deep nesting *)
+        let d = 1 + Prng.int rng 60 in
+        String.concat "" [ String.make d '['; String.make d ']' ]
+    | 6 ->
+        (* two requests glued on one line: not valid JSON *)
+        valid ^ valid
+    | _ ->
+        (* valid prefix + random tail *)
+        String.sub valid 0 (Prng.int rng (String.length valid))
+        ^ printable rng (Prng.int rng 20)
+  in
+  List.init n case
+
+let test_protocol_fuzz () =
+  let d = daemon () in
+  List.iteri
+    (fun i line -> well_formed (Printf.sprintf "fuzz[%d]" i) (D.handle_line d line))
+    (fuzz_corpus 0xF022 400);
+  (* The daemon is still fully functional afterwards. *)
+  Alcotest.(check bool) "submit after fuzz" true
+    (is_ok (rpc d (submit_req ~name:"after" (Lazy.force fig1))));
+  Alcotest.(check int) "advance after fuzz" 2
+    (int_field (rpc d (advance_req ~name:"after" 2)) "done")
+
+(* ------------------------------------------------------------------ *)
+(* Netfault plans                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_netfault_parse () =
+  let round s =
+    match NF.parse_specs s with
+    | Ok specs -> NF.specs_to_string specs
+    | Error e -> Alcotest.failf "parse %S: %s" s e
+  in
+  Alcotest.(check string) "roundtrip"
+    "shortread:0.2:7,tear:0.01,stall:0.05:12,disconnect:0.005,delay:0.1:5,dup:0.02,shortwrite:0.3:1"
+    (round
+       "shortread:0.2:7,tear:0.01,stall:0.05:12,disconnect:0.005,delay:0.1:5,dup:0.02,shortwrite:0.3:1");
+  List.iter
+    (fun bad ->
+      match NF.parse_specs bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error _ -> ())
+    [ ""; "nope:0.5"; "tear:1.5"; "tear:x"; "tear:0.5:3"; "shortread:0.5:0";
+      "delay:0.5:-1"; "shortread:0.5:1:2" ]
+
+let test_netfault_determinism () =
+  let specs =
+    match
+      NF.parse_specs "shortread:0.3:4,tear:0.2,disconnect:0.1,delay:0.5:8,dup:0.15"
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let plan = NF.make ~seed:11 specs in
+  let verdicts conn =
+    List.init 64 (fun op -> NF.verdict plan ~conn ~op ~len:100)
+  in
+  (* Pure: same (seed, conn, op) → same verdicts, independent of order. *)
+  Alcotest.(check bool) "replay identical" true (verdicts 3 = verdicts 3);
+  Alcotest.(check bool) "connections differ" true (verdicts 3 <> verdicts 4);
+  Alcotest.(check bool) "seeds differ" true
+    (verdicts 3
+    <> List.init 64 (fun op ->
+           NF.verdict (NF.make ~seed:12 specs) ~conn:3 ~op ~len:100));
+  (* One draw per spec whether or not it fires: zeroing one spec's
+     probability must not shift any other spec's stream. *)
+  let zero_tear =
+    List.map
+      (fun (s : NF.spec) ->
+        match s.NF.kind with
+        | NF.Tear -> NF.spec ~prob:0.0 NF.Tear
+        | _ -> s)
+      specs
+  in
+  let plan' = NF.make ~seed:11 zero_tear in
+  List.iteri
+    (fun op (v : NF.verdict) ->
+      let v' = NF.verdict plan' ~conn:3 ~op ~len:100 in
+      Alcotest.(check bool)
+        (Printf.sprintf "op %d: non-tear faults unshifted" op)
+        true
+        ({ v with NF.v_tear_at = None } = v'))
+    (verdicts 3);
+  (* The empty plan is transparent. *)
+  Alcotest.(check bool) "none is clean" true
+    (NF.verdict NF.none ~conn:0 ~op:0 ~len:10 = NF.clean)
+
+(* ------------------------------------------------------------------ *)
+(* Resilient client                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff () =
+  let p = { C.default_policy with C.backoff_ms = 10.0; backoff_max_ms = 50.0 } in
+  (* Jitter scales base by [0.5, 1.0); the base doubles then caps. *)
+  List.iter
+    (fun (attempt, base) ->
+      let b = C.backoff_ms p ~op:7 ~attempt in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d in [%g, %g)" attempt (base /. 2.0) base)
+        true
+        (b >= base /. 2.0 && b < base))
+    [ (1, 10.0); (2, 20.0); (3, 40.0); (4, 50.0); (5, 50.0) ];
+  Alcotest.(check bool) "pure" true
+    (C.backoff_ms p ~op:7 ~attempt:2 = C.backoff_ms p ~op:7 ~attempt:2);
+  Alcotest.(check bool) "ops decorrelated" true
+    (C.backoff_ms p ~op:7 ~attempt:2 <> C.backoff_ms p ~op:8 ~attempt:2)
+
+let test_client_call () =
+  let p =
+    { C.deadline_ms = 100.0; retries = 3; backoff_ms = 10.0;
+      backoff_max_ms = 80.0; seed = 5 }
+  in
+  (* Fail the first k attempts at transport level, then answer. *)
+  let transport k =
+    let calls = ref 0 and slept = ref 0.0 in
+    ( {
+        C.call =
+          (fun ~deadline_ms:_ line ->
+            incr calls;
+            if !calls <= k then Error (C.Conn "injected reset")
+            else Ok ("echo:" ^ line));
+        sleep = (fun ms -> slept := !slept +. ms);
+      },
+      calls,
+      slept )
+  in
+  let tr, calls, slept = transport 2 in
+  let out = C.call p tr ~op:0 "req" in
+  Alcotest.(check bool) "recovers" true (out.C.response = Ok "echo:req");
+  Alcotest.(check int) "attempts" 3 out.C.attempts;
+  Alcotest.(check int) "transport calls" 3 !calls;
+  Alcotest.(check bool) "slept the backoffs" true
+    (!slept = out.C.slept_ms
+    && out.C.slept_ms
+       = C.backoff_ms p ~op:0 ~attempt:1 +. C.backoff_ms p ~op:0 ~attempt:2);
+  (* Retries exhausted: the last failure surfaces. *)
+  let tr, calls, _ = transport 99 in
+  let out = C.call p tr ~op:1 "req" in
+  Alcotest.(check bool) "gives up with an error" true
+    (match out.C.response with Error _ -> true | Ok _ -> false);
+  Alcotest.(check int) "all attempts used" 4 !calls;
+  (* A well-formed (error) response is never retried. *)
+  let calls = ref 0 in
+  let tr =
+    {
+      C.call =
+        (fun ~deadline_ms:_ _ ->
+          incr calls;
+          Ok {|{"id":null,"ok":false,"error":{"code":"quarantined","msg":"x"}}|});
+      sleep = (fun _ -> Alcotest.fail "must not back off on a response");
+    }
+  in
+  ignore (C.call p tr ~op:2 "req");
+  Alcotest.(check int) "error responses are terminal" 1 !calls
+
+let test_ensure_rid () =
+  Alcotest.(check string) "adds rid"
+    (J.to_string (J.Obj [ ("rid", J.String "r1"); ("op", J.String "ping") ]))
+    (C.ensure_rid {|{"op":"ping"}|} ~rid:"r1");
+  Alcotest.(check string) "keeps existing rid"
+    {|{"rid":"mine","op":"ping"}|}
+    (C.ensure_rid {|{"rid":"mine","op":"ping"}|} ~rid:"r1");
+  Alcotest.(check string) "non-object untouched" "[1]"
+    (C.ensure_rid "[1]" ~rid:"r1")
+
+(* ------------------------------------------------------------------ *)
+(* Idempotency keys                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_rid_cache () =
+  let d = daemon ~cfg:{ D.default_config with D.max_advance = 4 } () in
+  ignore (rpc d (submit_req ~name:"i" (Lazy.force fig1)));
+  let adv = ("rid", J.String "adv-1") :: advance_req ~id:"a" ~name:"i" 2 in
+  let first = rpc d adv in
+  Alcotest.(check int) "advanced" 2 (int_field first "done");
+  (* Replaying the same rid returns the same bytes and does NOT
+     re-advance — the retry-after-lost-response case. *)
+  let again = rpc d adv in
+  Alcotest.(check string) "byte-identical replay" first again;
+  Alcotest.(check int) "no double advance" 2
+    (int_field (rpc d (query_req "i")) "done");
+  (* A different rid with the same body is a new logical request. *)
+  let third = rpc d (("rid", J.String "adv-2") :: advance_req ~id:"a" ~name:"i" 2) in
+  Alcotest.(check int) "fresh rid re-executes" 4 (int_field third "done");
+  (* Transient refusals are not poisoned into the cache: an oversized
+     advance sheds with [overloaded]; re-using its rid with an
+     acceptable request must execute, not replay the refusal. *)
+  let big = ("rid", J.String "retry-me") :: advance_req ~id:"b" ~name:"i" 99 in
+  check_code "oversized advance shed" "overloaded" (rpc d big);
+  let ok2 = rpc d (("rid", J.String "retry-me") :: advance_req ~id:"b" ~name:"i" 1) in
+  Alcotest.(check int) "transient code was not cached" 5 (int_field ok2 "done");
+  (* Cache disabled: replay re-executes. *)
+  let d0 = daemon ~cfg:{ D.default_config with D.rid_cache = 0 } () in
+  ignore (rpc d0 (submit_req ~name:"i" (Lazy.force fig1)));
+  ignore (rpc d0 (("rid", J.String "x") :: advance_req ~name:"i" 1));
+  ignore (rpc d0 (("rid", J.String "x") :: advance_req ~name:"i" 1));
+  Alcotest.(check int) "rid_cache=0 re-executes" 2
+    (int_field (rpc d0 (query_req "i")) "done")
+
+(* ------------------------------------------------------------------ *)
+(* Drain                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_drain () =
+  with_temp_dir @@ fun dir ->
+  let d = daemon ~cfg:{ D.default_config with D.state_dir = Some dir } () in
+  ignore (rpc d (submit_req ~name:"t" (Lazy.force fig1)));
+  let dr = rpc d [ ("id", J.String "d"); ("op", J.String "drain") ] in
+  Alcotest.(check bool) "drain ok" true (is_ok dr);
+  Alcotest.(check bool) "reports draining" true
+    (field dr "draining" = Some (J.Bool true));
+  Alcotest.(check bool) "not stopping without stop:true" false (D.stopping d);
+  Alcotest.(check bool) "daemon reports draining" true (D.draining d);
+  (* New work is refused; existing tenants still serve. *)
+  check_code "submit while draining" "draining"
+    (rpc d (submit_req ~name:"new" (Lazy.force fig1)));
+  check_code "migration offers refused" "draining"
+    (rpc d
+       [
+         ("op", J.String "migrate_offer");
+         ("name", J.String "x");
+         ("ckpt", J.String "whatever");
+         ("cksum", J.String "0");
+       ]);
+  Alcotest.(check int) "existing tenant advances" 2
+    (int_field (rpc d (advance_req ~name:"t" 2)) "done");
+  Alcotest.(check bool) "ping flags draining" true
+    (field (rpc d [ ("op", J.String "ping") ]) "draining" = Some (J.Bool true));
+  (* drain --stop also stops the accept loop. *)
+  let dr2 =
+    rpc d [ ("op", J.String "drain"); ("stop", J.Bool true) ]
+  in
+  Alcotest.(check bool) "drain stop ok" true (is_ok dr2);
+  Alcotest.(check bool) "stopping" true (D.stopping d)
+
+(* ------------------------------------------------------------------ *)
+(* Live migration: two-phase handoff under kill -9 at every point      *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process two-daemon fleet.  Daemons live in mutable slots so a
+   "crashed" daemon (slot = None) can be reloaded from its state
+   directory; dialing a dead slot fails like a refused connection, and
+   a peer crashing mid-request (Injected_crash escaping its dispatch)
+   kills the slot and surfaces as a reset — exactly what a SIGKILLed
+   process looks like over a socket. *)
+type slot = { mutable live : D.t option; mutable cfg : D.config }
+
+let mk_dial slots self =
+  fun addr line ->
+    match List.assoc_opt addr slots with
+    | None -> Error (Printf.sprintf "no route to %s" addr)
+    | Some _ when addr = self -> Error "daemon cannot dial itself"
+    | Some s -> (
+        match s.live with
+        | None -> Error "connection refused"
+        | Some d -> (
+            match D.handle_line d line with
+            | resp -> Ok resp
+            | exception D.Injected_crash _ ->
+                s.live <- None;
+                Error "connection reset by peer"))
+
+let boot ?(mk = mk_dial) slots name =
+  let s = List.assoc name slots in
+  match D.create ~dial:(mk slots name) s.cfg with
+  | Ok d ->
+      s.live <- Some d;
+      d
+  | Error e -> Alcotest.failf "boot %s: %s" name e
+
+(* Reload a crashed daemon from its durable state, crash point disarmed
+   — the restart after kill -9. *)
+let reboot ?mk slots name =
+  let s = List.assoc name slots in
+  s.cfg <- { s.cfg with D.crash_at = None };
+  ignore (boot ?mk slots name)
+
+(* Issue a request to one daemon; an [Injected_crash] escaping the
+   handler is the daemon SIGKILLing itself mid-request — the caller
+   sees no response and the slot dies. *)
+let rpc_on slots name fields =
+  let s = List.assoc name slots in
+  match s.live with
+  | None -> Alcotest.failf "rpc to dead daemon %s" name
+  | Some d -> (
+      match D.handle_line d (J.to_string (J.Obj fields)) with
+      | resp -> Some resp
+      | exception D.Injected_crash _ ->
+          s.live <- None;
+          None)
+
+let migrate_req name ~to_ ~from =
+  [
+    ("id", J.String "m");
+    ("op", J.String "migrate");
+    ("name", J.String name);
+    ("to", J.String to_);
+    ("from", J.String from);
+  ]
+
+let resolve_req name =
+  [ ("id", J.String "r"); ("op", J.String "resolve"); ("name", J.String name) ]
+
+(* Which daemons hold any copy of [name], and in what status. *)
+let holders slots name =
+  List.filter_map
+    (fun (nm, s) ->
+      match s.live with
+      | None -> None
+      | Some d ->
+          let r = D.handle_line d (J.to_string (J.Obj (query_req name))) in
+          if not (is_ok r) then None
+          else
+            match field r "status" with
+            | Some (J.String st) -> Some (nm, st)
+            | _ -> Some (nm, "?"))
+    slots
+
+let settled slots name =
+  match holders slots name with [ (nm, "running") ] -> Some nm | _ -> None
+
+(* Send [resolve] to every live daemon until exactly one Running copy
+   remains.  The protocol converges in one or two rounds; ten is a
+   divergence alarm, not a retry budget. *)
+let resolve_all slots name =
+  let rec go round =
+    if round > 10 then
+      Alcotest.failf "resolve did not converge: holders %s"
+        (String.concat ","
+           (List.map (fun (nm, st) -> nm ^ ":" ^ st) (holders slots name)))
+    else
+      match settled slots name with
+      | Some owner -> owner
+      | None ->
+          List.iter
+            (fun (nm, s) ->
+              if s.live <> None then ignore (rpc_on slots nm (resolve_req name)))
+            slots;
+          go (round + 1)
+  in
+  go 0
+
+let newest_ckpt state_dir name =
+  let d = Filename.concat (Filename.concat state_dir "tenants") name in
+  match List.sort compare (Array.to_list (Sys.readdir d)) with
+  | [] -> Alcotest.failf "no checkpoints under %s" d
+  | files -> read_file (Filename.concat d (List.hd (List.rev files)))
+
+(* One kill -9 scenario: daemons A and B, tenant advanced to 3 on A,
+   then [migrate] with a crash injected at [crash_a]/[crash_b]; the
+   dead daemon reboots from its state directory, [resolve] converges,
+   and the surviving copy must live on exactly [expect] with state
+   byte-identical to a control daemon that never migrated. *)
+let run_migration_scenario ?(label = "") ~crash_a ~crash_b ~expect () =
+  let check_s what = Alcotest.(check string) (label ^ ": " ^ what) in
+  with_temp_dir @@ fun dir_a ->
+  with_temp_dir @@ fun dir_b ->
+  with_temp_dir @@ fun dir_c ->
+  let cfg dir crash =
+    { D.default_config with D.state_dir = Some dir; crash_at = crash }
+  in
+  let control = daemon ~cfg:(cfg dir_c None) () in
+  Alcotest.(check bool) "control submit" true
+    (is_ok (rpc control (submit_req ~name:"mv" (Lazy.force fig1))));
+  ignore (rpc control (advance_req ~name:"mv" 3));
+  let slots =
+    [
+      ("A", { live = None; cfg = cfg dir_a crash_a });
+      ("B", { live = None; cfg = cfg dir_b crash_b });
+    ]
+  in
+  ignore (boot slots "A");
+  ignore (boot slots "B");
+  Alcotest.(check bool) "fleet submit" true
+    (match rpc_on slots "A" (submit_req ~name:"mv" (Lazy.force fig1)) with
+    | Some r -> is_ok r
+    | None -> false);
+  ignore (rpc_on slots "A" (advance_req ~name:"mv" 3));
+  ignore (rpc_on slots "A" (migrate_req "mv" ~to_:"B" ~from:"A"));
+  List.iter
+    (fun (nm, s) -> if s.live = None then reboot slots nm)
+    slots;
+  let owner = resolve_all slots "mv" in
+  check_s "single owner" expect owner;
+  let surv =
+    match (List.assoc owner slots).live with
+    | Some d -> d
+    | None -> Alcotest.fail "owner daemon died"
+  in
+  Alcotest.(check int) "no iteration lost or replayed" 3
+    (int_field (D.handle_line surv (J.to_string (J.Obj (query_req "mv")))) "done");
+  (* Forward progress answers byte for byte like the control... *)
+  let adv d = D.handle_line d (J.to_string (J.Obj (advance_req ~name:"mv" 2))) in
+  check_s "post-handoff transcript matches control" (adv control) (adv surv);
+  (* ...and the freshly written durable checkpoint is byte-identical
+     to the unmigrated control's. *)
+  let surv_dir = if owner = "A" then dir_a else dir_b in
+  check_s "checkpoint bytes match control" (newest_ckpt dir_c "mv")
+    (newest_ckpt surv_dir "mv")
+
+let migration_scenarios =
+  [
+    ("clean handoff", None, None, "B");
+    ("kill -9 src after mark", Some "src_after_mark", None, "A");
+    ("kill -9 src after offer", Some "src_after_offer", None, "A");
+    ("kill -9 dst after prepare", None, Some "dst_after_prepare", "A");
+    ("kill -9 src after commit", Some "src_after_commit", None, "B");
+    ("kill -9 dst after commit", None, Some "dst_after_commit", "B");
+    ("kill -9 src after release", Some "src_after_release", None, "B");
+  ]
+
+(* Chaotic dial: every inter-daemon message (request and response
+   independently) can be lost, per a seeded fault plan.  A bounded
+   retry/resolve loop must still land the tenant on B, exactly once,
+   byte-identical to the control — across a sweep of seeds. *)
+let chaos_mk plan ops slots self =
+  let base = mk_dial slots self in
+  fun addr line ->
+    let op = !ops in
+    incr ops;
+    let v = NF.verdict plan ~conn:0 ~op ~len:(String.length line) in
+    if v.NF.v_drop then Error "injected: request lost"
+    else
+      match base addr line with
+      | Error e -> Error e
+      | Ok resp ->
+          let v' = NF.verdict plan ~conn:1 ~op ~len:(String.length resp) in
+          if v'.NF.v_drop then Error "injected: response lost" else Ok resp
+
+let test_migration_chaotic_dial () =
+  List.iter
+    (fun seed ->
+      with_temp_dir @@ fun dir_a ->
+      with_temp_dir @@ fun dir_b ->
+      let t = Printf.sprintf "seed %d: " seed in
+      let control = daemon () in
+      ignore (rpc control (submit_req ~name:"mv" (Lazy.force fig1)));
+      ignore (rpc control (advance_req ~name:"mv" 3));
+      let slots =
+        [
+          ("A", { live = None; cfg = { D.default_config with D.state_dir = Some dir_a } });
+          ("B", { live = None; cfg = { D.default_config with D.state_dir = Some dir_b } });
+        ]
+      in
+      let plan = NF.make ~seed [ NF.spec ~prob:0.3 NF.Disconnect ] in
+      let mk = chaos_mk plan (ref 0) in
+      ignore (boot ~mk slots "A");
+      ignore (boot ~mk slots "B");
+      ignore (rpc_on slots "A" (submit_req ~name:"mv" (Lazy.force fig1)));
+      ignore (rpc_on slots "A" (advance_req ~name:"mv" 3));
+      let status_on nm =
+        List.assoc_opt nm (holders slots "mv")
+      in
+      let rec drive n =
+        if n > 100 then
+          Alcotest.failf "%sno convergence after %d rounds (holders %s)" t n
+            (String.concat ","
+               (List.map (fun (nm, st) -> nm ^ ":" ^ st) (holders slots "mv")))
+        else if not (status_on "B" = Some "running" && status_on "A" = None)
+        then begin
+          (match status_on "A" with
+          | Some "running" ->
+              ignore (rpc_on slots "A" (migrate_req "mv" ~to_:"B" ~from:"A"))
+          | Some _ -> ignore (rpc_on slots "A" (resolve_req "mv"))
+          | None -> ());
+          (match status_on "B" with
+          | Some "prepared" -> ignore (rpc_on slots "B" (resolve_req "mv"))
+          | _ -> ());
+          drive (n + 1)
+        end
+      in
+      drive 0;
+      Alcotest.(check (list (pair string string)))
+        (t ^ "exactly one live copy")
+        [ ("B", "running") ] (holders slots "mv");
+      let surv =
+        match (List.assoc "B" slots).live with
+        | Some d -> d
+        | None -> Alcotest.fail "B died"
+      in
+      Alcotest.(check int) (t ^ "done preserved") 3
+        (int_field
+           (D.handle_line surv (J.to_string (J.Obj (query_req "mv"))))
+           "done");
+      let adv d =
+        D.handle_line d (J.to_string (J.Obj (advance_req ~name:"mv" 2)))
+      in
+      Alcotest.(check string)
+        (t ^ "post-chaos transcript matches control")
+        (adv control) (adv surv))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_migration_matrix () =
+  List.iter
+    (fun (label, crash_a, crash_b, expect) ->
+      run_migration_scenario ~label ~crash_a ~crash_b ~expect ())
+    migration_scenarios
+
+(* ------------------------------------------------------------------ *)
+(* Real sockets: hardened accept loop                                  *)
+(* ------------------------------------------------------------------ *)
+
+module S = Tpdf_serve.Server
+
+let write_all fd s =
+  let n = String.length s in
+  try
+    let rec go off =
+      if off < n then go (off + Unix.write_substring fd s off (n - off))
+    in
+    go 0
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+
+(* Read one response line (or EOF / timeout) off a raw client fd. *)
+let read_reply ?(timeout_s = 5.0) fd =
+  let buf = Buffer.create 256 in
+  let b = Bytes.create 256 in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let left = deadline -. Unix.gettimeofday () in
+    if left <= 0.0 then `Timeout
+    else
+      match Unix.select [ fd ] [] [] left with
+      | [], _, _ -> `Timeout
+      | _ -> (
+          match Unix.read fd b 0 256 with
+          | 0 -> if Buffer.length buf = 0 then `Eof else `Line (Buffer.contents buf)
+          | n -> (
+              Buffer.add_subbytes buf b 0 n;
+              let s = Buffer.contents buf in
+              match String.index_opt s '\n' with
+              | Some i -> `Line (String.sub s 0 i)
+              | None -> go ())
+          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+              if Buffer.length buf = 0 then `Eof else `Line (Buffer.contents buf))
+  in
+  go ()
+
+let sock_connect ep =
+  match S.connect ~timeout_ms:5000.0 ep with
+  | Ok fd -> fd
+  | Error e -> Alcotest.failf "connect: %s" e
+
+let with_server ?limits ?netfault k =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  with_temp_dir @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let ep = S.Unix_path (Filename.concat dir "d.sock") in
+  let d = daemon () in
+  let srv = Domain.spawn (fun () -> S.serve ?limits ?netfault d ep) in
+  let fin () =
+    (match S.request ep {|{"op":"shutdown"}|} with
+    | Ok _ | Error _ -> ());
+    match Domain.join srv with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "serve: %s" e
+  in
+  Fun.protect ~finally:fin (fun () -> k ep)
+
+let test_socket_limits () =
+  let limits =
+    {
+      S.default_limits with
+      S.max_conns = 2;
+      max_line_bytes = 4096;
+      read_deadline_ms = 200.0;
+    }
+  in
+  with_server ~limits @@ fun ep ->
+  (* A healthy request round-trips. *)
+  (match S.request ep {|{"op":"ping"}|} with
+  | Ok r -> Alcotest.(check bool) "ping ok" true (is_ok r)
+  | Error e -> Alcotest.failf "ping: %s" e);
+  (* Garbage gets a framed error, not a dropped connection. *)
+  (match S.request ep "certainly not json" with
+  | Ok r -> check_code "garbage" "bad_request" r
+  | Error e -> Alcotest.failf "garbage: %s" e);
+  (* An oversized line is refused with [too_large], then the offender
+     is closed — one connection pays, the listener survives. *)
+  let fd = sock_connect ep in
+  write_all fd (String.make 5000 'a' ^ "\n");
+  (match read_reply fd with
+  | `Line r -> check_code "oversize" "too_large" r
+  | `Eof -> Alcotest.fail "oversize: closed without a framed error"
+  | `Timeout -> Alcotest.fail "oversize: no reply");
+  Unix.close fd;
+  (* A mid-frame stall past the read deadline is cut without a reply
+     (there is nothing safe to frame into a half-received request). *)
+  let fd = sock_connect ep in
+  write_all fd {|{"op":|};
+  Unix.sleepf 0.6;
+  (match read_reply ~timeout_s:2.0 fd with
+  | `Eof -> ()
+  | `Line r -> Alcotest.failf "stall: unexpected reply %s" r
+  | `Timeout -> Alcotest.fail "stall: connection not cut");
+  Unix.close fd;
+  (* The accept cap sheds the (max_conns+1)th connection with a framed
+     [overloaded] while existing connections keep working. *)
+  let c1 = sock_connect ep and c2 = sock_connect ep in
+  let c3 = sock_connect ep in
+  (match read_reply c3 with
+  | `Line r -> check_code "conn cap" "overloaded" r
+  | `Eof -> Alcotest.fail "conn cap: closed without a framed error"
+  | `Timeout -> Alcotest.fail "conn cap: no refusal");
+  write_all c1 {|{"id":"c1","op":"ping"}|};
+  write_all c1 "\n";
+  (match read_reply c1 with
+  | `Line r -> Alcotest.(check bool) "c1 alive under cap" true (is_ok r)
+  | _ -> Alcotest.fail "c1 starved");
+  Unix.close c1;
+  Unix.close c2;
+  Unix.close c3;
+  (* The daemon still serves after all that abuse. *)
+  match S.request ep {|{"op":"ping"}|} with
+  | Ok r -> Alcotest.(check bool) "ping after abuse" true (is_ok r)
+  | Error e -> Alcotest.failf "ping after abuse: %s" e
+
+let test_socket_netfault_passthrough () =
+  (* Deterministic wire chaos that mangles framing but never loses
+     data: every read is 1 byte, every write at most 3, responses
+     dup'd on the wire sometimes.  The framing layers must make this
+     invisible to the protocol. *)
+  let nf =
+    NF.make ~seed:9
+      [
+        NF.spec ~prob:1.0 (NF.Short_read 1);
+        NF.spec ~prob:1.0 (NF.Short_write 3);
+        NF.spec ~prob:0.3 (NF.Delay 1.0);
+      ]
+  in
+  with_server ~netfault:nf @@ fun ep ->
+  let fd = sock_connect ep in
+  for i = 1 to 5 do
+    write_all fd (Printf.sprintf {|{"id":%d,"op":"ping"}|} i);
+    write_all fd "\n";
+    match read_reply fd with
+    | `Line r ->
+        Alcotest.(check bool) (Printf.sprintf "ping %d through chaos" i) true
+          (is_ok r);
+        Alcotest.(check bool)
+          (Printf.sprintf "ping %d echoes id" i)
+          true
+          (field r "id" = Some (J.Int i))
+    | `Eof -> Alcotest.failf "ping %d: connection dropped" i
+    | `Timeout -> Alcotest.failf "ping %d: no reply" i
+  done;
+  Unix.close fd
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   Alcotest.run "tpdf_serve"
     [
@@ -636,5 +1340,34 @@ let () =
           Alcotest.test_case "tick shards the fleet" `Quick test_tick;
           Alcotest.test_case "metrics + checkpoint" `Quick
             test_metrics_and_checkpoint;
+        ] );
+      ( "fuzz",
+        [ Alcotest.test_case "malformed wire input" `Quick test_protocol_fuzz ] );
+      ( "netfault",
+        [
+          Alcotest.test_case "spec grammar" `Quick test_netfault_parse;
+          Alcotest.test_case "seeded determinism" `Quick
+            test_netfault_determinism;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "jittered backoff" `Quick test_backoff;
+          Alcotest.test_case "retry loop" `Quick test_client_call;
+          Alcotest.test_case "idempotency key injection" `Quick test_ensure_rid;
+        ] );
+      ( "idempotency",
+        [ Alcotest.test_case "rid replay" `Quick test_rid_cache ] );
+      ( "drain", [ Alcotest.test_case "graceful drain" `Quick test_drain ] );
+      ( "migration",
+        [
+          Alcotest.test_case "kill -9 matrix" `Quick test_migration_matrix;
+          Alcotest.test_case "chaotic dial seed sweep" `Quick
+            test_migration_chaotic_dial;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "hardened accept loop" `Quick test_socket_limits;
+          Alcotest.test_case "netfault passthrough" `Quick
+            test_socket_netfault_passthrough;
         ] );
     ]
